@@ -1,0 +1,376 @@
+package jmsharness_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+	"jmsharness/internal/experiments"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/tracedb"
+	"jmsharness/internal/wire"
+)
+
+// The benchmarks in this file regenerate the paper's evaluation, one
+// benchmark per table/figure (see DESIGN.md §4 and EXPERIMENTS.md). The
+// throughput benchmarks report msgs/s via b.ReportMetric; absolute
+// numbers are properties of the simulated provider profiles, but the
+// *shapes* (who wins, where saturation and droop fall) are the paper's
+// results. For the full-resolution series use:
+//
+//	go run ./cmd/jmsbench -experiment all
+//
+// Sweep durations here are scaled down (benchScale) to keep
+// `go test -bench=.` under a couple of minutes.
+
+const benchScale = 0.25
+
+// benchDemands is a reduced demand axis spanning the paper's 0–500,000
+// b/s range.
+var benchDemands = []float64{50_000, 200_000, 350_000, 500_000}
+
+// runSweepPoint measures one demand point and reports pub/sub msgs/s.
+func runSweepPoint(b *testing.B, opts experiments.SweepOptions, demand float64) {
+	b.Helper()
+	opts.DemandsBps = []float64{demand}
+	var pub, sub float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.ThroughputSweep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pub, sub = points[0].PublisherMsgs, points[0].SubscriberMsgs
+	}
+	b.ReportMetric(pub, "pub-msgs/s")
+	b.ReportMetric(sub, "sub-msgs/s")
+	b.ReportMetric(0, "ns/op") // wall time is workload-defined, not meaningful
+}
+
+// BenchmarkFigure2ProviderI regenerates Figure 2: Provider I throughput
+// vs demand — publisher and subscriber plateau together at the
+// sustainable rate.
+func BenchmarkFigure2ProviderI(b *testing.B) {
+	for _, demand := range benchDemands {
+		b.Run(fmt.Sprintf("demand=%.0fbps", demand), func(b *testing.B) {
+			runSweepPoint(b, experiments.Figure2Options(benchScale), demand)
+		})
+	}
+}
+
+// BenchmarkFigure3ProviderII regenerates Figure 3: Provider II
+// throughput vs demand — publisher tracks demand while subscriber
+// throughput drops once the system is over-stressed.
+func BenchmarkFigure3ProviderII(b *testing.B) {
+	for _, demand := range benchDemands {
+		b.Run(fmt.Sprintf("demand=%.0fbps", demand), func(b *testing.B) {
+			runSweepPoint(b, experiments.Figure3Options(benchScale), demand)
+		})
+	}
+}
+
+// BenchmarkFigure1OrderingDetection regenerates the Figure 1 scenario:
+// a reordering provider is detected by Property 3.
+func BenchmarkFigure1OrderingDetection(b *testing.B) {
+	var violations int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		violations = res.Violations
+	}
+	b.ReportMetric(float64(violations), "violations")
+}
+
+// BenchmarkPerformanceMeasures regenerates the §3.2 performance-measure
+// block: throughput, delay statistics and fairness.
+func BenchmarkPerformanceMeasures(b *testing.B) {
+	var m *analysis.Measures
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PerformanceMeasures(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Conformance.OK() {
+			b.Fatalf("measurement workload failed conformance:\n%s", res.Conformance)
+		}
+		m = res.Measures
+	}
+	b.ReportMetric(m.Producer.PerSecond, "prod-msgs/s")
+	b.ReportMetric(m.Consumer.PerSecond, "cons-msgs/s")
+	b.ReportMetric(float64(m.Delay.Mean.Microseconds()), "delay-mean-us")
+	b.ReportMetric(float64(m.Delay.StdDev.Microseconds()), "delay-sd-us")
+	b.ReportMetric(float64(m.Fairness.ConsumerUnfairness.Microseconds()), "unfairness-us")
+}
+
+// BenchmarkProviderComparison regenerates the footnote-9 three-provider
+// comparison: throughputs differing by roughly a factor of 10.
+func BenchmarkProviderComparison(b *testing.B) {
+	var rows []experiments.ComparisonRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ProviderComparison(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.SubscriberMsgs, r.Provider+"-msgs/s")
+	}
+	if len(rows) == 3 && rows[2].SubscriberMsgs > 0 {
+		b.ReportMetric(rows[0].SubscriberMsgs/rows[2].SubscriberMsgs, "fast/slow-ratio")
+	}
+}
+
+// BenchmarkConformanceMatrix runs the fault-detection matrix: every
+// seeded violation class must be caught.
+func BenchmarkConformanceMatrix(b *testing.B) {
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ConformanceMatrix(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected = 0
+		for _, r := range rows {
+			if r.Detected {
+				detected++
+			}
+		}
+		if detected != len(rows) {
+			b.Fatalf("only %d/%d variants behaved as expected:\n%s",
+				detected, len(rows), experiments.FormatConformance(rows))
+		}
+	}
+	b.ReportMetric(float64(detected), "variants-detected")
+}
+
+// §4.1 ablation — per-event results-database loading vs streaming
+// aggregation on the same 300k-event trace.
+
+// BenchmarkTraceDBIngest measures loading a performance-test-sized
+// trace into the results database and running the delay query (the
+// paper's JDBC bottleneck).
+func BenchmarkTraceDBIngest(b *testing.B) {
+	tr := experiments.SyntheticTrace(300_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := tracedb.New()
+		db.BulkLoad("bench", tr.Events)
+		if rows := db.Delays("bench"); len(rows) == 0 {
+			b.Fatal("no delay rows")
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events")
+}
+
+// BenchmarkStreamingStats measures the streaming-aggregation
+// alternative the paper recommends in §4.1.
+func BenchmarkStreamingStats(b *testing.B) {
+	tr := experiments.SyntheticTrace(300_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := analysis.NewStreamAggregator()
+		for _, ev := range tr.Events {
+			agg.Observe(ev)
+		}
+		if m := agg.Finalize(); m.Consumer.Count == 0 {
+			b.Fatal("no deliveries aggregated")
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events")
+}
+
+// BenchmarkModelCheck measures the full safety-property check (the SQL
+// correctness queries of §4) on a large trace.
+func BenchmarkModelCheck(b *testing.B) {
+	tr := experiments.SyntheticTrace(90_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := model.Check(tr, model.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.OK() {
+			b.Fatal("synthetic trace should conform")
+		}
+	}
+}
+
+// BenchmarkAblationBacklogPenalty isolates the design choice behind the
+// Figure 2 vs Figure 3 difference: the same over-stressed workload
+// against a flow-controlled profile and an accept-and-degrade profile.
+func BenchmarkAblationBacklogPenalty(b *testing.B) {
+	const demand = 500_000
+	cases := map[string]experiments.SweepOptions{
+		"flow-controlled":    experiments.Figure2Options(benchScale),
+		"accept-and-degrade": experiments.Figure3Options(benchScale),
+	}
+	for name, opts := range cases {
+		b.Run(name, func(b *testing.B) {
+			runSweepPoint(b, opts, demand)
+		})
+	}
+}
+
+// BenchmarkBrokerSendReceive measures the raw in-process provider hot
+// path: one persistent send plus one receive.
+func BenchmarkBrokerSendReceive(b *testing.B) {
+	bk, err := broker.New(broker.Options{Name: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bk.Close()
+	conn, err := bk.CreateConnection()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		b.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := jms.Queue("bench")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Send(jms.NewBytesMessage(payload), jms.DefaultSendOptions()); err != nil {
+			b.Fatal(err)
+		}
+		msg, err := c.Receive(time.Second)
+		if err != nil || msg == nil {
+			b.Fatalf("receive: %v, %v", msg, err)
+		}
+	}
+}
+
+// BenchmarkWireSendReceive measures the same hot path across the TCP
+// wire protocol (one loopback round trip per send and per receive) —
+// the cost of the protocol bridge relative to BenchmarkBrokerSendReceive.
+func BenchmarkWireSendReceive(b *testing.B) {
+	bk, err := broker.New(broker.Options{Name: "wirebench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bk.Close()
+	srv, err := wire.NewServer(bk, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+	conn, err := wire.NewFactory(srv.Addr()).CreateConnection()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		b.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := jms.Queue("bench")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Send(jms.NewBytesMessage(payload), jms.DefaultSendOptions()); err != nil {
+			b.Fatal(err)
+		}
+		msg, err := c.Receive(time.Second)
+		if err != nil || msg == nil {
+			b.Fatalf("receive: %v, %v", msg, err)
+		}
+	}
+}
+
+// BenchmarkHarnessOverhead measures a whole harness run per iteration,
+// bounding the fixed cost the harness adds around a test.
+func BenchmarkHarnessOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bk, err := broker.New(broker.Options{Name: "hb"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := harness.Config{
+			Name:        "overhead",
+			Destination: jms.Queue("q"),
+			Producers:   []harness.ProducerConfig{{ID: "p", Rate: 1000, BodySize: 64}},
+			Consumers:   []harness.ConsumerConfig{{ID: "c"}},
+			Warmup:      5 * time.Millisecond,
+			Run:         50 * time.Millisecond,
+			Warmdown:    20 * time.Millisecond,
+		}
+		tr, err := harness.NewRunner(bk, nil).Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Events) == 0 {
+			b.Fatal("empty trace")
+		}
+		_ = bk.Close()
+	}
+}
+
+// BenchmarkExpectationModels compares the three expiry expectation
+// models (§5 future work) on the same delay distribution.
+func BenchmarkExpectationModels(b *testing.B) {
+	tr := experiments.SyntheticTrace(30_000)
+	w, err := model.Extract(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := analysis.Analyze(tr, analysis.Options{HistogramBuckets: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := map[string]model.ExpectationModel{
+		"simple":    model.SimpleExpectation{MeanLatency: m.Delay.Mean},
+		"histogram": model.HistogramExpectation{Delays: m.DelayHistogram},
+		"normal": model.NormalExpectation{
+			MeanSeconds:   m.Delay.Mean.Seconds(),
+			StdDevSeconds: m.Delay.StdDev.Seconds(),
+		},
+	}
+	for name, em := range models {
+		b.Run(name, func(b *testing.B) {
+			opts := model.DefaultExpiryOptions()
+			opts.Model = em
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := model.CheckExpiredMessages(w, opts)
+				if len(res.Violations) > 0 {
+					b.Fatal("clean trace flagged")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+// Command jmsanalyze performs offline analysis of saved execution
+// traces: it merges per-node log files, checks every safety property of
+// the formal model, and prints the §3.2 performance measures:
+//
+//	jmsanalyze -logs node-a.log,node-b.log -name mytest -histogram
+//
+// Log files are the JSON-lines format written by the harness
+// (trace.Writer). Per-node clock offsets can be supplied as
+// node=offset pairs (Go duration syntax) when the logs were recorded on
+// unsynchronised machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/core"
+	"jmsharness/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jmsanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jmsanalyze", flag.ContinueOnError)
+	logs := fs.String("logs", "", "comma-separated trace log files (required)")
+	name := fs.String("name", "offline", "test name for the report")
+	offsetsFlag := fs.String("offsets", "", "per-node clock offsets, e.g. node-a=1.5ms,node-b=-200us")
+	histogram := fs.Bool("histogram", false, "print the delay histogram")
+	allowDup := fs.Bool("allow-duplicates", false, "relax the duplicate check (dups-ok consumers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logs == "" {
+		return fmt.Errorf("-logs is required")
+	}
+
+	var nodeLogs [][]trace.Event
+	for _, path := range strings.Split(*logs, ",") {
+		events, err := trace.ReadLogFile(strings.TrimSpace(path))
+		if err != nil {
+			return err
+		}
+		nodeLogs = append(nodeLogs, events)
+	}
+
+	offsets := map[string]time.Duration{}
+	if *offsetsFlag != "" {
+		for _, pair := range strings.Split(*offsetsFlag, ",") {
+			node, value, found := strings.Cut(pair, "=")
+			if !found {
+				return fmt.Errorf("malformed offset %q (want node=duration)", pair)
+			}
+			d, err := time.ParseDuration(value)
+			if err != nil {
+				return fmt.Errorf("offset for %s: %w", node, err)
+			}
+			offsets[node] = d
+		}
+	}
+
+	tr := trace.Merge(nodeLogs, offsets)
+	opts := core.DefaultOptions()
+	opts.Model.AllowDuplicates = *allowDup
+	if *histogram {
+		opts.Analysis = analysis.Options{HistogramBuckets: 30}
+	}
+	result, err := core.Analyze(*name, tr, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(result)
+	if *histogram && result.Performance.DelayHistogram != nil {
+		fmt.Println("--- delay histogram (seconds) ---")
+		fmt.Print(result.Performance.DelayHistogram.Render(50))
+	}
+	if !result.OK() {
+		return fmt.Errorf("trace violates the specification")
+	}
+	return nil
+}

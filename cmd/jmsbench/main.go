@@ -1,0 +1,140 @@
+// Command jmsbench regenerates every figure and reported result of the
+// paper's evaluation, printing the same rows/series the paper plots:
+//
+//	jmsbench -experiment fig2          # Figure 2: Provider I throughput
+//	jmsbench -experiment fig3          # Figure 3: Provider II throughput
+//	jmsbench -experiment all -scale 1  # everything, full-length runs
+//
+// Experiments: fig1 (ordering-violation detection), fig2, fig3,
+// measures (§3.2 performance block), compare (footnote-9 three-provider
+// comparison), conformance (fault-detection matrix), ingest (§4.1
+// DB-vs-streaming analysis). -scale multiplies the run durations;
+// 1.0 matches the defaults used in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jmsharness/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jmsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jmsbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, or all")
+	scale := fs.Float64("scale", 1.0, "duration multiplier for the timed experiments")
+	csv := fs.Bool("csv", false, "emit throughput sweeps as CSV instead of a table")
+	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() error{
+		"fig1": func() error { return runFig1(*scale) },
+		"fig2": func() error {
+			return runSweep("Figure 2: Provider I (flat saturation)", experiments.Figure2Options(*scale), *csv)
+		},
+		"fig3": func() error {
+			return runSweep("Figure 3: Provider II (overload droop)", experiments.Figure3Options(*scale), *csv)
+		},
+		"measures":    func() error { return runMeasures(*scale) },
+		"compare":     func() error { return runCompare(*scale) },
+		"conformance": func() error { return runConformance(*scale) },
+		"ingest":      func() error { return runIngest(*ingestEvents) },
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	runner, ok := runners[*experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return runner()
+}
+
+func runFig1(scale float64) error {
+	fmt.Println("=== Figure 1: message-ordering violation scenario ===")
+	res, err := experiments.Figure1(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ordering violations detected: %d\n", res.Violations)
+	if res.Example != "" {
+		fmt.Printf("example: %s\n", res.Example)
+	}
+	return nil
+}
+
+func runSweep(title string, opts experiments.SweepOptions, csv bool) error {
+	fmt.Printf("=== %s ===\n", title)
+	points, err := experiments.ThroughputSweep(opts)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Print(experiments.FormatThroughputCSV(points))
+		return nil
+	}
+	fmt.Print(experiments.FormatThroughputTable(
+		fmt.Sprintf("profile=%s msg=%dB run=%v", opts.Profile.Name, opts.MsgSize, opts.Run), points))
+	return nil
+}
+
+func runMeasures(scale float64) error {
+	fmt.Println("=== §3.2 performance measures ===")
+	res, err := experiments.PerformanceMeasures(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Measures.String())
+	fmt.Printf("conformance: ok=%t\n", res.Conformance.OK())
+	return nil
+}
+
+func runCompare(scale float64) error {
+	fmt.Println("=== footnote 9: three-provider comparison ===")
+	rows, err := experiments.ProviderComparison(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatComparison(rows))
+	if len(rows) == 3 && rows[2].SubscriberMsgs > 0 {
+		fmt.Printf("fastest/slowest subscriber throughput ratio: %.1fx\n",
+			rows[0].SubscriberMsgs/rows[2].SubscriberMsgs)
+	}
+	return nil
+}
+
+func runConformance(scale float64) error {
+	fmt.Println("=== fault-detection matrix (properties 1-5) ===")
+	rows, err := experiments.ConformanceMatrix(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatConformance(rows))
+	return nil
+}
+
+func runIngest(events int) error {
+	fmt.Println("=== §4.1: results-database ingest vs streaming aggregation ===")
+	res, err := experiments.IngestComparison(events)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatIngest(res))
+	return nil
+}

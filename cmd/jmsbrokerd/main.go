@@ -1,0 +1,77 @@
+// Command jmsbrokerd runs the reference JMS provider behind the wire
+// protocol, so harness daemons on other processes or machines can test
+// it over TCP:
+//
+//	jmsbrokerd -addr 127.0.0.1:7800 -profile provider-I
+//
+// With -wal the broker's stable store is a write-ahead log on disk, so
+// persistent messages and durable subscriptions survive process
+// restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/store"
+	"jmsharness/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jmsbrokerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jmsbrokerd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7800", "listen address")
+	profileName := fs.String("profile", "unlimited", "performance profile: unlimited, provider-I, provider-II, provider-A/B/C")
+	name := fs.String("name", "brokerd", "broker name (prefixes message IDs)")
+	walPath := fs.String("wal", "", "write-ahead log path for the stable store (empty: in-memory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, err := broker.ProfileByName(*profileName)
+	if err != nil {
+		return err
+	}
+	var stable store.Store
+	if *walPath != "" {
+		wal, err := store.OpenWAL(*walPath, store.WALOptions{Sync: true})
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		stable = wal
+	}
+	b, err := broker.New(broker.Options{Name: *name, Profile: profile, Stable: stable})
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+
+	srv, err := wire.NewServer(b, *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("jmsbrokerd: serving %s profile on %s\n", profile.Name, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve() }()
+	select {
+	case <-sig:
+		fmt.Println("jmsbrokerd: shutting down")
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}

@@ -1,0 +1,52 @@
+// Command jmsdaemon runs one test daemon (Figure 4 of the paper): it
+// accepts test configurations from the daemon prince over RPC, runs
+// them against the provider reached through the wire protocol, and
+// returns the execution logs:
+//
+//	jmsdaemon -addr 127.0.0.1:7901 -broker 127.0.0.1:7800 -name daemon-A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"jmsharness/internal/daemon"
+	"jmsharness/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jmsdaemon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jmsdaemon", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7901", "RPC listen address")
+	brokerAddr := fs.String("broker", "127.0.0.1:7800", "wire address of the provider under test")
+	name := fs.String("name", "", "daemon name (default: listen address)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = *addr
+	}
+
+	d := daemon.NewDaemon(*name, wire.NewFactory(*brokerAddr), nil)
+	bound, err := d.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("jmsdaemon: %s serving on %s, testing provider at %s\n", *name, bound, *brokerAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("jmsdaemon: shutting down")
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command jmsprince is the daemon prince (Figure 4 of the paper): it
+// schedules a suite of tests across the connected test daemons, keeps
+// them coordinated, collects and merges the logs (with NTP-style clock
+// correction), stores them in the results database, and prints the
+// conformance and performance reports:
+//
+//	jmsprince -daemons 127.0.0.1:7901,127.0.0.1:7902 -db results.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jmsharness/internal/core"
+	"jmsharness/internal/daemon"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jmsprince:", err)
+		os.Exit(1)
+	}
+}
+
+// suite returns the stock test schedule: the paper's harness "manages a
+// series of tests and analyses the results".
+func suite(runSecs float64) []harness.Config {
+	run := time.Duration(runSecs * float64(time.Second))
+	warm := run / 5
+	return []harness.Config{
+		{
+			Name:        "queue-basic",
+			Destination: jms.Queue("suite.orders"),
+			Producers: []harness.ProducerConfig{
+				{ID: "p1", Rate: 200, BodySize: 512},
+				{ID: "p2", Rate: 200, BodySize: 512},
+			},
+			Consumers: []harness.ConsumerConfig{{ID: "c1"}, {ID: "c2"}},
+			Warmup:    warm, Run: run, Warmdown: warm * 2,
+		},
+		{
+			Name:        "pubsub-durable",
+			Destination: jms.Topic("suite.prices"),
+			Producers:   []harness.ProducerConfig{{ID: "pub", Rate: 200, BodySize: 256}},
+			Consumers: []harness.ConsumerConfig{
+				{ID: "sub1"},
+				{ID: "dur1", Durable: true, SubName: "audit", ClientID: "suite-client"},
+			},
+			Warmup: warm, Run: run, Warmdown: warm * 2,
+		},
+		{
+			Name:        "transactions",
+			Destination: jms.Queue("suite.tx"),
+			Producers: []harness.ProducerConfig{
+				{ID: "txp", Rate: 200, BodySize: 256, Transacted: true, TxBatch: 5, AbortEvery: 4},
+			},
+			Consumers: []harness.ConsumerConfig{{ID: "txc", Transacted: true, TxBatch: 3}},
+			Warmup:    warm, Run: run, Warmdown: warm * 2,
+		},
+		{
+			Name:        "priority-and-expiry",
+			Destination: jms.Queue("suite.qos"),
+			Producers: []harness.ProducerConfig{
+				{ID: "qp", Rate: 300, BodySize: 128,
+					Priorities: []jms.Priority{1, 9},
+					TTLs:       []time.Duration{0, time.Millisecond}},
+			},
+			Consumers: []harness.ConsumerConfig{{ID: "qc"}},
+			Warmup:    warm, Run: run, Warmdown: warm * 2,
+		},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jmsprince", flag.ContinueOnError)
+	daemons := fs.String("daemons", "127.0.0.1:7901", "comma-separated daemon RPC addresses")
+	dbPath := fs.String("db", "", "write the results database (JSON) here")
+	runSecs := fs.Float64("run", 2.0, "run-period seconds per test")
+	allowDup := fs.Bool("allow-duplicates", false, "relax the duplicate check (dups-ok consumers)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	addrs := strings.Split(*daemons, ",")
+	prince, err := daemon.NewPrince(addrs, nil, nil)
+	if err != nil {
+		return err
+	}
+	defer prince.Close()
+	for _, d := range prince.Daemons() {
+		fmt.Printf("jmsprince: connected to %s\n", d.Name())
+	}
+	if err := prince.SyncClocks(8); err != nil {
+		return err
+	}
+	for _, d := range prince.Daemons() {
+		fmt.Printf("jmsprince: clock offset of %s: %v\n", d.Name(), d.Offset())
+	}
+
+	opts := core.DefaultOptions()
+	opts.Model.AllowDuplicates = *allowDup
+	failures := 0
+	for _, cfg := range suite(*runSecs) {
+		fmt.Printf("\njmsprince: scheduling %s\n", cfg.Name)
+		res, err := prince.RunAndAnalyze(cfg, opts)
+		if err != nil {
+			return fmt.Errorf("running %s: %w", cfg.Name, err)
+		}
+		fmt.Print(res)
+		if !res.OK() {
+			failures++
+		}
+	}
+	if *dbPath != "" {
+		if err := prince.DB().SaveFile(*dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("\njmsprince: results database written to %s\n", *dbPath)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d test(s) violated the specification", failures)
+	}
+	fmt.Println("\njmsprince: all tests conform")
+	return nil
+}

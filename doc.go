@@ -1,0 +1,25 @@
+// Package jmsharness is a Go reproduction of "Automated Analysis of
+// Java Message Service Providers" (Kuo & Palmer, Middleware 2001): a
+// test harness that automates correctness (conformance) and performance
+// testing of JMS-style message-oriented middleware.
+//
+// The system lives in internal/ packages:
+//
+//   - internal/jms — a Go messaging API with JMS 1.0.2 semantics;
+//   - internal/broker — the reference provider (queues, topics, durable
+//     subscriptions, transactions, priorities, expiry, persistence,
+//     crash injection, performance profiles);
+//   - internal/wire — a TCP wire protocol exposing any provider remotely;
+//   - internal/faults — fault-injecting providers for checker validation;
+//   - internal/ioa, internal/model — the formal I/O-automata model and
+//     the safety-property checkers (Definitions 1–7, Properties 1–5);
+//   - internal/analysis — the §3.2 performance measures;
+//   - internal/harness, internal/daemon — workload execution and the
+//     daemon-prince/test-daemon coordination of Figure 4;
+//   - internal/experiments — regeneration of every figure and reported
+//     result in the paper's evaluation.
+//
+// The benchmarks in bench_test.go (one per table/figure) and the
+// cmd/jmsbench tool print the same series the paper reports. See
+// README.md, DESIGN.md and EXPERIMENTS.md.
+package jmsharness

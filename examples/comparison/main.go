@@ -1,0 +1,58 @@
+// Comparison: the vendor-independent performance comparison the paper
+// builds the harness for — sweep demand against Provider I and
+// Provider II (Figures 2 and 3) and run the footnote-9 three-provider
+// comparison.
+//
+//	go run ./examples/comparison [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"jmsharness/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer demand points and shorter runs")
+	flag.Parse()
+	if err := run(*quick); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(quick bool) error {
+	scale := 1.0
+	if quick {
+		scale = 0.4
+	}
+	fig2 := experiments.Figure2Options(scale)
+	fig3 := experiments.Figure3Options(scale)
+	if quick {
+		fig2.DemandsBps = []float64{50_000, 150_000, 300_000, 500_000}
+		fig3.DemandsBps = fig2.DemandsBps
+	}
+
+	fmt.Println("Figure 2 — Provider I: both curves plateau at the sustainable rate")
+	points, err := experiments.ThroughputSweep(fig2)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatThroughputTable("provider-I, 1KiB messages", points))
+
+	fmt.Println("\nFigure 3 — Provider II: subscriber throughput drops when over-stressed")
+	points, err = experiments.ThroughputSweep(fig3)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatThroughputTable("provider-II, 2500B messages", points))
+
+	fmt.Println("\nFootnote 9 — three providers, up to a factor of 10 apart")
+	rows, err := experiments.ProviderComparison(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatComparison(rows))
+	return nil
+}

@@ -1,0 +1,78 @@
+// Crash recovery: the paper's §5 future work, implemented — crash the
+// provider in the middle of a run and verify, with the formal model,
+// that persistent delivery survives. The stable store is a real
+// write-ahead log on disk.
+//
+//	go run ./examples/crashrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/core"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "jms-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "broker.wal")
+	wal, err := store.OpenWAL(walPath, store.WALOptions{Sync: false})
+	if err != nil {
+		return err
+	}
+	defer wal.Close()
+
+	provider, err := broker.New(broker.Options{Name: "crashy", Stable: wal})
+	if err != nil {
+		return err
+	}
+	defer provider.Close()
+
+	cfg := harness.Config{
+		Name:        "crash-recovery",
+		Destination: jms.Queue("durable-orders"),
+		Producers: []harness.ProducerConfig{
+			{ID: "p1", Rate: 300, BodySize: 128, Mode: jms.Persistent},
+		},
+		Consumers:     []harness.ConsumerConfig{{ID: "c1"}},
+		Warmup:        50 * time.Millisecond,
+		Run:           600 * time.Millisecond,
+		Warmdown:      400 * time.Millisecond,
+		CrashAfter:    250 * time.Millisecond, // mid-run
+		CrashDowntime: 50 * time.Millisecond,
+	}
+	fmt.Println("running persistent workload with a crash injected mid-run...")
+	result, err := core.RunAndAnalyze(provider, cfg, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d sends, %d delivers, %d crash(es)\n",
+		result.Stats.Sends, result.Stats.Delivers, result.Stats.Crashes)
+	fmt.Print(result.Conformance)
+
+	req, _ := result.Conformance.Result(model.PropRequiredMessages)
+	if !result.OK() {
+		return fmt.Errorf("persistent delivery violated across the crash")
+	}
+	fmt.Printf("\nevery required persistent message was delivered despite the crash (%s)\n", req.Detail)
+	fmt.Printf("WAL on disk: %s\n", walPath)
+	return nil
+}

@@ -1,0 +1,153 @@
+// Quickstart: the messaging API in five minutes — point-to-point
+// queues, publish/subscribe topics, durable subscribers, transactions
+// and priorities against the in-process reference provider.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A provider is anything implementing jms.ConnectionFactory; the
+	// reference broker runs in-process.
+	provider, err := broker.New(broker.Options{Name: "quickstart"})
+	if err != nil {
+		return err
+	}
+	defer provider.Close()
+
+	conn, err := provider.CreateConnection()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetClientID("quickstart-client"); err != nil {
+		return err
+	}
+	if err := conn.Start(); err != nil {
+		return err
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		return err
+	}
+
+	// --- Point-to-point: a queue ---
+	orders := jms.Queue("orders")
+	producer, err := sess.CreateProducer(orders)
+	if err != nil {
+		return err
+	}
+	receiver, err := sess.CreateConsumer(orders)
+	if err != nil {
+		return err
+	}
+	msg := jms.NewTextMessage("order #1: 12 widgets")
+	msg.SetProperty("customer", jms.Str("acme"))
+	if err := producer.Send(msg, jms.DefaultSendOptions()); err != nil {
+		return err
+	}
+	got, err := receiver.Receive(time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("queue     %s -> %q (customer=%s)\n", got.ID, got.Body.(jms.TextBody), got.StringProperty("customer"))
+
+	// --- Priorities: urgent messages overtake ---
+	for _, p := range []jms.Priority{2, 9, 5} {
+		m := jms.NewTextMessage(fmt.Sprintf("priority %d", p))
+		if err := producer.Send(m, jms.SendOptions{Mode: jms.Persistent, Priority: p}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 3; i++ {
+		m, err := receiver.Receive(time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("priority  delivered %q\n", m.Body.(jms.TextBody))
+	}
+
+	// --- Publish/subscribe: a topic with a durable subscriber ---
+	prices := jms.Topic("prices")
+	durable, err := sess.CreateDurableSubscriber(prices, "price-audit")
+	if err != nil {
+		return err
+	}
+	publisher, err := sess.CreateProducer(prices)
+	if err != nil {
+		return err
+	}
+	if err := publisher.Send(jms.NewTextMessage("AU: 42.0"), jms.DefaultSendOptions()); err != nil {
+		return err
+	}
+	tick, err := durable.Receive(time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pubsub    durable subscriber got %q\n", tick.Body.(jms.TextBody))
+	// The subscription outlives the subscriber: messages published while
+	// it is closed are retained.
+	if err := durable.Close(); err != nil {
+		return err
+	}
+	if err := publisher.Send(jms.NewTextMessage("AU: 43.5"), jms.DefaultSendOptions()); err != nil {
+		return err
+	}
+	reopened, err := sess.CreateDurableSubscriber(prices, "price-audit")
+	if err != nil {
+		return err
+	}
+	missed, err := reopened.Receive(time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pubsub    retained while inactive: %q\n", missed.Body.(jms.TextBody))
+
+	// --- Transactions: all-or-nothing sends ---
+	txSess, err := conn.CreateSession(true, 0)
+	if err != nil {
+		return err
+	}
+	txProducer, err := txSess.CreateProducer(orders)
+	if err != nil {
+		return err
+	}
+	if err := txProducer.Send(jms.NewTextMessage("rolled back"), jms.DefaultSendOptions()); err != nil {
+		return err
+	}
+	if err := txSess.Rollback(); err != nil {
+		return err
+	}
+	if err := txProducer.Send(jms.NewTextMessage("committed"), jms.DefaultSendOptions()); err != nil {
+		return err
+	}
+	if err := txSess.Commit(); err != nil {
+		return err
+	}
+	final, err := receiver.Receive(time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tx        only the committed send arrives: %q\n", final.Body.(jms.TextBody))
+	if extra, err := receiver.Receive(100 * time.Millisecond); err != nil {
+		return err
+	} else if extra != nil {
+		return fmt.Errorf("unexpected extra message %v", extra)
+	}
+	fmt.Println("done")
+	return nil
+}

@@ -1,0 +1,138 @@
+// Request/reply: the classic MOM pattern built from temporary queues
+// and the ReplyTo/CorrelationID headers — a worker pool serving a
+// request queue, clients getting correlated replies on private
+// temporary queues, all over the TCP wire protocol.
+//
+//	go run ./examples/requestreply
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const service = jms.Queue("shout-service")
+
+// worker consumes requests and replies in upper case.
+func worker(id int, factory jms.ConnectionFactory, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		log.Printf("worker %d: %v", id, err)
+		return
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		log.Printf("worker %d: %v", id, err)
+		return
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		log.Printf("worker %d: %v", id, err)
+		return
+	}
+	cons, err := sess.CreateConsumer(service)
+	if err != nil {
+		log.Printf("worker %d: %v", id, err)
+		return
+	}
+	replier, err := sess.CreateProducer(nil)
+	if err != nil {
+		log.Printf("worker %d: %v", id, err)
+		return
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		req, err := cons.Receive(50 * time.Millisecond)
+		if err != nil {
+			return
+		}
+		if req == nil {
+			continue
+		}
+		text := strings.ToUpper(string(req.Body.(jms.TextBody)))
+		resp := jms.NewTextMessage(fmt.Sprintf("%s (worker %d)", text, id))
+		if err := jms.Reply(replier, req, resp, jms.DefaultSendOptions()); err != nil {
+			log.Printf("worker %d: reply: %v", id, err)
+			return
+		}
+	}
+}
+
+func run() error {
+	b, err := broker.New(broker.Options{Name: "rr"})
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	srv, err := wire.NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	defer srv.Close()
+	factory := wire.NewFactory(srv.Addr())
+	fmt.Printf("broker on %s\n", srv.Addr())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go worker(i, factory, stop, &wg)
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	// Client with its own connection and a private temporary reply
+	// queue.
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		return err
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		return err
+	}
+	requestor, err := jms.NewRequestor(sess, service)
+	if err != nil {
+		return err
+	}
+	defer requestor.Close()
+	fmt.Printf("replies arrive on %s\n\n", requestor.ReplyTo())
+
+	for _, word := range []string{"hello", "message-oriented middleware", "reply"} {
+		reply, err := requestor.Request(jms.NewTextMessage(word), jms.DefaultSendOptions(), 3*time.Second)
+		if err != nil {
+			return err
+		}
+		if reply == nil {
+			return fmt.Errorf("request %q timed out", word)
+		}
+		fmt.Printf("%-32q -> %q\n", word, reply.Body.(jms.TextBody))
+	}
+	fmt.Println("\ndone")
+	return nil
+}

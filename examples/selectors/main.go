@@ -1,0 +1,128 @@
+// Selectors: route messages with JMS message selectors (the SQL-92
+// conditional subset) — header-based and property-based filtering,
+// three-valued logic, and durable subscriptions with selectors.
+//
+//	go run ./examples/selectors
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func send(p jms.Producer, text string, pri jms.Priority, props map[string]jms.Value) error {
+	m := jms.NewTextMessage(text)
+	for k, v := range props {
+		m.SetProperty(k, v)
+	}
+	return p.Send(m, jms.SendOptions{Mode: jms.Persistent, Priority: pri})
+}
+
+func drain(name string, c jms.Consumer) error {
+	for {
+		msg, err := c.Receive(100 * time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if msg == nil {
+			return nil
+		}
+		fmt.Printf("%-22s <- %q\n", name, msg.Body.(jms.TextBody))
+	}
+}
+
+func run() error {
+	provider, err := broker.New(broker.Options{Name: "selectors"})
+	if err != nil {
+		return err
+	}
+	defer provider.Close()
+	conn, err := provider.CreateConnection()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		return err
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		return err
+	}
+
+	orders := jms.Topic("orders")
+	// Three filtered views of one topic.
+	bigEU, err := sess.CreateConsumerWithSelector(orders,
+		"region = 'EU' AND amount >= 1000")
+	if err != nil {
+		return err
+	}
+	urgent, err := sess.CreateConsumerWithSelector(orders,
+		"JMSPriority >= 7 OR rush = TRUE")
+	if err != nil {
+		return err
+	}
+	discounted, err := sess.CreateConsumerWithSelector(orders,
+		"code LIKE 'PROMO-%' AND discount BETWEEN 0.1 AND 0.5")
+	if err != nil {
+		return err
+	}
+
+	p, err := sess.CreateProducer(orders)
+	if err != nil {
+		return err
+	}
+	sends := []error{
+		send(p, "big EU order", 4, map[string]jms.Value{
+			"region": jms.Str("EU"), "amount": jms.Int64(5000)}),
+		send(p, "small EU order", 4, map[string]jms.Value{
+			"region": jms.Str("EU"), "amount": jms.Int64(50)}),
+		send(p, "urgent US order", 9, map[string]jms.Value{
+			"region": jms.Str("US"), "amount": jms.Int64(10)}),
+		send(p, "rush flag order", 2, map[string]jms.Value{
+			"region": jms.Str("AU"), "rush": jms.Bool(true)}),
+		send(p, "promo order", 4, map[string]jms.Value{
+			"code": jms.Str("PROMO-42"), "discount": jms.Float64(0.25)}),
+		send(p, "expired promo", 4, map[string]jms.Value{
+			"code": jms.Str("PROMO-43"), "discount": jms.Float64(0.8)}),
+	}
+	for _, err := range sends {
+		if err != nil {
+			return err
+		}
+	}
+	if err := drain("big-EU", bigEU); err != nil {
+		return err
+	}
+	if err := drain("urgent", urgent); err != nil {
+		return err
+	}
+	if err := drain("discounted", discounted); err != nil {
+		return err
+	}
+
+	// Three-valued logic: a missing property is unknown, not false —
+	// "discount IS NULL" selects messages with no discount at all.
+	nullCheck, err := sess.CreateConsumerWithSelector(orders, "discount IS NULL")
+	if err != nil {
+		return err
+	}
+	if err := send(p, "no discount field", 4, nil); err != nil {
+		return err
+	}
+	if err := drain("discount-is-null", nullCheck); err != nil {
+		return err
+	}
+	fmt.Println("done")
+	return nil
+}

@@ -1,0 +1,47 @@
+package jmsharness_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end and checks
+// it exits cleanly with its expected closing output. Each example is an
+// executable piece of documentation; this keeps them honest.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every example binary")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string
+	}{
+		{dir: "quickstart", want: "done"},
+		{dir: "selectors", want: "done"},
+		{dir: "requestreply", want: "done"},
+		{dir: "conformance", want: "Detected"},
+		{dir: "crashrecovery", want: "despite the crash"},
+		{dir: "distributed", want: "distributed test conforms"},
+		{dir: "comparison", args: []string{"-quick"}, want: "factor of 10"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", "./examples/" + c.dir}, c.args...)
+			cmd := exec.Command("go", args...)
+			cmd.Dir = "."
+			start := time.Now()
+			output, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed after %v: %v\n%s", c.dir, time.Since(start), err, output)
+			}
+			if !strings.Contains(string(output), c.want) {
+				t.Errorf("example %s output missing %q:\n%s", c.dir, c.want, output)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module jmsharness
+
+go 1.22

@@ -1,0 +1,272 @@
+package jmsharness_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/wire"
+)
+
+// buildBinaries compiles the command-line tools once per test run.
+func buildBinaries(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Dir = "."
+		if output, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, output)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+// freePort reserves a loopback port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// waitListening polls until addr accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never started listening", addr)
+}
+
+// startDaemonProcess launches a binary and registers cleanup.
+func startDaemonProcess(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	return cmd
+}
+
+// TestBinariesEndToEnd runs the real multi-process deployment: a wire
+// broker, two test daemons, and the prince executing its stock suite —
+// the paper's Figure 4 as five OS processes.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bins := buildBinaries(t, "jmsbrokerd", "jmsdaemon", "jmsprince")
+
+	brokerAddr := freePort(t)
+	startDaemonProcess(t, bins["jmsbrokerd"], "-addr", brokerAddr, "-profile", "unlimited")
+	waitListening(t, brokerAddr)
+
+	daemonA := freePort(t)
+	daemonB := freePort(t)
+	startDaemonProcess(t, bins["jmsdaemon"], "-addr", daemonA, "-broker", brokerAddr, "-name", "daemon-A")
+	startDaemonProcess(t, bins["jmsdaemon"], "-addr", daemonB, "-broker", brokerAddr, "-name", "daemon-B")
+	waitListening(t, daemonA)
+	waitListening(t, daemonB)
+
+	dbPath := filepath.Join(t.TempDir(), "results.json")
+	prince := exec.Command(bins["jmsprince"],
+		"-daemons", daemonA+","+daemonB,
+		"-db", dbPath,
+		"-run", "0.4",
+	)
+	output, err := prince.CombinedOutput()
+	if err != nil {
+		t.Fatalf("jmsprince failed: %v\n%s", err, output)
+	}
+	text := string(output)
+	if !strings.Contains(text, "all tests conform") {
+		t.Errorf("prince output missing conformance verdict:\n%s", text)
+	}
+	for _, want := range []string{"queue-basic", "pubsub-durable", "transactions", "priority-and-expiry", "delivery-integrity"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prince output missing %q", want)
+		}
+	}
+	if fi, err := os.Stat(dbPath); err != nil || fi.Size() == 0 {
+		t.Errorf("results database not written: %v", err)
+	}
+}
+
+// TestAnalyzeBinaryOnSavedLogs exercises the offline path: a harness
+// run's trace saved as per-node JSON-lines logs, analysed by
+// jmsanalyze.
+func TestAnalyzeBinaryOnSavedLogs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bins := buildBinaries(t, "jmsanalyze")
+
+	b, err := broker.New(broker.Options{Name: "offline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := harness.Config{
+		Name:        "offline",
+		Node:        "node-a",
+		Destination: jms.Queue("offq"),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 300, BodySize: 64}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1"}},
+		Warmup:      20 * time.Millisecond,
+		Run:         200 * time.Millisecond,
+		Warmdown:    150 * time.Millisecond,
+	}
+	tr, err := harness.NewRunner(b, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "node-a.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for _, ev := range tr.Events {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bins["jmsanalyze"], "-logs", logPath, "-name", "offline", "-histogram")
+	output, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("jmsanalyze failed: %v\n%s", err, output)
+	}
+	text := string(output)
+	for _, want := range []string{"delivery-integrity", "OK", "msgs/s", "delay histogram"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("jmsanalyze output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestBenchBinaryQuick smoke-tests the figure regenerator at tiny scale.
+func TestBenchBinaryQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bins := buildBinaries(t, "jmsbench")
+	cmd := exec.Command(bins["jmsbench"], "-experiment", "fig1", "-scale", "0.5")
+	output, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("jmsbench failed: %v\n%s", err, output)
+	}
+	if !strings.Contains(string(output), "ordering violations detected") {
+		t.Errorf("unexpected output:\n%s", output)
+	}
+}
+
+// TestBrokerdWALPersistence restarts jmsbrokerd on the same WAL and
+// checks a persistent message survives the process restart.
+func TestBrokerdWALPersistence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bins := buildBinaries(t, "jmsbrokerd")
+	walPath := filepath.Join(t.TempDir(), "broker.wal")
+
+	runBroker := func() (*exec.Cmd, string) {
+		addr := freePort(t)
+		cmd := startDaemonProcess(t, bins["jmsbrokerd"], "-addr", addr, "-wal", walPath)
+		waitListening(t, addr)
+		return cmd, addr
+	}
+
+	cmd1, addr1 := runBroker()
+	func() {
+		factory := wireFactory(addr1)
+		conn, err := factory.CreateConnection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		sess, err := conn.CreateSession(false, jms.AckAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := sess.CreateProducer(jms.Queue("persistq"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Send(jms.NewTextMessage("survives restarts"), jms.DefaultSendOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	_ = cmd1.Process.Kill()
+	_, _ = cmd1.Process.Wait()
+
+	_, addr2 := runBroker()
+	factory := wireFactory(addr2)
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(jms.Queue("persistq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Receive(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg == nil {
+		t.Fatal("persistent message lost across process restart")
+	}
+	if msg.Body.(jms.TextBody) != "survives restarts" {
+		t.Errorf("recovered %v", msg.Body)
+	}
+	fmt.Println("persistent message recovered across real process restart")
+}
+
+// wireFactory builds a wire client factory (indirection keeps the test
+// imports tidy).
+func wireFactory(addr string) jms.ConnectionFactory {
+	return wire.NewFactory(addr)
+}

@@ -1,0 +1,316 @@
+// Package analysis computes the paper's §3.2 performance measures from
+// an execution trace. The harness tests safety properties but cannot
+// test liveness from a finite trace, so "instead of testing for
+// liveness, the JMS test harness measures the performances of the JMS
+// implementations" — a trivial provider that never delivers passes every
+// safety check but shows zero throughput here.
+//
+// Measures taken, following the paper:
+//
+//   - producer throughput: messages/second and body bytes/second;
+//   - consumer throughput: messages/second and body bytes/second;
+//   - message delay: time from the start of the send/publish call to the
+//     start of delivery (min, max, mean, standard deviation);
+//   - fairness: "the standard deviation of the per-producer or
+//     per-consumer mean delay".
+//
+// A running test has warm-up, run and warm-down periods; performance is
+// measured only against the run period (correctness applies to all
+// three). Producer throughput counts sends completing in the run window;
+// consumer throughput counts deliveries occurring in the run window;
+// delay and fairness are computed over messages produced in the run
+// window.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jmsharness/internal/stats"
+	"jmsharness/internal/trace"
+)
+
+// Throughput is a message-rate measure.
+type Throughput struct {
+	// Count is the number of messages.
+	Count int64
+	// Bytes is the total body bytes.
+	Bytes int64
+	// PerSecond is messages per second over the measurement window.
+	PerSecond float64
+	// BytesPerSecond is body bytes per second.
+	BytesPerSecond float64
+}
+
+// String renders the throughput.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.1f msgs/s (%.0f b/s, n=%d)", t.PerSecond, t.BytesPerSecond, t.Count)
+}
+
+// DelayStats summarises message delays. The percentiles are computed by
+// the batch analyzer only (the streaming aggregator keeps O(1) state
+// per identity and reports them as zero).
+type DelayStats struct {
+	N      int64
+	Min    time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	StdDev time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+}
+
+// String renders the delay statistics.
+func (d DelayStats) String() string {
+	s := fmt.Sprintf("n=%d min=%s max=%s mean=%s sd=%s", d.N, d.Min, d.Max, d.Mean, d.StdDev)
+	if d.P50 > 0 {
+		s += fmt.Sprintf(" p50=%s p95=%s p99=%s", d.P50, d.P95, d.P99)
+	}
+	return s
+}
+
+// Fairness measures provider bias across producers and consumers:
+// "Unfairness is defined as the standard deviation of the per-producer
+// or per-consumer mean delay."
+type Fairness struct {
+	// ProducerUnfairness is the stddev across per-producer mean delays.
+	ProducerUnfairness time.Duration
+	// ConsumerUnfairness is the stddev across per-consumer mean delays.
+	ConsumerUnfairness time.Duration
+	// PerProducerMean and PerConsumerMean expose the underlying means.
+	PerProducerMean map[string]time.Duration
+	PerConsumerMean map[string]time.Duration
+}
+
+// Measures is the full performance report for one test run.
+type Measures struct {
+	// Window is the measurement window (the run period when phase
+	// markers are present, otherwise the whole trace).
+	WindowStart time.Time
+	WindowEnd   time.Time
+	// Producer and Consumer are the aggregate throughputs.
+	Producer Throughput
+	Consumer Throughput
+	// PerProducer and PerConsumer break throughput down by identity.
+	PerProducer map[string]Throughput
+	PerConsumer map[string]Throughput
+	// Delay summarises message delays.
+	Delay DelayStats
+	// DelayHistogram is the empirical delay distribution in seconds,
+	// input to the §5 expectation models.
+	DelayHistogram *stats.Histogram
+	// Fairness measures provider bias.
+	Fairness Fairness
+}
+
+// Window returns the measurement window length.
+func (m *Measures) Window() time.Duration { return m.WindowEnd.Sub(m.WindowStart) }
+
+// String renders a report block.
+func (m *Measures) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window           %s\n", m.Window())
+	fmt.Fprintf(&b, "producer         %s\n", m.Producer)
+	fmt.Fprintf(&b, "consumer         %s\n", m.Consumer)
+	fmt.Fprintf(&b, "delay            %s\n", m.Delay)
+	fmt.Fprintf(&b, "unfairness       producer=%s consumer=%s\n",
+		m.Fairness.ProducerUnfairness, m.Fairness.ConsumerUnfairness)
+	return b.String()
+}
+
+// Options configures Analyze.
+type Options struct {
+	// WholeTrace measures over the entire trace even when run-phase
+	// markers are present.
+	WholeTrace bool
+	// HistogramBuckets and HistogramMaxSeconds shape the delay
+	// histogram; zero values choose 50 buckets over [0, 4×mean-ish
+	// max). If no deliveries exist the histogram is nil.
+	HistogramBuckets    int
+	HistogramMaxSeconds float64
+}
+
+// Analyze computes the §3.2 performance measures for a merged trace.
+func Analyze(tr *trace.Trace, opts Options) (*Measures, error) {
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("analysis: empty trace")
+	}
+	start := tr.Events[0].Time
+	end := tr.Events[len(tr.Events)-1].Time
+	// Without phase markers the window spans the whole trace and is
+	// closed at both ends; with markers it is the half-open run period.
+	halfOpen := false
+	if !opts.WholeTrace {
+		if s, e, ok := tr.PhaseBounds(trace.PhaseRun); ok {
+			start, end = s, e
+			halfOpen = true
+		}
+	}
+	window := end.Sub(start)
+	if window <= 0 {
+		return nil, fmt.Errorf("analysis: empty measurement window [%v, %v]", start, end)
+	}
+
+	m := &Measures{
+		WindowStart: start,
+		WindowEnd:   end,
+		PerProducer: map[string]Throughput{},
+		PerConsumer: map[string]Throughput{},
+	}
+
+	inWindow := func(t time.Time) bool {
+		if t.Before(start) {
+			return false
+		}
+		if halfOpen {
+			return t.Before(end)
+		}
+		return !t.After(end)
+	}
+
+	// First pass: index send starts for delay computation and determine
+	// which messages were produced in the window.
+	sendStart := map[string]time.Time{}
+	producedInWindow := map[string]bool{}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Type {
+		case trace.EventSendStart:
+			sendStart[ev.MsgUID] = ev.Time
+		case trace.EventSendEnd:
+			if ev.Err == "" && inWindow(ev.Time) {
+				producedInWindow[ev.MsgUID] = true
+			}
+		}
+	}
+
+	var delaySummary stats.Summary
+	delaysByProducer := map[string]*stats.Summary{}
+	delaysByConsumer := map[string]*stats.Summary{}
+	var delays []float64
+
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Type {
+		case trace.EventSendEnd:
+			if ev.Err != "" || !inWindow(ev.Time) {
+				continue
+			}
+			agg := m.PerProducer[ev.Producer]
+			agg.Count++
+			agg.Bytes += int64(ev.BodyBytes)
+			m.PerProducer[ev.Producer] = agg
+			m.Producer.Count++
+			m.Producer.Bytes += int64(ev.BodyBytes)
+
+		case trace.EventDeliver:
+			if inWindow(ev.Time) {
+				agg := m.PerConsumer[ev.Consumer]
+				agg.Count++
+				agg.Bytes += int64(ev.BodyBytes)
+				m.PerConsumer[ev.Consumer] = agg
+				m.Consumer.Count++
+				m.Consumer.Bytes += int64(ev.BodyBytes)
+			}
+			// Delay and fairness: messages produced during the run.
+			if !producedInWindow[ev.MsgUID] {
+				continue
+			}
+			st, ok := sendStart[ev.MsgUID]
+			if !ok {
+				continue
+			}
+			d := ev.Time.Sub(st).Seconds()
+			delaySummary.Add(d)
+			delays = append(delays, d)
+			ps, ok := delaysByProducer[producerOf(ev.MsgUID)]
+			if !ok {
+				ps = &stats.Summary{}
+				delaysByProducer[producerOf(ev.MsgUID)] = ps
+			}
+			ps.Add(d)
+			cs, ok := delaysByConsumer[ev.Consumer]
+			if !ok {
+				cs = &stats.Summary{}
+				delaysByConsumer[ev.Consumer] = cs
+			}
+			cs.Add(d)
+		}
+	}
+
+	secs := window.Seconds()
+	finalize := func(t *Throughput) {
+		t.PerSecond = float64(t.Count) / secs
+		t.BytesPerSecond = float64(t.Bytes) / secs
+	}
+	finalize(&m.Producer)
+	finalize(&m.Consumer)
+	for k, v := range m.PerProducer {
+		finalize(&v)
+		m.PerProducer[k] = v
+	}
+	for k, v := range m.PerConsumer {
+		finalize(&v)
+		m.PerConsumer[k] = v
+	}
+
+	m.Delay = DelayStats{
+		N:      delaySummary.N(),
+		Min:    time.Duration(delaySummary.Min() * float64(time.Second)),
+		Max:    time.Duration(delaySummary.Max() * float64(time.Second)),
+		Mean:   time.Duration(delaySummary.Mean() * float64(time.Second)),
+		StdDev: time.Duration(delaySummary.StdDev() * float64(time.Second)),
+	}
+	if len(delays) > 0 {
+		m.Delay.P50 = time.Duration(stats.Quantile(delays, 0.50) * float64(time.Second))
+		m.Delay.P95 = time.Duration(stats.Quantile(delays, 0.95) * float64(time.Second))
+		m.Delay.P99 = time.Duration(stats.Quantile(delays, 0.99) * float64(time.Second))
+	}
+
+	m.Fairness = Fairness{
+		PerProducerMean: map[string]time.Duration{},
+		PerConsumerMean: map[string]time.Duration{},
+	}
+	var producerMeans, consumerMeans []float64
+	for p, s := range delaysByProducer {
+		producerMeans = append(producerMeans, s.Mean())
+		m.Fairness.PerProducerMean[p] = time.Duration(s.Mean() * float64(time.Second))
+	}
+	for c, s := range delaysByConsumer {
+		consumerMeans = append(consumerMeans, s.Mean())
+		m.Fairness.PerConsumerMean[c] = time.Duration(s.Mean() * float64(time.Second))
+	}
+	m.Fairness.ProducerUnfairness = time.Duration(stats.StdDevOf(producerMeans) * float64(time.Second))
+	m.Fairness.ConsumerUnfairness = time.Duration(stats.StdDevOf(consumerMeans) * float64(time.Second))
+
+	if len(delays) > 0 {
+		buckets := opts.HistogramBuckets
+		if buckets <= 0 {
+			buckets = 50
+		}
+		maxSec := opts.HistogramMaxSeconds
+		if maxSec <= 0 {
+			maxSec = delaySummary.Max() * 1.01
+			if maxSec <= 0 {
+				maxSec = 0.001
+			}
+		}
+		h := stats.NewHistogram(0, maxSec, buckets)
+		for _, d := range delays {
+			h.Add(d)
+		}
+		m.DelayHistogram = h
+	}
+	return m, nil
+}
+
+// producerOf extracts the producer from a message UID
+// ("producer/seq").
+func producerOf(uid string) string {
+	if i := strings.LastIndexByte(uid, '/'); i >= 0 {
+		return uid[:i]
+	}
+	return uid
+}

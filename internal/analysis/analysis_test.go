@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/trace"
+)
+
+// buildTrace creates a trace with phase markers: warmup [0,1s), run
+// [1s,3s), warmdown [3s,4s). During the run, p1 sends 20 msgs (one per
+// 100ms, 500 bytes each) delivered to c1 with 10ms delay, and p2 sends
+// 10 msgs delivered with 30ms delay to c2.
+func buildTrace() *trace.Trace {
+	epoch := time.Unix(2000, 0)
+	at := func(ms int) time.Time { return epoch.Add(time.Duration(ms) * time.Millisecond) }
+	var events []trace.Event
+	seq := int64(0)
+	add := func(ev trace.Event) {
+		seq++
+		ev.Node = "n"
+		ev.Seq = seq
+		events = append(events, ev)
+	}
+	phase := func(name string, ms int) {
+		add(trace.Event{Type: trace.EventPhase, Detail: name, Time: at(ms)})
+	}
+	send := func(p string, n int, ms, bytes int) string {
+		uid := trace.MessageUID(p, int64(n))
+		add(trace.Event{Type: trace.EventSendStart, Time: at(ms), Producer: p,
+			MsgUID: uid, MsgSeq: int64(n), Dest: "queue:q", BodyBytes: bytes,
+			Mode: jms.Persistent, Priority: 4})
+		add(trace.Event{Type: trace.EventSendEnd, Time: at(ms + 1), Producer: p,
+			MsgUID: uid, MsgSeq: int64(n), Dest: "queue:q", BodyBytes: bytes,
+			Mode: jms.Persistent, Priority: 4})
+		return uid
+	}
+	deliver := func(c, uid string, ms, bytes int) {
+		add(trace.Event{Type: trace.EventDeliver, Time: at(ms), Consumer: c,
+			MsgUID: uid, Endpoint: "queue:q", Dest: "queue:q", BodyBytes: bytes,
+			Mode: jms.Persistent, Priority: 4})
+	}
+
+	phase(trace.PhaseWarmup, 0)
+	// Warm-up traffic must not be measured.
+	uid := send("p1", 1, 500, 500)
+	deliver("c1", uid, 510, 500)
+
+	phase(trace.PhaseRun, 1000)
+	n := 1
+	for i := 0; i < 20; i++ {
+		n++
+		uid := send("p1", n, 1000+100*i, 500)
+		deliver("c1", uid, 1000+100*i+10, 500)
+	}
+	for i := 0; i < 10; i++ {
+		n++
+		uid := send("p2", n, 1050+100*i, 200)
+		deliver("c2", uid, 1050+100*i+30, 200)
+	}
+	phase(trace.PhaseWarmdown, 3000)
+	phase(trace.PhaseDone, 4000)
+	return trace.Merge([][]trace.Event{events}, nil)
+}
+
+func TestAnalyzeThroughput(t *testing.T) {
+	m, err := Analyze(buildTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Window() != 2*time.Second {
+		t.Errorf("window = %v", m.Window())
+	}
+	if m.Producer.Count != 30 {
+		t.Errorf("producer count = %d, want 30 (warm-up excluded)", m.Producer.Count)
+	}
+	if got := m.Producer.PerSecond; math.Abs(got-15) > 0.01 {
+		t.Errorf("producer rate = %v, want 15/s", got)
+	}
+	wantBytes := float64(20*500+10*200) / 2
+	if got := m.Producer.BytesPerSecond; math.Abs(got-wantBytes) > 0.5 {
+		t.Errorf("producer bytes/s = %v, want %v", got, wantBytes)
+	}
+	if m.Consumer.Count != 30 {
+		t.Errorf("consumer count = %d", m.Consumer.Count)
+	}
+	if len(m.PerProducer) != 2 || m.PerProducer["p1"].Count != 20 || m.PerProducer["p2"].Count != 10 {
+		t.Errorf("per-producer = %v", m.PerProducer)
+	}
+	if len(m.PerConsumer) != 2 {
+		t.Errorf("per-consumer = %v", m.PerConsumer)
+	}
+}
+
+func TestAnalyzeDelay(t *testing.T) {
+	m, err := Analyze(buildTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delay.N != 30 {
+		t.Errorf("delay n = %d", m.Delay.N)
+	}
+	// p1 delays ~9ms (10ms minus the 1ms send-call duration offset from
+	// send-start), p2 ~29ms. Means: (20*9 + 10*29)/30 ≈ 15.67ms... delay
+	// is measured from send-start, so exactly 10ms and 30ms.
+	if m.Delay.Min != 10*time.Millisecond {
+		t.Errorf("min delay = %v", m.Delay.Min)
+	}
+	if m.Delay.Max != 30*time.Millisecond {
+		t.Errorf("max delay = %v", m.Delay.Max)
+	}
+	wantMean := time.Duration((20*10 + 10*30) / 30 * float64(time.Millisecond))
+	if diff := m.Delay.Mean - wantMean; diff > time.Millisecond || diff < -time.Millisecond {
+		t.Errorf("mean delay = %v, want ~%v", m.Delay.Mean, wantMean)
+	}
+}
+
+func TestAnalyzeFairness(t *testing.T) {
+	m, err := Analyze(buildTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fairness.PerProducerMean["p1"] != 10*time.Millisecond {
+		t.Errorf("p1 mean = %v", m.Fairness.PerProducerMean["p1"])
+	}
+	if m.Fairness.PerProducerMean["p2"] != 30*time.Millisecond {
+		t.Errorf("p2 mean = %v", m.Fairness.PerProducerMean["p2"])
+	}
+	// stddev of {10ms, 30ms} = 14.14ms (sample, n-1).
+	want := time.Duration(math.Sqrt(2) * 10 * float64(time.Millisecond))
+	if diff := m.Fairness.ProducerUnfairness - want; diff > time.Millisecond || diff < -time.Millisecond {
+		t.Errorf("producer unfairness = %v, want ~%v", m.Fairness.ProducerUnfairness, want)
+	}
+	if m.Fairness.ConsumerUnfairness <= 0 {
+		t.Error("consumer unfairness should be positive")
+	}
+}
+
+func TestAnalyzeHistogram(t *testing.T) {
+	m, err := Analyze(buildTrace(), Options{HistogramBuckets: 10, HistogramMaxSeconds: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DelayHistogram == nil {
+		t.Fatal("no histogram")
+	}
+	if m.DelayHistogram.Total() != 30 {
+		t.Errorf("histogram total = %d", m.DelayHistogram.Total())
+	}
+	// CDF at 20ms should cover the 20 fast messages only.
+	if cdf := m.DelayHistogram.CDF(0.020); math.Abs(cdf-2.0/3) > 0.05 {
+		t.Errorf("CDF(20ms) = %v", cdf)
+	}
+}
+
+func TestAnalyzeWholeTrace(t *testing.T) {
+	m, err := Analyze(buildTrace(), Options{WholeTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Producer.Count != 31 {
+		t.Errorf("whole-trace producer count = %d, want 31 (warm-up included)", m.Producer.Count)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(&trace.Trace{}, Options{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestAnalyzeNoPhaseMarkers(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	events := []trace.Event{
+		{Node: "n", Seq: 1, Time: epoch, Type: trace.EventSendStart, MsgUID: "p/1", Producer: "p", BodyBytes: 10},
+		{Node: "n", Seq: 2, Time: epoch.Add(time.Millisecond), Type: trace.EventSendEnd, MsgUID: "p/1", Producer: "p", BodyBytes: 10},
+		{Node: "n", Seq: 3, Time: epoch.Add(time.Second), Type: trace.EventDeliver, MsgUID: "p/1", Consumer: "c", Endpoint: "queue:q", BodyBytes: 10},
+	}
+	m, err := Analyze(trace.Merge([][]trace.Event{events}, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Producer.Count != 1 || m.Consumer.Count != 1 {
+		t.Errorf("counts = %d/%d", m.Producer.Count, m.Consumer.Count)
+	}
+}
+
+func TestMeasuresString(t *testing.T) {
+	m, err := Analyze(buildTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+// TestStreamAggregatorMatchesBatch cross-checks the §4.1 streaming path
+// against the batch analyzer on the same trace.
+func TestStreamAggregatorMatchesBatch(t *testing.T) {
+	tr := buildTrace()
+	batch, err := Analyze(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewStreamAggregator()
+	for _, ev := range tr.Events {
+		agg.Observe(ev)
+	}
+	streamed := agg.Finalize()
+
+	if streamed.Producer.Count != batch.Producer.Count {
+		t.Errorf("producer count: stream %d, batch %d", streamed.Producer.Count, batch.Producer.Count)
+	}
+	if streamed.Consumer.Count != batch.Consumer.Count {
+		t.Errorf("consumer count: stream %d, batch %d", streamed.Consumer.Count, batch.Consumer.Count)
+	}
+	if math.Abs(streamed.Producer.PerSecond-batch.Producer.PerSecond) > 0.01 {
+		t.Errorf("producer rate: stream %v, batch %v", streamed.Producer.PerSecond, batch.Producer.PerSecond)
+	}
+	if streamed.Delay.N != batch.Delay.N {
+		t.Errorf("delay n: stream %d, batch %d", streamed.Delay.N, batch.Delay.N)
+	}
+	if d := streamed.Delay.Mean - batch.Delay.Mean; d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("delay mean: stream %v, batch %v", streamed.Delay.Mean, batch.Delay.Mean)
+	}
+	if d := streamed.Fairness.ProducerUnfairness - batch.Fairness.ProducerUnfairness; d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("unfairness: stream %v, batch %v",
+			streamed.Fairness.ProducerUnfairness, batch.Fairness.ProducerUnfairness)
+	}
+	if streamed.PerProducer["p1"].Count != batch.PerProducer["p1"].Count {
+		t.Error("per-producer counts disagree")
+	}
+}
+
+func TestStreamAggregatorFailedSend(t *testing.T) {
+	agg := NewStreamAggregator()
+	epoch := time.Unix(0, 0)
+	agg.Observe(trace.Event{Type: trace.EventSendStart, MsgUID: "p/1", Producer: "p", Time: epoch})
+	agg.Observe(trace.Event{Type: trace.EventSendEnd, MsgUID: "p/1", Producer: "p", Err: "boom", Time: epoch.Add(time.Millisecond)})
+	m := agg.Finalize()
+	if m.Producer.Count != 0 {
+		t.Errorf("failed send counted: %d", m.Producer.Count)
+	}
+}
+
+func TestProducerOf(t *testing.T) {
+	if producerOf("p1/42") != "p1" {
+		t.Error("producerOf basic")
+	}
+	if producerOf("weird") != "weird" {
+		t.Error("producerOf fallback")
+	}
+	if producerOf("a/b/3") != "a/b" {
+		t.Error("producerOf nested")
+	}
+}
+
+func TestAnalyzeDelayPercentiles(t *testing.T) {
+	m, err := Analyze(buildTrace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 deliveries at 10ms, 10 at 30ms: p50 = 10ms, p95/p99 = 30ms.
+	if m.Delay.P50 != 10*time.Millisecond {
+		t.Errorf("p50 = %v", m.Delay.P50)
+	}
+	if m.Delay.P95 != 30*time.Millisecond || m.Delay.P99 != 30*time.Millisecond {
+		t.Errorf("p95/p99 = %v/%v", m.Delay.P95, m.Delay.P99)
+	}
+	if m.Delay.P50 > m.Delay.P95 || m.Delay.P95 > m.Delay.P99 {
+		t.Error("percentiles not monotone")
+	}
+}

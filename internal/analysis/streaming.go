@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"time"
+
+	"jmsharness/internal/stats"
+	"jmsharness/internal/trace"
+)
+
+// StreamAggregator computes the performance measures in a single
+// streaming pass, event by event, without materialising the trace. It
+// implements the fix the paper's §4.1 arrives at: "For performance
+// testing, a database is not really necessary, as only simple
+// statistical information needs to be gathered. This information can be
+// computed by the daemon prince and then inserted into the database."
+//
+// The aggregator keeps O(producers + consumers + in-flight messages)
+// state: per-identity Welford summaries plus a send-time index that is
+// dropped as messages are matched. Events may arrive in any interleaving
+// that preserves each message's send-before-deliver order.
+type StreamAggregator struct {
+	windowStart time.Time
+	windowEnd   time.Time
+	haveWindow  bool
+
+	sendStart map[string]time.Time
+	produced  map[string]bool
+
+	producer    Throughput
+	consumer    Throughput
+	perProducer map[string]*Throughput
+	perConsumer map[string]*Throughput
+
+	delay       stats.Summary
+	byProducer  map[string]*stats.Summary
+	byConsumer  map[string]*stats.Summary
+	firstTime   time.Time
+	lastTime    time.Time
+	phaseActive bool
+	sawRunPhase bool
+}
+
+// NewStreamAggregator returns an empty aggregator. If the event stream
+// contains run-phase markers, measurement is restricted to the run
+// window; otherwise the whole stream is measured.
+func NewStreamAggregator() *StreamAggregator {
+	return &StreamAggregator{
+		sendStart:   map[string]time.Time{},
+		produced:    map[string]bool{},
+		perProducer: map[string]*Throughput{},
+		perConsumer: map[string]*Throughput{},
+		byProducer:  map[string]*stats.Summary{},
+		byConsumer:  map[string]*stats.Summary{},
+	}
+}
+
+// Observe feeds one event into the aggregator. Events must arrive in
+// per-node order (the natural order of a log being streamed in).
+func (a *StreamAggregator) Observe(ev trace.Event) {
+	if a.firstTime.IsZero() || ev.Time.Before(a.firstTime) {
+		a.firstTime = ev.Time
+	}
+	if ev.Time.After(a.lastTime) {
+		a.lastTime = ev.Time
+	}
+	switch ev.Type {
+	case trace.EventPhase:
+		switch ev.Detail {
+		case trace.PhaseRun:
+			// The stream cannot know in advance that a run phase is
+			// coming, so warm-up events were aggregated; discard them
+			// now and measure from here. Send-start times are kept: a
+			// run delivery of a warm-up message still needs its delay
+			// anchor (though it won't count, having not been produced
+			// in-window).
+			a.produced = map[string]bool{}
+			a.producer = Throughput{}
+			a.consumer = Throughput{}
+			a.perProducer = map[string]*Throughput{}
+			a.perConsumer = map[string]*Throughput{}
+			a.delay = stats.Summary{}
+			a.byProducer = map[string]*stats.Summary{}
+			a.byConsumer = map[string]*stats.Summary{}
+			a.windowStart = ev.Time
+			a.phaseActive = true
+			a.sawRunPhase = true
+			a.haveWindow = true
+		case trace.PhaseWarmdown, trace.PhaseDone:
+			if a.phaseActive {
+				a.windowEnd = ev.Time
+				a.phaseActive = false
+			}
+		}
+
+	case trace.EventSendStart:
+		a.sendStart[ev.MsgUID] = ev.Time
+
+	case trace.EventSendEnd:
+		if ev.Err != "" {
+			delete(a.sendStart, ev.MsgUID)
+			return
+		}
+		if !a.inWindow(ev.Time) {
+			return
+		}
+		a.produced[ev.MsgUID] = true
+		a.producer.Count++
+		a.producer.Bytes += int64(ev.BodyBytes)
+		tp := a.perProducer[ev.Producer]
+		if tp == nil {
+			tp = &Throughput{}
+			a.perProducer[ev.Producer] = tp
+		}
+		tp.Count++
+		tp.Bytes += int64(ev.BodyBytes)
+
+	case trace.EventDeliver:
+		if a.inWindow(ev.Time) {
+			a.consumer.Count++
+			a.consumer.Bytes += int64(ev.BodyBytes)
+			tc := a.perConsumer[ev.Consumer]
+			if tc == nil {
+				tc = &Throughput{}
+				a.perConsumer[ev.Consumer] = tc
+			}
+			tc.Count++
+			tc.Bytes += int64(ev.BodyBytes)
+		}
+		if !a.produced[ev.MsgUID] {
+			return
+		}
+		st, ok := a.sendStart[ev.MsgUID]
+		if !ok {
+			return
+		}
+		d := ev.Time.Sub(st).Seconds()
+		a.delay.Add(d)
+		ps := a.byProducer[producerOf(ev.MsgUID)]
+		if ps == nil {
+			ps = &stats.Summary{}
+			a.byProducer[producerOf(ev.MsgUID)] = ps
+		}
+		ps.Add(d)
+		cs := a.byConsumer[ev.Consumer]
+		if cs == nil {
+			cs = &stats.Summary{}
+			a.byConsumer[ev.Consumer] = cs
+		}
+		cs.Add(d)
+	}
+}
+
+// inWindow reports whether t falls in the measurement window. Before any
+// phase marker is seen, everything is in-window (whole-stream mode).
+func (a *StreamAggregator) inWindow(t time.Time) bool {
+	if !a.sawRunPhase {
+		return true
+	}
+	if t.Before(a.windowStart) {
+		return false
+	}
+	if !a.phaseActive && !a.windowEnd.IsZero() && !t.Before(a.windowEnd) {
+		return false
+	}
+	return true
+}
+
+// Finalize computes the measures from the aggregated state.
+func (a *StreamAggregator) Finalize() *Measures {
+	start, end := a.firstTime, a.lastTime
+	if a.sawRunPhase {
+		start = a.windowStart
+		if !a.windowEnd.IsZero() {
+			end = a.windowEnd
+		}
+	}
+	window := end.Sub(start)
+	secs := window.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	m := &Measures{
+		WindowStart: start,
+		WindowEnd:   end,
+		Producer:    a.producer,
+		Consumer:    a.consumer,
+		PerProducer: map[string]Throughput{},
+		PerConsumer: map[string]Throughput{},
+	}
+	fin := func(t Throughput) Throughput {
+		t.PerSecond = float64(t.Count) / secs
+		t.BytesPerSecond = float64(t.Bytes) / secs
+		return t
+	}
+	m.Producer = fin(m.Producer)
+	m.Consumer = fin(m.Consumer)
+	for k, v := range a.perProducer {
+		m.PerProducer[k] = fin(*v)
+	}
+	for k, v := range a.perConsumer {
+		m.PerConsumer[k] = fin(*v)
+	}
+	m.Delay = DelayStats{
+		N:      a.delay.N(),
+		Min:    time.Duration(a.delay.Min() * float64(time.Second)),
+		Max:    time.Duration(a.delay.Max() * float64(time.Second)),
+		Mean:   time.Duration(a.delay.Mean() * float64(time.Second)),
+		StdDev: time.Duration(a.delay.StdDev() * float64(time.Second)),
+	}
+	m.Fairness = Fairness{
+		PerProducerMean: map[string]time.Duration{},
+		PerConsumerMean: map[string]time.Duration{},
+	}
+	var pMeans, cMeans []float64
+	for p, s := range a.byProducer {
+		pMeans = append(pMeans, s.Mean())
+		m.Fairness.PerProducerMean[p] = time.Duration(s.Mean() * float64(time.Second))
+	}
+	for c, s := range a.byConsumer {
+		cMeans = append(cMeans, s.Mean())
+		m.Fairness.PerConsumerMean[c] = time.Duration(s.Mean() * float64(time.Second))
+	}
+	m.Fairness.ProducerUnfairness = time.Duration(stats.StdDevOf(pMeans) * float64(time.Second))
+	m.Fairness.ConsumerUnfairness = time.Duration(stats.StdDevOf(cMeans) * float64(time.Second))
+	return m
+}

@@ -1,0 +1,689 @@
+// Package broker is the reference JMS provider: a complete in-memory
+// message broker implementing the jms API, with queues, topics, durable
+// subscriptions, transacted sessions, the three acknowledgement modes,
+// ten-level priority delivery, time-to-live expiry, and persistent
+// delivery backed by a stable store (internal/store).
+//
+// Two capabilities exist purely so the provider can serve as the system
+// under test for the paper's harness:
+//
+//   - Performance profiles (Profile) impose configurable service rates
+//     and latency on the send and delivery paths, reproducing the
+//     markedly different throughput shapes of the paper's Figures 2–3.
+//   - Crash injection (Crash/Restart) discards all volatile state while
+//     preserving the stable store, implementing the §5 future-work
+//     feature ("initiate a system or program crash and then recover")
+//     needed to fully test persistent delivery mode.
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jmsharness/internal/clock"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/selector"
+	"jmsharness/internal/stats"
+	"jmsharness/internal/store"
+	"jmsharness/internal/trace"
+)
+
+// Options configures a Broker.
+type Options struct {
+	// Name labels the broker and prefixes provider-assigned message IDs.
+	Name string
+	// Profile shapes send/delivery performance; the zero profile (or
+	// Unlimited()) applies no shaping.
+	Profile Profile
+	// Stable is the stable store for persistent messages and durable
+	// subscriptions. Nil means an in-memory stable store.
+	Stable store.Store
+	// Clock is the broker's time source. Nil means the real clock.
+	Clock clock.Clock
+	// Seed seeds the latency-jitter generator.
+	Seed uint64
+}
+
+// Broker is an in-memory JMS provider. It implements
+// jms.ConnectionFactory. A Broker is safe for concurrent use.
+type Broker struct {
+	name    string
+	profile Profile
+	clk     clock.Clock
+	stable  store.Store
+
+	sendBucket    *stats.TokenBucket
+	deliverBucket *stats.TokenBucket
+
+	jitterMu sync.Mutex
+	jitter   *stats.RNG
+
+	msgSeq      atomic.Int64
+	consumerSeq atomic.Int64
+	backlog     atomic.Int64
+	expired     atomic.Int64
+
+	mu         sync.Mutex
+	queues     map[string]*mailbox
+	topics     map[string]map[string]*subscription // topic -> endpoint -> sub
+	subs       map[string]*subscription            // endpoint -> sub
+	conns      map[*connection]struct{}
+	clientIDs  map[string]*connection
+	tempOwners map[string]*connection // temporary queue name -> owner
+	crashed    bool
+	closed     bool
+}
+
+// subscription is the state of one topic subscription (durable or the
+// artificial subscription of a non-durable subscriber).
+type subscription struct {
+	endpoint  string
+	topicName string
+	durable   bool
+	clientID  string
+	subName   string
+	mb        *mailbox
+	active    bool // a consumer currently holds the subscription
+	// sel filters published messages into the subscription; selExpr is
+	// its source form (part of a durable subscription's identity).
+	sel     *selector.Selector
+	selExpr string
+}
+
+// accepts reports whether the subscription's selector admits msg.
+func (s *subscription) accepts(msg *jms.Message) bool {
+	return s.sel == nil || s.sel.Matches(msg)
+}
+
+// New returns a started broker.
+func New(opts Options) (*Broker, error) {
+	if err := opts.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Name == "" {
+		opts.Name = "broker"
+	}
+	if opts.Stable == nil {
+		opts.Stable = store.NewMemory()
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real()
+	}
+	b := &Broker{
+		name:       opts.Name,
+		profile:    opts.Profile,
+		clk:        opts.Clock,
+		stable:     opts.Stable,
+		jitter:     stats.NewRNG(opts.Seed),
+		queues:     map[string]*mailbox{},
+		topics:     map[string]map[string]*subscription{},
+		subs:       map[string]*subscription{},
+		conns:      map[*connection]struct{}{},
+		clientIDs:  map[string]*connection{},
+		tempOwners: map[string]*connection{},
+	}
+	now := func() time.Time { return b.clk.Now() }
+	if opts.Profile.SendRate > 0 {
+		bucket, err := stats.NewTokenBucket(opts.Profile.SendRate, opts.Profile.SendBurst, now)
+		if err != nil {
+			return nil, err
+		}
+		b.sendBucket = bucket
+	}
+	if opts.Profile.DeliverRate > 0 {
+		bucket, err := stats.NewTokenBucket(opts.Profile.DeliverRate, opts.Profile.DeliverBurst, now)
+		if err != nil {
+			return nil, err
+		}
+		b.deliverBucket = bucket
+	}
+	if err := b.recoverLocked(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+var _ jms.ConnectionFactory = (*Broker)(nil)
+
+// Name returns the broker's name.
+func (b *Broker) Name() string { return b.name }
+
+// Profile returns the broker's performance profile.
+func (b *Broker) Profile() Profile { return b.profile }
+
+// Pending returns the broker-wide count of buffered messages.
+func (b *Broker) Pending() int { return int(b.backlog.Load()) }
+
+// ExpiredDropped returns the count of messages dropped because they
+// expired before delivery.
+func (b *Broker) ExpiredDropped() int64 { return b.expired.Load() }
+
+// CreateConnection implements jms.ConnectionFactory.
+func (b *Broker) CreateConnection() (jms.Connection, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	if b.crashed {
+		return nil, fmt.Errorf("broker %s: crashed and not restarted", b.name)
+	}
+	c := newConnection(b)
+	b.conns[c] = struct{}{}
+	return c, nil
+}
+
+// Crash simulates a provider failure: every connection, session and
+// consumer is forcibly closed and all volatile state (non-persistent
+// messages, non-durable subscriptions, in-flight transactions) is lost.
+// The stable store is untouched. The broker rejects new connections
+// until Restart.
+func (b *Broker) Crash() {
+	b.mu.Lock()
+	if b.crashed || b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.crashed = true
+	conns := make([]*connection, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.conns = map[*connection]struct{}{}
+	b.clientIDs = map[string]*connection{}
+	b.tempOwners = map[string]*connection{}
+	queues := b.queues
+	subs := b.subs
+	b.queues = map[string]*mailbox{}
+	b.topics = map[string]map[string]*subscription{}
+	b.subs = map[string]*subscription{}
+	b.mu.Unlock()
+
+	for _, c := range conns {
+		c.forceClose()
+	}
+	for _, mb := range queues {
+		mb.close()
+	}
+	for _, s := range subs {
+		s.mb.close()
+	}
+	b.backlog.Store(0)
+}
+
+// Restart recovers the broker after a Crash: durable subscriptions and
+// pending persistent messages are rebuilt from the stable store.
+func (b *Broker) Restart() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	if !b.crashed {
+		return fmt.Errorf("broker %s: restart without crash", b.name)
+	}
+	b.crashed = false
+	return b.recoverLocked()
+}
+
+// recoverLocked rebuilds durable state from the stable store. Callers
+// hold b.mu (or have exclusive access during New).
+func (b *Broker) recoverLocked() error {
+	st, err := b.stable.Snapshot()
+	if err != nil {
+		return fmt.Errorf("broker %s: recovering: %w", b.name, err)
+	}
+	now := b.clk.Now()
+	for _, rec := range st.Subscriptions {
+		var sel *selector.Selector
+		if rec.Selector != "" {
+			sel, err = selector.Parse(rec.Selector)
+			if err != nil {
+				return fmt.Errorf("broker %s: recovering subscription %s: %w", b.name, rec.Key(), err)
+			}
+		}
+		sub := &subscription{
+			endpoint:  trace.EndpointForDurable(rec.ClientID, rec.Name),
+			topicName: rec.Topic,
+			durable:   true,
+			clientID:  rec.ClientID,
+			subName:   rec.Name,
+			mb:        newMailbox(),
+			sel:       sel,
+			selExpr:   rec.Selector,
+		}
+		b.subs[sub.endpoint] = sub
+		if b.topics[rec.Topic] == nil {
+			b.topics[rec.Topic] = map[string]*subscription{}
+		}
+		b.topics[rec.Topic][sub.endpoint] = sub
+	}
+	for ep, msgs := range st.Messages {
+		var mb *mailbox
+		if dest, err := jms.ParseDestination(ep); err == nil && dest.Kind() == jms.KindQueue {
+			mb = b.queueLocked(dest.Name())
+		} else if sub, ok := b.subs[ep]; ok {
+			mb = sub.mb
+		} else {
+			// Stored messages for an endpoint that no longer exists
+			// (e.g. an unsubscribed durable subscription); drop them.
+			for _, sm := range msgs {
+				if err := b.stable.RemoveMessage(ep, sm.ID); err != nil {
+					return fmt.Errorf("broker %s: dropping orphan record: %w", b.name, err)
+				}
+			}
+			continue
+		}
+		for _, sm := range msgs {
+			mb.push(entry{msg: sm.Msg, rec: sm.ID, persisted: true, enqueuedAt: now})
+			b.backlog.Add(1)
+		}
+	}
+	return nil
+}
+
+// Close shuts the broker down permanently.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conns := make([]*connection, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.conns = map[*connection]struct{}{}
+	queues := b.queues
+	subs := b.subs
+	b.mu.Unlock()
+	for _, c := range conns {
+		c.forceClose()
+	}
+	for _, mb := range queues {
+		mb.close()
+	}
+	for _, s := range subs {
+		s.mb.close()
+	}
+	return nil
+}
+
+// queueLocked returns (creating if needed) the queue mailbox. Callers
+// hold b.mu.
+func (b *Broker) queueLocked(name string) *mailbox {
+	mb, ok := b.queues[name]
+	if !ok {
+		mb = newMailbox()
+		b.queues[name] = mb
+	}
+	return mb
+}
+
+// nextMessageID assigns a provider message identifier.
+func (b *Broker) nextMessageID() string {
+	return fmt.Sprintf("ID:%s-%d", b.name, b.msgSeq.Add(1))
+}
+
+// nextID assigns a broker-unique identifier with the given prefix.
+func (b *Broker) nextID(prefix string) string {
+	return fmt.Sprintf("%s-%s%d", b.name, prefix, b.consumerSeq.Add(1))
+}
+
+// nextConsumerID assigns a broker-unique consumer identifier.
+func (b *Broker) nextConsumerID() string { return b.nextID("c") }
+
+// throttleSend blocks the caller for the send path's service time.
+func (b *Broker) throttleSend() {
+	if b.sendBucket == nil {
+		return
+	}
+	if wait := b.sendBucket.Reserve(); wait > 0 {
+		b.clk.Sleep(wait)
+	}
+}
+
+// throttleDeliver blocks the caller for the delivery path's service
+// time, including the backlog penalty.
+func (b *Broker) throttleDeliver() {
+	var wait time.Duration
+	if b.deliverBucket != nil {
+		wait = b.deliverBucket.Reserve()
+	}
+	if p := b.profile.BacklogPenalty; p > 0 {
+		wait += time.Duration(b.backlog.Load()) * p
+	}
+	if wait > 0 {
+		b.clk.Sleep(wait)
+	}
+}
+
+// deliveryLatency returns the minimum time a message must have spent in
+// the broker before delivery, including jitter.
+func (b *Broker) deliveryLatency() time.Duration {
+	lat := b.profile.BaseLatency
+	if j := b.profile.LatencyJitter; j > 0 {
+		b.jitterMu.Lock()
+		lat += time.Duration(b.jitter.Float64() * float64(j))
+		b.jitterMu.Unlock()
+	}
+	return lat
+}
+
+// send routes one message to its destination's mailbox(es). The message
+// is stamped with its provider ID, timestamp and expiration. It is
+// called on the producer's goroutine after throttling.
+func (b *Broker) send(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
+	if dest == nil {
+		return fmt.Errorf("%w: no destination", jms.ErrInvalidDestination)
+	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	now := b.clk.Now()
+	m := msg.Clone()
+	m.ID = b.nextMessageID()
+	m.Destination = dest
+	m.Mode = opts.Mode
+	m.Priority = opts.Priority
+	m.Timestamp = now
+	if opts.TTL > 0 {
+		m.Expiration = now.Add(opts.TTL)
+	} else {
+		m.Expiration = time.Time{}
+	}
+	// Reflect the provider-assigned headers back into the caller's
+	// message, as JMS send does.
+	msg.ID = m.ID
+	msg.Destination = dest
+	msg.Mode = opts.Mode
+	msg.Priority = opts.Priority
+	msg.Timestamp = m.Timestamp
+	msg.Expiration = m.Expiration
+
+	b.throttleSend()
+
+	switch dest.Kind() {
+	case jms.KindQueue:
+		return b.enqueueToQueue(dest.Name(), m, now)
+	case jms.KindTopic:
+		return b.publishToTopic(dest.Name(), m, now)
+	default:
+		return fmt.Errorf("%w: kind %v", jms.ErrInvalidDestination, dest.Kind())
+	}
+}
+
+func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) error {
+	b.mu.Lock()
+	if b.closed || b.crashed {
+		b.mu.Unlock()
+		return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	mb := b.queueLocked(name)
+	b.mu.Unlock()
+
+	e := entry{msg: m, enqueuedAt: now}
+	if m.Mode == jms.Persistent {
+		ep := trace.EndpointForQueue(name)
+		rec, err := b.stable.AddMessage(ep, m)
+		if err != nil {
+			return fmt.Errorf("broker %s: persisting to %s: %w", b.name, ep, err)
+		}
+		e.rec, e.persisted = rec, true
+	}
+	mb.push(e)
+	b.backlog.Add(1)
+	return nil
+}
+
+func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) error {
+	b.mu.Lock()
+	if b.closed || b.crashed {
+		b.mu.Unlock()
+		return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	subs := make([]*subscription, 0, len(b.topics[name]))
+	for _, s := range b.topics[name] {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		if !s.accepts(m) {
+			continue
+		}
+		copyMsg := m.Clone()
+		e := entry{msg: copyMsg, enqueuedAt: now}
+		if m.Mode == jms.Persistent && s.durable {
+			rec, err := b.stable.AddMessage(s.endpoint, copyMsg)
+			if err != nil {
+				return fmt.Errorf("broker %s: persisting to %s: %w", b.name, s.endpoint, err)
+			}
+			e.rec, e.persisted = rec, true
+		}
+		s.mb.push(e)
+		b.backlog.Add(1)
+	}
+	return nil
+}
+
+// ackEntry finalises consumption of one delivered entry, removing its
+// stable record if persistent.
+func (b *Broker) ackEntry(endpoint string, e entry) error {
+	if !e.persisted {
+		return nil
+	}
+	if err := b.stable.RemoveMessage(endpoint, e.rec); err != nil {
+		return fmt.Errorf("broker %s: acking on %s: %w", b.name, endpoint, err)
+	}
+	return nil
+}
+
+// dropExpired accounts for entries dropped by a mailbox pop because
+// their time-to-live elapsed.
+func (b *Broker) dropExpired(endpoint string, dropped []entry) {
+	for _, e := range dropped {
+		b.backlog.Add(-1)
+		b.expired.Add(1)
+		if e.persisted {
+			// Best effort: an expired persistent message's record is
+			// removed; failure only delays cleanup until the next
+			// recovery, it cannot affect correctness.
+			_ = b.stable.RemoveMessage(endpoint, e.rec)
+		}
+	}
+}
+
+// connectionClosed removes c from the broker's registries.
+func (b *Broker) connectionClosed(c *connection) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.conns, c)
+	if c.clientID != "" && b.clientIDs[c.clientID] == c {
+		delete(b.clientIDs, c.clientID)
+	}
+}
+
+// createTempQueue allocates a connection-scoped temporary queue.
+func (b *Broker) createTempQueue(c *connection) (string, error) {
+	name := "TEMP." + b.nextID("tq")
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.crashed {
+		return "", fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	b.queues[name] = newMailbox()
+	b.tempOwners[name] = c
+	return name, nil
+}
+
+// tempQueueOwner returns the owning connection of a temporary queue.
+func (b *Broker) tempQueueOwner(name string) (*connection, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.tempOwners[name]
+	return c, ok
+}
+
+// deleteTempQueue removes a temporary queue and its pending messages
+// when its owning connection closes.
+func (b *Broker) deleteTempQueue(name string) {
+	b.mu.Lock()
+	mb, ok := b.queues[name]
+	delete(b.queues, name)
+	delete(b.tempOwners, name)
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	drained := mb.drain()
+	b.backlog.Add(int64(-len(drained)))
+	ep := trace.EndpointForQueue(name)
+	for _, e := range drained {
+		if e.persisted {
+			// Best effort, as for expired persistent messages.
+			_ = b.stable.RemoveMessage(ep, e.rec)
+		}
+	}
+	mb.close()
+}
+
+// registerClientID claims id for connection c.
+func (b *Broker) registerClientID(id string, c *connection) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if holder, ok := b.clientIDs[id]; ok && holder != c {
+		return jms.ErrClientIDInUse
+	}
+	b.clientIDs[id] = c
+	return nil
+}
+
+// openNonDurable creates the artificial subscription backing a
+// non-durable subscriber.
+func (b *Broker) openNonDurable(topicName, consumerID string, sel *selector.Selector, selExpr string) (*subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.crashed {
+		return nil, fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	sub := &subscription{
+		endpoint:  trace.EndpointForNonDurable(consumerID),
+		topicName: topicName,
+		mb:        newMailbox(),
+		active:    true,
+		sel:       sel,
+		selExpr:   selExpr,
+	}
+	b.subs[sub.endpoint] = sub
+	if b.topics[topicName] == nil {
+		b.topics[topicName] = map[string]*subscription{}
+	}
+	b.topics[topicName][sub.endpoint] = sub
+	return sub, nil
+}
+
+// closeNonDurable terminates a non-durable subscription, dropping its
+// pending messages.
+func (b *Broker) closeNonDurable(sub *subscription) {
+	b.mu.Lock()
+	delete(b.subs, sub.endpoint)
+	if subs, ok := b.topics[sub.topicName]; ok {
+		delete(subs, sub.endpoint)
+	}
+	b.mu.Unlock()
+	drained := sub.mb.drain()
+	b.backlog.Add(int64(-len(drained)))
+	sub.mb.close()
+}
+
+// openDurable creates or re-activates the durable subscription
+// (clientID, name) on topicName. Changing the topic or the selector of
+// an existing subscription name is equivalent to unsubscribing and
+// resubscribing, as in JMS.
+func (b *Broker) openDurable(clientID, name, topicName string, sel *selector.Selector, selExpr string) (*subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.crashed {
+		return nil, fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	ep := trace.EndpointForDurable(clientID, name)
+	if sub, ok := b.subs[ep]; ok {
+		if sub.active {
+			return nil, jms.ErrDurableActive
+		}
+		if sub.topicName == topicName && sub.selExpr == selExpr {
+			sub.active = true
+			return sub, nil
+		}
+		// Topic or selector changed: delete the old subscription and
+		// fall through to create a fresh one.
+		if err := b.deleteDurableLocked(sub); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.stable.AddSubscription(store.SubscriptionRecord{
+		ClientID: clientID, Name: name, Topic: topicName, Selector: selExpr,
+	}); err != nil {
+		return nil, fmt.Errorf("broker %s: recording subscription: %w", b.name, err)
+	}
+	sub := &subscription{
+		endpoint:  ep,
+		topicName: topicName,
+		durable:   true,
+		clientID:  clientID,
+		subName:   name,
+		mb:        newMailbox(),
+		active:    true,
+		sel:       sel,
+		selExpr:   selExpr,
+	}
+	b.subs[ep] = sub
+	if b.topics[topicName] == nil {
+		b.topics[topicName] = map[string]*subscription{}
+	}
+	b.topics[topicName][ep] = sub
+	return sub, nil
+}
+
+// deactivateDurable releases the active claim on a durable subscription;
+// the subscription keeps accumulating messages.
+func (b *Broker) deactivateDurable(sub *subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub.active = false
+}
+
+// unsubscribeDurable deletes the durable subscription (clientID, name).
+func (b *Broker) unsubscribeDurable(clientID, name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep := trace.EndpointForDurable(clientID, name)
+	sub, ok := b.subs[ep]
+	if !ok {
+		return jms.ErrUnknownSubscription
+	}
+	if sub.active {
+		return jms.ErrDurableActive
+	}
+	return b.deleteDurableLocked(sub)
+}
+
+// deleteDurableLocked removes a durable subscription and its state.
+// Callers hold b.mu.
+func (b *Broker) deleteDurableLocked(sub *subscription) error {
+	if err := b.stable.RemoveSubscription(sub.clientID, sub.subName); err != nil {
+		return fmt.Errorf("broker %s: deleting subscription: %w", b.name, err)
+	}
+	delete(b.subs, sub.endpoint)
+	if subs, ok := b.topics[sub.topicName]; ok {
+		delete(subs, sub.endpoint)
+	}
+	drained := sub.mb.drain()
+	b.backlog.Add(int64(-len(drained)))
+	sub.mb.close()
+	return nil
+}

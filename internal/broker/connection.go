@@ -1,0 +1,972 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/selector"
+	"jmsharness/internal/trace"
+)
+
+// connection implements jms.Connection for the in-memory broker.
+type connection struct {
+	b *Broker
+
+	mu         sync.Mutex
+	clientID   string
+	started    bool
+	startWake  chan struct{}
+	sessions   map[*session]struct{}
+	tempQueues []string
+	closed     bool
+	done       chan struct{}
+}
+
+func newConnection(b *Broker) *connection {
+	return &connection{
+		b:         b,
+		startWake: make(chan struct{}),
+		sessions:  map[*session]struct{}{},
+		done:      make(chan struct{}),
+	}
+}
+
+var _ jms.Connection = (*connection)(nil)
+
+// SetClientID implements jms.Connection.
+func (c *connection) SetClientID(id string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return jms.ErrClosed
+	}
+	if c.clientID != "" {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: client ID already set to %q", jms.ErrInvalidArgument, c.clientID)
+	}
+	if len(c.sessions) > 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: client ID must be set before creating sessions", jms.ErrInvalidArgument)
+	}
+	c.mu.Unlock()
+	if err := c.b.registerClientID(id, c); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.clientID = id
+	c.mu.Unlock()
+	return nil
+}
+
+// ClientID implements jms.Connection.
+func (c *connection) ClientID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clientID
+}
+
+// CreateSession implements jms.Connection.
+func (c *connection) CreateSession(transacted bool, ackMode jms.AckMode) (jms.Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, jms.ErrClosed
+	}
+	if !transacted && !ackMode.Valid() {
+		return nil, fmt.Errorf("%w: ack mode %d", jms.ErrInvalidArgument, ackMode)
+	}
+	s := &session{
+		conn:       c,
+		b:          c.b,
+		id:         c.b.nextID("s"),
+		transacted: transacted,
+		ackMode:    ackMode,
+		producers:  map[*producer]struct{}{},
+		consumers:  map[*consumer]struct{}{},
+	}
+	c.sessions[s] = struct{}{}
+	return s, nil
+}
+
+// Start implements jms.Connection.
+func (c *connection) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return jms.ErrClosed
+	}
+	if !c.started {
+		c.started = true
+		close(c.startWake)
+		c.startWake = make(chan struct{})
+	}
+	return nil
+}
+
+// Stop implements jms.Connection.
+func (c *connection) Stop() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return jms.ErrClosed
+	}
+	c.started = false
+	return nil
+}
+
+// startState returns whether delivery is enabled and a channel closed at
+// the next start/stop transition.
+func (c *connection) startState() (bool, <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.started, c.startWake
+}
+
+// Close implements jms.Connection: a graceful close that rolls back
+// in-progress transactions and completes lazy acknowledgements.
+func (c *connection) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	sessions := make([]*session, 0, len(c.sessions))
+	for s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.sessions = map[*session]struct{}{}
+	temps := c.tempQueues
+	c.tempQueues = nil
+	c.mu.Unlock()
+	var firstErr error
+	for _, s := range sessions {
+		if err := s.closeGraceful(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, name := range temps {
+		c.b.deleteTempQueue(name)
+	}
+	c.b.connectionClosed(c)
+	return firstErr
+}
+
+// forceClose abandons the connection without any acknowledgement or
+// redelivery side effects; used on broker crash and shutdown.
+func (c *connection) forceClose() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	sessions := make([]*session, 0, len(c.sessions))
+	for s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.sessions = map[*session]struct{}{}
+	c.mu.Unlock()
+	for _, s := range sessions {
+		s.forceClose()
+	}
+}
+
+func (c *connection) removeSession(s *session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, s)
+}
+
+// stagedSend is a transactional send awaiting commit.
+type stagedSend struct {
+	dest jms.Destination
+	msg  *jms.Message
+	opts jms.SendOptions
+}
+
+// deliveredEntry records a delivery pending acknowledgement.
+type deliveredEntry struct {
+	endpoint string
+	mb       *mailbox
+	e        entry
+}
+
+// dupsOKBatch is how many deliveries a dups-ok session accumulates
+// before lazily acknowledging them.
+const dupsOKBatch = 10
+
+// session implements jms.Session.
+type session struct {
+	conn *connection
+	b    *Broker
+	id   string
+
+	transacted bool
+	ackMode    jms.AckMode
+
+	mu         sync.Mutex
+	txCount    int64
+	txID       string
+	txSends    []stagedSend
+	txReceives []deliveredEntry
+	unacked    []deliveredEntry
+	producers  map[*producer]struct{}
+	consumers  map[*consumer]struct{}
+	closed     bool
+}
+
+var _ jms.Session = (*session)(nil)
+
+// Transacted implements jms.Session.
+func (s *session) Transacted() bool { return s.transacted }
+
+// AckMode implements jms.Session.
+func (s *session) AckMode() jms.AckMode { return s.ackMode }
+
+// CurrentTxID returns the identifier of the session's current
+// transaction, assigning one if needed. It is exposed so the test
+// harness can log commit/abort events against the operations they
+// contain. Returns "" for non-transacted sessions.
+func (s *session) CurrentTxID() string {
+	if !s.transacted {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.currentTxLocked()
+}
+
+func (s *session) currentTxLocked() string {
+	if s.txID == "" {
+		s.txCount++
+		s.txID = fmt.Sprintf("%s-tx%d", s.id, s.txCount)
+	}
+	return s.txID
+}
+
+// CreateProducer implements jms.Session.
+func (s *session) CreateProducer(dest jms.Destination) (jms.Producer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, jms.ErrClosed
+	}
+	p := &producer{sess: s, dest: dest}
+	s.producers[p] = struct{}{}
+	return p, nil
+}
+
+// CreateConsumer implements jms.Session.
+func (s *session) CreateConsumer(dest jms.Destination) (jms.Consumer, error) {
+	return s.CreateConsumerWithSelector(dest, "")
+}
+
+// CreateConsumerWithSelector implements jms.Session.
+func (s *session) CreateConsumerWithSelector(dest jms.Destination, selectorExpr string) (jms.Consumer, error) {
+	if dest == nil {
+		return nil, fmt.Errorf("%w: nil destination", jms.ErrInvalidDestination)
+	}
+	sel, err := parseSelector(selectorExpr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, jms.ErrClosed
+	}
+	s.mu.Unlock()
+
+	id := s.b.nextConsumerID()
+	var (
+		mb       *mailbox
+		sub      *subscription
+		endpoint string
+		queueSel *selector.Selector
+	)
+	switch dest.Kind() {
+	case jms.KindQueue:
+		s.b.mu.Lock()
+		if s.b.closed || s.b.crashed {
+			s.b.mu.Unlock()
+			return nil, fmt.Errorf("broker %s: %w", s.b.name, jms.ErrClosed)
+		}
+		if owner, isTemp := s.b.tempOwners[dest.Name()]; isTemp && owner != s.conn {
+			s.b.mu.Unlock()
+			return nil, fmt.Errorf("%w: temporary queue %q belongs to another connection",
+				jms.ErrInvalidDestination, dest.Name())
+		}
+		mb = s.b.queueLocked(dest.Name())
+		s.b.mu.Unlock()
+		endpoint = trace.EndpointForQueue(dest.Name())
+		queueSel = sel // queue receivers filter at pop time
+	case jms.KindTopic:
+		sub, err = s.b.openNonDurable(dest.Name(), id, sel, selectorExpr)
+		if err != nil {
+			return nil, err
+		}
+		mb = sub.mb
+		endpoint = sub.endpoint
+	default:
+		return nil, fmt.Errorf("%w: kind %v", jms.ErrInvalidDestination, dest.Kind())
+	}
+
+	c := newConsumer(s, dest, id, endpoint, mb, sub, queueSel)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if sub != nil {
+			s.b.closeNonDurable(sub)
+		}
+		return nil, jms.ErrClosed
+	}
+	s.consumers[c] = struct{}{}
+	s.mu.Unlock()
+	return c, nil
+}
+
+// CreateDurableSubscriber implements jms.Session.
+func (s *session) CreateDurableSubscriber(topic jms.Topic, name string) (jms.Consumer, error) {
+	return s.CreateDurableSubscriberWithSelector(topic, name, "")
+}
+
+// CreateDurableSubscriberWithSelector implements jms.Session.
+func (s *session) CreateDurableSubscriberWithSelector(topic jms.Topic, name, selectorExpr string) (jms.Consumer, error) {
+	sel, err := parseSelector(selectorExpr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, jms.ErrClosed
+	}
+	s.mu.Unlock()
+	clientID := s.conn.ClientID()
+	if clientID == "" {
+		return nil, jms.ErrNoClientID
+	}
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty subscription name", jms.ErrInvalidArgument)
+	}
+	sub, err := s.b.openDurable(clientID, name, topic.Name(), sel, selectorExpr)
+	if err != nil {
+		return nil, err
+	}
+	c := newConsumer(s, topic, s.b.nextConsumerID(), sub.endpoint, sub.mb, sub, nil)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.b.deactivateDurable(sub)
+		return nil, jms.ErrClosed
+	}
+	s.consumers[c] = struct{}{}
+	s.mu.Unlock()
+	return c, nil
+}
+
+// CreateTemporaryQueue implements jms.Session.
+func (s *session) CreateTemporaryQueue() (jms.Queue, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", jms.ErrClosed
+	}
+	s.mu.Unlock()
+	name, err := s.b.createTempQueue(s.conn)
+	if err != nil {
+		return "", err
+	}
+	s.conn.mu.Lock()
+	if s.conn.closed {
+		s.conn.mu.Unlock()
+		s.b.deleteTempQueue(name)
+		return "", jms.ErrClosed
+	}
+	s.conn.tempQueues = append(s.conn.tempQueues, name)
+	s.conn.mu.Unlock()
+	return jms.Queue(name), nil
+}
+
+// CreateBrowser implements jms.Session.
+func (s *session) CreateBrowser(queue jms.Queue, selectorExpr string) (jms.Browser, error) {
+	sel, err := parseSelector(selectorExpr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, jms.ErrClosed
+	}
+	s.mu.Unlock()
+	s.b.mu.Lock()
+	if s.b.closed || s.b.crashed {
+		s.b.mu.Unlock()
+		return nil, fmt.Errorf("broker %s: %w", s.b.name, jms.ErrClosed)
+	}
+	mb := s.b.queueLocked(queue.Name())
+	s.b.mu.Unlock()
+	return &browser{sess: s, queue: queue, mb: mb, sel: sel}, nil
+}
+
+// browser implements jms.Browser over a queue mailbox snapshot.
+type browser struct {
+	sess  *session
+	queue jms.Queue
+	mb    *mailbox
+	sel   *selector.Selector
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ jms.Browser = (*browser)(nil)
+
+// Queue implements jms.Browser.
+func (b *browser) Queue() jms.Queue { return b.queue }
+
+// Enumerate implements jms.Browser.
+func (b *browser) Enumerate() ([]*jms.Message, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed || b.sess.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	var match func(*jms.Message) bool
+	if b.sel != nil {
+		match = b.sel.Matches
+	}
+	return b.mb.snapshot(b.sess.b.clk.Now(), match), nil
+}
+
+// Close implements jms.Browser.
+func (b *browser) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	return nil
+}
+
+// parseSelector compiles a selector expression, mapping syntax errors
+// to jms.ErrInvalidSelector. An empty expression yields nil.
+func parseSelector(expr string) (*selector.Selector, error) {
+	sel, err := selector.Parse(expr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", jms.ErrInvalidSelector, err)
+	}
+	if sel.IsEmpty() {
+		return nil, nil
+	}
+	return sel, nil
+}
+
+// Unsubscribe implements jms.Session.
+func (s *session) Unsubscribe(name string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return jms.ErrClosed
+	}
+	s.mu.Unlock()
+	clientID := s.conn.ClientID()
+	if clientID == "" {
+		return jms.ErrNoClientID
+	}
+	return s.b.unsubscribeDurable(clientID, name)
+}
+
+// Commit implements jms.Session.
+func (s *session) Commit() error {
+	if !s.transacted {
+		return jms.ErrNotTransacted
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return jms.ErrClosed
+	}
+	sends := s.txSends
+	receives := s.txReceives
+	s.txSends = nil
+	s.txReceives = nil
+	s.txID = ""
+	s.mu.Unlock()
+
+	// Sends enter the provider at commit time (Definition 1: a
+	// transactional message is "sent" when its transaction commits).
+	for _, st := range sends {
+		if err := s.b.send(st.dest, st.msg, st.opts); err != nil {
+			return fmt.Errorf("broker: commit sending to %v: %w", st.dest, err)
+		}
+	}
+	for _, d := range receives {
+		if err := s.b.ackEntry(d.endpoint, d.e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rollback implements jms.Session.
+func (s *session) Rollback() error {
+	if !s.transacted {
+		return jms.ErrNotTransacted
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return jms.ErrClosed
+	}
+	receives := s.txReceives
+	s.txSends = nil
+	s.txReceives = nil
+	s.txID = ""
+	s.mu.Unlock()
+	s.redeliver(receives)
+	return nil
+}
+
+// redeliver returns delivered-but-unacknowledged entries to their
+// mailboxes, marked redelivered, preserving delivery order.
+func (s *session) redeliver(entries []deliveredEntry) {
+	byMailbox := map[*mailbox][]entry{}
+	var order []*mailbox
+	for _, d := range entries {
+		d.e.msg.Redelivered = true
+		if _, seen := byMailbox[d.mb]; !seen {
+			order = append(order, d.mb)
+		}
+		byMailbox[d.mb] = append(byMailbox[d.mb], d.e)
+	}
+	for _, mb := range order {
+		mb.pushFront(byMailbox[mb])
+		s.b.backlog.Add(int64(len(byMailbox[mb])))
+	}
+}
+
+// Acknowledge implements jms.Session.
+func (s *session) Acknowledge() error {
+	if s.transacted {
+		return jms.ErrTransacted
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return jms.ErrClosed
+	}
+	unacked := s.unacked
+	s.unacked = nil
+	s.mu.Unlock()
+	for _, d := range unacked {
+		if err := s.b.ackEntry(d.endpoint, d.e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover implements jms.Session.
+func (s *session) Recover() error {
+	if s.transacted {
+		return jms.ErrTransacted
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return jms.ErrClosed
+	}
+	unacked := s.unacked
+	s.unacked = nil
+	s.mu.Unlock()
+	s.redeliver(unacked)
+	return nil
+}
+
+// recordDelivery books one delivered entry according to the session's
+// acknowledgement discipline. Called on the consumer's goroutine after a
+// successful pop.
+func (s *session) recordDelivery(d deliveredEntry) error {
+	s.mu.Lock()
+	if s.transacted {
+		s.currentTxLocked()
+		s.txReceives = append(s.txReceives, d)
+		s.mu.Unlock()
+		return nil
+	}
+	switch s.ackMode {
+	case jms.AckAuto:
+		s.mu.Unlock()
+		return s.b.ackEntry(d.endpoint, d.e)
+	case jms.AckDupsOK:
+		s.unacked = append(s.unacked, d)
+		if len(s.unacked) < dupsOKBatch {
+			s.mu.Unlock()
+			return nil
+		}
+		batch := s.unacked
+		s.unacked = nil
+		s.mu.Unlock()
+		for _, u := range batch {
+			if err := s.b.ackEntry(u.endpoint, u.e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // AckClient
+		s.unacked = append(s.unacked, d)
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// Close implements jms.Session.
+func (s *session) Close() error {
+	err := s.closeGraceful()
+	s.conn.removeSession(s)
+	return err
+}
+
+// closeGraceful closes the session with JMS semantics: in-progress
+// transactions roll back; client-ack unacknowledged messages are
+// redelivered; dups-ok lazy acknowledgements complete.
+func (s *session) closeGraceful() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	consumers := make([]*consumer, 0, len(s.consumers))
+	for c := range s.consumers {
+		consumers = append(consumers, c)
+	}
+	s.consumers = map[*consumer]struct{}{}
+	s.producers = map[*producer]struct{}{}
+	txReceives := s.txReceives
+	unacked := s.unacked
+	s.txSends = nil
+	s.txReceives = nil
+	s.unacked = nil
+	s.mu.Unlock()
+
+	for _, c := range consumers {
+		c.closeInternal(true)
+	}
+	var firstErr error
+	if s.transacted {
+		s.redeliver(txReceives)
+	} else {
+		switch s.ackMode {
+		case jms.AckClient:
+			s.redeliver(unacked)
+		default:
+			for _, d := range unacked {
+				if err := s.b.ackEntry(d.endpoint, d.e); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// forceClose abandons the session without side effects (broker crash).
+func (s *session) forceClose() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	consumers := make([]*consumer, 0, len(s.consumers))
+	for c := range s.consumers {
+		consumers = append(consumers, c)
+	}
+	s.consumers = map[*consumer]struct{}{}
+	s.producers = map[*producer]struct{}{}
+	s.txSends = nil
+	s.txReceives = nil
+	s.unacked = nil
+	s.mu.Unlock()
+	for _, c := range consumers {
+		c.closeInternal(false)
+	}
+}
+
+func (s *session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *session) removeConsumer(c *consumer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.consumers, c)
+}
+
+// producer implements jms.Producer.
+type producer struct {
+	sess *session
+	dest jms.Destination
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ jms.Producer = (*producer)(nil)
+
+// Destination implements jms.Producer.
+func (p *producer) Destination() jms.Destination { return p.dest }
+
+// Send implements jms.Producer.
+func (p *producer) Send(msg *jms.Message, opts jms.SendOptions) error {
+	if p.dest == nil {
+		return fmt.Errorf("%w: unidentified producer requires SendTo", jms.ErrInvalidDestination)
+	}
+	return p.SendTo(p.dest, msg, opts)
+}
+
+// SendTo implements jms.Producer.
+func (p *producer) SendTo(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return jms.ErrClosed
+	}
+	p.mu.Unlock()
+	if dest == nil {
+		return fmt.Errorf("%w: nil destination", jms.ErrInvalidDestination)
+	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	s := p.sess
+	if s.isClosed() {
+		return jms.ErrClosed
+	}
+	if s.transacted {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return jms.ErrClosed
+		}
+		s.currentTxLocked()
+		s.txSends = append(s.txSends, stagedSend{dest: dest, msg: msg.Clone(), opts: opts})
+		s.mu.Unlock()
+		return nil
+	}
+	return s.b.send(dest, msg, opts)
+}
+
+// Close implements jms.Producer.
+func (p *producer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	return nil
+}
+
+// consumer implements jms.Consumer.
+type consumer struct {
+	sess     *session
+	dest     jms.Destination
+	id       string
+	endpoint string
+	mb       *mailbox
+	sub      *subscription      // nil for queue receivers
+	sel      *selector.Selector // queue-receiver selector, nil for none
+
+	mu         sync.Mutex
+	listener   jms.Listener
+	listenerWG sync.WaitGroup
+	listenStop chan struct{}
+	closed     bool
+	done       chan struct{}
+}
+
+func newConsumer(s *session, dest jms.Destination, id, endpoint string, mb *mailbox, sub *subscription, sel *selector.Selector) *consumer {
+	return &consumer{
+		sess:     s,
+		dest:     dest,
+		id:       id,
+		endpoint: endpoint,
+		mb:       mb,
+		sub:      sub,
+		sel:      sel,
+		done:     make(chan struct{}),
+	}
+}
+
+var _ jms.Consumer = (*consumer)(nil)
+
+// Destination implements jms.Consumer.
+func (c *consumer) Destination() jms.Destination { return c.dest }
+
+// EndpointID implements jms.Consumer.
+func (c *consumer) EndpointID() string { return c.endpoint }
+
+// Receive implements jms.Consumer.
+func (c *consumer) Receive(timeout time.Duration) (*jms.Message, error) {
+	return c.receive(timeout, false)
+}
+
+// ReceiveNoWait implements jms.Consumer.
+func (c *consumer) ReceiveNoWait() (*jms.Message, error) {
+	return c.receive(0, true)
+}
+
+func (c *consumer) receive(timeout time.Duration, noWait bool) (*jms.Message, error) {
+	b := c.sess.b
+	var deadline time.Time
+	hasDeadline := timeout > 0
+	if hasDeadline {
+		deadline = b.clk.Now().Add(timeout)
+	}
+	for {
+		if c.isClosed() || c.sess.isClosed() {
+			return nil, jms.ErrClosed
+		}
+		started, startWake := c.sess.conn.startState()
+		if started {
+			var match func(*jms.Message) bool
+			if c.sel != nil {
+				match = c.sel.Matches
+			}
+			e, dropped, ok := c.mb.tryPop(b.clk.Now(), match)
+			b.dropExpired(c.endpoint, dropped)
+			if ok {
+				b.backlog.Add(-1)
+				b.throttleDeliver()
+				if lat := b.deliveryLatency(); lat > 0 {
+					avail := e.enqueuedAt.Add(lat)
+					if now := b.clk.Now(); now.Before(avail) {
+						b.clk.Sleep(avail.Sub(now))
+					}
+				}
+				if err := c.sess.recordDelivery(deliveredEntry{endpoint: c.endpoint, mb: c.mb, e: e}); err != nil {
+					return nil, err
+				}
+				return e.msg.Clone(), nil
+			}
+		}
+		if noWait {
+			return nil, nil
+		}
+		var timer <-chan time.Time
+		if hasDeadline {
+			remaining := deadline.Sub(b.clk.Now())
+			if remaining <= 0 {
+				return nil, nil
+			}
+			timer = b.clk.After(remaining)
+		}
+		mbWake := c.mb.waitChan()
+		select {
+		case <-c.done:
+			return nil, jms.ErrClosed
+		case <-mbWake:
+		case <-startWake:
+		case <-timer:
+			return nil, nil
+		}
+	}
+}
+
+// SetListener implements jms.Consumer. The listener runs on a dedicated
+// goroutine that is joined when the listener is replaced or the consumer
+// closed.
+func (c *consumer) SetListener(l jms.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return jms.ErrClosed
+	}
+	if c.listenStop != nil {
+		stop := c.listenStop
+		c.listenStop = nil
+		c.mu.Unlock()
+		close(stop)
+		c.listenerWG.Wait()
+		c.mu.Lock()
+	}
+	c.listener = l
+	if l == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	stop := make(chan struct{})
+	c.listenStop = stop
+	c.listenerWG.Add(1)
+	c.mu.Unlock()
+	go c.dispatch(l, stop)
+	return nil
+}
+
+// dispatch pulls messages and invokes the listener until stopped.
+func (c *consumer) dispatch(l jms.Listener, stop chan struct{}) {
+	defer c.listenerWG.Done()
+	const poll = 50 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.done:
+			return
+		default:
+		}
+		msg, err := c.receive(poll, false)
+		if err != nil {
+			return
+		}
+		if msg != nil {
+			l(msg)
+		}
+	}
+}
+
+// Close implements jms.Consumer.
+func (c *consumer) Close() error {
+	c.closeInternal(true)
+	c.sess.removeConsumer(c)
+	return nil
+}
+
+// closeInternal tears the consumer down. graceful distinguishes a normal
+// close (subscription lifecycle honoured) from crash abandonment.
+func (c *consumer) closeInternal(graceful bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	stop := c.listenStop
+	c.listenStop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	c.listenerWG.Wait()
+	if c.sub != nil && graceful {
+		if c.sub.durable {
+			c.sess.b.deactivateDurable(c.sub)
+		} else {
+			c.sess.b.closeNonDurable(c.sub)
+		}
+	}
+}
+
+func (c *consumer) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}

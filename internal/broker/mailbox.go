@@ -1,0 +1,172 @@
+package broker
+
+import (
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+// entry is one message pending in a mailbox, together with the stable-
+// store record backing it (for persistent messages) and the time it
+// became available.
+type entry struct {
+	msg        *jms.Message
+	rec        store.RecordID // 0 if not persisted
+	persisted  bool
+	enqueuedAt time.Time
+}
+
+// mailbox is the pending-message buffer of one consumer group (a queue
+// or a subscription): ten priority-ordered FIFO buckets plus a
+// generation-channel wakeup for blocked receivers. Higher priorities are
+// served first (the broker's best effort at the JMS priority
+// requirement); within a priority bucket, arrival order is preserved,
+// which yields the FIFO-per-producer ordering that Property 3 checks.
+type mailbox struct {
+	mu      sync.Mutex
+	buckets [jms.NumPriorities][]entry
+	wake    chan struct{}
+	closed  bool
+	size    int
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{wake: make(chan struct{})}
+}
+
+// wakeAllLocked signals every blocked receiver. Callers hold mu.
+func (mb *mailbox) wakeAllLocked() {
+	close(mb.wake)
+	mb.wake = make(chan struct{})
+}
+
+// push appends an entry at the tail of its priority bucket.
+func (mb *mailbox) push(e entry) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	p := e.msg.Priority
+	mb.buckets[p] = append(mb.buckets[p], e)
+	mb.size++
+	mb.wakeAllLocked()
+}
+
+// pushFront returns entries to the head of their buckets, preserving
+// their relative order (used for redelivery after rollback, Recover, or
+// consumer close). entries must be in original delivery order.
+func (mb *mailbox) pushFront(entries []entry) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		p := e.msg.Priority
+		mb.buckets[p] = append([]entry{e}, mb.buckets[p]...)
+		mb.size++
+	}
+	if len(entries) > 0 {
+		mb.wakeAllLocked()
+	}
+}
+
+// tryPop removes and returns the highest-priority available entry
+// accepted by match (nil accepts everything). Non-matching entries are
+// left in place for other consumers, as JMS queue selectors require.
+// Expired entries are dropped regardless of match (and returned in
+// dropped so the broker can clean up their stable records). ok is false
+// if nothing is available.
+func (mb *mailbox) tryPop(now time.Time, match func(*jms.Message) bool) (e entry, dropped []entry, ok bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return entry{}, nil, false
+	}
+	for p := int(jms.PriorityHighest); p >= 0; p-- {
+		bucket := mb.buckets[p]
+		for i := 0; i < len(bucket); {
+			head := bucket[i]
+			if head.msg.Expired(now) {
+				dropped = append(dropped, head)
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				mb.size--
+				continue
+			}
+			if match != nil && !match(head.msg) {
+				i++
+				continue
+			}
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			mb.size--
+			mb.buckets[p] = bucket
+			return head, dropped, true
+		}
+		mb.buckets[p] = bucket
+	}
+	return entry{}, dropped, false
+}
+
+// waitChan returns a channel closed at the next state change.
+func (mb *mailbox) waitChan() <-chan struct{} {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.wake
+}
+
+// snapshot returns copies of the pending messages in delivery order
+// (priority descending, arrival order within a priority), skipping
+// expired ones, for queue browsing.
+func (mb *mailbox) snapshot(now time.Time, match func(*jms.Message) bool) []*jms.Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	var out []*jms.Message
+	for p := int(jms.PriorityHighest); p >= 0; p-- {
+		for _, e := range mb.buckets[p] {
+			if e.msg.Expired(now) {
+				continue
+			}
+			if match != nil && !match(e.msg) {
+				continue
+			}
+			out = append(out, e.msg.Clone())
+		}
+	}
+	return out
+}
+
+// drain removes and returns every pending entry (used when deleting a
+// subscription or recovering state).
+func (mb *mailbox) drain() []entry {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	var out []entry
+	for p := 0; p < jms.NumPriorities; p++ {
+		out = append(out, mb.buckets[p]...)
+		mb.buckets[p] = nil
+	}
+	mb.size = 0
+	return out
+}
+
+// close marks the mailbox closed and wakes all receivers.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.closed = true
+	mb.wakeAllLocked()
+}
+
+// pending returns the number of buffered entries.
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.size
+}

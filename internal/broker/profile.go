@@ -1,0 +1,160 @@
+package broker
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile shapes a broker's performance characteristics so the harness
+// can be exercised against providers with markedly different behaviour,
+// as the paper observed across MQSeries, WebLogic and SonicMQ
+// ("performance differences of a factor of 10 in some cases",
+// footnote 9). Send and delivery are modelled as service pipelines: a
+// caller blocks for the pipeline's service time (JMS sends are
+// synchronous calls — the paper's footnote 6 notes some providers
+// implement delivery "via a series of synchronous calls").
+//
+// Two parameter regimes reproduce the two published throughput shapes:
+//
+//   - Provider I (Figure 2): SendRate == DeliverRate and no backlog
+//     penalty. Producers are back-pressured at exactly the sustainable
+//     delivery rate, so publisher and subscriber curves plateau
+//     together.
+//   - Provider II (Figure 3): SendRate > DeliverRate plus a per-message
+//     BacklogPenalty. The broker accepts messages faster than it can
+//     deliver them; the growing backlog makes each delivery more
+//     expensive (paging, index pressure), so subscriber throughput
+//     *drops* once the system is over-stressed.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// SendRate is the send/publish service rate in messages per second;
+	// 0 means unlimited.
+	SendRate float64
+	// SendBurst is the token-bucket depth of the send path.
+	SendBurst float64
+	// DeliverRate is the delivery service rate in messages per second;
+	// 0 means unlimited.
+	DeliverRate float64
+	// DeliverBurst is the token-bucket depth of the delivery path.
+	DeliverBurst float64
+	// BacklogPenalty adds this much service time to each delivery per
+	// message of broker-wide backlog, modelling thrash under overload.
+	BacklogPenalty time.Duration
+	// BaseLatency is the minimum end-to-end delivery latency.
+	BaseLatency time.Duration
+	// LatencyJitter adds up to this much uniformly distributed extra
+	// latency per delivery.
+	LatencyJitter time.Duration
+}
+
+// Validate reports whether the profile is well formed.
+func (p Profile) Validate() error {
+	if p.SendRate < 0 || p.DeliverRate < 0 {
+		return fmt.Errorf("broker: negative rate in profile %q", p.Name)
+	}
+	if p.SendRate > 0 && p.SendBurst <= 0 {
+		return fmt.Errorf("broker: profile %q has send rate but no burst", p.Name)
+	}
+	if p.DeliverRate > 0 && p.DeliverBurst <= 0 {
+		return fmt.Errorf("broker: profile %q has deliver rate but no burst", p.Name)
+	}
+	if p.BacklogPenalty < 0 || p.BaseLatency < 0 || p.LatencyJitter < 0 {
+		return fmt.Errorf("broker: negative duration in profile %q", p.Name)
+	}
+	return nil
+}
+
+// Unlimited is the profile used for functional testing: no rate shaping
+// at all.
+func Unlimited() Profile {
+	return Profile{Name: "unlimited"}
+}
+
+// ProviderI reproduces the Figure 2 shape: a modest provider whose send
+// path is back-pressured at its delivery rate, so publisher and
+// subscriber throughput both plateau at the sustainable rate (≈45
+// msgs/s in the paper) as demand rises.
+func ProviderI() Profile {
+	return Profile{
+		Name:         "provider-I",
+		SendRate:     45,
+		SendBurst:    5,
+		DeliverRate:  45,
+		DeliverBurst: 5,
+		BaseLatency:  2 * time.Millisecond,
+	}
+}
+
+// ProviderII reproduces the Figure 3 shape: a faster provider (peak in
+// the 150–180 msgs/s region, as in the paper) with no ingress flow
+// control — sends are accepted as fast as clients offer them, so
+// publisher throughput tracks demand — and a delivery cost that grows
+// with the backlog, so subscriber throughput *drops* once the system is
+// over-stressed.
+func ProviderII() Profile {
+	return Profile{
+		Name:           "provider-II",
+		DeliverRate:    150,
+		DeliverBurst:   5,
+		BacklogPenalty: 300 * time.Microsecond,
+		BaseLatency:    time.Millisecond,
+	}
+}
+
+// ProviderA is the fast provider of the footnote-9 three-way comparison.
+func ProviderA() Profile {
+	return Profile{
+		Name:         "provider-A",
+		SendRate:     500,
+		SendBurst:    25,
+		DeliverRate:  500,
+		DeliverBurst: 25,
+		BaseLatency:  500 * time.Microsecond,
+	}
+}
+
+// ProviderB is the mid-range provider of the three-way comparison.
+func ProviderB() Profile {
+	return Profile{
+		Name:         "provider-B",
+		SendRate:     150,
+		SendBurst:    10,
+		DeliverRate:  150,
+		DeliverBurst: 10,
+		BaseLatency:  2 * time.Millisecond,
+	}
+}
+
+// ProviderC is the slow provider of the three-way comparison — roughly a
+// factor of 10 below ProviderA, as the paper reports.
+func ProviderC() Profile {
+	return Profile{
+		Name:         "provider-C",
+		SendRate:     50,
+		SendBurst:    5,
+		DeliverRate:  50,
+		DeliverBurst: 5,
+		BaseLatency:  5 * time.Millisecond,
+	}
+}
+
+// ProfileByName looks up a built-in profile for CLI use.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "unlimited", "":
+		return Unlimited(), nil
+	case "provider-I", "provider-i", "I":
+		return ProviderI(), nil
+	case "provider-II", "provider-ii", "II":
+		return ProviderII(), nil
+	case "provider-A", "A":
+		return ProviderA(), nil
+	case "provider-B", "B":
+		return ProviderB(), nil
+	case "provider-C", "C":
+		return ProviderC(), nil
+	default:
+		return Profile{}, fmt.Errorf("broker: unknown profile %q", name)
+	}
+}

@@ -1,0 +1,358 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// sendWithProps sends a text message with properties.
+func sendWithProps(t *testing.T, p jms.Producer, text string, props map[string]jms.Value, opts jms.SendOptions) {
+	t.Helper()
+	m := jms.NewTextMessage(text)
+	for k, v := range props {
+		m.SetProperty(k, v)
+	}
+	if err := p.Send(m, opts); err != nil {
+		t.Fatalf("send %q: %v", text, err)
+	}
+}
+
+func TestInvalidSelectorRejected(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	if _, err := sess.CreateConsumerWithSelector(jms.Queue("q"), "price >"); !errors.Is(err, jms.ErrInvalidSelector) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := sess.CreateDurableSubscriberWithSelector(jms.Topic("t"), "s", "(a"); !errors.Is(err, jms.ErrInvalidSelector) {
+		t.Errorf("durable err = %v", err)
+	}
+}
+
+func TestQueueSelectorFiltersAndLeavesRest(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("selq")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendWithProps(t, p, "eu-1", map[string]jms.Value{"region": jms.Str("EU")}, jms.DefaultSendOptions())
+	sendWithProps(t, p, "us-1", map[string]jms.Value{"region": jms.Str("US")}, jms.DefaultSendOptions())
+	sendWithProps(t, p, "eu-2", map[string]jms.Value{"region": jms.Str("EU")}, jms.DefaultSendOptions())
+
+	euOnly, err := sess.CreateConsumerWithSelector(q, "region = 'EU'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, euOnly, time.Second); got != "eu-1" {
+		t.Errorf("first EU message = %q", got)
+	}
+	if got := mustReceiveText(t, euOnly, time.Second); got != "eu-2" {
+		t.Errorf("second EU message = %q", got)
+	}
+	if msg, err := euOnly.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Errorf("EU consumer got extra %v, %v", msg, err)
+	}
+	// The non-matching message is still on the queue for others.
+	all, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, all, time.Second); got != "us-1" {
+		t.Errorf("unfiltered consumer got %q, want the US message", got)
+	}
+}
+
+func TestQueueSelectorOnHeaders(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("hdrq")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("low"), jms.SendOptions{Mode: jms.Persistent, Priority: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("high"), jms.SendOptions{Mode: jms.Persistent, Priority: 8}); err != nil {
+		t.Fatal(err)
+	}
+	urgent, err := sess.CreateConsumerWithSelector(q, "JMSPriority >= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, urgent, time.Second); got != "high" {
+		t.Errorf("urgent consumer got %q", got)
+	}
+	if msg, err := urgent.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Errorf("urgent consumer got extra %v", msg)
+	}
+}
+
+func TestTopicSelectorFiltersAtSubscription(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	topic := jms.Topic("selt")
+	eu, err := sess.CreateConsumerWithSelector(topic, "region = 'EU'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := sess.CreateConsumerWithSelector(topic, "region = 'US'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendWithProps(t, p, "to-eu", map[string]jms.Value{"region": jms.Str("EU")}, jms.DefaultSendOptions())
+	sendWithProps(t, p, "to-us", map[string]jms.Value{"region": jms.Str("US")}, jms.DefaultSendOptions())
+	if got := mustReceiveText(t, eu, time.Second); got != "to-eu" {
+		t.Errorf("EU subscriber got %q", got)
+	}
+	if got := mustReceiveText(t, us, time.Second); got != "to-us" {
+		t.Errorf("US subscriber got %q", got)
+	}
+	if msg, err := eu.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Errorf("EU subscriber got cross-traffic %v", msg)
+	}
+	// Non-matching messages never entered the subscription's buffer.
+	if b.Pending() != 0 {
+		t.Errorf("Pending = %d, filtered messages buffered", b.Pending())
+	}
+}
+
+func TestDurableSelectorIsPartOfIdentity(t *testing.T) {
+	b := newTestBroker(t)
+	conn, err := b.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetClientID("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := jms.Topic("dst")
+	sub, err := sess.CreateDurableSubscriberWithSelector(topic, "s", "kind = 'a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendWithProps(t, p, "a-while-inactive", map[string]jms.Value{"kind": jms.Str("a")}, jms.DefaultSendOptions())
+	// Reopening with a different selector resets the subscription: the
+	// retained message is gone.
+	sub2, err := sess.CreateDurableSubscriberWithSelector(topic, "s", "kind = 'b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := sub2.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Errorf("selector change should reset subscription, got %v", msg)
+	}
+	// Same selector reattaches.
+	if err := sub2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sendWithProps(t, p, "b-while-inactive", map[string]jms.Value{"kind": jms.Str("b")}, jms.DefaultSendOptions())
+	sub3, err := sess.CreateDurableSubscriberWithSelector(topic, "s", "kind = 'b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, sub3, time.Second); got != "b-while-inactive" {
+		t.Errorf("reattached subscriber got %q", got)
+	}
+}
+
+func TestDurableSelectorSurvivesCrash(t *testing.T) {
+	b, err := New(Options{Name: "selcrash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	conn, err := b.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetClientID("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := jms.Topic("ct")
+	sub, err := sess.CreateDurableSubscriberWithSelector(topic, "s", "kind = 'keep'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b.Crash()
+	if err := b.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	// After recovery the subscription still filters.
+	conn2, err := b.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn2.SetClientID("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := conn2.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess2.CreateProducer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendWithProps(t, p, "drop-me", map[string]jms.Value{"kind": jms.Str("other")}, jms.DefaultSendOptions())
+	sendWithProps(t, p, "keep-me", map[string]jms.Value{"kind": jms.Str("keep")}, jms.DefaultSendOptions())
+	sub2, err := sess2.CreateDurableSubscriberWithSelector(topic, "s", "kind = 'keep'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, sub2, time.Second); got != "keep-me" {
+		t.Errorf("recovered subscription delivered %q", got)
+	}
+	if msg, err := sub2.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Errorf("recovered subscription leaked %v", msg)
+	}
+}
+
+func TestSelectorExpiredStillDropped(t *testing.T) {
+	// Expired messages are dropped during a filtered pop even when they
+	// do not match the selector.
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("selexp")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := jms.NewTextMessage("doomed")
+	doomed.SetProperty("keep", jms.Bool(false))
+	if err := p.Send(doomed, jms.SendOptions{Mode: jms.Persistent, Priority: 4, TTL: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	sendWithProps(t, p, "wanted", map[string]jms.Value{"keep": jms.Bool(true)}, jms.DefaultSendOptions())
+	time.Sleep(5 * time.Millisecond)
+	c, err := sess.CreateConsumerWithSelector(q, "keep = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, c, time.Second); got != "wanted" {
+		t.Errorf("got %q", got)
+	}
+	if b.ExpiredDropped() != 1 {
+		t.Errorf("ExpiredDropped = %d", b.ExpiredDropped())
+	}
+	if b.Pending() != 0 {
+		t.Errorf("Pending = %d", b.Pending())
+	}
+}
+
+func TestQueueBrowser(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("browseq")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("low"), jms.SendOptions{Mode: jms.Persistent, Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("high"), jms.SendOptions{Mode: jms.Persistent, Priority: 9}); err != nil {
+		t.Fatal(err)
+	}
+	br, err := sess.CreateBrowser(q, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := br.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("browsed %d messages", len(msgs))
+	}
+	// Delivery order: priority descending.
+	if msgs[0].Body.(jms.TextBody) != "high" || msgs[1].Body.(jms.TextBody) != "low" {
+		t.Errorf("browse order: %v, %v", msgs[0].Body, msgs[1].Body)
+	}
+	// Browsing does not consume.
+	again, err := br.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 {
+		t.Errorf("second browse saw %d messages", len(again))
+	}
+	// Mutating a browsed copy does not affect the queue.
+	msgs[0].Body = jms.TextBody("tampered")
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, c, time.Second); got != "high" {
+		t.Errorf("consumed %q after tampering with browsed copy", got)
+	}
+	if br.Queue() != q {
+		t.Error("Queue() mismatch")
+	}
+	if err := br.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Enumerate(); !errors.Is(err, jms.ErrClosed) {
+		t.Errorf("enumerate after close: %v", err)
+	}
+}
+
+func TestQueueBrowserSelector(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("browsesel")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendWithProps(t, p, "eu", map[string]jms.Value{"region": jms.Str("EU")}, jms.DefaultSendOptions())
+	sendWithProps(t, p, "us", map[string]jms.Value{"region": jms.Str("US")}, jms.DefaultSendOptions())
+	br, err := sess.CreateBrowser(q, "region = 'EU'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := br.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Body.(jms.TextBody) != "eu" {
+		t.Errorf("filtered browse = %v", msgs)
+	}
+	if _, err := sess.CreateBrowser(q, "broken ("); !errors.Is(err, jms.ErrInvalidSelector) {
+		t.Errorf("invalid browse selector: %v", err)
+	}
+}

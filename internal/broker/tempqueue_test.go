@@ -1,0 +1,196 @@
+package broker
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+func TestTemporaryQueueBasics(t *testing.T) {
+	b := newTestBroker(t)
+	conn, sess := openSession(t, b, false, jms.AckAuto)
+	tq, err := sess.CreateTemporaryQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tq.Name(), "TEMP.") {
+		t.Errorf("temp queue name = %q", tq.Name())
+	}
+	// Usable like a normal queue by its owner.
+	p, err := sess.CreateProducer(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p, "tmp", jms.DefaultSendOptions())
+	if got := mustReceiveText(t, c, time.Second); got != "tmp" {
+		t.Errorf("got %q", got)
+	}
+	_ = conn
+}
+
+func TestTemporaryQueueOwnership(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess1 := openSession(t, b, false, jms.AckAuto)
+	_, sess2 := openSession(t, b, false, jms.AckAuto)
+	tq, err := sess1.CreateTemporaryQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another connection may SEND to the temp queue (that is the whole
+	// point of ReplyTo)...
+	p2, err := sess2.CreateProducer(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p2, "reply", jms.DefaultSendOptions())
+	// ...but may not CONSUME from it.
+	if _, err := sess2.CreateConsumer(tq); !errors.Is(err, jms.ErrInvalidDestination) {
+		t.Errorf("foreign consumer: %v", err)
+	}
+	c1, err := sess1.CreateConsumer(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, c1, time.Second); got != "reply" {
+		t.Errorf("owner got %q", got)
+	}
+}
+
+func TestTemporaryQueueDeletedOnConnectionClose(t *testing.T) {
+	b := newTestBroker(t)
+	conn, sess := openSession(t, b, false, jms.AckAuto)
+	tq, err := sess.CreateTemporaryQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(tq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p, "stranded", jms.DefaultSendOptions())
+	if b.Pending() != 1 {
+		t.Fatalf("Pending = %d", b.Pending())
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 0 {
+		t.Errorf("temp queue contents survived connection close: Pending = %d", b.Pending())
+	}
+	// Ownership entry is gone: a new connection may not consume...
+	_, sess2 := openSession(t, b, false, jms.AckAuto)
+	c2, err := sess2.CreateConsumer(tq)
+	if err != nil {
+		t.Fatalf("temp name after deletion should behave as a fresh queue: %v", err)
+	}
+	if msg, err := c2.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Errorf("stale message leaked: %v", msg)
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	b := newTestBroker(t)
+	_, clientSess := openSession(t, b, false, jms.AckAuto)
+	_, serverSess := openSession(t, b, false, jms.AckAuto)
+
+	service := jms.Queue("echo-service")
+
+	// Server: consume requests, reply with the reversed text.
+	serverCons, err := serverSess.CreateConsumer(service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replyProd, err := serverSess.CreateProducer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, err := serverCons.Receive(50 * time.Millisecond)
+			if err != nil {
+				return
+			}
+			if req == nil {
+				continue
+			}
+			text := []byte(req.Body.(jms.TextBody))
+			for i, j := 0, len(text)-1; i < j; i, j = i+1, j-1 {
+				text[i], text[j] = text[j], text[i]
+			}
+			if err := jms.Reply(replyProd, req, jms.NewTextMessage(string(text)), jms.DefaultSendOptions()); err != nil {
+				t.Errorf("reply: %v", err)
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	requestor, err := jms.NewRequestor(clientSess, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer requestor.Close()
+	for _, word := range []string{"hello", "jms", "abc"} {
+		reply, err := requestor.Request(jms.NewTextMessage(word), jms.DefaultSendOptions(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply == nil {
+			t.Fatalf("request %q timed out", word)
+		}
+		want := reverse(word)
+		if got := string(reply.Body.(jms.TextBody)); got != want {
+			t.Errorf("reply = %q, want %q", got, want)
+		}
+	}
+	// Timeout path: a request to a dead service returns (nil, nil).
+	deadReq, err := jms.NewRequestor(clientSess, jms.Queue("nobody-home"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deadReq.Close()
+	reply, err := deadReq.Request(jms.NewTextMessage("x"), jms.DefaultSendOptions(), 60*time.Millisecond)
+	if err != nil || reply != nil {
+		t.Errorf("dead service: %v, %v", reply, err)
+	}
+}
+
+func reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+func TestReplyWithoutReplyTo(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	p, err := sess.CreateProducer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jms.Reply(p, jms.NewTextMessage("no reply-to"), jms.NewTextMessage("r"), jms.DefaultSendOptions()); !errors.Is(err, jms.ErrInvalidDestination) {
+		t.Errorf("err = %v", err)
+	}
+}

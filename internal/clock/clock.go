@@ -1,0 +1,138 @@
+// Package clock provides the time sources used throughout the harness.
+//
+// The paper's analysis depends on cross-machine timestamp comparability:
+// "The test analysis is dependent, particularly when testing performance,
+// on all system clocks being synchronised. The network time protocol (NTP)
+// provides synchronisation to millisecond accuracy." This package provides
+// a real clock, a deterministic fake clock for tests, a skewed clock that
+// simulates an unsynchronised machine, and an NTP-like offset estimator
+// used when merging traces recorded on different nodes.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source so tests and simulations can run on
+// virtual time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks for at least d of this clock's time.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+var _ Clock = realClock{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced clock for deterministic tests. The zero
+// value is not usable; construct with NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewFake returns a Fake clock reading start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+var _ Clock = (*Fake)(nil)
+
+// Now returns the fake clock's current reading.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep blocks until the fake clock has been advanced past d.
+func (f *Fake) Sleep(d time.Duration) {
+	<-f.After(d)
+}
+
+// After returns a channel that fires once the clock advances by d.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	w := &fakeWaiter{deadline: f.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, w)
+	return ch
+}
+
+// Advance moves the fake clock forward by d, firing any waiters whose
+// deadlines are reached.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	remaining := f.waiters[:0]
+	var fired []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Skewed wraps a Clock and applies a constant offset plus a linear drift
+// rate, simulating an unsynchronised machine clock. Drift is expressed in
+// seconds of skew per second of real time (e.g. 50e-6 is 50 ppm).
+type Skewed struct {
+	base   Clock
+	epoch  time.Time
+	offset time.Duration
+	drift  float64
+}
+
+// NewSkewed returns a clock that reads base plus offset plus drift
+// accumulated since construction.
+func NewSkewed(base Clock, offset time.Duration, drift float64) *Skewed {
+	return &Skewed{base: base, epoch: base.Now(), offset: offset, drift: drift}
+}
+
+var _ Clock = (*Skewed)(nil)
+
+// Now returns the skewed time.
+func (s *Skewed) Now() time.Time {
+	t := s.base.Now()
+	elapsed := t.Sub(s.epoch)
+	driftAmt := time.Duration(float64(elapsed) * s.drift)
+	return t.Add(s.offset).Add(driftAmt)
+}
+
+// Sleep sleeps on the base clock (skew does not change durations
+// materially at realistic drift rates).
+func (s *Skewed) Sleep(d time.Duration) { s.base.Sleep(d) }
+
+// After defers to the base clock.
+func (s *Skewed) After(d time.Duration) <-chan time.Time { return s.base.After(d) }

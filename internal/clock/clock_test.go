@@ -1,0 +1,156 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	c := Real()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Error("real clock did not advance")
+	}
+}
+
+func TestFakeClockNow(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Errorf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(5 * time.Second)
+	if !f.Now().Equal(start.Add(5 * time.Second)) {
+		t.Errorf("Now = %v after advance", f.Now())
+	}
+}
+
+func TestFakeClockAfter(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case tm := <-ch:
+		if !tm.Equal(time.Unix(10, 0)) {
+			t.Errorf("fired at %v", tm)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestFakeClockAfterImmediate(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Error("zero-duration After should fire immediately")
+	}
+}
+
+func TestFakeClockSleepWakesOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Second)
+		close(done)
+	}()
+	// Give the sleeper a moment to register.
+	time.Sleep(10 * time.Millisecond)
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestSkewedClockOffset(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	s := NewSkewed(f, 3*time.Second, 0)
+	if got := s.Now(); !got.Equal(time.Unix(103, 0)) {
+		t.Errorf("skewed Now = %v, want 103s", got)
+	}
+}
+
+func TestSkewedClockDrift(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	s := NewSkewed(f, 0, 0.001) // 1000 ppm
+	f.Advance(1000 * time.Second)
+	want := time.Unix(1001, 0)
+	got := s.Now()
+	if got.Sub(want) > time.Millisecond || want.Sub(got) > time.Millisecond {
+		t.Errorf("drifted Now = %v, want ~%v", got, want)
+	}
+}
+
+func TestSampleOffsetAndDelay(t *testing.T) {
+	// Local clock 10s behind reference, 1s one-way delay.
+	s := Sample{
+		LocalSend: time.Unix(0, 0),
+		RemoteRx:  time.Unix(11, 0),
+		RemoteTx:  time.Unix(11, 0),
+		LocalRecv: time.Unix(2, 0),
+	}
+	if got := s.Offset(); got != 10*time.Second {
+		t.Errorf("Offset = %v, want 10s", got)
+	}
+	if got := s.Delay(); got != 2*time.Second {
+		t.Errorf("Delay = %v, want 2s", got)
+	}
+}
+
+func TestEstimateOffsetPrefersLowDelay(t *testing.T) {
+	good := Sample{ // offset +5s, delay 0
+		LocalSend: time.Unix(0, 0), RemoteRx: time.Unix(5, 0),
+		RemoteTx: time.Unix(5, 0), LocalRecv: time.Unix(0, 0),
+	}
+	noisy := Sample{ // offset +20s but huge delay
+		LocalSend: time.Unix(0, 0), RemoteRx: time.Unix(30, 0),
+		RemoteTx: time.Unix(30, 0), LocalRecv: time.Unix(20, 0),
+	}
+	off, err := EstimateOffset([]Sample{noisy, good, noisy, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 5*time.Second {
+		t.Errorf("EstimateOffset = %v, want 5s", off)
+	}
+}
+
+func TestEstimateOffsetEmpty(t *testing.T) {
+	if _, err := EstimateOffset(nil); err == nil {
+		t.Error("empty sample set should error")
+	}
+}
+
+func TestSyncEstimatesSkew(t *testing.T) {
+	ref := NewFake(time.Unix(1000, 0))
+	local := NewSkewed(ref, -7*time.Second, 0)
+	off, err := Sync(local, ref, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// local = ref - 7s, so offset of local relative to ref is +7s.
+	if off < 6900*time.Millisecond || off > 7100*time.Millisecond {
+		t.Errorf("Sync offset = %v, want ~7s", off)
+	}
+}
+
+func TestSyncInvalidCount(t *testing.T) {
+	if _, err := Sync(Real(), Real(), 0, 0); err == nil {
+		t.Error("zero samples should error")
+	}
+}

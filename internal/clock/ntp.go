@@ -1,0 +1,78 @@
+package clock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sample is one NTP-style round-trip measurement between a local clock and
+// a reference clock: the local send time, the reference receive/transmit
+// time, and the local receive time.
+type Sample struct {
+	LocalSend time.Time
+	RemoteRx  time.Time
+	RemoteTx  time.Time
+	LocalRecv time.Time
+}
+
+// Offset returns the estimated offset of the local clock relative to the
+// reference, using the standard NTP clock-offset formula
+// ((T2-T1)+(T3-T4))/2.
+func (s Sample) Offset() time.Duration {
+	a := s.RemoteRx.Sub(s.LocalSend)
+	b := s.RemoteTx.Sub(s.LocalRecv)
+	return (a + b) / 2
+}
+
+// Delay returns the estimated round-trip delay (T4-T1)-(T3-T2).
+func (s Sample) Delay() time.Duration {
+	return s.LocalRecv.Sub(s.LocalSend) - s.RemoteTx.Sub(s.RemoteRx)
+}
+
+// EstimateOffset combines multiple samples into a single offset estimate.
+// Following NTP practice, it prefers the samples with the smallest
+// round-trip delay (the delay bounds the offset error) and returns the
+// median offset of the best half.
+func EstimateOffset(samples []Sample) (time.Duration, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("clock: no samples")
+	}
+	sorted := make([]Sample, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Delay() < sorted[j].Delay() })
+	best := sorted[:(len(sorted)+1)/2]
+	offsets := make([]time.Duration, len(best))
+	for i, s := range best {
+		offsets[i] = s.Offset()
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	return offsets[len(offsets)/2], nil
+}
+
+// Sync performs n measurement exchanges between local and reference and
+// returns the estimated offset of local relative to reference. Each
+// exchange reads the local clock, reads the reference twice (receive and
+// transmit), and reads the local clock again; netDelay simulates the
+// one-way network latency of the exchange, and may be zero.
+func Sync(local, reference Clock, n int, netDelay time.Duration) (time.Duration, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("clock: invalid sample count %d", n)
+	}
+	samples := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		t1 := local.Now()
+		if netDelay > 0 {
+			local.Sleep(netDelay)
+		}
+		t2 := reference.Now()
+		t3 := reference.Now()
+		if netDelay > 0 {
+			local.Sleep(netDelay)
+		}
+		t4 := local.Now()
+		samples = append(samples, Sample{LocalSend: t1, RemoteRx: t2, RemoteTx: t3, LocalRecv: t4})
+	}
+	return EstimateOffset(samples)
+}

@@ -1,0 +1,115 @@
+// Package core is the public face of the test harness: it ties together
+// workload execution (internal/harness), the formal conformance model
+// (internal/model) and performance analysis (internal/analysis) into the
+// paper's overall flow — run a configured test against a provider,
+// collect the execution trace, verify every safety property, and compute
+// the performance measures.
+//
+// Typical use:
+//
+//	b, _ := broker.New(broker.Options{Profile: broker.ProviderI()})
+//	result, err := core.RunAndAnalyze(b, cfg, core.DefaultOptions())
+//	fmt.Print(result)
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/clock"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/trace"
+)
+
+// Options configures analysis.
+type Options struct {
+	// Model configures the safety-property checks.
+	Model model.Config
+	// Analysis configures the performance measures.
+	Analysis analysis.Options
+	// Clock is the time source for test execution; nil means real time.
+	Clock clock.Clock
+}
+
+// DefaultOptions returns the stock configuration.
+func DefaultOptions() Options {
+	return Options{Model: model.DefaultConfig()}
+}
+
+// Result is the outcome of analysing one test run.
+type Result struct {
+	// Test names the test.
+	Test string
+	// Stats summarises the raw trace.
+	Stats trace.Stats
+	// Conformance is the safety-property report.
+	Conformance *model.Report
+	// Performance is the §3.2 measures report.
+	Performance *analysis.Measures
+}
+
+// OK reports whether every safety property held.
+func (r *Result) OK() bool { return r.Conformance.OK() }
+
+// String renders the full report.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== test %s ===\n", r.Test)
+	fmt.Fprintf(&b, "trace: %d events, %d nodes, %d sends, %d delivers, %d commits, %d aborts, %d crashes\n",
+		r.Stats.Events, r.Stats.Nodes, r.Stats.Sends, r.Stats.Delivers,
+		r.Stats.Commits, r.Stats.Aborts, r.Stats.Crashes)
+	b.WriteString("--- conformance ---\n")
+	b.WriteString(r.Conformance.String())
+	b.WriteString("--- performance ---\n")
+	b.WriteString(r.Performance.String())
+	return b.String()
+}
+
+// Analyze checks a merged trace against the formal model and computes
+// its performance measures.
+func Analyze(name string, tr *trace.Trace, opts Options) (*Result, error) {
+	report, err := model.Check(tr, opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: conformance analysis of %s: %w", name, err)
+	}
+	measures, err := analysis.Analyze(tr, opts.Analysis)
+	if err != nil {
+		return nil, fmt.Errorf("core: performance analysis of %s: %w", name, err)
+	}
+	return &Result{
+		Test:        name,
+		Stats:       tr.Summarize(),
+		Conformance: report,
+		Performance: measures,
+	}, nil
+}
+
+// RunAndAnalyze executes one configured test against a provider and
+// analyses the resulting trace.
+func RunAndAnalyze(factory jms.ConnectionFactory, cfg harness.Config, opts Options) (*Result, error) {
+	runner := harness.NewRunner(factory, opts.Clock)
+	tr, err := runner.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s: %w", cfg.Name, err)
+	}
+	return Analyze(cfg.Name, tr, opts)
+}
+
+// RunSuite executes a series of tests in order (as the daemon prince
+// schedules tests in the paper's architecture), continuing past
+// conformance failures so a whole suite reports in one pass. Run errors
+// abort the suite.
+func RunSuite(factory jms.ConnectionFactory, cfgs []harness.Config, opts Options) ([]*Result, error) {
+	results := make([]*Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		res, err := RunAndAnalyze(factory, cfg, opts)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/faults"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+)
+
+func testConfig(name string) harness.Config {
+	return harness.Config{
+		Name:        name,
+		Destination: jms.Queue("coreq-" + name),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 300, BodySize: 32}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1"}},
+		Warmup:      10 * time.Millisecond,
+		Run:         150 * time.Millisecond,
+		Warmdown:    100 * time.Millisecond,
+	}
+}
+
+func newBroker(t *testing.T) *broker.Broker {
+	t.Helper()
+	b, err := broker.New(broker.Options{Name: "core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return b
+}
+
+func TestRunAndAnalyzeCleanProvider(t *testing.T) {
+	b := newBroker(t)
+	res, err := RunAndAnalyze(b, testConfig("clean"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("clean provider failed:\n%s", res)
+	}
+	if res.Performance.Consumer.Count == 0 {
+		t.Error("no throughput measured")
+	}
+	out := res.String()
+	for _, want := range []string{"conformance", "performance", "delivery-integrity", "msgs/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAndAnalyzeFlagsFaultyProvider(t *testing.T) {
+	b := newBroker(t)
+	res, err := RunAndAnalyze(faults.NewDropper(b, 3), testConfig("faulty"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("dropper passed conformance")
+	}
+	if r, ok := res.Conformance.Result(model.PropRequiredMessages); !ok || len(r.Violations) == 0 {
+		t.Error("required-messages not flagged")
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	b := newBroker(t)
+	cfgs := []harness.Config{testConfig("s1"), testConfig("s2")}
+	results, err := RunSuite(b, cfgs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Errorf("test %s failed:\n%s", r.Test, r)
+		}
+	}
+}
+
+func TestRunSuiteAbortsOnRunError(t *testing.T) {
+	b := newBroker(t)
+	bad := testConfig("bad")
+	bad.Producers = nil
+	bad.Consumers = nil
+	results, err := RunSuite(b, []harness.Config{testConfig("ok"), bad}, DefaultOptions())
+	if err == nil {
+		t.Error("invalid config should abort the suite")
+	}
+	if len(results) != 1 {
+		t.Errorf("partial results = %d, want 1", len(results))
+	}
+}
+
+func TestAnalyzeRejectsBrokenTrace(t *testing.T) {
+	if _, err := RunAndAnalyze(newBroker(t), harness.Config{Name: "x"}, DefaultOptions()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,259 @@
+// Package daemon implements the distributed coordination layer of the
+// paper's Figure 4: "The running of a test is handled by test daemons,
+// usually one to a machine. The test daemons are responsible for
+// launching the tests, starting the tests in a coordinated fashion and
+// monitoring the tests for completion (or failure). The test daemons are
+// coordinated by a daemon prince, a program responsible for scheduling
+// tests and ensuring that the test daemons stay coordinated."
+//
+// Coordination uses Go's net/rpc in place of Java RMI — like the paper,
+// deliberately a different transport from the middleware under test.
+// Collected logs are merged with NTP-style clock-offset correction
+// (internal/clock) and inserted into the results store
+// (internal/tracedb), with analysis performed by internal/core.
+package daemon
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"jmsharness/internal/clock"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/trace"
+)
+
+// registerGobTypes makes the interface-typed configuration fields
+// transportable over net/rpc. gob.Register is idempotent for a fixed
+// type/name pair, so calling this from every constructor is safe.
+func registerGobTypes() {
+	gob.Register(jms.Queue(""))
+	gob.Register(jms.Topic(""))
+}
+
+// Test states reported by Status.
+const (
+	StatePreparing = "preparing"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+)
+
+// testRun tracks one test executing on the daemon.
+type testRun struct {
+	state   string
+	err     string
+	events  []trace.Event
+	startCh chan struct{}
+	done    chan struct{}
+}
+
+// Daemon executes tests against a provider on behalf of the prince. It
+// is exported as the net/rpc service "Daemon".
+type Daemon struct {
+	name    string
+	factory jms.ConnectionFactory
+	clk     clock.Clock
+
+	mu   sync.Mutex
+	runs map[string]*testRun
+
+	listener net.Listener
+	server   *rpc.Server
+	serveWG  sync.WaitGroup
+}
+
+// NewDaemon returns a daemon named name that runs tests against
+// factory. clk may be nil for real time.
+func NewDaemon(name string, factory jms.ConnectionFactory, clk clock.Clock) *Daemon {
+	registerGobTypes()
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Daemon{name: name, factory: factory, clk: clk, runs: map[string]*testRun{}}
+}
+
+// Listen starts serving RPC on addr (e.g. "127.0.0.1:0") and returns
+// the bound address.
+func (d *Daemon) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("daemon: listening on %s: %w", addr, err)
+	}
+	d.listener = l
+	d.server = rpc.NewServer()
+	if err := d.server.RegisterName("Daemon", &service{d: d}); err != nil {
+		_ = l.Close()
+		return "", fmt.Errorf("daemon: registering service: %w", err)
+	}
+	d.serveWG.Add(1)
+	go func() {
+		defer d.serveWG.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			d.serveWG.Add(1)
+			go func() {
+				defer d.serveWG.Done()
+				d.server.ServeConn(conn)
+			}()
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// Close stops the RPC listener.
+func (d *Daemon) Close() error {
+	if d.listener == nil {
+		return nil
+	}
+	err := d.listener.Close()
+	return err
+}
+
+// service is the RPC-exposed surface (kept separate so Daemon's own
+// methods don't have to follow the net/rpc signature).
+type service struct {
+	d *Daemon
+}
+
+// PingArgs is the Ping request.
+type PingArgs struct{}
+
+// PingReply reports daemon identity and clock, for health checking and
+// NTP-style offset estimation.
+type PingReply struct {
+	Name string
+	Now  time.Time
+}
+
+// Ping reports liveness, identity and the daemon's clock reading.
+func (s *service) Ping(_ PingArgs, reply *PingReply) error {
+	reply.Name = s.d.name
+	reply.Now = s.d.clk.Now()
+	return nil
+}
+
+// PrepareArgs registers a test for later coordinated start.
+type PrepareArgs struct {
+	TestID string
+	Config harness.Config
+}
+
+// PrepareReply is empty.
+type PrepareReply struct{}
+
+// Prepare validates and registers a test.
+func (s *service) Prepare(args PrepareArgs, _ *PrepareReply) error {
+	if err := args.Config.Validate(); err != nil {
+		return err
+	}
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	if _, exists := s.d.runs[args.TestID]; exists {
+		return fmt.Errorf("daemon %s: test %q already prepared", s.d.name, args.TestID)
+	}
+	run := &testRun{state: StatePreparing, startCh: make(chan struct{}), done: make(chan struct{})}
+	s.d.runs[args.TestID] = run
+	cfg := args.Config
+	go func() {
+		<-run.startCh
+		tr, err := harness.NewRunner(s.d.factory, s.d.clk).Run(cfg)
+		s.d.mu.Lock()
+		defer s.d.mu.Unlock()
+		if err != nil {
+			run.state = StateFailed
+			run.err = err.Error()
+		} else {
+			run.state = StateDone
+			run.events = tr.Events
+		}
+		close(run.done)
+	}()
+	return nil
+}
+
+// StartArgs begins execution of a prepared test.
+type StartArgs struct {
+	TestID string
+}
+
+// StartReply is empty.
+type StartReply struct{}
+
+// Start releases a prepared test to run.
+func (s *service) Start(args StartArgs, _ *StartReply) error {
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	run, ok := s.d.runs[args.TestID]
+	if !ok {
+		return fmt.Errorf("daemon %s: unknown test %q", s.d.name, args.TestID)
+	}
+	if run.state != StatePreparing {
+		return fmt.Errorf("daemon %s: test %q already started", s.d.name, args.TestID)
+	}
+	run.state = StateRunning
+	close(run.startCh)
+	return nil
+}
+
+// StatusArgs queries a test's state.
+type StatusArgs struct {
+	TestID string
+}
+
+// StatusReply reports a test's state.
+type StatusReply struct {
+	State string
+	Err   string
+}
+
+// Status reports the state of a test.
+func (s *service) Status(args StatusArgs, reply *StatusReply) error {
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	run, ok := s.d.runs[args.TestID]
+	if !ok {
+		return fmt.Errorf("daemon %s: unknown test %q", s.d.name, args.TestID)
+	}
+	reply.State = run.state
+	reply.Err = run.err
+	return nil
+}
+
+// CollectArgs retrieves a finished test's log.
+type CollectArgs struct {
+	TestID string
+}
+
+// CollectReply carries the collected events.
+type CollectReply struct {
+	Events []trace.Event
+}
+
+// Collect returns a completed test's events and forgets the test, as
+// the paper's daemons return logs to the prince after completion.
+func (s *service) Collect(args CollectArgs, reply *CollectReply) error {
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	run, ok := s.d.runs[args.TestID]
+	if !ok {
+		return fmt.Errorf("daemon %s: unknown test %q", s.d.name, args.TestID)
+	}
+	if run.state != StateDone && run.state != StateFailed {
+		return fmt.Errorf("daemon %s: test %q is %s", s.d.name, args.TestID, run.state)
+	}
+	if run.state == StateFailed {
+		return errors.New(run.err)
+	}
+	reply.Events = run.events
+	delete(s.d.runs, args.TestID)
+	return nil
+}

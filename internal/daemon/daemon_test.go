@@ -1,0 +1,301 @@
+package daemon
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/clock"
+	"jmsharness/internal/core"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/wire"
+)
+
+// cluster is a full Figure-4 deployment on loopback: a broker behind a
+// wire server, n test daemons, and a prince.
+type cluster struct {
+	broker *broker.Broker
+	server *wire.Server
+	prince *Prince
+}
+
+func startCluster(t *testing.T, daemons int) *cluster {
+	t.Helper()
+	b, err := broker.New(broker.Options{Name: "clustered"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := wire.NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	addrs := make([]string, 0, daemons)
+	for i := 0; i < daemons; i++ {
+		d := NewDaemon(
+			"daemon-"+string(rune('A'+i)),
+			wire.NewFactory(srv.Addr()),
+			nil,
+		)
+		addr, err := d.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = d.Close() })
+		addrs = append(addrs, addr)
+	}
+	prince, err := NewPrince(addrs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		prince.Close()
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	return &cluster{broker: b, server: srv, prince: prince}
+}
+
+func TestPingAndNames(t *testing.T) {
+	c := startCluster(t, 2)
+	ds := c.prince.Daemons()
+	if len(ds) != 2 {
+		t.Fatalf("%d daemons", len(ds))
+	}
+	if ds[0].Name() != "daemon-A" || ds[1].Name() != "daemon-B" {
+		t.Errorf("names = %s, %s", ds[0].Name(), ds[1].Name())
+	}
+}
+
+func TestSyncClocks(t *testing.T) {
+	c := startCluster(t, 1)
+	if err := c.prince.SyncClocks(4); err != nil {
+		t.Fatal(err)
+	}
+	// Same machine: offset should be tiny.
+	if off := c.prince.Daemons()[0].Offset(); off > 50*time.Millisecond || off < -50*time.Millisecond {
+		t.Errorf("loopback offset = %v", off)
+	}
+}
+
+func TestSyncClocksDetectsSkew(t *testing.T) {
+	// A daemon on a skewed clock must be detected so its trace
+	// timestamps can be corrected.
+	b, err := broker.New(broker.Options{Name: "skewb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	skewed := clock.NewSkewed(clock.Real(), 3*time.Second, 0)
+	d := NewDaemon("skewed", b, skewed)
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	p, err := NewPrince([]string{addr}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SyncClocks(8); err != nil {
+		t.Fatal(err)
+	}
+	off := p.Daemons()[0].Offset()
+	if off < 2900*time.Millisecond || off > 3100*time.Millisecond {
+		t.Errorf("estimated offset = %v, want ~3s", off)
+	}
+}
+
+func TestSplitConfig(t *testing.T) {
+	cfg := harness.Config{
+		Name:        "split",
+		Destination: jms.Queue("q"),
+		Run:         time.Second,
+		Producers: []harness.ProducerConfig{
+			{ID: "p1", Rate: 1}, {ID: "p2", Rate: 1}, {ID: "p3", Rate: 1},
+		},
+		Consumers: []harness.ConsumerConfig{{ID: "c1"}, {ID: "c2"}},
+	}
+	parts := SplitConfig(cfg, 2)
+	if len(parts) != 2 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	if len(parts[0].Producers) != 2 || len(parts[1].Producers) != 1 {
+		t.Errorf("producer split = %d/%d", len(parts[0].Producers), len(parts[1].Producers))
+	}
+	if len(parts[0].Consumers) != 1 || len(parts[1].Consumers) != 1 {
+		t.Errorf("consumer split = %d/%d", len(parts[0].Consumers), len(parts[1].Consumers))
+	}
+	if parts[0].Name == parts[1].Name {
+		t.Error("part names must differ")
+	}
+	single := SplitConfig(cfg, 1)
+	if len(single) != 1 || len(single[0].Producers) != 3 {
+		t.Error("n=1 should be identity")
+	}
+	// More parts than workers: empties dropped.
+	many := SplitConfig(cfg, 10)
+	if len(many) > 5 {
+		t.Errorf("%d non-empty parts from 5 workers", len(many))
+	}
+}
+
+// TestDistributedEndToEnd is the full Figure-4 integration test:
+// producers on daemon A, consumers on daemon B, one shared provider
+// behind the wire protocol, coordinated by the prince; the merged trace
+// must satisfy the formal model.
+func TestDistributedEndToEnd(t *testing.T) {
+	c := startCluster(t, 2)
+	if err := c.prince.SyncClocks(4); err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness.Config{
+		Name:        "dist",
+		Destination: jms.Queue("distq"),
+		Producers: []harness.ProducerConfig{
+			{ID: "p1", Rate: 150, BodySize: 64},
+			{ID: "p2", Rate: 150, BodySize: 64},
+		},
+		Consumers: []harness.ConsumerConfig{{ID: "c1"}, {ID: "c2"}},
+		Warmup:    20 * time.Millisecond,
+		Run:       250 * time.Millisecond,
+		Warmdown:  400 * time.Millisecond,
+	}
+	res, err := c.prince.RunAndAnalyze(cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("distributed run failed conformance:\n%s", res)
+	}
+	if res.Stats.Nodes != 2 {
+		t.Errorf("merged trace has %d nodes, want 2", res.Stats.Nodes)
+	}
+	if res.Performance.Consumer.Count == 0 {
+		t.Error("nothing delivered")
+	}
+	// The prince stored the merged trace.
+	if c.prince.DB().Count("dist") == 0 {
+		t.Error("results store empty")
+	}
+}
+
+func TestDistributedFailureReported(t *testing.T) {
+	c := startCluster(t, 1)
+	// An invalid part must be rejected at Prepare time.
+	bad := harness.Config{Name: "bad"}
+	_, err := c.prince.RunDistributed("bad", []Assignment{{Daemon: 0, Config: bad}})
+	if err == nil || !strings.Contains(err.Error(), "preparing") {
+		t.Errorf("err = %v", err)
+	}
+	// Unknown daemon index.
+	if _, err := c.prince.RunDistributed("x", []Assignment{{Daemon: 9}}); err == nil {
+		t.Error("unknown daemon accepted")
+	}
+	// No assignments.
+	if _, err := c.prince.RunDistributed("x", nil); err == nil {
+		t.Error("empty assignment list accepted")
+	}
+}
+
+func TestDaemonRPCLifecycleErrors(t *testing.T) {
+	c := startCluster(t, 1)
+	client := c.prince.Daemons()[0]
+	// Start before prepare.
+	err := client.rpc.Call("Daemon.Start", StartArgs{TestID: "ghost"}, &StartReply{})
+	if err == nil {
+		t.Error("start of unknown test accepted")
+	}
+	// Status of unknown test.
+	if err := client.rpc.Call("Daemon.Status", StatusArgs{TestID: "ghost"}, &StatusReply{}); err == nil {
+		t.Error("status of unknown test accepted")
+	}
+	// Collect before done.
+	cfg := harness.Config{
+		Name:        "pending",
+		Destination: jms.Queue("q"),
+		Producers:   []harness.ProducerConfig{{ID: "p", Rate: 10}},
+		Run:         100 * time.Millisecond,
+	}
+	if err := client.rpc.Call("Daemon.Prepare", PrepareArgs{TestID: "t1", Config: cfg}, &PrepareReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.rpc.Call("Daemon.Collect", CollectArgs{TestID: "t1"}, &CollectReply{}); err == nil {
+		t.Error("collect of unstarted test accepted")
+	}
+	// Double prepare.
+	if err := client.rpc.Call("Daemon.Prepare", PrepareArgs{TestID: "t1", Config: cfg}, &PrepareReply{}); err == nil {
+		t.Error("double prepare accepted")
+	}
+	// Run it to completion so goroutines finish.
+	if err := client.rpc.Call("Daemon.Start", StartArgs{TestID: "t1"}, &StartReply{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var status StatusReply
+		if err := client.rpc.Call("Daemon.Status", StatusArgs{TestID: "t1"}, &status); err != nil {
+			t.Fatal(err)
+		}
+		if status.State == StateDone || status.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("test never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Double start after completion.
+	if err := client.rpc.Call("Daemon.Start", StartArgs{TestID: "t1"}, &StartReply{}); err == nil {
+		t.Error("double start accepted")
+	}
+}
+
+func TestPrinceRequiresDaemons(t *testing.T) {
+	if _, err := NewPrince(nil, nil, nil); err == nil {
+		t.Error("prince with no daemons accepted")
+	}
+	if _, err := NewPrince([]string{"127.0.0.1:1"}, nil, nil); err == nil {
+		t.Error("unreachable daemon accepted")
+	}
+}
+
+func TestModelOnDistributedTrace(t *testing.T) {
+	// Split pub/sub across daemons: publisher on A, durable subscriber
+	// on B.
+	c := startCluster(t, 2)
+	if err := c.prince.SyncClocks(4); err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness.Config{
+		Name:        "dist-pubsub",
+		Destination: jms.Topic("distt"),
+		Producers:   []harness.ProducerConfig{{ID: "pub", Rate: 200, BodySize: 32}},
+		Consumers: []harness.ConsumerConfig{
+			{ID: "sub", Durable: true, SubName: "ds", ClientID: "dc"},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      200 * time.Millisecond,
+		Warmdown: 400 * time.Millisecond,
+	}
+	parts := SplitConfig(cfg, 2)
+	assignments := make([]Assignment, len(parts))
+	for i, part := range parts {
+		assignments[i] = Assignment{Daemon: i, Config: part}
+	}
+	tr, err := c.prince.RunDistributed("dist-pubsub", assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("distributed pub/sub failed:\n%s", report)
+	}
+}

@@ -1,0 +1,245 @@
+package daemon
+
+import (
+	"fmt"
+	"net/rpc"
+	"time"
+
+	"jmsharness/internal/clock"
+	"jmsharness/internal/core"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/trace"
+	"jmsharness/internal/tracedb"
+)
+
+// Client is the prince's handle on one test daemon.
+type Client struct {
+	addr string
+	name string
+	rpc  *rpc.Client
+	// offset is the daemon clock's estimated offset relative to the
+	// prince (set by SyncClocks).
+	offset time.Duration
+}
+
+// DialDaemon connects to a daemon's RPC endpoint.
+func DialDaemon(addr string) (*Client, error) {
+	registerGobTypes()
+	rc, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: dialing %s: %w", addr, err)
+	}
+	var reply PingReply
+	if err := rc.Call("Daemon.Ping", PingArgs{}, &reply); err != nil {
+		_ = rc.Close()
+		return nil, fmt.Errorf("daemon: pinging %s: %w", addr, err)
+	}
+	return &Client{addr: addr, name: reply.Name, rpc: rc}, nil
+}
+
+// Name returns the daemon's self-reported name.
+func (c *Client) Name() string { return c.name }
+
+// Offset returns the daemon clock's estimated offset relative to the
+// prince.
+func (c *Client) Offset() time.Duration { return c.offset }
+
+// Close releases the RPC connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// Prince schedules tests across daemons, collects their logs, merges
+// them on a common timeline, stores them, and analyses them.
+type Prince struct {
+	clients []*Client
+	db      *tracedb.DB
+	clk     clock.Clock
+}
+
+// NewPrince connects to the daemons at addrs. clk may be nil for real
+// time; db may be nil for a fresh in-memory results store.
+func NewPrince(addrs []string, db *tracedb.DB, clk clock.Clock) (*Prince, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("daemon: prince needs at least one daemon")
+	}
+	if db == nil {
+		db = tracedb.New()
+	}
+	if clk == nil {
+		clk = clock.Real()
+	}
+	p := &Prince{db: db, clk: clk}
+	for _, addr := range addrs {
+		c, err := DialDaemon(addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Close disconnects from all daemons.
+func (p *Prince) Close() {
+	for _, c := range p.clients {
+		_ = c.Close()
+	}
+	p.clients = nil
+}
+
+// Daemons returns the connected daemons.
+func (p *Prince) Daemons() []*Client { return p.clients }
+
+// DB returns the prince's results store.
+func (p *Prince) DB() *tracedb.DB { return p.db }
+
+// SyncClocks estimates each daemon clock's offset relative to the
+// prince with NTP-style ping exchanges, enabling cross-node trace
+// merging (the paper relied on NTP's millisecond synchronisation).
+func (p *Prince) SyncClocks(samplesPerDaemon int) error {
+	if samplesPerDaemon <= 0 {
+		samplesPerDaemon = 8
+	}
+	for _, c := range p.clients {
+		samples := make([]clock.Sample, 0, samplesPerDaemon)
+		for i := 0; i < samplesPerDaemon; i++ {
+			t1 := p.clk.Now()
+			var reply PingReply
+			if err := c.rpc.Call("Daemon.Ping", PingArgs{}, &reply); err != nil {
+				return fmt.Errorf("daemon: syncing %s: %w", c.name, err)
+			}
+			t4 := p.clk.Now()
+			samples = append(samples, clock.Sample{
+				LocalSend: t1, RemoteRx: reply.Now, RemoteTx: reply.Now, LocalRecv: t4,
+			})
+		}
+		// The sample measures daemon-relative-to-prince; traces are
+		// adjusted by subtracting the offset of the node that logged
+		// them, so store the daemon's offset (remote minus local).
+		offset, err := clock.EstimateOffset(samples)
+		if err != nil {
+			return fmt.Errorf("daemon: syncing %s: %w", c.name, err)
+		}
+		c.offset = offset
+	}
+	return nil
+}
+
+// Assignment maps one part of a distributed test to a daemon.
+type Assignment struct {
+	// Daemon indexes into the prince's daemon list.
+	Daemon int
+	// Config is the part to run there. Its Node field is overwritten
+	// with the daemon's name so per-node logs merge cleanly.
+	Config harness.Config
+}
+
+// SplitConfig partitions a test's producers and consumers round-robin
+// across n parts, preserving the test-level settings — the paper's
+// "number of tests ... run in separate Java virtual machines and
+// distributed across several systems".
+func SplitConfig(cfg harness.Config, n int) []harness.Config {
+	if n <= 1 {
+		return []harness.Config{cfg}
+	}
+	parts := make([]harness.Config, n)
+	for i := range parts {
+		parts[i] = cfg
+		parts[i].Producers = nil
+		parts[i].Consumers = nil
+		parts[i].Name = fmt.Sprintf("%s.part%d", cfg.Name, i)
+	}
+	for i, pc := range cfg.Producers {
+		parts[i%n].Producers = append(parts[i%n].Producers, pc)
+	}
+	for i, cc := range cfg.Consumers {
+		parts[i%n].Consumers = append(parts[i%n].Consumers, cc)
+	}
+	// Drop empty parts (possible when there are fewer workers than
+	// parts).
+	out := parts[:0]
+	for _, part := range parts {
+		if len(part.Producers)+len(part.Consumers) > 0 {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// RunDistributed prepares each assignment on its daemon, starts them
+// together, waits for completion, collects and merges the logs (with
+// clock-offset correction) and stores the merged trace under testID.
+func (p *Prince) RunDistributed(testID string, assignments []Assignment) (*trace.Trace, error) {
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("daemon: test %q has no assignments", testID)
+	}
+	type placed struct {
+		client *Client
+		id     string
+	}
+	placements := make([]placed, 0, len(assignments))
+	for i, a := range assignments {
+		if a.Daemon < 0 || a.Daemon >= len(p.clients) {
+			return nil, fmt.Errorf("daemon: assignment %d names unknown daemon %d", i, a.Daemon)
+		}
+		client := p.clients[a.Daemon]
+		cfg := a.Config
+		cfg.Node = client.name
+		id := fmt.Sprintf("%s#%d", testID, i)
+		if err := client.rpc.Call("Daemon.Prepare", PrepareArgs{TestID: id, Config: cfg}, &PrepareReply{}); err != nil {
+			return nil, fmt.Errorf("daemon: preparing %s on %s: %w", id, client.name, err)
+		}
+		placements = append(placements, placed{client: client, id: id})
+	}
+	// Coordinated start.
+	for _, pl := range placements {
+		if err := pl.client.rpc.Call("Daemon.Start", StartArgs{TestID: pl.id}, &StartReply{}); err != nil {
+			return nil, fmt.Errorf("daemon: starting %s on %s: %w", pl.id, pl.client.name, err)
+		}
+	}
+	// Monitor for completion (or failure).
+	for _, pl := range placements {
+		for {
+			var status StatusReply
+			if err := pl.client.rpc.Call("Daemon.Status", StatusArgs{TestID: pl.id}, &status); err != nil {
+				return nil, fmt.Errorf("daemon: polling %s on %s: %w", pl.id, pl.client.name, err)
+			}
+			if status.State == StateDone {
+				break
+			}
+			if status.State == StateFailed {
+				return nil, fmt.Errorf("daemon: test %s failed on %s: %s", pl.id, pl.client.name, status.Err)
+			}
+			p.clk.Sleep(20 * time.Millisecond)
+		}
+	}
+	// Collect and merge.
+	logs := make([][]trace.Event, 0, len(placements))
+	offsets := map[string]time.Duration{}
+	for _, pl := range placements {
+		var collected CollectReply
+		if err := pl.client.rpc.Call("Daemon.Collect", CollectArgs{TestID: pl.id}, &collected); err != nil {
+			return nil, fmt.Errorf("daemon: collecting %s from %s: %w", pl.id, pl.client.name, err)
+		}
+		logs = append(logs, collected.Events)
+		offsets[pl.client.name] = pl.client.offset
+	}
+	tr := trace.Merge(logs, offsets)
+	p.db.BulkLoad(testID, tr.Events)
+	return tr, nil
+}
+
+// RunAndAnalyze runs a test split across all connected daemons and
+// returns the full analysis.
+func (p *Prince) RunAndAnalyze(cfg harness.Config, opts core.Options) (*core.Result, error) {
+	parts := SplitConfig(cfg, len(p.clients))
+	assignments := make([]Assignment, len(parts))
+	for i, part := range parts {
+		assignments[i] = Assignment{Daemon: i % len(p.clients), Config: part}
+	}
+	tr, err := p.RunDistributed(cfg.Name, assignments)
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(cfg.Name, tr, opts)
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+	"jmsharness/internal/faults"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/tracedb"
+)
+
+// ConformanceRow is one row of the fault-detection matrix: a provider
+// (correct or seeded with a specific fault) and what the checker found.
+type ConformanceRow struct {
+	// Provider names the provider variant.
+	Provider string
+	// SeededProperty is the property the seeded fault should violate
+	// ("" for the correct provider).
+	SeededProperty model.Property
+	// Detected reports whether that property (or, for the correct
+	// provider, full conformance) came out as expected.
+	Detected bool
+	// Violations is the number of violations of the seeded property.
+	Violations int
+	// TotalViolations counts violations across all properties.
+	TotalViolations int
+}
+
+// ConformanceMatrix exercises the harness's reason for existing: each
+// seeded provider fault must be caught by the matching safety property,
+// and the correct provider must pass everything. It returns one row per
+// provider variant.
+func ConformanceMatrix(scale float64) ([]ConformanceRow, error) {
+	baseCfg := func(name string) harness.Config {
+		return harness.Config{
+			Name:        name,
+			Destination: jms.Queue("conformance-" + name),
+			Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 400, BodySize: 64}},
+			Consumers:   []harness.ConsumerConfig{{ID: "c1"}},
+			Warmup:      scaleDur(20*time.Millisecond, scale),
+			Run:         scaleDur(250*time.Millisecond, scale),
+			Warmdown:    scaleDur(150*time.Millisecond, scale),
+		}
+	}
+	type variant struct {
+		name   string
+		seeded model.Property
+		wrap   func(jms.ConnectionFactory) jms.ConnectionFactory
+		adjust func(*harness.Config)
+		inner  broker.Profile
+	}
+	variants := []variant{
+		{name: "correct", wrap: func(f jms.ConnectionFactory) jms.ConnectionFactory { return f },
+			inner: broker.Unlimited()},
+		{name: "dropper", seeded: model.PropRequiredMessages,
+			wrap:  func(f jms.ConnectionFactory) jms.ConnectionFactory { return faults.NewDropper(f, 3) },
+			inner: broker.Unlimited()},
+		{name: "duplicator", seeded: model.PropNoDuplicates,
+			wrap:  func(f jms.ConnectionFactory) jms.ConnectionFactory { return faults.NewDuplicator(f, 4) },
+			inner: broker.Unlimited()},
+		{name: "reorderer", seeded: model.PropMessageOrdering,
+			wrap:  func(f jms.ConnectionFactory) jms.ConnectionFactory { return faults.NewReorderer(f, 5) },
+			inner: broker.Unlimited()},
+		{name: "corrupter", seeded: model.PropDeliveryIntegrity,
+			wrap:  func(f jms.ConnectionFactory) jms.ConnectionFactory { return faults.NewCorrupter(f, 4) },
+			inner: broker.Unlimited()},
+		{name: "ttl-ignorer", seeded: model.PropExpiredMessages,
+			wrap: func(f jms.ConnectionFactory) jms.ConnectionFactory { return faults.NewTTLIgnorer(f) },
+			adjust: func(cfg *harness.Config) {
+				cfg.Producers[0].TTLs = []time.Duration{0, time.Millisecond}
+			},
+			inner: broker.Profile{Name: "latent", BaseLatency: 15 * time.Millisecond}},
+		{name: "priority-inverter", seeded: model.PropMessagePriority,
+			wrap: func(f jms.ConnectionFactory) jms.ConnectionFactory { return faults.NewPriorityInverter(f, 5) },
+			adjust: func(cfg *harness.Config) {
+				cfg.Producers[0].Priorities = []jms.Priority{1, 9}
+			},
+			inner: broker.Unlimited()},
+	}
+
+	rows := make([]ConformanceRow, 0, len(variants))
+	for i, v := range variants {
+		b, err := broker.New(broker.Options{Name: v.name, Profile: v.inner, Seed: uint64(i + 1)})
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseCfg(v.name)
+		if v.adjust != nil {
+			v.adjust(&cfg)
+		}
+		tr, err := harness.NewRunner(v.wrap(b), nil).Run(cfg)
+		if err != nil {
+			_ = b.Close()
+			return nil, err
+		}
+		report, err := model.Check(tr, model.DefaultConfig())
+		if err != nil {
+			_ = b.Close()
+			return nil, err
+		}
+		if err := b.Close(); err != nil {
+			return nil, err
+		}
+		row := ConformanceRow{
+			Provider:        v.name,
+			SeededProperty:  v.seeded,
+			TotalViolations: len(report.Violations()),
+		}
+		if v.seeded == "" {
+			row.Detected = report.OK()
+		} else if res, ok := report.Result(v.seeded); ok {
+			row.Violations = len(res.Violations)
+			row.Detected = len(res.Violations) > 0
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatConformance renders the fault-detection matrix.
+func FormatConformance(rows []ConformanceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-22s %-9s %10s\n", "Provider", "SeededViolation", "Detected", "Violations")
+	for _, r := range rows {
+		seeded := string(r.SeededProperty)
+		if seeded == "" {
+			seeded = "(none: must pass)"
+		}
+		fmt.Fprintf(&b, "%-18s %-22s %-9t %10d\n", r.Provider, seeded, r.Detected, r.Violations)
+	}
+	return b.String()
+}
+
+// IngestResult compares the §4.1 analysis strategies on one synthetic
+// trace.
+type IngestResult struct {
+	Events         int
+	DBLoad         time.Duration
+	DBQuery        time.Duration
+	Streaming      time.Duration
+	DeliveredBoth  bool
+	ThroughputDiff float64
+}
+
+// IngestComparison reproduces the §4.1 experience: load a large trace
+// into the results database and query it, versus streaming aggregation
+// ("for performance testing, a database is not really necessary ...
+// computed by the daemon prince"). Both paths must agree on the
+// measures.
+func IngestComparison(events int) (*IngestResult, error) {
+	tr := SyntheticTrace(events)
+
+	dbStart := time.Now()
+	db := tracedb.New()
+	db.BulkLoad("ingest", tr.Events)
+	dbLoad := time.Since(dbStart)
+
+	queryStart := time.Now()
+	rows := db.Delays("ingest")
+	dbQuery := time.Since(queryStart)
+
+	streamStart := time.Now()
+	agg := analysis.NewStreamAggregator()
+	for _, ev := range tr.Events {
+		agg.Observe(ev)
+	}
+	streamed := agg.Finalize()
+	streaming := time.Since(streamStart)
+
+	batch, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &IngestResult{
+		Events:         len(tr.Events),
+		DBLoad:         dbLoad,
+		DBQuery:        dbQuery,
+		Streaming:      streaming,
+		DeliveredBoth:  int64(len(rows)) == streamed.Consumer.Count,
+		ThroughputDiff: streamed.Consumer.PerSecond - batch.Consumer.PerSecond,
+	}, nil
+}
+
+// FormatIngest renders the ingest comparison.
+func FormatIngest(r *IngestResult) string {
+	return fmt.Sprintf(
+		"events=%d db-load=%v db-query=%v streaming=%v agree=%t (throughput diff %.3f msgs/s)\n",
+		r.Events, r.DBLoad, r.DBQuery, r.Streaming, r.DeliveredBoth, r.ThroughputDiff)
+}

@@ -1,0 +1,367 @@
+// Package experiments regenerates every figure and reported result of
+// the paper's evaluation. Each experiment builds a workload
+// configuration, runs it through the harness against a profiled
+// provider, analyses the trace, and returns the same rows/series the
+// paper reports:
+//
+//   - Figure 1: the ordering-violation scenario (detected, not plotted);
+//   - Figure 2: Provider I throughput vs demand (flat saturation);
+//   - Figure 3: Provider II throughput vs demand (subscriber droop);
+//   - §3.2: the full performance-measure block;
+//   - footnote 9: the three-provider ×10 comparison;
+//   - §4.1: per-event DB ingest vs streaming aggregation.
+//
+// Durations are scaled by a single Scale knob so the same experiments
+// serve both quick benchmarks and longer, lower-variance runs.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+	"jmsharness/internal/faults"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/trace"
+)
+
+// SweepOptions configures a throughput-vs-demand sweep.
+type SweepOptions struct {
+	// Profile is the provider profile under test.
+	Profile broker.Profile
+	// DemandsBps are the x-axis points in body bytes per second, as in
+	// the paper's Figures 2–3 ("Demand (b/s)" from 0 to 500,000).
+	DemandsBps []float64
+	// MsgSize is the message body size in bytes.
+	MsgSize int
+	// Run is the measured run period per point; Warmup and Warmdown
+	// bracket it.
+	Warmup, Run, Warmdown time.Duration
+}
+
+// DefaultDemands is the paper's x-axis: 50,000 to 500,000 b/s.
+func DefaultDemands() []float64 {
+	out := make([]float64, 0, 10)
+	for d := 50_000.0; d <= 500_000; d += 50_000 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Figure2Options returns the sweep reproducing Figure 2 (Provider I,
+// 1 KiB messages: at 500,000 b/s demand the offered rate is ≈488
+// msgs/s, far beyond the provider's ≈45 msgs/s capacity).
+func Figure2Options(scale float64) SweepOptions {
+	return SweepOptions{
+		Profile:    broker.ProviderI(),
+		DemandsBps: DefaultDemands(),
+		MsgSize:    1024,
+		Warmup:     scaleDur(200*time.Millisecond, scale),
+		Run:        scaleDur(time.Second, scale),
+		Warmdown:   scaleDur(300*time.Millisecond, scale),
+	}
+}
+
+// Figure3Options returns the sweep reproducing Figure 3 (Provider II,
+// 2,500-byte messages so the 0–500,000 b/s demand axis spans 0–200
+// msgs/s as in the paper's y-axis).
+func Figure3Options(scale float64) SweepOptions {
+	return SweepOptions{
+		Profile:    broker.ProviderII(),
+		DemandsBps: DefaultDemands(),
+		MsgSize:    2500,
+		Warmup:     scaleDur(200*time.Millisecond, scale),
+		Run:        scaleDur(1500*time.Millisecond, scale),
+		Warmdown:   scaleDur(300*time.Millisecond, scale),
+	}
+}
+
+func scaleDur(d time.Duration, scale float64) time.Duration {
+	if scale <= 0 {
+		scale = 1
+	}
+	return time.Duration(float64(d) * scale)
+}
+
+// ThroughputPoint is one point of a Figure 2/3 series.
+type ThroughputPoint struct {
+	// DemandBps is the offered load in body bytes/second.
+	DemandBps float64
+	// OfferedMsgs is the offered load in messages/second.
+	OfferedMsgs float64
+	// PublisherMsgs and SubscriberMsgs are the measured throughputs in
+	// messages/second ("Publisher Msgs" / "Subscriber Msgs").
+	PublisherMsgs  float64
+	SubscriberMsgs float64
+	// PublisherBps and SubscriberBps are the byte-rate equivalents.
+	PublisherBps  float64
+	SubscriberBps float64
+}
+
+// ThroughputSweep runs one pub/sub throughput-vs-demand sweep: a single
+// publisher paced at the demand rate, a single subscriber, fresh broker
+// per point (as the paper reset the provider between tests).
+func ThroughputSweep(opts SweepOptions) ([]ThroughputPoint, error) {
+	points := make([]ThroughputPoint, 0, len(opts.DemandsBps))
+	for i, demand := range opts.DemandsBps {
+		rate := demand / float64(opts.MsgSize)
+		if rate <= 0 {
+			return nil, fmt.Errorf("experiments: demand %v with size %d yields no rate", demand, opts.MsgSize)
+		}
+		b, err := broker.New(broker.Options{
+			Name:    fmt.Sprintf("sweep-%d", i),
+			Profile: opts.Profile,
+			Seed:    uint64(i + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := harness.Config{
+			Name:        fmt.Sprintf("%s-demand-%.0f", opts.Profile.Name, demand),
+			Destination: jms.Topic("throughput"),
+			Producers: []harness.ProducerConfig{{
+				ID: "publisher", Rate: rate, BodySize: opts.MsgSize,
+				Mode: jms.NonPersistent,
+			}},
+			Consumers: []harness.ConsumerConfig{{ID: "subscriber"}},
+			Warmup:    opts.Warmup,
+			Run:       opts.Run,
+			Warmdown:  opts.Warmdown,
+			Seed:      uint64(i + 1),
+		}
+		tr, err := harness.NewRunner(b, nil).Run(cfg)
+		if err != nil {
+			_ = b.Close()
+			return nil, err
+		}
+		m, err := analysis.Analyze(tr, analysis.Options{})
+		if err != nil {
+			_ = b.Close()
+			return nil, err
+		}
+		if err := b.Close(); err != nil {
+			return nil, err
+		}
+		points = append(points, ThroughputPoint{
+			DemandBps:      demand,
+			OfferedMsgs:    rate,
+			PublisherMsgs:  m.Producer.PerSecond,
+			SubscriberMsgs: m.Consumer.PerSecond,
+			PublisherBps:   m.Producer.BytesPerSecond,
+			SubscriberBps:  m.Consumer.BytesPerSecond,
+		})
+	}
+	return points, nil
+}
+
+// FormatThroughputTable renders a sweep as the rows behind a Figure 2/3
+// plot.
+func FormatThroughputTable(title string, points []ThroughputPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%12s %12s %14s %15s\n", "Demand(b/s)", "Offered/s", "PublisherMsgs", "SubscriberMsgs")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12.0f %12.1f %14.1f %15.1f\n",
+			p.DemandBps, p.OfferedMsgs, p.PublisherMsgs, p.SubscriberMsgs)
+	}
+	return b.String()
+}
+
+// FormatThroughputCSV renders a sweep as CSV, one row per demand point,
+// for plotting Figures 2–3 with external tools.
+func FormatThroughputCSV(points []ThroughputPoint) string {
+	var b strings.Builder
+	b.WriteString("demand_bps,offered_msgs_per_s,publisher_msgs_per_s,subscriber_msgs_per_s\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.0f,%.2f,%.2f,%.2f\n",
+			p.DemandBps, p.OfferedMsgs, p.PublisherMsgs, p.SubscriberMsgs)
+	}
+	return b.String()
+}
+
+// Figure1Result reports the ordering-violation demonstration.
+type Figure1Result struct {
+	// Violations is the number of ordering violations the checker found
+	// (must be > 0: the scenario of Figure 1 exists and is detected).
+	Violations int
+	// Example is the first violation's description.
+	Example string
+}
+
+// Figure1 reproduces the paper's Figure 1 scenario: a publisher and a
+// subscriber where msg' overtakes msg in transit, and shows that
+// Property 3 detects it. The reordering is injected with the faults
+// wrapper around a correct provider.
+func Figure1(scale float64) (*Figure1Result, error) {
+	b, err := broker.New(broker.Options{Name: "fig1"})
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	cfg := harness.Config{
+		Name:        "figure1",
+		Destination: jms.Topic("fig1"),
+		Producers:   []harness.ProducerConfig{{ID: "publisher", Rate: 300, BodySize: 64}},
+		Consumers:   []harness.ConsumerConfig{{ID: "subscriber"}},
+		Warmup:      scaleDur(20*time.Millisecond, scale),
+		Run:         scaleDur(250*time.Millisecond, scale),
+		Warmdown:    scaleDur(150*time.Millisecond, scale),
+	}
+	tr, err := harness.NewRunner(faults.NewReorderer(b, 7), nil).Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	res, _ := report.Result(model.PropMessageOrdering)
+	out := &Figure1Result{Violations: len(res.Violations)}
+	if len(res.Violations) > 0 {
+		out.Example = res.Violations[0].String()
+	}
+	return out, nil
+}
+
+// MeasuresResult carries the §3.2 performance-measure block for a
+// mixed workload, together with its conformance report.
+type MeasuresResult struct {
+	Measures    *analysis.Measures
+	Conformance *model.Report
+}
+
+// PerformanceMeasures runs the §3.2 measurement workload: two producers
+// at different priorities and two consumers on one queue, reporting
+// producer/consumer throughput, delay statistics and fairness.
+func PerformanceMeasures(scale float64) (*MeasuresResult, error) {
+	b, err := broker.New(broker.Options{Name: "measures", Profile: broker.ProviderB()})
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	cfg := harness.Config{
+		Name:        "measures",
+		Destination: jms.Queue("measured"),
+		Producers: []harness.ProducerConfig{
+			{ID: "p-high", Rate: 60, BodySize: 512, Priorities: []jms.Priority{8}},
+			{ID: "p-low", Rate: 60, BodySize: 512, Priorities: []jms.Priority{1}},
+		},
+		Consumers: []harness.ConsumerConfig{{ID: "c1"}, {ID: "c2"}},
+		Warmup:    scaleDur(200*time.Millisecond, scale),
+		Run:       scaleDur(time.Second, scale),
+		Warmdown:  scaleDur(300*time.Millisecond, scale),
+	}
+	tr, err := harness.NewRunner(b, nil).Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		return nil, err
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &MeasuresResult{Measures: m, Conformance: report}, nil
+}
+
+// ComparisonRow is one provider's result in the footnote-9 comparison.
+type ComparisonRow struct {
+	Provider       string
+	PublisherMsgs  float64
+	SubscriberMsgs float64
+	MeanDelay      time.Duration
+}
+
+// ProviderComparison reproduces footnote 9: the same saturating workload
+// against three providers whose throughputs differ by roughly a factor
+// of 10 between the fastest and the slowest.
+func ProviderComparison(scale float64) ([]ComparisonRow, error) {
+	profiles := []broker.Profile{broker.ProviderA(), broker.ProviderB(), broker.ProviderC()}
+	rows := make([]ComparisonRow, 0, len(profiles))
+	for i, profile := range profiles {
+		b, err := broker.New(broker.Options{Name: profile.Name, Profile: profile, Seed: uint64(i + 1)})
+		if err != nil {
+			return nil, err
+		}
+		cfg := harness.Config{
+			Name:        "compare-" + profile.Name,
+			Destination: jms.Topic("compare"),
+			Producers: []harness.ProducerConfig{{
+				ID: "publisher", Rate: 1000, BodySize: 512, Mode: jms.NonPersistent,
+			}},
+			Consumers: []harness.ConsumerConfig{{ID: "subscriber"}},
+			Warmup:    scaleDur(200*time.Millisecond, scale),
+			Run:       scaleDur(time.Second, scale),
+			Warmdown:  scaleDur(300*time.Millisecond, scale),
+			Seed:      uint64(i + 1),
+		}
+		tr, err := harness.NewRunner(b, nil).Run(cfg)
+		if err != nil {
+			_ = b.Close()
+			return nil, err
+		}
+		m, err := analysis.Analyze(tr, analysis.Options{})
+		if err != nil {
+			_ = b.Close()
+			return nil, err
+		}
+		if err := b.Close(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, ComparisonRow{
+			Provider:       profile.Name,
+			PublisherMsgs:  m.Producer.PerSecond,
+			SubscriberMsgs: m.Consumer.PerSecond,
+			MeanDelay:      m.Delay.Mean,
+		})
+	}
+	return rows, nil
+}
+
+// FormatComparison renders the comparison table.
+func FormatComparison(rows []ComparisonRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %15s %12s\n", "Provider", "PublisherMsgs", "SubscriberMsgs", "MeanDelay")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14.1f %15.1f %12s\n", r.Provider, r.PublisherMsgs, r.SubscriberMsgs, r.MeanDelay)
+	}
+	return b.String()
+}
+
+// SyntheticTrace builds a deterministic trace of roughly n events for
+// the §4.1 ingest experiments: sends matched with deliveries across a
+// handful of producers and consumers, with run-phase markers.
+func SyntheticTrace(n int) *trace.Trace {
+	epoch := time.Unix(5000, 0)
+	var events []trace.Event
+	seq := int64(0)
+	add := func(ev trace.Event) {
+		seq++
+		ev.Node = "synthetic"
+		ev.Seq = seq
+		events = append(events, ev)
+	}
+	add(trace.Event{Type: trace.EventPhase, Detail: trace.PhaseRun, Time: epoch})
+	msgs := n / 3
+	for i := 0; i < msgs; i++ {
+		producer := fmt.Sprintf("p%d", i%4)
+		consumer := fmt.Sprintf("c%d", i%3)
+		uid := trace.MessageUID(producer, int64(i))
+		at := epoch.Add(time.Duration(i) * 100 * time.Microsecond)
+		add(trace.Event{Type: trace.EventSendStart, Time: at, Producer: producer,
+			MsgUID: uid, MsgSeq: int64(i), Dest: "queue:synth", BodyBytes: 256})
+		add(trace.Event{Type: trace.EventSendEnd, Time: at.Add(50 * time.Microsecond),
+			Producer: producer, MsgUID: uid, MsgSeq: int64(i), Dest: "queue:synth", BodyBytes: 256})
+		add(trace.Event{Type: trace.EventDeliver, Time: at.Add(2 * time.Millisecond),
+			Consumer: consumer, MsgUID: uid, Endpoint: "queue:synth", Dest: "queue:synth", BodyBytes: 256})
+	}
+	add(trace.Event{Type: trace.EventPhase, Detail: trace.PhaseWarmdown,
+		Time: epoch.Add(time.Duration(msgs) * 100 * time.Microsecond).Add(time.Second)})
+	return &trace.Trace{Events: events}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+)
+
+// reducedSweep trims a sweep to three representative demand points and
+// shortens the periods, keeping unit tests fast while preserving shape.
+func reducedSweep(opts SweepOptions) SweepOptions {
+	opts.DemandsBps = []float64{50_000, 250_000, 500_000}
+	opts.Warmup = 100 * time.Millisecond
+	opts.Run = 600 * time.Millisecond
+	opts.Warmdown = 200 * time.Millisecond
+	return opts
+}
+
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent sweep")
+	}
+	points, err := ThroughputSweep(reducedSweep(Figure2Options(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, mid, high := points[0], points[1], points[2]
+	// Below saturation (~49 offered vs 45 capacity) both near demand.
+	if low.PublisherMsgs < 30 {
+		t.Errorf("low-demand publisher = %.1f", low.PublisherMsgs)
+	}
+	// Past saturation both plateau near the 45 msgs/s capacity: flat,
+	// not collapsing and not climbing.
+	for _, p := range []ThroughputPoint{mid, high} {
+		if p.PublisherMsgs < 35 || p.PublisherMsgs > 60 {
+			t.Errorf("saturated publisher = %.1f, want ~45", p.PublisherMsgs)
+		}
+		if p.SubscriberMsgs < 30 || p.SubscriberMsgs > 60 {
+			t.Errorf("saturated subscriber = %.1f, want ~45", p.SubscriberMsgs)
+		}
+	}
+	// Flat plateau: within 25% of each other.
+	if diff := mid.SubscriberMsgs - high.SubscriberMsgs; diff > mid.SubscriberMsgs*0.25 {
+		t.Errorf("plateau not flat: %.1f then %.1f", mid.SubscriberMsgs, high.SubscriberMsgs)
+	}
+	t.Logf("\n%s", FormatThroughputTable("figure 2 (reduced)", points))
+}
+
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent sweep")
+	}
+	points, err := ThroughputSweep(reducedSweep(Figure3Options(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, mid, high := points[0], points[1], points[2]
+	// Publisher tracks demand (no ingress flow control): 20, 100, 200.
+	if low.PublisherMsgs < 15 || low.PublisherMsgs > 25 {
+		t.Errorf("publisher at 50k = %.1f, want ~20", low.PublisherMsgs)
+	}
+	if high.PublisherMsgs < 160 {
+		t.Errorf("publisher at 500k = %.1f, want ~200", high.PublisherMsgs)
+	}
+	// Subscriber tracks demand below capacity...
+	if low.SubscriberMsgs < 15 {
+		t.Errorf("subscriber at 50k = %.1f", low.SubscriberMsgs)
+	}
+	if mid.SubscriberMsgs < 80 {
+		t.Errorf("subscriber at 250k = %.1f, want ~100", mid.SubscriberMsgs)
+	}
+	// ...and DROPS when over-stressed: the 500k point must fall below
+	// the provider's nominal 180 msgs/s and below what pure saturation
+	// would give.
+	if high.SubscriberMsgs >= high.PublisherMsgs {
+		t.Errorf("subscriber (%.1f) should lag publisher (%.1f) when over-stressed",
+			high.SubscriberMsgs, high.PublisherMsgs)
+	}
+	if high.SubscriberMsgs > 175 {
+		t.Errorf("subscriber at 500k = %.1f, want visible degradation below 180", high.SubscriberMsgs)
+	}
+	t.Logf("\n%s", FormatThroughputTable("figure 3 (reduced)", points))
+}
+
+func TestFigure1Detected(t *testing.T) {
+	res, err := Figure1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Fatal("figure 1 scenario not detected")
+	}
+	if res.Example == "" {
+		t.Error("no example violation")
+	}
+}
+
+func TestPerformanceMeasures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	res, err := PerformanceMeasures(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conformance.OK() {
+		t.Errorf("measurement workload failed conformance:\n%s", res.Conformance)
+	}
+	m := res.Measures
+	if m.Producer.Count == 0 || m.Consumer.Count == 0 {
+		t.Fatal("no traffic measured")
+	}
+	if m.Delay.Mean <= 0 || m.Delay.Max < m.Delay.Mean || m.Delay.Min > m.Delay.Mean {
+		t.Errorf("incoherent delay stats: %+v", m.Delay)
+	}
+	if len(m.Fairness.PerProducerMean) != 2 || len(m.Fairness.PerConsumerMean) != 2 {
+		t.Errorf("fairness coverage: %d producers, %d consumers",
+			len(m.Fairness.PerProducerMean), len(m.Fairness.PerConsumerMean))
+	}
+}
+
+func TestProviderComparisonFactorOfTen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	rows, err := ProviderComparison(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	fast, slow := rows[0], rows[2]
+	ratio := fast.SubscriberMsgs / slow.SubscriberMsgs
+	// "performance differences of a factor of 10 in some cases".
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("fast/slow ratio = %.1f, want ~10\n%s", ratio, FormatComparison(rows))
+	}
+	if !(rows[0].SubscriberMsgs > rows[1].SubscriberMsgs && rows[1].SubscriberMsgs > rows[2].SubscriberMsgs) {
+		t.Errorf("ordering violated:\n%s", FormatComparison(rows))
+	}
+	t.Logf("\n%s", FormatComparison(rows))
+}
+
+func TestSyntheticTrace(t *testing.T) {
+	tr := SyntheticTrace(3000)
+	if len(tr.Events) < 2900 || len(tr.Events) > 3100 {
+		t.Errorf("synthetic trace has %d events", len(tr.Events))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Producer.Count == 0 || m.Consumer.Count == 0 {
+		t.Error("synthetic trace unusable for analysis")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	opts := Figure2Options(1)
+	opts.DemandsBps = []float64{0}
+	if _, err := ThroughputSweep(opts); err == nil {
+		t.Error("zero demand accepted")
+	}
+	bad := SweepOptions{Profile: broker.Profile{Name: "bad", SendRate: -1},
+		DemandsBps: []float64{1000}, MsgSize: 100, Run: time.Millisecond}
+	if _, err := ThroughputSweep(bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	table := FormatThroughputTable("t", []ThroughputPoint{{DemandBps: 1000, OfferedMsgs: 1, PublisherMsgs: 1, SubscriberMsgs: 1}})
+	if !strings.Contains(table, "Demand") || !strings.Contains(table, "1000") {
+		t.Errorf("table:\n%s", table)
+	}
+	cmp := FormatComparison([]ComparisonRow{{Provider: "x", PublisherMsgs: 1, SubscriberMsgs: 1, MeanDelay: time.Millisecond}})
+	if !strings.Contains(cmp, "Provider") || !strings.Contains(cmp, "x") {
+		t.Errorf("comparison:\n%s", cmp)
+	}
+}

@@ -1,0 +1,240 @@
+package faults
+
+import (
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// NewDropper returns a provider that silently discards every nth send
+// while reporting success — the classic lost-message bug that
+// Property 2 (required messages) exists to catch.
+func NewDropper(inner jms.ConnectionFactory, n int) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewSend: func() SendBehavior {
+			return &counterSend{n: n, act: func(*jms.Message, *jms.SendOptions) bool { return true }}
+		},
+	}
+}
+
+// NewTTLIgnorer returns a provider that strips time-to-live from every
+// send, so messages that should expire are delivered anyway — the
+// Property 5 part-one violation ("time-to-live should not be simply
+// ignored").
+func NewTTLIgnorer(inner jms.ConnectionFactory) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewSend: func() SendBehavior {
+			return sendFunc(func(_ *jms.Message, opts *jms.SendOptions) bool {
+				opts.TTL = 0
+				return false
+			})
+		},
+	}
+}
+
+// NewOverEagerExpirer returns a provider that silently "expires" (drops)
+// every message sent with any time-to-live at all, no matter how
+// generous — the Property 5 part-two violation.
+func NewOverEagerExpirer(inner jms.ConnectionFactory) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewSend: func() SendBehavior {
+			return sendFunc(func(_ *jms.Message, opts *jms.SendOptions) bool {
+				return opts.TTL > 0
+			})
+		},
+	}
+}
+
+// NewDuplicator returns a provider that delivers every nth received
+// message twice, without flagging the copy as redelivered — caught by
+// the no-duplicates check in auto/client acknowledgement modes.
+func NewDuplicator(inner jms.ConnectionFactory, n int) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewRecv: func() RecvBehavior {
+			count := 0
+			return recvFunc(func(msg *jms.Message) []*jms.Message {
+				count++
+				if count%n == 0 {
+					return []*jms.Message{msg, msg.Clone()}
+				}
+				return []*jms.Message{msg}
+			})
+		},
+	}
+}
+
+// NewReorderer returns a provider that holds back every nth received
+// message and delivers it after its successor — a Property 3 (FIFO
+// ordering) violation.
+func NewReorderer(inner jms.ConnectionFactory, n int) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewRecv: func() RecvBehavior {
+			count := 0
+			var held *jms.Message
+			return recvFunc(func(msg *jms.Message) []*jms.Message {
+				count++
+				if held != nil {
+					out := []*jms.Message{msg, held}
+					held = nil
+					return out
+				}
+				if count%n == 0 {
+					held = msg
+					return nil
+				}
+				return []*jms.Message{msg}
+			})
+		},
+	}
+}
+
+// NewCorrupter returns a provider that flips payload bytes of every nth
+// received message — a Property 1 (delivery integrity) violation caught
+// by the checksum comparison.
+func NewCorrupter(inner jms.ConnectionFactory, n int) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewRecv: func() RecvBehavior {
+			count := 0
+			return recvFunc(func(msg *jms.Message) []*jms.Message {
+				count++
+				if count%n == 0 {
+					corrupt(msg)
+				}
+				return []*jms.Message{msg}
+			})
+		},
+	}
+}
+
+// NewTrivial returns the paper's trivial provider: sends succeed but
+// nothing is ever delivered. It satisfies every safety property — the
+// reason the harness also measures performance.
+func NewTrivial(inner jms.ConnectionFactory) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewRecv: func() RecvBehavior {
+			return recvFunc(func(*jms.Message) []*jms.Message { return nil })
+		},
+	}
+}
+
+// NewPriorityInverter returns a provider that stalls every
+// high-priority (≥5) message until hold lower-priority messages have
+// been delivered — a Property 4 violation under mixed-priority load.
+func NewPriorityInverter(inner jms.ConnectionFactory, hold int) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewRecv: func() RecvBehavior {
+			return &priorityInverter{hold: hold}
+		},
+	}
+}
+
+// priorityInverter stashes high-priority messages and releases them only
+// after enough low-priority traffic (or on idle, so the delay never
+// becomes a drop).
+type priorityInverter struct {
+	hold  int
+	lows  int
+	stash []*jms.Message
+}
+
+var (
+	_ RecvBehavior = (*priorityInverter)(nil)
+	_ Flusher      = (*priorityInverter)(nil)
+)
+
+func (p *priorityInverter) TransformReceive(msg *jms.Message) []*jms.Message {
+	if msg.Priority >= 5 {
+		p.stash = append(p.stash, msg)
+		if len(p.stash) > 64 {
+			return p.Flush()
+		}
+		return nil
+	}
+	p.lows++
+	out := []*jms.Message{msg}
+	if p.lows%p.hold == 0 && len(p.stash) > 0 {
+		out = append(out, p.stash...)
+		p.stash = nil
+	}
+	return out
+}
+
+// Flush implements Flusher.
+func (p *priorityInverter) Flush() []*jms.Message {
+	out := p.stash
+	p.stash = nil
+	return out
+}
+
+// NewDelayer returns a provider that adds a fixed receive-side delay to
+// every message, for fairness and comparison experiments.
+func NewDelayer(inner jms.ConnectionFactory, delay time.Duration) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewRecv: func() RecvBehavior {
+			return recvFunc(func(msg *jms.Message) []*jms.Message {
+				time.Sleep(delay)
+				return []*jms.Message{msg}
+			})
+		},
+	}
+}
+
+// corrupt flips a byte of the message payload in a way that survives
+// every body kind.
+func corrupt(msg *jms.Message) {
+	switch body := msg.Body.(type) {
+	case jms.BytesBody:
+		if len(body) > 0 {
+			body[0] ^= 0xFF
+			return
+		}
+	case jms.TextBody:
+		if len(body) > 0 {
+			b := []byte(body)
+			b[0] ^= 0x20
+			msg.Body = jms.TextBody(b)
+			return
+		}
+	case jms.ObjectBody:
+		if len(body.Data) > 0 {
+			body.Data[0] ^= 0xFF
+			msg.Body = body
+			return
+		}
+	}
+	msg.Body = jms.TextBody("corrupted")
+}
+
+// sendFunc adapts a function to SendBehavior.
+type sendFunc func(*jms.Message, *jms.SendOptions) bool
+
+func (f sendFunc) TransformSend(msg *jms.Message, opts *jms.SendOptions) bool { return f(msg, opts) }
+
+// recvFunc adapts a function to RecvBehavior.
+type recvFunc func(*jms.Message) []*jms.Message
+
+func (f recvFunc) TransformReceive(msg *jms.Message) []*jms.Message { return f(msg) }
+
+// counterSend suppresses (or otherwise acts on) every nth send.
+type counterSend struct {
+	n     int
+	count int
+	act   func(*jms.Message, *jms.SendOptions) bool
+}
+
+func (c *counterSend) TransformSend(msg *jms.Message, opts *jms.SendOptions) bool {
+	c.count++
+	if c.n > 0 && c.count%c.n == 0 {
+		return c.act(msg, opts)
+	}
+	return false
+}

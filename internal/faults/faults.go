@@ -1,0 +1,220 @@
+// Package faults wraps a JMS provider with injectable misbehaviour:
+// silently dropped messages, duplicates, reordering, payload corruption,
+// ignored time-to-live, over-eager expiry, priority inversion, and the
+// paper's "trivial JMS implementation — one that never delivers any
+// messages". A conformance harness is only trustworthy if it catches
+// broken providers, so the test suite runs the checkers of
+// internal/model against each faulty wrapper and requires the seeded
+// violation class (and only the expected classes) to be detected.
+package faults
+
+import (
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// SendBehavior intercepts producer sends. Implementations are
+// per-producer and need not be thread-safe beyond the session's own
+// discipline.
+type SendBehavior interface {
+	// TransformSend may mutate the message or options before the real
+	// send, or suppress the send entirely (pretending success).
+	TransformSend(msg *jms.Message, opts *jms.SendOptions) (suppress bool)
+}
+
+// RecvBehavior intercepts consumer receives. Implementations are
+// per-consumer.
+type RecvBehavior interface {
+	// TransformReceive maps one actually-received message to the
+	// messages handed to the client, in order. Returning nil swallows
+	// the message; returning extras releases previously stashed ones.
+	TransformReceive(msg *jms.Message) []*jms.Message
+}
+
+// Flusher is an optional extension of RecvBehavior: when the underlying
+// receive times out with nothing to deliver, Flush gives the behaviour a
+// chance to release stashed messages instead of holding them forever
+// (turning an intended delay into a drop).
+type Flusher interface {
+	// Flush returns stashed messages to deliver now.
+	Flush() []*jms.Message
+}
+
+// Factory wraps an inner provider with fault injection. Behaviours are
+// created per producer/consumer so each keeps independent state.
+type Factory struct {
+	// Inner is the real provider.
+	Inner jms.ConnectionFactory
+	// NewSend creates the per-producer send behaviour; nil injects
+	// nothing on the send path.
+	NewSend func() SendBehavior
+	// NewRecv creates the per-consumer receive behaviour; nil injects
+	// nothing on the receive path.
+	NewRecv func() RecvBehavior
+}
+
+var _ jms.ConnectionFactory = (*Factory)(nil)
+
+// CreateConnection implements jms.ConnectionFactory.
+func (f *Factory) CreateConnection() (jms.Connection, error) {
+	conn, err := f.Inner.CreateConnection()
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Connection: conn, f: f}, nil
+}
+
+// faultConn wraps a connection. Embedding is deliberate here: the
+// wrapper forwards everything except session creation.
+type faultConn struct {
+	jms.Connection
+	f *Factory
+}
+
+func (c *faultConn) CreateSession(transacted bool, ackMode jms.AckMode) (jms.Session, error) {
+	sess, err := c.Connection.CreateSession(transacted, ackMode)
+	if err != nil {
+		return nil, err
+	}
+	return &faultSession{Session: sess, f: c.f}, nil
+}
+
+type faultSession struct {
+	jms.Session
+	f *Factory
+}
+
+func (s *faultSession) CreateProducer(dest jms.Destination) (jms.Producer, error) {
+	p, err := s.Session.CreateProducer(dest)
+	if err != nil {
+		return nil, err
+	}
+	fp := &faultProducer{Producer: p}
+	if s.f.NewSend != nil {
+		fp.behavior = s.f.NewSend()
+	}
+	return fp, nil
+}
+
+func (s *faultSession) CreateConsumer(dest jms.Destination) (jms.Consumer, error) {
+	c, err := s.Session.CreateConsumer(dest)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrapConsumer(c), nil
+}
+
+func (s *faultSession) CreateConsumerWithSelector(dest jms.Destination, selectorExpr string) (jms.Consumer, error) {
+	c, err := s.Session.CreateConsumerWithSelector(dest, selectorExpr)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrapConsumer(c), nil
+}
+
+func (s *faultSession) CreateDurableSubscriber(topic jms.Topic, name string) (jms.Consumer, error) {
+	c, err := s.Session.CreateDurableSubscriber(topic, name)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrapConsumer(c), nil
+}
+
+func (s *faultSession) CreateDurableSubscriberWithSelector(topic jms.Topic, name, selectorExpr string) (jms.Consumer, error) {
+	c, err := s.Session.CreateDurableSubscriberWithSelector(topic, name, selectorExpr)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrapConsumer(c), nil
+}
+
+func (s *faultSession) wrapConsumer(c jms.Consumer) jms.Consumer {
+	fc := &faultConsumer{Consumer: c}
+	if s.f.NewRecv != nil {
+		fc.behavior = s.f.NewRecv()
+	}
+	return fc
+}
+
+type faultProducer struct {
+	jms.Producer
+	behavior SendBehavior
+}
+
+func (p *faultProducer) Send(msg *jms.Message, opts jms.SendOptions) error {
+	if p.behavior != nil {
+		if suppress := p.behavior.TransformSend(msg, &opts); suppress {
+			return nil
+		}
+	}
+	return p.Producer.Send(msg, opts)
+}
+
+func (p *faultProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
+	if p.behavior != nil {
+		if suppress := p.behavior.TransformSend(msg, &opts); suppress {
+			return nil
+		}
+	}
+	return p.Producer.SendTo(dest, msg, opts)
+}
+
+type faultConsumer struct {
+	jms.Consumer
+	behavior RecvBehavior
+
+	mu      sync.Mutex
+	pending []*jms.Message
+}
+
+func (c *faultConsumer) Receive(timeout time.Duration) (*jms.Message, error) {
+	c.mu.Lock()
+	if len(c.pending) > 0 {
+		msg := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		return msg, nil
+	}
+	c.mu.Unlock()
+	msg, err := c.Consumer.Receive(timeout)
+	if err != nil {
+		return nil, err
+	}
+	if msg == nil {
+		// Timed out: let a stashing behaviour release what it holds.
+		if fl, ok := c.behavior.(Flusher); ok {
+			outs := fl.Flush()
+			if len(outs) > 0 {
+				c.mu.Lock()
+				c.pending = append(c.pending, outs[1:]...)
+				c.mu.Unlock()
+				return outs[0], nil
+			}
+		}
+		return nil, nil
+	}
+	if c.behavior == nil {
+		return msg, nil
+	}
+	outs := c.behavior.TransformReceive(msg)
+	if len(outs) == 0 {
+		// Swallowed: present it as a timeout.
+		return nil, nil
+	}
+	c.mu.Lock()
+	c.pending = append(c.pending, outs[1:]...)
+	c.mu.Unlock()
+	return outs[0], nil
+}
+
+func (c *faultConsumer) ReceiveNoWait() (*jms.Message, error) {
+	return c.Receive(time.Nanosecond)
+}
+
+// SetListener is not supported on fault-injected consumers; the harness
+// uses synchronous receives.
+func (c *faultConsumer) SetListener(l jms.Listener) error {
+	return jms.ErrInvalidArgument
+}

@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/trace"
+)
+
+// runTest executes a short harness run against the given provider.
+func runTest(t *testing.T, factory jms.ConnectionFactory, cfg harness.Config) *trace.Trace {
+	t.Helper()
+	tr, err := harness.NewRunner(factory, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func newInner(t *testing.T, profile broker.Profile) *broker.Broker {
+	t.Helper()
+	b, err := broker.New(broker.Options{Name: "inner", Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return b
+}
+
+func baseConfig(name string) harness.Config {
+	return harness.Config{
+		Name:        name,
+		Destination: jms.Queue("fq-" + name),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 400, BodySize: 32}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1"}},
+		Warmup:      10 * time.Millisecond,
+		Run:         200 * time.Millisecond,
+		Warmdown:    150 * time.Millisecond,
+	}
+}
+
+// checkCatches asserts that the checker flags wantProp (and that the
+// clean companion properties in mustHold still pass).
+func checkCatches(t *testing.T, tr *trace.Trace, cfg model.Config, wantProp model.Property, mustHold []model.Property) {
+	t.Helper()
+	report, err := model.Check(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := report.Result(wantProp)
+	if !ok {
+		t.Fatalf("property %s not in report", wantProp)
+	}
+	if len(res.Violations) == 0 {
+		t.Errorf("seeded %s violation NOT caught:\n%s", wantProp, report)
+	}
+	for _, p := range mustHold {
+		if r, ok := report.Result(p); ok && len(r.Violations) > 0 {
+			t.Errorf("collateral violations in %s: %v", p, r.Violations)
+		}
+	}
+}
+
+func TestCleanProviderPasses(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	tr := runTest(t, inner, baseConfig("clean"))
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("clean provider flagged:\n%s", report)
+	}
+}
+
+func TestDropperCaught(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	tr := runTest(t, NewDropper(inner, 3), baseConfig("dropper"))
+	checkCatches(t, tr, model.DefaultConfig(), model.PropRequiredMessages,
+		[]model.Property{model.PropDeliveryIntegrity, model.PropMessageOrdering, model.PropNoDuplicates})
+}
+
+func TestDuplicatorCaught(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	tr := runTest(t, NewDuplicator(inner, 4), baseConfig("duplicator"))
+	checkCatches(t, tr, model.DefaultConfig(), model.PropNoDuplicates,
+		[]model.Property{model.PropDeliveryIntegrity, model.PropRequiredMessages})
+}
+
+func TestReordererCaught(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	tr := runTest(t, NewReorderer(inner, 5), baseConfig("reorderer"))
+	checkCatches(t, tr, model.DefaultConfig(), model.PropMessageOrdering,
+		[]model.Property{model.PropDeliveryIntegrity, model.PropRequiredMessages, model.PropNoDuplicates})
+}
+
+func TestReordererCaughtByAutomaton(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	tr := runTest(t, NewReorderer(inner, 5), baseConfig("reorderer-ioa"))
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := report.Result(model.PropFIFOAutomaton)
+	if !ok || len(res.Violations) == 0 {
+		t.Error("I/O-automaton cross-check missed the reordering")
+	}
+}
+
+func TestCorrupterCaught(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	tr := runTest(t, NewCorrupter(inner, 4), baseConfig("corrupter"))
+	checkCatches(t, tr, model.DefaultConfig(), model.PropDeliveryIntegrity,
+		[]model.Property{model.PropMessageOrdering, model.PropNoDuplicates})
+}
+
+func TestTTLIgnorerCaught(t *testing.T) {
+	// Provider with real latency, so 1ms-TTL messages should expire; the
+	// wrapper makes the provider ignore TTL and deliver them anyway.
+	inner := newInner(t, broker.Profile{Name: "latent", BaseLatency: 15 * time.Millisecond})
+	cfg := baseConfig("ttl-ignorer")
+	cfg.Producers[0].TTLs = []time.Duration{0, time.Millisecond}
+	tr := runTest(t, NewTTLIgnorer(inner), cfg)
+	checkCatches(t, tr, model.DefaultConfig(), model.PropExpiredMessages,
+		[]model.Property{model.PropDeliveryIntegrity, model.PropRequiredMessages})
+}
+
+func TestOverEagerExpirerCaught(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	cfg := baseConfig("over-eager")
+	cfg.Producers[0].TTLs = []time.Duration{0, time.Hour}
+	tr := runTest(t, NewOverEagerExpirer(inner), cfg)
+	checkCatches(t, tr, model.DefaultConfig(), model.PropExpiredMessages,
+		[]model.Property{model.PropDeliveryIntegrity, model.PropRequiredMessages, model.PropMessageOrdering})
+}
+
+func TestPriorityInverterCaught(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	cfg := baseConfig("pri-inverter")
+	cfg.Producers[0].Priorities = []jms.Priority{1, 9}
+	cfg.Run = 300 * time.Millisecond
+	tr := runTest(t, NewPriorityInverter(inner, 5), cfg)
+	checkCatches(t, tr, model.DefaultConfig(), model.PropMessagePriority,
+		[]model.Property{model.PropDeliveryIntegrity, model.PropRequiredMessages})
+}
+
+func TestTrivialProviderPassesSafetyFailsThroughput(t *testing.T) {
+	// The paper's point: the trivial provider satisfies every safety
+	// property; only performance analysis exposes it.
+	inner := newInner(t, broker.Unlimited())
+	tr := runTest(t, NewTrivial(inner), baseConfig("trivial"))
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Errorf("trivial provider must pass safety:\n%s", report)
+	}
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Consumer.Count != 0 {
+		t.Errorf("trivial provider delivered %d messages", m.Consumer.Count)
+	}
+	if m.Producer.Count == 0 {
+		t.Error("trivial provider should still accept sends")
+	}
+}
+
+func TestDelayerAddsDelay(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	cfg := baseConfig("delayer")
+	cfg.Producers[0].Rate = 100
+	tr := runTest(t, NewDelayer(inner, 5*time.Millisecond), cfg)
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delay.Mean < 4*time.Millisecond {
+		t.Errorf("mean delay %v, want >= ~5ms", m.Delay.Mean)
+	}
+}
+
+func TestFaultConsumerListenerRejected(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	f := NewTrivial(inner)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(jms.Queue("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetListener(func(*jms.Message) {}); err == nil {
+		t.Error("listener on fault consumer should be rejected")
+	}
+}
+
+func TestFaultWrapperPreservesEndpoint(t *testing.T) {
+	inner := newInner(t, broker.Unlimited())
+	f := NewDuplicator(inner, 2)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(jms.Queue("ep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EndpointID() != "queue:ep" {
+		t.Errorf("EndpointID = %q", c.EndpointID())
+	}
+}

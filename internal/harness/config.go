@@ -1,0 +1,250 @@
+// Package harness runs configured tests against a JMS provider and
+// produces execution traces for analysis. It is the "Test" box of the
+// paper's Figure 4 architecture: "A test creates a variety of producers
+// and consumers and starts sending and receiving messages. As each
+// message is sent and received, these events are logged ... along with
+// the unique message identifier and a timestamp. Individual producers
+// and consumers can be configured with different message production,
+// persistence, durability and other characteristics."
+//
+// A run has warm-up, run and warm-down periods (§3.2): producers send
+// during warm-up and run; during warm-down they stop so consumers can
+// drain the tail of unconsumed messages. Every configuration knob the
+// paper names is available: message body type and size, priority,
+// delivery mode, transactions (for producers and consumers),
+// acknowledgement mode, durable subscriptions, and steady/burst/Poisson
+// send profiles. Crash injection (the paper's §5 future work) is
+// supported against providers that expose Crash/Restart; harness workers
+// reconnect and keep logging, so persistent delivery across failures is
+// tested end to end.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/stats"
+)
+
+// ProducerConfig describes one logical message producer.
+type ProducerConfig struct {
+	// ID is the logical producer identity used in trace events.
+	ID string
+	// Destination overrides the test-level destination.
+	Destination jms.Destination
+	// Rate is the target send rate in messages/second.
+	Rate float64
+	// Profile selects the pacing profile; zero means steady.
+	Profile stats.Profile
+	// BurstSize is the burst length for the burst profile.
+	BurstSize int
+	// BodyKind selects the message body type; zero means bytes.
+	BodyKind jms.BodyKind
+	// BodySize is the approximate body payload size in bytes.
+	BodySize int
+	// Priorities are assigned round-robin across sends; empty means
+	// the default priority. Configuring several priorities at one rate
+	// is how Property 4 is tested ("messages produced for the different
+	// priorities are produced at the same rate").
+	Priorities []jms.Priority
+	// Mode is the delivery mode; zero means persistent.
+	Mode jms.DeliveryMode
+	// TTLs are assigned round-robin across sends; empty means no
+	// expiration. The stock expiry configuration uses {0, 1ms}.
+	TTLs []time.Duration
+	// Transacted makes the producer's session transacted, committing
+	// every TxBatch sends.
+	Transacted bool
+	// TxBatch is the transaction size; zero means 1.
+	TxBatch int
+	// AbortEvery rolls back every Nth transaction instead of committing
+	// it (0 disables), to exercise Definition 1's committed-only rule.
+	AbortEvery int
+}
+
+// ConsumerConfig describes one logical message consumer.
+type ConsumerConfig struct {
+	// ID is the logical consumer identity used in trace events.
+	ID string
+	// Destination overrides the test-level destination.
+	Destination jms.Destination
+	// Durable subscribes durably (topics only) under SubName/ClientID.
+	Durable  bool
+	SubName  string
+	ClientID string
+	// Selector restricts the consumer to messages matching this JMS
+	// message-selector expression ("" for all messages).
+	Selector string
+	// AckMode selects the acknowledgement mode; zero means auto.
+	AckMode jms.AckMode
+	// Transacted makes the consumer's session transacted, committing
+	// every TxBatch receives.
+	Transacted bool
+	// TxBatch is the transaction size; zero means 1.
+	TxBatch int
+	// AbortEvery rolls back every Nth receive transaction (0 disables),
+	// to exercise Definition 2's committed-only rule.
+	AbortEvery int
+	// CycleEvery, when positive, closes and reopens the consumer at
+	// this interval — the paper's "connection and disconnection
+	// behaviour" knob. Queue receivers and durable subscribers find
+	// their messages waiting when they return; a non-durable subscriber
+	// becomes a fresh artificial subscription each cycle, exercising
+	// the first/last-message bracketing of Definitions 4–6.
+	CycleEvery time.Duration
+}
+
+// Config describes one test.
+type Config struct {
+	// Name labels the test.
+	Name string
+	// Node names the logical machine/process for trace events.
+	Node string
+	// Destination is the default destination for producers and
+	// consumers that do not override it.
+	Destination jms.Destination
+	// Producers and Consumers describe the workload.
+	Producers []ProducerConfig
+	Consumers []ConsumerConfig
+	// Warmup, Run and Warmdown are the three test periods (§3.2).
+	Warmup   time.Duration
+	Run      time.Duration
+	Warmdown time.Duration
+	// ReceiveTimeout is the consumer poll interval; zero means 20ms.
+	ReceiveTimeout time.Duration
+	// Seed makes workload generation reproducible.
+	Seed uint64
+	// CrashAfter, when positive and the provider supports crash
+	// injection, crashes the provider that long after the test starts.
+	CrashAfter time.Duration
+	// CrashDowntime is how long the provider stays down; zero means
+	// 20ms.
+	CrashDowntime time.Duration
+}
+
+// Validate reports whether the configuration is well formed.
+func (c *Config) Validate() error {
+	if len(c.Producers) == 0 && len(c.Consumers) == 0 {
+		return fmt.Errorf("harness: test %q has no producers or consumers", c.Name)
+	}
+	if c.Run <= 0 {
+		return fmt.Errorf("harness: test %q has no run period", c.Name)
+	}
+	if c.Warmup < 0 || c.Warmdown < 0 {
+		return fmt.Errorf("harness: test %q has negative periods", c.Name)
+	}
+	ids := map[string]bool{}
+	for i, p := range c.Producers {
+		if p.ID == "" {
+			return fmt.Errorf("harness: producer %d has no ID", i)
+		}
+		if ids[p.ID] {
+			return fmt.Errorf("harness: duplicate producer ID %q", p.ID)
+		}
+		ids[p.ID] = true
+		if p.Rate <= 0 {
+			return fmt.Errorf("harness: producer %q has no rate", p.ID)
+		}
+		if p.Destination == nil && c.Destination == nil {
+			return fmt.Errorf("harness: producer %q has no destination", p.ID)
+		}
+		for _, pri := range p.Priorities {
+			if !pri.Valid() {
+				return fmt.Errorf("harness: producer %q has invalid priority %d", p.ID, pri)
+			}
+		}
+	}
+	for i, cc := range c.Consumers {
+		if cc.ID == "" {
+			return fmt.Errorf("harness: consumer %d has no ID", i)
+		}
+		if ids[cc.ID] {
+			return fmt.Errorf("harness: duplicate consumer ID %q", cc.ID)
+		}
+		ids[cc.ID] = true
+		dest := cc.Destination
+		if dest == nil {
+			dest = c.Destination
+		}
+		if dest == nil {
+			return fmt.Errorf("harness: consumer %q has no destination", cc.ID)
+		}
+		if cc.Durable {
+			if dest.Kind() != jms.KindTopic {
+				return fmt.Errorf("harness: durable consumer %q requires a topic", cc.ID)
+			}
+			if cc.SubName == "" || cc.ClientID == "" {
+				return fmt.Errorf("harness: durable consumer %q needs SubName and ClientID", cc.ID)
+			}
+		}
+		if cc.Transacted && cc.AckMode != 0 {
+			return fmt.Errorf("harness: consumer %q is transacted and has an ack mode", cc.ID)
+		}
+		if cc.CycleEvery < 0 {
+			return fmt.Errorf("harness: consumer %q has negative cycle interval", cc.ID)
+		}
+	}
+	return nil
+}
+
+// normalized fills config defaults.
+func (c *Config) normalized() Config {
+	out := *c
+	if out.Node == "" {
+		out.Node = "node-1"
+	}
+	if out.ReceiveTimeout <= 0 {
+		out.ReceiveTimeout = 20 * time.Millisecond
+	}
+	if out.CrashDowntime <= 0 {
+		out.CrashDowntime = 20 * time.Millisecond
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// producerDefaults fills producer defaults.
+func producerDefaults(p ProducerConfig, testDest jms.Destination) ProducerConfig {
+	if p.Destination == nil {
+		p.Destination = testDest
+	}
+	if p.Profile == 0 {
+		p.Profile = stats.ProfileSteady
+	}
+	if p.BodyKind == 0 {
+		p.BodyKind = jms.BodyBytes
+	}
+	if p.BodySize <= 0 {
+		p.BodySize = 128
+	}
+	if len(p.Priorities) == 0 {
+		p.Priorities = []jms.Priority{jms.PriorityDefault}
+	}
+	if p.Mode == 0 {
+		p.Mode = jms.Persistent
+	}
+	if len(p.TTLs) == 0 {
+		p.TTLs = []time.Duration{0}
+	}
+	if p.TxBatch <= 0 {
+		p.TxBatch = 1
+	}
+	return p
+}
+
+// consumerDefaults fills consumer defaults.
+func consumerDefaults(cc ConsumerConfig, testDest jms.Destination) ConsumerConfig {
+	if cc.Destination == nil {
+		cc.Destination = testDest
+	}
+	if cc.AckMode == 0 {
+		cc.AckMode = jms.AckAuto
+	}
+	if cc.TxBatch <= 0 {
+		cc.TxBatch = 1
+	}
+	return cc
+}

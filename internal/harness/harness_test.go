@@ -1,0 +1,486 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/stats"
+	"jmsharness/internal/trace"
+)
+
+func newBroker(t *testing.T, profile broker.Profile) *broker.Broker {
+	t.Helper()
+	b, err := broker.New(broker.Options{Name: "hb", Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return b
+}
+
+// runAndCheck runs a config against a fresh unlimited broker and
+// requires every safety property to hold.
+func runAndCheck(t *testing.T, cfg Config, mcfg model.Config) *trace.Trace {
+	t.Helper()
+	b := newBroker(t, broker.Unlimited())
+	runner := NewRunner(b, nil)
+	tr, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("safety violations:\n%s", report)
+	}
+	return tr
+}
+
+func TestQueueEndToEnd(t *testing.T) {
+	cfg := Config{
+		Name:        "queue-basic",
+		Destination: jms.Queue("orders"),
+		Producers: []ProducerConfig{
+			{ID: "p1", Rate: 400, BodySize: 64},
+			{ID: "p2", Rate: 400, BodySize: 64},
+		},
+		Consumers: []ConsumerConfig{
+			{ID: "c1"},
+			{ID: "c2"},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      200 * time.Millisecond,
+		Warmdown: 150 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	s := tr.Summarize()
+	if s.Sends < 20 {
+		t.Errorf("only %d sends", s.Sends)
+	}
+	if s.Delivers != s.Sends {
+		t.Errorf("sends=%d delivers=%d: queue should deliver everything", s.Sends, s.Delivers)
+	}
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Producer.PerSecond <= 0 || m.Consumer.PerSecond <= 0 {
+		t.Errorf("throughput: %v / %v", m.Producer, m.Consumer)
+	}
+	if m.Delay.N == 0 || m.Delay.Mean <= 0 {
+		t.Errorf("delay: %v", m.Delay)
+	}
+}
+
+func TestPubSubFanoutEndToEnd(t *testing.T) {
+	cfg := Config{
+		Name:        "pubsub-fanout",
+		Destination: jms.Topic("prices"),
+		Producers:   []ProducerConfig{{ID: "pub", Rate: 300, BodySize: 32}},
+		Consumers:   []ConsumerConfig{{ID: "s1"}, {ID: "s2"}, {ID: "s3"}},
+		Warmup:      20 * time.Millisecond,
+		Run:         200 * time.Millisecond,
+		Warmdown:    150 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	s := tr.Summarize()
+	// Each subscriber gets every message published while subscribed.
+	if s.Delivers < 2*s.Sends {
+		t.Errorf("sends=%d delivers=%d: expected ~3x fanout", s.Sends, s.Delivers)
+	}
+}
+
+func TestDurableSubscriberEndToEnd(t *testing.T) {
+	cfg := Config{
+		Name:        "durable",
+		Destination: jms.Topic("audit"),
+		Producers:   []ProducerConfig{{ID: "pub", Rate: 200, BodySize: 32}},
+		Consumers: []ConsumerConfig{
+			{ID: "d1", Durable: true, SubName: "watcher", ClientID: "client-A"},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      150 * time.Millisecond,
+		Warmdown: 100 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	subs := tr.ByType(trace.EventSubscribe)
+	if len(subs) != 1 {
+		t.Errorf("subscribe events = %d", len(subs))
+	}
+	if subs[0].Endpoint != "sub:client-A:watcher" {
+		t.Errorf("endpoint = %q", subs[0].Endpoint)
+	}
+}
+
+func TestTransactedProducersAndConsumers(t *testing.T) {
+	cfg := Config{
+		Name:        "tx",
+		Destination: jms.Queue("txq"),
+		Producers: []ProducerConfig{
+			{ID: "p1", Rate: 500, BodySize: 32, Transacted: true, TxBatch: 5, AbortEvery: 3},
+		},
+		Consumers: []ConsumerConfig{
+			{ID: "c1", Transacted: true, TxBatch: 4},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      250 * time.Millisecond,
+		Warmdown: 200 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	s := tr.Summarize()
+	if s.Commits == 0 || s.Aborts == 0 {
+		t.Errorf("commits=%d aborts=%d: abort schedule did not fire", s.Commits, s.Aborts)
+	}
+	// Messages in aborted producer transactions must not be delivered:
+	// model.Check above verifies integrity; sanity-check that some sends
+	// were indeed discarded.
+	w, err := model.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.AttemptedByUID) <= len(w.SendByUID) {
+		t.Errorf("attempted=%d sent=%d: aborted sends should not count as sent",
+			len(w.AttemptedByUID), len(w.SendByUID))
+	}
+}
+
+func TestAckModesEndToEnd(t *testing.T) {
+	for _, mode := range []jms.AckMode{jms.AckAuto, jms.AckClient, jms.AckDupsOK} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := Config{
+				Name:        "ack-" + mode.String(),
+				Destination: jms.Queue("ackq-" + mode.String()),
+				Producers:   []ProducerConfig{{ID: "p1", Rate: 300, BodySize: 16}},
+				Consumers:   []ConsumerConfig{{ID: "c1", AckMode: mode}},
+				Warmup:      10 * time.Millisecond,
+				Run:         150 * time.Millisecond,
+				Warmdown:    100 * time.Millisecond,
+			}
+			mcfg := model.DefaultConfig()
+			mcfg.AllowDuplicates = mode == jms.AckDupsOK
+			runAndCheck(t, cfg, mcfg)
+		})
+	}
+}
+
+func TestAllBodyKinds(t *testing.T) {
+	kinds := []jms.BodyKind{jms.BodyText, jms.BodyBytes, jms.BodyMap, jms.BodyStream, jms.BodyObject}
+	producers := make([]ProducerConfig, 0, len(kinds))
+	for _, k := range kinds {
+		producers = append(producers, ProducerConfig{
+			ID: "p-" + k.String(), Rate: 150, BodyKind: k, BodySize: 100,
+		})
+	}
+	cfg := Config{
+		Name:        "bodies",
+		Destination: jms.Queue("bodies"),
+		Producers:   producers,
+		Consumers:   []ConsumerConfig{{ID: "c1"}},
+		Warmup:      10 * time.Millisecond,
+		Run:         150 * time.Millisecond,
+		Warmdown:    100 * time.Millisecond,
+	}
+	// Integrity checksums across all five body kinds are verified by the
+	// model check inside runAndCheck.
+	runAndCheck(t, cfg, model.DefaultConfig())
+}
+
+func TestPacingProfiles(t *testing.T) {
+	cfg := Config{
+		Name:        "profiles",
+		Destination: jms.Queue("paced"),
+		Producers: []ProducerConfig{
+			{ID: "steady", Rate: 300, Profile: stats.ProfileSteady},
+			{ID: "burst", Rate: 300, Profile: stats.ProfileBurst, BurstSize: 10},
+			{ID: "poisson", Rate: 300, Profile: stats.ProfilePoisson},
+		},
+		Consumers: []ConsumerConfig{{ID: "c1"}},
+		Warmup:    10 * time.Millisecond,
+		Run:       200 * time.Millisecond,
+		Warmdown:  150 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"steady", "burst", "poisson"} {
+		if m.PerProducer[id].Count == 0 {
+			t.Errorf("producer %s sent nothing", id)
+		}
+	}
+}
+
+func TestExpiryConfiguration(t *testing.T) {
+	// The paper's stock expiry test: TTL alternating between 1ms (should
+	// expire) and 0 (never expires), against a provider with enough
+	// latency that 1ms messages die in transit.
+	profile := broker.Profile{Name: "slowish", BaseLatency: 15 * time.Millisecond}
+	b, err := broker.New(broker.Options{Name: "exp", Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{
+		Name:        "expiry",
+		Destination: jms.Queue("expq"),
+		Producers: []ProducerConfig{
+			{ID: "p1", Rate: 300, BodySize: 16, TTLs: []time.Duration{0, time.Millisecond}},
+		},
+		Consumers: []ConsumerConfig{{ID: "c1"}},
+		Warmup:    10 * time.Millisecond,
+		Run:       200 * time.Millisecond,
+		Warmdown:  150 * time.Millisecond,
+	}
+	runner := NewRunner(b, nil)
+	tr, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("correct provider failed expiry:\n%s", report)
+	}
+	res, ok := report.Result(model.PropExpiredMessages)
+	if !ok || res.Skipped != "" {
+		t.Fatalf("expiry property not evaluated: %+v", res)
+	}
+	if b.ExpiredDropped() == 0 {
+		t.Error("no messages actually expired; test configuration too fast")
+	}
+}
+
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	// The paper's §5 future work, implemented: crash the provider
+	// mid-run; persistent messages must still satisfy Property 2.
+	b := newBroker(t, broker.Unlimited())
+	cfg := Config{
+		Name:        "crash",
+		Destination: jms.Queue("crashq"),
+		Producers:   []ProducerConfig{{ID: "p1", Rate: 300, BodySize: 32, Mode: jms.Persistent}},
+		Consumers:   []ConsumerConfig{{ID: "c1"}},
+		Warmup:      10 * time.Millisecond,
+		Run:         300 * time.Millisecond,
+		Warmdown:    250 * time.Millisecond,
+		CrashAfter:  100 * time.Millisecond,
+	}
+	runner := NewRunner(b, nil)
+	tr, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasCrash() {
+		t.Fatal("no crash event recorded")
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("persistent delivery across crash failed:\n%s", report)
+	}
+	s := tr.Summarize()
+	if s.Sends < 10 || s.Delivers < 10 {
+		t.Errorf("too little traffic around the crash: %+v", s)
+	}
+}
+
+func TestCrashInjectionUnsupported(t *testing.T) {
+	// A provider without Crash/Restart must be rejected, not silently
+	// skipped.
+	b := newBroker(t, broker.Unlimited())
+	runner := NewRunner(nonCrashable{b}, nil)
+	cfg := Config{
+		Name:        "nocrash",
+		Destination: jms.Queue("q"),
+		Producers:   []ProducerConfig{{ID: "p1", Rate: 100}},
+		Run:         50 * time.Millisecond,
+		CrashAfter:  10 * time.Millisecond,
+	}
+	if _, err := runner.Run(cfg); err == nil {
+		t.Error("crash injection against non-crashable provider should fail")
+	}
+}
+
+// nonCrashable hides the broker's Crash/Restart methods.
+type nonCrashable struct {
+	factory jms.ConnectionFactory
+}
+
+func (n nonCrashable) CreateConnection() (jms.Connection, error) {
+	return n.factory.CreateConnection()
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "empty", Run: time.Second},
+		{Name: "norun", Producers: []ProducerConfig{{ID: "p", Rate: 1, Destination: jms.Queue("q")}}},
+		{Name: "noid", Run: time.Second, Producers: []ProducerConfig{{Rate: 1, Destination: jms.Queue("q")}}},
+		{Name: "dup", Run: time.Second, Destination: jms.Queue("q"),
+			Producers: []ProducerConfig{{ID: "x", Rate: 1}, {ID: "x", Rate: 1}}},
+		{Name: "norate", Run: time.Second, Destination: jms.Queue("q"),
+			Producers: []ProducerConfig{{ID: "p"}}},
+		{Name: "nodest", Run: time.Second,
+			Producers: []ProducerConfig{{ID: "p", Rate: 1}}},
+		{Name: "badpri", Run: time.Second, Destination: jms.Queue("q"),
+			Producers: []ProducerConfig{{ID: "p", Rate: 1, Priorities: []jms.Priority{42}}}},
+		{Name: "durq", Run: time.Second, Destination: jms.Queue("q"),
+			Consumers: []ConsumerConfig{{ID: "c", Durable: true, SubName: "s", ClientID: "x"}}},
+		{Name: "durmissing", Run: time.Second, Destination: jms.Topic("t"),
+			Consumers: []ConsumerConfig{{ID: "c", Durable: true}}},
+		{Name: "txack", Run: time.Second, Destination: jms.Queue("q"),
+			Consumers: []ConsumerConfig{{ID: "c", Transacted: true, AckMode: jms.AckClient}}},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q should be invalid", cfg.Name)
+		}
+	}
+}
+
+func TestRunnerRejectsInvalidConfig(t *testing.T) {
+	b := newBroker(t, broker.Unlimited())
+	if _, err := NewRunner(b, nil).Run(Config{Name: "bad"}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestBodyFor(t *testing.T) {
+	rng := stats.NewRNG(1)
+	kinds := []jms.BodyKind{jms.BodyText, jms.BodyBytes, jms.BodyMap, jms.BodyStream, jms.BodyObject}
+	for _, k := range kinds {
+		body := bodyFor(k, 100, rng)
+		if body.Kind() != k {
+			t.Errorf("bodyFor(%v) returned %v", k, body.Kind())
+		}
+		if body.Size() < 50 {
+			t.Errorf("bodyFor(%v) size %d too small", k, body.Size())
+		}
+	}
+}
+
+func TestTraceValidatesStructurally(t *testing.T) {
+	cfg := Config{
+		Name:        "structural",
+		Destination: jms.Queue("sq"),
+		Producers:   []ProducerConfig{{ID: "p1", Rate: 200, BodySize: 8}},
+		Consumers:   []ConsumerConfig{{ID: "c1"}},
+		Warmup:      10 * time.Millisecond,
+		Run:         100 * time.Millisecond,
+		Warmdown:    80 * time.Millisecond,
+	}
+	b := newBroker(t, broker.Unlimited())
+	tr, err := NewRunner(b, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("harness produced structurally invalid trace: %v", err)
+	}
+	// Phase markers present and ordered.
+	for _, phase := range []string{trace.PhaseWarmup, trace.PhaseRun, trace.PhaseWarmdown, trace.PhaseDone} {
+		if _, _, ok := tr.PhaseBounds(phase); !ok {
+			t.Errorf("phase %s missing", phase)
+		}
+	}
+}
+
+func TestCyclingQueueConsumerConforms(t *testing.T) {
+	// A queue receiver that disconnects and reconnects repeatedly: the
+	// messages wait at the queue (point-to-point semantics), so every
+	// required message is still delivered.
+	cfg := Config{
+		Name:        "cycle-queue",
+		Destination: jms.Queue("cycleq"),
+		Producers:   []ProducerConfig{{ID: "p1", Rate: 300, BodySize: 32}},
+		Consumers:   []ConsumerConfig{{ID: "c1", CycleEvery: 60 * time.Millisecond}},
+		Warmup:      20 * time.Millisecond,
+		Run:         300 * time.Millisecond,
+		Warmdown:    250 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	closes := tr.Filter(func(e *trace.Event) bool {
+		return e.Type == trace.EventConsumerClose && e.Detail == "cycle"
+	})
+	if len(closes) < 2 {
+		t.Errorf("only %d cycles happened", len(closes))
+	}
+}
+
+func TestCyclingDurableSubscriberConforms(t *testing.T) {
+	// A durable subscriber that cycles: messages published while it is
+	// away accumulate and must all be delivered (required-messages holds
+	// across the gaps).
+	cfg := Config{
+		Name:        "cycle-durable",
+		Destination: jms.Topic("cyclet"),
+		Producers:   []ProducerConfig{{ID: "p1", Rate: 300, BodySize: 32}},
+		Consumers: []ConsumerConfig{
+			{ID: "d1", Durable: true, SubName: "cyc", ClientID: "cycle-client",
+				CycleEvery: 60 * time.Millisecond},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      300 * time.Millisecond,
+		Warmdown: 250 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	s := tr.Summarize()
+	// Everything sent must eventually be delivered to the durable
+	// subscription despite the churn.
+	if s.Delivers < s.Sends {
+		t.Errorf("sends=%d delivers=%d: durable cycling lost messages", s.Sends, s.Delivers)
+	}
+}
+
+func TestCyclingNonDurableSubscriberConforms(t *testing.T) {
+	// A cycling non-durable subscriber becomes a fresh artificial
+	// subscription each time; messages published in the gaps are
+	// legitimately missed (subscription latency bracketing), which the
+	// model must accept without violations.
+	cfg := Config{
+		Name:        "cycle-nondurable",
+		Destination: jms.Topic("cyclen"),
+		Producers:   []ProducerConfig{{ID: "p1", Rate: 300, BodySize: 32}},
+		Consumers:   []ConsumerConfig{{ID: "s1", CycleEvery: 50 * time.Millisecond}},
+		Warmup:      20 * time.Millisecond,
+		Run:         300 * time.Millisecond,
+		Warmdown:    200 * time.Millisecond,
+	}
+	tr := runAndCheck(t, cfg, model.DefaultConfig())
+	// Distinct endpoints per incarnation.
+	endpoints := map[string]bool{}
+	for _, ev := range tr.ByType(trace.EventConsumerOpen) {
+		endpoints[ev.Endpoint] = true
+	}
+	if len(endpoints) < 2 {
+		t.Errorf("cycling non-durable subscriber reused endpoints: %v", endpoints)
+	}
+	s := tr.Summarize()
+	if s.Delivers >= s.Sends {
+		t.Log("note: no messages fell into cycle gaps this run")
+	}
+}
+
+func TestCyclingTransactedConsumerConforms(t *testing.T) {
+	cfg := Config{
+		Name:        "cycle-tx",
+		Destination: jms.Queue("cycletx"),
+		Producers:   []ProducerConfig{{ID: "p1", Rate: 300, BodySize: 32}},
+		Consumers: []ConsumerConfig{
+			{ID: "c1", Transacted: true, TxBatch: 4, CycleEvery: 70 * time.Millisecond},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      300 * time.Millisecond,
+		Warmdown: 250 * time.Millisecond,
+	}
+	runAndCheck(t, cfg, model.DefaultConfig())
+}

@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jmsharness/internal/clock"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/trace"
+)
+
+// Crashable is implemented by providers that support failure injection
+// (the paper's §5 future work: "initiate a system or program crash and
+// then recover from the failure ... required to fully test persistent
+// delivery mode").
+type Crashable interface {
+	// Crash discards the provider's volatile state and disconnects all
+	// clients.
+	Crash()
+	// Restart recovers the provider from stable storage.
+	Restart() error
+}
+
+// Runner executes tests against a provider.
+type Runner struct {
+	factory jms.ConnectionFactory
+	clk     clock.Clock
+}
+
+// NewRunner returns a runner for the given provider. clk may be nil for
+// the real clock.
+func NewRunner(factory jms.ConnectionFactory, clk clock.Clock) *Runner {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Runner{factory: factory, clk: clk}
+}
+
+// Run executes one configured test and returns its merged trace. The
+// trace is complete even when individual operations failed (failures are
+// logged as events); Run only returns an error for configuration or
+// orchestration problems.
+func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	collector := trace.NewCollector(cfg.Node, func() time.Time { return r.clk.Now() })
+
+	stopProducing := make(chan struct{}) // closed at warm-down
+	stopAll := make(chan struct{})       // closed at test end
+
+	var wg sync.WaitGroup
+	for i := range cfg.Producers {
+		pc := producerDefaults(cfg.Producers[i], cfg.Destination)
+		w := &producerWorker{
+			runner:    r,
+			cfg:       pc,
+			log:       collector,
+			seedBase:  cfg.Seed + uint64(i)*7919,
+			stop:      stopProducing,
+			pollRetry: cfg.ReceiveTimeout,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run()
+		}()
+	}
+	for i := range cfg.Consumers {
+		cc := consumerDefaults(cfg.Consumers[i], cfg.Destination)
+		w := &consumerWorker{
+			runner: r,
+			cfg:    cc,
+			log:    collector,
+			stop:   stopAll,
+			poll:   cfg.ReceiveTimeout,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run()
+		}()
+	}
+
+	// Crash injection, if requested and supported.
+	var crashWG sync.WaitGroup
+	if cfg.CrashAfter > 0 {
+		crashable, ok := r.factory.(Crashable)
+		if !ok {
+			close(stopProducing)
+			close(stopAll)
+			wg.Wait()
+			return nil, fmt.Errorf("harness: test %q requests crash injection but provider %T does not support it",
+				cfg.Name, r.factory)
+		}
+		crashWG.Add(1)
+		go func() {
+			defer crashWG.Done()
+			select {
+			case <-stopAll:
+				return
+			case <-r.clk.After(cfg.CrashAfter):
+			}
+			collector.Log(trace.Event{Type: trace.EventCrash, Detail: "injected"})
+			crashable.Crash()
+			r.clk.Sleep(cfg.CrashDowntime)
+			if err := crashable.Restart(); err != nil {
+				collector.Log(trace.Event{Type: trace.EventRecovered, Err: err.Error()})
+				return
+			}
+			collector.Log(trace.Event{Type: trace.EventRecovered})
+		}()
+	}
+
+	// Drive the three periods.
+	collector.Log(trace.Event{Type: trace.EventPhase, Detail: trace.PhaseWarmup})
+	r.clk.Sleep(cfg.Warmup)
+	collector.Log(trace.Event{Type: trace.EventPhase, Detail: trace.PhaseRun})
+	r.clk.Sleep(cfg.Run)
+	collector.Log(trace.Event{Type: trace.EventPhase, Detail: trace.PhaseWarmdown})
+	close(stopProducing)
+	r.clk.Sleep(cfg.Warmdown)
+	close(stopAll)
+	wg.Wait()
+	crashWG.Wait()
+	collector.Log(trace.Event{Type: trace.EventPhase, Detail: trace.PhaseDone})
+
+	return trace.Merge([][]trace.Event{collector.Events()}, nil), nil
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+)
+
+// TestSelectorEndToEnd runs a mixed-priority workload where one
+// consumer only takes high-priority messages (via a header selector) and
+// another takes the rest. The formal model must account for the
+// selectors: each group is only owed the messages its selector admits.
+func TestSelectorEndToEnd(t *testing.T) {
+	b, err := broker.New(broker.Options{Name: "selharness"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{
+		Name:        "selector-split",
+		Destination: jms.Topic("selsplit"),
+		Producers: []ProducerConfig{
+			{ID: "p1", Rate: 400, BodySize: 32, Priorities: []jms.Priority{1, 8}},
+		},
+		Consumers: []ConsumerConfig{
+			{ID: "urgent", Selector: "JMSPriority >= 5"},
+			{ID: "bulk", Selector: "JMSPriority < 5"},
+			{ID: "all"},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      200 * time.Millisecond,
+		Warmdown: 150 * time.Millisecond,
+	}
+	tr, err := NewRunner(b, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("selector workload failed conformance:\n%s", report)
+	}
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	urgent := m.PerConsumer["urgent"].Count
+	bulk := m.PerConsumer["bulk"].Count
+	all := m.PerConsumer["all"].Count
+	if urgent == 0 || bulk == 0 || all == 0 {
+		t.Fatalf("counts: urgent=%d bulk=%d all=%d", urgent, bulk, all)
+	}
+	// The unfiltered subscriber sees roughly what the split pair sees
+	// combined; the subscriptions open at slightly different instants,
+	// so allow a subscription-latency tail of a few tens of
+	// milliseconds' worth of traffic (the conformance check above is
+	// the authoritative correctness assertion).
+	if diff := all - (urgent + bulk); diff > 25 || diff < -25 {
+		t.Errorf("all=%d vs urgent+bulk=%d", all, urgent+bulk)
+	}
+	// Split ratio roughly even (priorities alternate).
+	if urgent*2 < bulk || bulk*2 < urgent {
+		t.Errorf("lopsided split: urgent=%d bulk=%d", urgent, bulk)
+	}
+}
+
+// TestSelectorRequiredMessagesExemption verifies the model does not
+// demand messages a group's selector rejects: with only the urgent
+// consumer subscribed, low-priority messages are simply never owed to
+// it.
+func TestSelectorRequiredMessagesExemption(t *testing.T) {
+	b, err := broker.New(broker.Options{Name: "selexempt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{
+		Name:        "selector-exempt",
+		Destination: jms.Topic("selex"),
+		Producers: []ProducerConfig{
+			{ID: "p1", Rate: 300, BodySize: 32, Priorities: []jms.Priority{1, 8}},
+		},
+		Consumers: []ConsumerConfig{
+			{ID: "urgent", Selector: "JMSPriority >= 5"},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      200 * time.Millisecond,
+		Warmdown: 150 * time.Millisecond,
+	}
+	tr, err := NewRunner(b, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-priority messages never reach the urgent group — that must
+	// not be a required-messages violation.
+	if !report.OK() {
+		t.Fatalf("selector exemption not applied:\n%s", report)
+	}
+	res, _ := report.Result(model.PropRequiredMessages)
+	if res.Checked == 0 {
+		t.Error("nothing was checked at all")
+	}
+}
+
+// TestSelectorDurableEndToEnd exercises a durable subscription with a
+// selector through the harness, including the accumulate-while-inactive
+// path (reconnect after crash keeps the same filtered subscription).
+func TestSelectorDurableEndToEnd(t *testing.T) {
+	b, err := broker.New(broker.Options{Name: "seldur"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{
+		Name:        "selector-durable",
+		Destination: jms.Topic("seldurt"),
+		Producers: []ProducerConfig{
+			{ID: "p1", Rate: 300, BodySize: 32, Priorities: []jms.Priority{1, 8}, Mode: jms.Persistent},
+		},
+		Consumers: []ConsumerConfig{
+			{ID: "d1", Durable: true, SubName: "hot", ClientID: "sel-client", Selector: "JMSPriority >= 5"},
+		},
+		Warmup:     20 * time.Millisecond,
+		Run:        300 * time.Millisecond,
+		Warmdown:   250 * time.Millisecond,
+		CrashAfter: 120 * time.Millisecond,
+	}
+	tr, err := NewRunner(b, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasCrash() {
+		t.Fatal("no crash recorded")
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("durable selector across crash failed:\n%s", report)
+	}
+}

@@ -1,0 +1,467 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/stats"
+	"jmsharness/internal/trace"
+)
+
+// bodyFor builds a message body of the configured kind and approximate
+// size from the worker's deterministic generator.
+func bodyFor(kind jms.BodyKind, size int, rng *stats.RNG) jms.Body {
+	switch kind {
+	case jms.BodyText:
+		b := make([]byte, size)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return jms.TextBody(b)
+	case jms.BodyMap:
+		m := jms.MapBody{}
+		chunk := size/4 + 1
+		for i := 0; i < 4; i++ {
+			data := make([]byte, chunk)
+			rng.Bytes(data)
+			m[fmt.Sprintf("field%d", i)] = jms.Bytes(data)
+		}
+		return m
+	case jms.BodyStream:
+		s := jms.StreamBody{}
+		chunk := size/4 + 1
+		for i := 0; i < 4; i++ {
+			data := make([]byte, chunk)
+			rng.Bytes(data)
+			s = append(s, jms.Bytes(data))
+		}
+		return s
+	case jms.BodyObject:
+		data := make([]byte, size)
+		rng.Bytes(data)
+		return jms.ObjectBody{TypeName: "harness.Payload", Data: data}
+	default: // jms.BodyBytes
+		data := make([]byte, size)
+		rng.Bytes(data)
+		return jms.BytesBody(data)
+	}
+}
+
+// Message properties used to carry the harness identity of a message.
+const (
+	propProducer = "jmstest.producer"
+	propSeq      = "jmstest.seq"
+)
+
+// producerWorker drives one configured producer.
+type producerWorker struct {
+	runner    *Runner
+	cfg       ProducerConfig
+	log       trace.Logger
+	seedBase  uint64
+	stop      <-chan struct{}
+	pollRetry time.Duration
+
+	conn jms.Connection
+	sess jms.Session
+	prod jms.Producer
+
+	seq     int64
+	txSize  int
+	txNum   int
+	txOpen  bool
+	aborted int
+}
+
+func (w *producerWorker) run() {
+	rng := stats.NewRNG(w.seedBase)
+	pacer, err := stats.NewPacer(w.cfg.Profile, w.cfg.Rate, w.cfg.BurstSize, rng)
+	if err != nil {
+		// Validated configs cannot reach here; log and bail.
+		w.log.Log(trace.Event{Type: trace.EventSendEnd, Producer: w.cfg.ID,
+			Err: fmt.Sprintf("pacer: %v", err)})
+		return
+	}
+	// Pace against an absolute schedule so per-sleep wakeup overshoot
+	// does not accumulate into a systematic rate undershoot; if sends
+	// fall behind (e.g. a slow provider releasing back-pressure), the
+	// worker catches up with back-to-back sends.
+	next := w.runner.clk.Now()
+	for {
+		next = next.Add(pacer.Next())
+		if wait := next.Sub(w.runner.clk.Now()); wait > 0 {
+			select {
+			case <-w.stop:
+				w.finish()
+				return
+			case <-w.runner.clk.After(wait):
+			}
+		} else {
+			select {
+			case <-w.stop:
+				w.finish()
+				return
+			default:
+			}
+		}
+		w.sendOne(rng)
+	}
+}
+
+// connect (re)establishes the producer's connection, session and
+// producer objects.
+func (w *producerWorker) connect() error {
+	conn, err := w.runner.factory.CreateConnection()
+	if err != nil {
+		return err
+	}
+	sess, err := conn.CreateSession(w.cfg.Transacted, jms.AckAuto)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	prod, err := sess.CreateProducer(w.cfg.Destination)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	w.conn, w.sess, w.prod = conn, sess, prod
+	return nil
+}
+
+func (w *producerWorker) teardown() {
+	if w.conn != nil {
+		_ = w.conn.Close()
+	}
+	w.conn, w.sess, w.prod = nil, nil, nil
+	w.txOpen = false
+	w.txSize = 0
+}
+
+// currentTxID names the producer's current harness-level transaction.
+func (w *producerWorker) currentTxID() string {
+	if !w.cfg.Transacted {
+		return ""
+	}
+	if !w.txOpen {
+		w.txNum++
+		w.txOpen = true
+	}
+	return fmt.Sprintf("%s-tx%d", w.cfg.ID, w.txNum)
+}
+
+func (w *producerWorker) sendOne(rng *stats.RNG) {
+	if w.prod == nil {
+		if err := w.connect(); err != nil {
+			// Provider down (e.g. crashed); retry on the next tick.
+			return
+		}
+	}
+	w.seq++
+	uid := trace.MessageUID(w.cfg.ID, w.seq)
+	idx := int(w.seq)
+	pri := w.cfg.Priorities[idx%len(w.cfg.Priorities)]
+	ttl := w.cfg.TTLs[idx%len(w.cfg.TTLs)]
+	msg := &jms.Message{Body: bodyFor(w.cfg.BodyKind, w.cfg.BodySize, rng)}
+	msg.SetProperty(propProducer, jms.Str(w.cfg.ID))
+	msg.SetProperty(propSeq, jms.Int64(w.seq))
+	opts := jms.SendOptions{Mode: w.cfg.Mode, Priority: pri, TTL: ttl}
+	txID := w.currentTxID()
+
+	base := trace.Event{
+		Producer:  w.cfg.ID,
+		Dest:      w.cfg.Destination.String(),
+		MsgUID:    uid,
+		MsgSeq:    w.seq,
+		Priority:  pri,
+		Mode:      w.cfg.Mode,
+		TTL:       ttl,
+		BodyBytes: msg.BodySize(),
+		Checksum:  trace.BodyChecksum(msg.Body),
+		TxID:      txID,
+	}
+	start := base
+	start.Type = trace.EventSendStart
+	w.log.Log(start)
+	err := w.prod.Send(msg, opts)
+	end := base
+	end.Type = trace.EventSendEnd
+	if err != nil {
+		end.Err = err.Error()
+	}
+	w.log.Log(end)
+	if err != nil {
+		w.teardown()
+		return
+	}
+	if w.cfg.Transacted {
+		w.txSize++
+		if w.txSize >= w.cfg.TxBatch {
+			w.completeTx(txID)
+		}
+	}
+}
+
+// completeTx commits (or, per AbortEvery, rolls back) the current
+// transaction and logs the outcome.
+func (w *producerWorker) completeTx(txID string) {
+	w.txSize = 0
+	w.txOpen = false
+	abort := w.cfg.AbortEvery > 0 && w.txNum%w.cfg.AbortEvery == 0
+	if abort {
+		ev := trace.Event{Type: trace.EventAbort, Producer: w.cfg.ID, TxID: txID}
+		if err := w.sess.Rollback(); err != nil {
+			ev.Err = err.Error()
+			w.log.Log(ev)
+			w.teardown()
+			return
+		}
+		w.log.Log(ev)
+		return
+	}
+	ev := trace.Event{Type: trace.EventCommit, Producer: w.cfg.ID, TxID: txID}
+	if err := w.sess.Commit(); err != nil {
+		ev.Err = err.Error()
+		w.log.Log(ev)
+		w.teardown()
+		return
+	}
+	w.log.Log(ev)
+}
+
+// finish completes any open transaction and closes the connection.
+func (w *producerWorker) finish() {
+	if w.cfg.Transacted && w.txOpen && w.sess != nil {
+		w.completeTx(fmt.Sprintf("%s-tx%d", w.cfg.ID, w.txNum))
+	}
+	w.teardown()
+}
+
+// consumerWorker drives one configured consumer.
+type consumerWorker struct {
+	runner *Runner
+	cfg    ConsumerConfig
+	log    trace.Logger
+	stop   <-chan struct{}
+	poll   time.Duration
+
+	conn jms.Connection
+	sess jms.Session
+	cons jms.Consumer
+
+	subscribed bool
+	openedAt   time.Time
+	txSize     int
+	txNum      int
+	txOpen     bool
+}
+
+func (w *consumerWorker) run() {
+	for {
+		select {
+		case <-w.stop:
+			w.finish()
+			return
+		default:
+		}
+		if w.cons == nil {
+			if err := w.connect(); err != nil {
+				// Provider down; retry shortly.
+				select {
+				case <-w.stop:
+					w.finish()
+					return
+				case <-w.runner.clk.After(w.poll):
+				}
+				continue
+			}
+		}
+		if w.cfg.CycleEvery > 0 && w.runner.clk.Now().Sub(w.openedAt) >= w.cfg.CycleEvery {
+			w.cycle()
+			continue
+		}
+		msg, err := w.cons.Receive(w.poll)
+		if err != nil {
+			// The provider closed us (crash): record the close and
+			// reconnect.
+			w.log.Log(trace.Event{Type: trace.EventConsumerClose,
+				Consumer: w.cfg.ID, Endpoint: w.cons.EndpointID(), Err: err.Error()})
+			w.abandon()
+			continue
+		}
+		if msg == nil {
+			continue
+		}
+		w.deliver(msg)
+	}
+}
+
+// connect (re)establishes the consumer and logs the open (and, for
+// durable subscriptions, the subscribe).
+func (w *consumerWorker) connect() error {
+	conn, err := w.runner.factory.CreateConnection()
+	if err != nil {
+		return err
+	}
+	if w.cfg.Durable {
+		if err := conn.SetClientID(w.cfg.ClientID); err != nil {
+			_ = conn.Close()
+			return err
+		}
+	}
+	if err := conn.Start(); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	ackMode := w.cfg.AckMode
+	sess, err := conn.CreateSession(w.cfg.Transacted, ackMode)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	var cons jms.Consumer
+	if w.cfg.Durable {
+		topic, ok := w.cfg.Destination.(jms.Topic)
+		if !ok {
+			_ = conn.Close()
+			return fmt.Errorf("harness: durable consumer %q destination is not a topic", w.cfg.ID)
+		}
+		cons, err = sess.CreateDurableSubscriberWithSelector(topic, w.cfg.SubName, w.cfg.Selector)
+	} else {
+		cons, err = sess.CreateConsumerWithSelector(w.cfg.Destination, w.cfg.Selector)
+	}
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	w.conn, w.sess, w.cons = conn, sess, cons
+	if w.cfg.Durable && !w.subscribed {
+		w.subscribed = true
+		w.log.Log(trace.Event{Type: trace.EventSubscribe, Consumer: w.cfg.ID,
+			Endpoint: cons.EndpointID(), Dest: w.cfg.Destination.String(),
+			Selector: w.cfg.Selector})
+	}
+	w.log.Log(trace.Event{Type: trace.EventConsumerOpen, Consumer: w.cfg.ID,
+		Endpoint: cons.EndpointID(), Dest: w.cfg.Destination.String(),
+		Selector: w.cfg.Selector})
+	w.openedAt = w.runner.clk.Now()
+	return nil
+}
+
+// cycle closes the consumer cleanly (completing any open transaction)
+// and lets the main loop reopen it — the configured disconnection/
+// reconnection behaviour.
+func (w *consumerWorker) cycle() {
+	if w.cons == nil {
+		return
+	}
+	if w.cfg.Transacted && w.txOpen {
+		w.completeTx(fmt.Sprintf("%s-rtx%d", w.cfg.ID, w.txNum))
+	}
+	w.log.Log(trace.Event{Type: trace.EventConsumerClose,
+		Consumer: w.cfg.ID, Endpoint: w.cons.EndpointID(), Detail: "cycle"})
+	w.abandon()
+}
+
+// abandon drops a dead connection without logging (the close was already
+// logged by the caller).
+func (w *consumerWorker) abandon() {
+	if w.conn != nil {
+		_ = w.conn.Close()
+	}
+	w.conn, w.sess, w.cons = nil, nil, nil
+	w.txOpen = false
+	w.txSize = 0
+}
+
+// currentTxID names the consumer's current harness-level transaction.
+func (w *consumerWorker) currentTxID() string {
+	if !w.cfg.Transacted {
+		return ""
+	}
+	if !w.txOpen {
+		w.txNum++
+		w.txOpen = true
+	}
+	return fmt.Sprintf("%s-rtx%d", w.cfg.ID, w.txNum)
+}
+
+// deliver logs one received message and applies the acknowledgement
+// discipline.
+func (w *consumerWorker) deliver(msg *jms.Message) {
+	txID := w.currentTxID()
+	var ttl time.Duration
+	if !msg.Expiration.IsZero() && !msg.Timestamp.IsZero() {
+		ttl = msg.Expiration.Sub(msg.Timestamp)
+	}
+	w.log.Log(trace.Event{
+		Type:        trace.EventDeliver,
+		Consumer:    w.cfg.ID,
+		Producer:    msg.StringProperty(propProducer),
+		Endpoint:    w.cons.EndpointID(),
+		Dest:        w.cfg.Destination.String(),
+		MsgUID:      trace.MessageUID(msg.StringProperty(propProducer), msg.Int64Property(propSeq)),
+		MsgSeq:      msg.Int64Property(propSeq),
+		Priority:    msg.Priority,
+		Mode:        msg.Mode,
+		TTL:         ttl,
+		BodyBytes:   msg.BodySize(),
+		Checksum:    trace.BodyChecksum(msg.Body),
+		Redelivered: msg.Redelivered,
+		TxID:        txID,
+	})
+	switch {
+	case w.cfg.Transacted:
+		w.txSize++
+		if w.txSize >= w.cfg.TxBatch {
+			w.completeTx(txID)
+		}
+	case w.cfg.AckMode == jms.AckClient:
+		if err := w.sess.Acknowledge(); err != nil {
+			w.log.Log(trace.Event{Type: trace.EventAck, Consumer: w.cfg.ID, Err: err.Error()})
+			w.abandon()
+			return
+		}
+		w.log.Log(trace.Event{Type: trace.EventAck, Consumer: w.cfg.ID})
+	}
+}
+
+// completeTx commits (or rolls back) the consumer's transaction.
+func (w *consumerWorker) completeTx(txID string) {
+	w.txSize = 0
+	w.txOpen = false
+	abort := w.cfg.AbortEvery > 0 && w.txNum%w.cfg.AbortEvery == 0
+	if abort {
+		ev := trace.Event{Type: trace.EventAbort, Consumer: w.cfg.ID, TxID: txID}
+		if err := w.sess.Rollback(); err != nil {
+			ev.Err = err.Error()
+			w.log.Log(ev)
+			w.abandon()
+			return
+		}
+		w.log.Log(ev)
+		return
+	}
+	ev := trace.Event{Type: trace.EventCommit, Consumer: w.cfg.ID, TxID: txID}
+	if err := w.sess.Commit(); err != nil {
+		ev.Err = err.Error()
+		w.log.Log(ev)
+		w.abandon()
+		return
+	}
+	w.log.Log(ev)
+}
+
+// finish completes any open transaction, logs the final close, and
+// closes the connection.
+func (w *consumerWorker) finish() {
+	if w.cons != nil {
+		if w.cfg.Transacted && w.txOpen {
+			w.completeTx(fmt.Sprintf("%s-rtx%d", w.cfg.ID, w.txNum))
+		}
+		w.log.Log(trace.Event{Type: trace.EventConsumerClose,
+			Consumer: w.cfg.ID, Endpoint: w.cons.EndpointID()})
+	}
+	w.abandon()
+}

@@ -1,0 +1,270 @@
+// Package ioa is a small input/output automata framework in the style of
+// Lynch (Distributed Algorithms, 1996), which the paper uses as the
+// foundation of its formal JMS model ("a formal model for JMS behaviour
+// is developed, based on the I/O automata used in other group
+// communication systems").
+//
+// A Spec describes an automaton by its initial states and a
+// (possibly nondeterministic) step relation over a comparable state
+// type. Trace membership — "is this observed behaviour a trace of the
+// specification?" — is decided by simulating the set of states the
+// automaton could be in after each action (a subset construction).
+// Automata compose in parallel, synchronising on shared action names, so
+// a system-wide specification can be assembled from per-channel
+// specifications.
+package ioa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an action in an automaton's signature.
+type Kind uint8
+
+// Action kinds. Input actions are under the environment's control (an
+// automaton must be input-enabled); output and internal actions are
+// under the automaton's control; only input and output actions are
+// externally visible (appear in traces).
+const (
+	KindInput Kind = iota + 1
+	KindOutput
+	KindInternal
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindOutput:
+		return "output"
+	case KindInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Action is one labelled transition. Name identifies the action class
+// (e.g. "send"); Param carries the instance data (e.g. a message
+// sequence number) and must be comparable so actions can be matched
+// during composition.
+type Action struct {
+	Name  string
+	Param any
+}
+
+// String renders the action as name(param).
+func (a Action) String() string {
+	if a.Param == nil {
+		return a.Name
+	}
+	return fmt.Sprintf("%s(%v)", a.Name, a.Param)
+}
+
+// Spec is an automaton specification over comparable states.
+type Spec[S comparable] struct {
+	// Name labels the automaton in error messages.
+	Name string
+	// Initial is the set of start states (usually one).
+	Initial []S
+	// Signature classifies an action name; actions whose name it does
+	// not recognise (KindReturn 0) are not in the automaton's signature
+	// and are skipped during trace checking.
+	Signature func(name string) Kind
+	// Step returns the set of successor states of s under a. An empty
+	// result means a is not enabled in s.
+	Step func(s S, a Action) []S
+}
+
+// InSignature reports whether the action name is part of the
+// automaton's signature.
+func (sp *Spec[S]) InSignature(name string) bool {
+	return sp.Signature != nil && sp.Signature(name) != 0
+}
+
+// TraceError reports the first action at which a trace left the
+// specification's trace set.
+type TraceError struct {
+	// Automaton is the spec's name.
+	Automaton string
+	// Index is the position of the offending action within the checked
+	// trace (counting only in-signature actions).
+	Index int
+	// Action is the offending action.
+	Action Action
+	// States is the number of candidate states before the action.
+	States int
+}
+
+// Error implements error.
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("ioa: %s: action %d %s is not enabled in any of %d candidate states",
+		e.Automaton, e.Index, e.Action, e.States)
+}
+
+// CheckTrace decides trace membership by subset simulation: after each
+// in-signature action, the candidate state set is the union of
+// successors over all current candidates. The trace is rejected when
+// that set becomes empty. Out-of-signature actions are ignored, matching
+// the I/O-automata convention that a component's trace is the projection
+// of the system trace onto its signature.
+func (sp *Spec[S]) CheckTrace(actions []Action) error {
+	current := map[S]struct{}{}
+	for _, s := range sp.Initial {
+		current[s] = struct{}{}
+	}
+	idx := 0
+	for _, a := range actions {
+		if !sp.InSignature(a.Name) {
+			continue
+		}
+		next := map[S]struct{}{}
+		for s := range current {
+			for _, n := range sp.Step(s, a) {
+				next[n] = struct{}{}
+			}
+		}
+		if len(next) == 0 {
+			return &TraceError{Automaton: sp.Name, Index: idx, Action: a, States: len(current)}
+		}
+		current = next
+		idx++
+	}
+	return nil
+}
+
+// Enabled reports whether action a is enabled in at least one state of
+// the given candidate set.
+func (sp *Spec[S]) Enabled(states []S, a Action) bool {
+	for _, s := range states {
+		if len(sp.Step(s, a)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Pair is the product state of a binary composition.
+type Pair[A, B comparable] struct {
+	Left  A
+	Right B
+}
+
+// Compose forms the parallel composition of two automata. Actions in
+// both signatures synchronise (both components step); actions in one
+// signature step that component alone. Composition is the standard
+// I/O-automata operator restricted to two components; nest calls for
+// more.
+func Compose[A, B comparable](x *Spec[A], y *Spec[B]) *Spec[Pair[A, B]] {
+	initial := make([]Pair[A, B], 0, len(x.Initial)*len(y.Initial))
+	for _, a := range x.Initial {
+		for _, b := range y.Initial {
+			initial = append(initial, Pair[A, B]{Left: a, Right: b})
+		}
+	}
+	return &Spec[Pair[A, B]]{
+		Name:    x.Name + "||" + y.Name,
+		Initial: initial,
+		Signature: func(name string) Kind {
+			xk := Kind(0)
+			if x.Signature != nil {
+				xk = x.Signature(name)
+			}
+			yk := Kind(0)
+			if y.Signature != nil {
+				yk = y.Signature(name)
+			}
+			switch {
+			case xk == 0:
+				return yk
+			case yk == 0:
+				return xk
+			// Output of one component drives inputs of the other; the
+			// composite action is an output if either side outputs.
+			case xk == KindOutput || yk == KindOutput:
+				return KindOutput
+			case xk == KindInternal || yk == KindInternal:
+				return KindInternal
+			default:
+				return KindInput
+			}
+		},
+		Step: func(s Pair[A, B], act Action) []Pair[A, B] {
+			inX := x.InSignature(act.Name)
+			inY := y.InSignature(act.Name)
+			switch {
+			case inX && inY:
+				var out []Pair[A, B]
+				for _, ns := range x.Step(s.Left, act) {
+					for _, ms := range y.Step(s.Right, act) {
+						out = append(out, Pair[A, B]{Left: ns, Right: ms})
+					}
+				}
+				return out
+			case inX:
+				var out []Pair[A, B]
+				for _, ns := range x.Step(s.Left, act) {
+					out = append(out, Pair[A, B]{Left: ns, Right: s.Right})
+				}
+				return out
+			case inY:
+				var out []Pair[A, B]
+				for _, ms := range y.Step(s.Right, act) {
+					out = append(out, Pair[A, B]{Left: s.Left, Right: ms})
+				}
+				return out
+			default:
+				// Not in either signature: stutter.
+				return []Pair[A, B]{s}
+			}
+		},
+	}
+}
+
+// Execution is one run of an automaton: alternating states and actions.
+type Execution[S comparable] struct {
+	States  []S
+	Actions []Action
+}
+
+// String renders the execution for diagnostics.
+func (e *Execution[S]) String() string {
+	var b strings.Builder
+	for i, a := range e.Actions {
+		fmt.Fprintf(&b, "%v --%s--> ", e.States[i], a)
+	}
+	if len(e.States) > 0 {
+		fmt.Fprintf(&b, "%v", e.States[len(e.States)-1])
+	}
+	return b.String()
+}
+
+// Run executes the automaton from its first initial state, choosing at
+// each step the first action from candidates that is enabled and the
+// first successor state. It returns the resulting execution; actions
+// that are never enabled are skipped. Run is a utility for exercising
+// specifications in tests and examples.
+func (sp *Spec[S]) Run(candidates []Action, maxSteps int) (*Execution[S], error) {
+	if len(sp.Initial) == 0 {
+		return nil, fmt.Errorf("ioa: %s has no initial state", sp.Name)
+	}
+	exec := &Execution[S]{States: []S{sp.Initial[0]}}
+	state := sp.Initial[0]
+	steps := 0
+	for _, a := range candidates {
+		if steps >= maxSteps {
+			break
+		}
+		succ := sp.Step(state, a)
+		if len(succ) == 0 {
+			continue
+		}
+		state = succ[0]
+		exec.Actions = append(exec.Actions, a)
+		exec.States = append(exec.States, state)
+		steps++
+	}
+	return exec, nil
+}

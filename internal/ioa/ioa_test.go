@@ -1,0 +1,324 @@
+package ioa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// counterSpec is a simple automaton: inc (input) increments, dec
+// (output) decrements and is only enabled when positive.
+func counterSpec() *Spec[int] {
+	return &Spec[int]{
+		Name:    "counter",
+		Initial: []int{0},
+		Signature: func(name string) Kind {
+			switch name {
+			case "inc":
+				return KindInput
+			case "dec":
+				return KindOutput
+			default:
+				return 0
+			}
+		},
+		Step: func(s int, a Action) []int {
+			switch a.Name {
+			case "inc":
+				return []int{s + 1}
+			case "dec":
+				if s > 0 {
+					return []int{s - 1}
+				}
+				return nil
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+func acts(names ...string) []Action {
+	out := make([]Action, len(names))
+	for i, n := range names {
+		out[i] = Action{Name: n}
+	}
+	return out
+}
+
+func TestKindString(t *testing.T) {
+	if KindInput.String() != "input" || KindOutput.String() != "output" || KindInternal.String() != "internal" {
+		t.Error("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(9).String(), "Kind(") {
+		t.Error("unknown kind should format numerically")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if got := (Action{Name: "send", Param: 3}).String(); got != "send(3)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Action{Name: "crash"}).String(); got != "crash" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCheckTraceAccepts(t *testing.T) {
+	sp := counterSpec()
+	if err := sp.CheckTrace(acts("inc", "inc", "dec", "dec")); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	if err := sp.CheckTrace(nil); err != nil {
+		t.Errorf("empty trace rejected: %v", err)
+	}
+}
+
+func TestCheckTraceRejects(t *testing.T) {
+	sp := counterSpec()
+	err := sp.CheckTrace(acts("inc", "dec", "dec"))
+	if err == nil {
+		t.Fatal("underflow trace accepted")
+	}
+	te, ok := err.(*TraceError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if te.Index != 2 || te.Action.Name != "dec" {
+		t.Errorf("TraceError = %+v", te)
+	}
+	if te.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestCheckTraceSkipsOutOfSignature(t *testing.T) {
+	sp := counterSpec()
+	if err := sp.CheckTrace(acts("noise", "inc", "other", "dec")); err != nil {
+		t.Errorf("out-of-signature actions should be skipped: %v", err)
+	}
+}
+
+// nondetSpec can move to two states on "fork"; only one of them enables
+// "win". Subset simulation must keep both candidates alive.
+func nondetSpec() *Spec[int] {
+	return &Spec[int]{
+		Name:    "nondet",
+		Initial: []int{0},
+		Signature: func(name string) Kind {
+			if name == "fork" || name == "win" {
+				return KindOutput
+			}
+			return 0
+		},
+		Step: func(s int, a Action) []int {
+			switch {
+			case a.Name == "fork" && s == 0:
+				return []int{1, 2}
+			case a.Name == "win" && s == 2:
+				return []int{3}
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+func TestCheckTraceNondeterminism(t *testing.T) {
+	sp := nondetSpec()
+	if err := sp.CheckTrace(acts("fork", "win")); err != nil {
+		t.Errorf("subset simulation lost a branch: %v", err)
+	}
+	if err := sp.CheckTrace(acts("fork", "win", "win")); err == nil {
+		t.Error("impossible continuation accepted")
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	sp := counterSpec()
+	if sp.Enabled([]int{0}, Action{Name: "dec"}) {
+		t.Error("dec enabled at 0")
+	}
+	if !sp.Enabled([]int{0, 3}, Action{Name: "dec"}) {
+		t.Error("dec not enabled with a positive candidate")
+	}
+}
+
+func TestComposeSynchronises(t *testing.T) {
+	// Two counters sharing "inc": both must step together; each has a
+	// private action.
+	left := counterSpec()
+	right := &Spec[int]{
+		Name:    "bound",
+		Initial: []int{0},
+		Signature: func(name string) Kind {
+			switch name {
+			case "inc":
+				return KindInput
+			case "reset":
+				return KindOutput
+			default:
+				return 0
+			}
+		},
+		Step: func(s int, a Action) []int {
+			switch a.Name {
+			case "inc":
+				if s < 2 { // refuses more than 2 increments
+					return []int{s + 1}
+				}
+				return nil
+			case "reset":
+				return []int{0}
+			default:
+				return nil
+			}
+		},
+	}
+	comp := Compose(left, right)
+	if err := comp.CheckTrace(acts("inc", "inc", "dec")); err != nil {
+		t.Errorf("composed trace rejected: %v", err)
+	}
+	// The right component blocks a third inc.
+	if err := comp.CheckTrace(acts("inc", "inc", "inc")); err == nil {
+		t.Error("composition failed to synchronise on shared action")
+	}
+	// Private actions step one side only: reset then more incs is fine.
+	if err := comp.CheckTrace(acts("inc", "inc", "reset", "inc", "dec", "dec", "dec")); err != nil {
+		t.Errorf("private action handling broken: %v", err)
+	}
+	// dec is left-private: three decs after two incs must fail.
+	if err := comp.CheckTrace(acts("inc", "inc", "dec", "dec", "dec")); err == nil {
+		t.Error("left-private constraint lost in composition")
+	}
+}
+
+func TestComposeSignatureKinds(t *testing.T) {
+	comp := Compose(counterSpec(), nondetSpec())
+	if comp.Signature("inc") != KindInput {
+		t.Error("left-only action should keep its kind")
+	}
+	if comp.Signature("fork") != KindOutput {
+		t.Error("right-only action should keep its kind")
+	}
+	if comp.Signature("nothing") != 0 {
+		t.Error("unknown action should stay out of signature")
+	}
+}
+
+func TestRun(t *testing.T) {
+	sp := counterSpec()
+	exec, err := sp.Run(acts("inc", "dec", "dec", "inc"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "dec" at 0 is skipped (not enabled).
+	want := []string{"inc", "dec", "inc"}
+	if len(exec.Actions) != len(want) {
+		t.Fatalf("executed %v", exec.Actions)
+	}
+	for i, a := range exec.Actions {
+		if a.Name != want[i] {
+			t.Errorf("action %d = %s, want %s", i, a.Name, want[i])
+		}
+	}
+	if exec.States[len(exec.States)-1] != 1 {
+		t.Errorf("final state = %v", exec.States[len(exec.States)-1])
+	}
+	if exec.String() == "" {
+		t.Error("execution renders empty")
+	}
+}
+
+func TestRunNoInitial(t *testing.T) {
+	sp := &Spec[int]{Name: "empty"}
+	if _, err := sp.Run(nil, 1); err == nil {
+		t.Error("Run with no initial state should error")
+	}
+}
+
+// TestFIFOChannelProperty models the paper's core use: a reliable FIFO
+// channel automaton accepts exactly the interleavings where receives
+// follow sends in order. Random valid interleavings must be accepted;
+// traces with a swapped receive pair must be rejected.
+func TestFIFOChannelProperty(t *testing.T) {
+	type chState struct{ sent, recv int }
+	fifo := &Spec[chState]{
+		Name:    "fifo",
+		Initial: []chState{{}},
+		Signature: func(name string) Kind {
+			switch name {
+			case "send":
+				return KindInput
+			case "recv":
+				return KindOutput
+			default:
+				return 0
+			}
+		},
+		Step: func(s chState, a Action) []chState {
+			seq, ok := a.Param.(int)
+			if !ok {
+				return nil
+			}
+			switch a.Name {
+			case "send":
+				if seq == s.sent+1 {
+					return []chState{{sent: seq, recv: s.recv}}
+				}
+				return nil
+			case "recv":
+				if seq == s.recv+1 && seq <= s.sent {
+					return []chState{{sent: s.sent, recv: seq}}
+				}
+				return nil
+			default:
+				return nil
+			}
+		},
+	}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		// Build a random valid interleaving.
+		var tr []Action
+		sent, recv := 0, 0
+		for recv < n {
+			if sent < n && (recv == sent || r.Intn(2) == 0) {
+				sent++
+				tr = append(tr, Action{Name: "send", Param: sent})
+			} else {
+				recv++
+				tr = append(tr, Action{Name: "recv", Param: recv})
+			}
+		}
+		if err := fifo.CheckTrace(tr); err != nil {
+			t.Logf("valid interleaving rejected: %v", err)
+			return false
+		}
+		// Swap two receives to violate FIFO.
+		var recvIdx []int
+		for i, a := range tr {
+			if a.Name == "recv" {
+				recvIdx = append(recvIdx, i)
+			}
+		}
+		if len(recvIdx) < 2 {
+			return true
+		}
+		i, j := recvIdx[0], recvIdx[len(recvIdx)-1]
+		bad := make([]Action, len(tr))
+		copy(bad, tr)
+		bad[i], bad[j] = bad[j], bad[i]
+		if err := fifo.CheckTrace(bad); err == nil {
+			t.Logf("FIFO violation accepted: %v", bad)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package jms
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BodyKind identifies one of the five JMS message body types.
+type BodyKind uint8
+
+// Body kinds, covering the five JMS message types the harness
+// configuration can select ("StreamMessage, MapMessage, TextMessage,
+// ObjectMessage and BytesMessage").
+const (
+	BodyText BodyKind = iota + 1
+	BodyBytes
+	BodyMap
+	BodyStream
+	BodyObject
+)
+
+// String returns the body kind name.
+func (k BodyKind) String() string {
+	switch k {
+	case BodyText:
+		return "text"
+	case BodyBytes:
+		return "bytes"
+	case BodyMap:
+		return "map"
+	case BodyStream:
+		return "stream"
+	case BodyObject:
+		return "object"
+	default:
+		return fmt.Sprintf("BodyKind(%d)", uint8(k))
+	}
+}
+
+// ParseBodyKind parses a body kind name as used in test configurations.
+func ParseBodyKind(s string) (BodyKind, error) {
+	switch s {
+	case "text":
+		return BodyText, nil
+	case "bytes":
+		return BodyBytes, nil
+	case "map":
+		return BodyMap, nil
+	case "stream":
+		return BodyStream, nil
+	case "object":
+		return BodyObject, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown body kind %q", ErrInvalidArgument, s)
+	}
+}
+
+// Body is a message payload. Concrete types: TextBody, BytesBody,
+// MapBody, StreamBody, ObjectBody.
+type Body interface {
+	// Kind identifies the body type.
+	Kind() BodyKind
+	// Size returns the payload size in bytes, used for byte-throughput
+	// accounting.
+	Size() int
+	// Equal reports deep equality against another body.
+	Equal(Body) bool
+	// Clone returns a deep copy, so providers can hand each subscriber
+	// an independent message.
+	Clone() Body
+}
+
+// TextBody is a JMS TextMessage payload.
+type TextBody string
+
+var _ Body = TextBody("")
+
+// Kind returns BodyText.
+func (TextBody) Kind() BodyKind { return BodyText }
+
+// Size returns the text length in bytes.
+func (b TextBody) Size() int { return len(b) }
+
+// Equal reports equality with another body.
+func (b TextBody) Equal(o Body) bool {
+	ob, ok := o.(TextBody)
+	return ok && b == ob
+}
+
+// Clone returns the body (strings are immutable).
+func (b TextBody) Clone() Body { return b }
+
+// BytesBody is a JMS BytesMessage payload.
+type BytesBody []byte
+
+var _ Body = BytesBody(nil)
+
+// Kind returns BodyBytes.
+func (BytesBody) Kind() BodyKind { return BodyBytes }
+
+// Size returns the payload length.
+func (b BytesBody) Size() int { return len(b) }
+
+// Equal reports equality with another body.
+func (b BytesBody) Equal(o Body) bool {
+	ob, ok := o.(BytesBody)
+	if !ok || len(b) != len(ob) {
+		return false
+	}
+	for i := range b {
+		if b[i] != ob[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (b BytesBody) Clone() Body {
+	c := make(BytesBody, len(b))
+	copy(c, b)
+	return c
+}
+
+// MapBody is a JMS MapMessage payload: named typed values.
+type MapBody map[string]Value
+
+var _ Body = MapBody(nil)
+
+// Kind returns BodyMap.
+func (MapBody) Kind() BodyKind { return BodyMap }
+
+// Size returns the total size of keys and values.
+func (b MapBody) Size() int {
+	n := 0
+	for k, v := range b {
+		n += len(k) + v.Size()
+	}
+	return n
+}
+
+// Equal reports equality with another body.
+func (b MapBody) Equal(o Body) bool {
+	ob, ok := o.(MapBody)
+	if !ok || len(b) != len(ob) {
+		return false
+	}
+	for k, v := range b {
+		ov, ok := ob[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (b MapBody) Clone() Body {
+	c := make(MapBody, len(b))
+	for k, v := range b {
+		if bs, ok := v.AsBytes(); ok {
+			nb := make([]byte, len(bs))
+			copy(nb, bs)
+			v = Bytes(nb)
+		}
+		c[k] = v
+	}
+	return c
+}
+
+// SortedKeys returns the map's keys in sorted order, for deterministic
+// encoding.
+func (b MapBody) SortedKeys() []string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// StreamBody is a JMS StreamMessage payload: an ordered sequence of typed
+// values.
+type StreamBody []Value
+
+var _ Body = StreamBody(nil)
+
+// Kind returns BodyStream.
+func (StreamBody) Kind() BodyKind { return BodyStream }
+
+// Size returns the total size of the values.
+func (b StreamBody) Size() int {
+	n := 0
+	for _, v := range b {
+		n += v.Size()
+	}
+	return n
+}
+
+// Equal reports equality with another body.
+func (b StreamBody) Equal(o Body) bool {
+	ob, ok := o.(StreamBody)
+	if !ok || len(b) != len(ob) {
+		return false
+	}
+	for i := range b {
+		if !b[i].Equal(ob[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (b StreamBody) Clone() Body {
+	c := make(StreamBody, len(b))
+	for i, v := range b {
+		if bs, ok := v.AsBytes(); ok {
+			nb := make([]byte, len(bs))
+			copy(nb, bs)
+			v = Bytes(nb)
+		}
+		c[i] = v
+	}
+	return c
+}
+
+// ObjectBody is a JMS ObjectMessage payload: an opaque serialised object,
+// carried as a type name plus encoded bytes (the Go analogue of a Java
+// serialised object).
+type ObjectBody struct {
+	// TypeName records the application-level type of the object.
+	TypeName string
+	// Data is the serialised object.
+	Data []byte
+}
+
+var _ Body = ObjectBody{}
+
+// Kind returns BodyObject.
+func (ObjectBody) Kind() BodyKind { return BodyObject }
+
+// Size returns the serialised size.
+func (b ObjectBody) Size() int { return len(b.TypeName) + len(b.Data) }
+
+// Equal reports equality with another body.
+func (b ObjectBody) Equal(o Body) bool {
+	ob, ok := o.(ObjectBody)
+	if !ok || b.TypeName != ob.TypeName || len(b.Data) != len(ob.Data) {
+		return false
+	}
+	for i := range b.Data {
+		if b.Data[i] != ob.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (b ObjectBody) Clone() Body {
+	d := make([]byte, len(b.Data))
+	copy(d, b.Data)
+	return ObjectBody{TypeName: b.TypeName, Data: d}
+}

@@ -1,0 +1,418 @@
+package jms
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// The message wire format is a compact, deterministic binary encoding
+// shared by the stable store's write-ahead log (internal/store) and the
+// TCP wire protocol (internal/wire). All integers are little-endian;
+// strings and byte slices are length-prefixed with a uvarint.
+
+// Encoder appends primitive values to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing into buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Byte appends a single byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Float64 appends an IEEE 754 double.
+func (e *Encoder) Float64(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Time appends a time as UnixNano varint; the zero time is encoded as a
+// leading 0 flag.
+func (e *Encoder) Time(t time.Time) {
+	if t.IsZero() {
+		e.Byte(0)
+		return
+	}
+	e.Byte(1)
+	e.Varint(t.UnixNano())
+}
+
+// Decoder consumes primitive values from a byte buffer.
+type Decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("jms: truncated or corrupt encoding at byte %d decoding %s", d.pos, what)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Byte reads a single byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Float64 reads an IEEE 754 double.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail("float64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(v)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+// Blob reads a length-prefixed byte slice (copied out of the buffer).
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail("blob")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.pos:d.pos+int(n)])
+	d.pos += int(n)
+	return b
+}
+
+// Time reads a time encoded by Encoder.Time.
+func (d *Decoder) Time() time.Time {
+	if d.Byte() == 0 {
+		return time.Time{}
+	}
+	if d.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, d.Varint()).UTC()
+}
+
+// encodeValue appends a Value.
+func encodeValue(e *Encoder, v Value) {
+	e.Byte(byte(v.kind))
+	switch v.kind {
+	case KindBool:
+		e.Bool(v.b)
+	case KindInt64:
+		e.Varint(v.i)
+	case KindFloat64:
+		e.Float64(v.f)
+	case KindString:
+		e.String(v.s)
+	case KindBytes:
+		e.Blob(v.bs)
+	}
+}
+
+// decodeValue reads a Value.
+func decodeValue(d *Decoder) Value {
+	kind := ValueKind(d.Byte())
+	switch kind {
+	case KindBool:
+		return Bool(d.Bool())
+	case KindInt64:
+		return Int64(d.Varint())
+	case KindFloat64:
+		return Float64(d.Float64())
+	case KindString:
+		return Str(d.String())
+	case KindBytes:
+		return Bytes(d.Blob())
+	default:
+		d.fail("value kind")
+		return Value{}
+	}
+}
+
+// encodeBody appends a Body, tagged by kind; a nil body is tag 0.
+func encodeBody(e *Encoder, b Body) {
+	if b == nil {
+		e.Byte(0)
+		return
+	}
+	e.Byte(byte(b.Kind()))
+	switch body := b.(type) {
+	case TextBody:
+		e.String(string(body))
+	case BytesBody:
+		e.Blob(body)
+	case MapBody:
+		keys := body.SortedKeys()
+		e.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.String(k)
+			encodeValue(e, body[k])
+		}
+	case StreamBody:
+		e.Uvarint(uint64(len(body)))
+		for _, v := range body {
+			encodeValue(e, v)
+		}
+	case ObjectBody:
+		e.String(body.TypeName)
+		e.Blob(body.Data)
+	}
+}
+
+// decodeBody reads a Body.
+func decodeBody(d *Decoder) Body {
+	kind := BodyKind(d.Byte())
+	switch kind {
+	case 0:
+		return nil
+	case BodyText:
+		return TextBody(d.String())
+	case BodyBytes:
+		return BytesBody(d.Blob())
+	case BodyMap:
+		n := d.Uvarint()
+		if d.err != nil || n > uint64(d.Remaining()) {
+			d.fail("map body size")
+			return nil
+		}
+		m := make(MapBody, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			k := d.String()
+			m[k] = decodeValue(d)
+		}
+		return m
+	case BodyStream:
+		n := d.Uvarint()
+		if d.err != nil || n > uint64(d.Remaining()) {
+			d.fail("stream body size")
+			return nil
+		}
+		s := make(StreamBody, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			s = append(s, decodeValue(d))
+		}
+		return s
+	case BodyObject:
+		return ObjectBody{TypeName: d.String(), Data: d.Blob()}
+	default:
+		d.fail("body kind")
+		return nil
+	}
+}
+
+// messageCodecVersion guards against decoding logs written by an
+// incompatible release.
+const messageCodecVersion = 1
+
+var (
+	_ encoding.BinaryMarshaler   = (*Message)(nil)
+	_ encoding.BinaryUnmarshaler = (*Message)(nil)
+)
+
+// MarshalBinary encodes the message in the shared wire format.
+func (m *Message) MarshalBinary() ([]byte, error) {
+	e := NewEncoder(make([]byte, 0, 64+m.BodySize()))
+	m.EncodeTo(e)
+	return e.Bytes(), nil
+}
+
+// EncodeTo appends the message encoding to e.
+func (m *Message) EncodeTo(e *Encoder) {
+	e.Byte(messageCodecVersion)
+	e.String(m.ID)
+	if m.Destination == nil {
+		e.Byte(0)
+	} else {
+		e.Byte(byte(m.Destination.Kind()))
+		e.String(m.Destination.Name())
+	}
+	e.Byte(byte(m.Mode))
+	e.Byte(byte(m.Priority))
+	e.Time(m.Timestamp)
+	e.Time(m.Expiration)
+	e.String(m.CorrelationID)
+	if m.ReplyTo == nil {
+		e.Byte(0)
+	} else {
+		e.Byte(byte(m.ReplyTo.Kind()))
+		e.String(m.ReplyTo.Name())
+	}
+	e.String(m.Type)
+	e.Bool(m.Redelivered)
+	keys := m.sortedPropertyKeys()
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.String(k)
+		encodeValue(e, m.Properties[k])
+	}
+	encodeBody(e, m.Body)
+}
+
+// UnmarshalBinary decodes a message encoded by MarshalBinary.
+func (m *Message) UnmarshalBinary(data []byte) error {
+	d := NewDecoder(data)
+	m.DecodeFrom(d)
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("jms: %d trailing bytes after message", d.Remaining())
+	}
+	return nil
+}
+
+// DecodeFrom reads one message encoding from d.
+func (m *Message) DecodeFrom(d *Decoder) {
+	if v := d.Byte(); v != messageCodecVersion {
+		if d.err == nil {
+			d.err = fmt.Errorf("jms: unsupported message codec version %d", v)
+		}
+		return
+	}
+	m.ID = d.String()
+	switch kind := DestinationKind(d.Byte()); kind {
+	case 0:
+		m.Destination = nil
+	case KindQueue:
+		m.Destination = Queue(d.String())
+	case KindTopic:
+		m.Destination = Topic(d.String())
+	default:
+		d.fail("destination kind")
+		return
+	}
+	m.Mode = DeliveryMode(d.Byte())
+	m.Priority = Priority(d.Byte())
+	m.Timestamp = d.Time()
+	m.Expiration = d.Time()
+	m.CorrelationID = d.String()
+	switch kind := DestinationKind(d.Byte()); kind {
+	case 0:
+		m.ReplyTo = nil
+	case KindQueue:
+		m.ReplyTo = Queue(d.String())
+	case KindTopic:
+		m.ReplyTo = Topic(d.String())
+	default:
+		d.fail("reply-to kind")
+		return
+	}
+	m.Type = d.String()
+	m.Redelivered = d.Bool()
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()) {
+		d.fail("property count")
+		return
+	}
+	if n > 0 {
+		m.Properties = make(map[string]Value, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			k := d.String()
+			m.Properties[k] = decodeValue(d)
+		}
+	} else {
+		m.Properties = nil
+	}
+	m.Body = decodeBody(d)
+}

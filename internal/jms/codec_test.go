@@ -1,0 +1,310 @@
+package jms
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncoderDecoderPrimitives(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uvarint(300)
+	e.Varint(-7)
+	e.Byte(0xAB)
+	e.Bool(true)
+	e.Float64(3.14)
+	e.String("hello")
+	e.Blob([]byte{1, 2, 3})
+	e.Time(time.Unix(42, 99))
+	e.Time(time.Time{})
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uvarint(); v != 300 {
+		t.Errorf("Uvarint = %d", v)
+	}
+	if v := d.Varint(); v != -7 {
+		t.Errorf("Varint = %d", v)
+	}
+	if v := d.Byte(); v != 0xAB {
+		t.Errorf("Byte = %x", v)
+	}
+	if !d.Bool() {
+		t.Error("Bool = false")
+	}
+	if v := d.Float64(); v != 3.14 {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.Blob(); len(v) != 3 || v[2] != 3 {
+		t.Errorf("Blob = %v", v)
+	}
+	if v := d.Time(); !v.Equal(time.Unix(42, 99)) {
+		t.Errorf("Time = %v", v)
+	}
+	if v := d.Time(); !v.IsZero() {
+		t.Errorf("zero Time = %v", v)
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes remaining", d.Remaining())
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder(nil)
+	e.String("a longer string payload")
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.String()
+		if d.Err() == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecoderErrorSticky(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Byte()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	d.Uvarint()
+	_ = d.String()
+	if d.Err() != first {
+		t.Error("error should be sticky")
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Bool(r.Intn(2) == 0)
+	case 1:
+		return Int64(r.Int63() - r.Int63())
+	case 2:
+		return Float64(r.NormFloat64())
+	case 3:
+		return Str(randomString(r, 12))
+	default:
+		b := make([]byte, r.Intn(16))
+		r.Read(b)
+		return Bytes(b)
+	}
+}
+
+func randomString(r *rand.Rand, maxLen int) string {
+	n := r.Intn(maxLen)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func randomBody(r *rand.Rand) Body {
+	switch r.Intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return TextBody(randomString(r, 64))
+	case 2:
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		return BytesBody(b)
+	case 3:
+		m := MapBody{}
+		for i := 0; i < r.Intn(6); i++ {
+			m[randomString(r, 8)] = randomValue(r)
+		}
+		return m
+	case 4:
+		s := StreamBody{}
+		for i := 0; i < r.Intn(6); i++ {
+			s = append(s, randomValue(r))
+		}
+		return s
+	default:
+		b := make([]byte, r.Intn(32))
+		r.Read(b)
+		return ObjectBody{TypeName: randomString(r, 10), Data: b}
+	}
+}
+
+// randomMessage builds an arbitrary message for the property test.
+func randomMessage(r *rand.Rand) *Message {
+	m := &Message{
+		ID:            randomString(r, 20),
+		Mode:          DeliveryMode(1 + r.Intn(2)),
+		Priority:      Priority(r.Intn(10)),
+		CorrelationID: randomString(r, 10),
+		Type:          randomString(r, 10),
+		Redelivered:   r.Intn(2) == 0,
+		Body:          randomBody(r),
+	}
+	switch r.Intn(3) {
+	case 0:
+		m.Destination = Queue(randomString(r, 10))
+	case 1:
+		m.Destination = Topic(randomString(r, 10))
+	}
+	switch r.Intn(3) {
+	case 0:
+		m.ReplyTo = Queue(randomString(r, 10))
+	case 1:
+		m.ReplyTo = Topic(randomString(r, 10))
+	}
+	if r.Intn(2) == 0 {
+		m.Timestamp = time.Unix(r.Int63n(1e9), r.Int63n(1e9)).UTC()
+	}
+	if r.Intn(2) == 0 {
+		m.Expiration = time.Unix(r.Int63n(1e9), r.Int63n(1e9)).UTC()
+	}
+	for i := 0; i < r.Intn(5); i++ {
+		m.SetProperty(randomString(r, 8), randomValue(r))
+	}
+	return m
+}
+
+// TestMessageCodecRoundTripProperty is the property-based test for the
+// shared binary codec: every message round-trips exactly.
+func TestMessageCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMessage(r)
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		var got Message
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		if !m.Equal(&got) {
+			t.Logf("round trip mismatch:\n  in:  %+v\n  out: %+v", m, &got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMessageCodecDeterministic checks that encoding is deterministic
+// (map iteration order must not leak into the encoding, since the stable
+// store compares encodings).
+func TestMessageCodecDeterministic(t *testing.T) {
+	m := NewTextMessage("payload")
+	for i := 0; i < 10; i++ {
+		m.SetProperty(randomString(rand.New(rand.NewSource(int64(i))), 8), Int64(int64(i)))
+	}
+	first, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatal("encoding is not deterministic")
+		}
+	}
+}
+
+// TestMessageCodecCorruptInput checks the decoder survives arbitrary
+// corruption without panicking and reports an error for truncations.
+func TestMessageCodecCorruptInput(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := randomMessage(r)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		var got Message
+		if err := got.UnmarshalBinary(data[:cut]); err == nil {
+			// Truncation mid-encoding should error; a prefix that happens
+			// to decode cleanly with zero remaining is impossible because
+			// every field is written unconditionally.
+			t.Errorf("truncation at %d silently accepted", cut)
+		}
+	}
+	// Random mutations must never panic.
+	for trial := 0; trial < 200; trial++ {
+		mutated := make([]byte, len(data))
+		copy(mutated, data)
+		mutated[r.Intn(len(mutated))] ^= byte(1 + r.Intn(255))
+		var got Message
+		_ = got.UnmarshalBinary(mutated) // must not panic
+	}
+}
+
+func TestMessageCodecTrailingBytes(t *testing.T) {
+	m := NewTextMessage("x")
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Message
+	if err := got.UnmarshalBinary(append(data, 0xFF)); err == nil {
+		t.Error("trailing bytes should be rejected")
+	}
+}
+
+func TestMessageCodecVersionCheck(t *testing.T) {
+	m := NewTextMessage("x")
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	var got Message
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Error("bad version should be rejected")
+	}
+}
+
+func BenchmarkMessageMarshal(b *testing.B) {
+	m := NewBytesMessage(make([]byte, 1024))
+	m.ID = "ID:broker-1-12345"
+	m.Destination = Topic("bench")
+	m.SetProperty("producer", Str("p1"))
+	m.SetProperty("seq", Int64(123456))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageUnmarshal(b *testing.B) {
+	m := NewBytesMessage(make([]byte, 1024))
+	m.ID = "ID:broker-1-12345"
+	m.Destination = Topic("bench")
+	m.SetProperty("producer", Str("p1"))
+	m.SetProperty("seq", Int64(123456))
+	data, err := m.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var got Message
+		if err := got.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package jms
+
+import "fmt"
+
+// DestinationKind discriminates queues from topics.
+type DestinationKind uint8
+
+// Destination kinds.
+const (
+	KindQueue DestinationKind = iota + 1
+	KindTopic
+)
+
+// String returns the kind name.
+func (k DestinationKind) String() string {
+	switch k {
+	case KindQueue:
+		return "queue"
+	case KindTopic:
+		return "topic"
+	default:
+		return fmt.Sprintf("DestinationKind(%d)", uint8(k))
+	}
+}
+
+// Destination names a message endpoint: a point-to-point queue or a
+// publish/subscribe topic. The two concrete implementations are Queue and
+// Topic.
+type Destination interface {
+	// Name returns the destination name.
+	Name() string
+	// Kind returns whether this is a queue or a topic.
+	Kind() DestinationKind
+	// String renders the destination as "kind:name".
+	String() string
+}
+
+// Queue is a point-to-point destination: messages wait at the queue until
+// a receiver picks them up, and each message is consumed by exactly one
+// receiver.
+type Queue string
+
+var _ Destination = Queue("")
+
+// Name returns the queue name.
+func (q Queue) Name() string { return string(q) }
+
+// Kind returns KindQueue.
+func (q Queue) Kind() DestinationKind { return KindQueue }
+
+// String renders the queue as "queue:name".
+func (q Queue) String() string { return "queue:" + string(q) }
+
+// Topic is a publish/subscribe destination: each message published on a
+// topic is delivered to every subscription on that topic.
+type Topic string
+
+var _ Destination = Topic("")
+
+// Name returns the topic name.
+func (t Topic) Name() string { return string(t) }
+
+// Kind returns KindTopic.
+func (t Topic) Kind() DestinationKind { return KindTopic }
+
+// String renders the topic as "topic:name".
+func (t Topic) String() string { return "topic:" + string(t) }
+
+// ParseDestination parses the "queue:name" / "topic:name" rendering
+// produced by Destination.String.
+func ParseDestination(s string) (Destination, error) {
+	const (
+		qp = "queue:"
+		tp = "topic:"
+	)
+	switch {
+	case len(s) > len(qp) && s[:len(qp)] == qp:
+		return Queue(s[len(qp):]), nil
+	case len(s) > len(tp) && s[:len(tp)] == tp:
+		return Topic(s[len(tp):]), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrInvalidDestination, s)
+	}
+}
+
+// DestinationEqual reports whether two destinations name the same
+// endpoint, treating nil as equal only to nil.
+func DestinationEqual(a, b Destination) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Kind() == b.Kind() && a.Name() == b.Name()
+}

@@ -1,0 +1,329 @@
+// Package jms defines a Go messaging API with the semantic surface of the
+// Java Message Service 1.0.2 specification, which is the interface the
+// paper's test harness exercises. It carries over everything the paper's
+// formal model depends on (§2.1): point-to-point queues and
+// publish/subscribe topics, transacted sessions and three acknowledgement
+// modes, durable and non-durable subscribers, the five message body
+// types, persistent and non-persistent delivery, ten priority levels, and
+// time-to-live based expiration.
+//
+// Providers (the systems under test) implement ConnectionFactory and the
+// interfaces reachable from it. The repository ships an in-memory
+// reference provider (internal/broker), a TCP wire-protocol provider
+// (internal/wire) and fault-injecting providers (internal/faults).
+package jms
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DeliveryMode selects whether a message must survive provider failures.
+type DeliveryMode uint8
+
+// Delivery modes, with the JMS numeric values.
+const (
+	// NonPersistent messages "should be delivered", but a failure may
+	// cause them to be lost.
+	NonPersistent DeliveryMode = 1
+	// Persistent messages are guaranteed to eventually arrive at their
+	// destination(s) even if system or communication failures occur.
+	Persistent DeliveryMode = 2
+)
+
+// String returns the mode name.
+func (m DeliveryMode) String() string {
+	switch m {
+	case NonPersistent:
+		return "non-persistent"
+	case Persistent:
+		return "persistent"
+	default:
+		return fmt.Sprintf("DeliveryMode(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is a defined delivery mode.
+func (m DeliveryMode) Valid() bool { return m == NonPersistent || m == Persistent }
+
+// AckMode selects how a non-transacted session acknowledges consumed
+// messages.
+type AckMode uint8
+
+// Acknowledgement modes.
+const (
+	// AckAuto: the session automatically acknowledges each message as it
+	// is delivered.
+	AckAuto AckMode = iota + 1
+	// AckClient: the client explicitly acknowledges, which covers all
+	// messages consumed so far on the session.
+	AckClient
+	// AckDupsOK: lazy acknowledgement; reduces session work but duplicate
+	// messages may be delivered after a failure.
+	AckDupsOK
+)
+
+// String returns the acknowledgement mode name.
+func (m AckMode) String() string {
+	switch m {
+	case AckAuto:
+		return "auto"
+	case AckClient:
+		return "client"
+	case AckDupsOK:
+		return "dups-ok"
+	default:
+		return fmt.Sprintf("AckMode(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is a defined acknowledgement mode.
+func (m AckMode) Valid() bool { return m >= AckAuto && m <= AckDupsOK }
+
+// Priority is a JMS message priority. JMS defines a 10-level priority
+// (0–9) where 9 is the highest and 0 the lowest; providers need only make
+// a best effort to deliver higher-priority messages first.
+type Priority uint8
+
+// Priority bounds and the JMS default.
+const (
+	PriorityLowest  Priority = 0
+	PriorityDefault Priority = 4
+	PriorityHighest Priority = 9
+	// NumPriorities is the number of distinct priority levels.
+	NumPriorities = 10
+)
+
+// Valid reports whether p is within the JMS priority range.
+func (p Priority) Valid() bool { return p <= PriorityHighest }
+
+// Common errors returned by providers.
+var (
+	// ErrClosed is returned by operations on a closed connection,
+	// session, producer or consumer.
+	ErrClosed = errors.New("jms: closed")
+	// ErrNotTransacted is returned by Commit/Rollback on a
+	// non-transacted session.
+	ErrNotTransacted = errors.New("jms: session is not transacted")
+	// ErrTransacted is returned by Acknowledge/Recover on a transacted
+	// session.
+	ErrTransacted = errors.New("jms: session is transacted")
+	// ErrClientIDInUse is returned when a connection requests a client ID
+	// already held by another active connection.
+	ErrClientIDInUse = errors.New("jms: client ID already in use")
+	// ErrNoClientID is returned when creating a durable subscriber on a
+	// connection with no client ID.
+	ErrNoClientID = errors.New("jms: connection has no client ID")
+	// ErrDurableActive is returned when a durable subscription already
+	// has an active subscriber, or is unsubscribed while active.
+	ErrDurableActive = errors.New("jms: durable subscription has an active subscriber")
+	// ErrUnknownSubscription is returned when unsubscribing a durable
+	// subscription that does not exist.
+	ErrUnknownSubscription = errors.New("jms: unknown durable subscription")
+	// ErrInvalidDestination is returned when a destination is malformed
+	// or of the wrong kind for the operation.
+	ErrInvalidDestination = errors.New("jms: invalid destination")
+	// ErrInvalidSelector is returned when a message selector fails to
+	// parse.
+	ErrInvalidSelector = errors.New("jms: invalid message selector")
+	// ErrInvalidArgument is returned for out-of-range priorities,
+	// delivery modes, or other malformed parameters.
+	ErrInvalidArgument = errors.New("jms: invalid argument")
+)
+
+// ConnectionFactory creates connections to a provider. It is the JNDI
+// entry point of the paper's §2.1: "A typical JMS client uses JNDI to
+// load a ConnectionFactory ... The connection factory is used to create
+// connections with the MOM".
+type ConnectionFactory interface {
+	// CreateConnection opens a new connection. The connection starts in
+	// stopped state: producers may send but no messages are delivered to
+	// consumers until Start is called.
+	CreateConnection() (Connection, error)
+}
+
+// Connection is an active link from a client to a provider.
+type Connection interface {
+	// SetClientID assigns the connection's client identifier, which
+	// scopes durable subscription names. It must be called before any
+	// session is created and fails with ErrClientIDInUse if the ID is
+	// held by another active connection.
+	SetClientID(id string) error
+	// ClientID returns the connection's client identifier, or "".
+	ClientID() string
+	// CreateSession creates a session. If transacted is true, ackMode is
+	// ignored; otherwise ackMode must be a valid AckMode.
+	CreateSession(transacted bool, ackMode AckMode) (Session, error)
+	// Start begins (or resumes) delivery of messages to this
+	// connection's consumers.
+	Start() error
+	// Stop pauses delivery of messages to this connection's consumers.
+	// Sends are unaffected.
+	Stop() error
+	// Close closes the connection, its sessions, and their producers and
+	// consumers. Close rolls back in-progress transactions and may be
+	// called more than once.
+	Close() error
+}
+
+// Session is a single-threaded context for producing and consuming
+// messages. Each transacted session groups its sends and receives into a
+// unit of work: on commit all received messages are acknowledged and all
+// outgoing messages are sent; on rollback received messages are recovered
+// and outgoing messages destroyed.
+type Session interface {
+	// Transacted reports whether the session is transacted.
+	Transacted() bool
+	// AckMode returns the acknowledgement mode of a non-transacted
+	// session; its value is meaningless for transacted sessions.
+	AckMode() AckMode
+	// CreateProducer creates a producer for dest. A nil dest creates an
+	// unidentified producer whose Send calls must name a destination.
+	CreateProducer(dest Destination) (Producer, error)
+	// CreateConsumer creates a consumer from dest: a receiver for a
+	// queue, or a non-durable subscriber for a topic.
+	CreateConsumer(dest Destination) (Consumer, error)
+	// CreateConsumerWithSelector creates a consumer that only receives
+	// messages satisfying the given message selector (a JMS SQL-92
+	// conditional expression; see internal/selector). For a queue,
+	// non-matching messages remain on the queue for other receivers;
+	// for a topic, non-matching messages are never delivered to the
+	// subscription. An empty selector matches everything.
+	CreateConsumerWithSelector(dest Destination, selectorExpr string) (Consumer, error)
+	// CreateDurableSubscriber creates (or re-activates) the durable
+	// subscription named name, scoped by the connection's client ID.
+	CreateDurableSubscriber(topic Topic, name string) (Consumer, error)
+	// CreateDurableSubscriberWithSelector is CreateDurableSubscriber
+	// with a message selector. The selector is part of the durable
+	// subscription's identity: reopening with a different selector is
+	// equivalent to unsubscribing and resubscribing.
+	CreateDurableSubscriberWithSelector(topic Topic, name, selectorExpr string) (Consumer, error)
+	// CreateBrowser creates a browser that inspects the queue's waiting
+	// messages without consuming them, optionally restricted by a
+	// message selector.
+	CreateBrowser(queue Queue, selectorExpr string) (Browser, error)
+	// CreateTemporaryQueue creates a queue that lives only as long as
+	// the session's connection. Any producer may send to it (its name
+	// travels in a message's ReplyTo header), but only consumers of the
+	// creating connection may receive from it. It is the substrate of
+	// the request/reply pattern (see Requestor).
+	CreateTemporaryQueue() (Queue, error)
+	// Unsubscribe deletes the durable subscription named name. It fails
+	// with ErrDurableActive if the subscription has an active consumer.
+	Unsubscribe(name string) error
+	// Commit commits the session's current transaction and starts a new
+	// one. It fails with ErrNotTransacted on non-transacted sessions.
+	Commit() error
+	// Rollback aborts the session's current transaction and starts a new
+	// one: sent messages are destroyed, received messages recovered.
+	Rollback() error
+	// Acknowledge acknowledges all messages consumed so far by this
+	// session (client-acknowledge mode).
+	Acknowledge() error
+	// Recover stops message delivery, marks unacknowledged messages
+	// redelivered, and restarts delivery from the oldest
+	// unacknowledged message (non-transacted sessions only).
+	Recover() error
+	// Close closes the session and its producers and consumers, rolling
+	// back an in-progress transaction.
+	Close() error
+}
+
+// SendOptions carries the per-send quality-of-service parameters.
+type SendOptions struct {
+	// Mode selects persistent or non-persistent delivery.
+	Mode DeliveryMode
+	// Priority is the 0–9 message priority.
+	Priority Priority
+	// TTL is the message time-to-live; zero means the message never
+	// expires.
+	TTL time.Duration
+}
+
+// DefaultSendOptions returns the JMS defaults: persistent delivery,
+// priority 4, no expiration.
+func DefaultSendOptions() SendOptions {
+	return SendOptions{Mode: Persistent, Priority: PriorityDefault}
+}
+
+// Validate reports whether the options are well formed.
+func (o SendOptions) Validate() error {
+	if !o.Mode.Valid() {
+		return fmt.Errorf("%w: delivery mode %d", ErrInvalidArgument, o.Mode)
+	}
+	if !o.Priority.Valid() {
+		return fmt.Errorf("%w: priority %d", ErrInvalidArgument, o.Priority)
+	}
+	if o.TTL < 0 {
+		return fmt.Errorf("%w: negative TTL %v", ErrInvalidArgument, o.TTL)
+	}
+	return nil
+}
+
+// Producer sends messages to a destination. In the paper's terminology,
+// "senders to a queue and publishers on a topic are collectively termed
+// message producers".
+type Producer interface {
+	// Destination returns the producer's destination, or nil for an
+	// unidentified producer.
+	Destination() Destination
+	// Send sends msg to the producer's destination with opts. On return
+	// (with nil error and a non-transacted session) the message is
+	// "sent" in the sense of the formal model's Definition 1. The
+	// provider assigns msg.ID and msg.Timestamp.
+	Send(msg *Message, opts SendOptions) error
+	// SendTo sends to an explicit destination (unidentified producers).
+	SendTo(dest Destination, msg *Message, opts SendOptions) error
+	// Close closes the producer.
+	Close() error
+}
+
+// Listener is an asynchronous message callback. A session dispatches to
+// its listeners serially.
+type Listener func(*Message)
+
+// Browser inspects a queue without consuming from it (the JMS
+// QueueBrowser). Browsing is a point-in-time snapshot: messages may be
+// consumed or expire between Enumerate calls.
+type Browser interface {
+	// Queue returns the browsed queue.
+	Queue() Queue
+	// Enumerate returns the unexpired messages currently waiting on the
+	// queue, in delivery order (priority, then arrival), restricted to
+	// those matching the browser's selector. The returned messages are
+	// copies; mutating them does not affect the queue.
+	Enumerate() ([]*Message, error)
+	// Close closes the browser.
+	Close() error
+}
+
+// Consumer receives messages from a destination. In the paper's
+// terminology, "receivers from a queue or subscribers to a topic are
+// message consumers".
+type Consumer interface {
+	// Destination returns the consumer's destination.
+	Destination() Destination
+	// EndpointID identifies the consumer group this consumer belongs to:
+	// "queue:<name>" for a queue receiver, "sub:<clientID>:<name>" for a
+	// durable subscriber, and "sub:anon:<uid>" for the artificial
+	// subscription allocated to a non-durable subscriber for its
+	// lifetime. The test harness logs it so traces can be analysed per
+	// consumer group (Definitions 4–6 of the formal model).
+	EndpointID() string
+	// Receive blocks until a message arrives, the timeout elapses, or
+	// the consumer is closed. timeout <= 0 blocks indefinitely. It
+	// returns (nil, nil) when the timeout elapses with no message, and
+	// ErrClosed once closed.
+	Receive(timeout time.Duration) (*Message, error)
+	// ReceiveNoWait returns the next message if one is immediately
+	// available, else (nil, nil).
+	ReceiveNoWait() (*Message, error)
+	// SetListener installs an asynchronous callback; incompatible with
+	// concurrent synchronous Receive calls. A nil listener removes it.
+	SetListener(l Listener) error
+	// Close closes the consumer. For a non-durable subscriber this
+	// terminates the subscription; for a durable subscriber the
+	// subscription continues to accumulate messages.
+	Close() error
+}

@@ -1,0 +1,309 @@
+package jms
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeliveryModeString(t *testing.T) {
+	cases := map[DeliveryMode]string{
+		NonPersistent:   "non-persistent",
+		Persistent:      "persistent",
+		DeliveryMode(7): "DeliveryMode(7)",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("DeliveryMode(%d).String() = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestDeliveryModeValid(t *testing.T) {
+	if !NonPersistent.Valid() || !Persistent.Valid() {
+		t.Error("defined modes should be valid")
+	}
+	if DeliveryMode(0).Valid() || DeliveryMode(3).Valid() {
+		t.Error("undefined modes should be invalid")
+	}
+}
+
+func TestAckModeString(t *testing.T) {
+	cases := map[AckMode]string{
+		AckAuto:    "auto",
+		AckClient:  "client",
+		AckDupsOK:  "dups-ok",
+		AckMode(9): "AckMode(9)",
+	}
+	for mode, want := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("AckMode(%d).String() = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestPriorityValid(t *testing.T) {
+	for p := Priority(0); p <= PriorityHighest; p++ {
+		if !p.Valid() {
+			t.Errorf("priority %d should be valid", p)
+		}
+	}
+	if Priority(10).Valid() {
+		t.Error("priority 10 should be invalid")
+	}
+}
+
+func TestSendOptionsValidate(t *testing.T) {
+	if err := DefaultSendOptions().Validate(); err != nil {
+		t.Errorf("default options should validate: %v", err)
+	}
+	bad := []SendOptions{
+		{Mode: DeliveryMode(0), Priority: 4},
+		{Mode: Persistent, Priority: 11},
+		{Mode: Persistent, Priority: 4, TTL: -time.Second},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: options %+v should not validate", i, o)
+		}
+	}
+}
+
+func TestDefaultSendOptions(t *testing.T) {
+	o := DefaultSendOptions()
+	if o.Mode != Persistent || o.Priority != PriorityDefault || o.TTL != 0 {
+		t.Errorf("unexpected defaults %+v", o)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	dests := []Destination{Queue("orders"), Topic("prices"), Queue("a:b"), Topic("")}
+	for _, d := range dests {
+		if d.Kind() == KindTopic && d.Name() == "" {
+			continue // empty names don't round-trip through Parse
+		}
+		parsed, err := ParseDestination(d.String())
+		if err != nil {
+			t.Fatalf("ParseDestination(%q): %v", d.String(), err)
+		}
+		if !DestinationEqual(d, parsed) {
+			t.Errorf("round trip of %v gave %v", d, parsed)
+		}
+	}
+}
+
+func TestParseDestinationErrors(t *testing.T) {
+	for _, s := range []string{"", "orders", "queue:", "topic:", "stack:x"} {
+		if _, err := ParseDestination(s); err == nil {
+			t.Errorf("ParseDestination(%q) should fail", s)
+		}
+	}
+}
+
+func TestDestinationEqual(t *testing.T) {
+	if !DestinationEqual(Queue("q"), Queue("q")) {
+		t.Error("identical queues should be equal")
+	}
+	if DestinationEqual(Queue("q"), Topic("q")) {
+		t.Error("queue and topic with same name should differ")
+	}
+	if DestinationEqual(Queue("q"), nil) {
+		t.Error("destination should not equal nil")
+	}
+	if !DestinationEqual(nil, nil) {
+		t.Error("nil should equal nil")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v, ok := Bool(true).AsBool(); !ok || !v {
+		t.Error("Bool round trip failed")
+	}
+	if v, ok := Int64(-42).AsInt64(); !ok || v != -42 {
+		t.Error("Int64 round trip failed")
+	}
+	if v, ok := Float64(2.5).AsFloat64(); !ok || v != 2.5 {
+		t.Error("Float64 round trip failed")
+	}
+	if v, ok := Str("hi").AsString(); !ok || v != "hi" {
+		t.Error("Str round trip failed")
+	}
+	if v, ok := Bytes([]byte{1, 2}).AsBytes(); !ok || len(v) != 2 {
+		t.Error("Bytes round trip failed")
+	}
+	if _, ok := Bool(true).AsInt64(); ok {
+		t.Error("cross-kind accessor should report !ok")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int64(1).Equal(Int64(1)) || Int64(1).Equal(Int64(2)) {
+		t.Error("Int64 equality broken")
+	}
+	if Int64(1).Equal(Float64(1)) {
+		t.Error("cross-kind values should not be equal")
+	}
+	if !Bytes([]byte{1, 2}).Equal(Bytes([]byte{1, 2})) || Bytes([]byte{1}).Equal(Bytes([]byte{2})) {
+		t.Error("Bytes equality broken")
+	}
+}
+
+func TestBodyKinds(t *testing.T) {
+	bodies := []Body{
+		TextBody("x"), BytesBody{1}, MapBody{"k": Int64(1)},
+		StreamBody{Str("a")}, ObjectBody{TypeName: "T", Data: []byte{1}},
+	}
+	kinds := []BodyKind{BodyText, BodyBytes, BodyMap, BodyStream, BodyObject}
+	for i, b := range bodies {
+		if b.Kind() != kinds[i] {
+			t.Errorf("body %d: kind %v, want %v", i, b.Kind(), kinds[i])
+		}
+		if !b.Equal(b.Clone()) {
+			t.Errorf("body %d: clone not equal", i)
+		}
+	}
+}
+
+func TestParseBodyKind(t *testing.T) {
+	for _, name := range []string{"text", "bytes", "map", "stream", "object"} {
+		k, err := ParseBodyKind(name)
+		if err != nil {
+			t.Fatalf("ParseBodyKind(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("ParseBodyKind(%q).String() = %q", name, k.String())
+		}
+	}
+	if _, err := ParseBodyKind("json"); err == nil {
+		t.Error("unknown body kind should fail to parse")
+	}
+}
+
+func TestBodyCloneIndependence(t *testing.T) {
+	orig := BytesBody{1, 2, 3}
+	clone, ok := orig.Clone().(BytesBody)
+	if !ok {
+		t.Fatal("clone changed type")
+	}
+	clone[0] = 9
+	if orig[0] != 1 {
+		t.Error("mutating clone affected original")
+	}
+
+	mb := MapBody{"k": Bytes([]byte{1})}
+	mc, ok := mb.Clone().(MapBody)
+	if !ok {
+		t.Fatal("map clone changed type")
+	}
+	if bs, _ := mc["k"].AsBytes(); len(bs) > 0 {
+		bs[0] = 9
+	}
+	if bs, _ := mb["k"].AsBytes(); bs[0] != 1 {
+		t.Error("mutating map clone affected original")
+	}
+}
+
+func TestBodySize(t *testing.T) {
+	cases := []struct {
+		body Body
+		want int
+	}{
+		{TextBody("abcd"), 4},
+		{BytesBody(make([]byte, 10)), 10},
+		{MapBody{"ab": Int64(1)}, 10},
+		{StreamBody{Bool(true), Float64(0)}, 9},
+		{ObjectBody{TypeName: "T", Data: []byte{1, 2}}, 3},
+	}
+	for i, c := range cases {
+		if got := c.body.Size(); got != c.want {
+			t.Errorf("case %d: size %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMessageExpired(t *testing.T) {
+	now := time.Now()
+	m := &Message{}
+	if m.Expired(now) {
+		t.Error("zero expiration should never expire")
+	}
+	m.Expiration = now.Add(time.Second)
+	if m.Expired(now) {
+		t.Error("message should not be expired before its expiration")
+	}
+	if !m.Expired(now.Add(time.Second)) {
+		t.Error("message should be expired at its expiration")
+	}
+}
+
+func TestMessageProperties(t *testing.T) {
+	m := &Message{}
+	m.SetProperty("producer", Str("p1"))
+	m.SetProperty("seq", Int64(7))
+	if m.StringProperty("producer") != "p1" {
+		t.Error("string property lookup failed")
+	}
+	if m.Int64Property("seq") != 7 {
+		t.Error("int property lookup failed")
+	}
+	if m.StringProperty("missing") != "" || m.Int64Property("missing") != 0 {
+		t.Error("missing property should yield zero values")
+	}
+	if m.StringProperty("seq") != "" {
+		t.Error("kind-mismatched property should yield zero value")
+	}
+}
+
+func TestMessageCloneIndependence(t *testing.T) {
+	m := NewBytesMessage([]byte{1, 2, 3})
+	m.SetProperty("k", Bytes([]byte{5}))
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	cb, ok := c.Body.(BytesBody)
+	if !ok {
+		t.Fatal("clone body type changed")
+	}
+	cb[0] = 9
+	c.SetProperty("k", Bytes([]byte{6}))
+	if b, ok := m.Body.(BytesBody); !ok || b[0] != 1 {
+		t.Error("mutating clone body affected original")
+	}
+	if v, _ := m.Properties["k"].AsBytes(); v[0] != 5 {
+		t.Error("mutating clone properties affected original")
+	}
+}
+
+func TestMessageEqualDifferences(t *testing.T) {
+	base := func() *Message {
+		return &Message{
+			ID: "id1", Destination: Queue("q"), Mode: Persistent, Priority: 4,
+			Timestamp: time.Unix(100, 0), Body: TextBody("x"),
+		}
+	}
+	mutations := []func(*Message){
+		func(m *Message) { m.ID = "id2" },
+		func(m *Message) { m.Destination = Topic("q") },
+		func(m *Message) { m.Mode = NonPersistent },
+		func(m *Message) { m.Priority = 5 },
+		func(m *Message) { m.Timestamp = time.Unix(101, 0) },
+		func(m *Message) { m.Expiration = time.Unix(200, 0) },
+		func(m *Message) { m.CorrelationID = "c" },
+		func(m *Message) { m.ReplyTo = Queue("replies") },
+		func(m *Message) { m.Type = "t" },
+		func(m *Message) { m.Redelivered = true },
+		func(m *Message) { m.SetProperty("k", Int64(1)) },
+		func(m *Message) { m.Body = TextBody("y") },
+		func(m *Message) { m.Body = nil },
+	}
+	for i, mutate := range mutations {
+		a, b := base(), base()
+		mutate(b)
+		if a.Equal(b) {
+			t.Errorf("mutation %d: messages should differ", i)
+		}
+	}
+	if !base().Equal(base()) {
+		t.Error("identical messages should be equal")
+	}
+}

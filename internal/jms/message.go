@@ -1,0 +1,180 @@
+package jms
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Message is a JMS message: a header of delivery metadata, a set of
+// application properties, and a typed body. Producers construct messages
+// with a body and properties; the provider fills in ID, Destination,
+// Mode, Priority, Timestamp and Expiration at send time.
+type Message struct {
+	// ID is the provider-assigned unique message identifier (JMSMessageID).
+	ID string
+	// Destination is the destination the message was sent to
+	// (JMSDestination), set by the provider on send.
+	Destination Destination
+	// Mode is the delivery mode the message was sent with
+	// (JMSDeliveryMode).
+	Mode DeliveryMode
+	// Priority is the 0–9 message priority (JMSPriority).
+	Priority Priority
+	// Timestamp is the provider-assigned send time (JMSTimestamp).
+	Timestamp time.Time
+	// Expiration is the time at which the message expires: Timestamp
+	// plus the send's time-to-live. The zero time means the message
+	// never expires (a TTL of 0 in JMS terms).
+	Expiration time.Time
+	// CorrelationID links a message to another (JMSCorrelationID).
+	CorrelationID string
+	// ReplyTo names the destination a reply should be sent to
+	// (JMSReplyTo), typically a temporary queue.
+	ReplyTo Destination
+	// Type is an application message-type tag (JMSType).
+	Type string
+	// Redelivered is set by the provider when the message may have been
+	// delivered before (JMSRedelivered), e.g. after Recover or rollback.
+	Redelivered bool
+	// Properties are application-set header properties. The harness uses
+	// them to stamp each message with its logical producer and sequence
+	// number so traces can be analysed per the formal model.
+	Properties map[string]Value
+	// Body is the payload; nil is allowed (a JMS Message with no body).
+	Body Body
+}
+
+// NewTextMessage returns a message with a text body.
+func NewTextMessage(text string) *Message {
+	return &Message{Body: TextBody(text), Properties: map[string]Value{}}
+}
+
+// NewBytesMessage returns a message with a bytes body. The slice is not
+// copied.
+func NewBytesMessage(data []byte) *Message {
+	return &Message{Body: BytesBody(data), Properties: map[string]Value{}}
+}
+
+// SetProperty sets an application property, allocating the map if needed.
+func (m *Message) SetProperty(key string, v Value) {
+	if m.Properties == nil {
+		m.Properties = map[string]Value{}
+	}
+	m.Properties[key] = v
+}
+
+// Property returns the named application property.
+func (m *Message) Property(key string) (Value, bool) {
+	v, ok := m.Properties[key]
+	return v, ok
+}
+
+// StringProperty returns the named property's string payload, or "" if
+// absent or of another kind.
+func (m *Message) StringProperty(key string) string {
+	if v, ok := m.Properties[key]; ok {
+		if s, ok := v.AsString(); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// Int64Property returns the named property's integer payload, or 0.
+func (m *Message) Int64Property(key string) int64 {
+	if v, ok := m.Properties[key]; ok {
+		if i, ok := v.AsInt64(); ok {
+			return i
+		}
+	}
+	return 0
+}
+
+// BodySize returns the body payload size in bytes (0 for a nil body).
+func (m *Message) BodySize() int {
+	if m.Body == nil {
+		return 0
+	}
+	return m.Body.Size()
+}
+
+// Expired reports whether the message has expired as of now. A zero
+// Expiration never expires.
+func (m *Message) Expired(now time.Time) bool {
+	return !m.Expiration.IsZero() && !now.Before(m.Expiration)
+}
+
+// Clone returns a deep copy of the message. Providers clone before
+// delivering to each subscriber so consumers cannot alias one another's
+// payloads.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Properties != nil {
+		c.Properties = make(map[string]Value, len(m.Properties))
+		for k, v := range m.Properties {
+			if bs, ok := v.AsBytes(); ok {
+				nb := make([]byte, len(bs))
+				copy(nb, bs)
+				v = Bytes(nb)
+			}
+			c.Properties[k] = v
+		}
+	}
+	if m.Body != nil {
+		c.Body = m.Body.Clone()
+	}
+	return &c
+}
+
+// Equal reports whether two messages have identical headers, properties
+// and bodies. Timestamps are compared at nanosecond precision in UTC.
+func (m *Message) Equal(o *Message) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	if m.ID != o.ID || !DestinationEqual(m.Destination, o.Destination) ||
+		m.Mode != o.Mode || m.Priority != o.Priority ||
+		!m.Timestamp.Equal(o.Timestamp) || !m.Expiration.Equal(o.Expiration) ||
+		m.CorrelationID != o.CorrelationID || !DestinationEqual(m.ReplyTo, o.ReplyTo) ||
+		m.Type != o.Type || m.Redelivered != o.Redelivered {
+		return false
+	}
+	if len(m.Properties) != len(o.Properties) {
+		return false
+	}
+	for k, v := range m.Properties {
+		ov, ok := o.Properties[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	if m.Body == nil || o.Body == nil {
+		return m.Body == nil && o.Body == nil
+	}
+	return m.Body.Equal(o.Body)
+}
+
+// String renders a short diagnostic description.
+func (m *Message) String() string {
+	dest := "<none>"
+	if m.Destination != nil {
+		dest = m.Destination.String()
+	}
+	body := "nil"
+	if m.Body != nil {
+		body = fmt.Sprintf("%s[%d]", m.Body.Kind(), m.Body.Size())
+	}
+	return fmt.Sprintf("msg{id=%s dest=%s mode=%s pri=%d body=%s}", m.ID, dest, m.Mode, m.Priority, body)
+}
+
+// sortedPropertyKeys returns property keys in sorted order for
+// deterministic encoding.
+func (m *Message) sortedPropertyKeys() []string {
+	keys := make([]string, 0, len(m.Properties))
+	for k := range m.Properties {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,103 @@
+package jms
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Requestor implements the JMS request/reply pattern (the
+// QueueRequestor/TopicRequestor helpers): each request is sent with a
+// fresh correlation ID and a ReplyTo pointing at a temporary queue owned
+// by the requestor's connection; Request blocks until the matching reply
+// arrives or the timeout elapses. A Requestor is for use by one
+// goroutine at a time, like the session it wraps.
+type Requestor struct {
+	sess     Session
+	producer Producer
+	replyTo  Queue
+	consumer Consumer
+	counter  atomic.Int64
+	closed   bool
+}
+
+// NewRequestor creates a requestor sending requests to dest.
+func NewRequestor(sess Session, dest Destination) (*Requestor, error) {
+	producer, err := sess.CreateProducer(dest)
+	if err != nil {
+		return nil, err
+	}
+	replyTo, err := sess.CreateTemporaryQueue()
+	if err != nil {
+		_ = producer.Close()
+		return nil, err
+	}
+	consumer, err := sess.CreateConsumer(replyTo)
+	if err != nil {
+		_ = producer.Close()
+		return nil, err
+	}
+	return &Requestor{sess: sess, producer: producer, replyTo: replyTo, consumer: consumer}, nil
+}
+
+// ReplyTo returns the requestor's temporary reply queue.
+func (r *Requestor) ReplyTo() Queue { return r.replyTo }
+
+// Request sends msg and waits up to timeout for the correlated reply.
+// It returns (nil, nil) on timeout. Late replies to earlier timed-out
+// requests are discarded.
+func (r *Requestor) Request(msg *Message, opts SendOptions, timeout time.Duration) (*Message, error) {
+	if r.closed {
+		return nil, ErrClosed
+	}
+	corr := fmt.Sprintf("req-%d", r.counter.Add(1))
+	msg.CorrelationID = corr
+	msg.ReplyTo = r.replyTo
+	if err := r.producer.Send(msg, opts); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		reply, err := r.consumer.Receive(remaining)
+		if err != nil {
+			return nil, err
+		}
+		if reply == nil {
+			return nil, nil
+		}
+		if reply.CorrelationID == corr {
+			return reply, nil
+		}
+		// A stale reply to a request that already timed out; drop it.
+	}
+}
+
+// Close releases the requestor's producer and consumer. The temporary
+// queue itself is deleted when the connection closes.
+func (r *Requestor) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.consumer.Close()
+	if perr := r.producer.Close(); err == nil {
+		err = perr
+	}
+	return err
+}
+
+// Reply is the server-side convenience: it sends response to the
+// request's ReplyTo destination, correlated to the request. producer
+// must be an unidentified producer (created with a nil destination) on
+// any session.
+func Reply(producer Producer, request, response *Message, opts SendOptions) error {
+	if request.ReplyTo == nil {
+		return fmt.Errorf("%w: request has no reply-to destination", ErrInvalidDestination)
+	}
+	response.CorrelationID = request.CorrelationID
+	return producer.SendTo(request.ReplyTo, response, opts)
+}

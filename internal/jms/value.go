@@ -1,0 +1,146 @@
+package jms
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates the scalar types carried by map and stream
+// message bodies (the subset of JMS property/body types the harness
+// exercises).
+type ValueKind uint8
+
+// Value kinds.
+const (
+	KindBool ValueKind = iota + 1
+	KindInt64
+	KindFloat64
+	KindString
+	KindBytes
+)
+
+// String returns the kind name.
+func (k ValueKind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged scalar used by MapBody and StreamBody. The zero Value
+// is invalid; construct with the Bool/Int64/Float64/Str/Bytes helpers.
+type Value struct {
+	kind ValueKind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	bs   []byte
+}
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Int64 returns an integer Value.
+func Int64(v int64) Value { return Value{kind: KindInt64, i: v} }
+
+// Float64 returns a floating-point Value.
+func Float64(v float64) Value { return Value{kind: KindFloat64, f: v} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bytes returns a byte-slice Value. The slice is not copied.
+func Bytes(v []byte) Value { return Value{kind: KindBytes, bs: v} }
+
+// Kind returns the value's kind, or 0 for the invalid zero Value.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// AsBool returns the boolean payload; ok is false for other kinds.
+func (v Value) AsBool() (value, ok bool) { return v.b, v.kind == KindBool }
+
+// AsInt64 returns the integer payload; ok is false for other kinds.
+func (v Value) AsInt64() (int64, bool) { return v.i, v.kind == KindInt64 }
+
+// AsFloat64 returns the float payload; ok is false for other kinds.
+func (v Value) AsFloat64() (float64, bool) { return v.f, v.kind == KindFloat64 }
+
+// AsString returns the string payload; ok is false for other kinds.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBytes returns the bytes payload; ok is false for other kinds.
+func (v Value) AsBytes() ([]byte, bool) { return v.bs, v.kind == KindBytes }
+
+// Size returns the approximate payload size in bytes, used for
+// byte-throughput accounting.
+func (v Value) Size() int {
+	switch v.kind {
+	case KindBool:
+		return 1
+	case KindInt64, KindFloat64:
+		return 8
+	case KindString:
+		return len(v.s)
+	case KindBytes:
+		return len(v.bs)
+	default:
+		return 0
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindBool:
+		return v.b == o.b
+	case KindInt64:
+		return v.i == o.i
+	case KindFloat64:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	case KindBytes:
+		if len(v.bs) != len(o.bs) {
+			return false
+		}
+		for i := range v.bs {
+			if v.bs[i] != o.bs[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt64:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.bs))
+	default:
+		return "<invalid>"
+	}
+}

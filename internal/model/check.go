@@ -1,0 +1,245 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"jmsharness/internal/ioa"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/trace"
+)
+
+// Config selects and tunes the safety-property checks.
+type Config struct {
+	// AllowDuplicates relaxes the duplicate check for configurations
+	// with dups-ok consumers.
+	AllowDuplicates bool
+	// Required tunes required-set construction (Property 2).
+	Required RequiredOptions
+	// Priority tunes the Property 4 check.
+	Priority PriorityOptions
+	// Expiry tunes the Property 5 check.
+	Expiry ExpiryOptions
+	// AutomatonCrossCheck additionally replays each per-stream FIFO
+	// channel automaton (internal/ioa) as an independent derivation of
+	// ordering + integrity. The offline checks are authoritative; the
+	// automaton check exists to validate them against the formal model.
+	AutomatonCrossCheck bool
+}
+
+// DefaultConfig returns the configuration used by the stock test suite.
+func DefaultConfig() Config {
+	return Config{
+		Required:            RequiredOptions{ExemptExpiring: true},
+		Priority:            DefaultPriorityOptions(),
+		Expiry:              DefaultExpiryOptions(),
+		AutomatonCrossCheck: true,
+	}
+}
+
+// Check runs every safety property against a merged trace and returns
+// the consolidated report.
+func Check(tr *trace.Trace, cfg Config) (*Report, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	w, err := Extract(tr)
+	if err != nil {
+		return nil, err
+	}
+	return CheckWorld(w, cfg), nil
+}
+
+// CheckWorld runs every safety property against an extracted world.
+func CheckWorld(w *World, cfg Config) *Report {
+	report := &Report{}
+	report.Results = append(report.Results,
+		CheckDeliveryIntegrity(w),
+		CheckNoDuplicates(w, cfg.AllowDuplicates),
+		CheckRequiredMessages(w, cfg.Required),
+		CheckMessageOrdering(w),
+		CheckMessagePriority(w, cfg.Priority),
+		CheckExpiredMessages(w, cfg.Expiry),
+	)
+	if cfg.AutomatonCrossCheck {
+		report.Results = append(report.Results, CheckFIFOAutomata(w))
+	}
+	return report
+}
+
+// PropFIFOAutomaton labels the I/O-automaton cross-check result.
+const PropFIFOAutomaton Property = "ioa-fifo-channel"
+
+// channelState is the state of the per-stream FIFO channel automaton:
+// the highest stream index sent and the highest delivered. A delivery is
+// enabled iff its index is at most the highest sent (integrity) and
+// strictly greater than the last delivered (FIFO, with loss permitted:
+// skipped indices are messages the stream was allowed to drop outside
+// the required bracket).
+type channelState struct {
+	sent      int
+	delivered int
+}
+
+// FIFOChannelSpec returns the I/O-automaton specification of one
+// reliable-FIFO-with-loss message stream, the building block of the
+// formal JMS model (§2.2 relates JMS delivery to the GCS FIFO and
+// integrity properties).
+func FIFOChannelSpec(name string) *ioa.Spec[channelState] {
+	return &ioa.Spec[channelState]{
+		Name:    name,
+		Initial: []channelState{{}},
+		Signature: func(action string) ioa.Kind {
+			switch action {
+			case "send":
+				return ioa.KindInput
+			case "deliver":
+				return ioa.KindOutput
+			default:
+				return 0
+			}
+		},
+		Step: func(s channelState, a ioa.Action) []channelState {
+			idx, ok := a.Param.(int)
+			if !ok {
+				return nil
+			}
+			switch a.Name {
+			case "send":
+				if idx == s.sent+1 {
+					return []channelState{{sent: idx, delivered: s.delivered}}
+				}
+				return nil
+			case "deliver":
+				if idx <= s.sent && idx > s.delivered {
+					return []channelState{{sent: s.sent, delivered: idx}}
+				}
+				return nil
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+// streamKey identifies one FIFO stream as observed by one consumer.
+type streamKey struct {
+	producer string
+	dest     string
+	priority jms.Priority
+	mode     jms.DeliveryMode
+	consumer string
+}
+
+// CheckFIFOAutomata projects the world onto per-stream traces and
+// replays each against the FIFO channel automaton. A rejected trace is
+// an ordering or integrity violation expressed in the formal model's
+// own terms.
+func CheckFIFOAutomata(w *World) PropertyResult {
+	res := PropertyResult{Property: PropFIFOAutomaton}
+
+	// Index every stream's sends by time order (equivalently seq order)
+	// and assign stream-local indices 1..n.
+	type sendRef struct {
+		idx  int
+		send Send
+	}
+	streamIndex := map[string]sendRef{} // UID -> stream index
+	type prodStream struct {
+		producer string
+		dest     string
+		priority jms.Priority
+		mode     jms.DeliveryMode
+	}
+	counts := map[prodStream]int{}
+	var producers []string
+	for p := range w.SendsByProducer {
+		producers = append(producers, p)
+	}
+	sort.Strings(producers)
+	for _, p := range producers {
+		var dests []string
+		for d := range w.SendsByProducer[p] {
+			dests = append(dests, d)
+		}
+		sort.Strings(dests)
+		for _, d := range dests {
+			for _, s := range w.SendsByProducer[p][d] {
+				ps := prodStream{producer: p, dest: d, priority: s.Priority, mode: s.Mode}
+				counts[ps]++
+				streamIndex[s.UID] = sendRef{idx: counts[ps], send: s}
+			}
+		}
+	}
+
+	// Build each consumer-stream's action sequence: all of the stream's
+	// sends (they precede any delivery of a later index by
+	// construction), then that consumer's deliveries in delivery order.
+	type consumerTrace struct {
+		actions []ioa.Action
+	}
+	traces := map[streamKey]*consumerTrace{}
+	for consumer, deliveries := range w.DeliveriesByConsumer {
+		for _, d := range deliveries {
+			ref, ok := streamIndex[d.UID]
+			if !ok || d.Redelivered {
+				continue
+			}
+			key := streamKey{
+				producer: ref.send.Producer,
+				dest:     ref.send.Dest,
+				priority: ref.send.Priority,
+				mode:     ref.send.Mode,
+				consumer: consumer,
+			}
+			ct, ok := traces[key]
+			if !ok {
+				ct = &consumerTrace{}
+				// Feed all sends of the stream first; the automaton only
+				// requires that a delivery's send has happened, and every
+				// send in the world did happen before its delivery.
+				n := counts[prodStream{producer: key.producer, dest: key.dest, priority: key.priority, mode: key.mode}]
+				for i := 1; i <= n; i++ {
+					ct.actions = append(ct.actions, ioa.Action{Name: "send", Param: i})
+				}
+				traces[key] = ct
+			}
+			ct.actions = append(ct.actions, ioa.Action{Name: "deliver", Param: ref.idx})
+		}
+	}
+
+	keys := make([]streamKey, 0, len(traces))
+	for k := range traces {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.producer != b.producer {
+			return a.producer < b.producer
+		}
+		if a.dest != b.dest {
+			return a.dest < b.dest
+		}
+		if a.consumer != b.consumer {
+			return a.consumer < b.consumer
+		}
+		if a.priority != b.priority {
+			return a.priority < b.priority
+		}
+		return a.mode < b.mode
+	})
+	for _, key := range keys {
+		res.Checked++
+		name := fmt.Sprintf("fifo[%s->%s pri=%d %s @%s]", key.producer, key.dest, key.priority, key.mode, key.consumer)
+		spec := FIFOChannelSpec(name)
+		if err := spec.CheckTrace(traces[key].actions); err != nil {
+			res.Violations = append(res.Violations, Violation{
+				Property: PropFIFOAutomaton,
+				Producer: key.producer,
+				Consumer: key.consumer,
+				Detail:   err.Error(),
+			})
+		}
+	}
+	return res
+}

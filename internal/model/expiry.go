@@ -1,0 +1,198 @@
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"jmsharness/internal/stats"
+)
+
+// ExpectationModel predicts whether a message with a given time-to-live
+// should be delivered. The paper's deployed model is SimpleExpectation;
+// §5 proposes the histogram- and normal-distribution models, which are
+// implemented here as well ("More sophisticated models can be built
+// either by constructing a histogram of message delays throughout the
+// run period or by using a normal distribution for expected message
+// delay").
+type ExpectationModel interface {
+	// Name labels the model in reports.
+	Name() string
+	// ProbDelivered returns the probability that a message sent with ttl
+	// is delivered before expiring. A ttl of zero never expires.
+	ProbDelivered(ttl time.Duration) float64
+}
+
+// SimpleExpectation is the paper's deployed model: "a possibly received
+// message is expected to be delivered if the mean latency time is less
+// than or equal to the time-to-live time of the message or when the
+// message's time-to-live is 0; Otherwise, the message should not be
+// delivered."
+type SimpleExpectation struct {
+	// MeanLatency is the run's mean message delay.
+	MeanLatency time.Duration
+}
+
+var _ ExpectationModel = SimpleExpectation{}
+
+// Name implements ExpectationModel.
+func (SimpleExpectation) Name() string { return "simple" }
+
+// ProbDelivered implements ExpectationModel with a step function.
+func (m SimpleExpectation) ProbDelivered(ttl time.Duration) float64 {
+	if ttl == 0 || ttl >= m.MeanLatency {
+		return 1
+	}
+	return 0
+}
+
+// HistogramExpectation predicts delivery from the empirical delay
+// distribution: the probability a message beats its time-to-live is the
+// delay CDF at the ttl.
+type HistogramExpectation struct {
+	// Delays is the delay histogram in seconds.
+	Delays *stats.Histogram
+}
+
+var _ ExpectationModel = HistogramExpectation{}
+
+// Name implements ExpectationModel.
+func (HistogramExpectation) Name() string { return "histogram" }
+
+// ProbDelivered implements ExpectationModel.
+func (m HistogramExpectation) ProbDelivered(ttl time.Duration) float64 {
+	if ttl == 0 {
+		return 1
+	}
+	if m.Delays == nil || m.Delays.Total() == 0 {
+		return 1
+	}
+	return m.Delays.CDF(ttl.Seconds())
+}
+
+// NormalExpectation approximates the delay distribution with a normal
+// distribution fitted to the run's mean and standard deviation.
+type NormalExpectation struct {
+	// MeanSeconds and StdDevSeconds parameterise the fitted normal.
+	MeanSeconds   float64
+	StdDevSeconds float64
+}
+
+var _ ExpectationModel = NormalExpectation{}
+
+// Name implements ExpectationModel.
+func (NormalExpectation) Name() string { return "normal" }
+
+// ProbDelivered implements ExpectationModel.
+func (m NormalExpectation) ProbDelivered(ttl time.Duration) float64 {
+	if ttl == 0 {
+		return 1
+	}
+	return stats.NormalCDF(ttl.Seconds(), m.MeanSeconds, m.StdDevSeconds)
+}
+
+// ExpiryOptions tunes the Property 5 check.
+type ExpiryOptions struct {
+	// Model predicts delivery; nil builds a SimpleExpectation from the
+	// trace's observed mean delay (the paper's configuration).
+	Model ExpectationModel
+	// MaxExpiredDeliveredFrac bounds "the number of expired messages
+	// that are delivered as a percentage of the number of expected
+	// expired messages".
+	MaxExpiredDeliveredFrac float64
+	// MinLiveDeliveredFrac bounds from below "the number of non-expired
+	// messages delivered as a percentage of the number of expected
+	// non-expired messages".
+	MinLiveDeliveredFrac float64
+}
+
+// DefaultExpiryOptions returns the thresholds used by the stock test
+// configurations: at most 5% of expected-expired delivered, at least 95%
+// of expected-live delivered.
+func DefaultExpiryOptions() ExpiryOptions {
+	return ExpiryOptions{MaxExpiredDeliveredFrac: 0.05, MinLiveDeliveredFrac: 0.95}
+}
+
+// MeanDelay computes the run's mean delivery delay in seconds, the input
+// to the simple expectation model.
+func MeanDelay(w *World) time.Duration {
+	var s stats.Summary
+	for _, deliveries := range w.DeliveriesByConsumer {
+		for _, d := range deliveries {
+			if send, ok := w.SendByUID[d.UID]; ok {
+				s.Add(d.Time.Sub(send.Start).Seconds())
+			}
+		}
+	}
+	return time.Duration(s.Mean() * float64(time.Second))
+}
+
+// CheckExpiredMessages implements Property 5 over the possibly received
+// messages (Definition 7) of each endpoint. Possibly-received scope is
+// taken per (producer, endpoint) as the Property-2 bracket with
+// exemptions disabled: messages the group demonstrably engaged with.
+// Precise expiry testing is impossible black-box (the harness cannot see
+// which messages expired inside the provider), hence the expectation
+// model and the two percentage thresholds.
+func CheckExpiredMessages(w *World, opts ExpiryOptions) PropertyResult {
+	res := PropertyResult{Property: PropExpiredMessages}
+	m := opts.Model
+	if m == nil {
+		m = SimpleExpectation{MeanLatency: MeanDelay(w)}
+	}
+
+	var expectedExpired, expiredDelivered, expectedLive, liveDelivered int
+	sawTTL := false
+	for _, id := range w.EndpointIDs() {
+		ep := w.Endpoints[id]
+		received := ep.ReceivedUIDs()
+		for _, producer := range w.Producers(ep.Dest) {
+			rs := BuildRequiredSet(w, producer, ep, RequiredOptions{})
+			for _, s := range rs.Required {
+				res.Checked++
+				if s.TTL > 0 {
+					sawTTL = true
+				}
+				if m.ProbDelivered(s.TTL) >= 0.5 {
+					expectedLive++
+					if received[s.UID] {
+						liveDelivered++
+					}
+				} else {
+					expectedExpired++
+					if received[s.UID] {
+						expiredDelivered++
+					}
+				}
+			}
+		}
+	}
+	if !sawTTL {
+		res.Skipped = "no messages with a time-to-live in the trace"
+		return res
+	}
+
+	if expectedExpired > 0 {
+		frac := float64(expiredDelivered) / float64(expectedExpired)
+		res.Detail = fmt.Sprintf("model=%s expired-delivered=%d/%d(%.1f%%)",
+			m.Name(), expiredDelivered, expectedExpired, frac*100)
+		if frac > opts.MaxExpiredDeliveredFrac {
+			res.Violations = append(res.Violations, Violation{
+				Property: PropExpiredMessages,
+				Detail: fmt.Sprintf("%.1f%% of expected-expired messages were delivered (bound %.1f%%): time-to-live appears to be ignored",
+					frac*100, opts.MaxExpiredDeliveredFrac*100),
+			})
+		}
+	}
+	if expectedLive > 0 {
+		frac := float64(liveDelivered) / float64(expectedLive)
+		res.Detail += fmt.Sprintf(" live-delivered=%d/%d(%.1f%%)", liveDelivered, expectedLive, frac*100)
+		if frac < opts.MinLiveDeliveredFrac {
+			res.Violations = append(res.Violations, Violation{
+				Property: PropExpiredMessages,
+				Detail: fmt.Sprintf("only %.1f%% of expected-live messages were delivered (bound %.1f%%): expiry appears over-eager",
+					frac*100, opts.MinLiveDeliveredFrac*100),
+			})
+		}
+	}
+	return res
+}

@@ -1,0 +1,276 @@
+// Package model is the formal analysis model at the centre of the paper:
+// a black-box specification of which messages a JMS provider is required
+// to deliver, derived from the observable events of an execution trace.
+//
+// The package implements the paper's Definitions 1–7 (sent messages,
+// received messages, next message, last close, last message, first
+// message, possibly received messages) and safety Properties 1–5
+// (delivery integrity, required messages, message ordering, message
+// priority, expired messages), plus the extensions the paper names as
+// future work: a duplicate-delivery check parameterised by
+// acknowledgement mode, a candidate-pair priority model, and
+// distribution-based expiry expectation models.
+//
+// Because views are not observable in JMS, the model "uses initial and
+// final message deliveries to a receiver to mark changes of view": the
+// required message set for a producer and an end-point is bracketed by
+// the first and last messages actually received (Definitions 5–6), and
+// everything the producer sent in between must have been delivered to
+// some consumer of the group (Property 2). A consequence the paper
+// points out — and which the checkers here preserve — is that a trivial
+// provider that never delivers anything satisfies every safety property;
+// performance analysis (internal/analysis) is what exposes it.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/trace"
+)
+
+// Send is one sent message (Definition 1) in producer order.
+type Send struct {
+	// UID is the harness message identity.
+	UID string
+	// Seq is the per-producer sequence number.
+	Seq int64
+	// Producer is the logical producer.
+	Producer string
+	// Dest is the destination string ("queue:x" / "topic:y").
+	Dest string
+	// Priority, Mode and TTL are the send's quality-of-service
+	// parameters.
+	Priority jms.Priority
+	Mode     jms.DeliveryMode
+	TTL      time.Duration
+	// Start is when the send/publish call started (delay is measured
+	// from here, §3.2) and End when it returned.
+	Start time.Time
+	End   time.Time
+	// BodyBytes and Checksum describe the payload.
+	BodyBytes int
+	Checksum  uint32
+	// TxID is the enclosing transaction, if any.
+	TxID string
+}
+
+// Delivery is one received message (Definition 2) in consumer order.
+type Delivery struct {
+	// UID is the harness message identity.
+	UID string
+	// Consumer is the receiving consumer; Endpoint its consumer group.
+	Consumer string
+	Endpoint string
+	// Dest is the destination the message was delivered from.
+	Dest string
+	// Time is the start of delivery.
+	Time time.Time
+	// Priority and Mode echo the message headers.
+	Priority jms.Priority
+	Mode     jms.DeliveryMode
+	// Redelivered marks provider-flagged redeliveries.
+	Redelivered bool
+	// BodyBytes and Checksum describe the payload as received.
+	BodyBytes int
+	Checksum  uint32
+	// TxID is the enclosing transaction, if any.
+	TxID string
+}
+
+// Endpoint aggregates what the trace reveals about one consumer group
+// (queue or subscription).
+type Endpoint struct {
+	// ID is the endpoint identifier.
+	ID string
+	// Dest is the destination consumers of this group consume from.
+	Dest string
+	// IsQueue distinguishes queue groups from subscriptions.
+	IsQueue bool
+	// Deliveries are the group's deliveries in trace order.
+	Deliveries []Delivery
+	// LastClose is the time of the last consumer-close on the group
+	// (Definition 4); zero if never closed.
+	LastClose time.Time
+	// EverOpened reports whether any consumer opened the endpoint.
+	EverOpened bool
+	// Selector is the consumer group's message selector, if any. A
+	// message the selector rejects is not required to be delivered to
+	// the group. Selectors over message properties cannot be evaluated
+	// black-box from the trace (events carry headers, not payloads), so
+	// selector evaluation during required-set construction is
+	// conservative: a send whose selector verdict is unknown is
+	// excused, never demanded.
+	Selector string
+}
+
+// World is the extracted view of a trace that the property checkers
+// consume: Definitions 1–2 applied, indexed every way the checkers
+// need.
+type World struct {
+	// SendsByProducer maps producer -> destination -> sends in sequence
+	// order. Only messages that are "sent" per Definition 1 appear.
+	SendsByProducer map[string]map[string][]Send
+	// SendByUID indexes every sent message.
+	SendByUID map[string]Send
+	// AttemptedByUID indexes every send attempt, including uncommitted
+	// and failed ones (needed to distinguish "never sent" from "sent but
+	// lost" in integrity checking).
+	AttemptedByUID map[string]Send
+	// Endpoints maps endpoint ID to its aggregate.
+	Endpoints map[string]*Endpoint
+	// DeliveriesByConsumer maps consumer -> deliveries in trace order.
+	DeliveriesByConsumer map[string][]Delivery
+	// HasCrash reports whether the trace contains a provider crash,
+	// which exempts non-persistent messages from delivery obligations.
+	HasCrash bool
+}
+
+// Extract applies Definitions 1 and 2 to a merged trace: a
+// transactional send/receive counts only if its transaction committed; a
+// non-transactional send counts if the call returned without error.
+func Extract(tr *trace.Trace) (*World, error) {
+	committed := tr.CommittedTx()
+	w := &World{
+		SendsByProducer:      map[string]map[string][]Send{},
+		SendByUID:            map[string]Send{},
+		AttemptedByUID:       map[string]Send{},
+		Endpoints:            map[string]*Endpoint{},
+		DeliveriesByConsumer: map[string][]Delivery{},
+		HasCrash:             tr.HasCrash(),
+	}
+
+	sendStarts := map[string]time.Time{}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Type {
+		case trace.EventSendStart:
+			sendStarts[ev.MsgUID] = ev.Time
+
+		case trace.EventSendEnd:
+			start, ok := sendStarts[ev.MsgUID]
+			if !ok {
+				return nil, fmt.Errorf("model: send-end for %s without send-start", ev.MsgUID)
+			}
+			s := Send{
+				UID:       ev.MsgUID,
+				Seq:       ev.MsgSeq,
+				Producer:  ev.Producer,
+				Dest:      ev.Dest,
+				Priority:  ev.Priority,
+				Mode:      ev.Mode,
+				TTL:       ev.TTL,
+				Start:     start,
+				End:       ev.Time,
+				BodyBytes: ev.BodyBytes,
+				Checksum:  ev.Checksum,
+				TxID:      ev.TxID,
+			}
+			w.AttemptedByUID[s.UID] = s
+			if ev.Err != "" {
+				continue // the send threw: not sent
+			}
+			if ev.TxID != "" && !committed[ev.TxID] {
+				continue // transaction never committed: not sent
+			}
+			if w.SendsByProducer[s.Producer] == nil {
+				w.SendsByProducer[s.Producer] = map[string][]Send{}
+			}
+			w.SendsByProducer[s.Producer][s.Dest] = append(w.SendsByProducer[s.Producer][s.Dest], s)
+			w.SendByUID[s.UID] = s
+
+		case trace.EventDeliver:
+			if ev.TxID != "" && !committed[ev.TxID] {
+				continue // rolled back: not received (Definition 2)
+			}
+			d := Delivery{
+				UID:         ev.MsgUID,
+				Consumer:    ev.Consumer,
+				Endpoint:    ev.Endpoint,
+				Dest:        ev.Dest,
+				Time:        ev.Time,
+				Priority:    ev.Priority,
+				Mode:        ev.Mode,
+				Redelivered: ev.Redelivered,
+				BodyBytes:   ev.BodyBytes,
+				Checksum:    ev.Checksum,
+				TxID:        ev.TxID,
+			}
+			ep := w.endpoint(ev.Endpoint)
+			if ep.Dest == "" {
+				ep.Dest = ev.Dest
+			}
+			ep.Deliveries = append(ep.Deliveries, d)
+			w.DeliveriesByConsumer[d.Consumer] = append(w.DeliveriesByConsumer[d.Consumer], d)
+
+		case trace.EventConsumerOpen, trace.EventSubscribe:
+			ep := w.endpoint(ev.Endpoint)
+			ep.EverOpened = ep.EverOpened || ev.Type == trace.EventConsumerOpen
+			if ep.Dest == "" {
+				ep.Dest = ev.Dest
+			}
+			if ev.Selector != "" {
+				ep.Selector = ev.Selector
+			}
+
+		case trace.EventConsumerClose:
+			ep := w.endpoint(ev.Endpoint)
+			if ev.Time.After(ep.LastClose) {
+				ep.LastClose = ev.Time
+			}
+		}
+	}
+
+	// Sort each producer's per-destination sends by sequence number so
+	// "next message" (Definition 3) is positional.
+	for _, dests := range w.SendsByProducer {
+		for _, sends := range dests {
+			sort.Slice(sends, func(i, j int) bool { return sends[i].Seq < sends[j].Seq })
+		}
+	}
+	return w, nil
+}
+
+func (w *World) endpoint(id string) *Endpoint {
+	ep, ok := w.Endpoints[id]
+	if !ok {
+		ep = &Endpoint{ID: id, IsQueue: len(id) > 6 && id[:6] == "queue:"}
+		w.Endpoints[id] = ep
+	}
+	return ep
+}
+
+// ReceivedUIDs returns the set of message UIDs received by the endpoint's
+// consumer group, at any time.
+func (ep *Endpoint) ReceivedUIDs() map[string]bool {
+	out := make(map[string]bool, len(ep.Deliveries))
+	for _, d := range ep.Deliveries {
+		out[d.UID] = true
+	}
+	return out
+}
+
+// Producers returns the producers that sent at least one message to the
+// given destination, sorted for determinism.
+func (w *World) Producers(dest string) []string {
+	var out []string
+	for producer, dests := range w.SendsByProducer {
+		if len(dests[dest]) > 0 {
+			out = append(out, producer)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EndpointIDs returns the endpoint identifiers, sorted for determinism.
+func (w *World) EndpointIDs() []string {
+	out := make([]string, 0, len(w.Endpoints))
+	for id := range w.Endpoints {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,917 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/trace"
+)
+
+// tb builds synthetic traces for checker tests. Times are milliseconds
+// from a fixed epoch.
+type tb struct {
+	events []trace.Event
+	seq    int64
+	epoch  time.Time
+}
+
+func newTB() *tb {
+	return &tb{epoch: time.Unix(1000, 0)}
+}
+
+func (b *tb) at(ms int) time.Time { return b.epoch.Add(time.Duration(ms) * time.Millisecond) }
+
+func (b *tb) add(ev trace.Event) {
+	b.seq++
+	ev.Node = "test"
+	ev.Seq = b.seq
+	b.events = append(b.events, ev)
+}
+
+type sendOpt func(*trace.Event)
+
+func withTTL(ttl time.Duration) sendOpt {
+	return func(e *trace.Event) { e.TTL = ttl }
+}
+
+func withPriority(p jms.Priority) sendOpt {
+	return func(e *trace.Event) { e.Priority = p }
+}
+
+func withMode(m jms.DeliveryMode) sendOpt {
+	return func(e *trace.Event) { e.Mode = m }
+}
+
+func withTx(tx string) sendOpt {
+	return func(e *trace.Event) { e.TxID = tx }
+}
+
+func withErr(msg string) sendOpt {
+	return func(e *trace.Event) { e.Err = msg }
+}
+
+func withChecksum(c uint32) sendOpt {
+	return func(e *trace.Event) { e.Checksum = c }
+}
+
+func withRedelivered() sendOpt {
+	return func(e *trace.Event) { e.Redelivered = true }
+}
+
+// send logs a send-start/send-end pair for producer seq n at time ms.
+func (b *tb) send(producer, dest string, n int, ms int, opts ...sendOpt) string {
+	uid := trace.MessageUID(producer, int64(n))
+	start := trace.Event{
+		Type: trace.EventSendStart, Time: b.at(ms), Producer: producer,
+		Dest: dest, MsgUID: uid, MsgSeq: int64(n),
+		Priority: jms.PriorityDefault, Mode: jms.Persistent, BodyBytes: 100, Checksum: 0xAB,
+	}
+	end := start
+	end.Type = trace.EventSendEnd
+	end.Time = b.at(ms + 1)
+	for _, o := range opts {
+		o(&start)
+		o(&end)
+	}
+	// Errors only apply to the send-end.
+	start.Err = ""
+	b.add(start)
+	b.add(end)
+	return uid
+}
+
+// deliver logs a delivery of uid to consumer on endpoint at time ms.
+func (b *tb) deliver(consumer, endpoint, dest, uid string, ms int, opts ...sendOpt) {
+	ev := trace.Event{
+		Type: trace.EventDeliver, Time: b.at(ms), Consumer: consumer,
+		Endpoint: endpoint, Dest: dest, MsgUID: uid,
+		Priority: jms.PriorityDefault, Mode: jms.Persistent, BodyBytes: 100, Checksum: 0xAB,
+	}
+	for _, o := range opts {
+		o(&ev)
+	}
+	b.add(ev)
+}
+
+func (b *tb) open(consumer, endpoint, dest string, ms int) {
+	b.add(trace.Event{Type: trace.EventConsumerOpen, Time: b.at(ms),
+		Consumer: consumer, Endpoint: endpoint, Dest: dest})
+}
+
+func (b *tb) close(consumer, endpoint string, ms int) {
+	b.add(trace.Event{Type: trace.EventConsumerClose, Time: b.at(ms),
+		Consumer: consumer, Endpoint: endpoint})
+}
+
+func (b *tb) commit(tx string, ms int) {
+	b.add(trace.Event{Type: trace.EventCommit, Time: b.at(ms), TxID: tx})
+}
+
+func (b *tb) abort(tx string, ms int) {
+	b.add(trace.Event{Type: trace.EventAbort, Time: b.at(ms), TxID: tx})
+}
+
+func (b *tb) crash(ms int) {
+	b.add(trace.Event{Type: trace.EventCrash, Time: b.at(ms)})
+	b.add(trace.Event{Type: trace.EventRecovered, Time: b.at(ms + 1)})
+}
+
+func (b *tb) trace() *trace.Trace {
+	// A real node logs in time order; the builder allows out-of-order
+	// construction for readability, so re-sort and renumber before
+	// merging.
+	events := make([]trace.Event, len(b.events))
+	copy(events, b.events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	for i := range events {
+		events[i].Seq = int64(i + 1)
+	}
+	return trace.Merge([][]trace.Event{events}, nil)
+}
+
+func (b *tb) world(t *testing.T) *World {
+	t.Helper()
+	w, err := Extract(b.trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+const (
+	q1  = "queue:q1"
+	qd1 = "queue:q1" // endpoint and dest coincide for queues
+)
+
+// goodQueueTrace is a clean point-to-point run: p sends 1..5, c receives
+// all in order.
+func goodQueueTrace() *tb {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	for i := 1; i <= 5; i++ {
+		uid := b.send("p1", qd1, i, 10*i)
+		b.deliver("c1", q1, qd1, uid, 10*i+5)
+	}
+	b.close("c1", q1, 100)
+	return b
+}
+
+func TestExtractDefinitionOne(t *testing.T) {
+	b := newTB()
+	b.send("p1", qd1, 1, 10)                  // plain send: sent
+	b.send("p1", qd1, 2, 20, withErr("boom")) // failed: not sent
+	b.send("p1", qd1, 3, 30, withTx("tx1"))   // committed: sent
+	b.send("p1", qd1, 4, 40, withTx("tx2"))   // aborted: not sent
+	b.send("p1", qd1, 5, 50, withTx("tx3"))   // no outcome: not sent
+	b.commit("tx1", 60)
+	b.abort("tx2", 61)
+	w := b.world(t)
+	sends := w.SendsByProducer["p1"][qd1]
+	if len(sends) != 2 {
+		t.Fatalf("sent %d messages, want 2 (plain + committed)", len(sends))
+	}
+	if sends[0].Seq != 1 || sends[1].Seq != 3 {
+		t.Errorf("sent seqs %d,%d", sends[0].Seq, sends[1].Seq)
+	}
+	if len(w.AttemptedByUID) != 5 {
+		t.Errorf("attempted %d, want 5", len(w.AttemptedByUID))
+	}
+}
+
+func TestExtractDefinitionTwo(t *testing.T) {
+	b := newTB()
+	uid1 := b.send("p1", qd1, 1, 10)
+	uid2 := b.send("p1", qd1, 2, 20)
+	b.open("c1", q1, qd1, 0)
+	b.deliver("c1", q1, qd1, uid1, 30, withTx("rx1"))
+	b.deliver("c1", q1, qd1, uid2, 40, withTx("rx2"))
+	b.commit("rx1", 50)
+	b.abort("rx2", 51)
+	w := b.world(t)
+	got := w.DeliveriesByConsumer["c1"]
+	if len(got) != 1 || got[0].UID != uid1 {
+		t.Errorf("received %v, want only %s (committed)", got, uid1)
+	}
+}
+
+func TestCleanTracePassesAllProperties(t *testing.T) {
+	report, err := Check(goodQueueTrace().trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Errorf("clean trace failed:\n%s", report)
+	}
+	if len(report.Results) != 7 {
+		t.Errorf("expected 7 property results, got %d", len(report.Results))
+	}
+}
+
+func TestTrivialProviderPassesSafety(t *testing.T) {
+	// The paper: "A trivial JMS implementation — one that never delivers
+	// any messages — will satisfy all the safety properties".
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	for i := 1; i <= 10; i++ {
+		b.send("p1", qd1, i, 10*i)
+	}
+	b.close("c1", q1, 200)
+	report, err := Check(b.trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Errorf("trivial provider must pass safety:\n%s", report)
+	}
+}
+
+func TestIntegrityCatchesPhantomMessage(t *testing.T) {
+	b := goodQueueTrace()
+	b.deliver("c1", q1, qd1, "ghost/99", 99)
+	w := b.world(t)
+	res := CheckDeliveryIntegrity(w)
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if !strings.Contains(res.Violations[0].Detail, "never sent") {
+		t.Errorf("detail = %q", res.Violations[0].Detail)
+	}
+}
+
+func TestIntegrityCatchesUncommittedLeak(t *testing.T) {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid := b.send("p1", qd1, 1, 10, withTx("tx1"))
+	b.abort("tx1", 20)
+	b.deliver("c1", q1, qd1, uid, 30)
+	res := CheckDeliveryIntegrity(b.world(t))
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0].Detail, "uncommitted") {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestIntegrityCatchesCorruption(t *testing.T) {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid := b.send("p1", qd1, 1, 10)
+	b.deliver("c1", q1, qd1, uid, 20, withChecksum(0xDEAD))
+	res := CheckDeliveryIntegrity(b.world(t))
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0].Detail, "corrupted") {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestIntegrityCatchesMisrouting(t *testing.T) {
+	b := newTB()
+	b.open("c1", "queue:other", "queue:other", 0)
+	uid := b.send("p1", qd1, 1, 10)
+	b.deliver("c1", "queue:other", "queue:other", uid, 20)
+	res := CheckDeliveryIntegrity(b.world(t))
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0].Detail, "misrouted") {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestDuplicateDetection(t *testing.T) {
+	b := goodQueueTrace()
+	b.deliver("c1", q1, qd1, "p1/3", 99)
+	w := b.world(t)
+	res := CheckNoDuplicates(w, false)
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if skip := CheckNoDuplicates(w, true); skip.Skipped == "" || len(skip.Violations) != 0 {
+		t.Error("allowDuplicates should skip the check")
+	}
+}
+
+func TestDuplicateAllowsRedelivered(t *testing.T) {
+	b := goodQueueTrace()
+	b.deliver("c1", q1, qd1, "p1/3", 99, withRedelivered())
+	res := CheckNoDuplicates(b.world(t), false)
+	if len(res.Violations) != 0 {
+		t.Errorf("redelivered duplicate flagged: %v", res.Violations)
+	}
+}
+
+func TestRequiredCatchesGap(t *testing.T) {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uids := make([]string, 6)
+	for i := 1; i <= 5; i++ {
+		uids[i] = b.send("p1", qd1, i, 10*i)
+	}
+	// Deliver 1,2,4,5 — 3 is silently dropped mid-stream.
+	for _, i := range []int{1, 2, 4, 5} {
+		b.deliver("c1", q1, qd1, uids[i], 60+i)
+	}
+	b.close("c1", q1, 100)
+	res := CheckRequiredMessages(b.world(t), RequiredOptions{})
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if res.Violations[0].MsgUID != "p1/3" {
+		t.Errorf("flagged %s, want p1/3", res.Violations[0].MsgUID)
+	}
+}
+
+func TestRequiredQueueFirstMessageIsFirstSent(t *testing.T) {
+	// For a queue, the first message is the first *sent* (Definition 6):
+	// dropping the head of the stream is a violation even though the
+	// consumer never saw it.
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10)
+	uid2 := b.send("p1", qd1, 2, 20)
+	_ = uid1
+	b.deliver("c1", q1, qd1, uid2, 30)
+	b.close("c1", q1, 100)
+	res := CheckRequiredMessages(b.world(t), RequiredOptions{})
+	if len(res.Violations) != 1 || res.Violations[0].MsgUID != "p1/1" {
+		t.Errorf("violations = %v, want p1/1 missing", res.Violations)
+	}
+}
+
+func TestRequiredSubscriptionFirstMessageIsFirstReceived(t *testing.T) {
+	// For a subscription, messages published before the first received
+	// one are excused (subscription latency).
+	const sub = "sub:anon:c1"
+	const topic = "topic:t"
+	b := newTB()
+	b.open("c1", sub, topic, 0)
+	uid1 := b.send("p1", topic, 1, 10)
+	uid2 := b.send("p1", topic, 2, 20)
+	uid3 := b.send("p1", topic, 3, 30)
+	_ = uid1 // missed: subscription had not propagated
+	b.deliver("c1", sub, topic, uid2, 40)
+	b.deliver("c1", sub, topic, uid3, 50)
+	b.close("c1", sub, 100)
+	res := CheckRequiredMessages(b.world(t), RequiredOptions{})
+	if len(res.Violations) != 0 {
+		t.Errorf("subscription-latency miss flagged: %v", res.Violations)
+	}
+}
+
+func TestRequiredTailAfterLastReceivedExcused(t *testing.T) {
+	// Messages after the last received one are excused (delivery
+	// latency at close).
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10)
+	b.deliver("c1", q1, qd1, uid1, 20)
+	b.close("c1", q1, 30)
+	b.send("p1", qd1, 2, 40) // sent around/after close, never delivered
+	res := CheckRequiredMessages(b.world(t), RequiredOptions{})
+	if len(res.Violations) != 0 {
+		t.Errorf("post-close tail flagged: %v", res.Violations)
+	}
+}
+
+func TestRequiredDeliveryAfterLastCloseDoesNotExtendBracket(t *testing.T) {
+	// A delivery after the group's last close must not extend the
+	// required interval (Definition 5 conditions on "received before the
+	// last close").
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10)
+	uid2 := b.send("p1", qd1, 2, 20)
+	uid3 := b.send("p1", qd1, 3, 30)
+	_ = uid2
+	b.deliver("c1", q1, qd1, uid1, 15)
+	b.close("c1", q1, 40)
+	b.deliver("c1", q1, qd1, uid3, 50) // straggler after last close
+	w := b.world(t)
+	rs := BuildRequiredSet(w, "p1", w.Endpoints[q1], RequiredOptions{})
+	if rs.LastSeq != 1 {
+		t.Errorf("LastSeq = %d, want 1 (straggler must not extend bracket)", rs.LastSeq)
+	}
+	res := CheckRequiredMessages(w, RequiredOptions{})
+	if len(res.Violations) != 0 {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestRequiredExemptsExpiring(t *testing.T) {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10)
+	b.send("p1", qd1, 2, 20, withTTL(time.Millisecond)) // expires, never delivered
+	uid3 := b.send("p1", qd1, 3, 30)
+	b.deliver("c1", q1, qd1, uid1, 40)
+	b.deliver("c1", q1, qd1, uid3, 50)
+	b.close("c1", q1, 100)
+	strict := CheckRequiredMessages(b.world(t), RequiredOptions{})
+	if len(strict.Violations) != 1 {
+		t.Errorf("without exemption: %v", strict.Violations)
+	}
+	relaxed := CheckRequiredMessages(b.world(t), RequiredOptions{ExemptExpiring: true})
+	if len(relaxed.Violations) != 0 {
+		t.Errorf("with exemption: %v", relaxed.Violations)
+	}
+}
+
+func TestRequiredCrashExemptsNonPersistent(t *testing.T) {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10, withMode(jms.Persistent))
+	b.send("p1", qd1, 2, 20, withMode(jms.NonPersistent)) // lost in crash
+	uid3 := b.send("p1", qd1, 3, 30, withMode(jms.Persistent))
+	b.crash(35)
+	b.deliver("c1", q1, qd1, uid1, 40)
+	b.deliver("c1", q1, qd1, uid3, 50)
+	b.close("c1", q1, 100)
+	res := CheckRequiredMessages(b.world(t), RequiredOptions{})
+	if len(res.Violations) != 0 {
+		t.Errorf("crash run: non-persistent loss flagged: %v", res.Violations)
+	}
+	// But a lost *persistent* message is still a violation.
+	b2 := newTB()
+	b2.open("c1", q1, qd1, 0)
+	uidA := b2.send("p1", qd1, 1, 10, withMode(jms.Persistent))
+	b2.send("p1", qd1, 2, 20, withMode(jms.Persistent)) // lost: violation
+	uidC := b2.send("p1", qd1, 3, 30, withMode(jms.Persistent))
+	b2.crash(35)
+	b2.deliver("c1", q1, qd1, uidA, 40)
+	b2.deliver("c1", q1, qd1, uidC, 50)
+	b2.close("c1", q1, 100)
+	res2 := CheckRequiredMessages(b2.world(t), RequiredOptions{})
+	if len(res2.Violations) != 1 {
+		t.Errorf("persistent loss in crash run: %v", res2.Violations)
+	}
+}
+
+func TestOrderingDetectsSwap(t *testing.T) {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10)
+	uid2 := b.send("p1", qd1, 2, 20)
+	b.deliver("c1", q1, qd1, uid2, 30)
+	b.deliver("c1", q1, qd1, uid1, 40)
+	res := CheckMessageOrdering(b.world(t))
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+}
+
+func TestOrderingPerPriorityStreamsIndependent(t *testing.T) {
+	// Different priorities are different streams: a high-priority
+	// message overtaking a low-priority one is legal.
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10, withPriority(1))
+	uid2 := b.send("p1", qd1, 2, 20, withPriority(9))
+	b.deliver("c1", q1, qd1, uid2, 30, withPriority(9))
+	b.deliver("c1", q1, qd1, uid1, 40, withPriority(1))
+	res := CheckMessageOrdering(b.world(t))
+	if len(res.Violations) != 0 {
+		t.Errorf("cross-priority overtake flagged: %v", res.Violations)
+	}
+}
+
+func TestOrderingCrossModeRule(t *testing.T) {
+	// Non-persistent may overtake persistent...
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uidP := b.send("p1", qd1, 1, 10, withMode(jms.Persistent))
+	uidN := b.send("p1", qd1, 2, 20, withMode(jms.NonPersistent))
+	b.deliver("c1", q1, qd1, uidN, 30, withMode(jms.NonPersistent))
+	b.deliver("c1", q1, qd1, uidP, 40, withMode(jms.Persistent))
+	res := CheckMessageOrdering(b.world(t))
+	if len(res.Violations) != 0 {
+		t.Errorf("legal non-persistent skip flagged: %v", res.Violations)
+	}
+	// ...but persistent may not overtake non-persistent.
+	b2 := newTB()
+	b2.open("c1", q1, qd1, 0)
+	uidN2 := b2.send("p1", qd1, 1, 10, withMode(jms.NonPersistent))
+	uidP2 := b2.send("p1", qd1, 2, 20, withMode(jms.Persistent))
+	b2.deliver("c1", q1, qd1, uidP2, 30, withMode(jms.Persistent))
+	b2.deliver("c1", q1, qd1, uidN2, 40, withMode(jms.NonPersistent))
+	res2 := CheckMessageOrdering(b2.world(t))
+	if len(res2.Violations) != 1 {
+		t.Errorf("illegal persistent skip not flagged: %v", res2.Violations)
+	}
+}
+
+func TestOrderingExemptsRedelivered(t *testing.T) {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uid1 := b.send("p1", qd1, 1, 10)
+	uid2 := b.send("p1", qd1, 2, 20)
+	b.deliver("c1", q1, qd1, uid1, 30)
+	b.deliver("c1", q1, qd1, uid2, 40)
+	b.deliver("c1", q1, qd1, uid1, 50, withRedelivered())
+	res := CheckMessageOrdering(b.world(t))
+	if len(res.Violations) != 0 {
+		t.Errorf("redelivery flagged as ordering violation: %v", res.Violations)
+	}
+}
+
+// priorityTrace delivers high-priority messages with the given mean
+// delays per priority (ms).
+func priorityTrace(delayP1, delayP9 int) *tb {
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	seq := 0
+	for i := 0; i < 10; i++ {
+		seq++
+		uid := b.send("p1", qd1, seq, 100*i, withPriority(1))
+		b.deliver("c1", q1, qd1, uid, 100*i+delayP1, withPriority(1))
+		seq++
+		uid = b.send("p1", qd1, seq, 100*i+50, withPriority(9))
+		b.deliver("c1", q1, qd1, uid, 100*i+50+delayP9, withPriority(9))
+	}
+	return b
+}
+
+func TestPriorityPassesWhenHigherIsFaster(t *testing.T) {
+	res := CheckMessagePriority(priorityTrace(40, 10).world(t), DefaultPriorityOptions())
+	if len(res.Violations) != 0 {
+		t.Errorf("violations = %v\n%s", res.Violations, res.Detail)
+	}
+	if res.Detail == "" {
+		t.Error("detail should report per-priority means")
+	}
+}
+
+func TestPriorityFlagsInversion(t *testing.T) {
+	res := CheckMessagePriority(priorityTrace(10, 40).world(t), DefaultPriorityOptions())
+	if len(res.Violations) != 1 {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestPrioritySkipsWithOneLevel(t *testing.T) {
+	res := CheckMessagePriority(goodQueueTrace().world(t), DefaultPriorityOptions())
+	if res.Skipped == "" {
+		t.Error("single-priority trace should skip the check")
+	}
+}
+
+func TestCandidateInversions(t *testing.T) {
+	// Both messages pending concurrently; low priority delivered first.
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	uidLo := b.send("p1", qd1, 1, 10, withPriority(1))
+	uidHi := b.send("p1", qd1, 2, 11, withPriority(9))
+	b.deliver("c1", q1, qd1, uidLo, 50, withPriority(1))
+	b.deliver("c1", q1, qd1, uidHi, 60, withPriority(9))
+	inv, cand := CandidateInversions(b.world(t))
+	if cand != 1 || inv != 1 {
+		t.Errorf("inv=%d cand=%d, want 1/1", inv, cand)
+	}
+	// Not concurrent: high sent after low was already delivered.
+	b2 := newTB()
+	b2.open("c1", q1, qd1, 0)
+	uidLo2 := b2.send("p1", qd1, 1, 10, withPriority(1))
+	b2.deliver("c1", q1, qd1, uidLo2, 20, withPriority(1))
+	uidHi2 := b2.send("p1", qd1, 2, 30, withPriority(9))
+	b2.deliver("c1", q1, qd1, uidHi2, 40, withPriority(9))
+	_, cand2 := CandidateInversions(b2.world(t))
+	if cand2 != 0 {
+		t.Errorf("non-concurrent pair counted as candidate: %d", cand2)
+	}
+}
+
+func TestExpiryFlagsIgnoredTTL(t *testing.T) {
+	// Provider delivers everything, including messages with 1ms TTL that
+	// (given ~20ms latency) should have expired.
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	for i := 1; i <= 20; i++ {
+		var opts []sendOpt
+		if i%2 == 0 {
+			opts = append(opts, withTTL(time.Millisecond))
+		}
+		uid := b.send("p1", qd1, i, 10*i, opts...)
+		b.deliver("c1", q1, qd1, uid, 10*i+20, opts...)
+	}
+	b.close("c1", q1, 500)
+	res := CheckExpiredMessages(b.world(t), DefaultExpiryOptions())
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0].Detail, "ignored") {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestExpiryFlagsOverEagerExpiry(t *testing.T) {
+	// Provider drops live (TTL=0) messages mid-stream, blaming expiry.
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	var uids []string
+	for i := 1; i <= 20; i++ {
+		var opts []sendOpt
+		if i == 5 {
+			opts = append(opts, withTTL(time.Hour)) // plenty of time: expected live
+		}
+		uids = append(uids, b.send("p1", qd1, i, 10*i, opts...))
+	}
+	for i, uid := range uids {
+		if i+1 == 5 {
+			continue // dropped despite generous TTL
+		}
+		b.deliver("c1", q1, qd1, uid, 300+10*i)
+	}
+	b.close("c1", q1, 600)
+	res := CheckExpiredMessages(b.world(t), ExpiryOptions{MaxExpiredDeliveredFrac: 0.05, MinLiveDeliveredFrac: 0.99})
+	if len(res.Violations) != 1 || !strings.Contains(res.Violations[0].Detail, "over-eager") {
+		t.Errorf("violations = %v", res.Violations)
+	}
+}
+
+func TestExpirySkipsWithoutTTL(t *testing.T) {
+	res := CheckExpiredMessages(goodQueueTrace().world(t), DefaultExpiryOptions())
+	if res.Skipped == "" {
+		t.Error("no-TTL trace should skip expiry check")
+	}
+}
+
+func TestExpiryCorrectProviderPasses(t *testing.T) {
+	// TTL=1ms messages dropped, TTL=0 delivered: the paper's stock
+	// expiry configuration on a correct provider.
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	for i := 1; i <= 20; i++ {
+		var opts []sendOpt
+		if i%2 == 0 {
+			opts = append(opts, withTTL(time.Millisecond))
+		}
+		uid := b.send("p1", qd1, i, 10*i, opts...)
+		if i%2 == 1 {
+			b.deliver("c1", q1, qd1, uid, 10*i+20)
+		}
+	}
+	b.close("c1", q1, 500)
+	res := CheckExpiredMessages(b.world(t), DefaultExpiryOptions())
+	if len(res.Violations) != 0 {
+		t.Errorf("violations = %v (%s)", res.Violations, res.Detail)
+	}
+}
+
+func TestExpectationModels(t *testing.T) {
+	simple := SimpleExpectation{MeanLatency: 20 * time.Millisecond}
+	if simple.ProbDelivered(0) != 1 || simple.ProbDelivered(time.Hour) != 1 {
+		t.Error("simple model: long/zero TTL should be delivered")
+	}
+	if simple.ProbDelivered(time.Millisecond) != 0 {
+		t.Error("simple model: sub-latency TTL should expire")
+	}
+
+	normal := NormalExpectation{MeanSeconds: 0.020, StdDevSeconds: 0.005}
+	if p := normal.ProbDelivered(20 * time.Millisecond); p < 0.45 || p > 0.55 {
+		t.Errorf("normal model at mean: %v", p)
+	}
+	if normal.ProbDelivered(0) != 1 {
+		t.Error("normal model: zero TTL never expires")
+	}
+
+	hist := HistogramExpectation{}
+	if hist.ProbDelivered(time.Millisecond) != 1 {
+		t.Error("empty histogram should default to delivered")
+	}
+}
+
+func TestFIFOAutomatonCrossCheckAgreesWithOrdering(t *testing.T) {
+	good := goodQueueTrace().world(t)
+	if res := CheckFIFOAutomata(good); len(res.Violations) != 0 {
+		t.Errorf("clean trace rejected by automaton: %v", res.Violations)
+	}
+	bad := newTB()
+	bad.open("c1", q1, qd1, 0)
+	uid1 := bad.send("p1", qd1, 1, 10)
+	uid2 := bad.send("p1", qd1, 2, 20)
+	bad.deliver("c1", q1, qd1, uid2, 30)
+	bad.deliver("c1", q1, qd1, uid1, 40)
+	w := bad.world(t)
+	auto := CheckFIFOAutomata(w)
+	offline := CheckMessageOrdering(w)
+	if (len(auto.Violations) == 0) != (len(offline.Violations) == 0) {
+		t.Errorf("automaton (%d violations) disagrees with offline checker (%d)",
+			len(auto.Violations), len(offline.Violations))
+	}
+	if len(auto.Violations) == 0 {
+		t.Error("automaton missed the reordering")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	b := goodQueueTrace()
+	b.deliver("c1", q1, qd1, "ghost/1", 99)
+	report, err := Check(b.trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("report should fail")
+	}
+	out := report.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "delivery-integrity") {
+		t.Errorf("report rendering:\n%s", out)
+	}
+	if len(report.Violations()) == 0 {
+		t.Error("Violations() empty")
+	}
+	if _, ok := report.Result(PropDeliveryIntegrity); !ok {
+		t.Error("Result lookup failed")
+	}
+	if _, ok := report.Result(Property("nonexistent")); ok {
+		t.Error("Result lookup for unknown property should fail")
+	}
+}
+
+func TestCheckRejectsInvalidTrace(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{{Seq: 1, Type: trace.EventAck}}}
+	if _, err := Check(tr, DefaultConfig()); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Property: PropRequiredMessages, Endpoint: "queue:q",
+		Producer: "p", Consumer: "c", MsgUID: "p/1", Detail: "missing"}
+	s := v.String()
+	for _, part := range []string{"required-messages", "queue:q", "p/1", "missing"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("violation string %q missing %q", s, part)
+		}
+	}
+}
+
+func TestWorldHelpers(t *testing.T) {
+	w := goodQueueTrace().world(t)
+	if got := w.Producers(qd1); len(got) != 1 || got[0] != "p1" {
+		t.Errorf("Producers = %v", got)
+	}
+	if got := w.Producers("queue:none"); len(got) != 0 {
+		t.Errorf("Producers of unknown dest = %v", got)
+	}
+	if got := w.EndpointIDs(); len(got) != 1 || got[0] != q1 {
+		t.Errorf("EndpointIDs = %v", got)
+	}
+	ep := w.Endpoints[q1]
+	if !ep.EverOpened || ep.LastClose.IsZero() || !ep.IsQueue {
+		t.Errorf("endpoint state = %+v", ep)
+	}
+	if len(ep.ReceivedUIDs()) != 5 {
+		t.Errorf("ReceivedUIDs = %v", ep.ReceivedUIDs())
+	}
+}
+
+func TestMultiProducerMultiEndpoint(t *testing.T) {
+	// Two producers to one queue, one producer to a subscription; a gap
+	// in exactly one (producer, endpoint) pair is attributed correctly.
+	const sub = "sub:cid:watch"
+	const topic = "topic:t"
+	b := newTB()
+	b.open("c1", q1, qd1, 0)
+	b.open("c2", sub, topic, 0)
+	for i := 1; i <= 3; i++ {
+		uid := b.send("p1", qd1, i, 10*i)
+		b.deliver("c1", q1, qd1, uid, 10*i+2)
+	}
+	var p2uids []string
+	for i := 1; i <= 3; i++ {
+		p2uids = append(p2uids, b.send("p2", qd1, i, 10*i+5))
+	}
+	b.deliver("c1", q1, qd1, p2uids[0], 40)
+	// p2/2 dropped!
+	b.deliver("c1", q1, qd1, p2uids[2], 50)
+	for i := 1; i <= 3; i++ {
+		uid := b.send("p3", topic, i, 10*i)
+		b.deliver("c2", sub, topic, uid, 10*i+3)
+	}
+	b.close("c1", q1, 100)
+	b.close("c2", sub, 100)
+	res := CheckRequiredMessages(b.world(t), RequiredOptions{})
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	v := res.Violations[0]
+	if v.Producer != "p2" || v.MsgUID != "p2/2" || v.Endpoint != q1 {
+		t.Errorf("violation attribution = %+v", v)
+	}
+}
+
+func TestExtractErrorOnDanglingSendEnd(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{
+		{Node: "n", Seq: 1, Type: trace.EventSendEnd, MsgUID: "p/1", Producer: "p"},
+	}}
+	if _, err := Extract(tr); err == nil {
+		t.Error("dangling send-end accepted")
+	}
+}
+
+func ExampleReport_String() {
+	b := newTB()
+	b.open("c1", "queue:demo", "queue:demo", 0)
+	uid := b.send("p1", "queue:demo", 1, 10)
+	b.deliver("c1", "queue:demo", "queue:demo", uid, 20)
+	b.close("c1", "queue:demo", 30)
+	report, _ := Check(b.trace(), DefaultConfig())
+	fmt.Println(report.OK())
+	// Output: true
+}
+
+// TestRequiredMessagesMetamorphicProperty is a property test of the
+// checker itself: starting from a randomly generated clean
+// (violation-free) queue trace, removing any delivery that is not the
+// producer's highest-sequence delivered message must produce exactly
+// one required-messages violation naming that message; removing the
+// highest-sequence one shrinks the bracket and must stay clean.
+func TestRequiredMessagesMetamorphicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(12)
+		b := newTB()
+		b.open("c1", q1, qd1, 0)
+		var uids []string
+		for i := 1; i <= n; i++ {
+			uid := b.send("p1", qd1, i, 10*i)
+			b.deliver("c1", q1, qd1, uid, 10*i+5)
+			uids = append(uids, uid)
+		}
+		b.close("c1", q1, 10*n+100)
+
+		clean := CheckRequiredMessages(b.world(t), RequiredOptions{})
+		if len(clean.Violations) != 0 {
+			t.Logf("seed %d: clean trace flagged: %v", seed, clean.Violations)
+			return false
+		}
+
+		// Remove one random delivery.
+		victim := r.Intn(n)
+		b2 := newTB()
+		b2.open("c1", q1, qd1, 0)
+		for i := 1; i <= n; i++ {
+			uid := b2.send("p1", qd1, i, 10*i)
+			if i-1 != victim {
+				b2.deliver("c1", q1, qd1, uid, 10*i+5)
+			}
+		}
+		b2.close("c1", q1, 10*n+100)
+		res := CheckRequiredMessages(b2.world(t), RequiredOptions{})
+		if victim == n-1 {
+			// The last message: the bracket shrinks, no violation.
+			if len(res.Violations) != 0 {
+				t.Logf("seed %d: tail removal flagged: %v", seed, res.Violations)
+				return false
+			}
+			return true
+		}
+		if len(res.Violations) != 1 || res.Violations[0].MsgUID != uids[victim] {
+			t.Logf("seed %d: removing %s gave %v", seed, uids[victim], res.Violations)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderingMetamorphicProperty: swapping two adjacent deliveries of
+// distinct messages in a clean trace must produce at least one ordering
+// violation, caught by both the offline checker and the automaton.
+func TestOrderingMetamorphicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(10)
+		swap := r.Intn(n - 1) // swap deliveries swap and swap+1
+		b := newTB()
+		b.open("c1", q1, qd1, 0)
+		var uids []string
+		for i := 1; i <= n; i++ {
+			uids = append(uids, b.send("p1", qd1, i, 10*i))
+		}
+		for i := 0; i < n; i++ {
+			idx := i
+			if i == swap {
+				idx = swap + 1
+			} else if i == swap+1 {
+				idx = swap
+			}
+			b.deliver("c1", q1, qd1, uids[idx], 10*n+10*i)
+		}
+		b.close("c1", q1, 30*n+100)
+		w := b.world(t)
+		offline := CheckMessageOrdering(w)
+		automaton := CheckFIFOAutomata(w)
+		if len(offline.Violations) == 0 {
+			t.Logf("seed %d: offline checker missed swap at %d", seed, swap)
+			return false
+		}
+		if len(automaton.Violations) == 0 {
+			t.Logf("seed %d: automaton missed swap at %d", seed, swap)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+
+	"jmsharness/internal/jms"
+)
+
+// orderKey identifies a FIFO stream for Property 3: "Messages sent by a
+// message producer with the same message priority and delivery mode and,
+// on the same topic in the case of pub/sub messaging style, must be
+// delivered in the same order as it was sent."
+type orderKey struct {
+	producer string
+	dest     string
+	priority jms.Priority
+	mode     jms.DeliveryMode
+}
+
+// modeKey drops the delivery mode, for the cross-mode rule.
+type modeKey struct {
+	producer string
+	dest     string
+	priority jms.Priority
+}
+
+// CheckMessageOrdering implements Property 3 per consumer: "Take any
+// message msg received by a message consumer and message msg' is the
+// previous message received by the consumer that is from the same
+// producer, on the same topic with the same message priority and
+// delivery mode as msg. Ordering is preserved if msg' was published
+// before msg." With per-producer sequence numbers, "published before"
+// reduces to a sequence comparison.
+//
+// It also enforces the asymmetric cross-mode rule of §2.1: "messages
+// sent in non-persistent mode may skip ahead of messages sent in
+// persistent mode but the reverse is not permitted" — a persistent
+// message must never overtake an earlier-sent non-persistent message of
+// the same producer, destination and priority.
+//
+// Redelivered messages are exempt: redelivery legitimately replays
+// earlier messages after later ones were seen.
+func CheckMessageOrdering(w *World) PropertyResult {
+	res := PropertyResult{Property: PropMessageOrdering}
+	for consumer, deliveries := range w.DeliveriesByConsumer {
+		lastSeq := map[orderKey]int64{}
+		lastUID := map[orderKey]string{}
+		// Highest persistent sequence delivered so far per stream
+		// (mode-blind), for the cross-mode rule.
+		maxPersistent := map[modeKey]int64{}
+		maxPersistentUID := map[modeKey]string{}
+		for _, d := range deliveries {
+			send, ok := w.SendByUID[d.UID]
+			if !ok {
+				continue // integrity violation, reported by Property 1
+			}
+			if d.Redelivered {
+				continue
+			}
+			res.Checked++
+			key := orderKey{producer: send.Producer, dest: send.Dest, priority: send.Priority, mode: send.Mode}
+			if prev, seen := lastSeq[key]; seen && send.Seq < prev {
+				res.Violations = append(res.Violations, Violation{
+					Property: PropMessageOrdering,
+					Producer: send.Producer,
+					Consumer: consumer,
+					MsgUID:   d.UID,
+					Detail: fmt.Sprintf("seq=%d delivered after seq=%d (%s) of the same stream (dest=%s pri=%d mode=%s)",
+						send.Seq, prev, lastUID[key], send.Dest, send.Priority, send.Mode),
+				})
+			}
+			if prev, seen := lastSeq[key]; !seen || send.Seq > prev {
+				lastSeq[key] = send.Seq
+				lastUID[key] = d.UID
+			}
+
+			mk := modeKey{producer: send.Producer, dest: send.Dest, priority: send.Priority}
+			switch send.Mode {
+			case jms.Persistent:
+				if send.Seq > maxPersistent[mk] {
+					maxPersistent[mk] = send.Seq
+					maxPersistentUID[mk] = d.UID
+				}
+			case jms.NonPersistent:
+				if hi := maxPersistent[mk]; hi > send.Seq {
+					res.Violations = append(res.Violations, Violation{
+						Property: PropMessageOrdering,
+						Producer: send.Producer,
+						Consumer: consumer,
+						MsgUID:   maxPersistentUID[mk],
+						Detail: fmt.Sprintf("persistent seq=%d overtook earlier non-persistent seq=%d (%s); the reverse skip is not permitted",
+							hi, send.Seq, d.UID),
+					})
+				}
+			}
+		}
+	}
+	return res
+}

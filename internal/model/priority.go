@@ -1,0 +1,186 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/stats"
+)
+
+// PriorityOptions tunes the Property 4 check.
+type PriorityOptions struct {
+	// Tolerance is the fraction by which a lower priority's mean delay
+	// may undercut a higher priority's before it is a violation, since
+	// the specification only requires best effort. 0.10 means the lower
+	// priority may be up to 10% faster.
+	Tolerance float64
+	// AbsoluteSlack is an absolute floor under the relative tolerance:
+	// an inversion whose absolute mean-delay difference is at most this
+	// much is not a violation. On an unloaded provider every priority
+	// is delivered near-instantly and sub-millisecond noise would
+	// otherwise flip the comparison; priority only has observable
+	// effect when messages actually queue.
+	AbsoluteSlack time.Duration
+	// MinSamples is the minimum number of delay samples a priority level
+	// needs before it participates in the comparison.
+	MinSamples int
+	// MaxInversionFrac bounds the fraction of candidate pairs (see
+	// CandidateInversions) delivered out of priority order. Negative
+	// disables the candidate-pair check.
+	MaxInversionFrac float64
+}
+
+// DefaultPriorityOptions returns the tolerances used by the stock test
+// configurations.
+func DefaultPriorityOptions() PriorityOptions {
+	return PriorityOptions{
+		Tolerance:        0.10,
+		AbsoluteSlack:    time.Millisecond,
+		MinSamples:       5,
+		MaxInversionFrac: -1,
+	}
+}
+
+// priorityDelays collects per-priority delay summaries over all
+// deliveries whose send is known. Delay is "the time between the start
+// of the message delivery to a consumer and the start of the call to
+// send or publish the message" (§3.2).
+func priorityDelays(w *World) map[jms.Priority]*stats.Summary {
+	out := map[jms.Priority]*stats.Summary{}
+	for _, deliveries := range w.DeliveriesByConsumer {
+		for _, d := range deliveries {
+			send, ok := w.SendByUID[d.UID]
+			if !ok || d.Redelivered {
+				continue
+			}
+			s, ok := out[send.Priority]
+			if !ok {
+				s = &stats.Summary{}
+				out[send.Priority] = s
+			}
+			s.Add(d.Time.Sub(send.Start).Seconds())
+		}
+	}
+	return out
+}
+
+// CheckMessagePriority implements Property 4: "The mean message delivery
+// time between a producer and consumer for a lower message priority is
+// greater or equal to the mean message delivery time for a higher
+// message priority", assuming messages of all priorities were produced
+// at the same rate with the same delivery mode. The property may be
+// relaxed (Tolerance) or effectively dropped, since JMS only requires
+// best effort.
+func CheckMessagePriority(w *World, opts PriorityOptions) PropertyResult {
+	res := PropertyResult{Property: PropMessagePriority}
+	delays := priorityDelays(w)
+
+	type level struct {
+		pri  jms.Priority
+		mean float64
+		n    int64
+	}
+	var levels []level
+	for pri, s := range delays {
+		if int(s.N()) >= opts.MinSamples {
+			levels = append(levels, level{pri: pri, mean: s.Mean(), n: s.N()})
+		}
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i].pri < levels[j].pri })
+	if len(levels) < 2 {
+		res.Skipped = "fewer than two priority levels with enough samples"
+		return res
+	}
+	var detail []string
+	for _, l := range levels {
+		detail = append(detail, fmt.Sprintf("p%d=%.1fms(n=%d)", l.pri, l.mean*1000, l.n))
+	}
+	res.Detail = strings.Join(detail, " ")
+
+	for i := 0; i < len(levels)-1; i++ {
+		for j := i + 1; j < len(levels); j++ {
+			lo, hi := levels[i], levels[j]
+			res.Checked++
+			if lo.mean < hi.mean*(1-opts.Tolerance) &&
+				hi.mean-lo.mean > opts.AbsoluteSlack.Seconds() {
+				res.Violations = append(res.Violations, Violation{
+					Property: PropMessagePriority,
+					Detail: fmt.Sprintf("priority %d mean delay %.2fms is faster than priority %d mean delay %.2fms beyond tolerance %.0f%%",
+						lo.pri, lo.mean*1000, hi.pri, hi.mean*1000, opts.Tolerance*100),
+				})
+			}
+		}
+	}
+
+	if opts.MaxInversionFrac >= 0 {
+		inv, cand := CandidateInversions(w)
+		if cand > 0 {
+			frac := float64(inv) / float64(cand)
+			res.Detail += fmt.Sprintf(" inversions=%d/%d(%.1f%%)", inv, cand, frac*100)
+			res.Checked += cand
+			if frac > opts.MaxInversionFrac {
+				res.Violations = append(res.Violations, Violation{
+					Property: PropMessagePriority,
+					Detail: fmt.Sprintf("%.1f%% of priority candidate pairs inverted (bound %.1f%%)",
+						frac*100, opts.MaxInversionFrac*100),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// CandidateInversions implements the stricter model the paper sketches
+// in §5: "The strictness of message priority analysis can be enhanced by
+// building a model that indicates whether two messages are candidates
+// for priority considerations." Two messages delivered to the same
+// consumer are a candidate pair when they were concurrently pending in
+// the provider — each was sent before either was delivered — and carry
+// different priorities. The pair is inverted when the lower-priority
+// message was delivered first. Returns (inverted, candidates).
+func CandidateInversions(w *World) (inverted, candidates int) {
+	for _, deliveries := range w.DeliveriesByConsumer {
+		type rec struct {
+			sent     time.Time
+			deliv    time.Time
+			priority jms.Priority
+		}
+		var recs []rec
+		for _, d := range deliveries {
+			send, ok := w.SendByUID[d.UID]
+			if !ok || d.Redelivered {
+				continue
+			}
+			recs = append(recs, rec{sent: send.Start, deliv: d.Time, priority: send.Priority})
+		}
+		for i := 0; i < len(recs); i++ {
+			for j := i + 1; j < len(recs); j++ {
+				a, b := recs[i], recs[j]
+				if a.priority == b.priority {
+					continue
+				}
+				// Concurrently pending: both sent before the earlier of
+				// the two deliveries.
+				firstDeliv := a.deliv
+				if b.deliv.Before(firstDeliv) {
+					firstDeliv = b.deliv
+				}
+				if a.sent.After(firstDeliv) || b.sent.After(firstDeliv) {
+					continue
+				}
+				candidates++
+				lo, hi := a, b
+				if b.priority < a.priority {
+					lo, hi = b, a
+				}
+				if lo.deliv.Before(hi.deliv) {
+					inverted++
+				}
+			}
+		}
+	}
+	return inverted, candidates
+}

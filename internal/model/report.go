@@ -1,0 +1,133 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Property identifies one of the checked safety properties.
+type Property string
+
+// Checked properties. The numbered ones are the paper's §3.1 properties;
+// "no-duplicates" is the acknowledgement-mode-aware extension.
+const (
+	PropDeliveryIntegrity Property = "delivery-integrity" // Property 1
+	PropRequiredMessages  Property = "required-messages"  // Property 2
+	PropMessageOrdering   Property = "message-ordering"   // Property 3
+	PropMessagePriority   Property = "message-priority"   // Property 4
+	PropExpiredMessages   Property = "expired-messages"   // Property 5
+	PropNoDuplicates      Property = "no-duplicates"      // extension
+)
+
+// Violation is one detected breach of a safety property.
+type Violation struct {
+	// Property is the breached property.
+	Property Property
+	// Endpoint, Producer, Consumer and MsgUID locate the violation;
+	// fields that do not apply are empty.
+	Endpoint string
+	Producer string
+	Consumer string
+	MsgUID   string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	var parts []string
+	parts = append(parts, string(v.Property))
+	if v.Endpoint != "" {
+		parts = append(parts, "endpoint="+v.Endpoint)
+	}
+	if v.Producer != "" {
+		parts = append(parts, "producer="+v.Producer)
+	}
+	if v.Consumer != "" {
+		parts = append(parts, "consumer="+v.Consumer)
+	}
+	if v.MsgUID != "" {
+		parts = append(parts, "msg="+v.MsgUID)
+	}
+	return fmt.Sprintf("%s: %s", strings.Join(parts, " "), v.Detail)
+}
+
+// PropertyResult summarises one property's check.
+type PropertyResult struct {
+	// Property is the property checked.
+	Property Property
+	// Checked counts the individual obligations examined (messages,
+	// pairs, endpoints — property-specific).
+	Checked int
+	// Violations are the detected breaches.
+	Violations []Violation
+	// Skipped records why the property was not evaluated, if so.
+	Skipped string
+	// Detail carries property-specific measurements (e.g. per-priority
+	// mean delays, expiry rates) for the report.
+	Detail string
+}
+
+// OK reports whether the property held (or was skipped).
+func (r PropertyResult) OK() bool { return len(r.Violations) == 0 }
+
+// Report is the outcome of checking every safety property on a trace.
+type Report struct {
+	// Results holds one entry per property, in the order checked.
+	Results []PropertyResult
+}
+
+// Violations returns all violations across properties.
+func (r *Report) Violations() []Violation {
+	var out []Violation
+	for _, pr := range r.Results {
+		out = append(out, pr.Violations...)
+	}
+	return out
+}
+
+// OK reports whether every property held.
+func (r *Report) OK() bool {
+	for _, pr := range r.Results {
+		if !pr.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Result returns the result for the given property, if present.
+func (r *Report) Result(p Property) (PropertyResult, bool) {
+	for _, pr := range r.Results {
+		if pr.Property == p {
+			return pr, true
+		}
+	}
+	return PropertyResult{}, false
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, pr := range r.Results {
+		status := "OK"
+		if pr.Skipped != "" {
+			status = "SKIPPED (" + pr.Skipped + ")"
+		} else if !pr.OK() {
+			status = fmt.Sprintf("FAIL (%d violations)", len(pr.Violations))
+		}
+		fmt.Fprintf(&b, "%-20s %-24s checked=%d", pr.Property, status, pr.Checked)
+		if pr.Detail != "" {
+			fmt.Fprintf(&b, "  %s", pr.Detail)
+		}
+		b.WriteByte('\n')
+		for i, v := range pr.Violations {
+			if i >= 10 {
+				fmt.Fprintf(&b, "    ... and %d more\n", len(pr.Violations)-i)
+				break
+			}
+			fmt.Fprintf(&b, "    %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"fmt"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/selector"
+)
+
+// headerOnlyMessage reconstructs the selectable headers of a sent
+// message from its trace record (payload properties are not logged).
+func headerOnlyMessage(s Send) *jms.Message {
+	return &jms.Message{Priority: s.Priority, Mode: s.Mode}
+}
+
+// RequiredSet is the required message set (Property 2) for one
+// (producer, endpoint) pair, together with the bracketing first/last
+// messages (Definitions 5–6) that define it.
+type RequiredSet struct {
+	Producer string
+	Endpoint string
+	// FirstSeq and LastSeq bracket the required interval in producer
+	// sequence numbers (inclusive). Empty sets have FirstSeq > LastSeq.
+	FirstSeq int64
+	LastSeq  int64
+	// Required lists the messages that must have been received by some
+	// consumer of the group, after exemptions.
+	Required []Send
+	// Exempt counts messages inside the bracket excused from delivery
+	// (expiring messages; non-persistent messages in a crash run).
+	Exempt int
+}
+
+// Empty reports whether the set imposes no obligations.
+func (rs *RequiredSet) Empty() bool { return len(rs.Required) == 0 }
+
+// RequiredOptions tunes required-set construction.
+type RequiredOptions struct {
+	// ExemptExpiring excludes messages sent with a non-zero
+	// time-to-live from the required set: whether they must arrive is
+	// Property 5's (probabilistic) concern, not Property 2's.
+	ExemptExpiring bool
+	// CrashInTrace exempts non-persistent messages: the specification
+	// only guarantees persistent messages across failures.
+	CrashInTrace bool
+}
+
+// BuildRequiredSet applies Definitions 3–6 for one producer and one
+// endpoint:
+//
+//   - Last close (Definition 4) is taken from the endpoint's close
+//     events.
+//   - The last message (Definition 5) is the producer's highest-sequence
+//     message received by the group before the last close (or at any
+//     time, if the group was never closed).
+//   - The first message (Definition 6) is the producer's first sent
+//     message for a queue, and the producer's first message received by
+//     the group for a subscription (subscription latency means earlier
+//     messages may legitimately have been missed).
+//   - The required set (Property 2) is every message the producer sent
+//     between the two, in sequence order, minus exemptions.
+func BuildRequiredSet(w *World, producer string, ep *Endpoint, opts RequiredOptions) RequiredSet {
+	rs := RequiredSet{Producer: producer, Endpoint: ep.ID, FirstSeq: 1, LastSeq: 0}
+	sends := w.SendsByProducer[producer][ep.Dest]
+	if len(sends) == 0 {
+		return rs
+	}
+	// A consumer group with a message selector is only owed the
+	// messages its selector admits. Trace events carry headers but not
+	// payload properties, so evaluation is conservative: unknown
+	// verdicts excuse the message rather than demand it.
+	var sel *selector.Selector
+	if ep.Selector != "" {
+		if parsed, err := selector.Parse(ep.Selector); err == nil {
+			sel = parsed
+		}
+	}
+
+	// Definition 5: last message received from this producer before the
+	// group's last close.
+	lastSeq := int64(-1)
+	for _, d := range ep.Deliveries {
+		if !ep.LastClose.IsZero() && d.Time.After(ep.LastClose) {
+			continue
+		}
+		send, ok := w.SendByUID[d.UID]
+		if !ok || send.Producer != producer || send.Dest != ep.Dest {
+			continue
+		}
+		if send.Seq > lastSeq {
+			lastSeq = send.Seq
+		}
+	}
+	if lastSeq < 0 {
+		// Nothing from this producer was ever received: black-box
+		// analysis cannot bracket an interval, so no obligations (the
+		// paper's trivial-provider observation).
+		return rs
+	}
+
+	// Definition 6: first message.
+	firstSeq := int64(-1)
+	if ep.IsQueue {
+		firstSeq = sends[0].Seq
+	} else {
+		for _, d := range ep.Deliveries {
+			send, ok := w.SendByUID[d.UID]
+			if !ok || send.Producer != producer || send.Dest != ep.Dest {
+				continue
+			}
+			if firstSeq < 0 || send.Seq < firstSeq {
+				firstSeq = send.Seq
+			}
+		}
+	}
+	if firstSeq < 0 || firstSeq > lastSeq {
+		return rs
+	}
+	rs.FirstSeq, rs.LastSeq = firstSeq, lastSeq
+
+	for _, s := range sends {
+		if s.Seq < firstSeq || s.Seq > lastSeq {
+			continue
+		}
+		if opts.ExemptExpiring && s.TTL > 0 {
+			rs.Exempt++
+			continue
+		}
+		if opts.CrashInTrace && s.Mode == jms.NonPersistent {
+			rs.Exempt++
+			continue
+		}
+		if sel != nil && !sel.Matches(headerOnlyMessage(s)) {
+			rs.Exempt++
+			continue
+		}
+		rs.Required = append(rs.Required, s)
+	}
+	return rs
+}
+
+// CheckRequiredMessages implements Property 2 across all producers and
+// endpoints: "Correctness requires that the union of all messages
+// received by consumers be a super set of the required message set."
+func CheckRequiredMessages(w *World, opts RequiredOptions) PropertyResult {
+	res := PropertyResult{Property: PropRequiredMessages}
+	opts.CrashInTrace = opts.CrashInTrace || w.HasCrash
+	totalRequired, totalExempt := 0, 0
+	for _, id := range w.EndpointIDs() {
+		ep := w.Endpoints[id]
+		received := ep.ReceivedUIDs()
+		for _, producer := range w.Producers(ep.Dest) {
+			rs := BuildRequiredSet(w, producer, ep, opts)
+			totalRequired += len(rs.Required)
+			totalExempt += rs.Exempt
+			for _, s := range rs.Required {
+				res.Checked++
+				if !received[s.UID] {
+					res.Violations = append(res.Violations, Violation{
+						Property: PropRequiredMessages,
+						Endpoint: id,
+						Producer: producer,
+						MsgUID:   s.UID,
+						Detail: fmt.Sprintf("message seq=%d (sent within required interval [%d,%d]) was never received by the group",
+							s.Seq, rs.FirstSeq, rs.LastSeq),
+					})
+				}
+			}
+		}
+	}
+	res.Detail = fmt.Sprintf("required=%d exempt=%d", totalRequired, totalExempt)
+	return res
+}

@@ -1,0 +1,390 @@
+package selector
+
+import (
+	"jmsharness/internal/jms"
+)
+
+// valueKind classifies evaluation results. SQL three-valued logic is
+// realised by vNull flowing through operators.
+type valueKind uint8
+
+const (
+	vNull valueKind = iota
+	vBool
+	vNum
+	vStr
+)
+
+// value is the result of evaluating a subexpression.
+type value struct {
+	kind valueKind
+	b    bool
+	f    float64
+	s    string
+}
+
+func nullValue() value         { return value{kind: vNull} }
+func boolValue(b bool) value   { return value{kind: vBool, b: b} }
+func numValue(f float64) value { return value{kind: vNum, f: f} }
+func strValue(s string) value  { return value{kind: vStr, s: s} }
+
+// tval is a three-valued truth value.
+type tval uint8
+
+const (
+	tUnknown tval = iota
+	tTrue
+	tFalse
+)
+
+func fromBool(b bool) tval {
+	if b {
+		return tTrue
+	}
+	return tFalse
+}
+
+// truth interprets a value as a condition.
+func (v value) truth() tval {
+	if v.kind == vBool {
+		return fromBool(v.b)
+	}
+	return tUnknown
+}
+
+// expr is an AST node.
+type expr interface {
+	eval(m *jms.Message) value
+}
+
+// litExpr is a literal.
+type litExpr struct{ v value }
+
+func (e litExpr) eval(*jms.Message) value { return e.v }
+
+// identExpr resolves a message property or JMS header field.
+type identExpr struct{ name string }
+
+func (e identExpr) eval(m *jms.Message) value {
+	switch e.name {
+	case "JMSPriority":
+		return numValue(float64(m.Priority))
+	case "JMSDeliveryMode":
+		return numValue(float64(m.Mode))
+	case "JMSType":
+		return strValue(m.Type)
+	case "JMSCorrelationID":
+		return strValue(m.CorrelationID)
+	case "JMSMessageID":
+		return strValue(m.ID)
+	}
+	v, ok := m.Property(e.name)
+	if !ok {
+		return nullValue()
+	}
+	switch v.Kind() {
+	case jms.KindBool:
+		b, _ := v.AsBool()
+		return boolValue(b)
+	case jms.KindInt64:
+		i, _ := v.AsInt64()
+		return numValue(float64(i))
+	case jms.KindFloat64:
+		f, _ := v.AsFloat64()
+		return numValue(f)
+	case jms.KindString:
+		s, _ := v.AsString()
+		return strValue(s)
+	default:
+		// Byte arrays are not selectable types in JMS.
+		return nullValue()
+	}
+}
+
+// notExpr is logical NOT (unknown stays unknown).
+type notExpr struct{ inner expr }
+
+func (e notExpr) eval(m *jms.Message) value {
+	switch e.inner.eval(m).truth() {
+	case tTrue:
+		return boolValue(false)
+	case tFalse:
+		return boolValue(true)
+	default:
+		return nullValue()
+	}
+}
+
+// andExpr is SQL AND: false dominates unknown.
+type andExpr struct{ left, right expr }
+
+func (e andExpr) eval(m *jms.Message) value {
+	l := e.left.eval(m).truth()
+	if l == tFalse {
+		return boolValue(false)
+	}
+	r := e.right.eval(m).truth()
+	switch {
+	case r == tFalse:
+		return boolValue(false)
+	case l == tTrue && r == tTrue:
+		return boolValue(true)
+	default:
+		return nullValue()
+	}
+}
+
+// orExpr is SQL OR: true dominates unknown.
+type orExpr struct{ left, right expr }
+
+func (e orExpr) eval(m *jms.Message) value {
+	l := e.left.eval(m).truth()
+	if l == tTrue {
+		return boolValue(true)
+	}
+	r := e.right.eval(m).truth()
+	switch {
+	case r == tTrue:
+		return boolValue(true)
+	case l == tFalse && r == tFalse:
+		return boolValue(false)
+	default:
+		return nullValue()
+	}
+}
+
+// cmpExpr compares two values; mixed or null operands yield unknown.
+type cmpExpr struct {
+	op          string
+	left, right expr
+}
+
+func (e cmpExpr) eval(m *jms.Message) value {
+	l, r := e.left.eval(m), e.right.eval(m)
+	if l.kind == vNull || r.kind == vNull {
+		return nullValue()
+	}
+	switch {
+	case l.kind == vNum && r.kind == vNum:
+		return boolValue(cmpOrdered(e.op, l.f, r.f))
+	case l.kind == vStr && r.kind == vStr:
+		// JMS restricts string comparison to = and <>.
+		switch e.op {
+		case "=":
+			return boolValue(l.s == r.s)
+		case "<>":
+			return boolValue(l.s != r.s)
+		default:
+			return nullValue()
+		}
+	case l.kind == vBool && r.kind == vBool:
+		switch e.op {
+		case "=":
+			return boolValue(l.b == r.b)
+		case "<>":
+			return boolValue(l.b != r.b)
+		default:
+			return nullValue()
+		}
+	default:
+		// Incompatible types never compare true.
+		return nullValue()
+	}
+}
+
+func cmpOrdered(op string, a, b float64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "<>":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	default: // ">="
+		return a >= b
+	}
+}
+
+// arithExpr is numeric arithmetic; non-numeric or null operands yield
+// null. Division by zero yields null (SQL semantics are undefined; null
+// is the safe choice).
+type arithExpr struct {
+	op          string
+	left, right expr
+}
+
+func (e arithExpr) eval(m *jms.Message) value {
+	l, r := e.left.eval(m), e.right.eval(m)
+	if l.kind != vNum || r.kind != vNum {
+		return nullValue()
+	}
+	switch e.op {
+	case "+":
+		return numValue(l.f + r.f)
+	case "-":
+		return numValue(l.f - r.f)
+	case "*":
+		return numValue(l.f * r.f)
+	default: // "/"
+		if r.f == 0 {
+			return nullValue()
+		}
+		return numValue(l.f / r.f)
+	}
+}
+
+// negExpr is unary minus.
+type negExpr struct{ inner expr }
+
+func (e negExpr) eval(m *jms.Message) value {
+	v := e.inner.eval(m)
+	if v.kind != vNum {
+		return nullValue()
+	}
+	return numValue(-v.f)
+}
+
+// betweenExpr is [NOT] BETWEEN lo AND hi (inclusive, numeric).
+type betweenExpr struct {
+	inner, lo, hi expr
+	negated       bool
+}
+
+func (e betweenExpr) eval(m *jms.Message) value {
+	v, lo, hi := e.inner.eval(m), e.lo.eval(m), e.hi.eval(m)
+	if v.kind != vNum || lo.kind != vNum || hi.kind != vNum {
+		return nullValue()
+	}
+	in := v.f >= lo.f && v.f <= hi.f
+	if e.negated {
+		in = !in
+	}
+	return boolValue(in)
+}
+
+// inExpr is [NOT] IN ('a', 'b', ...) over strings.
+type inExpr struct {
+	inner   expr
+	items   []string
+	negated bool
+}
+
+func (e inExpr) eval(m *jms.Message) value {
+	v := e.inner.eval(m)
+	if v.kind != vStr {
+		return nullValue()
+	}
+	found := false
+	for _, item := range e.items {
+		if v.s == item {
+			found = true
+			break
+		}
+	}
+	if e.negated {
+		found = !found
+	}
+	return boolValue(found)
+}
+
+// likeExpr is [NOT] LIKE with % (any run) and _ (any single character)
+// wildcards and an optional escape character.
+type likeExpr struct {
+	inner   expr
+	pattern string
+	escape  byte
+	negated bool
+}
+
+func (e likeExpr) eval(m *jms.Message) value {
+	v := e.inner.eval(m)
+	if v.kind != vStr {
+		return nullValue()
+	}
+	matched := likeMatch(v.s, e.pattern, e.escape)
+	if e.negated {
+		matched = !matched
+	}
+	return boolValue(matched)
+}
+
+// likeMatch implements SQL LIKE matching with backtracking over %.
+func likeMatch(s, pattern string, escape byte) bool {
+	return likeMatchAt(s, 0, pattern, 0, escape)
+}
+
+func likeMatchAt(s string, si int, pattern string, pi int, escape byte) bool {
+	for pi < len(pattern) {
+		c := pattern[pi]
+		switch {
+		case escape != 0 && c == escape && pi+1 < len(pattern):
+			// Escaped literal character.
+			if si >= len(s) || s[si] != pattern[pi+1] {
+				return false
+			}
+			si++
+			pi += 2
+		case c == '%':
+			// Try every suffix.
+			for skip := si; skip <= len(s); skip++ {
+				if likeMatchAt(s, skip, pattern, pi+1, escape) {
+					return true
+				}
+			}
+			return false
+		case c == '_':
+			if si >= len(s) {
+				return false
+			}
+			si++
+			pi++
+		default:
+			if si >= len(s) || s[si] != c {
+				return false
+			}
+			si++
+			pi++
+		}
+	}
+	return si == len(s)
+}
+
+// isNullExpr is IS [NOT] NULL.
+type isNullExpr struct {
+	inner   expr
+	negated bool
+}
+
+func (e isNullExpr) eval(m *jms.Message) value {
+	isNull := e.inner.eval(m).kind == vNull
+	if e.negated {
+		isNull = !isNull
+	}
+	return boolValue(isNull)
+}
+
+// Selector is a compiled message selector.
+type Selector struct {
+	src  string
+	root expr // nil matches everything
+}
+
+// String returns the source expression.
+func (s *Selector) String() string { return s.src }
+
+// IsEmpty reports whether the selector matches every message.
+func (s *Selector) IsEmpty() bool { return s.root == nil }
+
+// Matches reports whether the message satisfies the selector. Per SQL
+// three-valued logic, only an expression evaluating to true selects the
+// message; false and unknown both reject it.
+func (s *Selector) Matches(m *jms.Message) bool {
+	if s.root == nil {
+		return true
+	}
+	return s.root.eval(m).truth() == tTrue
+}

@@ -1,0 +1,182 @@
+// Package selector implements JMS message selectors: the SQL-92
+// conditional-expression subset a consumer can use to receive only the
+// messages it is interested in (JMS 1.0.2 §3.8). The paper's harness
+// configures consumers "with different message production, persistence,
+// durability and other characteristics"; selectors are part of that
+// configuration surface.
+//
+// Supported grammar: identifiers (message properties and JMSPriority /
+// JMSType / JMSCorrelationID / JMSMessageID / JMSDeliveryMode headers),
+// string/number/boolean literals, comparison (=, <>, <, <=, >, >=),
+// arithmetic (+, -, *, /, unary -), AND / OR / NOT, BETWEEN ... AND,
+// [NOT] IN (...), [NOT] LIKE with % and _ wildcards and ESCAPE, and IS
+// [NOT] NULL. Evaluation follows SQL three-valued logic: comparisons
+// involving a missing property are unknown, and only messages for which
+// the whole expression is true are selected.
+package selector
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokString
+	tokInt
+	tokFloat
+	tokOp      // punctuation operator: = <> < <= > >= + - * / ( ) ,
+	tokKeyword // AND OR NOT BETWEEN IN LIKE ESCAPE IS NULL TRUE FALSE
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string // canonical text (keywords upper-cased)
+	pos  int
+}
+
+// keywords are the reserved words, in canonical upper case.
+var keywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
+	"LIKE": true, "ESCAPE": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true,
+}
+
+// lexer splits a selector expression into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Error is a selector syntax or type error with position information.
+type Error struct {
+	Pos  int
+	Msg  string
+	Expr string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("selector: %s at position %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Expr: l.src}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.lexString()
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	}
+	// Punctuation operators, longest first.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=":
+		l.pos += 2
+		return token{kind: tokOp, text: two, pos: start}, nil
+	}
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '.' }
+
+// lexString parses a single-quoted SQL string; ” escapes a quote.
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+// lexNumber parses an integer or floating-point literal.
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !isFloat:
+			isFloat = true
+			l.pos++
+		case (c == 'e' || c == 'E') && l.pos > start:
+			isFloat = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return token{kind: kind, text: text, pos: start}, nil
+}
+
+// lexIdent parses an identifier or keyword.
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return token{kind: tokKeyword, text: upper, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}

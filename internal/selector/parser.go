@@ -1,0 +1,376 @@
+package selector
+
+import (
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the lexer, with one token
+// of lookahead.
+type parser struct {
+	lex  *lexer
+	tok  token
+	prev int // position of the current token, for errors
+}
+
+// Parse compiles a selector expression. The empty string compiles to a
+// selector matching every message, as in JMS.
+func Parse(expr string) (*Selector, error) {
+	if isBlank(expr) {
+		return &Selector{src: expr}, nil
+	}
+	p := &parser{lex: &lexer{src: expr}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %q after expression", p.tok.text)
+	}
+	return &Selector{src: expr, root: root}, nil
+}
+
+func isBlank(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.lex.errf(p.tok.pos, format, args...)
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.prev = p.tok.pos
+	p.tok = tok
+	return nil
+}
+
+// accept consumes the current token if it is the given keyword.
+func (p *parser) acceptKeyword(kw string) (bool, error) {
+	if p.tok.kind == tokKeyword && p.tok.text == kw {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+// expectOp consumes the given punctuation or fails.
+func (p *parser) expectOp(op string) error {
+	if p.tok.kind != tokOp || p.tok.text != op {
+		return p.errf("expected %q, found %q", op, p.tok.text)
+	}
+	return p.advance()
+}
+
+// acceptOp consumes the current token if it is the given punctuation.
+func (p *parser) acceptOp(op string) (bool, error) {
+	if p.tok.kind == tokOp && p.tok.text == op {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+// parseOr handles: and-expr (OR and-expr)*
+func (p *parser) parseOr() (expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := p.acceptKeyword("OR")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orExpr{left: left, right: right}
+	}
+}
+
+// parseAnd handles: not-expr (AND not-expr)*
+func (p *parser) parseAnd() (expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := p.acceptKeyword("AND")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = andExpr{left: left, right: right}
+	}
+}
+
+// parseNot handles: [NOT] comparison
+func (p *parser) parseNot() (expr, error) {
+	ok, err := p.acceptKeyword("NOT")
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison handles: additive [(=|<>|<|<=|>|>=) additive |
+// [NOT] BETWEEN additive AND additive | [NOT] IN (...) |
+// [NOT] LIKE 'pattern' [ESCAPE 'c'] | IS [NOT] NULL]
+func (p *parser) parseComparison() (expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if ok, err := p.acceptKeyword("IS"); err != nil {
+		return nil, err
+	} else if ok {
+		negated, err := p.acceptKeyword("NOT")
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := p.acceptKeyword("NULL"); err != nil {
+			return nil, err
+		} else if !ok {
+			return nil, p.errf("expected NULL after IS")
+		}
+		return isNullExpr{inner: left, negated: negated}, nil
+	}
+	// Optional NOT before BETWEEN/IN/LIKE.
+	negated, err := p.acceptKeyword("NOT")
+	if err != nil {
+		return nil, err
+	}
+	if ok, err := p.acceptKeyword("BETWEEN"); err != nil {
+		return nil, err
+	} else if ok {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := p.acceptKeyword("AND"); err != nil {
+			return nil, err
+		} else if !ok {
+			return nil, p.errf("expected AND in BETWEEN")
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return betweenExpr{inner: left, lo: lo, hi: hi, negated: negated}, nil
+	}
+	if ok, err := p.acceptKeyword("IN"); err != nil {
+		return nil, err
+	} else if ok {
+		return p.parseIn(left, negated)
+	}
+	if ok, err := p.acceptKeyword("LIKE"); err != nil {
+		return nil, err
+	} else if ok {
+		return p.parseLike(left, negated)
+	}
+	if negated {
+		return nil, p.errf("expected BETWEEN, IN or LIKE after NOT")
+	}
+	// Plain comparison operators.
+	if p.tok.kind == tokOp {
+		switch p.tok.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			op := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return cmpExpr{op: op, left: left, right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+// parseIn handles: IN ( 'a' , 'b' , ... )
+func (p *parser) parseIn(left expr, negated bool) (expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var items []string
+	for {
+		if p.tok.kind != tokString {
+			return nil, p.errf("IN list requires string literals, found %q", p.tok.text)
+		}
+		items = append(items, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if ok, err := p.acceptOp(","); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return inExpr{inner: left, items: items, negated: negated}, nil
+}
+
+// parseLike handles: LIKE 'pattern' [ESCAPE 'c']
+func (p *parser) parseLike(left expr, negated bool) (expr, error) {
+	if p.tok.kind != tokString {
+		return nil, p.errf("LIKE requires a string pattern, found %q", p.tok.text)
+	}
+	pattern := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	escape := byte(0)
+	if ok, err := p.acceptKeyword("ESCAPE"); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.kind != tokString || len(p.tok.text) != 1 {
+			return nil, p.errf("ESCAPE requires a single-character string")
+		}
+		escape = p.tok.text[0]
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return likeExpr{inner: left, pattern: pattern, escape: escape, negated: negated}, nil
+}
+
+// parseAdditive handles: multiplicative ((+|-) multiplicative)*
+func (p *parser) parseAdditive() (expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = arithExpr{op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseMultiplicative handles: unary ((*|/) unary)*
+func (p *parser) parseMultiplicative() (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = arithExpr{op: op, left: left, right: right}
+	}
+	return left, nil
+}
+
+// parseUnary handles: [-|+] primary
+func (p *parser) parseUnary() (expr, error) {
+	if p.tok.kind == tokOp && (p.tok.text == "-" || p.tok.text == "+") {
+		neg := p.tok.text == "-"
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return negExpr{inner: inner}, nil
+		}
+		return inner, nil
+	}
+	return p.parsePrimary()
+}
+
+// parsePrimary handles literals, identifiers and parenthesised
+// expressions.
+func (p *parser) parsePrimary() (expr, error) {
+	switch p.tok.kind {
+	case tokString:
+		v := strValue(p.tok.text)
+		return litExpr{v: v}, p.advance()
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", p.tok.text)
+		}
+		return litExpr{v: numValue(float64(n))}, p.advance()
+	case tokFloat:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad numeric literal %q", p.tok.text)
+		}
+		return litExpr{v: numValue(f)}, p.advance()
+	case tokKeyword:
+		switch p.tok.text {
+		case "TRUE":
+			return litExpr{v: boolValue(true)}, p.advance()
+		case "FALSE":
+			return litExpr{v: boolValue(false)}, p.advance()
+		}
+		return nil, p.errf("unexpected keyword %q", p.tok.text)
+	case tokIdent:
+		name := p.tok.text
+		return identExpr{name: name}, p.advance()
+	case tokOp:
+		if p.tok.text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, p.errf("unexpected %q", p.tok.text)
+}

@@ -1,0 +1,374 @@
+package selector
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jmsharness/internal/jms"
+)
+
+// msgWith builds a message with the given properties.
+func msgWith(props map[string]jms.Value) *jms.Message {
+	m := jms.NewTextMessage("body")
+	m.Priority = 6
+	m.Mode = jms.Persistent
+	m.Type = "quote"
+	m.CorrelationID = "corr-1"
+	m.ID = "ID:x-1"
+	for k, v := range props {
+		m.SetProperty(k, v)
+	}
+	return m
+}
+
+// matches compiles expr and evaluates it against a message with props.
+func matches(t *testing.T, expr string, props map[string]jms.Value) bool {
+	t.Helper()
+	sel, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return sel.Matches(msgWith(props))
+}
+
+func TestEmptySelectorMatchesAll(t *testing.T) {
+	sel, err := Parse("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.IsEmpty() || !sel.Matches(msgWith(nil)) {
+		t.Error("blank selector should match everything")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	props := map[string]jms.Value{
+		"price":  jms.Float64(42.5),
+		"qty":    jms.Int64(10),
+		"region": jms.Str("EU"),
+		"active": jms.Bool(true),
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"price = 42.5", true},
+		{"price <> 42.5", false},
+		{"price > 40", true},
+		{"price >= 42.5", true},
+		{"price < 42.5", false},
+		{"price <= 42.5", true},
+		{"qty = 10", true},
+		{"qty > 10", false},
+		{"region = 'EU'", true},
+		{"region = 'US'", false},
+		{"region <> 'US'", true},
+		{"active = TRUE", true},
+		{"active = FALSE", false},
+		{"active <> FALSE", true},
+		// Mixed types never compare true.
+		{"region = 10", false},
+		{"price = 'EU'", false},
+	}
+	for _, c := range cases {
+		if got := matches(t, c.expr, props); got != c.want {
+			t.Errorf("%q = %t, want %t", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	props := map[string]jms.Value{"a": jms.Int64(6), "b": jms.Int64(4)}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"a + b = 10", true},
+		{"a - b = 2", true},
+		{"a * b = 24", true},
+		{"a / b = 1.5", true},
+		{"-a = -6", true},
+		{"a + b * 2 = 14", true},   // precedence
+		{"(a + b) * 2 = 20", true}, // parens
+		{"a / 0 = 1", false},       // division by zero is unknown
+		{"2 + 2 = 4", true},
+	}
+	for _, c := range cases {
+		if got := matches(t, c.expr, props); got != c.want {
+			t.Errorf("%q = %t, want %t", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestLogic(t *testing.T) {
+	props := map[string]jms.Value{"x": jms.Int64(1), "y": jms.Int64(2)}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"x = 1 AND y = 2", true},
+		{"x = 1 AND y = 3", false},
+		{"x = 9 OR y = 2", true},
+		{"x = 9 OR y = 9", false},
+		{"NOT x = 9", true},
+		{"NOT (x = 1 AND y = 2)", false},
+		{"x = 1 AND y = 2 OR x = 9", true}, // AND binds tighter
+	}
+	for _, c := range cases {
+		if got := matches(t, c.expr, props); got != c.want {
+			t.Errorf("%q = %t, want %t", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	props := map[string]jms.Value{"known": jms.Int64(1)}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		// Comparisons with a missing property are unknown: not selected.
+		{"missing = 1", false},
+		{"missing <> 1", false},
+		{"NOT missing = 1", false},
+		// unknown OR true = true; unknown AND false = false (rejected
+		// either way), unknown AND true = unknown (rejected).
+		{"missing = 1 OR known = 1", true},
+		{"missing = 1 AND known = 1", false},
+		{"missing = 1 OR known = 9", false},
+		// IS NULL sees through the unknown.
+		{"missing IS NULL", true},
+		{"missing IS NOT NULL", false},
+		{"known IS NULL", false},
+		{"known IS NOT NULL", true},
+	}
+	for _, c := range cases {
+		if got := matches(t, c.expr, props); got != c.want {
+			t.Errorf("%q = %t, want %t", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestBetweenInLike(t *testing.T) {
+	props := map[string]jms.Value{
+		"qty":  jms.Int64(15),
+		"code": jms.Str("ORD-1234"),
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"qty BETWEEN 10 AND 20", true},
+		{"qty BETWEEN 10 AND 15", true}, // inclusive
+		{"qty BETWEEN 16 AND 20", false},
+		{"qty NOT BETWEEN 16 AND 20", true},
+		{"code IN ('ORD-1234', 'ORD-9')", true},
+		{"code IN ('ORD-9')", false},
+		{"code NOT IN ('ORD-9')", true},
+		{"code LIKE 'ORD-%'", true},
+		{"code LIKE 'ORD-___4'", true},
+		{"code LIKE 'ORD-__4'", false},
+		{"code NOT LIKE 'X%'", true},
+		{"code LIKE '%1234'", true},
+		{"code LIKE '%999'", false},
+	}
+	for _, c := range cases {
+		if got := matches(t, c.expr, props); got != c.want {
+			t.Errorf("%q = %t, want %t", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestLikeEscape(t *testing.T) {
+	props := map[string]jms.Value{"s": jms.Str("100%"), "t": jms.Str("100x")}
+	if !matches(t, `s LIKE '100!%' ESCAPE '!'`, props) {
+		t.Error("escaped %% should match literal %%")
+	}
+	if matches(t, `t LIKE '100!%' ESCAPE '!'`, props) {
+		t.Error("escaped %% must not act as wildcard")
+	}
+}
+
+func TestHeaderFields(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"JMSPriority > 4", true},
+		{"JMSPriority = 6", true},
+		{"JMSDeliveryMode = 2", true}, // persistent
+		{"JMSType = 'quote'", true},
+		{"JMSCorrelationID = 'corr-1'", true},
+		{"JMSMessageID LIKE 'ID:%'", true},
+	}
+	for _, c := range cases {
+		if got := matches(t, c.expr, nil); got != c.want {
+			t.Errorf("%q = %t, want %t", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestStringEscapesAndCaseInsensitiveKeywords(t *testing.T) {
+	props := map[string]jms.Value{"name": jms.Str("o'brien")}
+	if !matches(t, "name = 'o''brien'", props) {
+		t.Error("doubled quote should escape")
+	}
+	if !matches(t, "name = 'o''brien' and not name = 'x'", props) {
+		t.Error("keywords should be case-insensitive")
+	}
+}
+
+func TestBytesPropertyIsNull(t *testing.T) {
+	props := map[string]jms.Value{"blob": jms.Bytes([]byte{1})}
+	if matches(t, "blob = 'x'", props) {
+		t.Error("byte-array property should be unselectable")
+	}
+	if !matches(t, "blob IS NULL", props) {
+		t.Error("byte-array property should read as null")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"price >",
+		"price = ",
+		"(price = 1",
+		"price = 'unterminated",
+		"price BETWEEN 1",
+		"price BETWEEN 1 OR 2",
+		"code IN ()",
+		"code IN (1)",
+		"code LIKE 5",
+		"code LIKE 'x' ESCAPE 'ab'",
+		"price = 1 extra",
+		"AND price = 1",
+		"price @ 1",
+		"NOT",
+		"price IS 5",
+		"price NOT 5",
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) should fail", expr)
+		}
+	}
+}
+
+func TestErrorReportsPosition(t *testing.T) {
+	_, err := Parse("price @ 1")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	serr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if serr.Pos != 6 || !strings.Contains(serr.Error(), "position 6") {
+		t.Errorf("error = %v", serr)
+	}
+}
+
+// TestLikeMatchProperty cross-checks the LIKE matcher against a naive
+// regexp-free oracle on random inputs: a pattern built from the string
+// itself with substitutions must always match.
+func TestLikeMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(12)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte('a' + r.Intn(3))
+		}
+		// Derive a pattern that must match: replace some chars with _,
+		// and some runs with %.
+		var pat strings.Builder
+		i := 0
+		for i < len(s) {
+			switch r.Intn(4) {
+			case 0:
+				pat.WriteByte('_')
+				i++
+			case 1:
+				pat.WriteByte('%')
+				i += r.Intn(len(s) - i + 1)
+			default:
+				pat.WriteByte(s[i])
+				i++
+			}
+		}
+		if r.Intn(2) == 0 {
+			pat.WriteByte('%')
+		}
+		if !likeMatch(string(s), pat.String(), 0) {
+			t.Logf("s=%q pattern=%q should match", s, pat.String())
+			return false
+		}
+		// A pattern longer than the string with no wildcards must fail.
+		if !strings.ContainsAny(pat.String(), "%") {
+			if likeMatch(string(s)+"x", pat.String(), 0) {
+				t.Logf("s=%q pattern=%q must not match longer string", s, pat.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectorNeverPanicsProperty fuzzes the parser with random byte
+// strings: it must return an error or a working selector, never panic.
+func TestSelectorNeverPanicsProperty(t *testing.T) {
+	m := msgWith(map[string]jms.Value{"a": jms.Int64(1)})
+	f := func(expr string) bool {
+		sel, err := Parse(expr)
+		if err != nil {
+			return true
+		}
+		_ = sel.Matches(m)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorString(t *testing.T) {
+	sel, err := Parse("a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.String() != "a = 1" {
+		t.Errorf("String = %q", sel.String())
+	}
+}
+
+func BenchmarkSelectorMatch(b *testing.B) {
+	sel, err := Parse("region IN ('EU', 'US') AND price BETWEEN 10 AND 100 AND code LIKE 'ORD-%'")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := msgWith(map[string]jms.Value{
+		"region": jms.Str("EU"),
+		"price":  jms.Float64(55),
+		"code":   jms.Str("ORD-777"),
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !sel.Matches(m) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkSelectorParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("region IN ('EU','US') AND price > 10 OR qty BETWEEN 1 AND 5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bucket histogram over [Lo, Hi) with overflow
+// and underflow buckets. It backs the delay-histogram expectation model
+// the paper lists as future work (§5): "constructing a histogram of
+// message delays throughout the run period".
+type Histogram struct {
+	lo, hi  float64
+	width   float64
+	buckets []int64
+	under   int64
+	over    int64
+	total   int64
+}
+
+// NewHistogram returns a histogram with n equal-width buckets spanning
+// [lo, hi). It panics if n <= 0 or hi <= lo, which indicate programmer
+// error in fixed configuration.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) n=%d", lo, hi, n))
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard against float rounding at hi
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Count returns the number of observations in bucket i.
+func (h *Histogram) Count(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	lo := h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// CDF returns the empirical probability that an observation is <= x.
+func (h *Histogram) CDF(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if x < h.lo {
+		return 0
+	}
+	count := h.under
+	if x >= h.hi {
+		return float64(h.total-h.over) / float64(h.total)
+	}
+	full := int((x - h.lo) / h.width)
+	for i := 0; i < full && i < len(h.buckets); i++ {
+		count += h.buckets[i]
+	}
+	if full < len(h.buckets) {
+		frac := (x - (h.lo + float64(full)*h.width)) / h.width
+		count += int64(frac * float64(h.buckets[full]))
+	}
+	return float64(count) / float64(h.total)
+}
+
+// Render returns a textual bar-chart rendering, used by cmd/jmsanalyze
+// reports. width is the maximum bar length in characters.
+func (h *Histogram) Render(width int) string {
+	var b strings.Builder
+	var maxCount int64
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.buckets {
+		lo, hi := h.BucketBounds(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		}
+		fmt.Fprintf(&b, "[%10.3f,%10.3f) %8d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow  %d\n", h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Profile identifies a message-production pacing profile. The paper's
+// harness configuration lets "the senders send messages in bursts or with
+// a profile corresponding to a poisson distribution" in addition to a
+// steady rate.
+type Profile int
+
+// Pacing profiles.
+const (
+	ProfileSteady  Profile = iota + 1 // fixed inter-send gap
+	ProfileBurst                      // bursts of back-to-back sends separated by idle gaps
+	ProfilePoisson                    // exponential inter-send gaps
+)
+
+// String returns the profile name.
+func (p Profile) String() string {
+	switch p {
+	case ProfileSteady:
+		return "steady"
+	case ProfileBurst:
+		return "burst"
+	case ProfilePoisson:
+		return "poisson"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// Pacer produces the sequence of inter-send gaps realising a profile at a
+// target mean rate.
+type Pacer struct {
+	profile   Profile
+	gap       time.Duration // mean inter-send gap
+	burstSize int
+	inBurst   int
+	rng       *RNG
+}
+
+// NewPacer returns a pacer for the given profile and target rate in
+// messages per second. burstSize is only used by ProfileBurst (a burst of
+// burstSize sends back to back, then an idle gap restoring the mean
+// rate). rate must be positive.
+func NewPacer(profile Profile, rate float64, burstSize int, rng *RNG) (*Pacer, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("stats: non-positive pacer rate %v", rate)
+	}
+	if profile == ProfileBurst && burstSize <= 0 {
+		return nil, fmt.Errorf("stats: burst profile needs positive burst size, got %d", burstSize)
+	}
+	if profile == ProfilePoisson && rng == nil {
+		return nil, fmt.Errorf("stats: poisson profile needs an RNG")
+	}
+	return &Pacer{
+		profile:   profile,
+		gap:       time.Duration(float64(time.Second) / rate),
+		burstSize: burstSize,
+		rng:       rng,
+	}, nil
+}
+
+// Next returns the gap to wait before the next send.
+func (p *Pacer) Next() time.Duration {
+	switch p.profile {
+	case ProfileBurst:
+		p.inBurst++
+		if p.inBurst < p.burstSize {
+			return 0
+		}
+		p.inBurst = 0
+		return p.gap * time.Duration(p.burstSize)
+	case ProfilePoisson:
+		return p.rng.ExpDuration(p.gap)
+	default:
+		return p.gap
+	}
+}
+
+// TokenBucket is a thread-safe token-bucket rate limiter. The reference
+// provider's performance profiles use it to impose a configurable service
+// rate, which is what gives Figures 2 and 3 their saturation shapes.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a bucket refilled at rate tokens/second with the
+// given burst capacity, starting full. now supplies the time source and
+// must be non-nil.
+func NewTokenBucket(rate, burst float64, now func() time.Time) (*TokenBucket, error) {
+	if rate <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("stats: invalid token bucket rate=%v burst=%v", rate, burst)
+	}
+	if now == nil {
+		return nil, fmt.Errorf("stats: token bucket needs a time source")
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}, nil
+}
+
+// refillLocked brings the token count up to date. Callers hold mu.
+func (b *TokenBucket) refillLocked(t time.Time) {
+	elapsed := t.Sub(b.last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	b.tokens += elapsed * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+}
+
+// TryTake removes one token if available, reporting whether it did.
+func (b *TokenBucket) TryTake() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.now())
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Reserve removes one token, returning how long the caller must wait
+// before proceeding (zero if a token was immediately available). Unlike
+// TryTake it always succeeds, pushing the bucket into debt, which gives
+// smooth pacing for blocking callers.
+func (b *TokenBucket) Reserve() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.now())
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}

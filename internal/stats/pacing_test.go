@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfileString(t *testing.T) {
+	cases := map[Profile]string{
+		ProfileSteady:  "steady",
+		ProfileBurst:   "burst",
+		ProfilePoisson: "poisson",
+		Profile(9):     "Profile(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Profile(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestNewPacerValidation(t *testing.T) {
+	if _, err := NewPacer(ProfileSteady, 0, 0, nil); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := NewPacer(ProfileBurst, 10, 0, nil); err == nil {
+		t.Error("burst without size should error")
+	}
+	if _, err := NewPacer(ProfilePoisson, 10, 0, nil); err == nil {
+		t.Error("poisson without RNG should error")
+	}
+}
+
+func TestSteadyPacer(t *testing.T) {
+	p, err := NewPacer(ProfileSteady, 100, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if gap := p.Next(); gap != 10*time.Millisecond {
+			t.Errorf("gap = %v, want 10ms", gap)
+		}
+	}
+}
+
+func TestBurstPacerMeanRate(t *testing.T) {
+	const burst = 5
+	p, err := NewPacer(ProfileBurst, 100, burst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const rounds = 100
+	zeros := 0
+	for i := 0; i < rounds*burst; i++ {
+		gap := p.Next()
+		if gap == 0 {
+			zeros++
+		}
+		total += gap
+	}
+	wantMean := 10 * time.Millisecond
+	mean := total / (rounds * burst)
+	if mean != wantMean {
+		t.Errorf("mean gap = %v, want %v", mean, wantMean)
+	}
+	if zeros != rounds*(burst-1) {
+		t.Errorf("zeros = %d, want %d", zeros, rounds*(burst-1))
+	}
+}
+
+func TestPoissonPacerMeanRate(t *testing.T) {
+	p, err := NewPacer(ProfilePoisson, 1000, 0, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += p.Next()
+	}
+	mean := total / n
+	if mean < 900*time.Microsecond || mean > 1100*time.Microsecond {
+		t.Errorf("mean gap = %v, want ~1ms", mean)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	now := func() time.Time { return time.Unix(0, 0) }
+	if _, err := NewTokenBucket(0, 1, now); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := NewTokenBucket(1, 0, now); err == nil {
+		t.Error("zero burst should error")
+	}
+	if _, err := NewTokenBucket(1, 1, nil); err == nil {
+		t.Error("nil time source should error")
+	}
+}
+
+func TestTokenBucketTryTake(t *testing.T) {
+	current := time.Unix(0, 0)
+	b, err := NewTokenBucket(10, 2, func() time.Time { return current })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.TryTake() || !b.TryTake() {
+		t.Fatal("bucket should start full with burst=2")
+	}
+	if b.TryTake() {
+		t.Fatal("bucket should be empty")
+	}
+	current = current.Add(100 * time.Millisecond) // refills 1 token at 10/s
+	if !b.TryTake() {
+		t.Fatal("bucket should have refilled one token")
+	}
+	if b.TryTake() {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+func TestTokenBucketRefillCap(t *testing.T) {
+	current := time.Unix(0, 0)
+	b, err := NewTokenBucket(1000, 3, func() time.Time { return current })
+	if err != nil {
+		t.Fatal(err)
+	}
+	current = current.Add(time.Hour)
+	taken := 0
+	for b.TryTake() {
+		taken++
+	}
+	if taken != 3 {
+		t.Errorf("took %d tokens, want burst cap 3", taken)
+	}
+}
+
+func TestTokenBucketReserve(t *testing.T) {
+	current := time.Unix(0, 0)
+	b, err := NewTokenBucket(10, 1, func() time.Time { return current })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait := b.Reserve(); wait != 0 {
+		t.Errorf("first reserve should be immediate, got %v", wait)
+	}
+	w1 := b.Reserve()
+	w2 := b.Reserve()
+	if w1 <= 0 || w2 <= w1 {
+		t.Errorf("reserve waits should grow: %v then %v", w1, w2)
+	}
+	if w1 != 100*time.Millisecond {
+		t.Errorf("wait = %v, want 100ms at 10/s", w1)
+	}
+}

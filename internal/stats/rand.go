@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64*). The harness needs reproducible workloads across runs and
+// across machines, so it carries explicit generator state rather than
+// using a shared global source.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to
+// a fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// ExpDuration returns an exponentially distributed duration with the
+// given mean, the inter-arrival law of a Poisson process.
+func (r *RNG) ExpDuration(mean time.Duration) time.Duration {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return time.Duration(-math.Log(u) * float64(mean))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Bytes fills p with pseudo-random bytes.
+func (r *RNG) Bytes(p []byte) {
+	for i := 0; i < len(p); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+}

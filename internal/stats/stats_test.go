@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Error("empty summary should be all zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Population sd is 2; sample sd = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+// TestSummaryMergeProperty: merging two summaries must equal summarising
+// the concatenation.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var s1, s2, all Summary
+		for _, x := range a {
+			s1.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			s2.Add(x)
+			all.Add(x)
+		}
+		s1.Merge(s2)
+		if s1.N() != all.N() {
+			return false
+		}
+		if s1.N() == 0 {
+			return true
+		}
+		closeEnough := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y))
+		}
+		return closeEnough(s1.Mean(), all.Mean()) &&
+			closeEnough(s1.Variance(), all.Variance()) &&
+			s1.Min() == all.Min() && s1.Max() == all.Max()
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			gen := func() []float64 {
+				xs := make([]float64, r.Intn(50))
+				for i := range xs {
+					xs[i] = (r.Float64() - 0.5) * 2e6
+				}
+				return xs
+			}
+			vals[0] = reflect.ValueOf(gen())
+			vals[1] = reflect.ValueOf(gen())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestStdDevOfAndMeanOf(t *testing.T) {
+	if StdDevOf(nil) != 0 || MeanOf(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+	if got := MeanOf([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("MeanOf = %v", got)
+	}
+	if got := StdDevOf([]float64{1, 2, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("StdDevOf = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := NormalCDF(1.96, 0, 1); math.Abs(got-0.975) > 1e-3 {
+		t.Errorf("CDF(1.96) = %v", got)
+	}
+	if NormalCDF(1, 2, 0) != 0 || NormalCDF(3, 2, 0) != 1 {
+		t.Error("degenerate sigma should behave as a step function")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Total() != 12 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 1 {
+			t.Errorf("bucket %d count = %d", i, h.Count(i))
+		}
+	}
+	lo, hi := h.BucketBounds(3)
+	if lo != 3 || hi != 4 {
+		t.Errorf("bounds = [%v,%v)", lo, hi)
+	}
+	if h.NumBuckets() != 10 {
+		t.Errorf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	if got := h.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v", got)
+	}
+	if got := h.CDF(100); got != 1 {
+		t.Errorf("CDF(100) = %v", got)
+	}
+	if got := h.CDF(5); math.Abs(got-0.5) > 0.06 {
+		t.Errorf("CDF(5) = %v, want ~0.5", got)
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(-1)
+	h.Add(5)
+	out := h.Render(20)
+	if out == "" {
+		t.Error("Render should produce output")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed should give same sequence")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed should be remapped")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("only %d of 7 values seen", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGExpDurationMean(t *testing.T) {
+	r := NewRNG(99)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.ExpDuration(10 * time.Millisecond)
+	}
+	mean := sum / n
+	if mean < 9*time.Millisecond || mean > 11*time.Millisecond {
+		t.Errorf("mean = %v, want ~10ms", mean)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(7)
+	var s Summary
+	for i := 0; i < 20000; i++ {
+		s.Add(r.NormFloat64())
+	}
+	if math.Abs(s.Mean()) > 0.05 {
+		t.Errorf("mean = %v, want ~0", s.Mean())
+	}
+	if math.Abs(s.StdDev()-1) > 0.05 {
+		t.Errorf("sd = %v, want ~1", s.StdDev())
+	}
+}
+
+func TestRNGBytes(t *testing.T) {
+	r := NewRNG(5)
+	b := make([]byte, 33)
+	r.Bytes(b)
+	allZero := true
+	for _, x := range b {
+		if x != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("Bytes produced all zeros")
+	}
+}

@@ -1,0 +1,203 @@
+// Package store provides the stable-storage substrate a JMS provider
+// needs for its reliability guarantees: "Persistent messages are
+// guaranteed to eventually arrive at its destination(s) even if failures
+// (system or communication) occur" and durable subscriptions must
+// "retain all the messages while the subscriber was inactive" (§2.1).
+//
+// Two implementations are provided: an in-memory stable store (survives
+// the simulated crash of the broker that owns it, because the crash only
+// discards the broker's volatile state) and a file-backed write-ahead
+// log that survives real process restarts. The reference provider
+// (internal/broker) records every persistent message and every durable
+// subscription here, and rebuilds its durable state from Snapshot after
+// an injected crash — the paper's §5 future-work feature.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"jmsharness/internal/jms"
+)
+
+// RecordID identifies a stored message within its store.
+type RecordID uint64
+
+// SubscriptionRecord is the durable-subscription metadata that must
+// survive failures.
+type SubscriptionRecord struct {
+	// ClientID scopes the subscription name, as in JMS.
+	ClientID string
+	// Name is the application-chosen subscription name.
+	Name string
+	// Topic is the topic subscribed to.
+	Topic string
+	// Selector is the subscription's message selector ("" for none); it
+	// is part of the durable subscription's identity.
+	Selector string
+}
+
+// Key returns the identity key of the subscription.
+func (r SubscriptionRecord) Key() string { return r.ClientID + ":" + r.Name }
+
+// StoredMessage pairs a stored message with its record ID.
+type StoredMessage struct {
+	ID  RecordID
+	Msg *jms.Message
+}
+
+// State is a point-in-time snapshot of durable state, used for recovery.
+type State struct {
+	// Messages maps an endpoint (queue or durable-subscription
+	// identifier) to its pending persistent messages in arrival order.
+	Messages map[string][]StoredMessage
+	// Subscriptions lists the durable subscriptions.
+	Subscriptions []SubscriptionRecord
+}
+
+// Store is stable storage for a provider's durable state. All methods
+// are safe for concurrent use.
+type Store interface {
+	// AddMessage durably records msg as pending on endpoint.
+	AddMessage(endpoint string, msg *jms.Message) (RecordID, error)
+	// RemoveMessage durably removes a previously added message (on
+	// acknowledge/commit). Removing an unknown ID is an error.
+	RemoveMessage(endpoint string, id RecordID) error
+	// AddSubscription durably records a durable subscription.
+	AddSubscription(sub SubscriptionRecord) error
+	// RemoveSubscription durably deletes a durable subscription and any
+	// messages pending for it.
+	RemoveSubscription(clientID, name string) error
+	// Snapshot returns the current durable state. The returned state
+	// shares no mutable storage with the store.
+	Snapshot() (*State, error)
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// Memory is an in-memory Store. It models the stable storage of a
+// simulated provider: a broker crash discards the broker, not its
+// Memory store, so recovery semantics can be tested without disk I/O.
+type Memory struct {
+	mu     sync.Mutex
+	nextID RecordID
+	msgs   map[string]map[RecordID]*jms.Message
+	order  map[string][]RecordID
+	subs   map[string]SubscriptionRecord
+	closed bool
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{
+		msgs:  map[string]map[RecordID]*jms.Message{},
+		order: map[string][]RecordID{},
+		subs:  map[string]SubscriptionRecord{},
+	}
+}
+
+var _ Store = (*Memory)(nil)
+
+// AddMessage implements Store.
+func (m *Memory) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	m.nextID++
+	id := m.nextID
+	if m.msgs[endpoint] == nil {
+		m.msgs[endpoint] = map[RecordID]*jms.Message{}
+	}
+	m.msgs[endpoint][id] = msg.Clone()
+	m.order[endpoint] = append(m.order[endpoint], id)
+	return id, nil
+}
+
+// RemoveMessage implements Store.
+func (m *Memory) RemoveMessage(endpoint string, id RecordID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	eps, ok := m.msgs[endpoint]
+	if !ok {
+		return fmt.Errorf("store: remove from unknown endpoint %q", endpoint)
+	}
+	if _, ok := eps[id]; !ok {
+		return fmt.Errorf("store: remove unknown record %d on %q", id, endpoint)
+	}
+	delete(eps, id)
+	return nil
+}
+
+// AddSubscription implements Store.
+func (m *Memory) AddSubscription(sub SubscriptionRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	m.subs[sub.Key()] = sub
+	return nil
+}
+
+// RemoveSubscription implements Store.
+func (m *Memory) RemoveSubscription(clientID, name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	key := clientID + ":" + name
+	sub, ok := m.subs[key]
+	if !ok {
+		return fmt.Errorf("store: %w: %s", jms.ErrUnknownSubscription, key)
+	}
+	delete(m.subs, key)
+	// Drop pending messages for the subscription's endpoint.
+	endpoint := "sub:" + sub.ClientID + ":" + sub.Name
+	delete(m.msgs, endpoint)
+	delete(m.order, endpoint)
+	return nil
+}
+
+// Snapshot implements Store.
+func (m *Memory) Snapshot() (*State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	st := &State{Messages: map[string][]StoredMessage{}}
+	for ep, ids := range m.order {
+		live := m.msgs[ep]
+		var out []StoredMessage
+		for _, id := range ids {
+			if msg, ok := live[id]; ok {
+				out = append(out, StoredMessage{ID: id, Msg: msg.Clone()})
+			}
+		}
+		if len(out) > 0 {
+			st.Messages[ep] = out
+		}
+	}
+	for _, sub := range m.subs {
+		st.Subscriptions = append(st.Subscriptions, sub)
+	}
+	sort.Slice(st.Subscriptions, func(i, j int) bool {
+		return st.Subscriptions[i].Key() < st.Subscriptions[j].Key()
+	})
+	return st, nil
+}
+
+// Close implements Store.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

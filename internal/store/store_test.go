@@ -1,0 +1,445 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"jmsharness/internal/jms"
+)
+
+// storeFactory builds a fresh store for the shared conformance tests.
+type storeFactory func(t *testing.T) Store
+
+func memoryFactory(t *testing.T) Store {
+	t.Helper()
+	return NewMemory()
+}
+
+func walFactory(t *testing.T) Store {
+	t.Helper()
+	w, err := OpenWAL(filepath.Join(t.TempDir(), "test.wal"), WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func forEachStore(t *testing.T, test func(t *testing.T, s Store)) {
+	t.Helper()
+	for name, factory := range map[string]storeFactory{"memory": memoryFactory, "wal": walFactory} {
+		t.Run(name, func(t *testing.T) {
+			s := factory(t)
+			defer s.Close()
+			test(t, s)
+		})
+	}
+}
+
+func msg(text string) *jms.Message {
+	m := jms.NewTextMessage(text)
+	m.ID = "ID:" + text
+	m.Destination = jms.Queue("q")
+	m.Mode = jms.Persistent
+	m.Priority = 4
+	return m
+}
+
+func TestStoreAddSnapshot(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s Store) {
+		if _, err := s.AddMessage("queue:q", msg("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddMessage("queue:q", msg("b")); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := st.Messages["queue:q"]
+		if len(got) != 2 {
+			t.Fatalf("snapshot has %d messages", len(got))
+		}
+		if got[0].Msg.Body.(jms.TextBody) != "a" || got[1].Msg.Body.(jms.TextBody) != "b" {
+			t.Error("arrival order not preserved")
+		}
+	})
+}
+
+func TestStoreRemove(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s Store) {
+		id1, err := s.AddMessage("queue:q", msg("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddMessage("queue:q", msg("b")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RemoveMessage("queue:q", id1); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := st.Messages["queue:q"]
+		if len(got) != 1 || got[0].Msg.Body.(jms.TextBody) != "b" {
+			t.Errorf("after remove: %v", got)
+		}
+		if err := s.RemoveMessage("queue:q", id1); err == nil {
+			t.Error("double remove should fail")
+		}
+		if err := s.RemoveMessage("queue:other", 99); err == nil {
+			t.Error("remove from unknown endpoint should fail")
+		}
+	})
+}
+
+func TestStoreSubscriptions(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s Store) {
+		sub := SubscriptionRecord{ClientID: "c1", Name: "news", Topic: "t"}
+		if err := s.AddSubscription(sub); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Subscriptions) != 1 || st.Subscriptions[0] != sub {
+			t.Errorf("subscriptions = %v", st.Subscriptions)
+		}
+		if err := s.RemoveSubscription("c1", "news"); err != nil {
+			t.Fatal(err)
+		}
+		st, err = s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Subscriptions) != 0 {
+			t.Error("subscription not removed")
+		}
+		if err := s.RemoveSubscription("c1", "news"); err == nil {
+			t.Error("removing unknown subscription should fail")
+		}
+	})
+}
+
+func TestStoreRemoveSubscriptionDropsMessages(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s Store) {
+		sub := SubscriptionRecord{ClientID: "c1", Name: "news", Topic: "t"}
+		if err := s.AddSubscription(sub); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddMessage("sub:c1:news", msg("pending")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RemoveSubscription("c1", "news"); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Messages["sub:c1:news"]) != 0 {
+			t.Error("pending messages should be dropped with subscription")
+		}
+	})
+}
+
+func TestStoreClosedOperations(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s Store) {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddMessage("queue:q", msg("a")); err == nil {
+			t.Error("AddMessage after close should fail")
+		}
+		if _, err := s.Snapshot(); err == nil {
+			t.Error("Snapshot after close should fail")
+		}
+	})
+}
+
+func TestStoreSnapshotIsolation(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s Store) {
+		original := msg("a")
+		if _, err := s.AddMessage("queue:q", original); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Messages["queue:q"][0].Msg.ID = "tampered"
+		st2, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.Messages["queue:q"][0].Msg.ID == "tampered" {
+			t.Error("snapshot shares storage with the store")
+		}
+		original.ID = "also-tampered"
+		st3, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st3.Messages["queue:q"][0].Msg.ID == "also-tampered" {
+			t.Error("store aliases caller's message")
+		}
+	})
+}
+
+func TestWALRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "recover.wal")
+	w, err := OpenWAL(path, WALOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := w.AddMessage("queue:q", msg("keep1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("keep2")); err != nil {
+		t.Fatal(err)
+	}
+	idGone, err := w.AddMessage("queue:q", msg("gone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RemoveMessage("queue:q", idGone); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddSubscription(SubscriptionRecord{ClientID: "c", Name: "n", Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	st, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := st.Messages["queue:q"]
+	if len(msgs) != 2 {
+		t.Fatalf("recovered %d messages, want 2", len(msgs))
+	}
+	if msgs[0].Msg.Body.(jms.TextBody) != "keep1" || msgs[1].Msg.Body.(jms.TextBody) != "keep2" {
+		t.Error("recovered messages wrong or out of order")
+	}
+	if len(st.Subscriptions) != 1 {
+		t.Error("subscription not recovered")
+	}
+	// Record IDs from the snapshot must be usable after recovery.
+	if err := w2.RemoveMessage("queue:q", msgs[0].ID); err != nil {
+		t.Errorf("recovered record ID unusable: %v", err)
+	}
+	_ = id1
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	w, err := OpenWAL(path, WALOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x20, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer w2.Close()
+	st, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Messages["queue:q"]) != 1 {
+		t.Error("good prefix lost")
+	}
+	// And the torn bytes must have been truncated away, so appending works.
+	if _, err := w2.AddMessage("queue:q", msg("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	st3, err := w3.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st3.Messages["queue:q"]) != 2 {
+		t.Errorf("recovered %d messages after re-append", len(st3.Messages["queue:q"]))
+	}
+}
+
+func TestWALCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.wal")
+	w, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keepID RecordID
+	for i := 0; i < 100; i++ {
+		id, err := w.AddMessage("queue:q", msg("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 99 {
+			keepID = id
+		} else if err := w.RemoveMessage("queue:q", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	// Live record still present and its ID usable.
+	if err := w.RemoveMessage("queue:q", keepID); err != nil {
+		t.Errorf("live record lost by compaction: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Compacted log replays cleanly.
+	w2, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	st, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Messages["queue:q"]) != 0 {
+		t.Error("compacted state should be empty after final remove")
+	}
+}
+
+// TestStoreEquivalenceProperty drives Memory and WAL with the same random
+// operation sequence and checks their snapshots agree — the WAL must be
+// an indistinguishable durable implementation of the same contract.
+func TestStoreEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mem := NewMemory()
+		walPath := filepath.Join(t.TempDir(), "equiv.wal")
+		wal, err := OpenWAL(walPath, WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		endpoints := []string{"queue:a", "queue:b", "sub:c:s"}
+		type livePair struct {
+			ep           string
+			memID, walID RecordID
+		}
+		var live []livePair
+		for op := 0; op < 60; op++ {
+			switch r.Intn(3) {
+			case 0, 1: // add
+				ep := endpoints[r.Intn(len(endpoints))]
+				m := msg(string(rune('a' + r.Intn(26))))
+				memID, err := mem.AddMessage(ep, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				walID, err := wal.AddMessage(ep, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, livePair{ep, memID, walID})
+			case 2: // remove
+				if len(live) == 0 {
+					continue
+				}
+				i := r.Intn(len(live))
+				p := live[i]
+				if err := mem.RemoveMessage(p.ep, p.memID); err != nil {
+					t.Fatal(err)
+				}
+				if err := wal.RemoveMessage(p.ep, p.walID); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		// Close and reopen the WAL to force recovery, then compare.
+		if err := wal.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wal2, err := OpenWAL(walPath, WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wal2.Close()
+		memSt, err := mem.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		walSt, err := wal2.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(memSt.Messages) != len(walSt.Messages) {
+			t.Logf("endpoint count mismatch: %d vs %d", len(memSt.Messages), len(walSt.Messages))
+			return false
+		}
+		for ep, memMsgs := range memSt.Messages {
+			walMsgs := walSt.Messages[ep]
+			if len(memMsgs) != len(walMsgs) {
+				t.Logf("endpoint %s: %d vs %d messages", ep, len(memMsgs), len(walMsgs))
+				return false
+			}
+			for i := range memMsgs {
+				if !memMsgs[i].Msg.Equal(walMsgs[i].Msg) {
+					t.Logf("endpoint %s message %d differs", ep, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,425 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"jmsharness/internal/jms"
+)
+
+// WAL is a file-backed Store built on a write-ahead log. Every mutation
+// is appended as a checksummed record and fsynced (when Sync is
+// enabled), so durable state survives process crashes; OpenWAL replays
+// the log, tolerating a torn final record.
+//
+// Record framing: uvarint payload length | payload | crc32(payload).
+// Payload: 1 type byte followed by type-specific fields in the shared
+// binary encoding (jms.Encoder).
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	sync   bool
+	mirror *Memory // in-memory mirror for reads and snapshotting
+	nextID RecordID
+	closed bool
+	// remap translates mirror record IDs to WAL record IDs so the two
+	// stay consistent across compaction. The WAL assigns its own IDs.
+	ids map[string]map[RecordID]RecordID
+}
+
+// Record type tags.
+const (
+	recAddMessage byte = iota + 1
+	recRemoveMessage
+	recAddSubscription
+	recRemoveSubscription
+)
+
+// WALOptions configures OpenWAL.
+type WALOptions struct {
+	// Sync forces an fsync after every record, matching the durability
+	// of a real persistent-mode provider. Disable for unit tests only.
+	Sync bool
+}
+
+// OpenWAL opens (or creates) the log at path, replaying existing records
+// to rebuild durable state.
+func OpenWAL(path string, opts WALOptions) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL %s: %w", path, err)
+	}
+	w := &WAL{
+		f:      f,
+		path:   path,
+		sync:   opts.Sync,
+		mirror: NewMemory(),
+		ids:    map[string]map[RecordID]RecordID{},
+	}
+	if err := w.replay(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+var _ Store = (*WAL)(nil)
+
+// replay scans the log, applying records to the mirror. A torn final
+// record (short read or bad checksum at the tail) truncates the log to
+// the last good record, mirroring standard WAL recovery.
+func (w *WAL) replay() error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking WAL: %w", err)
+	}
+	data, err := io.ReadAll(w.f)
+	if err != nil {
+		return fmt.Errorf("store: reading WAL: %w", err)
+	}
+	pos := 0
+	goodEnd := 0
+	for pos < len(data) {
+		payload, next, ok := readFrame(data, pos)
+		if !ok {
+			break // torn tail
+		}
+		if err := w.apply(payload); err != nil {
+			return fmt.Errorf("store: WAL record at offset %d: %w", pos, err)
+		}
+		pos = next
+		goodEnd = next
+	}
+	if goodEnd < len(data) {
+		if err := w.f.Truncate(int64(goodEnd)); err != nil {
+			return fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(int64(goodEnd), io.SeekStart); err != nil {
+		return fmt.Errorf("store: seeking WAL end: %w", err)
+	}
+	return nil
+}
+
+// readFrame parses one frame starting at pos, returning the payload and
+// the offset after the frame. ok is false for a truncated or corrupt
+// frame.
+func readFrame(data []byte, pos int) (payload []byte, next int, ok bool) {
+	n, sz := binary.Uvarint(data[pos:])
+	if sz <= 0 {
+		return nil, 0, false
+	}
+	start := pos + sz
+	end := start + int(n)
+	if n > uint64(len(data)) || end+4 > len(data) {
+		return nil, 0, false
+	}
+	payload = data[start:end]
+	want := binary.LittleEndian.Uint32(data[end : end+4])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, 0, false
+	}
+	return payload, end + 4, true
+}
+
+// apply interprets one record payload against the mirror.
+func (w *WAL) apply(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("empty record")
+	}
+	d := jms.NewDecoder(payload[1:])
+	switch payload[0] {
+	case recAddMessage:
+		id := RecordID(d.Uvarint())
+		endpoint := d.String()
+		var msg jms.Message
+		msg.DecodeFrom(d)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		mirrorID, err := w.mirror.AddMessage(endpoint, &msg)
+		if err != nil {
+			return err
+		}
+		w.mapID(endpoint, id, mirrorID)
+		if id > w.nextID {
+			w.nextID = id
+		}
+	case recRemoveMessage:
+		id := RecordID(d.Uvarint())
+		endpoint := d.String()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		mirrorID, ok := w.lookupID(endpoint, id)
+		if !ok {
+			return fmt.Errorf("remove of unknown record %d on %q", id, endpoint)
+		}
+		if err := w.mirror.RemoveMessage(endpoint, mirrorID); err != nil {
+			return err
+		}
+	case recAddSubscription:
+		sub := SubscriptionRecord{
+			ClientID: d.String(), Name: d.String(), Topic: d.String(), Selector: d.String(),
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if err := w.mirror.AddSubscription(sub); err != nil {
+			return err
+		}
+	case recRemoveSubscription:
+		clientID, name := d.String(), d.String()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if err := w.mirror.RemoveSubscription(clientID, name); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown record type %d", payload[0])
+	}
+	return nil
+}
+
+func (w *WAL) mapID(endpoint string, walID, mirrorID RecordID) {
+	if w.ids[endpoint] == nil {
+		w.ids[endpoint] = map[RecordID]RecordID{}
+	}
+	w.ids[endpoint][walID] = mirrorID
+}
+
+func (w *WAL) lookupID(endpoint string, walID RecordID) (RecordID, bool) {
+	m, ok := w.ids[endpoint]
+	if !ok {
+		return 0, false
+	}
+	id, ok := m[walID]
+	return id, ok
+}
+
+// appendRecord frames, writes and optionally syncs one record. Callers
+// hold w.mu.
+func (w *WAL) appendRecord(payload []byte) error {
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// AddMessage implements Store.
+func (w *WAL) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	w.nextID++
+	id := w.nextID
+	e := jms.NewEncoder(make([]byte, 0, 64+msg.BodySize()))
+	e.Byte(recAddMessage)
+	e.Uvarint(uint64(id))
+	e.String(endpoint)
+	msg.EncodeTo(e)
+	if err := w.appendRecord(e.Bytes()); err != nil {
+		return 0, err
+	}
+	mirrorID, err := w.mirror.AddMessage(endpoint, msg)
+	if err != nil {
+		return 0, err
+	}
+	w.mapID(endpoint, id, mirrorID)
+	return id, nil
+}
+
+// RemoveMessage implements Store.
+func (w *WAL) RemoveMessage(endpoint string, id RecordID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	mirrorID, ok := w.lookupID(endpoint, id)
+	if !ok {
+		return fmt.Errorf("store: remove unknown record %d on %q", id, endpoint)
+	}
+	if err := w.mirror.RemoveMessage(endpoint, mirrorID); err != nil {
+		return err
+	}
+	e := jms.NewEncoder(make([]byte, 0, 32))
+	e.Byte(recRemoveMessage)
+	e.Uvarint(uint64(id))
+	e.String(endpoint)
+	return w.appendRecord(e.Bytes())
+}
+
+// AddSubscription implements Store.
+func (w *WAL) AddSubscription(sub SubscriptionRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	if err := w.mirror.AddSubscription(sub); err != nil {
+		return err
+	}
+	e := jms.NewEncoder(make([]byte, 0, 48))
+	e.Byte(recAddSubscription)
+	e.String(sub.ClientID)
+	e.String(sub.Name)
+	e.String(sub.Topic)
+	e.String(sub.Selector)
+	return w.appendRecord(e.Bytes())
+}
+
+// RemoveSubscription implements Store.
+func (w *WAL) RemoveSubscription(clientID, name string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	if err := w.mirror.RemoveSubscription(clientID, name); err != nil {
+		return err
+	}
+	e := jms.NewEncoder(make([]byte, 0, 32))
+	e.Byte(recRemoveSubscription)
+	e.String(clientID)
+	e.String(name)
+	return w.appendRecord(e.Bytes())
+}
+
+// Snapshot implements Store. The snapshot's record IDs are WAL record
+// IDs, valid for RemoveMessage on this store.
+func (w *WAL) Snapshot() (*State, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	st, err := w.mirror.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	// Translate mirror IDs back to WAL IDs.
+	for ep, msgs := range st.Messages {
+		reverse := map[RecordID]RecordID{}
+		for walID, mirrorID := range w.ids[ep] {
+			reverse[mirrorID] = walID
+		}
+		for i := range msgs {
+			walID, ok := reverse[msgs[i].ID]
+			if !ok {
+				return nil, fmt.Errorf("store: mirror record %d on %q has no WAL id", msgs[i].ID, ep)
+			}
+			msgs[i].ID = walID
+		}
+	}
+	return st, nil
+}
+
+// Compact rewrites the log to contain only live state, bounding log
+// growth. Record IDs remain valid.
+func (w *WAL) Compact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	st, err := w.mirror.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmpPath := w.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("store: creating compaction file: %w", err)
+	}
+	defer os.Remove(tmpPath)
+	writeRec := func(payload []byte) error {
+		frame := binary.AppendUvarint(nil, uint64(len(payload)))
+		frame = append(frame, payload...)
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+		_, err := tmp.Write(frame)
+		return err
+	}
+	for _, sub := range st.Subscriptions {
+		e := jms.NewEncoder(nil)
+		e.Byte(recAddSubscription)
+		e.String(sub.ClientID)
+		e.String(sub.Name)
+		e.String(sub.Topic)
+		e.String(sub.Selector)
+		if err := writeRec(e.Bytes()); err != nil {
+			_ = tmp.Close()
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+	}
+	reverse := map[string]map[RecordID]RecordID{}
+	for ep, m := range w.ids {
+		reverse[ep] = map[RecordID]RecordID{}
+		for walID, mirrorID := range m {
+			reverse[ep][mirrorID] = walID
+		}
+	}
+	for ep, msgs := range st.Messages {
+		for _, sm := range msgs {
+			walID := reverse[ep][sm.ID]
+			e := jms.NewEncoder(make([]byte, 0, 64+sm.Msg.BodySize()))
+			e.Byte(recAddMessage)
+			e.Uvarint(uint64(walID))
+			e.String(ep)
+			sm.Msg.EncodeTo(e)
+			if err := writeRec(e.Bytes()); err != nil {
+				_ = tmp.Close()
+				return fmt.Errorf("store: compacting: %w", err)
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("store: syncing compaction file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing compaction file: %w", err)
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		return fmt.Errorf("store: installing compacted WAL: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: closing old WAL: %w", err)
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening compacted WAL: %w", err)
+	}
+	w.f = f
+	return nil
+}
+
+// Close implements Store.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: closing WAL: %w", err)
+	}
+	return nil
+}

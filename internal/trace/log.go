@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Writer logs events, one JSON document per line, assigning per-node
+// sequence numbers. It is safe for concurrent use by the producer and
+// consumer goroutines of a test. "As each message is sent and received,
+// these events are logged to disk, along with the unique message
+// identifier and a timestamp" (§4).
+type Writer struct {
+	node string
+	now  func() time.Time
+
+	mu  sync.Mutex
+	seq int64
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewWriter returns a Writer that logs events for node to w. now
+// supplies timestamps; if nil, time.Now is used.
+func NewWriter(node string, w io.Writer, now func() time.Time) *Writer {
+	if now == nil {
+		now = time.Now
+	}
+	tw := &Writer{node: node, now: now, w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		tw.c = c
+	}
+	return tw
+}
+
+// CreateFileWriter creates (truncating) a log file at path and returns a
+// Writer over it.
+func CreateFileWriter(node, path string, now func() time.Time) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: creating log %s: %w", path, err)
+	}
+	return NewWriter(node, f, now), nil
+}
+
+// Log stamps ev with the node, the next sequence number, and the current
+// time (if ev.Time is zero), then appends it to the log. Errors are
+// sticky and reported by Close.
+func (w *Writer) Log(ev Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.seq++
+	ev.Seq = w.seq
+	ev.Node = w.node
+	if ev.Time.IsZero() {
+		ev.Time = w.now()
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		w.err = fmt.Errorf("trace: encoding event: %w", err)
+		return
+	}
+	if _, err := w.w.Write(data); err != nil {
+		w.err = fmt.Errorf("trace: writing event: %w", err)
+		return
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = fmt.Errorf("trace: writing event: %w", err)
+	}
+}
+
+// Node returns the writer's node identifier.
+func (w *Writer) Node() string { return w.node }
+
+// Count returns the number of events logged so far.
+func (w *Writer) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("trace: flushing log: %w", err)
+	}
+	return w.err
+}
+
+// Close flushes and closes the log, returning the first error
+// encountered over the writer's lifetime.
+func (w *Writer) Close() error {
+	flushErr := w.Flush()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.c != nil {
+		if err := w.c.Close(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("trace: closing log: %w", err)
+		}
+		w.c = nil
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return w.err
+}
+
+// ReadLog parses a JSON-lines event log.
+func ReadLog(r io.Reader) ([]Event, error) {
+	var events []Event
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("trace: log line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading log: %w", err)
+	}
+	return events, nil
+}
+
+// ReadLogFile parses the event log at path.
+func ReadLogFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening log %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadLog(f)
+}
+
+// Collector is an in-memory event sink used when the harness runs tests
+// in-process (no per-machine log files to collect). It implements the
+// same logging interface as Writer.
+type Collector struct {
+	node string
+	now  func() time.Time
+
+	mu     sync.Mutex
+	seq    int64
+	events []Event
+}
+
+// NewCollector returns an in-memory collector for node.
+func NewCollector(node string, now func() time.Time) *Collector {
+	if now == nil {
+		now = time.Now
+	}
+	return &Collector{node: node, now: now}
+}
+
+// Log stamps and stores ev.
+func (c *Collector) Log(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	ev.Seq = c.seq
+	ev.Node = c.node
+	if ev.Time.IsZero() {
+		ev.Time = c.now()
+	}
+	c.events = append(c.events, ev)
+}
+
+// Node returns the collector's node identifier.
+func (c *Collector) Node() string { return c.node }
+
+// Events returns a copy of the collected events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Logger is the event sink interface shared by Writer and Collector.
+type Logger interface {
+	// Log records one event, stamping node, sequence and time.
+	Log(ev Event)
+	// Node returns the logger's node identifier.
+	Node() string
+}
+
+var (
+	_ Logger = (*Writer)(nil)
+	_ Logger = (*Collector)(nil)
+)

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Trace is a merged execution trace: the union of all nodes' event logs,
+// in a single global order. Build one with Merge.
+type Trace struct {
+	// Events is sorted by (adjusted) time, with (node, seq) breaking
+	// ties, which preserves per-node program order.
+	Events []Event
+}
+
+// Merge combines per-node event logs into a single Trace. offsets maps a
+// node name to the estimated offset of that node's clock relative to the
+// reference clock (as produced by clock.Sync); the offset is *subtracted*
+// from that node's timestamps so all events land on the reference
+// timeline. Nodes absent from offsets are assumed synchronised.
+func Merge(logs [][]Event, offsets map[string]time.Duration) *Trace {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	all := make([]Event, 0, total)
+	for _, l := range logs {
+		for _, ev := range l {
+			if off, ok := offsets[ev.Node]; ok && off != 0 {
+				ev.Time = ev.Time.Add(-off)
+			}
+			all = append(all, ev)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if !all[i].Time.Equal(all[j].Time) {
+			return all[i].Time.Before(all[j].Time)
+		}
+		if all[i].Node != all[j].Node {
+			return all[i].Node < all[j].Node
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return &Trace{Events: all}
+}
+
+// Filter returns the events satisfying keep, in trace order.
+func (t *Trace) Filter(keep func(*Event) bool) []Event {
+	var out []Event
+	for i := range t.Events {
+		if keep(&t.Events[i]) {
+			out = append(out, t.Events[i])
+		}
+	}
+	return out
+}
+
+// ByType returns the events of the given type, in trace order.
+func (t *Trace) ByType(typ EventType) []Event {
+	return t.Filter(func(e *Event) bool { return e.Type == typ })
+}
+
+// CommittedTx returns the set of transaction IDs with a commit event.
+// Definition 1/2: transactional sends and receives only count once their
+// transaction commits.
+func (t *Trace) CommittedTx() map[string]bool {
+	committed := map[string]bool{}
+	for i := range t.Events {
+		if t.Events[i].Type == EventCommit && t.Events[i].Err == "" {
+			committed[t.Events[i].TxID] = true
+		}
+	}
+	return committed
+}
+
+// PhaseBounds returns the start time of the named phase and the start
+// time of the phase after it (i.e. the half-open interval during which
+// the phase was active). ok is false if the phase marker is absent.
+func (t *Trace) PhaseBounds(phase string) (start, end time.Time, ok bool) {
+	found := false
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Type != EventPhase {
+			continue
+		}
+		if ev.Detail == phase {
+			start = ev.Time
+			found = true
+		} else if found {
+			return start, ev.Time, true
+		}
+	}
+	if found {
+		// Phase ran to the end of the trace.
+		return start, t.Events[len(t.Events)-1].Time, true
+	}
+	return time.Time{}, time.Time{}, false
+}
+
+// HasCrash reports whether the trace contains an injected provider crash
+// (which relaxes the required-delivery obligations of non-persistent
+// messages).
+func (t *Trace) HasCrash() bool {
+	for i := range t.Events {
+		if t.Events[i].Type == EventCrash {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashWindows returns the [crash, recovered) intervals in the trace. A
+// crash with no subsequent recovery extends to the end of the trace.
+func (t *Trace) CrashWindows() [][2]time.Time {
+	var windows [][2]time.Time
+	var open *time.Time
+	for i := range t.Events {
+		ev := &t.Events[i]
+		switch ev.Type {
+		case EventCrash:
+			if open == nil {
+				tm := ev.Time
+				open = &tm
+			}
+		case EventRecovered:
+			if open != nil {
+				windows = append(windows, [2]time.Time{*open, ev.Time})
+				open = nil
+			}
+		}
+	}
+	if open != nil && len(t.Events) > 0 {
+		windows = append(windows, [2]time.Time{*open, t.Events[len(t.Events)-1].Time})
+	}
+	return windows
+}
+
+// Validate performs structural sanity checks on the trace: every
+// deliver names a consumer, endpoint and message; every send-start has
+// a matching send-end on the same node; sequence numbers are per-node
+// monotonic. It returns a descriptive error for the first problem.
+func (t *Trace) Validate() error {
+	lastSeq := map[string]int64{}
+	openSends := map[string]string{} // msgUID -> node with unmatched send-start
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Node == "" {
+			return fmt.Errorf("trace: event %d has no node", i)
+		}
+		if ev.Seq <= lastSeq[ev.Node] {
+			return fmt.Errorf("trace: node %s sequence not monotonic at event %d (seq %d after %d)",
+				ev.Node, i, ev.Seq, lastSeq[ev.Node])
+		}
+		lastSeq[ev.Node] = ev.Seq
+		switch ev.Type {
+		case EventSendStart:
+			if ev.MsgUID == "" || ev.Producer == "" {
+				return fmt.Errorf("trace: send-start event %d missing message or producer", i)
+			}
+			openSends[ev.MsgUID] = ev.Node
+		case EventSendEnd:
+			if _, ok := openSends[ev.MsgUID]; !ok {
+				return fmt.Errorf("trace: send-end for %s without send-start", ev.MsgUID)
+			}
+			delete(openSends, ev.MsgUID)
+		case EventDeliver:
+			if ev.MsgUID == "" || ev.Consumer == "" || ev.Endpoint == "" {
+				return fmt.Errorf("trace: deliver event %d missing message, consumer or endpoint", i)
+			}
+		}
+	}
+	if len(openSends) > 0 {
+		for uid := range openSends {
+			return fmt.Errorf("trace: send-start for %s has no send-end", uid)
+		}
+	}
+	return nil
+}
+
+// Stats summarises a trace for reporting.
+type Stats struct {
+	Events    int
+	Nodes     int
+	Sends     int
+	Delivers  int
+	Commits   int
+	Aborts    int
+	Crashes   int
+	Producers int
+	Consumers int
+}
+
+// Summarize computes trace-level counters.
+func (t *Trace) Summarize() Stats {
+	nodes := map[string]bool{}
+	producers := map[string]bool{}
+	consumers := map[string]bool{}
+	s := Stats{Events: len(t.Events)}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		nodes[ev.Node] = true
+		switch ev.Type {
+		case EventSendEnd:
+			if ev.Err == "" {
+				s.Sends++
+			}
+			producers[ev.Producer] = true
+		case EventDeliver:
+			s.Delivers++
+			consumers[ev.Consumer] = true
+		case EventCommit:
+			s.Commits++
+		case EventAbort:
+			s.Aborts++
+		case EventCrash:
+			s.Crashes++
+		}
+	}
+	s.Nodes = len(nodes)
+	s.Producers = len(producers)
+	s.Consumers = len(consumers)
+	return s
+}

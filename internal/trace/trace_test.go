@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+func TestEventTypeStrings(t *testing.T) {
+	types := []EventType{
+		EventSendStart, EventSendEnd, EventDeliver, EventAck, EventCommit,
+		EventAbort, EventConsumerOpen, EventConsumerClose, EventSubscribe,
+		EventUnsubscribe, EventCrash, EventRecovered, EventPhase,
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		s := typ.String()
+		if strings.HasPrefix(s, "EventType(") {
+			t.Errorf("type %d has no name", typ)
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(EventType(200).String(), "EventType(") {
+		t.Error("unknown type should format numerically")
+	}
+}
+
+func TestMessageUID(t *testing.T) {
+	if got := MessageUID("p1", 42); got != "p1/42" {
+		t.Errorf("MessageUID = %q", got)
+	}
+}
+
+func TestEndpointNames(t *testing.T) {
+	if EndpointForQueue("q") != "queue:q" {
+		t.Error("queue endpoint wrong")
+	}
+	if EndpointForDurable("cid", "sub") != "sub:cid:sub" {
+		t.Error("durable endpoint wrong")
+	}
+	if EndpointForNonDurable("c9") != "sub:anon:c9" {
+		t.Error("non-durable endpoint wrong")
+	}
+}
+
+func TestBodyChecksum(t *testing.T) {
+	a := BodyChecksum(jms.TextBody("hello"))
+	b := BodyChecksum(jms.TextBody("hello"))
+	c := BodyChecksum(jms.TextBody("world"))
+	if a != b {
+		t.Error("checksum not deterministic")
+	}
+	if a == c {
+		t.Error("different bodies should (almost surely) differ")
+	}
+	if BodyChecksum(nil) != 0 {
+		t.Error("nil body checksum should be 0")
+	}
+}
+
+func TestWriterAssignsSeqAndNode(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Unix(100, 0)
+	w := NewWriter("node-a", &buf, func() time.Time { return now })
+	w.Log(Event{Type: EventSendStart, MsgUID: "p/1", Producer: "p"})
+	w.Log(Event{Type: EventSendEnd, MsgUID: "p/1", Producer: "p"})
+	if w.Count() != 2 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Error("sequence numbers not assigned")
+	}
+	if events[0].Node != "node-a" {
+		t.Error("node not stamped")
+	}
+	if !events[0].Time.Equal(now) {
+		t.Error("time not stamped")
+	}
+}
+
+func TestWriterPreservesExplicitTime(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter("n", &buf, nil)
+	explicit := time.Unix(7, 0).UTC()
+	w.Log(Event{Type: EventPhase, Time: explicit, Detail: PhaseRun})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !events[0].Time.Equal(explicit) {
+		t.Errorf("time = %v, want %v", events[0].Time, explicit)
+	}
+}
+
+func TestFileWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	w, err := CreateFileWriter("n1", path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		w.Log(Event{Type: EventDeliver, MsgUID: MessageUID("p", int64(i)),
+			Consumer: "c", Endpoint: "queue:q", MsgSeq: int64(i)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 100 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[42].MsgSeq != 42 {
+		t.Error("payload fields not round-tripped")
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	if _, err := ReadLog(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage log should fail to parse")
+	}
+}
+
+func TestReadLogSkipsBlankLines(t *testing.T) {
+	events, err := ReadLog(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Error("blank lines should produce no events")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector("mem", nil)
+	c.Log(Event{Type: EventAck})
+	c.Log(Event{Type: EventAck})
+	events := c.Events()
+	if len(events) != 2 || events[1].Seq != 2 || events[0].Node != "mem" {
+		t.Errorf("unexpected events %+v", events)
+	}
+	// Returned slice must be a copy.
+	events[0].Node = "tampered"
+	if c.Events()[0].Node != "mem" {
+		t.Error("Events returned aliased storage")
+	}
+}
+
+func mkEvent(node string, seq int64, at int64, typ EventType) Event {
+	return Event{Node: node, Seq: seq, Time: time.Unix(at, 0), Type: typ}
+}
+
+func TestMergeOrdersAndAdjusts(t *testing.T) {
+	a := []Event{mkEvent("a", 1, 10, EventAck), mkEvent("a", 2, 20, EventAck)}
+	b := []Event{mkEvent("b", 1, 12, EventAck)} // b's clock is 5s fast
+	tr := Merge([][]Event{a, b}, map[string]time.Duration{"b": 5 * time.Second})
+	if len(tr.Events) != 3 {
+		t.Fatalf("merged %d events", len(tr.Events))
+	}
+	// b's event lands at t=7, before both of a's.
+	if tr.Events[0].Node != "b" {
+		t.Errorf("order after skew adjust: %v", tr.Events)
+	}
+	if !tr.Events[0].Time.Equal(time.Unix(7, 0)) {
+		t.Errorf("adjusted time = %v", tr.Events[0].Time)
+	}
+}
+
+func TestMergeTieBreaksBySeq(t *testing.T) {
+	a := []Event{mkEvent("a", 2, 10, EventAck)}
+	b := []Event{mkEvent("a", 1, 10, EventCommit)}
+	tr := Merge([][]Event{a, b}, nil)
+	if tr.Events[0].Seq != 1 {
+		t.Error("equal timestamps should order by seq")
+	}
+}
+
+func TestCommittedTx(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Node: "n", Seq: 1, Type: EventCommit, TxID: "t1"},
+		{Node: "n", Seq: 2, Type: EventAbort, TxID: "t2"},
+		{Node: "n", Seq: 3, Type: EventCommit, TxID: "t3", Err: "boom"},
+	}}
+	committed := tr.CommittedTx()
+	if !committed["t1"] || committed["t2"] || committed["t3"] {
+		t.Errorf("committed = %v", committed)
+	}
+}
+
+func TestPhaseBounds(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Node: "n", Seq: 1, Time: time.Unix(0, 0), Type: EventPhase, Detail: PhaseWarmup},
+		{Node: "n", Seq: 2, Time: time.Unix(10, 0), Type: EventPhase, Detail: PhaseRun},
+		{Node: "n", Seq: 3, Time: time.Unix(20, 0), Type: EventPhase, Detail: PhaseWarmdown},
+		{Node: "n", Seq: 4, Time: time.Unix(30, 0), Type: EventPhase, Detail: PhaseDone},
+	}}
+	start, end, ok := tr.PhaseBounds(PhaseRun)
+	if !ok || !start.Equal(time.Unix(10, 0)) || !end.Equal(time.Unix(20, 0)) {
+		t.Errorf("run bounds = %v..%v ok=%v", start, end, ok)
+	}
+	if _, _, ok := tr.PhaseBounds("nonexistent"); ok {
+		t.Error("missing phase should report !ok")
+	}
+	// Last phase extends to end of trace.
+	start, end, ok = tr.PhaseBounds(PhaseDone)
+	if !ok || !start.Equal(time.Unix(30, 0)) || !end.Equal(time.Unix(30, 0)) {
+		t.Errorf("done bounds = %v..%v ok=%v", start, end, ok)
+	}
+}
+
+func TestCrashWindows(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Node: "n", Seq: 1, Time: time.Unix(0, 0), Type: EventAck},
+		{Node: "n", Seq: 2, Time: time.Unix(5, 0), Type: EventCrash},
+		{Node: "n", Seq: 3, Time: time.Unix(8, 0), Type: EventRecovered},
+		{Node: "n", Seq: 4, Time: time.Unix(12, 0), Type: EventCrash},
+		{Node: "n", Seq: 5, Time: time.Unix(15, 0), Type: EventAck},
+	}}
+	if !tr.HasCrash() {
+		t.Error("HasCrash should be true")
+	}
+	windows := tr.CrashWindows()
+	if len(windows) != 2 {
+		t.Fatalf("windows = %v", windows)
+	}
+	if !windows[0][0].Equal(time.Unix(5, 0)) || !windows[0][1].Equal(time.Unix(8, 0)) {
+		t.Errorf("first window = %v", windows[0])
+	}
+	if !windows[1][1].Equal(time.Unix(15, 0)) {
+		t.Errorf("open window should extend to trace end: %v", windows[1])
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	good := &Trace{Events: []Event{
+		{Node: "n", Seq: 1, Type: EventSendStart, MsgUID: "p/1", Producer: "p"},
+		{Node: "n", Seq: 2, Type: EventSendEnd, MsgUID: "p/1", Producer: "p"},
+		{Node: "m", Seq: 1, Type: EventDeliver, MsgUID: "p/1", Consumer: "c", Endpoint: "queue:q"},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := []*Trace{
+		{Events: []Event{{Seq: 1, Type: EventAck}}},                                                 // no node
+		{Events: []Event{{Node: "n", Seq: 2, Type: EventAck}, {Node: "n", Seq: 1, Type: EventAck}}}, // seq regression
+		{Events: []Event{{Node: "n", Seq: 1, Type: EventSendStart, MsgUID: "p/1", Producer: "p"}}},  // unmatched send
+		{Events: []Event{{Node: "n", Seq: 1, Type: EventSendEnd, MsgUID: "p/1"}}},                   // end without start
+		{Events: []Event{{Node: "n", Seq: 1, Type: EventDeliver, MsgUID: "p/1"}}},                   // deliver missing fields
+		{Events: []Event{{Node: "n", Seq: 1, Type: EventSendStart, Producer: "p"}}},                 // send missing msg
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Node: "a", Seq: 1, Type: EventSendEnd, Producer: "p1"},
+		{Node: "a", Seq: 2, Type: EventSendEnd, Producer: "p1", Err: "x"},
+		{Node: "b", Seq: 1, Type: EventDeliver, Consumer: "c1"},
+		{Node: "b", Seq: 2, Type: EventCommit},
+		{Node: "b", Seq: 3, Type: EventAbort},
+		{Node: "b", Seq: 4, Type: EventCrash},
+	}}
+	s := tr.Summarize()
+	want := Stats{Events: 6, Nodes: 2, Sends: 1, Delivers: 1, Commits: 1,
+		Aborts: 1, Crashes: 1, Producers: 1, Consumers: 1}
+	if s != want {
+		t.Errorf("Summarize = %+v, want %+v", s, want)
+	}
+}
+
+func TestFilterAndByType(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Node: "n", Seq: 1, Type: EventAck},
+		{Node: "n", Seq: 2, Type: EventCommit},
+		{Node: "n", Seq: 3, Type: EventAck},
+	}}
+	acks := tr.ByType(EventAck)
+	if len(acks) != 2 {
+		t.Errorf("ByType found %d acks", len(acks))
+	}
+	odd := tr.Filter(func(e *Event) bool { return e.Seq%2 == 1 })
+	if len(odd) != 2 {
+		t.Errorf("Filter found %d odd-seq events", len(odd))
+	}
+}

@@ -1,0 +1,341 @@
+// Package tracedb is an embedded, indexed event store standing in for
+// the paper's results database: "the test logs are collected and
+// returned to the daemon prince. The daemon prince then inserts the logs
+// into a SQL database ... A set of SQL statements are then used to
+// verify correctness and to determine performance" (§4, where the
+// database was Microsoft Access over JDBC).
+//
+// Events are stored per test in insertion order with hash indexes over
+// message UID, event type, consumer and endpoint; the typed query
+// helpers correspond to the SQL statements the paper describes. The
+// §4.1 experience — per-event loading becomes the bottleneck at
+// performance-test volumes, and streaming aggregation in the prince is
+// the fix — is reproduced as a benchmark comparing BulkLoad+queries
+// against analysis.StreamAggregator.
+package tracedb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"jmsharness/internal/trace"
+)
+
+// Table holds one test's events with secondary indexes.
+type Table struct {
+	name   string
+	events []trace.Event
+
+	byMsg      map[string][]int
+	byType     map[trace.EventType][]int
+	byConsumer map[string][]int
+	byEndpoint map[string][]int
+}
+
+func newTable(name string) *Table {
+	return &Table{
+		name:       name,
+		byMsg:      map[string][]int{},
+		byType:     map[trace.EventType][]int{},
+		byConsumer: map[string][]int{},
+		byEndpoint: map[string][]int{},
+	}
+}
+
+// insert appends one event and maintains the indexes.
+func (t *Table) insert(ev trace.Event) {
+	idx := len(t.events)
+	t.events = append(t.events, ev)
+	if ev.MsgUID != "" {
+		t.byMsg[ev.MsgUID] = append(t.byMsg[ev.MsgUID], idx)
+	}
+	t.byType[ev.Type] = append(t.byType[ev.Type], idx)
+	if ev.Consumer != "" {
+		t.byConsumer[ev.Consumer] = append(t.byConsumer[ev.Consumer], idx)
+	}
+	if ev.Endpoint != "" {
+		t.byEndpoint[ev.Endpoint] = append(t.byEndpoint[ev.Endpoint], idx)
+	}
+}
+
+// Len returns the number of stored events.
+func (t *Table) Len() int { return len(t.events) }
+
+// DB is a collection of per-test tables. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// Insert stores one event under the named test.
+func (db *DB) Insert(test string, ev trace.Event) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[test]
+	if !ok {
+		t = newTable(test)
+		db.tables[test] = t
+	}
+	t.insert(ev)
+}
+
+// BulkLoad stores a whole trace under the named test, preallocating
+// storage for the batch.
+func (db *DB) BulkLoad(test string, events []trace.Event) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[test]
+	if !ok {
+		t = newTable(test)
+		db.tables[test] = t
+	}
+	if need := len(t.events) + len(events); need > cap(t.events) {
+		grown := make([]trace.Event, len(t.events), need)
+		copy(grown, t.events)
+		t.events = grown
+	}
+	for _, ev := range events {
+		t.insert(ev)
+	}
+}
+
+// Tests returns the stored test names, sorted.
+func (db *DB) Tests() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a test's table.
+func (db *DB) Drop(test string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, test)
+}
+
+// Count returns the number of events stored for a test.
+func (db *DB) Count(test string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.tables[test]; ok {
+		return t.Len()
+	}
+	return 0
+}
+
+// Select returns the events of a test satisfying pred, in insertion
+// order. A nil pred selects everything.
+func (db *DB) Select(test string, pred func(*trace.Event) bool) []trace.Event {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[test]
+	if !ok {
+		return nil
+	}
+	var out []trace.Event
+	for i := range t.events {
+		if pred == nil || pred(&t.events[i]) {
+			out = append(out, t.events[i])
+		}
+	}
+	return out
+}
+
+// ByType returns the events of the given type, using the type index.
+func (db *DB) ByType(test string, typ trace.EventType) []trace.Event {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[test]
+	if !ok {
+		return nil
+	}
+	idxs := t.byType[typ]
+	out := make([]trace.Event, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t.events[idx]
+	}
+	return out
+}
+
+// MessageHistory returns every event referencing a message UID, in
+// insertion order — the join the integrity SQL performs.
+func (db *DB) MessageHistory(test, msgUID string) []trace.Event {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[test]
+	if !ok {
+		return nil
+	}
+	idxs := t.byMsg[msgUID]
+	out := make([]trace.Event, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t.events[idx]
+	}
+	return out
+}
+
+// ConsumerEvents returns a consumer's events in insertion order.
+func (db *DB) ConsumerEvents(test, consumer string) []trace.Event {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[test]
+	if !ok {
+		return nil
+	}
+	idxs := t.byConsumer[consumer]
+	out := make([]trace.Event, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t.events[idx]
+	}
+	return out
+}
+
+// DelayRow is one send→deliver match, the row shape behind the delay
+// and fairness SQL.
+type DelayRow struct {
+	MsgUID   string
+	Producer string
+	Consumer string
+	Endpoint string
+	SentAt   time.Time
+	Delay    time.Duration
+}
+
+// Delays joins send-start events with deliveries per message UID.
+func (db *DB) Delays(test string) []DelayRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[test]
+	if !ok {
+		return nil
+	}
+	var out []DelayRow
+	for i := range t.events {
+		ev := &t.events[i]
+		if ev.Type != trace.EventDeliver {
+			continue
+		}
+		for _, j := range t.byMsg[ev.MsgUID] {
+			se := &t.events[j]
+			if se.Type != trace.EventSendStart {
+				continue
+			}
+			out = append(out, DelayRow{
+				MsgUID:   ev.MsgUID,
+				Producer: se.Producer,
+				Consumer: ev.Consumer,
+				Endpoint: ev.Endpoint,
+				SentAt:   se.Time,
+				Delay:    ev.Time.Sub(se.Time),
+			})
+			break
+		}
+	}
+	return out
+}
+
+// UnmatchedDeliveries returns deliveries of messages with no successful
+// send-end — the integrity SQL query.
+func (db *DB) UnmatchedDeliveries(test string) []trace.Event {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[test]
+	if !ok {
+		return nil
+	}
+	var out []trace.Event
+	for i := range t.events {
+		ev := &t.events[i]
+		if ev.Type != trace.EventDeliver {
+			continue
+		}
+		sent := false
+		for _, j := range t.byMsg[ev.MsgUID] {
+			se := &t.events[j]
+			if se.Type == trace.EventSendEnd && se.Err == "" {
+				sent = true
+				break
+			}
+		}
+		if !sent {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// savedDB is the JSON persistence shape.
+type savedDB struct {
+	Tests map[string][]trace.Event `json:"tests"`
+}
+
+// Save writes the database as JSON.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	out := savedDB{Tests: map[string][]trace.Event{}}
+	for name, t := range db.tables {
+		events := make([]trace.Event, len(t.events))
+		copy(events, t.events)
+		out.Tests[name] = events
+	}
+	db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("tracedb: saving: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the database to a file.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tracedb: creating %s: %w", path, err)
+	}
+	if err := db.Save(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tracedb: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a database saved by Save.
+func Load(r io.Reader) (*DB, error) {
+	var in savedDB
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("tracedb: loading: %w", err)
+	}
+	db := New()
+	for name, events := range in.Tests {
+		db.BulkLoad(name, events)
+	}
+	return db, nil
+}
+
+// LoadFile reads a database from a file.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracedb: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,198 @@
+package tracedb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/trace"
+)
+
+func sampleEvents() []trace.Event {
+	epoch := time.Unix(3000, 0)
+	at := func(ms int) time.Time { return epoch.Add(time.Duration(ms) * time.Millisecond) }
+	return []trace.Event{
+		{Node: "n", Seq: 1, Time: at(0), Type: trace.EventSendStart, MsgUID: "p/1", Producer: "p"},
+		{Node: "n", Seq: 2, Time: at(1), Type: trace.EventSendEnd, MsgUID: "p/1", Producer: "p"},
+		{Node: "n", Seq: 3, Time: at(10), Type: trace.EventDeliver, MsgUID: "p/1", Consumer: "c1", Endpoint: "queue:q"},
+		{Node: "n", Seq: 4, Time: at(20), Type: trace.EventSendStart, MsgUID: "p/2", Producer: "p"},
+		{Node: "n", Seq: 5, Time: at(21), Type: trace.EventSendEnd, MsgUID: "p/2", Producer: "p", Err: "failed"},
+		{Node: "n", Seq: 6, Time: at(30), Type: trace.EventDeliver, MsgUID: "p/2", Consumer: "c2", Endpoint: "queue:q"},
+	}
+}
+
+func TestInsertAndCount(t *testing.T) {
+	db := New()
+	if db.Count("t1") != 0 {
+		t.Error("empty count nonzero")
+	}
+	for _, ev := range sampleEvents() {
+		db.Insert("t1", ev)
+	}
+	if db.Count("t1") != 6 {
+		t.Errorf("Count = %d", db.Count("t1"))
+	}
+	if got := db.Tests(); len(got) != 1 || got[0] != "t1" {
+		t.Errorf("Tests = %v", got)
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	a, b := New(), New()
+	for _, ev := range sampleEvents() {
+		a.Insert("t", ev)
+	}
+	b.BulkLoad("t", sampleEvents())
+	if a.Count("t") != b.Count("t") {
+		t.Error("bulk load diverges from insert")
+	}
+	if len(a.Delays("t")) != len(b.Delays("t")) {
+		t.Error("query results diverge")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	all := db.Select("t", nil)
+	if len(all) != 6 {
+		t.Errorf("Select(nil) = %d", len(all))
+	}
+	sends := db.Select("t", func(e *trace.Event) bool { return e.Type == trace.EventSendEnd })
+	if len(sends) != 2 {
+		t.Errorf("filtered select = %d", len(sends))
+	}
+	if db.Select("missing", nil) != nil {
+		t.Error("unknown test should be empty")
+	}
+}
+
+func TestByType(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	delivers := db.ByType("t", trace.EventDeliver)
+	if len(delivers) != 2 {
+		t.Errorf("ByType = %d", len(delivers))
+	}
+	if len(db.ByType("t", trace.EventCrash)) != 0 {
+		t.Error("no crashes expected")
+	}
+}
+
+func TestMessageHistory(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	hist := db.MessageHistory("t", "p/1")
+	if len(hist) != 3 {
+		t.Errorf("history = %d events", len(hist))
+	}
+	if hist[0].Type != trace.EventSendStart || hist[2].Type != trace.EventDeliver {
+		t.Error("history order wrong")
+	}
+}
+
+func TestConsumerEvents(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	if got := db.ConsumerEvents("t", "c1"); len(got) != 1 || got[0].MsgUID != "p/1" {
+		t.Errorf("ConsumerEvents = %v", got)
+	}
+}
+
+func TestDelays(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	rows := db.Delays("t")
+	if len(rows) != 2 {
+		t.Fatalf("Delays = %d rows", len(rows))
+	}
+	if rows[0].Delay != 10*time.Millisecond || rows[0].Producer != "p" || rows[0].Consumer != "c1" {
+		t.Errorf("row = %+v", rows[0])
+	}
+}
+
+func TestUnmatchedDeliveries(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	// p/2's send failed, so its delivery is unmatched.
+	bad := db.UnmatchedDeliveries("t")
+	if len(bad) != 1 || bad[0].MsgUID != "p/2" {
+		t.Errorf("UnmatchedDeliveries = %v", bad)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	db.Drop("t")
+	if db.Count("t") != 0 {
+		t.Error("drop did not remove table")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	db.BulkLoad("t1", sampleEvents())
+	db.BulkLoad("t2", sampleEvents()[:2])
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Count("t1") != 6 || loaded.Count("t2") != 2 {
+		t.Errorf("counts after load: %d, %d", loaded.Count("t1"), loaded.Count("t2"))
+	}
+	// Indexes rebuilt after load.
+	if len(loaded.Delays("t1")) != 2 {
+		t.Error("delays query broken after load")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := New()
+	db.BulkLoad("t", sampleEvents())
+	path := t.TempDir() + "/db.json"
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Count("t") != 6 {
+		t.Error("file round trip lost events")
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	db := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			db.Insert("t", trace.Event{Node: "n", Seq: int64(i + 1),
+				Type: trace.EventAck, MsgUID: "p/1"})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = db.Count("t")
+		_ = db.MessageHistory("t", "p/1")
+	}
+	<-done
+	if db.Count("t") != 1000 {
+		t.Errorf("Count = %d", db.Count("t"))
+	}
+}

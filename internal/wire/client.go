@@ -1,0 +1,668 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// Factory implements jms.ConnectionFactory over the wire protocol: each
+// CreateConnection dials one TCP connection to the broker server. It is
+// the client half of the protocol bridge — to the harness it is
+// indistinguishable from an in-process provider.
+type Factory struct {
+	addr        string
+	dialTimeout time.Duration
+}
+
+// NewFactory returns a factory connecting to the broker server at addr.
+func NewFactory(addr string) *Factory {
+	return &Factory{addr: addr, dialTimeout: 5 * time.Second}
+}
+
+var _ jms.ConnectionFactory = (*Factory)(nil)
+
+// CreateConnection implements jms.ConnectionFactory.
+func (f *Factory) CreateConnection() (jms.Connection, error) {
+	sock, err := net.DialTimeout("tcp", f.addr, f.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", f.addr, err)
+	}
+	c := &clientConn{
+		sock:    sock,
+		pending: map[uint64]chan reply{},
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// mapError rehydrates well-known provider errors from their wire string
+// form so errors.Is works across the protocol boundary.
+func mapError(msg string) error {
+	known := []error{
+		jms.ErrClosed, jms.ErrNotTransacted, jms.ErrTransacted,
+		jms.ErrClientIDInUse, jms.ErrNoClientID, jms.ErrDurableActive,
+		jms.ErrUnknownSubscription, jms.ErrInvalidDestination,
+		jms.ErrInvalidSelector, jms.ErrInvalidArgument,
+	}
+	for _, e := range known {
+		if strings.Contains(msg, e.Error()) {
+			return fmt.Errorf("%w (remote: %s)", e, msg)
+		}
+	}
+	return errors.New(msg)
+}
+
+// clientConn implements jms.Connection over one TCP socket.
+type clientConn struct {
+	sock net.Conn
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	nextReq  uint64
+	pending  map[uint64]chan reply
+	clientID string
+	closed   bool
+	connErr  error
+	done     chan struct{}
+}
+
+var _ jms.Connection = (*clientConn)(nil)
+
+// readLoop dispatches server replies to their waiting callers.
+func (c *clientConn) readLoop() {
+	for {
+		payload, err := ReadFrame(c.sock)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		rep, err := decodeReply(payload)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[rep.reqID]
+		delete(c.pending, rep.reqID)
+		c.mu.Unlock()
+		if ok {
+			ch <- rep
+		}
+	}
+}
+
+// failAll terminates every in-flight call after a connection failure.
+func (c *clientConn) failAll(err error) {
+	c.mu.Lock()
+	if c.connErr == nil {
+		c.connErr = err
+	}
+	pending := c.pending
+	c.pending = map[uint64]chan reply{}
+	alreadyClosed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !alreadyClosed {
+		close(c.done)
+		_ = c.sock.Close()
+	}
+	for _, ch := range pending {
+		ch <- reply{err: jms.ErrClosed.Error()}
+	}
+}
+
+// call performs one request/reply round trip.
+func (c *clientConn) call(op byte, build func(*jms.Encoder)) (reply, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return reply{}, jms.ErrClosed
+	}
+	c.nextReq++
+	reqID := c.nextReq
+	ch := make(chan reply, 1)
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	payload := encodeRequest(op, reqID, build)
+	c.writeMu.Lock()
+	err := WriteFrame(c.sock, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		c.failAll(err)
+		return reply{}, fmt.Errorf("wire: %w", jms.ErrClosed)
+	}
+	rep := <-ch
+	if rep.err != "" {
+		return reply{}, mapError(rep.err)
+	}
+	return rep, nil
+}
+
+// callOK performs a round trip that carries no reply body.
+func (c *clientConn) callOK(op byte, build func(*jms.Encoder)) error {
+	_, err := c.call(op, build)
+	return err
+}
+
+// SetClientID implements jms.Connection.
+func (c *clientConn) SetClientID(id string) error {
+	if err := c.callOK(opSetClientID, func(e *jms.Encoder) { e.String(id) }); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.clientID = id
+	c.mu.Unlock()
+	return nil
+}
+
+// ClientID implements jms.Connection.
+func (c *clientConn) ClientID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clientID
+}
+
+// CreateSession implements jms.Connection.
+func (c *clientConn) CreateSession(transacted bool, ackMode jms.AckMode) (jms.Session, error) {
+	if !transacted && !ackMode.Valid() {
+		return nil, fmt.Errorf("%w: ack mode %d", jms.ErrInvalidArgument, ackMode)
+	}
+	rep, err := c.call(opCreateSession, func(e *jms.Encoder) {
+		e.Bool(transacted)
+		e.Byte(byte(ackMode))
+	})
+	if err != nil {
+		return nil, err
+	}
+	id := rep.body.Uvarint()
+	if err := rep.body.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding session reply: %w", err)
+	}
+	return &clientSession{conn: c, id: id, transacted: transacted, ackMode: ackMode}, nil
+}
+
+// Start implements jms.Connection.
+func (c *clientConn) Start() error { return c.callOK(opStart, nil) }
+
+// Stop implements jms.Connection.
+func (c *clientConn) Stop() error { return c.callOK(opStop, nil) }
+
+// Close implements jms.Connection.
+func (c *clientConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	// Best effort: tell the server, then tear down locally.
+	_ = c.callOK(opCloseConn, nil)
+	c.failAll(jms.ErrClosed)
+	return nil
+}
+
+// clientSession implements jms.Session over the wire.
+type clientSession struct {
+	conn       *clientConn
+	id         uint64
+	transacted bool
+	ackMode    jms.AckMode
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ jms.Session = (*clientSession)(nil)
+
+// Transacted implements jms.Session.
+func (s *clientSession) Transacted() bool { return s.transacted }
+
+// AckMode implements jms.Session.
+func (s *clientSession) AckMode() jms.AckMode { return s.ackMode }
+
+func (s *clientSession) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// CreateProducer implements jms.Session. Producers are client-side
+// objects; the server creates its producer lazily on first send.
+func (s *clientSession) CreateProducer(dest jms.Destination) (jms.Producer, error) {
+	if s.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	return &clientProducer{sess: s, dest: dest}, nil
+}
+
+// CreateConsumer implements jms.Session.
+func (s *clientSession) CreateConsumer(dest jms.Destination) (jms.Consumer, error) {
+	return s.CreateConsumerWithSelector(dest, "")
+}
+
+// CreateConsumerWithSelector implements jms.Session.
+func (s *clientSession) CreateConsumerWithSelector(dest jms.Destination, selectorExpr string) (jms.Consumer, error) {
+	if dest == nil {
+		return nil, fmt.Errorf("%w: nil destination", jms.ErrInvalidDestination)
+	}
+	return s.createConsumer(dest, false, "", selectorExpr)
+}
+
+// CreateDurableSubscriber implements jms.Session.
+func (s *clientSession) CreateDurableSubscriber(topic jms.Topic, name string) (jms.Consumer, error) {
+	return s.createConsumer(topic, true, name, "")
+}
+
+// CreateDurableSubscriberWithSelector implements jms.Session.
+func (s *clientSession) CreateDurableSubscriberWithSelector(topic jms.Topic, name, selectorExpr string) (jms.Consumer, error) {
+	return s.createConsumer(topic, true, name, selectorExpr)
+}
+
+func (s *clientSession) createConsumer(dest jms.Destination, durable bool, subName, selectorExpr string) (jms.Consumer, error) {
+	if s.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	rep, err := s.conn.call(opCreateConsumer, func(e *jms.Encoder) {
+		e.Uvarint(s.id)
+		e.String(dest.String())
+		e.Bool(durable)
+		e.String(subName)
+		e.String(selectorExpr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	id := rep.body.Uvarint()
+	endpoint := rep.body.String()
+	if err := rep.body.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding consumer reply: %w", err)
+	}
+	return &clientConsumer{sess: s, id: id, dest: dest, endpoint: endpoint, done: make(chan struct{})}, nil
+}
+
+// CreateTemporaryQueue implements jms.Session. The temporary queue is
+// owned by this client's server-side connection and is deleted when the
+// connection closes.
+func (s *clientSession) CreateTemporaryQueue() (jms.Queue, error) {
+	if s.isClosed() {
+		return "", jms.ErrClosed
+	}
+	rep, err := s.conn.call(opCreateTempQueue, func(e *jms.Encoder) { e.Uvarint(s.id) })
+	if err != nil {
+		return "", err
+	}
+	name := rep.body.String()
+	if err := rep.body.Err(); err != nil {
+		return "", fmt.Errorf("wire: decoding temp-queue reply: %w", err)
+	}
+	return jms.Queue(name), nil
+}
+
+// CreateBrowser implements jms.Session. Each Enumerate is one browse
+// round trip; the snapshot is taken server-side.
+func (s *clientSession) CreateBrowser(queue jms.Queue, selectorExpr string) (jms.Browser, error) {
+	if s.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	br := &clientBrowser{sess: s, queue: queue, selector: selectorExpr}
+	// Probe immediately so an invalid selector or queue fails at
+	// creation, matching the in-process provider.
+	if _, err := br.Enumerate(); err != nil {
+		return nil, err
+	}
+	return br, nil
+}
+
+// clientBrowser implements jms.Browser over the wire.
+type clientBrowser struct {
+	sess     *clientSession
+	queue    jms.Queue
+	selector string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ jms.Browser = (*clientBrowser)(nil)
+
+// Queue implements jms.Browser.
+func (b *clientBrowser) Queue() jms.Queue { return b.queue }
+
+// Enumerate implements jms.Browser.
+func (b *clientBrowser) Enumerate() ([]*jms.Message, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed || b.sess.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	rep, err := b.sess.conn.call(opBrowse, func(e *jms.Encoder) {
+		e.Uvarint(b.sess.id)
+		e.String(b.queue.Name())
+		e.String(b.selector)
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := rep.body.Uvarint()
+	if err := rep.body.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding browse reply: %w", err)
+	}
+	msgs := make([]*jms.Message, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var m jms.Message
+		m.DecodeFrom(rep.body)
+		if err := rep.body.Err(); err != nil {
+			return nil, fmt.Errorf("wire: decoding browsed message: %w", err)
+		}
+		msgs = append(msgs, &m)
+	}
+	return msgs, nil
+}
+
+// Close implements jms.Browser.
+func (b *clientBrowser) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	return nil
+}
+
+// Unsubscribe implements jms.Session.
+func (s *clientSession) Unsubscribe(name string) error {
+	return s.conn.callOK(opUnsubscribe, func(e *jms.Encoder) {
+		e.Uvarint(s.id)
+		e.String(name)
+	})
+}
+
+// Commit implements jms.Session.
+func (s *clientSession) Commit() error {
+	if !s.transacted {
+		return jms.ErrNotTransacted
+	}
+	return s.sessionOp(opCommit)
+}
+
+// Rollback implements jms.Session.
+func (s *clientSession) Rollback() error {
+	if !s.transacted {
+		return jms.ErrNotTransacted
+	}
+	return s.sessionOp(opRollback)
+}
+
+// Acknowledge implements jms.Session.
+func (s *clientSession) Acknowledge() error {
+	if s.transacted {
+		return jms.ErrTransacted
+	}
+	return s.sessionOp(opAck)
+}
+
+// Recover implements jms.Session.
+func (s *clientSession) Recover() error {
+	if s.transacted {
+		return jms.ErrTransacted
+	}
+	return s.sessionOp(opRecover)
+}
+
+func (s *clientSession) sessionOp(op byte) error {
+	if s.isClosed() {
+		return jms.ErrClosed
+	}
+	return s.conn.callOK(op, func(e *jms.Encoder) { e.Uvarint(s.id) })
+}
+
+// Close implements jms.Session.
+func (s *clientSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.callOK(opCloseSession, func(e *jms.Encoder) { e.Uvarint(s.id) })
+}
+
+// clientProducer implements jms.Producer over the wire.
+type clientProducer struct {
+	sess *clientSession
+	dest jms.Destination
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ jms.Producer = (*clientProducer)(nil)
+
+// Destination implements jms.Producer.
+func (p *clientProducer) Destination() jms.Destination { return p.dest }
+
+// Send implements jms.Producer.
+func (p *clientProducer) Send(msg *jms.Message, opts jms.SendOptions) error {
+	if p.dest == nil {
+		return fmt.Errorf("%w: unidentified producer requires SendTo", jms.ErrInvalidDestination)
+	}
+	return p.SendTo(p.dest, msg, opts)
+}
+
+// SendTo implements jms.Producer.
+func (p *clientProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed || p.sess.isClosed() {
+		return jms.ErrClosed
+	}
+	if dest == nil {
+		return fmt.Errorf("%w: nil destination", jms.ErrInvalidDestination)
+	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	rep, err := p.sess.conn.call(opSend, func(e *jms.Encoder) {
+		e.Uvarint(p.sess.id)
+		e.String(dest.String())
+		encodeSendOptions(e, opts)
+		msg.EncodeTo(e)
+	})
+	if err != nil {
+		return err
+	}
+	msg.ID = rep.body.String()
+	msg.Timestamp = rep.body.Time()
+	msg.Expiration = rep.body.Time()
+	msg.Destination = dest
+	msg.Mode = opts.Mode
+	msg.Priority = opts.Priority
+	if err := rep.body.Err(); err != nil {
+		return fmt.Errorf("wire: decoding send reply: %w", err)
+	}
+	return nil
+}
+
+// Close implements jms.Producer.
+func (p *clientProducer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	return nil
+}
+
+// clientConsumer implements jms.Consumer over the wire using pull-mode
+// receive RPCs: each Receive is one round trip (chunked at receiveCap
+// for long or indefinite waits), which keeps JMS acknowledgement and
+// expiry semantics exact at the cost of a round trip per message.
+type clientConsumer struct {
+	sess     *clientSession
+	id       uint64
+	dest     jms.Destination
+	endpoint string
+
+	mu         sync.Mutex
+	listenStop chan struct{}
+	listenerWG sync.WaitGroup
+	closed     bool
+	done       chan struct{}
+}
+
+var _ jms.Consumer = (*clientConsumer)(nil)
+
+// Destination implements jms.Consumer.
+func (c *clientConsumer) Destination() jms.Destination { return c.dest }
+
+// EndpointID implements jms.Consumer.
+func (c *clientConsumer) EndpointID() string { return c.endpoint }
+
+func (c *clientConsumer) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Receive implements jms.Consumer.
+func (c *clientConsumer) Receive(timeout time.Duration) (*jms.Message, error) {
+	indefinite := timeout <= 0
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.isClosed() {
+			return nil, jms.ErrClosed
+		}
+		chunk := receiveCap
+		if !indefinite {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, nil
+			}
+			if remaining < chunk {
+				chunk = remaining
+			}
+		}
+		msg, ok, err := c.receiveOnce(chunk, false)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return msg, nil
+		}
+		if !indefinite && !time.Now().Before(deadline) {
+			return nil, nil
+		}
+	}
+}
+
+// ReceiveNoWait implements jms.Consumer.
+func (c *clientConsumer) ReceiveNoWait() (*jms.Message, error) {
+	if c.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	msg, _, err := c.receiveOnce(0, true)
+	return msg, err
+}
+
+func (c *clientConsumer) receiveOnce(timeout time.Duration, noWait bool) (*jms.Message, bool, error) {
+	// Round the wire timeout up: rounding a sub-millisecond remainder
+	// down to zero would read as "no timeout" on the server.
+	timeoutMs := int64((timeout + time.Millisecond - 1) / time.Millisecond)
+	rep, err := c.sess.conn.call(opReceive, func(e *jms.Encoder) {
+		e.Uvarint(c.id)
+		e.Varint(timeoutMs)
+		e.Bool(noWait)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	has := rep.body.Bool()
+	if !has {
+		if err := rep.body.Err(); err != nil {
+			return nil, false, fmt.Errorf("wire: decoding receive reply: %w", err)
+		}
+		return nil, false, nil
+	}
+	var msg jms.Message
+	msg.DecodeFrom(rep.body)
+	if err := rep.body.Err(); err != nil {
+		return nil, false, fmt.Errorf("wire: decoding received message: %w", err)
+	}
+	return &msg, true, nil
+}
+
+// SetListener implements jms.Consumer with a client-side dispatch
+// goroutine.
+func (c *clientConsumer) SetListener(l jms.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return jms.ErrClosed
+	}
+	if c.listenStop != nil {
+		stop := c.listenStop
+		c.listenStop = nil
+		c.mu.Unlock()
+		close(stop)
+		c.listenerWG.Wait()
+		c.mu.Lock()
+	}
+	if l == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	stop := make(chan struct{})
+	c.listenStop = stop
+	c.listenerWG.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.listenerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-c.done:
+				return
+			default:
+			}
+			msg, err := c.Receive(100 * time.Millisecond)
+			if err != nil {
+				return
+			}
+			if msg != nil {
+				l(msg)
+			}
+		}
+	}()
+	return nil
+}
+
+// Close implements jms.Consumer.
+func (c *clientConsumer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	stop := c.listenStop
+	c.listenStop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	c.listenerWG.Wait()
+	return c.sess.conn.callOK(opCloseConsumer, func(e *jms.Encoder) { e.Uvarint(c.id) })
+}

@@ -1,0 +1,194 @@
+// Package wire implements a TCP wire protocol for the jms API: a broker
+// server (Server) that fronts any jms.ConnectionFactory, and a client
+// provider (Factory) that implements the same jms API over a socket.
+//
+// The paper tested commercial providers through their vendor protocols;
+// with no JMS bindings in Go, this package is the "protocol bridge" that
+// lets the harness exercise a *remote, networked* provider — real
+// sockets, real latency, real partial failure — rather than only the
+// in-process reference broker.
+//
+// Protocol. Each jms.Connection maps to one TCP connection. Frames are
+// length-prefixed: a 4-byte little-endian payload length followed by the
+// payload. A payload starts with an opcode byte; requests carry a
+// client-assigned request ID and receive exactly one opReply with the
+// same ID. Requests may be served out of order (the server handles each
+// in its own goroutine), so a blocking receive does not head-of-line
+// block the other sessions multiplexed on the connection.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// Opcodes. Client→server requests unless noted.
+const (
+	opSetClientID byte = iota + 1
+	opStart
+	opStop
+	opCloseConn
+	opCreateSession
+	opCloseSession
+	opSend
+	opCreateConsumer
+	opCloseConsumer
+	opReceive
+	opAck
+	opRecover
+	opCommit
+	opRollback
+	opUnsubscribe
+	opBrowse
+	opCreateTempQueue
+	opReply // server→client: reply to a request
+)
+
+// maxFrameSize bounds a frame payload; larger frames indicate protocol
+// corruption or abuse.
+const maxFrameSize = 16 << 20
+
+// receiveCap bounds one server-side blocking receive so a vanished
+// client cannot pin a handler goroutine forever; clients re-issue
+// receives to realise longer timeouts.
+const receiveCap = 10 * time.Second
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// request is a decoded client request.
+type request struct {
+	op    byte
+	reqID uint64
+	body  *jms.Decoder
+}
+
+// encodeRequest builds a request frame payload: op, reqID, then body.
+func encodeRequest(op byte, reqID uint64, build func(*jms.Encoder)) []byte {
+	e := jms.NewEncoder(make([]byte, 0, 64))
+	e.Byte(op)
+	e.Uvarint(reqID)
+	if build != nil {
+		build(e)
+	}
+	return e.Bytes()
+}
+
+// decodeRequest parses a request frame payload.
+func decodeRequest(payload []byte) (request, error) {
+	if len(payload) == 0 {
+		return request{}, fmt.Errorf("wire: empty frame")
+	}
+	d := jms.NewDecoder(payload[1:])
+	reqID := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return request{}, fmt.Errorf("wire: malformed request: %w", err)
+	}
+	return request{op: payload[0], reqID: reqID, body: d}, nil
+}
+
+// Reply statuses.
+const (
+	statusOK byte = iota + 1
+	statusError
+)
+
+// encodeReply builds an opReply frame payload.
+func encodeReply(reqID uint64, errMsg string, build func(*jms.Encoder)) []byte {
+	e := jms.NewEncoder(make([]byte, 0, 64))
+	e.Byte(opReply)
+	e.Uvarint(reqID)
+	if errMsg != "" {
+		e.Byte(statusError)
+		e.String(errMsg)
+		return e.Bytes()
+	}
+	e.Byte(statusOK)
+	if build != nil {
+		build(e)
+	}
+	return e.Bytes()
+}
+
+// reply is a decoded server reply.
+type reply struct {
+	reqID uint64
+	err   string
+	body  *jms.Decoder
+}
+
+// decodeReply parses an opReply frame payload (including the opcode
+// byte).
+func decodeReply(payload []byte) (reply, error) {
+	if len(payload) == 0 || payload[0] != opReply {
+		return reply{}, fmt.Errorf("wire: expected reply frame")
+	}
+	d := jms.NewDecoder(payload[1:])
+	reqID := d.Uvarint()
+	status := d.Byte()
+	if err := d.Err(); err != nil {
+		return reply{}, fmt.Errorf("wire: malformed reply: %w", err)
+	}
+	switch status {
+	case statusOK:
+		return reply{reqID: reqID, body: d}, nil
+	case statusError:
+		msg := d.String()
+		if err := d.Err(); err != nil {
+			return reply{}, fmt.Errorf("wire: malformed error reply: %w", err)
+		}
+		return reply{reqID: reqID, err: msg}, nil
+	default:
+		return reply{}, fmt.Errorf("wire: unknown reply status %d", status)
+	}
+}
+
+// encodeSendOptions appends send options.
+func encodeSendOptions(e *jms.Encoder, opts jms.SendOptions) {
+	e.Byte(byte(opts.Mode))
+	e.Byte(byte(opts.Priority))
+	e.Varint(int64(opts.TTL))
+}
+
+// decodeSendOptions reads send options.
+func decodeSendOptions(d *jms.Decoder) jms.SendOptions {
+	return jms.SendOptions{
+		Mode:     jms.DeliveryMode(d.Byte()),
+		Priority: jms.Priority(d.Byte()),
+		TTL:      time.Duration(d.Varint()),
+	}
+}

@@ -1,0 +1,488 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// Server fronts a jms provider (usually the reference broker) with the
+// wire protocol. Each accepted TCP connection is backed by one real
+// provider connection; sessions, producers and consumers are created on
+// demand and addressed by server-assigned IDs.
+type Server struct {
+	inner    jms.ConnectionFactory
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	serveWG sync.WaitGroup
+}
+
+// NewServer returns a server fronting inner, listening on addr
+// (e.g. "127.0.0.1:0"). Serve must be called to accept connections.
+func NewServer(inner jms.ConnectionFactory, addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listening on %s: %w", addr, err)
+	}
+	return &Server{inner: inner, listener: l, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Serve accepts connections until Close. It always returns a non-nil
+// error; after Close the error wraps net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			s.serveWG.Wait()
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			s.serveWG.Wait()
+			return fmt.Errorf("wire: accept: %w", net.ErrClosed)
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.serveWG.Add(1)
+		go func() {
+			defer s.serveWG.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Start runs Serve on a background goroutine and returns immediately.
+func (s *Server) Start() {
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		_ = s.Serve()
+	}()
+}
+
+// Close stops accepting and tears down every client connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+func (s *Server) removeConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// connState is the server-side state of one client connection.
+type connState struct {
+	srv  *Server
+	sock net.Conn
+
+	writeMu sync.Mutex // serialises frame writes
+
+	mu        sync.Mutex
+	jmsConn   jms.Connection
+	sessions  map[uint64]*sessState
+	consumers map[uint64]jms.Consumer
+	nextID    uint64
+	reqWG     sync.WaitGroup
+}
+
+// sessState is one server-side session with its lazily created
+// producers.
+type sessState struct {
+	sess      jms.Session
+	producers map[string]jms.Producer // by destination string
+}
+
+func (s *Server) handleConn(sock net.Conn) {
+	defer s.removeConn(sock)
+	defer sock.Close()
+
+	jmsConn, err := s.inner.CreateConnection()
+	if err != nil {
+		// Nothing useful to report without a request to reply to.
+		return
+	}
+	st := &connState{
+		srv:       s,
+		sock:      sock,
+		jmsConn:   jmsConn,
+		sessions:  map[uint64]*sessState{},
+		consumers: map[uint64]jms.Consumer{},
+	}
+	defer func() {
+		st.reqWG.Wait()
+		_ = jmsConn.Close()
+	}()
+
+	for {
+		payload, err := ReadFrame(sock)
+		if err != nil {
+			return
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			return
+		}
+		if req.op == opCloseConn {
+			st.sendReply(req.reqID, "", nil)
+			return
+		}
+		st.reqWG.Add(1)
+		go func() {
+			defer st.reqWG.Done()
+			st.dispatch(req)
+		}()
+	}
+}
+
+// sendReply writes one reply frame.
+func (st *connState) sendReply(reqID uint64, errMsg string, build func(*jms.Encoder)) {
+	payload := encodeReply(reqID, errMsg, build)
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	_ = WriteFrame(st.sock, payload)
+}
+
+// dispatch serves one request and sends its reply.
+func (st *connState) dispatch(req request) {
+	switch req.op {
+	case opSetClientID:
+		id := req.body.String()
+		if err := req.body.Err(); err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		st.replyErr(req.reqID, st.jmsConn.SetClientID(id))
+
+	case opStart:
+		st.replyErr(req.reqID, st.jmsConn.Start())
+
+	case opStop:
+		st.replyErr(req.reqID, st.jmsConn.Stop())
+
+	case opCreateSession:
+		transacted := req.body.Bool()
+		ackMode := jms.AckMode(req.body.Byte())
+		if err := req.body.Err(); err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		sess, err := st.jmsConn.CreateSession(transacted, ackMode)
+		if err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		st.mu.Lock()
+		st.nextID++
+		id := st.nextID
+		st.sessions[id] = &sessState{sess: sess, producers: map[string]jms.Producer{}}
+		st.mu.Unlock()
+		st.sendReply(req.reqID, "", func(e *jms.Encoder) { e.Uvarint(id) })
+
+	case opCloseSession:
+		id := req.body.Uvarint()
+		ss, err := st.session(id)
+		if err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		st.mu.Lock()
+		delete(st.sessions, id)
+		st.mu.Unlock()
+		st.replyErr(req.reqID, ss.sess.Close())
+
+	case opSend:
+		st.handleSend(req)
+
+	case opCreateConsumer:
+		st.handleCreateConsumer(req)
+
+	case opCloseConsumer:
+		id := req.body.Uvarint()
+		st.mu.Lock()
+		cons, ok := st.consumers[id]
+		delete(st.consumers, id)
+		st.mu.Unlock()
+		if !ok {
+			st.sendReply(req.reqID, "wire: unknown consumer", nil)
+			return
+		}
+		st.replyErr(req.reqID, cons.Close())
+
+	case opReceive:
+		st.handleReceive(req)
+
+	case opAck:
+		st.sessionOp(req, func(s jms.Session) error { return s.Acknowledge() })
+
+	case opRecover:
+		st.sessionOp(req, func(s jms.Session) error { return s.Recover() })
+
+	case opCommit:
+		st.sessionOp(req, func(s jms.Session) error { return s.Commit() })
+
+	case opRollback:
+		st.sessionOp(req, func(s jms.Session) error { return s.Rollback() })
+
+	case opBrowse:
+		st.handleBrowse(req)
+
+	case opCreateTempQueue:
+		id := req.body.Uvarint()
+		ss, err := st.session(id)
+		if err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		q, err := ss.sess.CreateTemporaryQueue()
+		if err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		st.sendReply(req.reqID, "", func(e *jms.Encoder) { e.String(q.Name()) })
+
+	case opUnsubscribe:
+		id := req.body.Uvarint()
+		name := req.body.String()
+		if err := req.body.Err(); err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		ss, err := st.session(id)
+		if err != nil {
+			st.sendReply(req.reqID, err.Error(), nil)
+			return
+		}
+		st.replyErr(req.reqID, ss.sess.Unsubscribe(name))
+
+	default:
+		st.sendReply(req.reqID, fmt.Sprintf("wire: unknown opcode %d", req.op), nil)
+	}
+}
+
+func (st *connState) replyErr(reqID uint64, err error) {
+	if err != nil {
+		st.sendReply(reqID, err.Error(), nil)
+		return
+	}
+	st.sendReply(reqID, "", nil)
+}
+
+func (st *connState) session(id uint64) (*sessState, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss, ok := st.sessions[id]
+	if !ok {
+		return nil, errors.New("wire: unknown session")
+	}
+	return ss, nil
+}
+
+func (st *connState) sessionOp(req request, op func(jms.Session) error) {
+	id := req.body.Uvarint()
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	ss, err := st.session(id)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	st.replyErr(req.reqID, op(ss.sess))
+}
+
+func (st *connState) handleSend(req request) {
+	sessID := req.body.Uvarint()
+	destStr := req.body.String()
+	opts := decodeSendOptions(req.body)
+	var msg jms.Message
+	msg.DecodeFrom(req.body)
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	dest, err := jms.ParseDestination(destStr)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	ss, err := st.session(sessID)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	st.mu.Lock()
+	prod, ok := ss.producers[destStr]
+	if !ok {
+		prod, err = ss.sess.CreateProducer(dest)
+		if err == nil {
+			ss.producers[destStr] = prod
+		}
+	}
+	st.mu.Unlock()
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	if err := prod.Send(&msg, opts); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	// Reflect the provider-assigned headers back to the client.
+	st.sendReply(req.reqID, "", func(e *jms.Encoder) {
+		e.String(msg.ID)
+		e.Time(msg.Timestamp)
+		e.Time(msg.Expiration)
+	})
+}
+
+func (st *connState) handleCreateConsumer(req request) {
+	sessID := req.body.Uvarint()
+	destStr := req.body.String()
+	durable := req.body.Bool()
+	subName := req.body.String()
+	selectorExpr := req.body.String()
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	dest, err := jms.ParseDestination(destStr)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	ss, err := st.session(sessID)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	var cons jms.Consumer
+	if durable {
+		topic, ok := dest.(jms.Topic)
+		if !ok {
+			st.sendReply(req.reqID, jms.ErrInvalidDestination.Error(), nil)
+			return
+		}
+		cons, err = ss.sess.CreateDurableSubscriberWithSelector(topic, subName, selectorExpr)
+	} else {
+		cons, err = ss.sess.CreateConsumerWithSelector(dest, selectorExpr)
+	}
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	st.mu.Lock()
+	st.nextID++
+	id := st.nextID
+	st.consumers[id] = cons
+	st.mu.Unlock()
+	st.sendReply(req.reqID, "", func(e *jms.Encoder) {
+		e.Uvarint(id)
+		e.String(cons.EndpointID())
+	})
+}
+
+// handleBrowse serves a one-shot queue-browse snapshot; the server-side
+// browser is created and closed per request, so browsing is stateless
+// on the wire.
+func (st *connState) handleBrowse(req request) {
+	sessID := req.body.Uvarint()
+	queueName := req.body.String()
+	selectorExpr := req.body.String()
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	ss, err := st.session(sessID)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	br, err := ss.sess.CreateBrowser(jms.Queue(queueName), selectorExpr)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	msgs, err := br.Enumerate()
+	_ = br.Close()
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	st.sendReply(req.reqID, "", func(e *jms.Encoder) {
+		e.Uvarint(uint64(len(msgs)))
+		for _, m := range msgs {
+			m.EncodeTo(e)
+		}
+	})
+}
+
+func (st *connState) handleReceive(req request) {
+	consID := req.body.Uvarint()
+	timeoutMs := req.body.Varint()
+	noWait := req.body.Bool()
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	st.mu.Lock()
+	cons, ok := st.consumers[consID]
+	st.mu.Unlock()
+	if !ok {
+		st.sendReply(req.reqID, "wire: unknown consumer", nil)
+		return
+	}
+	var (
+		msg *jms.Message
+		err error
+	)
+	if noWait {
+		msg, err = cons.ReceiveNoWait()
+	} else {
+		timeout := time.Duration(timeoutMs) * time.Millisecond
+		if timeout <= 0 || timeout > receiveCap {
+			timeout = receiveCap
+		}
+		msg, err = cons.Receive(timeout)
+	}
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	st.sendReply(req.reqID, "", func(e *jms.Encoder) {
+		if msg == nil {
+			e.Bool(false)
+			return
+		}
+		e.Bool(true)
+		msg.EncodeTo(e)
+	})
+}

@@ -1,0 +1,732 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/analysis"
+	"jmsharness/internal/broker"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+)
+
+// startServer brings up a broker + wire server on a loopback port and
+// returns a connected client factory.
+func startServer(t *testing.T, profile broker.Profile) (*broker.Broker, *Factory) {
+	t.Helper()
+	b, err := broker.New(broker.Options{Name: "wired", Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	return b, NewFactory(srv.Addr())
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, make([]byte, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("frame length %d, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	if err := WriteFrame(&bytes.Buffer{}, make([]byte, maxFrameSize+1)); err == nil {
+		t.Error("oversize write accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversize read accepted")
+	}
+}
+
+func TestRequestReplyCodec(t *testing.T) {
+	payload := encodeRequest(opSend, 42, func(e *jms.Encoder) { e.String("hello") })
+	req, err := decodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.op != opSend || req.reqID != 42 || req.body.String() != "hello" {
+		t.Error("request round trip failed")
+	}
+
+	rep, err := decodeReply(encodeReply(7, "", func(e *jms.Encoder) { e.Uvarint(9) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.reqID != 7 || rep.err != "" || rep.body.Uvarint() != 9 {
+		t.Error("ok reply round trip failed")
+	}
+
+	rep, err = decodeReply(encodeReply(8, "boom", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.reqID != 8 || rep.err != "boom" {
+		t.Error("error reply round trip failed")
+	}
+
+	if _, err := decodeReply([]byte{opSend}); err == nil {
+		t.Error("non-reply frame accepted as reply")
+	}
+	if _, err := decodeRequest(nil); err == nil {
+		t.Error("empty request accepted")
+	}
+}
+
+func TestMapError(t *testing.T) {
+	if !errors.Is(mapError("jms: closed (something)"), jms.ErrClosed) {
+		t.Error("closed not mapped")
+	}
+	if !errors.Is(mapError("x jms: durable subscription has an active subscriber"), jms.ErrDurableActive) {
+		t.Error("durable-active not mapped")
+	}
+	if errors.Is(mapError("random failure"), jms.ErrClosed) {
+		t.Error("unknown error over-mapped")
+	}
+}
+
+func TestWireQueueSendReceive(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("wq")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EndpointID() != "queue:wq" {
+		t.Errorf("endpoint = %q", c.EndpointID())
+	}
+	msg := jms.NewTextMessage("over the wire")
+	msg.SetProperty("k", jms.Int64(5))
+	if err := p.Send(msg, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if msg.ID == "" || msg.Timestamp.IsZero() {
+		t.Error("send reply did not reflect provider headers")
+	}
+	got, err := c.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("receive timed out")
+	}
+	if got.Body.(jms.TextBody) != "over the wire" {
+		t.Errorf("body = %v", got.Body)
+	}
+	if got.Int64Property("k") != 5 {
+		t.Error("properties lost in transit")
+	}
+	if got.ID != msg.ID {
+		t.Errorf("IDs differ: %q vs %q", got.ID, msg.ID)
+	}
+}
+
+func TestWireReceiveTimeout(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(jms.Queue("empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	msg, err := c.Receive(80 * time.Millisecond)
+	if err != nil || msg != nil {
+		t.Fatalf("got %v, %v", msg, err)
+	}
+	if time.Since(start) < 60*time.Millisecond {
+		t.Error("returned too early")
+	}
+	msg, err = c.ReceiveNoWait()
+	if err != nil || msg != nil {
+		t.Fatalf("ReceiveNoWait got %v, %v", msg, err)
+	}
+}
+
+func TestWireTransactions(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	txSess, err := conn.CreateSession(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxSess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("wtx")
+	p, err := txSess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rxSess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("staged"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := c.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Fatalf("uncommitted visible: %v, %v", msg, err)
+	}
+	if err := txSess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Receive(2 * time.Second)
+	if err != nil || msg == nil {
+		t.Fatalf("after commit: %v, %v", msg, err)
+	}
+	// Rollback path.
+	if err := p.Send(jms.NewTextMessage("doomed"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := txSess.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := c.Receive(50 * time.Millisecond); err != nil || msg != nil {
+		t.Fatalf("rolled-back visible: %v, %v", msg, err)
+	}
+	// Local guards.
+	if err := rxSess.Commit(); !errors.Is(err, jms.ErrNotTransacted) {
+		t.Errorf("commit on non-tx: %v", err)
+	}
+	if err := txSess.Acknowledge(); !errors.Is(err, jms.ErrTransacted) {
+		t.Errorf("ack on tx: %v", err)
+	}
+}
+
+func TestWireDurableSubscriber(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetClientID("wire-client"); err != nil {
+		t.Fatal(err)
+	}
+	if conn.ClientID() != "wire-client" {
+		t.Error("client ID not cached")
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := jms.Topic("wt")
+	sub, err := sess.CreateDurableSubscriber(topic, "watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.EndpointID() != "sub:wire-client:watch" {
+		t.Errorf("endpoint = %q", sub.EndpointID())
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("while away"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := sess.CreateDurableSubscriber(topic, "watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := sub2.Receive(2 * time.Second)
+	if err != nil || msg == nil {
+		t.Fatalf("durable redelivery: %v, %v", msg, err)
+	}
+	if err := sub2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Unsubscribe("watch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Unsubscribe("watch"); !errors.Is(err, jms.ErrUnknownSubscription) {
+		t.Errorf("double unsubscribe: %v", err)
+	}
+}
+
+func TestWireListener(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("wl")
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 5)
+	if err := c.SetListener(func(m *jms.Message) {
+		got <- string(m.Body.(jms.TextBody))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("async"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "async" {
+			t.Errorf("got %q", v)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("listener never fired")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireClientAckRecover(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("wca")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("x"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := c.Receive(2 * time.Second); err != nil || msg == nil {
+		t.Fatalf("first receive: %v, %v", msg, err)
+	}
+	if err := sess.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Receive(2 * time.Second)
+	if err != nil || msg == nil || !msg.Redelivered {
+		t.Fatalf("redelivery: %v, %v", msg, err)
+	}
+	if err := sess.Acknowledge(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireConnectionCloseUnblocksClient(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(jms.Queue("blocked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Receive(30 * time.Second)
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, jms.ErrClosed) {
+			t.Errorf("blocked receive returned %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("blocked receive did not unblock")
+	}
+	// Operations after close fail fast.
+	if _, err := conn.CreateSession(false, jms.AckAuto); !errors.Is(err, jms.ErrClosed) {
+		t.Errorf("create session after close: %v", err)
+	}
+}
+
+func TestWireServerCrashPropagates(t *testing.T) {
+	b, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(jms.Queue("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("pre"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	b.Crash()
+	if err := p.Send(jms.NewTextMessage("post"), jms.DefaultSendOptions()); err == nil {
+		t.Error("send to crashed broker succeeded")
+	}
+}
+
+// TestWireHarnessEndToEnd runs the full harness + formal model against
+// the provider reached over the wire — the protocol-bridge configuration
+// of the reproduction.
+func TestWireHarnessEndToEnd(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	cfg := harness.Config{
+		Name:        "wire-e2e",
+		Destination: jms.Queue("wireq"),
+		Producers: []harness.ProducerConfig{
+			{ID: "p1", Rate: 200, BodySize: 64},
+			{ID: "p2", Rate: 200, BodySize: 64, Transacted: true, TxBatch: 5},
+		},
+		Consumers: []harness.ConsumerConfig{{ID: "c1"}, {ID: "c2"}},
+		Warmup:    20 * time.Millisecond,
+		Run:       250 * time.Millisecond,
+		Warmdown:  250 * time.Millisecond,
+	}
+	tr, err := harness.NewRunner(factory, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("wire provider failed conformance:\n%s", report)
+	}
+	m, err := analysis.Analyze(tr, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Consumer.Count == 0 {
+		t.Error("nothing delivered over the wire")
+	}
+	if m.Delay.Mean <= 0 {
+		t.Error("no delay measured")
+	}
+}
+
+func TestWirePubSubEndToEnd(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	cfg := harness.Config{
+		Name:        "wire-pubsub",
+		Destination: jms.Topic("wiret"),
+		Producers:   []harness.ProducerConfig{{ID: "pub", Rate: 200, BodySize: 32}},
+		Consumers: []harness.ConsumerConfig{
+			{ID: "s1"},
+			{ID: "d1", Durable: true, SubName: "wd", ClientID: "wc1"},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      200 * time.Millisecond,
+		Warmdown: 250 * time.Millisecond,
+	}
+	tr, err := harness.NewRunner(factory, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("wire pub/sub failed conformance:\n%s", report)
+	}
+}
+
+func TestWireSelectors(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetClientID("selc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := jms.Topic("wsel")
+	eu, err := sess.CreateConsumerWithSelector(topic, "region = 'EU'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := jms.NewTextMessage("us")
+	us.SetProperty("region", jms.Str("US"))
+	if err := p.Send(us, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	euMsg := jms.NewTextMessage("eu")
+	euMsg.SetProperty("region", jms.Str("EU"))
+	if err := p.Send(euMsg, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eu.Receive(2 * time.Second)
+	if err != nil || got == nil {
+		t.Fatalf("receive: %v, %v", got, err)
+	}
+	if got.Body.(jms.TextBody) != "eu" {
+		t.Errorf("selector leaked: got %q", got.Body)
+	}
+	// Invalid selector errors propagate over the wire.
+	if _, err := sess.CreateConsumerWithSelector(topic, "broken ("); !errors.Is(err, jms.ErrInvalidSelector) {
+		t.Errorf("invalid selector over wire: %v", err)
+	}
+	// Durable + selector over the wire.
+	dur, err := sess.CreateDurableSubscriberWithSelector(topic, "wd", "region = 'EU'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur.EndpointID() != "sub:selc:wd" {
+		t.Errorf("endpoint = %q", dur.EndpointID())
+	}
+}
+
+func TestWireQueueBrowser(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("wbrowse")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Send(jms.NewTextMessage("queued"), jms.DefaultSendOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br, err := sess.CreateBrowser(q, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := br.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Errorf("browsed %d over the wire", len(msgs))
+	}
+	// Still consumable afterwards.
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		msg, err := c.Receive(2 * time.Second)
+		if err != nil || msg == nil {
+			t.Fatalf("consume %d after browse: %v, %v", i, msg, err)
+		}
+	}
+	if _, err := sess.CreateBrowser(q, "bad ("); !errors.Is(err, jms.ErrInvalidSelector) {
+		t.Errorf("invalid selector over wire: %v", err)
+	}
+	if err := br.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Enumerate(); !errors.Is(err, jms.ErrClosed) {
+		t.Errorf("enumerate after close: %v", err)
+	}
+}
+
+func TestWireTemporaryQueueAndRequestReply(t *testing.T) {
+	_, factory := startServer(t, broker.Unlimited())
+
+	// Server side of the echo service, over the wire.
+	serverConn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverConn.Close()
+	if err := serverConn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	serverSess, err := serverConn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service := jms.Queue("wire-echo")
+	serverCons, err := serverSess.CreateConsumer(service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replyProd, err := serverSess.CreateProducer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, err := serverCons.Receive(50 * time.Millisecond)
+			if err != nil {
+				return
+			}
+			if req == nil {
+				continue
+			}
+			if err := jms.Reply(replyProd, req, jms.NewTextMessage("pong"), jms.DefaultSendOptions()); err != nil {
+				t.Errorf("reply: %v", err)
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	// Client side: requestor over its own wire connection.
+	clientConn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clientConn.Close()
+	if err := clientConn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clientSess, err := clientConn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requestor, err := jms.NewRequestor(clientSess, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer requestor.Close()
+	if !strings.HasPrefix(requestor.ReplyTo().Name(), "TEMP.") {
+		t.Errorf("reply-to = %q", requestor.ReplyTo())
+	}
+	reply, err := requestor.Request(jms.NewTextMessage("ping"), jms.DefaultSendOptions(), 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply == nil || reply.Body.(jms.TextBody) != "pong" {
+		t.Fatalf("reply = %v", reply)
+	}
+	// Ownership is enforced across the wire too.
+	if _, err := serverSess.CreateConsumer(requestor.ReplyTo()); !errors.Is(err, jms.ErrInvalidDestination) {
+		t.Errorf("foreign temp consumer over wire: %v", err)
+	}
+}

@@ -10,12 +10,20 @@
 // comparison), conformance (fault-detection matrix), ingest (§4.1
 // DB-vs-streaming analysis). -scale multiplies the run durations;
 // 1.0 matches the defaults used in EXPERIMENTS.md.
+//
+// Alongside the human-readable report, each invocation appends a
+// machine-readable snapshot to the -json-dir directory as BENCH_<n>.json
+// (n one past the highest existing file), so the repo's performance
+// trajectory is tracked across changes. -json-dir "" disables it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"jmsharness/internal/experiments"
 )
@@ -27,28 +35,61 @@ func main() {
 	}
 }
 
+// benchReport is the machine-readable BENCH_<n>.json payload. Every
+// experiment that ran contributes one entry keyed by its name.
+type benchReport struct {
+	Timestamp   time.Time      `json:"timestamp"`
+	Experiment  string         `json:"experiment"`
+	Scale       float64        `json:"scale"`
+	Experiments map[string]any `json:"experiments"`
+}
+
+// measuresSummary is the compact perf-trajectory record for the §3.2
+// block: throughput, delay mean/stddev, fairness.
+type measuresSummary struct {
+	ProducerMsgsPerSec   float64       `json:"producer_msgs_per_sec"`
+	ConsumerMsgsPerSec   float64       `json:"consumer_msgs_per_sec"`
+	ProducerBytesPerSec  float64       `json:"producer_bytes_per_sec"`
+	ConsumerBytesPerSec  float64       `json:"consumer_bytes_per_sec"`
+	DelayMean            time.Duration `json:"delay_mean_ns"`
+	DelayStdDev          time.Duration `json:"delay_stddev_ns"`
+	DelayP95             time.Duration `json:"delay_p95_ns"`
+	ProducerUnfairness   time.Duration `json:"producer_unfairness_ns"`
+	ConsumerUnfairness   time.Duration `json:"consumer_unfairness_ns"`
+	ConformanceOK        bool          `json:"conformance_ok"`
+	MeasuredMessageCount int64         `json:"measured_message_count"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("jmsbench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, or all")
 	scale := fs.Float64("scale", 1.0, "duration multiplier for the timed experiments")
 	csv := fs.Bool("csv", false, "emit throughput sweeps as CSV instead of a table")
 	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
+	jsonDir := fs.String("json-dir", ".", "directory for the machine-readable BENCH_<n>.json report (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	report := &benchReport{
+		Timestamp:   time.Now().UTC(),
+		Experiment:  *experiment,
+		Scale:       *scale,
+		Experiments: map[string]any{},
+	}
+
 	runners := map[string]func() error{
-		"fig1": func() error { return runFig1(*scale) },
+		"fig1": func() error { return runFig1(*scale, report) },
 		"fig2": func() error {
-			return runSweep("Figure 2: Provider I (flat saturation)", experiments.Figure2Options(*scale), *csv)
+			return runSweep("fig2", "Figure 2: Provider I (flat saturation)", experiments.Figure2Options(*scale), *csv, report)
 		},
 		"fig3": func() error {
-			return runSweep("Figure 3: Provider II (overload droop)", experiments.Figure3Options(*scale), *csv)
+			return runSweep("fig3", "Figure 3: Provider II (overload droop)", experiments.Figure3Options(*scale), *csv, report)
 		},
-		"measures":    func() error { return runMeasures(*scale) },
-		"compare":     func() error { return runCompare(*scale) },
-		"conformance": func() error { return runConformance(*scale) },
-		"ingest":      func() error { return runIngest(*ingestEvents) },
+		"measures":    func() error { return runMeasures(*scale, report) },
+		"compare":     func() error { return runCompare(*scale, report) },
+		"conformance": func() error { return runConformance(*scale, report) },
+		"ingest":      func() error { return runIngest(*ingestEvents, report) },
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest"} {
@@ -57,16 +98,56 @@ func run(args []string) error {
 			}
 			fmt.Println()
 		}
-		return nil
+		return writeReport(*jsonDir, report)
 	}
 	runner, ok := runners[*experiment]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	return runner()
+	if err := runner(); err != nil {
+		return err
+	}
+	return writeReport(*jsonDir, report)
 }
 
-func runFig1(scale float64) error {
+// nextBenchPath scans dir for BENCH_<n>.json files and returns the path
+// one past the highest n, starting at BENCH_1.json.
+func nextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// writeReport persists the machine-readable report, if enabled.
+func writeReport(dir string, report *benchReport) error {
+	if dir == "" {
+		return nil
+	}
+	path, err := nextBenchPath(dir)
+	if err != nil {
+		return fmt.Errorf("choosing report path: %w", err)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
+	fmt.Printf("machine-readable report written to %s\n", path)
+	return nil
+}
+
+func runFig1(scale float64, report *benchReport) error {
 	fmt.Println("=== Figure 1: message-ordering violation scenario ===")
 	res, err := experiments.Figure1(scale)
 	if err != nil {
@@ -76,10 +157,11 @@ func runFig1(scale float64) error {
 	if res.Example != "" {
 		fmt.Printf("example: %s\n", res.Example)
 	}
+	report.Experiments["fig1"] = res
 	return nil
 }
 
-func runSweep(title string, opts experiments.SweepOptions, csv bool) error {
+func runSweep(key, title string, opts experiments.SweepOptions, csv bool, report *benchReport) error {
 	fmt.Printf("=== %s ===\n", title)
 	points, err := experiments.ThroughputSweep(opts)
 	if err != nil {
@@ -87,14 +169,18 @@ func runSweep(title string, opts experiments.SweepOptions, csv bool) error {
 	}
 	if csv {
 		fmt.Print(experiments.FormatThroughputCSV(points))
-		return nil
+	} else {
+		fmt.Print(experiments.FormatThroughputTable(
+			fmt.Sprintf("profile=%s msg=%dB run=%v", opts.Profile.Name, opts.MsgSize, opts.Run), points))
 	}
-	fmt.Print(experiments.FormatThroughputTable(
-		fmt.Sprintf("profile=%s msg=%dB run=%v", opts.Profile.Name, opts.MsgSize, opts.Run), points))
+	report.Experiments[key] = map[string]any{
+		"profile": opts.Profile.Name,
+		"points":  points,
+	}
 	return nil
 }
 
-func runMeasures(scale float64) error {
+func runMeasures(scale float64, report *benchReport) error {
 	fmt.Println("=== §3.2 performance measures ===")
 	res, err := experiments.PerformanceMeasures(scale)
 	if err != nil {
@@ -102,10 +188,24 @@ func runMeasures(scale float64) error {
 	}
 	fmt.Print(res.Measures.String())
 	fmt.Printf("conformance: ok=%t\n", res.Conformance.OK())
+	m := res.Measures
+	report.Experiments["measures"] = measuresSummary{
+		ProducerMsgsPerSec:   m.Producer.PerSecond,
+		ConsumerMsgsPerSec:   m.Consumer.PerSecond,
+		ProducerBytesPerSec:  m.Producer.BytesPerSecond,
+		ConsumerBytesPerSec:  m.Consumer.BytesPerSecond,
+		DelayMean:            m.Delay.Mean,
+		DelayStdDev:          m.Delay.StdDev,
+		DelayP95:             m.Delay.P95,
+		ProducerUnfairness:   m.Fairness.ProducerUnfairness,
+		ConsumerUnfairness:   m.Fairness.ConsumerUnfairness,
+		ConformanceOK:        res.Conformance.OK(),
+		MeasuredMessageCount: m.Delay.N,
+	}
 	return nil
 }
 
-func runCompare(scale float64) error {
+func runCompare(scale float64, report *benchReport) error {
 	fmt.Println("=== footnote 9: three-provider comparison ===")
 	rows, err := experiments.ProviderComparison(scale)
 	if err != nil {
@@ -116,25 +216,28 @@ func runCompare(scale float64) error {
 		fmt.Printf("fastest/slowest subscriber throughput ratio: %.1fx\n",
 			rows[0].SubscriberMsgs/rows[2].SubscriberMsgs)
 	}
+	report.Experiments["compare"] = rows
 	return nil
 }
 
-func runConformance(scale float64) error {
+func runConformance(scale float64, report *benchReport) error {
 	fmt.Println("=== fault-detection matrix (properties 1-5) ===")
 	rows, err := experiments.ConformanceMatrix(scale)
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.FormatConformance(rows))
+	report.Experiments["conformance"] = rows
 	return nil
 }
 
-func runIngest(events int) error {
+func runIngest(events int, report *benchReport) error {
 	fmt.Println("=== §4.1: results-database ingest vs streaming aggregation ===")
 	res, err := experiments.IngestComparison(events)
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.FormatIngest(res))
+	report.Experiments["ingest"] = res
 	return nil
 }

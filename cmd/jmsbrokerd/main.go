@@ -7,6 +7,10 @@
 // With -wal the broker's stable store is a write-ahead log on disk, so
 // persistent messages and durable subscriptions survive process
 // restarts.
+//
+// With -obs-addr the broker serves live introspection over HTTP:
+// /metricz (broker and wire counters, gauges, latency histograms),
+// /spanz (recent per-message spans), /healthz, and /debug/pprof.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"syscall"
 
 	"jmsharness/internal/broker"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/store"
 	"jmsharness/internal/wire"
 )
@@ -34,6 +39,7 @@ func run(args []string) error {
 	profileName := fs.String("profile", "unlimited", "performance profile: unlimited, provider-I, provider-II, provider-A/B/C")
 	name := fs.String("name", "brokerd", "broker name (prefixes message IDs)")
 	walPath := fs.String("wal", "", "write-ahead log path for the stable store (empty: in-memory)")
+	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /spanz, /healthz, /debug/pprof); empty: disabled")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,7 +57,18 @@ func run(args []string) error {
 		defer wal.Close()
 		stable = wal
 	}
-	b, err := broker.New(broker.Options{Name: *name, Profile: profile, Stable: stable})
+
+	// One registry backs both the broker and the wire server, so a
+	// single /metricz shows the whole process. Span tracing only runs
+	// when someone can look at it.
+	reg := obs.NewRegistry()
+	var spans *obs.Spans
+	brokerOpts := broker.Options{Name: *name, Profile: profile, Stable: stable, Metrics: reg}
+	if *obsAddr != "" {
+		spans = obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+		brokerOpts.Spans = spans
+	}
+	b, err := broker.New(brokerOpts)
 	if err != nil {
 		return err
 	}
@@ -60,6 +77,17 @@ func run(args []string) error {
 	srv, err := wire.NewServer(b, *addr)
 	if err != nil {
 		return err
+	}
+	srv.WithMetrics(reg)
+	if *obsAddr != "" {
+		h := obs.NewHandler(reg)
+		h.HandleJSON("/spanz", func() any { return spans.Snapshot() })
+		ohs, err := obs.NewHTTPServer(*obsAddr, h)
+		if err != nil {
+			return err
+		}
+		defer ohs.Close()
+		fmt.Printf("jmsbrokerd: observability on http://%s/metricz\n", ohs.Addr())
 	}
 	fmt.Printf("jmsbrokerd: serving %s profile on %s\n", profile.Name, srv.Addr())
 

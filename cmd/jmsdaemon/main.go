@@ -4,6 +4,9 @@
 // returns the execution logs:
 //
 //	jmsdaemon -addr 127.0.0.1:7901 -broker 127.0.0.1:7800 -name daemon-A
+//
+// With -obs-addr the daemon serves its run-lifecycle and harness
+// progress metrics over HTTP (/metricz, /healthz, /debug/pprof).
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"syscall"
 
 	"jmsharness/internal/daemon"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/wire"
 )
 
@@ -29,6 +33,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7901", "RPC listen address")
 	brokerAddr := fs.String("broker", "127.0.0.1:7800", "wire address of the provider under test")
 	name := fs.String("name", "", "daemon name (default: listen address)")
+	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /healthz, /debug/pprof); empty: disabled")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +47,14 @@ func run(args []string) error {
 		return err
 	}
 	defer d.Close()
+	if *obsAddr != "" {
+		ohs, err := obs.NewHTTPServer(*obsAddr, obs.NewHandler(d.Metrics()))
+		if err != nil {
+			return err
+		}
+		defer ohs.Close()
+		fmt.Printf("jmsdaemon: observability on http://%s/metricz\n", ohs.Addr())
+	}
 	fmt.Printf("jmsdaemon: %s serving on %s, testing provider at %s\n", *name, bound, *brokerAddr)
 
 	sig := make(chan os.Signal, 1)

@@ -5,6 +5,10 @@
 // conformance and performance reports:
 //
 //	jmsprince -daemons 127.0.0.1:7901,127.0.0.1:7902 -db results.json
+//
+// While tests run, the prince polls each daemon's metrics and prints a
+// live progress line per second. With -obs-addr it also serves its own
+// suite-level counters over HTTP (/metricz, /healthz, /debug/pprof).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"jmsharness/internal/daemon"
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 )
 
 func main() {
@@ -82,8 +87,23 @@ func run(args []string) error {
 	dbPath := fs.String("db", "", "write the results database (JSON) here")
 	runSecs := fs.Float64("run", 2.0, "run-period seconds per test")
 	allowDup := fs.Bool("allow-duplicates", false, "relax the duplicate check (dups-ok consumers)")
+	progress := fs.Bool("progress", true, "print a live progress line per second while tests run")
+	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /healthz, /debug/pprof); empty: disabled")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	reg := obs.NewRegistry()
+	testsRun := reg.Counter("prince.tests_run")
+	testsFailed := reg.Counter("prince.tests_failed")
+	testsActive := reg.Gauge("prince.tests_active")
+	if *obsAddr != "" {
+		ohs, err := obs.NewHTTPServer(*obsAddr, obs.NewHandler(reg))
+		if err != nil {
+			return err
+		}
+		defer ohs.Close()
+		fmt.Printf("jmsprince: observability on http://%s/metricz\n", ohs.Addr())
 	}
 
 	addrs := strings.Split(*daemons, ",")
@@ -92,6 +112,9 @@ func run(args []string) error {
 		return err
 	}
 	defer prince.Close()
+	if *progress {
+		prince.Progress = func(line string) { fmt.Println("jmsprince: " + line) }
+	}
 	for _, d := range prince.Daemons() {
 		fmt.Printf("jmsprince: connected to %s\n", d.Name())
 	}
@@ -107,12 +130,17 @@ func run(args []string) error {
 	failures := 0
 	for _, cfg := range suite(*runSecs) {
 		fmt.Printf("\njmsprince: scheduling %s\n", cfg.Name)
+		testsActive.Inc()
 		res, err := prince.RunAndAnalyze(cfg, opts)
+		testsActive.Dec()
+		testsRun.Inc()
 		if err != nil {
+			testsFailed.Inc()
 			return fmt.Errorf("running %s: %w", cfg.Name, err)
 		}
 		fmt.Print(res)
 		if !res.OK() {
+			testsFailed.Inc()
 			failures++
 		}
 	}

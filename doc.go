@@ -17,7 +17,11 @@
 //   - internal/harness, internal/daemon — workload execution and the
 //     daemon-prince/test-daemon coordination of Figure 4;
 //   - internal/experiments — regeneration of every figure and reported
-//     result in the paper's evaluation.
+//     result in the paper's evaluation;
+//   - internal/obs — runtime observability: a dependency-free metrics
+//     registry (counters, gauges, latency histograms), per-message span
+//     tracing, and the /metricz HTTP introspection served by the
+//     binaries' -obs-addr flag.
 //
 // The benchmarks in bench_test.go (one per table/figure) and the
 // cmd/jmsbench tool print the same series the paper reports. See

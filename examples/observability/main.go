@@ -1,0 +1,112 @@
+// Observability: instrument a broker and a harness run with the obs
+// package — shared metrics registry, per-message span tracing, and the
+// live HTTP introspection endpoint (/metricz, /spanz, /healthz).
+//
+//	go run ./examples/observability
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One registry backs every component, so a single snapshot shows the
+	// whole system. The span recorder tracks each message copy from
+	// send to ack/expire.
+	reg := obs.NewRegistry()
+	spans := obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+
+	provider, err := broker.New(broker.Options{
+		Name:    "observed",
+		Metrics: reg,
+		Spans:   spans,
+	})
+	if err != nil {
+		return err
+	}
+	defer provider.Close()
+
+	// Drive a short workload through the harness; WithMetrics publishes
+	// live progress counters into the same registry.
+	cfg := harness.Config{
+		Name:        "observed-run",
+		Destination: jms.Queue("obs.orders"),
+		Producers: []harness.ProducerConfig{
+			{ID: "p1", Rate: 400, BodySize: 256},
+			{ID: "p2", Rate: 400, BodySize: 256},
+		},
+		Consumers: []harness.ConsumerConfig{{ID: "c1"}},
+		Warmup:    50 * time.Millisecond,
+		Run:       300 * time.Millisecond,
+		Warmdown:  100 * time.Millisecond,
+	}
+	if _, err := harness.NewRunner(provider, nil).WithMetrics(reg).Run(cfg); err != nil {
+		return err
+	}
+
+	// The broker's own view: a consistent Stats snapshot...
+	st := provider.Stats()
+	fmt.Printf("broker    sent=%d delivered=%d acked=%d expired=%d backlog=%d\n",
+		st.Sent, st.Delivered, st.Acked, st.Expired, st.Backlog)
+
+	// ...and the registry's: counters, gauges and latency histograms.
+	snap := reg.Snapshot()
+	fmt.Printf("harness   sent=%d recv=%d (p1=%d p2=%d)\n",
+		snap.Counters["harness.sent"], snap.Counters["harness.recv"],
+		snap.Counters["harness.sent.p1"], snap.Counters["harness.sent.p2"])
+	sojourn := snap.Histograms["broker.sojourn_ns"]
+	fmt.Printf("sojourn   n=%d mean=%v p95=%v\n", sojourn.Count,
+		time.Duration(sojourn.Mean), time.Duration(sojourn.P95))
+
+	// Completed spans: the full lifecycle of recent messages.
+	for i, sp := range spans.Recent() {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("span      %s %s wait=%v outcome=%s\n", sp.MsgID, sp.Endpoint, sp.QueueWait(), sp.Outcome)
+	}
+
+	// The same data over HTTP, as jmsbrokerd -obs-addr serves it.
+	h := obs.NewHandler(reg)
+	h.HandleJSON("/spanz", func() any { return spans.Snapshot() })
+	srv, err := obs.NewHTTPServer("127.0.0.1:0", h)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metricz")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var metricz struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &metricz); err != nil {
+		return fmt.Errorf("metricz is not valid JSON: %w", err)
+	}
+	fmt.Printf("/metricz  %d bytes, broker.sent=%d\n", len(body), metricz.Counters["broker.sent"])
+
+	fmt.Println("done")
+	return nil
+}

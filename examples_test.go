@@ -26,6 +26,7 @@ func TestExamplesRun(t *testing.T) {
 		{dir: "crashrecovery", want: "despite the crash"},
 		{dir: "distributed", want: "distributed test conforms"},
 		{dir: "comparison", args: []string{"-quick"}, want: "factor of 10"},
+		{dir: "observability", want: "done"},
 	}
 	for _, c := range cases {
 		c := c

@@ -185,13 +185,29 @@ func TestBenchBinaryQuick(t *testing.T) {
 		t.Skip("multi-process integration test")
 	}
 	bins := buildBinaries(t, "jmsbench")
-	cmd := exec.Command(bins["jmsbench"], "-experiment", "fig1", "-scale", "0.5")
+	jsonDir := t.TempDir()
+	cmd := exec.Command(bins["jmsbench"], "-experiment", "fig1", "-scale", "0.5", "-json-dir", jsonDir)
 	output, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("jmsbench failed: %v\n%s", err, output)
 	}
 	if !strings.Contains(string(output), "ordering violations detected") {
 		t.Errorf("unexpected output:\n%s", output)
+	}
+	// The machine-readable report rides along.
+	data, err := os.ReadFile(filepath.Join(jsonDir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatalf("machine-readable report: %v", err)
+	}
+	var report struct {
+		Experiment  string                     `json:"experiment"`
+		Experiments map[string]json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_1.json is not valid JSON: %v", err)
+	}
+	if report.Experiment != "fig1" || report.Experiments["fig1"] == nil {
+		t.Errorf("unexpected report contents:\n%s", data)
 	}
 }
 

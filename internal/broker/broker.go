@@ -24,6 +24,7 @@ import (
 
 	"jmsharness/internal/clock"
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/selector"
 	"jmsharness/internal/stats"
 	"jmsharness/internal/store"
@@ -44,6 +45,14 @@ type Options struct {
 	Clock clock.Clock
 	// Seed seeds the latency-jitter generator.
 	Seed uint64
+	// Metrics receives the broker's instruments (counters under
+	// "broker.*"). Nil means a private registry, still readable through
+	// Metrics()/Stats(); pass a shared registry to aggregate broker and
+	// wire-server metrics on one /metricz endpoint.
+	Metrics *obs.Registry
+	// Spans receives per-message lifecycle spans. Nil disables span
+	// recording (a no-op recorder keeps the hot paths branch-free).
+	Spans obs.SpanRecorder
 }
 
 // Broker is an in-memory JMS provider. It implements
@@ -60,10 +69,12 @@ type Broker struct {
 	jitterMu sync.Mutex
 	jitter   *stats.RNG
 
+	reg   *obs.Registry
+	met   brokerMetrics
+	spans obs.SpanRecorder
+
 	msgSeq      atomic.Int64
 	consumerSeq atomic.Int64
-	backlog     atomic.Int64
-	expired     atomic.Int64
 
 	mu         sync.Mutex
 	queues     map[string]*mailbox
@@ -97,6 +108,36 @@ func (s *subscription) accepts(msg *jms.Message) bool {
 	return s.sel == nil || s.sel.Matches(msg)
 }
 
+// brokerMetrics resolves the broker's instruments once at construction
+// so the hot paths pay one pointer dereference plus one atomic op per
+// event.
+type brokerMetrics struct {
+	sent      *obs.Counter // messages accepted by send
+	enqueued  *obs.Counter // mailbox entries created (topic fan-out counts each copy)
+	delivered *obs.Counter // entries handed to consumers (redelivery counts again)
+	acked     *obs.Counter // deliveries finalised
+	expired   *obs.Counter // entries dropped by TTL expiry
+	backlog   *obs.Gauge   // entries currently buffered
+
+	sendThrottle    *obs.Histogram // send-path throttle wait, ns
+	deliverThrottle *obs.Histogram // delivery-path throttle wait, ns
+	sojourn         *obs.Histogram // enqueue → pop mailbox residence, ns
+}
+
+func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
+	return brokerMetrics{
+		sent:            reg.Counter("broker.sent"),
+		enqueued:        reg.Counter("broker.enqueued"),
+		delivered:       reg.Counter("broker.delivered"),
+		acked:           reg.Counter("broker.acked"),
+		expired:         reg.Counter("broker.expired"),
+		backlog:         reg.Gauge("broker.backlog"),
+		sendThrottle:    reg.Histogram("broker.send_throttle_ns", nil),
+		deliverThrottle: reg.Histogram("broker.deliver_throttle_ns", nil),
+		sojourn:         reg.Histogram("broker.sojourn_ns", nil),
+	}
+}
+
 // New returns a started broker.
 func New(opts Options) (*Broker, error) {
 	if err := opts.Profile.Validate(); err != nil {
@@ -111,12 +152,21 @@ func New(opts Options) (*Broker, error) {
 	if opts.Clock == nil {
 		opts.Clock = clock.Real()
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if opts.Spans == nil {
+		opts.Spans = obs.NopSpans()
+	}
 	b := &Broker{
 		name:       opts.Name,
 		profile:    opts.Profile,
 		clk:        opts.Clock,
 		stable:     opts.Stable,
 		jitter:     stats.NewRNG(opts.Seed),
+		reg:        opts.Metrics,
+		met:        newBrokerMetrics(opts.Metrics),
+		spans:      opts.Spans,
 		queues:     map[string]*mailbox{},
 		topics:     map[string]map[string]*subscription{},
 		subs:       map[string]*subscription{},
@@ -153,12 +203,54 @@ func (b *Broker) Name() string { return b.name }
 // Profile returns the broker's performance profile.
 func (b *Broker) Profile() Profile { return b.profile }
 
+// Metrics returns the broker's metrics registry (the one passed in
+// Options, or the private registry created for it).
+func (b *Broker) Metrics() *obs.Registry { return b.reg }
+
+// Stats is a snapshot of the broker-wide message counters.
+type Stats struct {
+	// Sent counts messages accepted by send (one per send, before any
+	// topic fan-out).
+	Sent int64 `json:"sent"`
+	// Enqueued counts mailbox entries created; a topic publish counts
+	// once per matching subscription.
+	Enqueued int64 `json:"enqueued"`
+	// Delivered counts entries handed to consumers; a redelivered entry
+	// counts each time.
+	Delivered int64 `json:"delivered"`
+	// Acked counts deliveries finalised (acknowledged, committed, or
+	// auto-acked).
+	Acked int64 `json:"acked"`
+	// Expired counts entries dropped because their time-to-live elapsed
+	// before delivery.
+	Expired int64 `json:"expired"`
+	// Backlog is the number of entries currently buffered.
+	Backlog int64 `json:"backlog"`
+}
+
+// Stats returns a snapshot of the broker's counters. Each field is read
+// atomically; the snapshot is not a consistent cut across fields.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		Sent:      b.met.sent.Value(),
+		Enqueued:  b.met.enqueued.Value(),
+		Delivered: b.met.delivered.Value(),
+		Acked:     b.met.acked.Value(),
+		Expired:   b.met.expired.Value(),
+		Backlog:   b.met.backlog.Value(),
+	}
+}
+
 // Pending returns the broker-wide count of buffered messages.
-func (b *Broker) Pending() int { return int(b.backlog.Load()) }
+//
+// Deprecated: use Stats().Backlog.
+func (b *Broker) Pending() int { return int(b.Stats().Backlog) }
 
 // ExpiredDropped returns the count of messages dropped because they
 // expired before delivery.
-func (b *Broker) ExpiredDropped() int64 { return b.expired.Load() }
+//
+// Deprecated: use Stats().Expired.
+func (b *Broker) ExpiredDropped() int64 { return b.Stats().Expired }
 
 // CreateConnection implements jms.ConnectionFactory.
 func (b *Broker) CreateConnection() (jms.Connection, error) {
@@ -210,7 +302,7 @@ func (b *Broker) Crash() {
 	for _, s := range subs {
 		s.mb.close()
 	}
-	b.backlog.Store(0)
+	b.met.backlog.Set(0)
 }
 
 // Restart recovers the broker after a Crash: durable subscriptions and
@@ -278,7 +370,9 @@ func (b *Broker) recoverLocked() error {
 		}
 		for _, sm := range msgs {
 			mb.push(entry{msg: sm.Msg, rec: sm.ID, persisted: true, enqueuedAt: now})
-			b.backlog.Add(1)
+			b.met.enqueued.Inc()
+			b.met.backlog.Inc()
+			b.spans.Begin(sm.Msg.ID, ep, sm.Msg.Timestamp, now)
 		}
 	}
 	return nil
@@ -342,6 +436,7 @@ func (b *Broker) throttleSend() {
 		return
 	}
 	if wait := b.sendBucket.Reserve(); wait > 0 {
+		b.met.sendThrottle.ObserveDuration(wait)
 		b.clk.Sleep(wait)
 	}
 }
@@ -354,9 +449,10 @@ func (b *Broker) throttleDeliver() {
 		wait = b.deliverBucket.Reserve()
 	}
 	if p := b.profile.BacklogPenalty; p > 0 {
-		wait += time.Duration(b.backlog.Load()) * p
+		wait += time.Duration(b.met.backlog.Value()) * p
 	}
 	if wait > 0 {
+		b.met.deliverThrottle.ObserveDuration(wait)
 		b.clk.Sleep(wait)
 	}
 }
@@ -406,14 +502,19 @@ func (b *Broker) send(dest jms.Destination, msg *jms.Message, opts jms.SendOptio
 
 	b.throttleSend()
 
+	var err error
 	switch dest.Kind() {
 	case jms.KindQueue:
-		return b.enqueueToQueue(dest.Name(), m, now)
+		err = b.enqueueToQueue(dest.Name(), m, now)
 	case jms.KindTopic:
-		return b.publishToTopic(dest.Name(), m, now)
+		err = b.publishToTopic(dest.Name(), m, now)
 	default:
-		return fmt.Errorf("%w: kind %v", jms.ErrInvalidDestination, dest.Kind())
+		err = fmt.Errorf("%w: kind %v", jms.ErrInvalidDestination, dest.Kind())
 	}
+	if err == nil {
+		b.met.sent.Inc()
+	}
+	return err
 }
 
 func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) error {
@@ -426,8 +527,8 @@ func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) erro
 	b.mu.Unlock()
 
 	e := entry{msg: m, enqueuedAt: now}
+	ep := trace.EndpointForQueue(name)
 	if m.Mode == jms.Persistent {
-		ep := trace.EndpointForQueue(name)
 		rec, err := b.stable.AddMessage(ep, m)
 		if err != nil {
 			return fmt.Errorf("broker %s: persisting to %s: %w", b.name, ep, err)
@@ -435,7 +536,9 @@ func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) erro
 		e.rec, e.persisted = rec, true
 	}
 	mb.push(e)
-	b.backlog.Add(1)
+	b.met.enqueued.Inc()
+	b.met.backlog.Inc()
+	b.spans.Begin(m.ID, ep, m.Timestamp, now)
 	return nil
 }
 
@@ -465,7 +568,9 @@ func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) erro
 			e.rec, e.persisted = rec, true
 		}
 		s.mb.push(e)
-		b.backlog.Add(1)
+		b.met.enqueued.Inc()
+		b.met.backlog.Inc()
+		b.spans.Begin(copyMsg.ID, s.endpoint, copyMsg.Timestamp, now)
 	}
 	return nil
 }
@@ -473,6 +578,8 @@ func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) erro
 // ackEntry finalises consumption of one delivered entry, removing its
 // stable record if persistent.
 func (b *Broker) ackEntry(endpoint string, e entry) error {
+	b.met.acked.Inc()
+	b.spans.End(e.msg.ID, endpoint, b.clk.Now(), obs.OutcomeAcked)
 	if !e.persisted {
 		return nil
 	}
@@ -485,15 +592,34 @@ func (b *Broker) ackEntry(endpoint string, e entry) error {
 // dropExpired accounts for entries dropped by a mailbox pop because
 // their time-to-live elapsed.
 func (b *Broker) dropExpired(endpoint string, dropped []entry) {
+	if len(dropped) == 0 {
+		return
+	}
+	now := b.clk.Now()
 	for _, e := range dropped {
-		b.backlog.Add(-1)
-		b.expired.Add(1)
+		b.met.backlog.Dec()
+		b.met.expired.Inc()
+		b.spans.End(e.msg.ID, endpoint, now, obs.OutcomeExpired)
 		if e.persisted {
 			// Best effort: an expired persistent message's record is
 			// removed; failure only delays cleanup until the next
 			// recovery, it cannot affect correctness.
 			_ = b.stable.RemoveMessage(endpoint, e.rec)
 		}
+	}
+}
+
+// dropEntries accounts for entries discarded outside delivery (deleted
+// temporary queues, closed subscriptions): backlog shrinks and their
+// spans end as dropped.
+func (b *Broker) dropEntries(endpoint string, drained []entry) {
+	if len(drained) == 0 {
+		return
+	}
+	now := b.clk.Now()
+	b.met.backlog.Add(int64(-len(drained)))
+	for _, e := range drained {
+		b.spans.End(e.msg.ID, endpoint, now, obs.OutcomeDropped)
 	}
 }
 
@@ -540,8 +666,8 @@ func (b *Broker) deleteTempQueue(name string) {
 		return
 	}
 	drained := mb.drain()
-	b.backlog.Add(int64(-len(drained)))
 	ep := trace.EndpointForQueue(name)
+	b.dropEntries(ep, drained)
 	for _, e := range drained {
 		if e.persisted {
 			// Best effort, as for expired persistent messages.
@@ -595,8 +721,7 @@ func (b *Broker) closeNonDurable(sub *subscription) {
 		delete(subs, sub.endpoint)
 	}
 	b.mu.Unlock()
-	drained := sub.mb.drain()
-	b.backlog.Add(int64(-len(drained)))
+	b.dropEntries(sub.endpoint, sub.mb.drain())
 	sub.mb.close()
 }
 
@@ -682,8 +807,7 @@ func (b *Broker) deleteDurableLocked(sub *subscription) error {
 	if subs, ok := b.topics[sub.topicName]; ok {
 		delete(subs, sub.endpoint)
 	}
-	drained := sub.mb.drain()
-	b.backlog.Add(int64(-len(drained)))
+	b.dropEntries(sub.endpoint, sub.mb.drain())
 	sub.mb.close()
 	return nil
 }

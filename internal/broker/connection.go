@@ -547,7 +547,7 @@ func (s *session) redeliver(entries []deliveredEntry) {
 	}
 	for _, mb := range order {
 		mb.pushFront(byMailbox[mb])
-		s.b.backlog.Add(int64(len(byMailbox[mb])))
+		s.b.met.backlog.Add(int64(len(byMailbox[mb])))
 	}
 }
 
@@ -840,10 +840,14 @@ func (c *consumer) receive(timeout time.Duration, noWait bool) (*jms.Message, er
 			if c.sel != nil {
 				match = c.sel.Matches
 			}
-			e, dropped, ok := c.mb.tryPop(b.clk.Now(), match)
+			now := b.clk.Now()
+			e, dropped, ok := c.mb.tryPop(now, match)
 			b.dropExpired(c.endpoint, dropped)
 			if ok {
-				b.backlog.Add(-1)
+				b.met.backlog.Dec()
+				b.met.delivered.Inc()
+				b.met.sojourn.ObserveDuration(now.Sub(e.enqueuedAt))
+				b.spans.Deliver(e.msg.ID, c.endpoint, now)
 				b.throttleDeliver()
 				if lat := b.deliveryLatency(); lat > 0 {
 					avail := e.enqueuedAt.Add(lat)

@@ -25,6 +25,7 @@ import (
 	"jmsharness/internal/clock"
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/trace"
 )
 
@@ -59,6 +60,11 @@ type Daemon struct {
 	name    string
 	factory jms.ConnectionFactory
 	clk     clock.Clock
+	reg     *obs.Registry
+
+	runsRunning *obs.Gauge
+	runsDone    *obs.Counter
+	runsFailed  *obs.Counter
 
 	mu   sync.Mutex
 	runs map[string]*testRun
@@ -75,8 +81,24 @@ func NewDaemon(name string, factory jms.ConnectionFactory, clk clock.Clock) *Dae
 	if clk == nil {
 		clk = clock.Real()
 	}
-	return &Daemon{name: name, factory: factory, clk: clk, runs: map[string]*testRun{}}
+	reg := obs.NewRegistry()
+	return &Daemon{
+		name:        name,
+		factory:     factory,
+		clk:         clk,
+		reg:         reg,
+		runsRunning: reg.Gauge("daemon.runs_running"),
+		runsDone:    reg.Counter("daemon.runs_done"),
+		runsFailed:  reg.Counter("daemon.runs_failed"),
+		runs:        map[string]*testRun{},
+	}
 }
+
+// Metrics returns the daemon's registry: its own run-lifecycle
+// instruments plus the harness progress counters of every test it has
+// executed. Counters are cumulative over the daemon's lifetime, so the
+// prince can derive progress deltas while a run is in flight.
+func (d *Daemon) Metrics() *obs.Registry { return d.reg }
 
 // Listen starts serving RPC on addr (e.g. "127.0.0.1:0") and returns
 // the bound address.
@@ -165,15 +187,19 @@ func (s *service) Prepare(args PrepareArgs, _ *PrepareReply) error {
 	cfg := args.Config
 	go func() {
 		<-run.startCh
-		tr, err := harness.NewRunner(s.d.factory, s.d.clk).Run(cfg)
+		s.d.runsRunning.Inc()
+		tr, err := harness.NewRunner(s.d.factory, s.d.clk).WithMetrics(s.d.reg).Run(cfg)
+		s.d.runsRunning.Dec()
 		s.d.mu.Lock()
 		defer s.d.mu.Unlock()
 		if err != nil {
 			run.state = StateFailed
 			run.err = err.Error()
+			s.d.runsFailed.Inc()
 		} else {
 			run.state = StateDone
 			run.events = tr.Events
+			s.d.runsDone.Inc()
 		}
 		close(run.done)
 	}()
@@ -255,5 +281,25 @@ func (s *service) Collect(args CollectArgs, reply *CollectReply) error {
 	}
 	reply.Events = run.events
 	delete(s.d.runs, args.TestID)
+	return nil
+}
+
+// MetricsArgs is the Metrics request.
+type MetricsArgs struct{}
+
+// MetricsReply carries a counters/gauges snapshot of the daemon's
+// registry (histograms stay local; they are served over the daemon's
+// HTTP introspection endpoint instead).
+type MetricsReply struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+}
+
+// Metrics returns a snapshot of the daemon's instruments, so the
+// prince can report live progress while distributed tests run.
+func (s *service) Metrics(_ MetricsArgs, reply *MetricsReply) error {
+	snap := s.d.reg.Snapshot()
+	reply.Counters = snap.Counters
+	reply.Gauges = snap.Gauges
 	return nil
 }

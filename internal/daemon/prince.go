@@ -3,6 +3,8 @@ package daemon
 import (
 	"fmt"
 	"net/rpc"
+	"sort"
+	"strings"
 	"time"
 
 	"jmsharness/internal/clock"
@@ -44,6 +46,15 @@ func (c *Client) Name() string { return c.name }
 // prince.
 func (c *Client) Offset() time.Duration { return c.offset }
 
+// Metrics fetches a counters/gauges snapshot from the daemon.
+func (c *Client) Metrics() (MetricsReply, error) {
+	var reply MetricsReply
+	if err := c.rpc.Call("Daemon.Metrics", MetricsArgs{}, &reply); err != nil {
+		return MetricsReply{}, fmt.Errorf("daemon: metrics from %s: %w", c.name, err)
+	}
+	return reply, nil
+}
+
 // Close releases the RPC connection.
 func (c *Client) Close() error { return c.rpc.Close() }
 
@@ -53,6 +64,13 @@ type Prince struct {
 	clients []*Client
 	db      *tracedb.DB
 	clk     clock.Clock
+
+	// Progress, when non-nil, receives one-line live status updates
+	// while a distributed run is in flight, built from each daemon's
+	// harness progress counters (polled over the Metrics RPC).
+	Progress func(line string)
+	// ProgressEvery throttles Progress lines; zero means one second.
+	ProgressEvery time.Duration
 }
 
 // NewPrince connects to the daemons at addrs. clk may be nil for real
@@ -197,21 +215,32 @@ func (p *Prince) RunDistributed(testID string, assignments []Assignment) (*trace
 			return nil, fmt.Errorf("daemon: starting %s on %s: %w", pl.id, pl.client.name, err)
 		}
 	}
-	// Monitor for completion (or failure).
-	for _, pl := range placements {
-		for {
+	// Monitor for completion (or failure), emitting periodic progress
+	// lines while tests are in flight. Filter a copy: placements is
+	// still needed in order for Collect below.
+	remaining := append([]placed(nil), placements...)
+	lastProgress := p.clk.Now()
+	for len(remaining) > 0 {
+		next := remaining[:0]
+		for _, pl := range remaining {
 			var status StatusReply
 			if err := pl.client.rpc.Call("Daemon.Status", StatusArgs{TestID: pl.id}, &status); err != nil {
 				return nil, fmt.Errorf("daemon: polling %s on %s: %w", pl.id, pl.client.name, err)
 			}
-			if status.State == StateDone {
-				break
-			}
-			if status.State == StateFailed {
+			switch status.State {
+			case StateDone:
+			case StateFailed:
 				return nil, fmt.Errorf("daemon: test %s failed on %s: %s", pl.id, pl.client.name, status.Err)
+			default:
+				next = append(next, pl)
 			}
-			p.clk.Sleep(20 * time.Millisecond)
 		}
+		remaining = next
+		if len(remaining) == 0 {
+			break
+		}
+		lastProgress = p.emitProgress(testID, lastProgress)
+		p.clk.Sleep(20 * time.Millisecond)
 	}
 	// Collect and merge.
 	logs := make([][]trace.Event, 0, len(placements))
@@ -227,6 +256,54 @@ func (p *Prince) RunDistributed(testID string, assignments []Assignment) (*trace
 	tr := trace.Merge(logs, offsets)
 	p.db.BulkLoad(testID, tr.Events)
 	return tr, nil
+}
+
+// emitProgress builds one live status line from every daemon's harness
+// counters and hands it to Progress, throttled to ProgressEvery. It
+// returns the timestamp of the last emission (updated when a line was
+// emitted, unchanged otherwise).
+func (p *Prince) emitProgress(testID string, last time.Time) time.Time {
+	if p.Progress == nil {
+		return last
+	}
+	every := p.ProgressEvery
+	if every <= 0 {
+		every = time.Second
+	}
+	now := p.clk.Now()
+	if now.Sub(last) < every {
+		return last
+	}
+	type nodeProgress struct {
+		name       string
+		sent, recv int64
+	}
+	nodes := make([]nodeProgress, 0, len(p.clients))
+	var totalSent, totalRecv int64
+	for _, c := range p.clients {
+		reply, err := c.Metrics()
+		if err != nil {
+			// Progress is best-effort; a daemon mid-shutdown or an older
+			// daemon without the Metrics RPC must not fail the run.
+			continue
+		}
+		np := nodeProgress{
+			name: c.name,
+			sent: reply.Counters["harness.sent"],
+			recv: reply.Counters["harness.recv"],
+		}
+		totalSent += np.sent
+		totalRecv += np.recv
+		nodes = append(nodes, np)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].name < nodes[j].name })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: sent=%d recv=%d", testID, totalSent, totalRecv)
+	for _, np := range nodes {
+		fmt.Fprintf(&b, " [%s s=%d r=%d]", np.name, np.sent, np.recv)
+	}
+	p.Progress(b.String())
+	return now
 }
 
 // RunAndAnalyze runs a test split across all connected daemons and

@@ -7,6 +7,7 @@ import (
 
 	"jmsharness/internal/clock"
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/trace"
 )
 
@@ -26,6 +27,7 @@ type Crashable interface {
 type Runner struct {
 	factory jms.ConnectionFactory
 	clk     clock.Clock
+	reg     *obs.Registry
 }
 
 // NewRunner returns a runner for the given provider. clk may be nil for
@@ -35,6 +37,15 @@ func NewRunner(factory jms.ConnectionFactory, clk clock.Clock) *Runner {
 		clk = clock.Real()
 	}
 	return &Runner{factory: factory, clk: clk}
+}
+
+// WithMetrics publishes live run progress into reg: aggregate counters
+// "harness.sent"/"harness.recv" (plus error counts), per-worker
+// counters "harness.sent.<producer>"/"harness.recv.<consumer>", and the
+// "harness.workers_active" gauge. Returns the runner for chaining.
+func (r *Runner) WithMetrics(reg *obs.Registry) *Runner {
+	r.reg = reg
+	return r
 }
 
 // Run executes one configured test and returns its merged trace. The
@@ -48,6 +59,17 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 	cfg = cfg.normalized()
 	collector := trace.NewCollector(cfg.Node, func() time.Time { return r.clk.Now() })
 
+	reg := r.reg
+	if reg == nil {
+		// A throwaway registry keeps the workers' instrument pointers
+		// valid without nil checks on the hot path.
+		reg = obs.NewRegistry()
+	}
+	sentTotal := reg.Counter("harness.sent")
+	sendErrs := reg.Counter("harness.send_errors")
+	recvTotal := reg.Counter("harness.recv")
+	workers := reg.Gauge("harness.workers_active")
+
 	stopProducing := make(chan struct{}) // closed at warm-down
 	stopAll := make(chan struct{})       // closed at test end
 
@@ -55,31 +77,40 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 	for i := range cfg.Producers {
 		pc := producerDefaults(cfg.Producers[i], cfg.Destination)
 		w := &producerWorker{
-			runner:    r,
-			cfg:       pc,
-			log:       collector,
-			seedBase:  cfg.Seed + uint64(i)*7919,
-			stop:      stopProducing,
-			pollRetry: cfg.ReceiveTimeout,
+			runner:     r,
+			cfg:        pc,
+			log:        collector,
+			seedBase:   cfg.Seed + uint64(i)*7919,
+			stop:       stopProducing,
+			pollRetry:  cfg.ReceiveTimeout,
+			metSent:    reg.Counter("harness.sent." + pc.ID),
+			metSentAll: sentTotal,
+			metErrs:    sendErrs,
 		}
 		wg.Add(1)
+		workers.Inc()
 		go func() {
 			defer wg.Done()
+			defer workers.Dec()
 			w.run()
 		}()
 	}
 	for i := range cfg.Consumers {
 		cc := consumerDefaults(cfg.Consumers[i], cfg.Destination)
 		w := &consumerWorker{
-			runner: r,
-			cfg:    cc,
-			log:    collector,
-			stop:   stopAll,
-			poll:   cfg.ReceiveTimeout,
+			runner:     r,
+			cfg:        cc,
+			log:        collector,
+			stop:       stopAll,
+			poll:       cfg.ReceiveTimeout,
+			metRecv:    reg.Counter("harness.recv." + cc.ID),
+			metRecvAll: recvTotal,
 		}
 		wg.Add(1)
+		workers.Inc()
 		go func() {
 			defer wg.Done()
+			defer workers.Dec()
 			w.run()
 		}()
 	}

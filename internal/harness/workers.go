@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/stats"
 	"jmsharness/internal/trace"
 )
@@ -62,6 +63,12 @@ type producerWorker struct {
 	seedBase  uint64
 	stop      <-chan struct{}
 	pollRetry time.Duration
+
+	// metSent/metSentAll/metErrs publish live progress (per-producer,
+	// aggregate, and send failures).
+	metSent    *obs.Counter
+	metSentAll *obs.Counter
+	metErrs    *obs.Counter
 
 	conn jms.Connection
 	sess jms.Session
@@ -192,9 +199,12 @@ func (w *producerWorker) sendOne(rng *stats.RNG) {
 	}
 	w.log.Log(end)
 	if err != nil {
+		w.metErrs.Inc()
 		w.teardown()
 		return
 	}
+	w.metSent.Inc()
+	w.metSentAll.Inc()
 	if w.cfg.Transacted {
 		w.txSize++
 		if w.txSize >= w.cfg.TxBatch {
@@ -245,6 +255,11 @@ type consumerWorker struct {
 	log    trace.Logger
 	stop   <-chan struct{}
 	poll   time.Duration
+
+	// metRecv/metRecvAll publish live progress (per-consumer and
+	// aggregate deliveries).
+	metRecv    *obs.Counter
+	metRecvAll *obs.Counter
 
 	conn jms.Connection
 	sess jms.Session
@@ -411,6 +426,8 @@ func (w *consumerWorker) deliver(msg *jms.Message) {
 		Redelivered: msg.Redelivered,
 		TxID:        txID,
 	})
+	w.metRecv.Inc()
+	w.metRecvAll.Inc()
 	switch {
 	case w.cfg.Transacted:
 		w.txSize++

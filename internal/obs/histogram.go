@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram safe under concurrent writers.
+// Buckets are defined by ascending upper bounds; an implicit overflow
+// bucket catches values above the last bound. Observe is lock-free: one
+// binary search plus a handful of atomic adds, suitable for hot paths.
+//
+// Bounds are int64s in whatever unit the caller observes; the broker
+// and span recorder use nanoseconds.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds (inclusive)
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// DurationBounds returns the default latency bucket bounds: powers of
+// two from 1µs to ~68s, in nanoseconds.
+func DurationBounds() []int64 {
+	out := make([]int64, 0, 27)
+	for ns := int64(1000); ns <= int64(68*time.Second); ns *= 2 {
+		out = append(out, ns)
+	}
+	return out
+}
+
+// NewHistogram returns a histogram with the given ascending upper
+// bounds (nil chooses DurationBounds). Bounds are copied and sorted
+// defensively.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBounds()
+	} else {
+		bounds = append([]int64(nil), bounds...)
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	}
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records one duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Reset zeroes the histogram. Concurrent observers may interleave, as
+// for Registry.Reset.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+}
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound; the overflow
+	// bucket reports math.MaxInt64.
+	UpperBound int64 `json:"le"`
+	// Count is the number of observations in this bucket.
+	Count int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Quantiles
+// are estimated by linear interpolation within the containing bucket.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	// Buckets lists only non-empty buckets to keep payloads small.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram. As with Registry.Snapshot, the copy
+// is per-field atomic but not a consistent cut under concurrent writes.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			ub := int64(math.MaxInt64)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: counts[i]})
+		}
+	}
+	s.P50 = h.quantile(counts, total, 0.50)
+	s.P95 = h.quantile(counts, total, 0.95)
+	s.P99 = h.quantile(counts, total, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from a counts copy by walking the
+// cumulative distribution and interpolating linearly inside the
+// containing bucket. The overflow bucket reports the observed max.
+func (h *Histogram) quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.max.Load()
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return h.max.Load()
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves a registry's introspection endpoints:
+//
+//	/metricz      registry snapshot as JSON
+//	/healthz      plain-text liveness ("ok")
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// Extra JSON endpoints (e.g. a span recorder's /spanz) attach with
+// HandleJSON. Handler implements http.Handler, so it works both behind
+// NewHTTPServer and under httptest.
+type Handler struct {
+	reg     *Registry
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// NewHandler returns a handler for reg.
+func NewHandler(reg *Registry) *Handler {
+	h := &Handler{reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	h.HandleJSON("/metricz", func() any {
+		return struct {
+			Now      time.Time `json:"now"`
+			UptimeNs int64     `json:"uptime_ns"`
+			Snapshot
+		}{time.Now(), int64(time.Since(h.started)), reg.Snapshot()}
+	})
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return h
+}
+
+// HandleJSON serves fn's return value as indented JSON at path.
+func (h *Handler) HandleJSON(path string, fn func() any) {
+	h.mux.HandleFunc(path, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// HTTPServer is a live introspection endpoint: a Handler bound to a TCP
+// listener, serving in the background until Close.
+type HTTPServer struct {
+	*Handler
+	listener net.Listener
+	srv      *http.Server
+}
+
+// NewHTTPServer starts serving handler's introspection endpoints on
+// addr (e.g. "127.0.0.1:0"); the bound address is available from Addr.
+// Attach any extra endpoints (HandleJSON) before calling this.
+func NewHTTPServer(addr string, handler *Handler) (*HTTPServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	h := &HTTPServer{Handler: handler, listener: l}
+	h.srv = &http.Server{Handler: h.Handler}
+	go func() { _ = h.srv.Serve(l) }()
+	return h, nil
+}
+
+// Addr returns the server's listen address.
+func (h *HTTPServer) Addr() string { return h.listener.Addr().String() }
+
+// Close stops the server.
+func (h *HTTPServer) Close() error { return h.srv.Close() }

@@ -1,0 +1,143 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+// getJSON fetches url and decodes the response body into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+// TestMetriczAfterPubSubRun drives a real broker through a small
+// queue workload and checks that /metricz serves valid JSON whose
+// broker counters reflect the run.
+func TestMetriczAfterPubSubRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	spans := obs.NewSpans(reg, 0, 0)
+	b, err := broker.New(broker.Options{Name: "t", Metrics: reg, Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	conn, err := b.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("obs.test")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := p.Send(jms.NewTextMessage("m"), jms.DefaultSendOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		msg, err := c.Receive(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg == nil {
+			t.Fatalf("receive %d timed out", i)
+		}
+	}
+
+	h := obs.NewHandler(reg)
+	h.HandleJSON("/spanz", func() any { return spans.Snapshot() })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var metricz struct {
+		Now      time.Time                        `json:"now"`
+		UptimeNs int64                            `json:"uptime_ns"`
+		Counters map[string]int64                 `json:"counters"`
+		Gauges   map[string]int64                 `json:"gauges"`
+		Hists    map[string]obs.HistogramSnapshot `json:"histograms"`
+	}
+	getJSON(t, srv.URL+"/metricz", &metricz)
+	if metricz.Now.IsZero() {
+		t.Error("metricz has no timestamp")
+	}
+	if got := metricz.Counters["broker.sent"]; got != n {
+		t.Errorf("broker.sent = %d, want %d", got, n)
+	}
+	if got := metricz.Counters["broker.delivered"]; got != n {
+		t.Errorf("broker.delivered = %d, want %d", got, n)
+	}
+	if got := metricz.Counters["broker.acked"]; got != n {
+		t.Errorf("broker.acked = %d, want %d", got, n)
+	}
+	if got := metricz.Gauges["broker.backlog"]; got != 0 {
+		t.Errorf("broker.backlog = %d, want 0", got)
+	}
+	if got := metricz.Hists["broker.sojourn_ns"].Count; got != n {
+		t.Errorf("sojourn count = %d, want %d", got, n)
+	}
+
+	var spanz obs.SpanzSnapshot
+	getJSON(t, srv.URL+"/spanz", &spanz)
+	if spanz.InFlight != 0 {
+		t.Errorf("spanz in_flight = %d, want 0", spanz.InFlight)
+	}
+	if len(spanz.Recent) != n {
+		t.Errorf("spanz recent = %d spans, want %d", len(spanz.Recent), n)
+	}
+	for _, sp := range spanz.Recent {
+		if sp.Outcome != "acked" {
+			t.Errorf("span %s outcome = %q, want acked", sp.MsgID, sp.Outcome)
+		}
+	}
+
+	// Liveness endpoint.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %s", resp.Status)
+	}
+
+	// Broker.Stats agrees with the registry view.
+	stats := b.Stats()
+	if stats.Sent != n || stats.Delivered != n || stats.Acked != n || stats.Backlog != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,222 @@
+// Package obs is the runtime observability layer: a dependency-free
+// metrics registry (atomic counters, gauges and fixed-bucket latency
+// histograms with snapshot/reset semantics), a per-message span
+// recorder tracking the send → enqueue → deliver → ack/expire
+// lifecycle, and a small HTTP introspection server (/metricz JSON,
+// /healthz, net/http/pprof).
+//
+// The paper's whole method is observing a black-box provider from the
+// outside; this package makes the harness's own runtime components —
+// broker, wire server, harness workers, daemons — observable from the
+// inside while a run is in flight. Instruments are plain atomics so the
+// hot paths pay one atomic add per event; the span recorder has a no-op
+// implementation for when tracing is disabled.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d must be >= 0 for the counter to stay monotonic; this is
+// not enforced).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// reset zeroes the counter (registry Reset only; counters are otherwise
+// monotonic).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value that can go up and down. The
+// zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of instruments. Instruments are
+// created on first use and shared thereafter: Counter("x") returns the
+// same *Counter from every caller, so concurrent components can
+// contribute to one metric. A Registry is safe for concurrent use; the
+// instrument fast paths (Add/Inc/Observe) are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds if needed (nil bounds choose
+// DurationBounds). Bounds are fixed at creation; later callers get the
+// existing histogram regardless of the bounds they pass.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// shaped for JSON encoding (the /metricz payload).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument. Values are read atomically per
+// instrument; the snapshot as a whole is not a consistent cut across
+// instruments (concurrent writers may land between reads), which is the
+// usual contract for scrape-style metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]struct {
+		name string
+		c    *Counter
+	}, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, struct {
+			name string
+			c    *Counter
+		}{name, c})
+	}
+	gauges := make([]struct {
+		name string
+		g    *Gauge
+	}, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, struct {
+			name string
+			g    *Gauge
+		}{name, g})
+	}
+	hists := make([]struct {
+		name string
+		h    *Histogram
+	}, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		hists = append(hists, struct {
+			name string
+			h    *Histogram
+		}{name, h})
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, e := range counters {
+		s.Counters[e.name] = e.c.Value()
+	}
+	for _, e := range gauges {
+		s.Gauges[e.name] = e.g.Value()
+	}
+	for _, e := range hists {
+		s.Histograms[e.name] = e.h.Snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every instrument, preserving registrations (existing
+// *Counter/*Gauge/*Histogram pointers stay valid). Concurrent writers
+// may interleave with the reset; totals afterwards count only events
+// that raced past it.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.Set(0)
+	}
+	for _, h := range r.histograms {
+		h.Reset()
+	}
+}
+
+// Names returns the sorted names of all registered instruments, for
+// stable rendering.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+	// Get-or-create returns the same instrument.
+	if r.Counter("ops") != c {
+		t.Error("Counter(name) did not return the existing counter")
+	}
+	if r.Gauge("depth") != g {
+		t.Error("Gauge(name) did not return the existing gauge")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Get-or-create races with other writers on purpose.
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.hist", nil)
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	// Concurrent readers while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	snap := r.Snapshot()
+	want := int64(goroutines * perG)
+	if got := snap.Counters["shared.counter"]; got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := snap.Gauges["shared.gauge"]; got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got := snap.Histograms["shared.hist"].Count; got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	c.Add(9)
+	h := r.Histogram("lat", nil)
+	h.Observe(123)
+	r.Reset()
+	if c.Value() != 0 {
+		t.Errorf("counter after reset = %d", c.Value())
+	}
+	if got := h.Snapshot().Count; got != 0 {
+		t.Errorf("histogram count after reset = %d", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 5556 {
+		t.Errorf("sum = %d, want 5556", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 5000 {
+		t.Errorf("min/max = %d/%d, want 1/5000", s.Min, s.Max)
+	}
+	if s.Mean < 1111 || s.Mean > 1112 {
+		t.Errorf("mean = %g, want ~1111.2", s.Mean)
+	}
+	// Non-empty buckets only: le=10 {1,5}, le=100 {50}, le=1000 {500},
+	// overflow {5000}.
+	if len(s.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(s.Buckets))
+	}
+	var n int64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != s.Count {
+		t.Errorf("bucket counts sum to %d, want %d", n, s.Count)
+	}
+	// P50 of {1,5,50,500,5000} lands in the <=100 bucket; quantiles are
+	// interpolated, so just check ordering and range.
+	if s.P50 <= 0 || s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles out of order: p50=%d p95=%d p99=%d", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > s.Max {
+		t.Errorf("p99=%d exceeds max=%d", s.P99, s.Max)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for j := int64(0); j < 5000; j++ {
+				h.Observe(seed*1000 + j)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 40000 {
+		t.Errorf("count = %d, want 40000", s.Count)
+	}
+	if s.Min != 0 {
+		t.Errorf("min = %d, want 0", s.Min)
+	}
+	if s.Max != 7*1000+4999 {
+		t.Errorf("max = %d, want %d", s.Max, 7*1000+4999)
+	}
+}
+
+func TestSpansLifecycle(t *testing.T) {
+	r := NewRegistry()
+	s := NewSpans(r, 4, 8)
+	t0 := time.Unix(100, 0)
+	s.Begin("m1", "q:orders", t0, t0.Add(time.Millisecond))
+	if got := s.InFlight(); got != 1 {
+		t.Errorf("in flight = %d, want 1", got)
+	}
+	s.Deliver("m1", "q:orders", t0.Add(3*time.Millisecond))
+	s.End("m1", "q:orders", t0.Add(5*time.Millisecond), OutcomeAcked)
+	if got := s.InFlight(); got != 0 {
+		t.Errorf("in flight after end = %d, want 0", got)
+	}
+	recent := s.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d spans, want 1", len(recent))
+	}
+	sp := recent[0]
+	if sp.MsgID != "m1" || sp.Endpoint != "q:orders" || sp.Outcome != "acked" {
+		t.Errorf("unexpected span %+v", sp)
+	}
+	if got := sp.QueueWait(); got != 2*time.Millisecond {
+		t.Errorf("queue wait = %v, want 2ms", got)
+	}
+	if got := r.Counter("span.ended").Value(); got != 1 {
+		t.Errorf("span.ended = %d, want 1", got)
+	}
+	hs := r.Histogram("span.queue_wait_ns", nil).Snapshot()
+	if hs.Count != 1 || hs.Min != int64(2*time.Millisecond) {
+		t.Errorf("queue_wait histogram = %+v", hs)
+	}
+}
+
+func TestSpansOverflowAndRing(t *testing.T) {
+	r := NewRegistry()
+	s := NewSpans(r, 2, 2)
+	t0 := time.Unix(0, 0)
+	s.Begin("a", "q:x", t0, t0)
+	s.Begin("b", "q:x", t0, t0)
+	s.Begin("c", "q:x", t0, t0) // over the in-flight cap: dropped
+	if got := s.InFlight(); got != 2 {
+		t.Errorf("in flight = %d, want 2", got)
+	}
+	if got := r.Counter("span.overflow").Value(); got != 1 {
+		t.Errorf("overflow = %d, want 1", got)
+	}
+	s.End("a", "q:x", t0, OutcomeExpired)
+	s.End("b", "q:x", t0, OutcomeDropped)
+	// Ending an untracked span is a no-op.
+	s.End("c", "q:x", t0, OutcomeAcked)
+	recent := s.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("recent = %d spans, want 2 (ring size)", len(recent))
+	}
+	// Newest first.
+	if recent[0].MsgID != "b" || recent[1].MsgID != "a" {
+		t.Errorf("recent order = %s,%s want b,a", recent[0].MsgID, recent[1].MsgID)
+	}
+}
+
+func TestSpansConcurrent(t *testing.T) {
+	r := NewRegistry()
+	s := NewSpans(r, DefaultMaxInFlight, DefaultKeep)
+	var wg sync.WaitGroup
+	t0 := time.Unix(0, 0)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				msg := string(rune('a'+id)) + "-msg"
+				s.Begin(msg, "q:x", t0, t0)
+				s.Deliver(msg, "q:x", t0.Add(time.Microsecond))
+				s.End(msg, "q:x", t0.Add(2*time.Microsecond), OutcomeAcked)
+			}
+		}(i)
+	}
+	// Readers race with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = s.Snapshot()
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome is how a message span ended.
+type Outcome uint8
+
+// Span outcomes.
+const (
+	// OutcomeAcked: the delivery was finalised (acknowledged, committed,
+	// or auto-acked).
+	OutcomeAcked Outcome = iota + 1
+	// OutcomeExpired: the message's time-to-live elapsed undelivered.
+	OutcomeExpired
+	// OutcomeDropped: the message was discarded for another reason
+	// (subscription closed, temporary queue deleted, crash).
+	OutcomeDropped
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAcked:
+		return "acked"
+	case OutcomeExpired:
+		return "expired"
+	case OutcomeDropped:
+		return "dropped"
+	default:
+		return "unknown"
+	}
+}
+
+// SpanRecorder receives the lifecycle transitions of each message copy
+// routed through a broker: send → enqueue (Begin), deliver (Deliver),
+// and ack/expire/drop (End). A message published to a topic fans out
+// into one span per matching subscription, keyed by (message ID,
+// endpoint). Implementations must be safe for concurrent use.
+type SpanRecorder interface {
+	// Begin opens the span for one enqueued message copy. sentAt is the
+	// provider send timestamp, enqueuedAt the mailbox arrival time.
+	Begin(msgID, endpoint string, sentAt, enqueuedAt time.Time)
+	// Deliver stamps the span's delivery to a consumer. Redelivery
+	// restamps (the span tracks the latest delivery).
+	Deliver(msgID, endpoint string, at time.Time)
+	// End closes the span with its outcome.
+	End(msgID, endpoint string, at time.Time, o Outcome)
+}
+
+// nopRecorder is the disabled recorder: every method is an empty,
+// inlinable no-op, so instrumented hot paths pay only a nil-free
+// interface call when tracing is off.
+type nopRecorder struct{}
+
+func (nopRecorder) Begin(string, string, time.Time, time.Time) {}
+func (nopRecorder) Deliver(string, string, time.Time)          {}
+func (nopRecorder) End(string, string, time.Time, Outcome)     {}
+
+// NopSpans returns the shared no-op recorder.
+func NopSpans() SpanRecorder { return nopRecorder{} }
+
+// Span is one message copy's recorded lifecycle.
+type Span struct {
+	MsgID    string `json:"msg_id"`
+	Endpoint string `json:"endpoint"`
+	// Timestamps carry Go's monotonic clock reading when recorded from
+	// a live broker, so durations derived from them are immune to wall
+	// clock steps.
+	SentAt      time.Time `json:"sent_at"`
+	EnqueuedAt  time.Time `json:"enqueued_at"`
+	DeliveredAt time.Time `json:"delivered_at"`
+	EndedAt     time.Time `json:"ended_at"`
+	Outcome     string    `json:"outcome"`
+}
+
+// QueueWait returns enqueue → delivery (or end, if never delivered).
+func (s Span) QueueWait() time.Duration {
+	if !s.DeliveredAt.IsZero() {
+		return s.DeliveredAt.Sub(s.EnqueuedAt)
+	}
+	if !s.EndedAt.IsZero() {
+		return s.EndedAt.Sub(s.EnqueuedAt)
+	}
+	return 0
+}
+
+// Spans is the live SpanRecorder: a bounded in-flight table plus a ring
+// of recently completed spans, feeding two latency histograms in a
+// Registry ("span.queue_wait_ns": enqueue → deliver; "span.settle_ns":
+// deliver → ack). When the in-flight table is full, new spans are
+// counted but not tracked ("span.overflow"), bounding memory under any
+// load.
+type Spans struct {
+	queueWait *Histogram
+	settle    *Histogram
+	begun     *Counter
+	ended     *Counter
+	overflow  *Counter
+	inFlight  *Gauge
+
+	mu    sync.Mutex
+	live  map[spanKey]*Span
+	limit int
+	ring  []Span
+	next  int
+	total int
+}
+
+type spanKey struct {
+	msgID    string
+	endpoint string
+}
+
+// DefaultMaxInFlight bounds the in-flight span table.
+const DefaultMaxInFlight = 16384
+
+// DefaultKeep is how many completed spans the ring retains.
+const DefaultKeep = 256
+
+// NewSpans returns a live recorder registering its instruments in reg.
+// maxInFlight bounds the in-flight table (<=0 chooses
+// DefaultMaxInFlight); keep is the completed-span ring size (<=0
+// chooses DefaultKeep).
+func NewSpans(reg *Registry, maxInFlight, keep int) *Spans {
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	return &Spans{
+		queueWait: reg.Histogram("span.queue_wait_ns", nil),
+		settle:    reg.Histogram("span.settle_ns", nil),
+		begun:     reg.Counter("span.begun"),
+		ended:     reg.Counter("span.ended"),
+		overflow:  reg.Counter("span.overflow"),
+		inFlight:  reg.Gauge("span.in_flight"),
+		live:      make(map[spanKey]*Span, 64),
+		limit:     maxInFlight,
+		ring:      make([]Span, keep),
+	}
+}
+
+var _ SpanRecorder = (*Spans)(nil)
+
+// Begin implements SpanRecorder.
+func (s *Spans) Begin(msgID, endpoint string, sentAt, enqueuedAt time.Time) {
+	s.begun.Inc()
+	k := spanKey{msgID, endpoint}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.live[k]; !exists && len(s.live) >= s.limit {
+		s.overflow.Inc()
+		return
+	}
+	s.live[k] = &Span{MsgID: msgID, Endpoint: endpoint, SentAt: sentAt, EnqueuedAt: enqueuedAt}
+	s.inFlight.Set(int64(len(s.live)))
+}
+
+// Deliver implements SpanRecorder.
+func (s *Spans) Deliver(msgID, endpoint string, at time.Time) {
+	k := spanKey{msgID, endpoint}
+	s.mu.Lock()
+	sp, ok := s.live[k]
+	var wait time.Duration
+	if ok {
+		sp.DeliveredAt = at
+		wait = at.Sub(sp.EnqueuedAt)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.queueWait.ObserveDuration(wait)
+	}
+}
+
+// End implements SpanRecorder.
+func (s *Spans) End(msgID, endpoint string, at time.Time, o Outcome) {
+	s.ended.Inc()
+	k := spanKey{msgID, endpoint}
+	s.mu.Lock()
+	sp, ok := s.live[k]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.live, k)
+	sp.EndedAt = at
+	sp.Outcome = o.String()
+	s.ring[s.next] = *sp
+	s.next = (s.next + 1) % len(s.ring)
+	s.total++
+	s.inFlight.Set(int64(len(s.live)))
+	delivered := sp.DeliveredAt
+	s.mu.Unlock()
+	if o == OutcomeAcked && !delivered.IsZero() {
+		s.settle.ObserveDuration(at.Sub(delivered))
+	}
+}
+
+// InFlight returns the number of open spans.
+func (s *Spans) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.live)
+}
+
+// Recent returns the completed spans still in the ring, newest first.
+func (s *Spans) Recent() []Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.total
+	if n > len(s.ring) {
+		n = len(s.ring)
+	}
+	out := make([]Span, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, s.ring[(s.next-i+len(s.ring))%len(s.ring)])
+	}
+	return out
+}
+
+// SpanzSnapshot is the /spanz payload.
+type SpanzSnapshot struct {
+	InFlight int    `json:"in_flight"`
+	Recent   []Span `json:"recent"`
+}
+
+// Snapshot returns the recorder's introspection payload.
+func (s *Spans) Snapshot() SpanzSnapshot {
+	return SpanzSnapshot{InFlight: s.InFlight(), Recent: s.Recent()}
+}

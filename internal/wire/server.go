@@ -8,7 +8,31 @@ import (
 	"time"
 
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 )
+
+// serverMetrics instruments the wire server: connection churn, request
+// throughput and raw frame bytes in each direction (metric names under
+// "wire.*").
+type serverMetrics struct {
+	connsActive *obs.Gauge
+	connsTotal  *obs.Counter
+	requests    *obs.Counter
+	reqErrors   *obs.Counter
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		connsActive: reg.Gauge("wire.conns_active"),
+		connsTotal:  reg.Counter("wire.conns_total"),
+		requests:    reg.Counter("wire.requests"),
+		reqErrors:   reg.Counter("wire.request_errors"),
+		bytesIn:     reg.Counter("wire.bytes_in"),
+		bytesOut:    reg.Counter("wire.bytes_out"),
+	}
+}
 
 // Server fronts a jms provider (usually the reference broker) with the
 // wire protocol. Each accepted TCP connection is backed by one real
@@ -17,6 +41,7 @@ import (
 type Server struct {
 	inner    jms.ConnectionFactory
 	listener net.Listener
+	met      *serverMetrics
 
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -31,7 +56,20 @@ func NewServer(inner jms.ConnectionFactory, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: listening on %s: %w", addr, err)
 	}
-	return &Server{inner: inner, listener: l, conns: map[net.Conn]struct{}{}}, nil
+	return &Server{
+		inner:    inner,
+		listener: l,
+		met:      newServerMetrics(obs.NewRegistry()),
+		conns:    map[net.Conn]struct{}{},
+	}, nil
+}
+
+// WithMetrics re-homes the server's instruments in reg (so broker and
+// wire metrics share one /metricz). Call before Serve/Start; returns
+// the server for chaining.
+func (s *Server) WithMetrics(reg *obs.Registry) *Server {
+	s.met = newServerMetrics(reg)
+	return s
 }
 
 // Addr returns the server's listen address.
@@ -124,6 +162,10 @@ func (s *Server) handleConn(sock net.Conn) {
 	defer s.removeConn(sock)
 	defer sock.Close()
 
+	s.met.connsTotal.Inc()
+	s.met.connsActive.Inc()
+	defer s.met.connsActive.Dec()
+
 	jmsConn, err := s.inner.CreateConnection()
 	if err != nil {
 		// Nothing useful to report without a request to reply to.
@@ -146,10 +188,12 @@ func (s *Server) handleConn(sock net.Conn) {
 		if err != nil {
 			return
 		}
+		s.met.bytesIn.Add(int64(len(payload)) + 4)
 		req, err := decodeRequest(payload)
 		if err != nil {
 			return
 		}
+		s.met.requests.Inc()
 		if req.op == opCloseConn {
 			st.sendReply(req.reqID, "", nil)
 			return
@@ -165,6 +209,10 @@ func (s *Server) handleConn(sock net.Conn) {
 // sendReply writes one reply frame.
 func (st *connState) sendReply(reqID uint64, errMsg string, build func(*jms.Encoder)) {
 	payload := encodeReply(reqID, errMsg, build)
+	if errMsg != "" {
+		st.srv.met.reqErrors.Inc()
+	}
+	st.srv.met.bytesOut.Add(int64(len(payload)) + 4)
 	st.writeMu.Lock()
 	defer st.writeMu.Unlock()
 	_ = WriteFrame(st.sock, payload)

@@ -1,9 +1,18 @@
 #!/bin/sh
-# ci.sh — the repo's one-command check: build everything, vet, and run
-# the full test suite (including the obs concurrency tests) under the
-# race detector.
+# ci.sh — the repo's one-command check: formatting, build everything
+# (the examples explicitly, so a broken example can never hide behind a
+# cached ./... build), vet, and run the full test suite (including the
+# obs concurrency tests) under the race detector.
 set -eux
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go build ./...
+go build ./examples/...
 go vet ./...
 go test -race ./...

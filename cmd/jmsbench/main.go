@@ -8,8 +8,9 @@
 // Experiments: fig1 (ordering-violation detection), fig2, fig3,
 // measures (§3.2 performance block), compare (footnote-9 three-provider
 // comparison), conformance (fault-detection matrix), ingest (§4.1
-// DB-vs-streaming analysis). -scale multiplies the run durations;
-// 1.0 matches the defaults used in EXPERIMENTS.md.
+// DB-vs-streaming analysis), scale (cluster throughput/delay vs shard
+// count; -placement picks the sharding policy). -scale multiplies the
+// run durations; 1.0 matches the defaults used in EXPERIMENTS.md.
 //
 // Alongside the human-readable report, each invocation appends a
 // machine-readable snapshot to the -json-dir directory as BENCH_<n>.json
@@ -37,11 +38,16 @@ func main() {
 
 // benchReport is the machine-readable BENCH_<n>.json payload. Every
 // experiment that ran contributes one entry keyed by its name.
+// ClusterNodes and PlacementPolicy make reports comparable across
+// cluster topologies: single-provider runs report 1/"single", the
+// scale experiment reports its largest federation and policy.
 type benchReport struct {
-	Timestamp   time.Time      `json:"timestamp"`
-	Experiment  string         `json:"experiment"`
-	Scale       float64        `json:"scale"`
-	Experiments map[string]any `json:"experiments"`
+	Timestamp       time.Time      `json:"timestamp"`
+	Experiment      string         `json:"experiment"`
+	Scale           float64        `json:"scale"`
+	ClusterNodes    int            `json:"cluster_nodes"`
+	PlacementPolicy string         `json:"placement_policy"`
+	Experiments     map[string]any `json:"experiments"`
 }
 
 // measuresSummary is the compact perf-trajectory record for the §3.2
@@ -62,20 +68,23 @@ type measuresSummary struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("jmsbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, or all")
+	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, or all")
 	scale := fs.Float64("scale", 1.0, "duration multiplier for the timed experiments")
 	csv := fs.Bool("csv", false, "emit throughput sweeps as CSV instead of a table")
 	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
+	placement := fs.String("placement", "hash-ring", "cluster placement policy for the scale experiment (hash-ring, modulo)")
 	jsonDir := fs.String("json-dir", ".", "directory for the machine-readable BENCH_<n>.json report (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	report := &benchReport{
-		Timestamp:   time.Now().UTC(),
-		Experiment:  *experiment,
-		Scale:       *scale,
-		Experiments: map[string]any{},
+		Timestamp:       time.Now().UTC(),
+		Experiment:      *experiment,
+		Scale:           *scale,
+		ClusterNodes:    1,
+		PlacementPolicy: "single",
+		Experiments:     map[string]any{},
 	}
 
 	runners := map[string]func() error{
@@ -90,9 +99,10 @@ func run(args []string) error {
 		"compare":     func() error { return runCompare(*scale, report) },
 		"conformance": func() error { return runConformance(*scale, report) },
 		"ingest":      func() error { return runIngest(*ingestEvents, report) },
+		"scale":       func() error { return runScale(*scale, *placement, report) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -228,6 +238,34 @@ func runConformance(scale float64, report *benchReport) error {
 	}
 	fmt.Print(experiments.FormatConformance(rows))
 	report.Experiments["conformance"] = rows
+	return nil
+}
+
+func runScale(scale float64, placement string, report *benchReport) error {
+	fmt.Println("=== cluster scaling: throughput and delay vs shard count ===")
+	opts := experiments.ScaleSweepOptions(scale)
+	opts.Placement = placement
+	points, err := experiments.ScaleSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatScaleTable(opts, points))
+	for i := 1; i < len(points); i++ {
+		if points[i].ConsumerMsgs <= points[i-1].ConsumerMsgs {
+			fmt.Printf("warning: throughput did not increase from %d to %d shards\n",
+				points[i-1].Nodes, points[i].Nodes)
+		}
+	}
+	report.Experiments["scale"] = map[string]any{
+		"placement": opts.Placement,
+		"points":    points,
+	}
+	for _, p := range points {
+		if p.Nodes > report.ClusterNodes {
+			report.ClusterNodes = p.Nodes
+			report.PlacementPolicy = opts.Placement
+		}
+	}
 	return nil
 }
 

@@ -4,13 +4,19 @@
 //
 //	jmsbrokerd -addr 127.0.0.1:7800 -profile provider-I
 //
+// With -cluster N the process serves a sharded federation of N broker
+// nodes behind one wire endpoint: destinations are spread across the
+// nodes by consistent hashing (-placement picks the policy), so the
+// same -addr speaks for the whole cluster.
+//
 // With -wal the broker's stable store is a write-ahead log on disk, so
 // persistent messages and durable subscriptions survive process
-// restarts.
+// restarts; in cluster mode each node gets its own log (<path>.<i>).
 //
 // With -obs-addr the broker serves live introspection over HTTP:
 // /metricz (broker and wire counters, gauges, latency histograms),
-// /spanz (recent per-message spans), /healthz, and /debug/pprof.
+// /spanz (recent per-message spans), /clusterz (cluster topology and
+// per-node routing, cluster mode only), /healthz, and /debug/pprof.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"syscall"
 
 	"jmsharness/internal/broker"
+	"jmsharness/internal/cluster"
+	"jmsharness/internal/jms"
 	"jmsharness/internal/obs"
 	"jmsharness/internal/store"
 	"jmsharness/internal/wire"
@@ -38,43 +46,95 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7800", "listen address")
 	profileName := fs.String("profile", "unlimited", "performance profile: unlimited, provider-I, provider-II, provider-A/B/C")
 	name := fs.String("name", "brokerd", "broker name (prefixes message IDs)")
-	walPath := fs.String("wal", "", "write-ahead log path for the stable store (empty: in-memory)")
-	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /spanz, /healthz, /debug/pprof); empty: disabled")
+	walPath := fs.String("wal", "", "write-ahead log path for the stable store (empty: in-memory); cluster nodes append .<i>")
+	clusterN := fs.Int("cluster", 1, "number of federated broker nodes behind this endpoint (1: single broker)")
+	placementName := fs.String("placement", "hash-ring", "cluster placement policy: hash-ring, modulo")
+	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /spanz, /clusterz, /healthz, /debug/pprof); empty: disabled")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *clusterN < 1 {
+		return fmt.Errorf("-cluster must be >= 1, got %d", *clusterN)
 	}
 
 	profile, err := broker.ProfileByName(*profileName)
 	if err != nil {
 		return err
 	}
-	var stable store.Store
-	if *walPath != "" {
-		wal, err := store.OpenWAL(*walPath, store.WALOptions{Sync: true})
+
+	// One registry backs the brokers, the cluster front-end and the
+	// wire server, so a single /metricz shows the whole process. Span
+	// tracing only runs when someone can look at it.
+	reg := obs.NewRegistry()
+	var spans *obs.Spans
+	if *obsAddr != "" {
+		spans = obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+	}
+
+	// Each node may hold a WAL; the logs outlive their brokers so close
+	// them last, after the server and brokers have shut down.
+	var walClosers []func() error
+	defer func() {
+		for _, cl := range walClosers {
+			_ = cl()
+		}
+	}()
+
+	newBroker := func(name string, i int) (*broker.Broker, error) {
+		var stable store.Store
+		if *walPath != "" {
+			path := *walPath
+			if *clusterN > 1 {
+				path = fmt.Sprintf("%s.%d", path, i)
+			}
+			wal, err := store.OpenWAL(path, store.WALOptions{Sync: true})
+			if err != nil {
+				return nil, err
+			}
+			walClosers = append(walClosers, wal.Close)
+			stable = wal
+		}
+		bo := broker.Options{Name: name, Profile: profile, Stable: stable, Metrics: reg}
+		if spans != nil {
+			// Assign only when non-nil: a typed-nil *obs.Spans in the
+			// interface field would defeat broker.New's NopSpans guard.
+			bo.Spans = spans
+		}
+		return broker.New(bo)
+	}
+
+	var provider jms.ConnectionFactory
+	var clu *cluster.Cluster
+	if *clusterN == 1 {
+		b, err := newBroker(*name, 0)
 		if err != nil {
 			return err
 		}
-		defer wal.Close()
-		stable = wal
+		defer b.Close()
+		provider = b
+	} else {
+		place, err := cluster.PlacementByName(*placementName, *clusterN)
+		if err != nil {
+			return err
+		}
+		nodes := make([]cluster.Node, 0, *clusterN)
+		for i := 0; i < *clusterN; i++ {
+			b, err := newBroker(fmt.Sprintf("%s-%d", *name, i), i)
+			if err != nil {
+				return err
+			}
+			defer b.Close()
+			nodes = append(nodes, cluster.Node{Name: b.Name(), Factory: b})
+		}
+		clu, err = cluster.New(cluster.Options{Nodes: nodes, Placement: place, Metrics: reg})
+		if err != nil {
+			return err
+		}
+		defer clu.Close()
+		provider = clu
 	}
 
-	// One registry backs both the broker and the wire server, so a
-	// single /metricz shows the whole process. Span tracing only runs
-	// when someone can look at it.
-	reg := obs.NewRegistry()
-	var spans *obs.Spans
-	brokerOpts := broker.Options{Name: *name, Profile: profile, Stable: stable, Metrics: reg}
-	if *obsAddr != "" {
-		spans = obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
-		brokerOpts.Spans = spans
-	}
-	b, err := broker.New(brokerOpts)
-	if err != nil {
-		return err
-	}
-	defer b.Close()
-
-	srv, err := wire.NewServer(b, *addr)
+	srv, err := wire.NewServer(provider, *addr)
 	if err != nil {
 		return err
 	}
@@ -82,6 +142,9 @@ func run(args []string) error {
 	if *obsAddr != "" {
 		h := obs.NewHandler(reg)
 		h.HandleJSON("/spanz", func() any { return spans.Snapshot() })
+		if clu != nil {
+			h.HandleJSON("/clusterz", func() any { return clu.Status() })
+		}
 		ohs, err := obs.NewHTTPServer(*obsAddr, h)
 		if err != nil {
 			return err
@@ -89,7 +152,12 @@ func run(args []string) error {
 		defer ohs.Close()
 		fmt.Printf("jmsbrokerd: observability on http://%s/metricz\n", ohs.Addr())
 	}
-	fmt.Printf("jmsbrokerd: serving %s profile on %s\n", profile.Name, srv.Addr())
+	if clu != nil {
+		fmt.Printf("jmsbrokerd: serving %d-node %s cluster (%s profile) on %s\n",
+			*clusterN, *placementName, profile.Name, srv.Addr())
+	} else {
+		fmt.Printf("jmsbrokerd: serving %s profile on %s\n", profile.Name, srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

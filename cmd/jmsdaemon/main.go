@@ -5,8 +5,14 @@
 //
 //	jmsdaemon -addr 127.0.0.1:7901 -broker 127.0.0.1:7800 -name daemon-A
 //
+// -broker accepts a comma-separated list of wire addresses; more than
+// one federates the remote brokers client-side into a sharded cluster
+// (-placement picks the destination sharding policy), and the daemon
+// tests the federation as a single provider.
+//
 // With -obs-addr the daemon serves its run-lifecycle and harness
-// progress metrics over HTTP (/metricz, /healthz, /debug/pprof).
+// progress metrics over HTTP (/metricz, /healthz, /debug/pprof), plus
+// /clusterz with topology and per-node routing when federating.
 package main
 
 import (
@@ -14,9 +20,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"jmsharness/internal/cluster"
 	"jmsharness/internal/daemon"
+	"jmsharness/internal/jms"
 	"jmsharness/internal/obs"
 	"jmsharness/internal/wire"
 )
@@ -31,7 +40,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("jmsdaemon", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7901", "RPC listen address")
-	brokerAddr := fs.String("broker", "127.0.0.1:7800", "wire address of the provider under test")
+	brokerAddrs := fs.String("broker", "127.0.0.1:7800", "comma-separated wire addresses of the provider(s) under test; >1 federates them client-side")
+	placementName := fs.String("placement", "hash-ring", "destination sharding policy when federating: hash-ring, modulo")
 	name := fs.String("name", "", "daemon name (default: listen address)")
 	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /healthz, /debug/pprof); empty: disabled")
 	if err := fs.Parse(args); err != nil {
@@ -41,21 +51,60 @@ func run(args []string) error {
 		*name = *addr
 	}
 
-	d := daemon.NewDaemon(*name, wire.NewFactory(*brokerAddr), nil)
+	var addrs []string
+	for _, a := range strings.Split(*brokerAddrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("-broker needs at least one wire address")
+	}
+	var provider jms.ConnectionFactory
+	var clu *cluster.Cluster
+	if len(addrs) == 1 {
+		provider = wire.NewFactory(addrs[0])
+	} else {
+		place, err := cluster.PlacementByName(*placementName, len(addrs))
+		if err != nil {
+			return err
+		}
+		nodes := make([]cluster.Node, len(addrs))
+		for i, a := range addrs {
+			nodes[i] = cluster.Node{Name: a, Factory: wire.NewFactory(a)}
+		}
+		clu, err = cluster.New(cluster.Options{Nodes: nodes, Placement: place})
+		if err != nil {
+			return err
+		}
+		defer clu.Close()
+		provider = clu
+	}
+
+	d := daemon.NewDaemon(*name, provider, nil)
 	bound, err := d.Listen(*addr)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
 	if *obsAddr != "" {
-		ohs, err := obs.NewHTTPServer(*obsAddr, obs.NewHandler(d.Metrics()))
+		h := obs.NewHandler(d.Metrics())
+		if clu != nil {
+			h.HandleJSON("/clusterz", func() any { return clu.Status() })
+		}
+		ohs, err := obs.NewHTTPServer(*obsAddr, h)
 		if err != nil {
 			return err
 		}
 		defer ohs.Close()
 		fmt.Printf("jmsdaemon: observability on http://%s/metricz\n", ohs.Addr())
 	}
-	fmt.Printf("jmsdaemon: %s serving on %s, testing provider at %s\n", *name, bound, *brokerAddr)
+	if clu != nil {
+		fmt.Printf("jmsdaemon: %s serving on %s, testing %d-node %s federation of %s\n",
+			*name, bound, len(addrs), *placementName, strings.Join(addrs, ", "))
+	} else {
+		fmt.Printf("jmsdaemon: %s serving on %s, testing provider at %s\n", *name, bound, addrs[0])
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

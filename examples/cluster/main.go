@@ -1,0 +1,132 @@
+// Cluster: a sharded broker federation used as a single provider —
+// queues consistently hashed across three nodes (FIFO preserved on the
+// owning shard), topic publishes forwarded to subscriber-hosting
+// nodes, durable subscriptions surviving a node crash and restart, and
+// the whole federation passing the formal conformance check.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jmsharness/internal/cluster"
+	"jmsharness/internal/core"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Three in-process broker nodes, each with its own stable store,
+	// federated behind one jms.ConnectionFactory. Everything below
+	// speaks the plain JMS API; the sharding is invisible.
+	stables := []store.Store{store.NewMemory(), store.NewMemory(), store.NewMemory()}
+	c, err := cluster.NewLocal(3, cluster.LocalOptions{NamePrefix: "ex", Stables: stables})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Point-to-point: each queue lives entirely on the node the
+	// consistent hash assigns it, so per-queue FIFO order holds.
+	conn, err := c.CreateConnection()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.SetClientID("cluster-example"); err != nil {
+		return err
+	}
+	if err := conn.Start(); err != nil {
+		return err
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		return err
+	}
+	for q := 0; q < 6; q++ {
+		dest := jms.Queue(fmt.Sprintf("ex.orders-%d", q))
+		p, err := sess.CreateProducer(dest)
+		if err != nil {
+			return err
+		}
+		if err := p.Send(jms.NewTextMessage(fmt.Sprintf("order %d", q)), jms.DefaultSendOptions()); err != nil {
+			return err
+		}
+		cons, err := sess.CreateConsumer(dest)
+		if err != nil {
+			return err
+		}
+		m, err := cons.Receive(time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("queue %-12s -> node %d: %q\n", dest.Name(), c.QueueNode(dest.Name()), m.Body.(jms.TextBody))
+		_ = cons.Close()
+	}
+	for _, ns := range c.Status().Nodes {
+		fmt.Printf("node %s routed %d queue messages across %d queues\n", ns.Name, ns.Routed, ns.Queues)
+	}
+
+	// Durable pub/sub across a node crash: the subscription is pinned
+	// to one shard; crash it, publish while it is down elsewhere is
+	// impossible (its destinations error), restart it, and the durable
+	// backlog is still there.
+	sub, err := sess.CreateDurableSubscriber(jms.Topic("ex.prices"), "audit")
+	if err != nil {
+		return err
+	}
+	node := c.DurableNode("cluster-example", "audit")
+	pub, err := sess.CreateProducer(jms.Topic("ex.prices"))
+	if err != nil {
+		return err
+	}
+	if err := pub.Send(jms.NewTextMessage("tick 1"), jms.DefaultSendOptions()); err != nil {
+		return err
+	}
+	if m, err := sub.Receive(time.Second); err != nil {
+		return err
+	} else {
+		fmt.Printf("durable on node %d received: %q\n", node, m.Body.(jms.TextBody))
+	}
+	c.CrashNode(node)
+	fmt.Printf("node %d crashed; its destinations fail, the rest keep working\n", node)
+	if err := c.RestartNode(node); err != nil {
+		return err
+	}
+	fmt.Printf("node %d restarted from its stable store\n", node)
+	_ = sub.Close()
+
+	// The acceptance bar: the federation must be indistinguishable from
+	// a single conforming provider under the formal model.
+	cfg := harness.Config{
+		Name:        "cluster-example",
+		Destination: jms.Queue("ex.conformance"),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 200, BodySize: 64}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1"}},
+		Warmup:      20 * time.Millisecond,
+		Run:         200 * time.Millisecond,
+		Warmdown:    100 * time.Millisecond,
+	}
+	res, err := core.RunAndAnalyze(c, cfg, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conformance across %d nodes: ok=%t (%d messages delivered)\n",
+		c.NumNodes(), res.Conformance.OK(), res.Stats.Delivers)
+	if !res.Conformance.OK() {
+		return fmt.Errorf("cluster violated the specification:\n%s", res.Conformance)
+	}
+
+	fmt.Println("done")
+	return nil
+}

@@ -27,6 +27,7 @@ func TestExamplesRun(t *testing.T) {
 		{dir: "distributed", want: "distributed test conforms"},
 		{dir: "comparison", args: []string{"-quick"}, want: "factor of 10"},
 		{dir: "observability", want: "done"},
+		{dir: "cluster", want: "done"},
 	}
 	for _, c := range cases {
 		c := c

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -285,4 +286,138 @@ func TestBrokerdWALPersistence(t *testing.T) {
 // imports tidy).
 func wireFactory(addr string) jms.ConnectionFactory {
 	return wire.NewFactory(addr)
+}
+
+// TestBenchScaleExperiment runs the cluster scaling sweep through the
+// real jmsbench binary and checks the machine-readable report: the
+// sweep must reach 4 shards, conform at every point, and scale with a
+// wide margin (4 shards at least doubling 1 shard's throughput — the
+// configured capacity ratio is 4x, so 2x is a safe floor on CI).
+func TestBenchScaleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bins := buildBinaries(t, "jmsbench")
+	jsonDir := t.TempDir()
+	cmd := exec.Command(bins["jmsbench"], "-experiment", "scale", "-scale", "0.3", "-json-dir", jsonDir)
+	output, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("jmsbench scale failed: %v\n%s", err, output)
+	}
+	data, err := os.ReadFile(filepath.Join(jsonDir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatalf("machine-readable report: %v", err)
+	}
+	var report struct {
+		ClusterNodes    int    `json:"cluster_nodes"`
+		PlacementPolicy string `json:"placement_policy"`
+		Experiments     map[string]struct {
+			Placement string `json:"placement"`
+			Points    []struct {
+				Nodes         int     `json:"nodes"`
+				ConsumerMsgs  float64 `json:"consumer_msgs_per_sec"`
+				ConformanceOK bool    `json:"conformance_ok"`
+			} `json:"points"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_1.json is not valid JSON: %v", err)
+	}
+	if report.ClusterNodes != 4 || report.PlacementPolicy != "hash-ring" {
+		t.Errorf("report cluster fields = %d/%q, want 4/hash-ring",
+			report.ClusterNodes, report.PlacementPolicy)
+	}
+	points := report.Experiments["scale"].Points
+	if len(points) != 4 {
+		t.Fatalf("scale sweep has %d points, want 4:\n%s", len(points), data)
+	}
+	for _, p := range points {
+		if !p.ConformanceOK {
+			t.Errorf("%d-shard point violated the formal model", p.Nodes)
+		}
+	}
+	if points[3].ConsumerMsgs < 2*points[0].ConsumerMsgs {
+		t.Errorf("4 shards (%.1f msg/s) did not double 1 shard (%.1f msg/s)",
+			points[3].ConsumerMsgs, points[0].ConsumerMsgs)
+	}
+}
+
+// TestBrokerdClusterEndToEnd starts jmsbrokerd -cluster 3 as a real
+// process, works several queues through the single wire endpoint, and
+// reads /clusterz to check the federation actually sharded them.
+func TestBrokerdClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bins := buildBinaries(t, "jmsbrokerd")
+	addr := freePort(t)
+	obsAddr := freePort(t)
+	startDaemonProcess(t, bins["jmsbrokerd"],
+		"-addr", addr, "-cluster", "3", "-obs-addr", obsAddr)
+	waitListening(t, addr)
+	waitListening(t, obsAddr)
+
+	conn, err := wireFactory(addr).CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		q := jms.Queue(fmt.Sprintf("itq-%d", i))
+		p, err := sess.CreateProducer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Send(jms.NewTextMessage("hi"), jms.DefaultSendOptions()); err != nil {
+			t.Fatal(err)
+		}
+		c, err := sess.CreateConsumer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Receive(2 * time.Second); err != nil {
+			t.Fatalf("queue %s: %v", q.Name(), err)
+		}
+		_ = c.Close()
+	}
+
+	resp, err := http.Get("http://" + obsAddr + "/clusterz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Placement string `json:"placement"`
+		Nodes     []struct {
+			Name   string `json:"name"`
+			Routed int64  `json:"routed"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("/clusterz: %v", err)
+	}
+	if len(status.Nodes) != 3 || status.Placement != "hash-ring" {
+		t.Fatalf("/clusterz topology = %d nodes %q placement", len(status.Nodes), status.Placement)
+	}
+	var total int64
+	busy := 0
+	for _, n := range status.Nodes {
+		total += n.Routed
+		if n.Routed > 0 {
+			busy++
+		}
+	}
+	if total != 8 {
+		t.Errorf("cluster routed %d messages, want 8", total)
+	}
+	if busy < 2 {
+		t.Errorf("only %d of 3 nodes took traffic; sharding is not spreading", busy)
+	}
 }

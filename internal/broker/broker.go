@@ -155,7 +155,9 @@ func New(opts Options) (*Broker, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
-	if opts.Spans == nil {
+	// The typed-nil check matters: a caller holding a nil *obs.Spans
+	// (span tracing disabled) still produces a non-nil interface here.
+	if s, ok := opts.Spans.(*obs.Spans); opts.Spans == nil || (ok && s == nil) {
 		opts.Spans = obs.NopSpans()
 	}
 	b := &Broker{

@@ -200,8 +200,8 @@ func TestPubSubNoSubscribersDropsMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustSend(t, p, "unheard", jms.DefaultSendOptions())
-	if b.Pending() != 0 {
-		t.Errorf("Pending = %d", b.Pending())
+	if b.Stats().Backlog != 0 {
+		t.Errorf("Backlog = %d", b.Stats().Backlog)
 	}
 	// A subscriber joining later gets nothing.
 	c, err := sess.CreateConsumer(jms.Topic("void"))
@@ -411,8 +411,8 @@ func TestExpiredMessageNotDelivered(t *testing.T) {
 	if got := mustReceiveText(t, c, time.Second); got != "lives" {
 		t.Errorf("got %q, expired message delivered", got)
 	}
-	if b.ExpiredDropped() != 1 {
-		t.Errorf("ExpiredDropped = %d", b.ExpiredDropped())
+	if b.Stats().Expired != 1 {
+		t.Errorf("Expired = %d", b.Stats().Expired)
 	}
 }
 

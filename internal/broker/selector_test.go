@@ -120,8 +120,8 @@ func TestTopicSelectorFiltersAtSubscription(t *testing.T) {
 		t.Errorf("EU subscriber got cross-traffic %v", msg)
 	}
 	// Non-matching messages never entered the subscription's buffer.
-	if b.Pending() != 0 {
-		t.Errorf("Pending = %d, filtered messages buffered", b.Pending())
+	if b.Stats().Backlog != 0 {
+		t.Errorf("Backlog = %d, filtered messages buffered", b.Stats().Backlog)
 	}
 }
 
@@ -266,11 +266,11 @@ func TestSelectorExpiredStillDropped(t *testing.T) {
 	if got := mustReceiveText(t, c, time.Second); got != "wanted" {
 		t.Errorf("got %q", got)
 	}
-	if b.ExpiredDropped() != 1 {
-		t.Errorf("ExpiredDropped = %d", b.ExpiredDropped())
+	if b.Stats().Expired != 1 {
+		t.Errorf("Expired = %d", b.Stats().Expired)
 	}
-	if b.Pending() != 0 {
-		t.Errorf("Pending = %d", b.Pending())
+	if b.Stats().Backlog != 0 {
+		t.Errorf("Backlog = %d", b.Stats().Backlog)
 	}
 }
 

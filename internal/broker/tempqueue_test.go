@@ -76,14 +76,14 @@ func TestTemporaryQueueDeletedOnConnectionClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustSend(t, p, "stranded", jms.DefaultSendOptions())
-	if b.Pending() != 1 {
-		t.Fatalf("Pending = %d", b.Pending())
+	if b.Stats().Backlog != 1 {
+		t.Fatalf("Backlog = %d", b.Stats().Backlog)
 	}
 	if err := conn.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if b.Pending() != 0 {
-		t.Errorf("temp queue contents survived connection close: Pending = %d", b.Pending())
+	if b.Stats().Backlog != 0 {
+		t.Errorf("temp queue contents survived connection close: Backlog = %d", b.Stats().Backlog)
 	}
 	// Ownership entry is gone: a new connection may not consume...
 	_, sess2 := openSession(t, b, false, jms.AckAuto)

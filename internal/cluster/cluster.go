@@ -1,0 +1,606 @@
+// Package cluster federates N broker nodes behind a single jms-API
+// provider, the repository's first horizontal-scale step beyond one
+// broker process. A routing front-end shards destinations across nodes
+// by consistent hashing (pluggable Placement policy):
+//
+//   - A queue lives entirely on one node — every send and every
+//     receive for it is routed there, so per-destination FIFO order is
+//     preserved end to end without cross-node coordination.
+//   - A topic publish is forwarded to every node hosting a
+//     subscription for it (tracked by a subscriber registry, with a
+//     conservative all-nodes fallback for nodes that may carry durable
+//     state the front-end has not seen). Each subscription lives on
+//     exactly one node, so no subscriber sees duplicates.
+//   - A durable subscription's node is derived from its (clientID,
+//     name) identity, so a subscriber that reconnects — even through a
+//     fresh front-end — finds its accumulated backlog.
+//
+// Nodes are plain jms.ConnectionFactory values: in-process brokers
+// (internal/broker), remote wire servers (internal/wire), or any mix.
+// Node crash/restart composes with the store-backed recovery path of
+// the in-process broker, so persistent delivery and durable
+// subscriptions survive a node death. The harness tests a Cluster
+// exactly as it tests a single provider — which is the paper's point:
+// conformance tooling that survives provider evolution.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+	"jmsharness/internal/store"
+	"jmsharness/internal/wire"
+)
+
+// Node is one member of the cluster.
+type Node struct {
+	// Name labels the node in metrics and /clusterz. Names must be
+	// unique within a cluster.
+	Name string
+	// Factory is the node's provider. In-process brokers keep their
+	// crash-injection capability; remote wire factories are opaque.
+	Factory jms.ConnectionFactory
+	// ForwardAlways opts this node into receiving every topic publish
+	// regardless of the front-end's subscriber registry. Set it for
+	// nodes that may hold durable subscriptions the front-end did not
+	// create (a broker recovered from a pre-existing store, a remote
+	// broker with prior clients); without it such subscriptions would
+	// silently miss publishes until a subscriber reconnects through
+	// this front-end.
+	ForwardAlways bool
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// Nodes are the cluster members; at least one is required.
+	Nodes []Node
+	// Placement is the sharding policy; nil means a consistent-hash
+	// ring over len(Nodes) with DefaultReplicas virtual nodes.
+	Placement Placement
+	// Metrics receives the cluster's instruments (per-node routed/
+	// forwarded counters under "cluster.*" and the routing-latency
+	// histogram). Nil means a private registry, still readable through
+	// Metrics().
+	Metrics *obs.Registry
+}
+
+// Cluster is a sharded federation of broker nodes. It implements
+// jms.ConnectionFactory and is safe for concurrent use.
+type Cluster struct {
+	nodes []Node
+	place Placement
+
+	reg     *obs.Registry
+	met     clusterMetrics
+	anonSeq atomic.Int64
+
+	mu        sync.Mutex
+	topics    map[string]*topicState  // topic name -> forwarding state
+	temps     map[string]int          // temporary queue name -> owning node
+	queues    map[string]int          // queue name -> owning node (observed)
+	clientIDs map[string]*clusterConn // cluster-wide client-ID claims
+	crashed   []bool                  // front-end's view of CrashNode state
+	closed    bool
+
+	// owned holds resources the cluster created itself (NewLocal
+	// brokers) and must close.
+	owned []func() error
+}
+
+// topicState tracks which nodes must receive a topic's publishes.
+type topicState struct {
+	// refs counts live consumers (non-durable subscribers and active
+	// durable subscribers) per node.
+	refs map[int]int
+	// durables maps a durable subscription key to its node; entries
+	// survive consumer close and disappear on Unsubscribe, because the
+	// subscription keeps accumulating messages while inactive.
+	durables map[string]int
+}
+
+// clusterMetrics resolves the cluster's instruments once at
+// construction, one counter pair per node.
+type clusterMetrics struct {
+	routed    []*obs.Counter // queue messages routed to node i
+	forwarded []*obs.Counter // topic publish copies forwarded to node i
+	consumers []*obs.Gauge   // live consumers on node i
+	routeNs   *obs.Histogram // full cluster-side send latency, ns
+}
+
+// New returns a cluster over the given nodes.
+func New(opts Options) (*Cluster, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	names := map[string]bool{}
+	for i := range opts.Nodes {
+		if opts.Nodes[i].Name == "" {
+			opts.Nodes[i].Name = fmt.Sprintf("node-%d", i)
+		}
+		if opts.Nodes[i].Factory == nil {
+			return nil, fmt.Errorf("cluster: node %s has no factory", opts.Nodes[i].Name)
+		}
+		if names[opts.Nodes[i].Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %s", opts.Nodes[i].Name)
+		}
+		names[opts.Nodes[i].Name] = true
+	}
+	if opts.Placement == nil {
+		ring, err := NewHashRing(len(opts.Nodes), 0)
+		if err != nil {
+			return nil, err
+		}
+		opts.Placement = ring
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	c := &Cluster{
+		nodes:     opts.Nodes,
+		place:     opts.Placement,
+		reg:       opts.Metrics,
+		topics:    map[string]*topicState{},
+		temps:     map[string]int{},
+		queues:    map[string]int{},
+		clientIDs: map[string]*clusterConn{},
+		crashed:   make([]bool, len(opts.Nodes)),
+	}
+	c.met = clusterMetrics{
+		routed:    make([]*obs.Counter, len(c.nodes)),
+		forwarded: make([]*obs.Counter, len(c.nodes)),
+		consumers: make([]*obs.Gauge, len(c.nodes)),
+		routeNs:   c.reg.Histogram("cluster.route_ns", nil),
+	}
+	for i, n := range c.nodes {
+		c.met.routed[i] = c.reg.Counter("cluster.routed." + n.Name)
+		c.met.forwarded[i] = c.reg.Counter("cluster.forwarded." + n.Name)
+		c.met.consumers[i] = c.reg.Gauge("cluster.consumers." + n.Name)
+	}
+	c.reg.Gauge("cluster.nodes").Set(int64(len(c.nodes)))
+	return c, nil
+}
+
+// LocalOptions configures NewLocal.
+type LocalOptions struct {
+	// NamePrefix prefixes node (and broker) names; default "node".
+	NamePrefix string
+	// Profile is the per-node performance profile (the zero profile
+	// applies no shaping).
+	Profile broker.Profile
+	// Stables are per-node stable stores; nil (or nil entries) mean
+	// in-memory stores. Length must be 0 or n.
+	Stables []store.Store
+	// Placement, Metrics and Seed are as in Options.
+	Placement Placement
+	Metrics   *obs.Registry
+	Seed      uint64
+}
+
+// NewLocal builds a cluster of n fresh in-process brokers, the common
+// configuration for tests and the scale experiments. The brokers are
+// owned by the cluster and closed by Close.
+func NewLocal(n int, opts LocalOptions) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need n > 0 local nodes, got %d", n)
+	}
+	if opts.NamePrefix == "" {
+		opts.NamePrefix = "node"
+	}
+	if len(opts.Stables) != 0 && len(opts.Stables) != n {
+		return nil, fmt.Errorf("cluster: %d stores for %d nodes", len(opts.Stables), n)
+	}
+	nodes := make([]Node, 0, n)
+	var owned []func() error
+	for i := 0; i < n; i++ {
+		var stable store.Store
+		if len(opts.Stables) == n {
+			stable = opts.Stables[i]
+		}
+		b, err := broker.New(broker.Options{
+			Name:    fmt.Sprintf("%s-%d", opts.NamePrefix, i),
+			Profile: opts.Profile,
+			Stable:  stable,
+			Seed:    opts.Seed + uint64(i)*31,
+		})
+		if err != nil {
+			for _, cl := range owned {
+				_ = cl()
+			}
+			return nil, err
+		}
+		owned = append(owned, b.Close)
+		nodes = append(nodes, Node{Name: b.Name(), Factory: b})
+	}
+	c, err := New(Options{Nodes: nodes, Placement: opts.Placement, Metrics: opts.Metrics})
+	if err != nil {
+		for _, cl := range owned {
+			_ = cl()
+		}
+		return nil, err
+	}
+	c.owned = owned
+	return c, nil
+}
+
+var _ jms.ConnectionFactory = (*Cluster)(nil)
+
+// Metrics returns the cluster's metrics registry.
+func (c *Cluster) Metrics() *obs.Registry { return c.reg }
+
+// Placement returns the cluster's placement policy.
+func (c *Cluster) Placement() Placement { return c.place }
+
+// NumNodes returns the cluster size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// NodeName returns the name of node i.
+func (c *Cluster) NodeName(i int) string { return c.nodes[i].Name }
+
+// QueueNode returns the node index owning the named queue (following
+// the temporary-queue registry for "TEMP." names).
+func (c *Cluster) QueueNode(name string) int {
+	c.mu.Lock()
+	if n, ok := c.temps[name]; ok {
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+	return c.place.Node(queueKey(name))
+}
+
+// queueNodeObserved is QueueNode plus recording the queue for Status.
+func (c *Cluster) queueNodeObserved(name string) int {
+	c.mu.Lock()
+	if n, ok := c.temps[name]; ok {
+		c.mu.Unlock()
+		return n
+	}
+	n, ok := c.queues[name]
+	if !ok {
+		n = c.place.Node(queueKey(name))
+		c.queues[name] = n
+	}
+	c.mu.Unlock()
+	return n
+}
+
+// DurableNode returns the node index hosting the durable subscription
+// (clientID, subName).
+func (c *Cluster) DurableNode(clientID, subName string) int {
+	return c.place.Node(durableKey(clientID, subName))
+}
+
+// topicTargets returns the node indices a publish on topic must reach:
+// every node with a registered subscription, every ForwardAlways node,
+// and — when that union is empty — the topic's home node, so the
+// message is still stamped and accounted by exactly one provider (a
+// publish with no subscribers is dropped there, as on a single
+// broker).
+func (c *Cluster) topicTargets(topic string) []int {
+	set := map[int]bool{}
+	c.mu.Lock()
+	if ts, ok := c.topics[topic]; ok {
+		for n := range ts.refs {
+			set[n] = true
+		}
+		for _, n := range ts.durables {
+			set[n] = true
+		}
+	}
+	c.mu.Unlock()
+	for i := range c.nodes {
+		if c.nodes[i].ForwardAlways {
+			set[i] = true
+		}
+	}
+	if len(set) == 0 {
+		return []int{c.place.Node(topicKey(topic))}
+	}
+	out := make([]int, 0, len(set))
+	for i := range c.nodes {
+		if set[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// topicState returns (creating if needed) the forwarding state of a
+// topic. Callers hold c.mu.
+func (c *Cluster) topicStateLocked(topic string) *topicState {
+	ts, ok := c.topics[topic]
+	if !ok {
+		ts = &topicState{refs: map[int]int{}, durables: map[string]int{}}
+		c.topics[topic] = ts
+	}
+	return ts
+}
+
+// addConsumerRef registers a live consumer on node for topic and
+// returns the matching (idempotent) release.
+func (c *Cluster) addConsumerRef(topic string, node int) (release func()) {
+	c.mu.Lock()
+	c.topicStateLocked(topic).refs[node]++
+	c.mu.Unlock()
+	c.met.consumers[node].Inc()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			if ts, ok := c.topics[topic]; ok {
+				ts.refs[node]--
+				if ts.refs[node] <= 0 {
+					delete(ts.refs, node)
+				}
+			}
+			c.mu.Unlock()
+			c.met.consumers[node].Dec()
+		})
+	}
+}
+
+// trackConsumer counts a live consumer on node in the per-node gauge
+// and returns the matching (idempotent through the caller's sync.Once)
+// release. Topic consumers use addConsumerRef instead, which also
+// maintains the forwarding table.
+func (c *Cluster) trackConsumer(node int) (release func()) {
+	c.met.consumers[node].Inc()
+	var once sync.Once
+	return func() { once.Do(func() { c.met.consumers[node].Dec() }) }
+}
+
+// claimClientID claims id for conn cluster-wide. Node brokers enforce
+// client-ID uniqueness only among their own connections, and a cluster
+// connection touches an unpredictable subset of nodes — so uniqueness
+// across cluster connections must be enforced here at the front-end.
+func (c *Cluster) claimClientID(id string, conn *clusterConn) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty client ID", jms.ErrInvalidArgument)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if holder, ok := c.clientIDs[id]; ok && holder != conn {
+		return jms.ErrClientIDInUse
+	}
+	c.clientIDs[id] = conn
+	return nil
+}
+
+// releaseClientID releases conn's claim on id when it closes.
+func (c *Cluster) releaseClientID(id string, conn *clusterConn) {
+	c.mu.Lock()
+	if c.clientIDs[id] == conn {
+		delete(c.clientIDs, id)
+	}
+	c.mu.Unlock()
+}
+
+// addDurable pins a durable subscription's topic forwarding to node;
+// the pin survives consumer close and is removed by removeDurable.
+func (c *Cluster) addDurable(topic, key string, node int) {
+	c.mu.Lock()
+	c.topicStateLocked(topic).durables[key] = node
+	c.mu.Unlock()
+}
+
+// removeDurable drops a durable pin after Unsubscribe. The topic is
+// unknown to the caller (Unsubscribe carries only the name), so every
+// topic's table is checked.
+func (c *Cluster) removeDurable(key string) {
+	c.mu.Lock()
+	for _, ts := range c.topics {
+		delete(ts.durables, key)
+	}
+	c.mu.Unlock()
+}
+
+// registerTemp records a created temporary queue's owning node.
+func (c *Cluster) registerTemp(name string, node int) {
+	c.mu.Lock()
+	c.temps[name] = node
+	c.mu.Unlock()
+}
+
+// unregisterTemps drops temp-queue routes when their owning connection
+// closes.
+func (c *Cluster) unregisterTemps(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, n := range names {
+		delete(c.temps, n)
+	}
+	c.mu.Unlock()
+}
+
+// CreateConnection implements jms.ConnectionFactory. Node connections
+// are opened lazily as destinations route to them, so a connection can
+// be created (and work against healthy shards) while another node is
+// down.
+func (c *Cluster) CreateConnection() (jms.Connection, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("cluster: %w", jms.ErrClosed)
+	}
+	return newClusterConn(c), nil
+}
+
+// Crash implements the harness's Crashable on the whole federation:
+// every crash-capable node is crashed. Nodes that do not support crash
+// injection (remote wire factories) are untouched.
+func (c *Cluster) Crash() {
+	for i := range c.nodes {
+		c.CrashNode(i)
+	}
+}
+
+// Restart recovers every node crashed through this front-end.
+func (c *Cluster) Restart() error {
+	var first error
+	for i := range c.nodes {
+		c.mu.Lock()
+		crashed := c.crashed[i]
+		c.mu.Unlock()
+		if !crashed {
+			continue
+		}
+		if err := c.RestartNode(i); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// crashable is the node-level crash-injection surface (implemented by
+// the in-process broker).
+type crashable interface {
+	Crash()
+	Restart() error
+}
+
+// CrashNode crashes node i if it supports crash injection, reporting
+// whether it did. The node's volatile state is lost; its stable store
+// survives for RestartNode.
+func (c *Cluster) CrashNode(i int) bool {
+	cr, ok := c.nodes[i].Factory.(crashable)
+	if !ok {
+		return false
+	}
+	c.mu.Lock()
+	c.crashed[i] = true
+	// The crashed node force-closes its consumers; drop the stale
+	// non-durable forwarding refs so publishes stop targeting it (the
+	// durable pins stay — those subscriptions recover with the node).
+	for _, ts := range c.topics {
+		delete(ts.refs, i)
+	}
+	c.mu.Unlock()
+	cr.Crash()
+	c.met.consumers[i].Set(0)
+	return true
+}
+
+// RestartNode recovers node i from its stable store.
+func (c *Cluster) RestartNode(i int) error {
+	cr, ok := c.nodes[i].Factory.(crashable)
+	if !ok {
+		return fmt.Errorf("cluster: node %s does not support crash injection", c.nodes[i].Name)
+	}
+	if err := cr.Restart(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.crashed[i] = false
+	c.mu.Unlock()
+	return nil
+}
+
+// Close marks the cluster closed and closes any nodes it owns
+// (NewLocal brokers). Externally supplied factories stay open — their
+// lifecycle belongs to the caller.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	owned := c.owned
+	c.owned = nil
+	c.mu.Unlock()
+	var first error
+	for _, cl := range owned {
+		if err := cl(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NodeStatus is one node's row in the /clusterz snapshot.
+type NodeStatus struct {
+	Index     int    `json:"index"`
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Crashable bool   `json:"crashable"`
+	Crashed   bool   `json:"crashed"`
+	// Routed counts queue messages routed to the node, Forwarded the
+	// topic publish copies sent to it, Consumers its live consumers.
+	Routed    int64 `json:"routed"`
+	Forwarded int64 `json:"forwarded"`
+	Consumers int64 `json:"consumers"`
+	// Queues is the number of distinct queues observed routing here.
+	Queues int `json:"queues"`
+}
+
+// Status is the /clusterz snapshot: topology, placement and per-node
+// routing counters.
+type Status struct {
+	Nodes     []NodeStatus `json:"nodes"`
+	Placement string       `json:"placement"`
+	// Topics maps each known topic to the node indices its publishes
+	// currently forward to.
+	Topics map[string][]int `json:"topics"`
+	// TempQueues is the number of live temporary-queue routes.
+	TempQueues int `json:"temp_queues"`
+}
+
+// nodeKind labels a node's factory type for Status.
+func nodeKind(f jms.ConnectionFactory) string {
+	switch f.(type) {
+	case *broker.Broker:
+		return "broker"
+	case *wire.Factory:
+		return "wire"
+	default:
+		return "custom"
+	}
+}
+
+// Status returns a point-in-time snapshot of the cluster for the
+// /clusterz endpoint.
+func (c *Cluster) Status() Status {
+	st := Status{
+		Placement: c.place.Name(),
+		Topics:    map[string][]int{},
+	}
+	queuesPerNode := make([]int, len(c.nodes))
+	c.mu.Lock()
+	for _, n := range c.queues {
+		queuesPerNode[n]++
+	}
+	st.TempQueues = len(c.temps)
+	for _, n := range c.temps {
+		queuesPerNode[n]++
+	}
+	crashed := append([]bool(nil), c.crashed...)
+	topics := make([]string, 0, len(c.topics))
+	for t := range c.topics {
+		topics = append(topics, t)
+	}
+	c.mu.Unlock()
+	for _, t := range topics {
+		st.Topics[t] = c.topicTargets(t)
+	}
+	for i, n := range c.nodes {
+		_, canCrash := n.Factory.(crashable)
+		st.Nodes = append(st.Nodes, NodeStatus{
+			Index:     i,
+			Name:      n.Name,
+			Kind:      nodeKind(n.Factory),
+			Crashable: canCrash,
+			Crashed:   crashed[i],
+			Routed:    c.met.routed[i].Value(),
+			Forwarded: c.met.forwarded[i].Value(),
+			Consumers: c.met.consumers[i].Value(),
+			Queues:    queuesPerNode[i],
+		})
+	}
+	return st
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/core"
+	"jmsharness/internal/faults"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/store"
+)
+
+// clusterSuite is the stock conformance schedule pointed at a cluster:
+// the same workload shapes the daemon prince schedules against a single
+// provider, plus a sharded multi-queue test only a cluster can fail in
+// interesting ways.
+func clusterSuite() []harness.Config {
+	const (
+		warm = 50 * time.Millisecond
+		run  = 300 * time.Millisecond
+		down = 200 * time.Millisecond
+	)
+	shardedQueues := harness.Config{
+		Name:     "sharded-queues",
+		Warmup:   warm,
+		Run:      run,
+		Warmdown: down,
+	}
+	for i := 0; i < 4; i++ {
+		q := jms.Queue(fmt.Sprintf("cluster.shard-%d", i))
+		shardedQueues.Producers = append(shardedQueues.Producers,
+			harness.ProducerConfig{ID: fmt.Sprintf("p%d", i), Rate: 100, BodySize: 64, Destination: q})
+		shardedQueues.Consumers = append(shardedQueues.Consumers,
+			harness.ConsumerConfig{ID: fmt.Sprintf("c%d", i), Destination: q})
+	}
+	return []harness.Config{
+		{
+			Name:        "queue-basic",
+			Destination: jms.Queue("cluster.orders"),
+			Producers: []harness.ProducerConfig{
+				{ID: "p1", Rate: 150, BodySize: 256},
+				{ID: "p2", Rate: 150, BodySize: 256},
+			},
+			Consumers: []harness.ConsumerConfig{{ID: "c1"}, {ID: "c2"}},
+			Warmup:    warm, Run: run, Warmdown: down,
+		},
+		{
+			Name:        "pubsub-durable",
+			Destination: jms.Topic("cluster.prices"),
+			Producers:   []harness.ProducerConfig{{ID: "pub", Rate: 150, BodySize: 128}},
+			Consumers: []harness.ConsumerConfig{
+				{ID: "sub1"},
+				{ID: "dur1", Durable: true, SubName: "audit", ClientID: "cluster-client"},
+			},
+			Warmup: warm, Run: run, Warmdown: down,
+		},
+		{
+			Name:        "transactions",
+			Destination: jms.Queue("cluster.tx"),
+			Producers: []harness.ProducerConfig{
+				{ID: "txp", Rate: 150, BodySize: 128, Transacted: true, TxBatch: 5, AbortEvery: 4},
+			},
+			Consumers: []harness.ConsumerConfig{{ID: "txc", Transacted: true, TxBatch: 3}},
+			Warmup:    warm, Run: run, Warmdown: down,
+		},
+		{
+			Name:        "priority-and-expiry",
+			Destination: jms.Queue("cluster.qos"),
+			Producers: []harness.ProducerConfig{
+				{ID: "qp", Rate: 200, BodySize: 64,
+					Priorities: []jms.Priority{1, 9},
+					TTLs:       []time.Duration{0, time.Millisecond}},
+			},
+			Consumers: []harness.ConsumerConfig{{ID: "qc"}},
+			Warmup:    warm, Run: run, Warmdown: down,
+		},
+		shardedQueues,
+	}
+}
+
+// TestClusterConformanceFourNodes runs the full conformance suite —
+// Properties 1–5 and the no-duplicates extension — against a 4-node
+// cluster exactly as against any provider, and expects zero violations.
+// This is the tentpole acceptance test: federation must be invisible to
+// the formal model.
+func TestClusterConformanceFourNodes(t *testing.T) {
+	c := newTestCluster(t, 4)
+	results, err := core.RunSuite(c, clusterSuite(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if !res.OK() {
+			t.Errorf("test %s violated the specification:\n%s", res.Test, res.Conformance)
+		}
+		if res.Stats.Delivers == 0 {
+			t.Errorf("test %s delivered nothing", res.Test)
+		}
+	}
+	// The front-end actually routed: every node took queue traffic or
+	// topic forwards.
+	for _, ns := range c.Status().Nodes {
+		if ns.Routed == 0 && ns.Forwarded == 0 {
+			t.Errorf("node %s saw no traffic across the whole suite", ns.Name)
+		}
+	}
+}
+
+// TestClusterHarnessCrashRecovery drives the harness's crash injection
+// against the federation: every node crashes mid-run, restarts from its
+// stable store, and persistent delivery must still conform.
+func TestClusterHarnessCrashRecovery(t *testing.T) {
+	stables := make([]store.Store, 3)
+	for i := range stables {
+		stables[i] = store.NewMemory()
+	}
+	c, err := NewLocal(3, LocalOptions{NamePrefix: "hc", Stables: stables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	cfg := harness.Config{
+		Name:        "cluster-crash",
+		Destination: jms.Queue("cluster.crashq"),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 300, BodySize: 32, Mode: jms.Persistent}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1"}},
+		Warmup:      10 * time.Millisecond,
+		Run:         300 * time.Millisecond,
+		Warmdown:    250 * time.Millisecond,
+		CrashAfter:  100 * time.Millisecond,
+	}
+	tr, err := harness.NewRunner(c, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasCrash() {
+		t.Fatal("no crash event recorded")
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("persistent delivery across a cluster-wide crash failed:\n%s", report)
+	}
+}
+
+// TestSeededFaultAttribution is the regression guard for per-node
+// blame: a 3-node cluster where one node's provider silently drops
+// every 3rd send must produce Property 1–3 violations only on
+// destinations placed on that node — the checker, fed nothing but the
+// trace, attributes the fault to the right shard.
+func TestSeededFaultAttribution(t *testing.T) {
+	const faultyNode = 1
+	nodes := make([]Node, 3)
+	for i := range nodes {
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("seed-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = b.Close() })
+		nodes[i] = Node{Name: b.Name(), Factory: b}
+		if i == faultyNode {
+			nodes[i].Factory = faults.NewDropper(b, 3)
+		}
+	}
+	c, err := New(Options{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	// Enough queues that both the faulty node and healthy nodes own
+	// some; placement is deterministic, so this is stable.
+	faultyQueues := map[string]bool{}
+	healthy := 0
+	cfg := harness.Config{
+		Name:     "fault-attribution",
+		Warmup:   40 * time.Millisecond,
+		Run:      300 * time.Millisecond,
+		Warmdown: 200 * time.Millisecond,
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("cluster.blame-%d", i)
+		if c.QueueNode(name) == faultyNode {
+			faultyQueues[name] = true
+		} else {
+			healthy++
+		}
+		cfg.Producers = append(cfg.Producers,
+			harness.ProducerConfig{ID: fmt.Sprintf("p%d", i), Rate: 120, BodySize: 64, Destination: jms.Queue(name)})
+		cfg.Consumers = append(cfg.Consumers,
+			harness.ConsumerConfig{ID: fmt.Sprintf("c%d", i), Destination: jms.Queue(name)})
+	}
+	if len(faultyQueues) == 0 || healthy == 0 {
+		t.Fatalf("degenerate placement: %d faulty, %d healthy queues", len(faultyQueues), healthy)
+	}
+
+	tr, err := harness.NewRunner(c, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop123 := map[model.Property]bool{
+		model.PropDeliveryIntegrity: true,
+		model.PropRequiredMessages:  true,
+		model.PropMessageOrdering:   true,
+	}
+	var attributed int
+	for _, v := range report.Violations() {
+		if !prop123[v.Property] || v.Endpoint == "" {
+			continue
+		}
+		name := strings.TrimPrefix(v.Endpoint, "queue:")
+		if !faultyQueues[name] {
+			t.Errorf("violation on healthy destination %s: %s", v.Endpoint, v)
+			continue
+		}
+		attributed++
+	}
+	if attributed == 0 {
+		t.Fatalf("seeded dropper produced no attributed Property 1-3 violations:\n%s", report)
+	}
+	if res, ok := report.Result(model.PropRequiredMessages); !ok || len(res.Violations) == 0 {
+		t.Errorf("dropper should violate required-messages:\n%s", report)
+	}
+}

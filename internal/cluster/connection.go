@@ -1,0 +1,709 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// clusterConn is the front-end jms.Connection: it fans out to at most
+// one connection per node, opened lazily the first time a destination
+// routes there. Lazy opening is what makes the cluster usable while a
+// node is down — CreateConnection succeeds, work against healthy
+// shards proceeds, and only operations routed to the dead node fail.
+type clusterConn struct {
+	c *Cluster
+
+	mu        sync.Mutex
+	clientID  string
+	started   bool
+	closed    bool
+	nodeConns []jms.Connection
+	sessions  map[*clusterSession]struct{}
+	temps     []string // temporary queues created through this connection
+}
+
+var _ jms.Connection = (*clusterConn)(nil)
+
+func newClusterConn(c *Cluster) *clusterConn {
+	return &clusterConn{
+		c:         c,
+		nodeConns: make([]jms.Connection, len(c.nodes)),
+		sessions:  map[*clusterSession]struct{}{},
+	}
+}
+
+// nodeConn returns (opening if needed) this connection's link to node
+// i, with the connection's client ID and started state applied.
+func (cc *clusterConn) nodeConn(i int) (jms.Connection, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.nodeConnLocked(i)
+}
+
+func (cc *clusterConn) nodeConnLocked(i int) (jms.Connection, error) {
+	if cc.closed {
+		return nil, jms.ErrClosed
+	}
+	if cc.nodeConns[i] != nil {
+		return cc.nodeConns[i], nil
+	}
+	nc, err := cc.c.nodes[i].Factory.CreateConnection()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s: %w", cc.c.nodes[i].Name, err)
+	}
+	if cc.clientID != "" {
+		if err := nc.SetClientID(cc.clientID); err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("cluster: node %s: %w", cc.c.nodes[i].Name, err)
+		}
+	}
+	if cc.started {
+		if err := nc.Start(); err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("cluster: node %s: %w", cc.c.nodes[i].Name, err)
+		}
+	}
+	cc.nodeConns[i] = nc
+	return nc, nil
+}
+
+// SetClientID implements jms.Connection. The ID is claimed
+// cluster-wide at the front-end (two cluster connections may never
+// share one even when their destinations land on disjoint nodes) and
+// replayed onto each node connection as it opens.
+func (cc *clusterConn) SetClientID(id string) error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return jms.ErrClosed
+	}
+	if cc.clientID != "" {
+		cc.mu.Unlock()
+		return fmt.Errorf("%w: client ID already set to %q", jms.ErrInvalidArgument, cc.clientID)
+	}
+	if len(cc.sessions) > 0 {
+		cc.mu.Unlock()
+		return fmt.Errorf("%w: client ID must be set before creating sessions", jms.ErrInvalidArgument)
+	}
+	cc.mu.Unlock()
+	if err := cc.c.claimClientID(id, cc); err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	cc.clientID = id
+	cc.mu.Unlock()
+	return nil
+}
+
+// ClientID implements jms.Connection.
+func (cc *clusterConn) ClientID() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.clientID
+}
+
+// CreateSession implements jms.Connection.
+func (cc *clusterConn) CreateSession(transacted bool, ackMode jms.AckMode) (jms.Session, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed {
+		return nil, jms.ErrClosed
+	}
+	if !transacted && !ackMode.Valid() {
+		return nil, fmt.Errorf("%w: ack mode %d", jms.ErrInvalidArgument, ackMode)
+	}
+	s := &clusterSession{
+		conn:       cc,
+		transacted: transacted,
+		ackMode:    ackMode,
+		nodeSess:   make([]jms.Session, len(cc.c.nodes)),
+		consumers:  map[*clusterConsumer]struct{}{},
+		producers:  map[*clusterProducer]struct{}{},
+	}
+	cc.sessions[s] = struct{}{}
+	return s, nil
+}
+
+// Start implements jms.Connection.
+func (cc *clusterConn) Start() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed {
+		return jms.ErrClosed
+	}
+	cc.started = true
+	var first error
+	for _, nc := range cc.nodeConns {
+		if nc == nil {
+			continue
+		}
+		if err := nc.Start(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stop implements jms.Connection.
+func (cc *clusterConn) Stop() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed {
+		return jms.ErrClosed
+	}
+	cc.started = false
+	var first error
+	for _, nc := range cc.nodeConns {
+		if nc == nil {
+			continue
+		}
+		if err := nc.Stop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close implements jms.Connection.
+func (cc *clusterConn) Close() error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil
+	}
+	cc.closed = true
+	sessions := make([]*clusterSession, 0, len(cc.sessions))
+	for s := range cc.sessions {
+		sessions = append(sessions, s)
+	}
+	cc.sessions = map[*clusterSession]struct{}{}
+	conns := cc.nodeConns
+	cc.nodeConns = make([]jms.Connection, len(cc.c.nodes))
+	temps := cc.temps
+	cc.temps = nil
+	clientID := cc.clientID
+	cc.mu.Unlock()
+
+	// Session close runs the consumer releases (topic forwarding refs,
+	// consumer gauges) before the node connections go away.
+	for _, s := range sessions {
+		_ = s.Close()
+	}
+	var first error
+	for _, nc := range conns {
+		if nc == nil {
+			continue
+		}
+		if err := nc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	cc.c.unregisterTemps(temps)
+	if clientID != "" {
+		cc.c.releaseClientID(clientID, cc)
+	}
+	return first
+}
+
+// removeSession forgets a session the client closed directly.
+func (cc *clusterConn) removeSession(s *clusterSession) {
+	cc.mu.Lock()
+	delete(cc.sessions, s)
+	cc.mu.Unlock()
+}
+
+// registerTemp records a temp queue for cleanup when the connection
+// closes.
+func (cc *clusterConn) registerTemp(name string) {
+	cc.mu.Lock()
+	cc.temps = append(cc.temps, name)
+	cc.mu.Unlock()
+}
+
+// clusterSession fans a jms.Session out across nodes: per-node inner
+// sessions open lazily with the session's transaction/ack settings,
+// and session-wide operations (Commit, Acknowledge, ...) apply to
+// every inner session in node order.
+//
+// A transacted cluster session is NOT atomic across nodes: Commit
+// commits the per-node transactions sequentially, so a node crash in
+// the middle can land a unit of work partially. Within one node — and
+// therefore within any single destination, since a destination never
+// spans nodes — full transaction semantics hold.
+type clusterSession struct {
+	conn       *clusterConn
+	transacted bool
+	ackMode    jms.AckMode
+
+	mu        sync.Mutex
+	closed    bool
+	nodeSess  []jms.Session
+	consumers map[*clusterConsumer]struct{}
+	producers map[*clusterProducer]struct{}
+}
+
+var _ jms.Session = (*clusterSession)(nil)
+
+// nodeSession returns (opening if needed) the inner session on node i.
+func (s *clusterSession) nodeSession(i int) (jms.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeSessionLocked(i)
+}
+
+func (s *clusterSession) nodeSessionLocked(i int) (jms.Session, error) {
+	if s.closed {
+		return nil, jms.ErrClosed
+	}
+	if s.nodeSess[i] != nil {
+		return s.nodeSess[i], nil
+	}
+	nc, err := s.conn.nodeConn(i)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := nc.CreateSession(s.transacted, s.ackMode)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s: %w", s.conn.c.nodes[i].Name, err)
+	}
+	s.nodeSess[i] = ns
+	return ns, nil
+}
+
+// Transacted implements jms.Session.
+func (s *clusterSession) Transacted() bool { return s.transacted }
+
+// AckMode implements jms.Session.
+func (s *clusterSession) AckMode() jms.AckMode { return s.ackMode }
+
+// CreateProducer implements jms.Session. The producer holds no node
+// resources until its first send routes somewhere.
+func (s *clusterSession) CreateProducer(dest jms.Destination) (jms.Producer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, jms.ErrClosed
+	}
+	if dest != nil && dest.Name() == "" {
+		return nil, fmt.Errorf("%w: empty destination name", jms.ErrInvalidDestination)
+	}
+	p := &clusterProducer{
+		sess:      s,
+		dest:      dest,
+		nodeProds: make([]jms.Producer, len(s.conn.c.nodes)),
+	}
+	s.producers[p] = struct{}{}
+	return p, nil
+}
+
+// CreateConsumer implements jms.Session.
+func (s *clusterSession) CreateConsumer(dest jms.Destination) (jms.Consumer, error) {
+	return s.CreateConsumerWithSelector(dest, "")
+}
+
+// CreateConsumerWithSelector implements jms.Session. A queue consumer
+// is placed on the queue's owning node; a non-durable subscriber is
+// placed by its own (fresh) placement key and registered so publishes
+// forward to its node for as long as it lives.
+func (s *clusterSession) CreateConsumerWithSelector(dest jms.Destination, selectorExpr string) (jms.Consumer, error) {
+	if dest == nil || dest.Name() == "" {
+		return nil, fmt.Errorf("%w: nil destination", jms.ErrInvalidDestination)
+	}
+	c := s.conn.c
+	var node int
+	var release func()
+	switch dest.Kind() {
+	case jms.KindQueue:
+		node = c.queueNodeObserved(dest.Name())
+	case jms.KindTopic:
+		node = c.place.Node(anonKey(dest.Name(), c.anonSeq.Add(1)))
+		release = c.addConsumerRef(dest.Name(), node)
+	default:
+		return nil, fmt.Errorf("%w: %v", jms.ErrInvalidDestination, dest)
+	}
+	ns, err := s.nodeSession(node)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
+	inner, err := ns.CreateConsumerWithSelector(dest, selectorExpr)
+	if err != nil {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
+	if release == nil {
+		release = c.trackConsumer(node)
+	}
+	return s.wrapConsumer(inner, release)
+}
+
+// CreateDurableSubscriber implements jms.Session.
+func (s *clusterSession) CreateDurableSubscriber(topic jms.Topic, name string) (jms.Consumer, error) {
+	return s.CreateDurableSubscriberWithSelector(topic, name, "")
+}
+
+// CreateDurableSubscriberWithSelector implements jms.Session. The
+// subscription's node follows deterministically from its (clientID,
+// name) identity, so a subscriber reconnecting later — even through a
+// different front-end over the same nodes — reaches the node holding
+// its backlog. The topic's forwarding table pins the node until
+// Unsubscribe, because the subscription accumulates messages while
+// inactive.
+func (s *clusterSession) CreateDurableSubscriberWithSelector(topic jms.Topic, name, selectorExpr string) (jms.Consumer, error) {
+	clientID := s.conn.ClientID()
+	if clientID == "" {
+		return nil, jms.ErrNoClientID
+	}
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty subscription name", jms.ErrInvalidArgument)
+	}
+	c := s.conn.c
+	key := durableKey(clientID, name)
+	node := c.place.Node(key)
+	ns, err := s.nodeSession(node)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := ns.CreateDurableSubscriberWithSelector(topic, name, selectorExpr)
+	if err != nil {
+		return nil, err
+	}
+	c.addDurable(topic.Name(), key, node)
+	return s.wrapConsumer(inner, c.trackConsumer(node))
+}
+
+// CreateBrowser implements jms.Session, routing to the queue's node.
+func (s *clusterSession) CreateBrowser(queue jms.Queue, selectorExpr string) (jms.Browser, error) {
+	if queue.Name() == "" {
+		return nil, fmt.Errorf("%w: empty queue name", jms.ErrInvalidDestination)
+	}
+	ns, err := s.nodeSession(s.conn.c.queueNodeObserved(queue.Name()))
+	if err != nil {
+		return nil, err
+	}
+	return ns.CreateBrowser(queue, selectorExpr)
+}
+
+// CreateTemporaryQueue implements jms.Session. The node mints the
+// queue's name; the front-end records name → node so later producers
+// (typically request/reply responders following a ReplyTo header)
+// route to it, and drops the route when the owning connection closes.
+func (s *clusterSession) CreateTemporaryQueue() (jms.Queue, error) {
+	c := s.conn.c
+	node := c.place.Node(anonKey("temp", c.anonSeq.Add(1)))
+	ns, err := s.nodeSession(node)
+	if err != nil {
+		return "", err
+	}
+	q, err := ns.CreateTemporaryQueue()
+	if err != nil {
+		return "", err
+	}
+	c.registerTemp(q.Name(), node)
+	s.conn.registerTemp(q.Name())
+	return q, nil
+}
+
+// Unsubscribe implements jms.Session, routed by the subscription's
+// placement key.
+func (s *clusterSession) Unsubscribe(name string) error {
+	clientID := s.conn.ClientID()
+	if clientID == "" {
+		return jms.ErrNoClientID
+	}
+	c := s.conn.c
+	key := durableKey(clientID, name)
+	ns, err := s.nodeSession(c.place.Node(key))
+	if err != nil {
+		return err
+	}
+	if err := ns.Unsubscribe(name); err != nil {
+		return err
+	}
+	c.removeDurable(key)
+	return nil
+}
+
+// eachOpenSession applies op to every inner session already opened, in
+// node order, returning the first error.
+func (s *clusterSession) eachOpenSession(op func(jms.Session) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return jms.ErrClosed
+	}
+	open := make([]jms.Session, 0, len(s.nodeSess))
+	for _, ns := range s.nodeSess {
+		if ns != nil {
+			open = append(open, ns)
+		}
+	}
+	s.mu.Unlock()
+	var first error
+	for _, ns := range open {
+		if err := op(ns); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Commit implements jms.Session (sequentially per node; see the type
+// comment for the atomicity caveat).
+func (s *clusterSession) Commit() error {
+	if !s.transacted {
+		return jms.ErrNotTransacted
+	}
+	return s.eachOpenSession(jms.Session.Commit)
+}
+
+// Rollback implements jms.Session.
+func (s *clusterSession) Rollback() error {
+	if !s.transacted {
+		return jms.ErrNotTransacted
+	}
+	return s.eachOpenSession(jms.Session.Rollback)
+}
+
+// Acknowledge implements jms.Session.
+func (s *clusterSession) Acknowledge() error {
+	if s.transacted {
+		return jms.ErrTransacted
+	}
+	return s.eachOpenSession(jms.Session.Acknowledge)
+}
+
+// Recover implements jms.Session.
+func (s *clusterSession) Recover() error {
+	if s.transacted {
+		return jms.ErrTransacted
+	}
+	return s.eachOpenSession(jms.Session.Recover)
+}
+
+// Close implements jms.Session.
+func (s *clusterSession) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	consumers := make([]*clusterConsumer, 0, len(s.consumers))
+	for c := range s.consumers {
+		consumers = append(consumers, c)
+	}
+	s.consumers = map[*clusterConsumer]struct{}{}
+	s.producers = map[*clusterProducer]struct{}{}
+	inner := s.nodeSess
+	s.nodeSess = make([]jms.Session, len(inner))
+	s.mu.Unlock()
+
+	for _, c := range consumers {
+		c.release()
+	}
+	var first error
+	for _, ns := range inner {
+		if ns == nil {
+			continue
+		}
+		if err := ns.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.conn.removeSession(s)
+	return first
+}
+
+// wrapConsumer registers a consumer wrapper with the session.
+func (s *clusterSession) wrapConsumer(inner jms.Consumer, release func()) (jms.Consumer, error) {
+	cw := &clusterConsumer{sess: s, inner: inner, releaseFn: release}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		release()
+		_ = inner.Close()
+		return nil, jms.ErrClosed
+	}
+	s.consumers[cw] = struct{}{}
+	s.mu.Unlock()
+	return cw, nil
+}
+
+// removeConsumer forgets a consumer the client closed directly.
+func (s *clusterSession) removeConsumer(cw *clusterConsumer) {
+	s.mu.Lock()
+	delete(s.consumers, cw)
+	s.mu.Unlock()
+}
+
+// clusterProducer routes sends: a queue message goes to the queue's
+// owning node, a topic publish goes to every node the topic's
+// forwarding table names. Per-node unidentified inner producers open
+// lazily.
+type clusterProducer struct {
+	sess *clusterSession
+	dest jms.Destination
+
+	mu        sync.Mutex
+	closed    bool
+	nodeProds []jms.Producer
+}
+
+var _ jms.Producer = (*clusterProducer)(nil)
+
+// Destination implements jms.Producer.
+func (p *clusterProducer) Destination() jms.Destination { return p.dest }
+
+// nodeProducer returns (opening if needed) the unidentified inner
+// producer on node i.
+func (p *clusterProducer) nodeProducer(i int) (jms.Producer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, jms.ErrClosed
+	}
+	if p.nodeProds[i] != nil {
+		return p.nodeProds[i], nil
+	}
+	ns, err := p.sess.nodeSession(i)
+	if err != nil {
+		return nil, err
+	}
+	np, err := ns.CreateProducer(nil)
+	if err != nil {
+		return nil, err
+	}
+	p.nodeProds[i] = np
+	return np, nil
+}
+
+// Send implements jms.Producer.
+func (p *clusterProducer) Send(msg *jms.Message, opts jms.SendOptions) error {
+	if p.dest == nil {
+		return fmt.Errorf("%w: unidentified producer requires SendTo", jms.ErrInvalidDestination)
+	}
+	return p.SendTo(p.dest, msg, opts)
+}
+
+// SendTo implements jms.Producer.
+func (p *clusterProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
+	if dest == nil || dest.Name() == "" {
+		return fmt.Errorf("%w: nil destination", jms.ErrInvalidDestination)
+	}
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	c := p.sess.conn.c
+	start := time.Now()
+	defer func() { c.met.routeNs.Observe(time.Since(start).Nanoseconds()) }()
+
+	switch dest.Kind() {
+	case jms.KindQueue:
+		node := c.queueNodeObserved(dest.Name())
+		np, err := p.nodeProducer(node)
+		if err != nil {
+			return err
+		}
+		if err := np.SendTo(dest, msg, opts); err != nil {
+			return err
+		}
+		c.met.routed[node].Inc()
+		return nil
+	case jms.KindTopic:
+		targets := c.topicTargets(dest.Name())
+		// The first target receives msg itself so the caller observes
+		// the provider-stamped ID/timestamp; further targets receive
+		// clones. Each node stamps its copy independently — consumer
+		// identity in the harness rides on message properties, which
+		// clones share.
+		var first error
+		for i, node := range targets {
+			out := msg
+			if i > 0 {
+				out = msg.Clone()
+			}
+			np, err := p.nodeProducer(node)
+			if err == nil {
+				err = np.SendTo(dest, out, opts)
+			}
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
+			c.met.forwarded[node].Inc()
+		}
+		return first
+	default:
+		return fmt.Errorf("%w: %v", jms.ErrInvalidDestination, dest)
+	}
+}
+
+// Close implements jms.Producer.
+func (p *clusterProducer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	prods := p.nodeProds
+	p.nodeProds = make([]jms.Producer, len(prods))
+	p.mu.Unlock()
+	var first error
+	for _, np := range prods {
+		if np == nil {
+			continue
+		}
+		if err := np.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// clusterConsumer wraps a node consumer so its close (or its
+// session's) unwinds the front-end bookkeeping exactly once.
+type clusterConsumer struct {
+	sess      *clusterSession
+	inner     jms.Consumer
+	releaseFn func()
+	once      sync.Once
+}
+
+var _ jms.Consumer = (*clusterConsumer)(nil)
+
+func (cw *clusterConsumer) release() { cw.once.Do(cw.releaseFn) }
+
+// Destination implements jms.Consumer.
+func (cw *clusterConsumer) Destination() jms.Destination { return cw.inner.Destination() }
+
+// EndpointID implements jms.Consumer.
+func (cw *clusterConsumer) EndpointID() string { return cw.inner.EndpointID() }
+
+// Receive implements jms.Consumer.
+func (cw *clusterConsumer) Receive(timeout time.Duration) (*jms.Message, error) {
+	return cw.inner.Receive(timeout)
+}
+
+// ReceiveNoWait implements jms.Consumer.
+func (cw *clusterConsumer) ReceiveNoWait() (*jms.Message, error) { return cw.inner.ReceiveNoWait() }
+
+// SetListener implements jms.Consumer.
+func (cw *clusterConsumer) SetListener(l jms.Listener) error { return cw.inner.SetListener(l) }
+
+// Close implements jms.Consumer.
+func (cw *clusterConsumer) Close() error {
+	cw.release()
+	cw.sess.removeConsumer(cw)
+	return cw.inner.Close()
+}

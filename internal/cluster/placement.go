@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Placement decides which node of the cluster owns a placement key. The
+// router derives keys from destinations and subscriptions:
+//
+//	"queue:<name>"                    a queue and every message on it
+//	"durable:<clientID>/<subName>"    a durable subscription
+//	"anon:<topic>#<seq>"              a non-durable subscription
+//	"topic:<name>"                    a topic's home (stamping) node
+//
+// A placement must be deterministic: the same key always maps to the
+// same node index for the life of the cluster, because a queue's FIFO
+// order and a durable subscription's accumulated backlog both live on
+// the owning node. Implementations must be safe for concurrent use.
+type Placement interface {
+	// Name labels the policy in reports and BENCH json files.
+	Name() string
+	// Node maps key to a node index in [0, nodes).
+	Node(key string) int
+}
+
+// hash64 is the stable key hash shared by the built-in placements:
+// FNV-1a followed by a splitmix64-style finalizer. Raw FNV-1a of short
+// sequential keys ("queue:q-1", "queue:q-2", ...) clusters — similar
+// inputs land on nearby ring arcs and the placement skews badly; the
+// multiply-xorshift rounds spread them over the full 64-bit space.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashRing is a consistent-hash placement: each node projects Replicas
+// virtual points onto a 64-bit ring and a key belongs to the first
+// point at or after its hash. Relative to modulo placement, growing a
+// ring from n to n+1 nodes relocates only ~1/(n+1) of the keys, which
+// is what makes resharding a future cluster cheap.
+type HashRing struct {
+	nodes  int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// DefaultReplicas is the virtual-node count used when none is given;
+// enough points that 4-node rings spread small key sets evenly.
+const DefaultReplicas = 128
+
+// NewHashRing builds a ring over nodes (> 0) with replicas virtual
+// points per node (<= 0 chooses DefaultReplicas).
+func NewHashRing(nodes, replicas int) (*HashRing, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: hash ring needs nodes > 0, got %d", nodes)
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &HashRing{nodes: nodes, points: make([]ringPoint, 0, nodes*replicas)}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("node-%d#%d", n, v)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Name implements Placement.
+func (r *HashRing) Name() string { return "hash-ring" }
+
+// Nodes returns the ring's node count.
+func (r *HashRing) Nodes() int { return r.nodes }
+
+// Node implements Placement.
+func (r *HashRing) Node(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Modulo is the naive placement alternative: hash(key) mod nodes. It
+// balances as well as the ring for uniform keys but relocates almost
+// every key when the node count changes; it exists as the baseline
+// policy for placement comparisons.
+type Modulo struct {
+	nodes int
+}
+
+// NewModulo returns a modulo placement over nodes (> 0).
+func NewModulo(nodes int) (*Modulo, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: modulo placement needs nodes > 0, got %d", nodes)
+	}
+	return &Modulo{nodes: nodes}, nil
+}
+
+// Name implements Placement.
+func (m *Modulo) Name() string { return "modulo" }
+
+// Node implements Placement.
+func (m *Modulo) Node(key string) int { return int(hash64(key) % uint64(m.nodes)) }
+
+// PlacementByName builds a named policy for CLI use.
+func PlacementByName(name string, nodes int) (Placement, error) {
+	switch name {
+	case "hash-ring", "hashring", "":
+		return NewHashRing(nodes, 0)
+	case "modulo", "mod":
+		return NewModulo(nodes)
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement policy %q", name)
+	}
+}
+
+// Placement keys. Kept in one place so the router and the tests agree
+// on the mapping.
+
+func queueKey(name string) string { return "queue:" + name }
+
+func topicKey(name string) string { return "topic:" + name }
+
+func durableKey(clientID, subName string) string { return "durable:" + clientID + "/" + subName }
+
+func anonKey(topic string, seq int64) string { return fmt.Sprintf("anon:%s#%d", topic, seq) }

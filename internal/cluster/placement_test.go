@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHashRingDeterministicAndInRange(t *testing.T) {
+	r, err := NewHashRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("queue:q-%d", i)
+		n := r.Node(key)
+		if n < 0 || n >= 4 {
+			t.Fatalf("Node(%q) = %d, out of range", key, n)
+		}
+		if again := r.Node(key); again != n {
+			t.Fatalf("Node(%q) unstable: %d then %d", key, n, again)
+		}
+	}
+}
+
+func TestHashRingBalance(t *testing.T) {
+	const nodes, keys = 4, 10000
+	r, err := NewHashRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, nodes)
+	for i := 0; i < keys; i++ {
+		counts[r.Node(fmt.Sprintf("queue:dest-%d", i))]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("node %d holds %.1f%% of keys; want roughly balanced (counts %v)", n, frac*100, counts)
+		}
+	}
+}
+
+// TestHashRingStability is the consistent-hashing property itself:
+// growing the ring from n to n+1 nodes must relocate only a small
+// fraction of keys (ideally 1/(n+1)), where modulo relocates almost
+// all of them.
+func TestHashRingStability(t *testing.T) {
+	const keys = 10000
+	r4, _ := NewHashRing(4, 0)
+	r5, _ := NewHashRing(5, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("queue:dest-%d", i)
+		if r4.Node(key) != r5.Node(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.40 { // ideal is 0.20 for 4 -> 5; allow vnode noise
+		t.Errorf("ring growth moved %.1f%% of keys; consistent hashing should move ~20%%", frac*100)
+	}
+
+	m4, _ := NewModulo(4)
+	m5, _ := NewModulo(5)
+	movedMod := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("queue:dest-%d", i)
+		if m4.Node(key) != m5.Node(key) {
+			movedMod++
+		}
+	}
+	if movedMod <= moved {
+		t.Errorf("modulo moved %d keys, ring moved %d; ring should be strictly more stable", movedMod, moved)
+	}
+}
+
+func TestPlacementByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":          "hash-ring",
+		"hash-ring": "hash-ring",
+		"hashring":  "hash-ring",
+		"modulo":    "modulo",
+		"mod":       "modulo",
+	} {
+		p, err := PlacementByName(name, 3)
+		if err != nil {
+			t.Fatalf("PlacementByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("PlacementByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := PlacementByName("nope", 3); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := NewHashRing(0, 0); err == nil {
+		t.Error("zero-node ring should fail")
+	}
+	if _, err := NewModulo(-1); err == nil {
+		t.Error("negative modulo should fail")
+	}
+}

@@ -254,7 +254,7 @@ func TestExpiryConfiguration(t *testing.T) {
 	if !ok || res.Skipped != "" {
 		t.Fatalf("expiry property not evaluated: %+v", res)
 	}
-	if b.ExpiredDropped() == 0 {
+	if b.Stats().Expired == 0 {
 		t.Error("no messages actually expired; test configuration too fast")
 	}
 }

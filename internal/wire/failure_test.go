@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+)
+
+// TestWireServerDeathMidStream kills the wire server while a client is
+// blocked in Receive and mid-way through a send workload: every blocked
+// or subsequent call must return a clean error — no hang, no panic —
+// and the client must not leak its reader/dispatcher goroutines.
+func TestWireServerDeathMidStream(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	b, err := broker.New(broker.Options{Name: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	factory := NewFactory(srv.Addr())
+
+	conn, err := factory.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(jms.Queue("doomed.q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(jms.Queue("doomed.idle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("pre-crash"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a consumer in a long Receive, then kill the server under it.
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := c.Receive(30 * time.Second)
+		recvErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Error("blocked Receive returned a message from a dead server")
+		} else if !errors.Is(err, jms.ErrClosed) {
+			t.Logf("blocked Receive returned non-ErrClosed error (acceptable): %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Receive did not unblock after server death")
+	}
+
+	// Every subsequent operation errors cleanly and promptly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := p.Send(jms.NewTextMessage("post-crash"), jms.DefaultSendOptions()); err == nil {
+			t.Error("send after server death succeeded")
+		}
+		if _, err := sess.CreateConsumer(jms.Queue("doomed.late")); err == nil {
+			t.Error("create consumer after server death succeeded")
+		}
+		if err := conn.Close(); err != nil {
+			t.Logf("close after server death: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-death operations hung")
+	}
+
+	// The client's background goroutines must wind down once the
+	// connection is gone; allow the runtime a moment to reap them.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after server death: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -43,10 +43,14 @@ type Server struct {
 	listener net.Listener
 	met      *serverMetrics
 
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	closed  bool
-	serveWG sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	// connWG counts per-connection handlers; Serve waits on it before
+	// returning. The background Serve goroutine spawned by Start must
+	// NOT share this group — Serve waiting on its own registration
+	// would deadlock the goroutine forever after Close.
+	connWG sync.WaitGroup
 }
 
 // NewServer returns a server fronting inner, listening on addr
@@ -81,21 +85,21 @@ func (s *Server) Serve() error {
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
-			s.serveWG.Wait()
+			s.connWG.Wait()
 			return fmt.Errorf("wire: accept: %w", err)
 		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
-			s.serveWG.Wait()
+			s.connWG.Wait()
 			return fmt.Errorf("wire: accept: %w", net.ErrClosed)
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		s.serveWG.Add(1)
+		s.connWG.Add(1)
 		go func() {
-			defer s.serveWG.Done()
+			defer s.connWG.Done()
 			s.handleConn(conn)
 		}()
 	}
@@ -103,11 +107,7 @@ func (s *Server) Serve() error {
 
 // Start runs Serve on a background goroutine and returns immediately.
 func (s *Server) Start() {
-	s.serveWG.Add(1)
-	go func() {
-		defer s.serveWG.Done()
-		_ = s.Serve()
-	}()
+	go func() { _ = s.Serve() }()
 }
 
 // Close stops accepting and tears down every client connection.
@@ -179,8 +179,11 @@ func (s *Server) handleConn(sock net.Conn) {
 		consumers: map[uint64]jms.Consumer{},
 	}
 	defer func() {
-		st.reqWG.Wait()
+		// Close the JMS connection first: it unblocks any dispatch
+		// goroutine parked in a consumer Receive, so a dying socket
+		// doesn't pin this handler for the rest of a receive timeout.
 		_ = jmsConn.Close()
+		st.reqWG.Wait()
 	}()
 
 	for {

@@ -16,3 +16,14 @@ go build ./...
 go build ./examples/...
 go vet ./...
 go test -race ./...
+
+# Bounded randomized conformance exploration: mutate seeds for 30s and
+# check every scenario's verdict against the oracle (clean stacks pass,
+# known-faulty wrappers are flagged by the matching property). The
+# checked-in corpus under internal/explore/testdata/fuzz already runs in
+# the suite above; this stage searches beyond it. Set JMSFUZZ_TIME to
+# widen the budget, or JMSFUZZ_TIME=0 to skip the stage.
+fuzztime=${JMSFUZZ_TIME:-30s}
+if [ "$fuzztime" != "0" ]; then
+	go test -fuzz=FuzzConformance -fuzztime="$fuzztime" ./internal/explore
+fi

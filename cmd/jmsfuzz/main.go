@@ -1,0 +1,127 @@
+// Command jmsfuzz runs the randomized conformance explorer from the
+// command line: it sweeps seeds upward from -seed, derives a scenario
+// from each (topology, workload, provider stack, fault schedule),
+// executes it through the harness, and compares the verdict against the
+// oracle — clean stacks must violate no safety property, and seeds whose
+// residue selects a known-faulty wrapper must be flagged by the matching
+// property. Disagreements are shrunk to minimal scenarios and written as
+// replayable JSON repro files:
+//
+//	jmsfuzz -seed 42 -duration 30s
+//	jmsfuzz -replay repro-seed-74.json
+//
+// The exit status is 1 when any finding (or a failed replay) occurred.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"jmsharness/internal/explore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jmsfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jmsfuzz", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "first seed of the sweep")
+	duration := fs.Duration("duration", 30*time.Second, "wall-clock budget for the sweep")
+	maxScenarios := fs.Int("n", 0, "stop after this many scenarios (0 = until -duration)")
+	replay := fs.String("replay", "", "replay a scenario JSON file instead of sweeping")
+	shrink := fs.Bool("shrink", true, "minimize findings before reporting them")
+	shrinkBudget := fs.Int("shrink-budget", 0, "max candidate executions per shrink (0 = default)")
+	out := fs.String("out", ".", "directory for repro JSON files")
+	quiet := fs.Bool("quiet", false, "suppress per-scenario progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *replay != "" {
+		return runReplay(*replay)
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Printf(format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	sum, err := explore.Explore(*seed, explore.Options{
+		Duration:     *duration,
+		MaxScenarios: *maxScenarios,
+		Shrink:       *shrink,
+		ShrinkBudget: *shrinkBudget,
+		ReproDir:     *out,
+		Log:          logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%d scenarios: %d clean ok, %d faulty flagged, %d findings\n",
+		sum.Scenarios, sum.CleanOK, countFaults(sum.FaultsByKind), len(sum.Findings))
+	covered, all := sum.CoveredFaults()
+	faults := make([]string, 0, len(covered))
+	for f := range covered {
+		faults = append(faults, f)
+	}
+	sort.Strings(faults)
+	for _, f := range faults {
+		fmt.Printf("  %-20s flagged %d time(s)\n", f, covered[f])
+	}
+	if !all {
+		fmt.Println("  (sweep too short to cover every fault wrapper; any 12 consecutive seeds do)")
+	}
+
+	if len(sum.Findings) > 0 {
+		for _, f := range sum.Findings {
+			fmt.Printf("\nFINDING seed=%d: %s\n", f.Seed, f.Reason)
+			if f.ReproPath != "" {
+				fmt.Printf("  repro: %s (replay with -replay)\n", f.ReproPath)
+			}
+			fmt.Print(f.Report)
+		}
+		return fmt.Errorf("%d finding(s)", len(sum.Findings))
+	}
+	return nil
+}
+
+// runReplay executes one saved scenario and reports whether its verdict
+// still disagrees with the oracle.
+func runReplay(path string) error {
+	sc, err := explore.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %s (seed %d, stack %s", sc.Name, sc.Seed, sc.Stack.Kind)
+	if sc.Stack.Fault != explore.FaultNone {
+		fmt.Printf(", fault %s", sc.Stack.Fault)
+	}
+	fmt.Printf(", %d workers)\n", sc.Workers())
+	res, err := explore.Execute(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Conformance)
+	if reason := explore.Unexpected(sc, res); reason != "" {
+		return fmt.Errorf("still reproduces: %s", reason)
+	}
+	fmt.Println("verdict agrees with the oracle")
+	return nil
+}
+
+func countFaults(byKind map[string]int) int {
+	n := 0
+	for _, c := range byKind {
+		n += c
+	}
+	return n
+}

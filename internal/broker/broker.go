@@ -371,6 +371,12 @@ func (b *Broker) recoverLocked() error {
 			continue
 		}
 		for _, sm := range msgs {
+			if sm.Delivered {
+				// The message was handed to a consumer before the crash
+				// but never acknowledged; JMS requires its post-recovery
+				// redelivery to carry the JMSRedelivered flag.
+				sm.Msg.Redelivered = true
+			}
 			mb.push(entry{msg: sm.Msg, rec: sm.ID, persisted: true, enqueuedAt: now})
 			b.met.enqueued.Inc()
 			b.met.backlog.Inc()

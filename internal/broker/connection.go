@@ -848,6 +848,14 @@ func (c *consumer) receive(timeout time.Duration, noWait bool) (*jms.Message, er
 				b.met.delivered.Inc()
 				b.met.sojourn.ObserveDuration(now.Sub(e.enqueuedAt))
 				b.spans.Deliver(e.msg.ID, c.endpoint, now)
+				if e.rec != 0 {
+					// Mark delivery in stable storage before handing the
+					// message over, so a crash with the acknowledgement
+					// still pending redelivers it flagged JMSRedelivered.
+					if err := b.stable.MarkDelivered(c.endpoint, e.rec); err != nil {
+						return nil, err
+					}
+				}
 				b.throttleDeliver()
 				if lat := b.deliveryLatency(); lat > 0 {
 					avail := e.enqueuedAt.Add(lat)

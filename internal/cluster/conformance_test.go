@@ -150,6 +150,129 @@ func TestClusterHarnessCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestDurableSubscriberNodeCrash pins a durable subscription to the
+// node the placement gives it and crashes exactly that node mid-run,
+// while the publisher keeps forwarding persistent messages to the
+// topic. The subscription and its undelivered backlog must recover from
+// the node's stable store, and the whole trace must still satisfy the
+// specification — the one-node outage may delay durable delivery but
+// never lose or reorder it.
+func TestDurableSubscriberNodeCrash(t *testing.T) {
+	stables := make([]store.Store, 3)
+	for i := range stables {
+		stables[i] = store.NewMemory()
+	}
+	c, err := NewLocal(3, LocalOptions{NamePrefix: "edge", Stables: stables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	const (
+		clientID = "edge-client"
+		subName  = "edge-audit"
+	)
+	durNode := c.DurableNode(clientID, subName)
+	cfg := harness.Config{
+		Name:        "durable-node-crash",
+		Destination: jms.Topic("cluster.edge"),
+		Producers:   []harness.ProducerConfig{{ID: "pub", Rate: 300, BodySize: 64, Mode: jms.Persistent}},
+		Consumers: []harness.ConsumerConfig{
+			{ID: "dur", Durable: true, SubName: subName, ClientID: clientID},
+		},
+		Warmup:   20 * time.Millisecond,
+		Run:      300 * time.Millisecond,
+		Warmdown: 250 * time.Millisecond,
+		Faults:   []harness.FaultEvent{{At: 100 * time.Millisecond, Node: durNode, Downtime: 40 * time.Millisecond}},
+	}
+	tr, err := harness.NewRunner(c, nil).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasCrash() {
+		t.Fatal("no crash event recorded")
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("durable subscription on node %d did not survive its crash:\n%s", durNode, report)
+	}
+}
+
+// TestTempQueueRoutingAfterRestart checks the front-end's temp-queue
+// route registry outlives node failures: the name → node mapping lives
+// with the owning connection, not the node, so after any node (even the
+// owner) crashes and restarts, producers on other connections still
+// route replies to the same shard.
+func TestTempQueueRoutingAfterRestart(t *testing.T) {
+	stables := make([]store.Store, 3)
+	for i := range stables {
+		stables[i] = store.NewMemory()
+	}
+	c, err := NewLocal(3, LocalOptions{NamePrefix: "temps", Stables: stables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	_, ownerSess := openSession(t, c)
+	q, err := ownerSess.CreateTemporaryQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := c.QueueNode(q.Name())
+	cons, err := ownerSess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, otherSess := openSession(t, c)
+	sendText(t, otherSess, q, "before")
+	if got := receiveText(t, cons); got != "before" {
+		t.Fatalf("pre-restart reply: got %q", got)
+	}
+
+	// A bystander node bouncing must not disturb the route.
+	bystander := (owner + 1) % c.NumNodes()
+	if !c.CrashNode(bystander) {
+		t.Fatalf("node %d was already down", bystander)
+	}
+	if err := c.RestartNode(bystander); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.QueueNode(q.Name()); got != owner {
+		t.Fatalf("temp queue rerouted to node %d after bystander restart, want %d", got, owner)
+	}
+	sendText(t, otherSess, q, "after-bystander")
+	if got := receiveText(t, cons); got != "after-bystander" {
+		t.Fatalf("post-bystander reply: got %q", got)
+	}
+
+	// The owner itself bouncing keeps the route; only the volatile
+	// contents and the old consumer die with the crash, so a fresh
+	// responder still reaches a fresh receiver on the same shard.
+	if !c.CrashNode(owner) {
+		t.Fatalf("node %d was already down", owner)
+	}
+	if err := c.RestartNode(owner); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.QueueNode(q.Name()); got != owner {
+		t.Fatalf("temp queue rerouted to node %d after owner restart, want %d", got, owner)
+	}
+	_, freshSess := openSession(t, c)
+	freshCons, err := freshSess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, senderSess := openSession(t, c)
+	sendText(t, senderSess, q, "after-owner")
+	if got := receiveText(t, freshCons); got != "after-owner" {
+		t.Fatalf("post-owner-restart reply: got %q", got)
+	}
+}
+
 // TestSeededFaultAttribution is the regression guard for per-node
 // blame: a 3-node cluster where one node's provider silently drops
 // every 3rd send must produce Property 1–3 violations only on

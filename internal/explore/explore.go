@@ -1,0 +1,134 @@
+package explore
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+)
+
+// Options configures an explorer sweep.
+type Options struct {
+	// Duration bounds the sweep's wall-clock time; zero means 30s.
+	Duration time.Duration
+	// MaxScenarios bounds how many scenarios run; zero means unlimited
+	// (within Duration).
+	MaxScenarios int
+	// Shrink minimizes unexpected scenarios before reporting them.
+	Shrink bool
+	// ShrinkBudget caps candidate executions per shrink; zero means 60.
+	ShrinkBudget int
+	// ReproDir is where repro JSON files are written; empty disables
+	// writing.
+	ReproDir string
+	// Log receives progress lines; nil disables them.
+	Log func(format string, args ...any)
+}
+
+// Finding is one scenario whose verdict disagreed with the oracle.
+type Finding struct {
+	// Seed generated the original scenario.
+	Seed uint64
+	// Reason describes the disagreement.
+	Reason string
+	// Scenario is the (possibly shrunk) reproduction.
+	Scenario *Scenario
+	// ReproPath is where the repro JSON was written, if anywhere.
+	ReproPath string
+	// Report is the conformance report of the reproduction.
+	Report string
+}
+
+// Summary aggregates one sweep.
+type Summary struct {
+	// Scenarios counts executed scenarios; CleanOK and FaultsFlagged
+	// count the expected verdicts among them.
+	Scenarios    int
+	CleanOK      int
+	FaultsByKind map[string]int
+	// Findings are the unexpected verdicts, minimized when shrinking is
+	// enabled.
+	Findings []Finding
+}
+
+// Explore sweeps seeds seed, seed+1, ... until the time or scenario
+// budget runs out, executing each generated scenario and comparing the
+// verdict to the oracle expectation. Unexpected verdicts are shrunk (if
+// configured) and returned as findings.
+func Explore(seed uint64, opts Options) (*Summary, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = 30 * time.Second
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sum := &Summary{FaultsByKind: map[string]int{}}
+	deadline := time.Now().Add(opts.Duration)
+
+	for s := seed; time.Now().Before(deadline); s++ {
+		if opts.MaxScenarios > 0 && sum.Scenarios >= opts.MaxScenarios {
+			break
+		}
+		sc := Generate(s)
+		res, err := Execute(sc)
+		if err != nil {
+			return sum, fmt.Errorf("explore: seed %d (%s): %w", s, sc.Name, err)
+		}
+		sum.Scenarios++
+		reason := Unexpected(sc, res)
+		if reason == "" {
+			if sc.Stack.Fault == FaultNone {
+				sum.CleanOK++
+				logf("seed %-6d %-28s ok (clean)", s, sc.Name)
+			} else {
+				sum.FaultsByKind[sc.Stack.Fault]++
+				want, _ := ExpectedProperty(sc.Stack.Fault)
+				logf("seed %-6d %-28s ok (flagged by %s)", s, sc.Name, want)
+			}
+			continue
+		}
+
+		logf("seed %-6d %-28s FINDING: %s", s, sc.Name, reason)
+		finding := Finding{Seed: s, Reason: reason, Scenario: sc, Report: res.Conformance.String()}
+		if opts.Shrink {
+			origViolated := res.Conformance.ViolatedProperties()
+			shrunk, attempts := Shrink(sc, func(cand *Scenario) (bool, error) {
+				r, err := Execute(cand)
+				if err != nil {
+					return false, err
+				}
+				return sameFinding(sc, origViolated, cand, r), nil
+			}, ShrinkOptions{MaxAttempts: opts.ShrinkBudget, Log: logf})
+			logf("seed %-6d shrunk to %d workers in %d attempts", s, shrunk.Workers(), attempts)
+			finding.Scenario = shrunk
+			if r, err := Execute(shrunk); err == nil {
+				finding.Report = r.Conformance.String()
+			}
+		}
+		if opts.ReproDir != "" {
+			path := filepath.Join(opts.ReproDir, fmt.Sprintf("repro-seed-%d.json", s))
+			if err := finding.Scenario.WriteRepro(path); err != nil {
+				return sum, fmt.Errorf("explore: writing repro: %w", err)
+			}
+			finding.ReproPath = path
+			logf("seed %-6d repro written to %s", s, path)
+		}
+		sum.Findings = append(sum.Findings, finding)
+	}
+	return sum, nil
+}
+
+// CoveredFaults reports which fault wrappers the sweep exercised and
+// confirmed flagged; the bool is true when all known wrappers were.
+func (s *Summary) CoveredFaults() (map[string]int, bool) {
+	all := true
+	for _, fault := range []string{
+		FaultDropper, FaultDuplicator, FaultReorderer,
+		FaultCorrupter, FaultTTLIgnorer, FaultOverEagerExpirer,
+	} {
+		if s.FaultsByKind[fault] == 0 {
+			all = false
+		}
+	}
+	return s.FaultsByKind, all
+}

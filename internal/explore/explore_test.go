@@ -1,0 +1,201 @@
+package explore
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jmsharness/internal/model"
+)
+
+// TestGenerateDeterministic checks that scenario derivation is a pure
+// function of the seed: replaying a repro by seed must rebuild the exact
+// same scenario.
+func TestGenerateDeterministic(t *testing.T) {
+	for s := uint64(0); s <= 100; s++ {
+		a, err := Generate(s).Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		b, err := Generate(s).Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("seed %d: two generations differ:\n%s\n---\n%s", s, a, b)
+		}
+	}
+}
+
+// TestGeneratedScenariosValidate checks every generated scenario is
+// runnable without executing it.
+func TestGeneratedScenariosValidate(t *testing.T) {
+	for s := uint64(0); s <= 200; s++ {
+		if err := Generate(s).Validate(); err != nil {
+			t.Errorf("seed %d: %v", s, err)
+		}
+	}
+}
+
+// TestScenarioRoundTrip checks the JSON repro format round-trips.
+func TestScenarioRoundTrip(t *testing.T) {
+	for s := uint64(1); s <= 24; s++ {
+		sc := Generate(s)
+		path := filepath.Join(t.TempDir(), "repro.json")
+		if err := sc.WriteRepro(path); err != nil {
+			t.Fatalf("seed %d: write: %v", s, err)
+		}
+		loaded, err := LoadScenario(path)
+		if err != nil {
+			t.Fatalf("seed %d: load: %v", s, err)
+		}
+		a, _ := sc.Marshal()
+		b, _ := loaded.Marshal()
+		if !bytes.Equal(a, b) {
+			t.Errorf("seed %d: round trip changed the scenario:\n%s\n---\n%s", s, a, b)
+		}
+	}
+}
+
+// TestOracleInversionTable checks the fault→property table and the seed
+// residue schedule: any 12 consecutive seeds cover all six wrappers.
+func TestOracleInversionTable(t *testing.T) {
+	want := map[string]model.Property{
+		FaultDropper:          model.PropRequiredMessages,
+		FaultDuplicator:       model.PropNoDuplicates,
+		FaultReorderer:        model.PropMessageOrdering,
+		FaultCorrupter:        model.PropDeliveryIntegrity,
+		FaultTTLIgnorer:       model.PropExpiredMessages,
+		FaultOverEagerExpirer: model.PropExpiredMessages,
+	}
+	for fault, prop := range want {
+		got, ok := ExpectedProperty(fault)
+		if !ok || got != prop {
+			t.Errorf("ExpectedProperty(%s) = %v,%v want %v", fault, got, ok, prop)
+		}
+	}
+	if _, ok := ExpectedProperty(FaultNone); ok {
+		t.Error("FaultNone must not map to a property")
+	}
+	seen := map[string]bool{}
+	for s := uint64(100); s < 100+faultCycle; s++ {
+		seen[Generate(s).Stack.Fault] = true
+	}
+	for fault := range want {
+		if !seen[fault] {
+			t.Errorf("12 consecutive seeds did not cover %s", fault)
+		}
+	}
+}
+
+// TestSmokeCorpus is the fixed-seed conformance corpus: one full fault
+// cycle executed through Explore. Clean stacks must satisfy every safety
+// property and each known-faulty wrapper must be flagged by its matching
+// property — zero findings either way.
+func TestSmokeCorpus(t *testing.T) {
+	sum, err := Explore(1, Options{
+		Duration:     5 * time.Minute,
+		MaxScenarios: faultCycle,
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sum.Findings {
+		t.Errorf("seed %d: %s\n%s", f.Seed, f.Reason, f.Report)
+	}
+	if sum.Scenarios != faultCycle {
+		t.Errorf("ran %d scenarios, want %d", sum.Scenarios, faultCycle)
+	}
+	covered, all := sum.CoveredFaults()
+	if !all {
+		t.Errorf("fault coverage incomplete: %v", covered)
+	}
+}
+
+// TestCrashRedeliveryRepro replays the checked-in minimized repro of a
+// real bug the explorer found (seed 5 of the development sweep): the
+// broker recovered delivered-but-unacknowledged persistent messages
+// after a crash without setting the JMSRedelivered flag, so their
+// redelivery looked like a FIFO violation. The scenario: one producer,
+// one lazily-acknowledging (dups-ok) consumer, one mid-run crash. The
+// replay must now satisfy every property, deterministically.
+func TestCrashRedeliveryRepro(t *testing.T) {
+	sc, err := LoadScenario(filepath.Join("testdata", "crash-redelivery-flag.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := Execute(sc)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if reason := Unexpected(sc, res); reason != "" {
+			t.Errorf("replay %d: %s\n%s", i, reason, res.Conformance)
+		}
+	}
+}
+
+// TestShrinkInjectedBug injects a bug (a message-dropping wrapper the
+// oracle is not told about) into a deliberately busy scenario and checks
+// the shrinker reduces it to a minimal deterministic repro: at most 3
+// workers and at most 10 messages.
+func TestShrinkInjectedBug(t *testing.T) {
+	sc := &Scenario{
+		Seed:  1,
+		Name:  "injected-dropper",
+		Stack: StackSpec{Kind: StackBroker, Fault: FaultDropper, FaultN: 3},
+		Producers: []ProducerSpec{
+			{ID: "p0", Dest: "queue:shrink.q", Rate: 400, BodySize: 64},
+			{ID: "p1", Dest: "queue:shrink.q", Rate: 300, BodySize: 32, Priorities: []int{1, 9}},
+		},
+		Consumers: []ConsumerSpec{
+			{ID: "c0", Dest: "queue:shrink.q"},
+			{ID: "c1", Dest: "queue:shrink.q", AckMode: 2},
+			{ID: "c2", Dest: "topic:shrink.t"},
+		},
+		Warmup:   10 * time.Millisecond,
+		Run:      120 * time.Millisecond,
+		Warmdown: 150 * time.Millisecond,
+	}
+	// The "finding": a clean-looking run violating required-messages.
+	interesting := func(cand *Scenario) (bool, error) {
+		res, err := Execute(cand)
+		if err != nil {
+			return false, err
+		}
+		r, ok := res.Conformance.Result(model.PropRequiredMessages)
+		return ok && len(r.Violations) > 0, nil
+	}
+	if ok, err := interesting(sc); err != nil || !ok {
+		t.Fatalf("injected bug not visible before shrinking (ok=%v err=%v)", ok, err)
+	}
+
+	shrunk, attempts := Shrink(sc, interesting, ShrinkOptions{MaxAttempts: 40, Log: t.Logf})
+	t.Logf("shrunk to %d workers in %d attempts", shrunk.Workers(), attempts)
+	if shrunk.Workers() > 3 {
+		t.Errorf("shrunk scenario has %d workers, want <= 3", shrunk.Workers())
+	}
+	total := 0
+	for _, p := range shrunk.Producers {
+		if p.MaxMessages <= 0 {
+			t.Errorf("producer %s kept an unbounded message count", p.ID)
+			continue
+		}
+		total += p.MaxMessages
+	}
+	if total > 10 {
+		t.Errorf("shrunk scenario sends up to %d messages, want <= 10", total)
+	}
+	// The minimized repro must still reproduce, twice in a row.
+	for i := 0; i < 2; i++ {
+		ok, err := interesting(shrunk)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if !ok {
+			t.Errorf("replay %d of the shrunk scenario no longer reproduces", i)
+		}
+	}
+}

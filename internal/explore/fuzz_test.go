@@ -1,0 +1,28 @@
+package explore
+
+import "testing"
+
+// FuzzConformance is the explorer as a native Go fuzz target: every
+// input seed derives a scenario, and the verdict must agree with the
+// oracle — clean stacks violate nothing, known-faulty wrappers are
+// flagged by the matching property. Run bounded fuzzing with
+//
+//	go test -fuzz=FuzzConformance -fuzztime=30s ./internal/explore
+//
+// The seed corpus under testdata/fuzz/FuzzConformance covers one full
+// fault-residue cycle, so plain `go test` already exercises every
+// wrapper through this path.
+func FuzzConformance(f *testing.F) {
+	f.Add(uint64(42))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sc := Generate(seed)
+		res, err := Execute(sc)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sc.Name, err)
+		}
+		if reason := Unexpected(sc, res); reason != "" {
+			repro, _ := sc.Marshal()
+			t.Fatalf("seed %d (%s): %s\n%s\nrepro:\n%s", seed, sc.Name, reason, res.Conformance, repro)
+		}
+	})
+}

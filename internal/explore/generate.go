@@ -1,0 +1,253 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/stats"
+)
+
+// faultCycle is the seed-residue schedule: every run of 12 consecutive
+// seeds contains six clean scenarios and one scenario per known-faulty
+// wrapper, so a sweep of any 12 seeds exercises the full oracle-inversion
+// table.
+const faultCycle = 12
+
+var faultByResidue = map[uint64]string{
+	6:  FaultDropper,
+	7:  FaultDuplicator,
+	8:  FaultReorderer,
+	9:  FaultCorrupter,
+	10: FaultTTLIgnorer,
+	11: FaultOverEagerExpirer,
+}
+
+// Generate derives a complete scenario from one seed. The derivation is
+// pure: the same seed always yields the same scenario.
+func Generate(seed uint64) *Scenario {
+	if fault, ok := faultByResidue[seed%faultCycle]; ok {
+		return faultScenario(seed, fault)
+	}
+	return cleanScenario(seed)
+}
+
+// faultScenario builds the scenario for a known-faulty stack. The shapes
+// mirror internal/faults' oracle tests: a steady single-stream workload
+// that the matching property provably flags.
+func faultScenario(seed uint64, fault string) *Scenario {
+	rng := stats.NewRNG(seed)
+	sc := &Scenario{
+		Seed:     seed,
+		Name:     fmt.Sprintf("seed-%d-%s", seed, fault),
+		Stack:    StackSpec{Kind: StackBroker, Fault: fault, FaultN: 2 + rng.Intn(3)},
+		Warmup:   10 * time.Millisecond,
+		Run:      200 * time.Millisecond,
+		Warmdown: 150 * time.Millisecond,
+	}
+	p := ProducerSpec{ID: "p1", Dest: "queue:fz.q0", Rate: 400, BodySize: 32}
+	switch fault {
+	case FaultTTLIgnorer:
+		// Real latency so 1ms-TTL messages genuinely should expire; the
+		// wrapper strips TTL and the provider delivers them anyway.
+		sc.Stack.Latent = true
+		p.TTLs = []time.Duration{0, time.Millisecond}
+	case FaultOverEagerExpirer:
+		// Generous TTLs the wrapper nevertheless "expires".
+		p.TTLs = []time.Duration{0, time.Hour}
+	}
+	sc.Producers = []ProducerSpec{p}
+	sc.Consumers = []ConsumerSpec{{ID: "c1", Dest: "queue:fz.q0"}}
+	return sc
+}
+
+// cleanScenario builds a randomized scenario against a clean stack. The
+// generator is free within "clean by construction" rules — combinations
+// the model cannot distinguish from provider misbehaviour are avoided:
+//
+//   - every producer shares one priority list (Property 4 compares
+//     per-priority delays globally, so skewed per-producer priorities
+//     would fake an inversion);
+//   - TTLs are either absent or far above any plausible latency, except
+//     in the dedicated expiry-probe shape where the broker's latency is
+//     controlled (TTL ≈ latency is genuinely ambiguous);
+//   - crash events are never combined with temp-queue pairs (a queue
+//     that dies with the provider mid-flight leaves sends the model
+//     would have to guess about) and never scheduled on wire stacks
+//     (the TCP client factory cannot crash the remote server);
+//   - consumer transactions never abort (a rolled-back receive is
+//     legitimately redelivered, but which consumer gets the redelivery
+//     is provider choice, so collateral ordering noise is possible);
+//   - a transacted multi-priority producer never uses a TxBatch that is
+//     a multiple of the priority-list length (every batch would end on
+//     the same priority, and commit-visibility skew between the last
+//     and first message of consecutive batches fakes an inversion).
+func cleanScenario(seed uint64) *Scenario {
+	rng := stats.NewRNG(seed)
+	sc := &Scenario{
+		Seed:     seed,
+		Name:     fmt.Sprintf("seed-%d-clean", seed),
+		Warmup:   10 * time.Millisecond,
+		Run:      time.Duration(200+rng.Intn(100)) * time.Millisecond,
+		Warmdown: 200 * time.Millisecond,
+	}
+
+	// Stack: broker half the time, cluster and wire a quarter each.
+	switch rng.Intn(4) {
+	case 0, 1:
+		sc.Stack = StackSpec{Kind: StackBroker}
+	case 2:
+		sc.Stack = StackSpec{Kind: StackCluster, Nodes: 2 + rng.Intn(3)}
+	default:
+		sc.Stack = StackSpec{Kind: StackWire}
+	}
+
+	// The expiry probe: a latent broker, short TTLs, one plain stream.
+	// Kept minimal on purpose — it verifies that the provider *does*
+	// expire what it must and delivers the rest.
+	if sc.Stack.Kind == StackBroker && rng.Intn(5) == 0 {
+		sc.Stack.Latent = true
+		sc.Name = fmt.Sprintf("seed-%d-expiry-probe", seed)
+		sc.Producers = []ProducerSpec{{
+			ID: "p0", Dest: "queue:fz.exp", Rate: 300, BodySize: 32,
+			TTLs: []time.Duration{0, time.Millisecond},
+		}}
+		sc.Consumers = []ConsumerSpec{{ID: "c0", Dest: "queue:fz.exp"}}
+		return sc
+	}
+
+	// Crash schedule, decided early so later choices can respect it.
+	withCrash := sc.Stack.Kind != StackWire && rng.Intn(3) == 0
+	if withCrash {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			ev := EventSpec{
+				At:       sc.Warmup + sc.Run*time.Duration(20+rng.Intn(40))/100,
+				Node:     -1,
+				Downtime: 20 * time.Millisecond,
+			}
+			if sc.Stack.Kind == StackCluster && rng.Intn(2) == 0 {
+				ev.Node = rng.Intn(sc.Stack.Nodes)
+			}
+			sc.Events = append(sc.Events, ev)
+		}
+	}
+
+	// Topology: one or two destinations, each queue or topic.
+	type dest struct {
+		name    string
+		isTopic bool
+	}
+	dests := make([]dest, 1+rng.Intn(2))
+	for i := range dests {
+		isTopic := rng.Intn(2) == 0
+		kind := "queue"
+		if isTopic {
+			kind = "topic"
+		}
+		dests[i] = dest{name: fmt.Sprintf("%s:fz.d%d", kind, i), isTopic: isTopic}
+	}
+
+	// Shared QoS regimes (see the priority/TTL rules above).
+	var priorities []int
+	switch rng.Intn(3) {
+	case 1:
+		priorities = []int{1, 9}
+	case 2:
+		priorities = []int{0, 4, 9}
+	}
+	var ttls []time.Duration
+	if rng.Intn(3) == 0 {
+		ttls = []time.Duration{0, time.Hour}
+	}
+	bodyKinds := []jms.BodyKind{jms.BodyBytes, jms.BodyText, jms.BodyMap, jms.BodyStream, jms.BodyObject}
+
+	// Producers: one or two, each on a random destination.
+	nProd := 1 + rng.Intn(2)
+	for i := 0; i < nProd; i++ {
+		p := ProducerSpec{
+			ID:         fmt.Sprintf("p%d", i),
+			Dest:       dests[rng.Intn(len(dests))].name,
+			Rate:       float64(150 + rng.Intn(250)),
+			BodyKind:   int(bodyKinds[rng.Intn(len(bodyKinds))]),
+			BodySize:   32 + rng.Intn(224),
+			Priorities: priorities,
+			TTLs:       ttls,
+			NonPersist: rng.Intn(4) == 0,
+		}
+		if rng.Intn(3) == 0 {
+			p.Transacted = true
+			p.TxBatch = 2 + rng.Intn(4)
+			// Keep the batch length coprime-ish with the priority cycle:
+			// if every batch ends on the same priority, that priority is
+			// systematically committed (made visible) sooner than the
+			// ones stuck waiting at the front of the next batch, which
+			// fakes a priority inversion on an honest provider.
+			if len(p.Priorities) > 1 && p.TxBatch%len(p.Priorities) == 0 {
+				p.TxBatch++
+			}
+			if rng.Intn(2) == 0 {
+				p.AbortEvery = 3 + rng.Intn(3)
+			}
+		}
+		sc.Producers = append(sc.Producers, p)
+	}
+
+	// Consumers: one or two per destination.
+	ci := 0
+	for _, d := range dests {
+		selector := ""
+		if rng.Intn(4) == 0 {
+			// Uniform, always-true selector: exercises the selector path
+			// in every provider without changing the required sets.
+			selector = "JMSPriority >= 0"
+		}
+		nCons := 1 + rng.Intn(2)
+		for j := 0; j < nCons; j++ {
+			c := ConsumerSpec{
+				ID:       fmt.Sprintf("c%d", ci),
+				Dest:     d.name,
+				Selector: selector,
+			}
+			switch rng.Intn(4) {
+			case 1:
+				c.AckMode = int(jms.AckClient)
+			case 2:
+				c.AckMode = int(jms.AckDupsOK)
+				sc.AllowDuplicates = true
+			case 3:
+				c.Transacted = true
+				c.TxBatch = 2 + rng.Intn(3)
+			}
+			if d.isTopic && rng.Intn(3) == 0 {
+				c.Durable = true
+				c.SubName = fmt.Sprintf("sub%d", ci)
+				c.ClientID = fmt.Sprintf("fz-client-%d", ci)
+			}
+			if rng.Intn(4) == 0 {
+				c.CycleEvery = time.Duration(40+rng.Intn(50)) * time.Millisecond
+			}
+			sc.Consumers = append(sc.Consumers, c)
+			ci++
+		}
+	}
+
+	// Temp-queue request/reply pair, when no crash is scheduled.
+	if !withCrash && rng.Intn(4) == 0 {
+		owner := fmt.Sprintf("c%d", ci)
+		tc := ConsumerSpec{ID: owner, TempQueue: true}
+		if rng.Intn(3) == 0 {
+			tc.CycleEvery = time.Duration(60+rng.Intn(40)) * time.Millisecond
+		}
+		sc.Consumers = append(sc.Consumers, tc)
+		sc.Producers = append(sc.Producers, ProducerSpec{
+			ID:         fmt.Sprintf("p%d", nProd),
+			TempOf:     owner,
+			Rate:       150,
+			BodySize:   48,
+			Priorities: priorities,
+			TTLs:       ttls,
+		})
+	}
+	return sc
+}

@@ -1,0 +1,162 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/cluster"
+	"jmsharness/internal/core"
+	"jmsharness/internal/faults"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/wire"
+)
+
+// latentProfile is the controlled-latency broker profile used by expiry
+// probes: deliveries take at least BaseLatency, so a 1ms TTL genuinely
+// should expire in flight.
+func latentProfile() broker.Profile {
+	return broker.Profile{Name: "fz-latent", BaseLatency: 15 * time.Millisecond}
+}
+
+// buildStack constructs the provider stack a scenario runs against and
+// returns the factory plus a cleanup function.
+func buildStack(spec StackSpec) (jms.ConnectionFactory, func(), error) {
+	var (
+		inner   jms.ConnectionFactory
+		cleanup func()
+	)
+	profile := broker.Unlimited()
+	if spec.Latent {
+		profile = latentProfile()
+	}
+	switch spec.Kind {
+	case StackBroker:
+		b, err := broker.New(broker.Options{Name: "fz", Profile: profile})
+		if err != nil {
+			return nil, nil, err
+		}
+		inner, cleanup = b, func() { _ = b.Close() }
+
+	case StackCluster:
+		c, err := cluster.NewLocal(spec.Nodes, cluster.LocalOptions{NamePrefix: "fz", Profile: profile, Seed: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		inner, cleanup = c, func() { _ = c.Close() }
+
+	case StackWire:
+		b, err := broker.New(broker.Options{Name: "fz-wire", Profile: profile})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := wire.NewServer(b, "127.0.0.1:0")
+		if err != nil {
+			_ = b.Close()
+			return nil, nil, err
+		}
+		srv.Start()
+		inner = wire.NewFactory(srv.Addr())
+		cleanup = func() { _ = srv.Close(); _ = b.Close() }
+
+	default:
+		return nil, nil, fmt.Errorf("explore: unknown stack kind %q", spec.Kind)
+	}
+
+	factory, err := wrapFault(inner, spec)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return factory, cleanup, nil
+}
+
+// wrapFault applies the scenario's fault wrapper, if any.
+func wrapFault(inner jms.ConnectionFactory, spec StackSpec) (jms.ConnectionFactory, error) {
+	n := spec.FaultN
+	if n <= 0 {
+		n = 3
+	}
+	switch spec.Fault {
+	case FaultNone:
+		return inner, nil
+	case FaultDropper:
+		return faults.NewDropper(inner, n), nil
+	case FaultDuplicator:
+		return faults.NewDuplicator(inner, n), nil
+	case FaultReorderer:
+		return faults.NewReorderer(inner, n), nil
+	case FaultCorrupter:
+		return faults.NewCorrupter(inner, n), nil
+	case FaultTTLIgnorer:
+		return faults.NewTTLIgnorer(inner), nil
+	case FaultOverEagerExpirer:
+		return faults.NewOverEagerExpirer(inner), nil
+	default:
+		return nil, fmt.Errorf("explore: unknown fault %q", spec.Fault)
+	}
+}
+
+// Execute runs one scenario end to end: build the stack, run the
+// harness, check every safety property.
+func Execute(sc *Scenario) (*core.Result, error) {
+	factory, cleanup, err := buildStack(sc.Stack)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	cfg, err := sc.HarnessConfig()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Model.AllowDuplicates = sc.AllowDuplicates
+	// Property 4 compares wall-clock mean delays, and explorer scenarios
+	// are short runs on a machine that is often saturated (race
+	// detector, fuzz workers, parallel packages), where scheduling noise
+	// alone spans several milliseconds. Widen the absolute slack so only
+	// gross, systematic inversions count; none of the explorer's fault
+	// wrappers targets priority, so this costs the oracle nothing.
+	opts.Model.Priority.AbsoluteSlack = 25 * time.Millisecond
+	return core.RunAndAnalyze(factory, cfg, opts)
+}
+
+// Unexpected compares the result against the scenario's oracle
+// expectation and returns "" when they agree: a clean stack must violate
+// nothing, and a known-faulty stack must be flagged by the matching
+// property. Anything else is a finding worth shrinking.
+func Unexpected(sc *Scenario, res *core.Result) string {
+	if want, faulty := ExpectedProperty(sc.Stack.Fault); faulty {
+		if r, ok := res.Conformance.Result(want); !ok || len(r.Violations) == 0 {
+			return fmt.Sprintf("fault %s not flagged by %s", sc.Stack.Fault, want)
+		}
+		return ""
+	}
+	if violated := res.Conformance.ViolatedProperties(); len(violated) > 0 {
+		names := make([]string, len(violated))
+		for i, p := range violated {
+			names[i] = string(p)
+		}
+		return "clean stack violated " + strings.Join(names, ", ")
+	}
+	return ""
+}
+
+// sameFinding reports whether a shrunk candidate still reproduces the
+// original finding class: for a missed fault, the matching property is
+// still silent; for a clean-stack violation, at least one of the
+// originally violated properties still fires.
+func sameFinding(orig *Scenario, origViolated []model.Property, cand *Scenario, res *core.Result) bool {
+	if want, faulty := ExpectedProperty(orig.Stack.Fault); faulty {
+		r, ok := res.Conformance.Result(want)
+		return !ok || len(r.Violations) == 0
+	}
+	for _, p := range origViolated {
+		if r, ok := res.Conformance.Result(p); ok && len(r.Violations) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+// Package explore is a randomized conformance explorer: a deterministic,
+// seed-driven scenario generator, executor and shrinker that drives the
+// existing harness/model pipeline across every provider stack the repo
+// has (in-process broker, N-node cluster, wire server) and across the
+// fault-wrapper library.
+//
+// The paper's approach checks safety properties on whatever scenarios a
+// human thought to write; Deussen & Tobies argue test cases should come
+// from formal purposes, not enumeration. Here the purpose is fixed — the
+// five safety properties plus the no-duplicates extension — and the
+// scenarios are derived mechanically from a single uint64 seed: topology
+// (queues, topics, temporary queues, selectors, durable subscribers), a
+// fleet of producers/consumers with randomized priorities, TTLs, ack
+// modes and transactions, a provider stack, and an event schedule with
+// mid-run consumer cycling and node crash/restart.
+//
+// The oracle is inverted as well as applied: seeds whose residue selects
+// a known-faulty wrapper (Dropper, Duplicator, Reorderer, Corrupter,
+// TTLIgnorer, OverEagerExpirer) must produce violations attributed to
+// the matching property, and clean stacks must produce none. Any other
+// verdict is a finding; a delta-debugging shrinker then minimizes the
+// scenario and emits a replayable JSON repro.
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+)
+
+// Stack kinds.
+const (
+	StackBroker  = "broker"
+	StackCluster = "cluster"
+	StackWire    = "wire"
+)
+
+// Fault wrapper names. Empty means a clean stack.
+const (
+	FaultNone             = ""
+	FaultDropper          = "dropper"
+	FaultDuplicator       = "duplicator"
+	FaultReorderer        = "reorderer"
+	FaultCorrupter        = "corrupter"
+	FaultTTLIgnorer       = "ttl-ignorer"
+	FaultOverEagerExpirer = "over-eager-expirer"
+)
+
+// ExpectedProperty maps a fault wrapper to the safety property that must
+// flag it — the oracle-inversion table.
+func ExpectedProperty(fault string) (model.Property, bool) {
+	switch fault {
+	case FaultDropper:
+		return model.PropRequiredMessages, true
+	case FaultDuplicator:
+		return model.PropNoDuplicates, true
+	case FaultReorderer:
+		return model.PropMessageOrdering, true
+	case FaultCorrupter:
+		return model.PropDeliveryIntegrity, true
+	case FaultTTLIgnorer, FaultOverEagerExpirer:
+		return model.PropExpiredMessages, true
+	default:
+		return "", false
+	}
+}
+
+// StackSpec selects the provider stack a scenario runs against.
+type StackSpec struct {
+	// Kind is one of broker, cluster, wire.
+	Kind string `json:"kind"`
+	// Nodes is the cluster size (cluster stacks only).
+	Nodes int `json:"nodes,omitempty"`
+	// Latent gives the underlying broker(s) a base delivery latency, so
+	// short-TTL messages genuinely should expire in flight (the expiry
+	// probe configuration).
+	Latent bool `json:"latent,omitempty"`
+	// Fault names the fault wrapper applied outermost; empty means none.
+	Fault string `json:"fault,omitempty"`
+	// FaultN parameterises every-nth-message faults.
+	FaultN int `json:"fault_n,omitempty"`
+}
+
+// ProducerSpec is the JSON-serializable form of one producer.
+type ProducerSpec struct {
+	ID string `json:"id"`
+	// Dest is "queue:name" or "topic:name"; empty iff TempOf is set.
+	Dest string `json:"dest,omitempty"`
+	// TempOf directs the producer at the named consumer's temp queue.
+	TempOf      string          `json:"temp_of,omitempty"`
+	Rate        float64         `json:"rate"`
+	BodyKind    int             `json:"body_kind,omitempty"`
+	BodySize    int             `json:"body_size,omitempty"`
+	Priorities  []int           `json:"priorities,omitempty"`
+	NonPersist  bool            `json:"non_persistent,omitempty"`
+	TTLs        []time.Duration `json:"ttls,omitempty"`
+	Transacted  bool            `json:"transacted,omitempty"`
+	TxBatch     int             `json:"tx_batch,omitempty"`
+	AbortEvery  int             `json:"abort_every,omitempty"`
+	MaxMessages int             `json:"max_messages,omitempty"`
+}
+
+// ConsumerSpec is the JSON-serializable form of one consumer.
+type ConsumerSpec struct {
+	ID string `json:"id"`
+	// Dest is "queue:name" or "topic:name"; empty iff TempQueue is set.
+	Dest       string        `json:"dest,omitempty"`
+	TempQueue  bool          `json:"temp_queue,omitempty"`
+	Durable    bool          `json:"durable,omitempty"`
+	SubName    string        `json:"sub_name,omitempty"`
+	ClientID   string        `json:"client_id,omitempty"`
+	Selector   string        `json:"selector,omitempty"`
+	AckMode    int           `json:"ack_mode,omitempty"`
+	Transacted bool          `json:"transacted,omitempty"`
+	TxBatch    int           `json:"tx_batch,omitempty"`
+	CycleEvery time.Duration `json:"cycle_every,omitempty"`
+}
+
+// EventSpec schedules one fault injection (crash/restart) during a run.
+type EventSpec struct {
+	At time.Duration `json:"at"`
+	// Node is the cluster node to crash; -1 crashes the whole provider.
+	Node     int           `json:"node"`
+	Downtime time.Duration `json:"downtime,omitempty"`
+}
+
+// Scenario is one complete generated test: stack, workload, schedule.
+// It round-trips through JSON, which is the repro format.
+type Scenario struct {
+	Seed      uint64         `json:"seed"`
+	Name      string         `json:"name"`
+	Stack     StackSpec      `json:"stack"`
+	Producers []ProducerSpec `json:"producers"`
+	Consumers []ConsumerSpec `json:"consumers"`
+	Events    []EventSpec    `json:"events,omitempty"`
+	Warmup    time.Duration  `json:"warmup"`
+	Run       time.Duration  `json:"run"`
+	Warmdown  time.Duration  `json:"warmdown"`
+	// AllowDuplicates relaxes the no-duplicates check (set when a
+	// consumer uses dups-ok acknowledgement).
+	AllowDuplicates bool `json:"allow_duplicates,omitempty"`
+}
+
+// Workers counts the scenario's producers plus consumers.
+func (sc *Scenario) Workers() int { return len(sc.Producers) + len(sc.Consumers) }
+
+// parseDest parses the "queue:x" / "topic:y" destination form.
+func parseDest(s string) (jms.Destination, error) {
+	switch {
+	case strings.HasPrefix(s, "queue:"):
+		return jms.Queue(strings.TrimPrefix(s, "queue:")), nil
+	case strings.HasPrefix(s, "topic:"):
+		return jms.Topic(strings.TrimPrefix(s, "topic:")), nil
+	default:
+		return nil, fmt.Errorf("explore: destination %q is not queue:* or topic:*", s)
+	}
+}
+
+// HarnessConfig converts the scenario to a runnable harness test.
+func (sc *Scenario) HarnessConfig() (harness.Config, error) {
+	cfg := harness.Config{
+		Name:     sc.Name,
+		Warmup:   sc.Warmup,
+		Run:      sc.Run,
+		Warmdown: sc.Warmdown,
+		Seed:     sc.Seed,
+	}
+	for _, p := range sc.Producers {
+		pc := harness.ProducerConfig{
+			ID:           p.ID,
+			Rate:         p.Rate,
+			BodyKind:     jms.BodyKind(p.BodyKind),
+			BodySize:     p.BodySize,
+			TTLs:         p.TTLs,
+			Transacted:   p.Transacted,
+			TxBatch:      p.TxBatch,
+			AbortEvery:   p.AbortEvery,
+			MaxMessages:  p.MaxMessages,
+			SendToTempOf: p.TempOf,
+		}
+		if p.NonPersist {
+			pc.Mode = jms.NonPersistent
+		}
+		if p.Dest != "" {
+			d, err := parseDest(p.Dest)
+			if err != nil {
+				return cfg, err
+			}
+			pc.Destination = d
+		}
+		for _, pri := range p.Priorities {
+			pc.Priorities = append(pc.Priorities, jms.Priority(pri))
+		}
+		cfg.Producers = append(cfg.Producers, pc)
+	}
+	for _, c := range sc.Consumers {
+		cc := harness.ConsumerConfig{
+			ID:         c.ID,
+			TempQueue:  c.TempQueue,
+			Durable:    c.Durable,
+			SubName:    c.SubName,
+			ClientID:   c.ClientID,
+			Selector:   c.Selector,
+			AckMode:    jms.AckMode(c.AckMode),
+			Transacted: c.Transacted,
+			TxBatch:    c.TxBatch,
+			CycleEvery: c.CycleEvery,
+		}
+		if c.Dest != "" {
+			d, err := parseDest(c.Dest)
+			if err != nil {
+				return cfg, err
+			}
+			cc.Destination = d
+		}
+		cfg.Consumers = append(cfg.Consumers, cc)
+	}
+	for _, e := range sc.Events {
+		cfg.Faults = append(cfg.Faults, harness.FaultEvent{At: e.At, Node: e.Node, Downtime: e.Downtime})
+	}
+	return cfg, nil
+}
+
+// Validate reports whether the scenario is runnable.
+func (sc *Scenario) Validate() error {
+	if sc.Stack.Kind != StackBroker && sc.Stack.Kind != StackCluster && sc.Stack.Kind != StackWire {
+		return fmt.Errorf("explore: unknown stack kind %q", sc.Stack.Kind)
+	}
+	if sc.Stack.Kind == StackCluster && sc.Stack.Nodes <= 0 {
+		return fmt.Errorf("explore: cluster stack needs nodes > 0")
+	}
+	if _, ok := ExpectedProperty(sc.Stack.Fault); !ok && sc.Stack.Fault != FaultNone {
+		return fmt.Errorf("explore: unknown fault %q", sc.Stack.Fault)
+	}
+	cfg, err := sc.HarnessConfig()
+	if err != nil {
+		return err
+	}
+	return cfg.Validate()
+}
+
+// Marshal renders the scenario as indented JSON, the repro format.
+func (sc *Scenario) Marshal() ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// LoadScenario reads a JSON repro file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("explore: parsing %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("explore: %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// WriteRepro writes the scenario to path as indented JSON.
+func (sc *Scenario) WriteRepro(path string) error {
+	data, err := sc.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

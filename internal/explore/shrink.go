@@ -1,0 +1,222 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShrinkOptions bounds a shrink run.
+type ShrinkOptions struct {
+	// MaxAttempts caps the number of candidate executions; zero means 60.
+	MaxAttempts int
+	// Log receives progress lines; nil disables them.
+	Log func(format string, args ...any)
+}
+
+// messageLadder is the descending MaxMessages schedule the shrinker
+// walks: it stops at the smallest cap that still reproduces.
+var messageLadder = []int{40, 20, 10, 5, 3, 2, 1}
+
+// Shrink delta-debugs a scenario down to a minimal reproduction:
+// schedule events, consumers and producers are dropped one at a time,
+// message counts are capped, the run is shortened, the stack is
+// simplified to a plain broker, and incidental worker features
+// (transactions, selectors, cycling, priorities, body kinds) are
+// stripped — keeping each change only if interesting(candidate) still
+// reports true. interesting is typically "re-execute and check the same
+// verdict"; executions it performs count toward MaxAttempts via this
+// function's bookkeeping, so pass a plain predicate.
+func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts ShrinkOptions) (*Scenario, int) {
+	budget := opts.MaxAttempts
+	if budget <= 0 {
+		budget = 60
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cur := sc.clone()
+	attempts := 0
+
+	// try runs one candidate, spending budget; returns whether it still
+	// reproduces (and is valid at all).
+	try := func(cand *Scenario, what string) bool {
+		if attempts >= budget {
+			return false
+		}
+		if err := cand.Validate(); err != nil {
+			return false
+		}
+		attempts++
+		ok, err := interesting(cand)
+		if err != nil || !ok {
+			return false
+		}
+		logf("shrink: kept %s (%d workers)", what, cand.Workers())
+		return true
+	}
+
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+
+		// 1. Drop schedule events, all at once first.
+		if len(cur.Events) > 0 {
+			cand := cur.clone()
+			cand.Events = nil
+			if try(cand, "drop all events") {
+				cur, changed = cand, true
+			} else {
+				for i := 0; i < len(cur.Events); i++ {
+					cand := cur.clone()
+					cand.Events = append(cand.Events[:i:i], cand.Events[i+1:]...)
+					if try(cand, "drop one event") {
+						cur, changed = cand, true
+						i--
+					}
+				}
+			}
+		}
+
+		// 2. Drop consumers (cascading producers aimed at their temp
+		// queues), keeping at least one of each.
+		for i := 0; i < len(cur.Consumers) && len(cur.Consumers) > 1; i++ {
+			cand := cur.clone()
+			victim := cand.Consumers[i].ID
+			cand.Consumers = append(cand.Consumers[:i:i], cand.Consumers[i+1:]...)
+			var prods []ProducerSpec
+			for _, p := range cand.Producers {
+				if p.TempOf != victim {
+					prods = append(prods, p)
+				}
+			}
+			if len(prods) == 0 {
+				continue
+			}
+			cand.Producers = prods
+			if try(cand, "drop consumer "+victim) {
+				cur, changed = cand, true
+				i--
+			}
+		}
+
+		// 3. Drop producers.
+		for i := 0; i < len(cur.Producers) && len(cur.Producers) > 1; i++ {
+			cand := cur.clone()
+			victim := cand.Producers[i].ID
+			cand.Producers = append(cand.Producers[:i:i], cand.Producers[i+1:]...)
+			if try(cand, "drop producer "+victim) {
+				cur, changed = cand, true
+				i--
+			}
+		}
+
+		// 4. Cap message counts, walking the ladder down.
+		for _, limit := range messageLadder {
+			need := false
+			for _, p := range cur.Producers {
+				if p.MaxMessages == 0 || p.MaxMessages > limit {
+					need = true
+				}
+			}
+			if !need {
+				continue
+			}
+			cand := cur.clone()
+			for i := range cand.Producers {
+				if cand.Producers[i].MaxMessages == 0 || cand.Producers[i].MaxMessages > limit {
+					cand.Producers[i].MaxMessages = limit
+				}
+			}
+			if !try(cand, fmt.Sprintf("cap messages at %d", limit)) {
+				break
+			}
+			cur, changed = cand, true
+		}
+
+		// 5. Shorten the run.
+		for cur.Run > 50*time.Millisecond {
+			cand := cur.clone()
+			cand.Run = cur.Run / 2
+			if cand.Run < 50*time.Millisecond {
+				cand.Run = 50 * time.Millisecond
+			}
+			if !try(cand, "halve run") {
+				break
+			}
+			cur, changed = cand, true
+		}
+
+		// 6. Simplify the stack to a plain broker (keeping the fault
+		// wrapper and latency profile, which may be load-bearing).
+		if cur.Stack.Kind != StackBroker {
+			cand := cur.clone()
+			cand.Stack.Kind = StackBroker
+			cand.Stack.Nodes = 0
+			for i := range cand.Events {
+				cand.Events[i].Node = -1
+			}
+			if try(cand, "stack -> broker") {
+				cur, changed = cand, true
+			}
+		}
+
+		// 7. Strip incidental worker features.
+		for i := range cur.Producers {
+			p := cur.Producers[i]
+			if p.Transacted || p.AbortEvery != 0 || len(p.Priorities) > 0 || p.BodyKind != 0 || p.NonPersist {
+				cand := cur.clone()
+				cand.Producers[i].Transacted = false
+				cand.Producers[i].TxBatch = 0
+				cand.Producers[i].AbortEvery = 0
+				cand.Producers[i].Priorities = nil
+				cand.Producers[i].BodyKind = 0
+				cand.Producers[i].NonPersist = false
+				if try(cand, "simplify producer "+p.ID) {
+					cur, changed = cand, true
+				}
+			}
+			if len(cur.Producers[i].TTLs) > 0 {
+				cand := cur.clone()
+				cand.Producers[i].TTLs = nil
+				if try(cand, "drop TTLs of "+p.ID) {
+					cur, changed = cand, true
+				}
+			}
+		}
+		for i := range cur.Consumers {
+			c := cur.Consumers[i]
+			if c.Selector != "" || c.CycleEvery != 0 || c.Transacted || c.AckMode != 0 || c.Durable {
+				cand := cur.clone()
+				cand.Consumers[i].Selector = ""
+				cand.Consumers[i].CycleEvery = 0
+				cand.Consumers[i].Transacted = false
+				cand.Consumers[i].TxBatch = 0
+				cand.Consumers[i].AckMode = 0
+				cand.Consumers[i].Durable = false
+				cand.Consumers[i].SubName = ""
+				cand.Consumers[i].ClientID = ""
+				if try(cand, "simplify consumer "+c.ID) {
+					cur, changed = cand, true
+				}
+			}
+		}
+
+		if !changed || attempts >= budget {
+			break
+		}
+	}
+	return cur, attempts
+}
+
+// clone deep-copies a scenario so shrink candidates never alias.
+func (sc *Scenario) clone() *Scenario {
+	out := *sc
+	out.Producers = append([]ProducerSpec(nil), sc.Producers...)
+	for i := range out.Producers {
+		out.Producers[i].Priorities = append([]int(nil), out.Producers[i].Priorities...)
+		out.Producers[i].TTLs = append([]time.Duration(nil), out.Producers[i].TTLs...)
+	}
+	out.Consumers = append([]ConsumerSpec(nil), sc.Consumers...)
+	out.Events = append([]EventSpec(nil), sc.Events...)
+	return &out
+}

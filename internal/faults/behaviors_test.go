@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// These tests drive the fault behaviors directly through their
+// SendBehavior/RecvBehavior hooks, pinning down the exact transformation
+// each wrapper applies — the conformance tests in faults_test.go verify
+// the end-to-end detection, these verify the mechanics.
+
+func msg(s string) *jms.Message {
+	return &jms.Message{Body: jms.BytesBody([]byte(s))}
+}
+
+func TestDropperSuppressesEveryNth(t *testing.T) {
+	send := NewDropper(nil, 3).NewSend()
+	var dropped []int
+	for i := 1; i <= 9; i++ {
+		if send.TransformSend(msg("m"), &jms.SendOptions{}) {
+			dropped = append(dropped, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(dropped) != len(want) {
+		t.Fatalf("dropped %v, want %v", dropped, want)
+	}
+	for i := range want {
+		if dropped[i] != want[i] {
+			t.Fatalf("dropped %v, want %v", dropped, want)
+		}
+	}
+}
+
+func TestTTLIgnorerStripsTTL(t *testing.T) {
+	send := NewTTLIgnorer(nil).NewSend()
+	opts := &jms.SendOptions{TTL: time.Minute}
+	if send.TransformSend(msg("m"), opts) {
+		t.Error("ttl-ignorer must not drop the message")
+	}
+	if opts.TTL != 0 {
+		t.Errorf("TTL = %v after transform, want 0", opts.TTL)
+	}
+}
+
+func TestOverEagerExpirerDropsAnyTTL(t *testing.T) {
+	send := NewOverEagerExpirer(nil).NewSend()
+	if !send.TransformSend(msg("m"), &jms.SendOptions{TTL: time.Hour}) {
+		t.Error("a message with a generous TTL must be 'expired'")
+	}
+	if send.TransformSend(msg("m"), &jms.SendOptions{}) {
+		t.Error("a message without TTL must pass through")
+	}
+}
+
+func TestDuplicatorCountAndIdentity(t *testing.T) {
+	recv := NewDuplicator(nil, 3).NewRecv()
+	total := 0
+	for i := 1; i <= 9; i++ {
+		m := msg("m")
+		out := recv.TransformReceive(m)
+		wantLen := 1
+		if i%3 == 0 {
+			wantLen = 2
+		}
+		if len(out) != wantLen {
+			t.Fatalf("receive %d: %d messages out, want %d", i, len(out), wantLen)
+		}
+		if wantLen == 2 {
+			if out[0] != m {
+				t.Errorf("receive %d: original not delivered first", i)
+			}
+			if out[1] == m {
+				t.Errorf("receive %d: duplicate aliases the original", i)
+			}
+			if out[1].Redelivered {
+				t.Errorf("receive %d: duplicate must NOT be flagged redelivered (that is the bug)", i)
+			}
+		}
+		total += len(out)
+	}
+	if total != 12 {
+		t.Errorf("9 receives produced %d deliveries, want 12", total)
+	}
+}
+
+func TestReordererWindow(t *testing.T) {
+	recv := NewReorderer(nil, 3).NewRecv()
+	in := []*jms.Message{msg("1"), msg("2"), msg("3"), msg("4"), msg("5"), msg("6"), msg("7")}
+	var out []*jms.Message
+	for _, m := range in {
+		out = append(out, recv.TransformReceive(m)...)
+	}
+	// Every 3rd message is held back exactly one slot: 1 2 4 3 5 7 6.
+	want := []*jms.Message{in[0], in[1], in[3], in[2], in[4], in[6], in[5]}
+	if len(out) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("position %d: got %q want %q", i, out[i].Body, want[i].Body)
+		}
+	}
+}
+
+func TestCorrupterFlipsEveryNthPayload(t *testing.T) {
+	recv := NewCorrupter(nil, 2).NewRecv()
+	first := recv.TransformReceive(msg("hello"))
+	if got := string(first[0].Body.(jms.BytesBody)); got != "hello" {
+		t.Errorf("message 1 corrupted: %q", got)
+	}
+	second := recv.TransformReceive(msg("hello"))
+	if got := string(second[0].Body.(jms.BytesBody)); got == "hello" {
+		t.Error("message 2 not corrupted")
+	}
+
+	// The corruption must survive every body kind, including empty ones.
+	empty := &jms.Message{Body: jms.BytesBody(nil)}
+	recv.TransformReceive(empty) // 3rd: passthrough
+	out := recv.TransformReceive(empty)
+	if got, ok := out[0].Body.(jms.TextBody); !ok || string(got) != "corrupted" {
+		t.Errorf("empty body corruption fallback: %#v", out[0].Body)
+	}
+
+	text := &jms.Message{Body: jms.TextBody("Hello")}
+	recv.TransformReceive(text) // 5th: passthrough
+	out = recv.TransformReceive(&jms.Message{Body: jms.TextBody("Hello")})
+	if got := string(out[0].Body.(jms.TextBody)); got == "Hello" {
+		t.Error("text body not corrupted")
+	}
+}
+
+func TestTrivialDeliversNothing(t *testing.T) {
+	recv := NewTrivial(nil).NewRecv()
+	for i := 0; i < 5; i++ {
+		if out := recv.TransformReceive(msg("m")); len(out) != 0 {
+			t.Fatalf("trivial provider delivered %d messages", len(out))
+		}
+	}
+}
+
+func TestPriorityInverterStashAndFlush(t *testing.T) {
+	recv := NewPriorityInverter(nil, 2).NewRecv()
+	high := &jms.Message{Priority: 9, Body: jms.BytesBody([]byte("h"))}
+	if out := recv.TransformReceive(high); len(out) != 0 {
+		t.Fatalf("high-priority message not stashed: %d out", len(out))
+	}
+	low1 := &jms.Message{Priority: 1, Body: jms.BytesBody([]byte("l1"))}
+	if out := recv.TransformReceive(low1); len(out) != 1 || out[0] != low1 {
+		t.Fatalf("first low delivery wrong: %v", out)
+	}
+	low2 := &jms.Message{Priority: 1, Body: jms.BytesBody([]byte("l2"))}
+	out := recv.TransformReceive(low2)
+	if len(out) != 2 || out[0] != low2 || out[1] != high {
+		t.Fatalf("second low must release the stash after it: %v", out)
+	}
+	// Flush drains whatever is still held so a delay never becomes a drop.
+	recv.TransformReceive(high)
+	f, ok := recv.(Flusher)
+	if !ok {
+		t.Fatal("priority inverter must implement Flusher")
+	}
+	if out := f.Flush(); len(out) != 1 || out[0] != high {
+		t.Fatalf("flush returned %v", out)
+	}
+	if out := f.Flush(); len(out) != 0 {
+		t.Fatalf("second flush returned %v", out)
+	}
+}

@@ -61,6 +61,16 @@ type ProducerConfig struct {
 	// AbortEvery rolls back every Nth transaction instead of committing
 	// it (0 disables), to exercise Definition 1's committed-only rule.
 	AbortEvery int
+	// MaxMessages stops the producer after this many send attempts
+	// (0 means unlimited). Scenario shrinking uses it to bound a repro
+	// to a handful of messages.
+	MaxMessages int
+	// SendToTempOf, when non-empty, directs this producer at the
+	// temporary queue currently owned by the named consumer (which must
+	// have TempQueue set) instead of a configured destination — the
+	// reply half of the request/reply pattern temporary queues exist
+	// for. Sends are skipped while the consumer has no live temp queue.
+	SendToTempOf string
 }
 
 // ConsumerConfig describes one logical message consumer.
@@ -93,6 +103,27 @@ type ConsumerConfig struct {
 	// becomes a fresh artificial subscription each cycle, exercising
 	// the first/last-message bracketing of Definitions 4–6.
 	CycleEvery time.Duration
+	// TempQueue makes the consumer create and consume from its own
+	// temporary queue instead of a configured destination. The queue is
+	// connection-scoped: cycling or a provider crash destroys it and the
+	// reopened consumer owns a fresh one. Producers reach the current
+	// queue via SendToTempOf.
+	TempQueue bool
+}
+
+// FaultEvent schedules one provider failure injection during a run,
+// generalising the single whole-provider CrashAfter to multiple events
+// and — for providers implementing NodeCrasher, such as a cluster — to
+// individual nodes.
+type FaultEvent struct {
+	// At is when the event fires, measured from test start.
+	At time.Duration
+	// Node selects the node to crash for NodeCrasher providers;
+	// negative means the whole provider (Crashable).
+	Node int
+	// Downtime is how long the target stays down before Restart; zero
+	// means 20ms.
+	Downtime time.Duration
 }
 
 // Config describes one test.
@@ -121,6 +152,9 @@ type Config struct {
 	// CrashDowntime is how long the provider stays down; zero means
 	// 20ms.
 	CrashDowntime time.Duration
+	// Faults schedules additional failure injections, possibly against
+	// individual nodes of a federated provider.
+	Faults []FaultEvent
 }
 
 // Validate reports whether the configuration is well formed.
@@ -134,6 +168,12 @@ func (c *Config) Validate() error {
 	if c.Warmup < 0 || c.Warmdown < 0 {
 		return fmt.Errorf("harness: test %q has negative periods", c.Name)
 	}
+	tempOwners := map[string]bool{}
+	for _, cc := range c.Consumers {
+		if cc.TempQueue {
+			tempOwners[cc.ID] = true
+		}
+	}
 	ids := map[string]bool{}
 	for i, p := range c.Producers {
 		if p.ID == "" {
@@ -146,8 +186,19 @@ func (c *Config) Validate() error {
 		if p.Rate <= 0 {
 			return fmt.Errorf("harness: producer %q has no rate", p.ID)
 		}
-		if p.Destination == nil && c.Destination == nil {
+		if p.SendToTempOf != "" {
+			if p.Destination != nil {
+				return fmt.Errorf("harness: producer %q has both a destination and SendToTempOf", p.ID)
+			}
+			if !tempOwners[p.SendToTempOf] {
+				return fmt.Errorf("harness: producer %q targets temp queue of %q, which is not a TempQueue consumer",
+					p.ID, p.SendToTempOf)
+			}
+		} else if p.Destination == nil && c.Destination == nil {
 			return fmt.Errorf("harness: producer %q has no destination", p.ID)
+		}
+		if p.MaxMessages < 0 {
+			return fmt.Errorf("harness: producer %q has negative MaxMessages", p.ID)
 		}
 		for _, pri := range p.Priorities {
 			if !pri.Valid() {
@@ -167,7 +218,14 @@ func (c *Config) Validate() error {
 		if dest == nil {
 			dest = c.Destination
 		}
-		if dest == nil {
+		if cc.TempQueue {
+			if cc.Durable {
+				return fmt.Errorf("harness: consumer %q cannot be both durable and TempQueue", cc.ID)
+			}
+			if cc.Destination != nil {
+				return fmt.Errorf("harness: TempQueue consumer %q must not configure a destination", cc.ID)
+			}
+		} else if dest == nil {
 			return fmt.Errorf("harness: consumer %q has no destination", cc.ID)
 		}
 		if cc.Durable {
@@ -183,6 +241,14 @@ func (c *Config) Validate() error {
 		}
 		if cc.CycleEvery < 0 {
 			return fmt.Errorf("harness: consumer %q has negative cycle interval", cc.ID)
+		}
+	}
+	for i, fe := range c.Faults {
+		if fe.At <= 0 {
+			return fmt.Errorf("harness: fault event %d has no fire time", i)
+		}
+		if fe.Downtime < 0 {
+			return fmt.Errorf("harness: fault event %d has negative downtime", i)
 		}
 	}
 	return nil
@@ -208,7 +274,7 @@ func (c *Config) normalized() Config {
 
 // producerDefaults fills producer defaults.
 func producerDefaults(p ProducerConfig, testDest jms.Destination) ProducerConfig {
-	if p.Destination == nil {
+	if p.Destination == nil && p.SendToTempOf == "" {
 		p.Destination = testDest
 	}
 	if p.Profile == 0 {
@@ -237,7 +303,7 @@ func producerDefaults(p ProducerConfig, testDest jms.Destination) ProducerConfig
 
 // consumerDefaults fills consumer defaults.
 func consumerDefaults(cc ConsumerConfig, testDest jms.Destination) ConsumerConfig {
-	if cc.Destination == nil {
+	if cc.Destination == nil && !cc.TempQueue {
 		cc.Destination = testDest
 	}
 	if cc.AckMode == 0 {

@@ -23,6 +23,47 @@ type Crashable interface {
 	Restart() error
 }
 
+// NodeCrasher is implemented by federated providers whose member nodes
+// can fail independently (internal/cluster). Scheduled FaultEvents with
+// a non-negative Node target one member; the rest of the federation
+// keeps serving.
+type NodeCrasher interface {
+	// NumNodes returns the member count.
+	NumNodes() int
+	// CrashNode crashes member i, reporting whether it was up.
+	CrashNode(i int) bool
+	// RestartNode recovers member i from its stable store.
+	RestartNode(i int) error
+}
+
+// tempRegistry publishes the temporary queue currently owned by each
+// TempQueue consumer, so SendToTempOf producers can resolve it. Entries
+// churn as consumers cycle or reconnect after a crash.
+type tempRegistry struct {
+	mu    sync.Mutex
+	byown map[string]jms.Destination
+}
+
+func newTempRegistry() *tempRegistry {
+	return &tempRegistry{byown: map[string]jms.Destination{}}
+}
+
+func (r *tempRegistry) publish(owner string, d jms.Destination) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d == nil {
+		delete(r.byown, owner)
+		return
+	}
+	r.byown[owner] = d
+}
+
+func (r *tempRegistry) lookup(owner string) jms.Destination {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byown[owner]
+}
+
 // Runner executes tests against a provider.
 type Runner struct {
 	factory jms.ConnectionFactory
@@ -72,6 +113,7 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 
 	stopProducing := make(chan struct{}) // closed at warm-down
 	stopAll := make(chan struct{})       // closed at test end
+	temps := newTempRegistry()
 
 	var wg sync.WaitGroup
 	for i := range cfg.Producers {
@@ -83,6 +125,7 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 			seedBase:   cfg.Seed + uint64(i)*7919,
 			stop:       stopProducing,
 			pollRetry:  cfg.ReceiveTimeout,
+			temps:      temps,
 			metSent:    reg.Counter("harness.sent." + pc.ID),
 			metSentAll: sentTotal,
 			metErrs:    sendErrs,
@@ -103,6 +146,7 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 			log:        collector,
 			stop:       stopAll,
 			poll:       cfg.ReceiveTimeout,
+			temps:      temps,
 			metRecv:    reg.Counter("harness.recv." + cc.ID),
 			metRecvAll: recvTotal,
 		}
@@ -115,16 +159,23 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 		}()
 	}
 
-	// Crash injection, if requested and supported.
-	var crashWG sync.WaitGroup
+	// Failure injection: the legacy single whole-provider crash plus
+	// any scheduled fault events, each on its own timer.
+	faults := cfg.Faults
 	if cfg.CrashAfter > 0 {
-		crashable, ok := r.factory.(Crashable)
-		if !ok {
+		faults = append([]FaultEvent{{At: cfg.CrashAfter, Node: -1, Downtime: cfg.CrashDowntime}}, faults...)
+	}
+	var crashWG sync.WaitGroup
+	for _, fe := range faults {
+		fe := fe
+		if fe.Downtime <= 0 {
+			fe.Downtime = cfg.CrashDowntime
+		}
+		if err := r.checkFaultTarget(fe); err != nil {
 			close(stopProducing)
 			close(stopAll)
 			wg.Wait()
-			return nil, fmt.Errorf("harness: test %q requests crash injection but provider %T does not support it",
-				cfg.Name, r.factory)
+			return nil, fmt.Errorf("harness: test %q: %w", cfg.Name, err)
 		}
 		crashWG.Add(1)
 		go func() {
@@ -132,16 +183,9 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 			select {
 			case <-stopAll:
 				return
-			case <-r.clk.After(cfg.CrashAfter):
+			case <-r.clk.After(fe.At):
 			}
-			collector.Log(trace.Event{Type: trace.EventCrash, Detail: "injected"})
-			crashable.Crash()
-			r.clk.Sleep(cfg.CrashDowntime)
-			if err := crashable.Restart(); err != nil {
-				collector.Log(trace.Event{Type: trace.EventRecovered, Err: err.Error()})
-				return
-			}
-			collector.Log(trace.Event{Type: trace.EventRecovered})
+			r.injectFault(fe, collector)
 		}()
 	}
 
@@ -159,4 +203,48 @@ func (r *Runner) Run(cfg Config) (*trace.Trace, error) {
 	collector.Log(trace.Event{Type: trace.EventPhase, Detail: trace.PhaseDone})
 
 	return trace.Merge([][]trace.Event{collector.Events()}, nil), nil
+}
+
+// checkFaultTarget verifies the provider can satisfy one fault event.
+func (r *Runner) checkFaultTarget(fe FaultEvent) error {
+	if fe.Node < 0 {
+		if _, ok := r.factory.(Crashable); !ok {
+			return fmt.Errorf("crash injection requested but provider %T does not support it", r.factory)
+		}
+		return nil
+	}
+	nc, ok := r.factory.(NodeCrasher)
+	if !ok {
+		return fmt.Errorf("node crash injection requested but provider %T does not support it", r.factory)
+	}
+	if fe.Node >= nc.NumNodes() {
+		return fmt.Errorf("fault event targets node %d of a %d-node provider", fe.Node, nc.NumNodes())
+	}
+	return nil
+}
+
+// injectFault performs one crash/restart cycle and logs it. Targets were
+// validated before the test started.
+func (r *Runner) injectFault(fe FaultEvent, collector *trace.Collector) {
+	if fe.Node < 0 {
+		collector.Log(trace.Event{Type: trace.EventCrash, Detail: "injected"})
+		r.factory.(Crashable).Crash()
+		r.clk.Sleep(fe.Downtime)
+		ev := trace.Event{Type: trace.EventRecovered}
+		if err := r.factory.(Crashable).Restart(); err != nil {
+			ev.Err = err.Error()
+		}
+		collector.Log(ev)
+		return
+	}
+	nc := r.factory.(NodeCrasher)
+	detail := fmt.Sprintf("injected node-%d", fe.Node)
+	collector.Log(trace.Event{Type: trace.EventCrash, Detail: detail})
+	nc.CrashNode(fe.Node)
+	r.clk.Sleep(fe.Downtime)
+	ev := trace.Event{Type: trace.EventRecovered, Detail: detail}
+	if err := nc.RestartNode(fe.Node); err != nil {
+		ev.Err = err.Error()
+	}
+	collector.Log(ev)
 }

@@ -63,6 +63,7 @@ type producerWorker struct {
 	seedBase  uint64
 	stop      <-chan struct{}
 	pollRetry time.Duration
+	temps     *tempRegistry
 
 	// metSent/metSentAll/metErrs publish live progress (per-producer,
 	// aggregate, and send failures).
@@ -73,6 +74,9 @@ type producerWorker struct {
 	conn jms.Connection
 	sess jms.Session
 	prod jms.Producer
+	// dest is the destination the current producer object targets: the
+	// configured one, or the resolved temp queue for SendToTempOf.
+	dest jms.Destination
 
 	seq     int64
 	txSize  int
@@ -113,12 +117,16 @@ func (w *producerWorker) run() {
 			}
 		}
 		w.sendOne(rng)
+		if w.cfg.MaxMessages > 0 && w.seq >= int64(w.cfg.MaxMessages) {
+			w.finish()
+			return
+		}
 	}
 }
 
 // connect (re)establishes the producer's connection, session and
-// producer objects.
-func (w *producerWorker) connect() error {
+// producer objects against the given destination.
+func (w *producerWorker) connect(dest jms.Destination) error {
 	conn, err := w.runner.factory.CreateConnection()
 	if err != nil {
 		return err
@@ -128,12 +136,12 @@ func (w *producerWorker) connect() error {
 		_ = conn.Close()
 		return err
 	}
-	prod, err := sess.CreateProducer(w.cfg.Destination)
+	prod, err := sess.CreateProducer(dest)
 	if err != nil {
 		_ = conn.Close()
 		return err
 	}
-	w.conn, w.sess, w.prod = conn, sess, prod
+	w.conn, w.sess, w.prod, w.dest = conn, sess, prod, dest
 	return nil
 }
 
@@ -159,8 +167,22 @@ func (w *producerWorker) currentTxID() string {
 }
 
 func (w *producerWorker) sendOne(rng *stats.RNG) {
+	target := w.cfg.Destination
+	if w.cfg.SendToTempOf != "" {
+		target = w.temps.lookup(w.cfg.SendToTempOf)
+		if target == nil {
+			// The owning consumer has no live temp queue right now
+			// (cycling, or reconnecting after a crash); skip this tick.
+			return
+		}
+		if w.prod != nil && target.String() != w.dest.String() {
+			// The owner reincarnated onto a fresh temp queue; finish any
+			// open transaction and rebuild against the new one.
+			w.finish()
+		}
+	}
 	if w.prod == nil {
-		if err := w.connect(); err != nil {
+		if err := w.connect(target); err != nil {
 			// Provider down (e.g. crashed); retry on the next tick.
 			return
 		}
@@ -178,7 +200,7 @@ func (w *producerWorker) sendOne(rng *stats.RNG) {
 
 	base := trace.Event{
 		Producer:  w.cfg.ID,
-		Dest:      w.cfg.Destination.String(),
+		Dest:      w.dest.String(),
 		MsgUID:    uid,
 		MsgSeq:    w.seq,
 		Priority:  pri,
@@ -255,15 +277,19 @@ type consumerWorker struct {
 	log    trace.Logger
 	stop   <-chan struct{}
 	poll   time.Duration
+	temps  *tempRegistry
+
+	conn jms.Connection
+	sess jms.Session
+	cons jms.Consumer
+	// dest is the destination the live consumer reads from: the
+	// configured one, or this incarnation's temporary queue.
+	dest jms.Destination
 
 	// metRecv/metRecvAll publish live progress (per-consumer and
 	// aggregate deliveries).
 	metRecv    *obs.Counter
 	metRecvAll *obs.Counter
-
-	conn jms.Connection
-	sess jms.Session
-	cons jms.Consumer
 
 	subscribed bool
 	openedAt   time.Time
@@ -336,30 +362,46 @@ func (w *consumerWorker) connect() error {
 		return err
 	}
 	var cons jms.Consumer
-	if w.cfg.Durable {
+	dest := w.cfg.Destination
+	switch {
+	case w.cfg.TempQueue:
+		var tq jms.Queue
+		tq, err = sess.CreateTemporaryQueue()
+		if err != nil {
+			_ = conn.Close()
+			return err
+		}
+		dest = tq
+		cons, err = sess.CreateConsumerWithSelector(tq, w.cfg.Selector)
+	case w.cfg.Durable:
 		topic, ok := w.cfg.Destination.(jms.Topic)
 		if !ok {
 			_ = conn.Close()
 			return fmt.Errorf("harness: durable consumer %q destination is not a topic", w.cfg.ID)
 		}
 		cons, err = sess.CreateDurableSubscriberWithSelector(topic, w.cfg.SubName, w.cfg.Selector)
-	} else {
+	default:
 		cons, err = sess.CreateConsumerWithSelector(w.cfg.Destination, w.cfg.Selector)
 	}
 	if err != nil {
 		_ = conn.Close()
 		return err
 	}
-	w.conn, w.sess, w.cons = conn, sess, cons
+	w.conn, w.sess, w.cons, w.dest = conn, sess, cons, dest
 	if w.cfg.Durable && !w.subscribed {
 		w.subscribed = true
 		w.log.Log(trace.Event{Type: trace.EventSubscribe, Consumer: w.cfg.ID,
-			Endpoint: cons.EndpointID(), Dest: w.cfg.Destination.String(),
+			Endpoint: cons.EndpointID(), Dest: dest.String(),
 			Selector: w.cfg.Selector})
 	}
 	w.log.Log(trace.Event{Type: trace.EventConsumerOpen, Consumer: w.cfg.ID,
-		Endpoint: cons.EndpointID(), Dest: w.cfg.Destination.String(),
+		Endpoint: cons.EndpointID(), Dest: dest.String(),
 		Selector: w.cfg.Selector})
+	if w.cfg.TempQueue {
+		// Publish only after the open event, so producers never see a
+		// queue the trace does not yet know about.
+		w.temps.publish(w.cfg.ID, dest)
+	}
 	w.openedAt = w.runner.clk.Now()
 	return nil
 }
@@ -382,6 +424,11 @@ func (w *consumerWorker) cycle() {
 // abandon drops a dead connection without logging (the close was already
 // logged by the caller).
 func (w *consumerWorker) abandon() {
+	if w.cfg.TempQueue {
+		// Closing the connection destroys the temp queue; unpublish it
+		// first so producers stop resolving to it.
+		w.temps.publish(w.cfg.ID, nil)
+	}
 	if w.conn != nil {
 		_ = w.conn.Close()
 	}
@@ -415,7 +462,7 @@ func (w *consumerWorker) deliver(msg *jms.Message) {
 		Consumer:    w.cfg.ID,
 		Producer:    msg.StringProperty(propProducer),
 		Endpoint:    w.cons.EndpointID(),
-		Dest:        w.cfg.Destination.String(),
+		Dest:        w.dest.String(),
 		MsgUID:      trace.MessageUID(msg.StringProperty(propProducer), msg.Int64Property(propSeq)),
 		MsgSeq:      msg.Int64Property(propSeq),
 		Priority:    msg.Priority,

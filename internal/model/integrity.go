@@ -7,9 +7,13 @@ import "fmt"
 // Published Messages for some producer p." Beyond identity membership,
 // the payload checksum and the destination are compared, so corruption
 // and misrouting are caught as integrity violations too. A delivery of a
-// message whose send is in the trace but not "sent" per Definition 1 (a
-// rolled-back transactional send) is a specific integrity violation:
-// the provider leaked an uncommitted message.
+// message whose transactional send rolled back is a specific integrity
+// violation: the provider leaked an uncommitted message. A delivery of a
+// message whose non-transactional send threw is NOT a violation — JMS
+// leaves the outcome of a failed send indeterminate (the provider may
+// have accepted the message before the failure surfaced, e.g. a node
+// crashing mid-publish after federating the message) — but the payload
+// must still match what the producer attempted.
 func CheckDeliveryIntegrity(w *World) PropertyResult {
 	res := PropertyResult{Property: PropDeliveryIntegrity}
 	for _, id := range w.EndpointIDs() {
@@ -18,25 +22,26 @@ func CheckDeliveryIntegrity(w *World) PropertyResult {
 			res.Checked++
 			send, sent := w.SendByUID[d.UID]
 			if !sent {
-				v := Violation{
-					Property: PropDeliveryIntegrity,
-					Endpoint: id,
-					Consumer: d.Consumer,
-					MsgUID:   d.UID,
-				}
-				if attempt, attempted := w.AttemptedByUID[d.UID]; attempted {
-					if attempt.TxID != "" {
+				attempt, attempted := w.AttemptedByUID[d.UID]
+				if attempted && attempt.TxID == "" {
+					// Failed plain send: delivery permitted, content checked.
+					send = attempt
+				} else {
+					v := Violation{
+						Property: PropDeliveryIntegrity,
+						Endpoint: id,
+						Consumer: d.Consumer,
+						MsgUID:   d.UID,
+					}
+					if attempted {
 						v.Producer = attempt.Producer
 						v.Detail = fmt.Sprintf("message from uncommitted transaction %s was delivered", attempt.TxID)
 					} else {
-						v.Producer = attempt.Producer
-						v.Detail = "message whose send failed was delivered"
+						v.Detail = "delivered message was never sent by any producer"
 					}
-				} else {
-					v.Detail = "delivered message was never sent by any producer"
+					res.Violations = append(res.Violations, v)
+					continue
 				}
-				res.Violations = append(res.Violations, v)
-				continue
 			}
 			if d.Checksum != send.Checksum {
 				res.Violations = append(res.Violations, Violation{

@@ -86,6 +86,18 @@ func (r *Report) Violations() []Violation {
 	return out
 }
 
+// ViolatedProperties returns the distinct properties with violations,
+// in check order.
+func (r *Report) ViolatedProperties() []Property {
+	var out []Property
+	for _, pr := range r.Results {
+		if len(pr.Violations) > 0 {
+			out = append(out, pr.Property)
+		}
+	}
+	return out
+}
+
 // OK reports whether every property held.
 func (r *Report) OK() bool {
 	for _, pr := range r.Results {

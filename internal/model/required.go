@@ -5,6 +5,7 @@ import (
 
 	"jmsharness/internal/jms"
 	"jmsharness/internal/selector"
+	"jmsharness/internal/trace"
 )
 
 // headerOnlyMessage reconstructs the selectable headers of a sent
@@ -59,6 +60,16 @@ type RequiredOptions struct {
 //     messages may legitimately have been missed).
 //   - The required set (Property 2) is every message the producer sent
 //     between the two, in sequence order, minus exemptions.
+//
+// For a non-durable subscription the bracket is computed per priority
+// class rather than globally. The provider legitimately reorders across
+// priorities, and a non-durable subscription's undelivered backlog is
+// legitimately discarded when the subscriber closes or the provider
+// crashes (JMS persistence covers queues and durable subscriptions
+// only). A high-priority, high-sequence delivery therefore must not
+// conscript lower-priority stragglers into the required set; within one
+// priority class delivery is FIFO, so bracketing stays sound. With a
+// single priority the lane rule degenerates to the global bracket.
 func BuildRequiredSet(w *World, producer string, ep *Endpoint, opts RequiredOptions) RequiredSet {
 	rs := RequiredSet{Producer: producer, Endpoint: ep.ID, FirstSeq: 1, LastSeq: 0}
 	sends := w.SendsByProducer[producer][ep.Dest]
@@ -76,9 +87,20 @@ func BuildRequiredSet(w *World, producer string, ep *Endpoint, opts RequiredOpti
 		}
 	}
 
+	// Queues and durable subscriptions retain undelivered backlog across
+	// consumer closes and crashes, so one global bracket is sound (and
+	// stronger); non-durable subscriptions get one bracket per priority.
+	lanes := !ep.IsQueue && trace.IsNonDurableEndpoint(ep.ID)
+	laneOf := func(p jms.Priority) int {
+		if lanes {
+			return int(p)
+		}
+		return -1
+	}
+
 	// Definition 5: last message received from this producer before the
-	// group's last close.
-	lastSeq := int64(-1)
+	// group's last close, per lane.
+	last := map[int]int64{}
 	for _, d := range ep.Deliveries {
 		if !ep.LastClose.IsZero() && d.Time.After(ep.LastClose) {
 			continue
@@ -87,39 +109,60 @@ func BuildRequiredSet(w *World, producer string, ep *Endpoint, opts RequiredOpti
 		if !ok || send.Producer != producer || send.Dest != ep.Dest {
 			continue
 		}
-		if send.Seq > lastSeq {
-			lastSeq = send.Seq
+		if lane := laneOf(send.Priority); send.Seq > last[lane] {
+			last[lane] = send.Seq
 		}
 	}
-	if lastSeq < 0 {
+	if len(last) == 0 {
 		// Nothing from this producer was ever received: black-box
 		// analysis cannot bracket an interval, so no obligations (the
 		// paper's trivial-provider observation).
 		return rs
 	}
 
-	// Definition 6: first message.
-	firstSeq := int64(-1)
+	// Definition 6: first message, per lane.
+	first := map[int]int64{}
 	if ep.IsQueue {
-		firstSeq = sends[0].Seq
+		first[laneOf(0)] = sends[0].Seq
 	} else {
 		for _, d := range ep.Deliveries {
 			send, ok := w.SendByUID[d.UID]
 			if !ok || send.Producer != producer || send.Dest != ep.Dest {
 				continue
 			}
-			if firstSeq < 0 || send.Seq < firstSeq {
-				firstSeq = send.Seq
+			lane := laneOf(send.Priority)
+			if f, ok := first[lane]; !ok || send.Seq < f {
+				first[lane] = send.Seq
 			}
 		}
 	}
-	if firstSeq < 0 || firstSeq > lastSeq {
+	// Report the envelope of the lane brackets.
+	envFirst, envLast := int64(-1), int64(-1)
+	for lane, l := range last {
+		f, ok := first[lane]
+		if !ok || f > l {
+			continue
+		}
+		if envFirst < 0 || f < envFirst {
+			envFirst = f
+		}
+		if l > envLast {
+			envLast = l
+		}
+	}
+	if envFirst < 0 {
 		return rs
 	}
-	rs.FirstSeq, rs.LastSeq = firstSeq, lastSeq
+	rs.FirstSeq, rs.LastSeq = envFirst, envLast
 
 	for _, s := range sends {
-		if s.Seq < firstSeq || s.Seq > lastSeq {
+		lane := laneOf(s.Priority)
+		lastSeq, ok := last[lane]
+		if !ok {
+			continue
+		}
+		firstSeq, ok := first[lane]
+		if !ok || s.Seq < firstSeq || s.Seq > lastSeq {
 			continue
 		}
 		if opts.ExemptExpiring && s.TTL > 0 {

@@ -45,6 +45,11 @@ func (r SubscriptionRecord) Key() string { return r.ClientID + ":" + r.Name }
 type StoredMessage struct {
 	ID  RecordID
 	Msg *jms.Message
+	// Delivered records that the message was handed to a consumer at
+	// least once before the snapshot. Recovery uses it to set the
+	// JMSRedelivered flag on messages that survive a crash because they
+	// were delivered but never acknowledged.
+	Delivered bool
 }
 
 // State is a point-in-time snapshot of durable state, used for recovery.
@@ -64,6 +69,11 @@ type Store interface {
 	// RemoveMessage durably removes a previously added message (on
 	// acknowledge/commit). Removing an unknown ID is an error.
 	RemoveMessage(endpoint string, id RecordID) error
+	// MarkDelivered durably records that the message was handed to a
+	// consumer, so a post-crash redelivery can carry the JMSRedelivered
+	// flag. Marking an unknown ID is a no-op (the record may have been
+	// acknowledged concurrently); marking twice is idempotent.
+	MarkDelivered(endpoint string, id RecordID) error
 	// AddSubscription durably records a durable subscription.
 	AddSubscription(sub SubscriptionRecord) error
 	// RemoveSubscription durably deletes a durable subscription and any
@@ -83,6 +93,7 @@ type Memory struct {
 	mu     sync.Mutex
 	nextID RecordID
 	msgs   map[string]map[RecordID]*jms.Message
+	deliv  map[string]map[RecordID]bool
 	order  map[string][]RecordID
 	subs   map[string]SubscriptionRecord
 	closed bool
@@ -92,6 +103,7 @@ type Memory struct {
 func NewMemory() *Memory {
 	return &Memory{
 		msgs:  map[string]map[RecordID]*jms.Message{},
+		deliv: map[string]map[RecordID]bool{},
 		order: map[string][]RecordID{},
 		subs:  map[string]SubscriptionRecord{},
 	}
@@ -131,6 +143,26 @@ func (m *Memory) RemoveMessage(endpoint string, id RecordID) error {
 		return fmt.Errorf("store: remove unknown record %d on %q", id, endpoint)
 	}
 	delete(eps, id)
+	if d, ok := m.deliv[endpoint]; ok {
+		delete(d, id)
+	}
+	return nil
+}
+
+// MarkDelivered implements Store.
+func (m *Memory) MarkDelivered(endpoint string, id RecordID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	if _, ok := m.msgs[endpoint][id]; !ok {
+		return nil // acknowledged concurrently; nothing to mark
+	}
+	if m.deliv[endpoint] == nil {
+		m.deliv[endpoint] = map[RecordID]bool{}
+	}
+	m.deliv[endpoint][id] = true
 	return nil
 }
 
@@ -161,6 +193,7 @@ func (m *Memory) RemoveSubscription(clientID, name string) error {
 	// Drop pending messages for the subscription's endpoint.
 	endpoint := "sub:" + sub.ClientID + ":" + sub.Name
 	delete(m.msgs, endpoint)
+	delete(m.deliv, endpoint)
 	delete(m.order, endpoint)
 	return nil
 }
@@ -178,7 +211,7 @@ func (m *Memory) Snapshot() (*State, error) {
 		var out []StoredMessage
 		for _, id := range ids {
 			if msg, ok := live[id]; ok {
-				out = append(out, StoredMessage{ID: id, Msg: msg.Clone()})
+				out = append(out, StoredMessage{ID: id, Msg: msg.Clone(), Delivered: m.deliv[ep][id]})
 			}
 		}
 		if len(out) > 0 {

@@ -302,6 +302,237 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 }
 
+// TestWALTruncatedMidRecord cuts the log off inside the last record —
+// the shape a power loss leaves after a partial write — and checks
+// recovery keeps the good prefix, discards the half record, and leaves
+// the log appendable.
+func TestWALTruncatedMidRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cut.wal")
+	w, err := OpenWAL(path, WALOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("keep1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("keep2")); err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the middle of the last record.
+	cut := prefix.Size() + (whole.Size()-prefix.Size())/2
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatalf("truncated record should be tolerated: %v", err)
+	}
+	defer w2.Close()
+	st, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := st.Messages["queue:q"]
+	if len(msgs) != 2 {
+		t.Fatalf("recovered %d messages, want the 2 whole ones", len(msgs))
+	}
+	if msgs[0].Msg.Body.(jms.TextBody) != "keep1" || msgs[1].Msg.Body.(jms.TextBody) != "keep2" {
+		t.Error("recovered prefix wrong")
+	}
+	if size, err := os.Stat(path); err != nil || size.Size() != prefix.Size() {
+		t.Errorf("half record not truncated away: %d bytes, want %d", size.Size(), prefix.Size())
+	}
+	if _, err := w2.AddMessage("queue:q", msg("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCorruptedTailChecksum flips one byte inside the final record
+// (bit rot, not a torn write) and checks the checksum catches it:
+// recovery stops at the last intact record and rewinds the log there.
+func TestWALCorruptedTailChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rot.wal")
+	w, err := OpenWAL(path, WALOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("keep")); err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("rotted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := prefix.Size() + (int64(len(data))-prefix.Size())/2
+	data[mid] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatalf("corrupt tail record should be tolerated: %v", err)
+	}
+	defer w2.Close()
+	st, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := st.Messages["queue:q"]
+	if len(msgs) != 1 || msgs[0].Msg.Body.(jms.TextBody) != "keep" {
+		t.Fatalf("recovered %d messages, want only the intact one", len(msgs))
+	}
+	// The rewind must land exactly on the good prefix so new appends
+	// frame cleanly.
+	if size, err := os.Stat(path); err != nil || size.Size() != prefix.Size() {
+		t.Errorf("corrupt record not truncated away: %d bytes, want %d", size.Size(), prefix.Size())
+	}
+	if _, err := w2.AddMessage("queue:q", msg("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	st3, err := w3.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st3.Messages["queue:q"]); got != 2 {
+		t.Errorf("recovered %d messages after re-append, want 2", got)
+	}
+}
+
+// TestStoreMarkDelivered covers the delivered-marker contract on both
+// implementations: the flag shows up in snapshots, marking is
+// idempotent, unknown IDs are a no-op, and acknowledging the message
+// clears it.
+func TestStoreMarkDelivered(t *testing.T) {
+	forEachStore(t, func(t *testing.T, s Store) {
+		id1, err := s.AddMessage("queue:q", msg("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id2, err := s.AddMessage("queue:q", msg("b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.MarkDelivered("queue:q", id1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.MarkDelivered("queue:q", id1); err != nil {
+			t.Fatalf("second mark must be idempotent: %v", err)
+		}
+		if err := s.MarkDelivered("queue:q", RecordID(9999)); err != nil {
+			t.Fatalf("unknown ID must be a no-op: %v", err)
+		}
+		st, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := st.Messages["queue:q"]
+		if len(msgs) != 2 {
+			t.Fatalf("%d messages, want 2", len(msgs))
+		}
+		if !msgs[0].Delivered || msgs[1].Delivered {
+			t.Errorf("delivered flags = %v,%v want true,false", msgs[0].Delivered, msgs[1].Delivered)
+		}
+		if err := s.RemoveMessage("queue:q", id1); err != nil {
+			t.Fatal(err)
+		}
+		_ = id2
+	})
+}
+
+// TestWALMarkDeliveredDurability checks the delivered marker survives
+// both recovery replay and compaction — it is exactly the bit that must
+// not be lost across a crash, or redelivered messages come back without
+// their JMSRedelivered flag.
+func TestWALMarkDeliveredDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deliv.wal")
+	w, err := OpenWAL(path, WALOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := w.AddMessage("queue:q", msg("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddMessage("queue:q", msg("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MarkDelivered("queue:q", idA); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := w2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := st.Messages["queue:q"]
+	if len(msgs) != 2 || !msgs[0].Delivered || msgs[1].Delivered {
+		t.Fatalf("after replay: delivered flags wrong: %+v", msgs)
+	}
+	// Compaction rewrites the log from the mirror; the marker must be
+	// re-emitted, and a marker on a since-removed record must not
+	// resurrect anything.
+	if err := w2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	st3, err := w3.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs = st3.Messages["queue:q"]
+	if len(msgs) != 2 || !msgs[0].Delivered || msgs[1].Delivered {
+		t.Fatalf("after compaction: delivered flags wrong: %+v", msgs)
+	}
+}
+
 func TestWALCompact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "compact.wal")
 	w, err := OpenWAL(path, WALOptions{})
@@ -375,7 +606,7 @@ func TestStoreEquivalenceProperty(t *testing.T) {
 		}
 		var live []livePair
 		for op := 0; op < 60; op++ {
-			switch r.Intn(3) {
+			switch r.Intn(4) {
 			case 0, 1: // add
 				ep := endpoints[r.Intn(len(endpoints))]
 				m := msg(string(rune('a' + r.Intn(26))))
@@ -401,6 +632,17 @@ func TestStoreEquivalenceProperty(t *testing.T) {
 					t.Fatal(err)
 				}
 				live = append(live[:i], live[i+1:]...)
+			case 3: // mark delivered
+				if len(live) == 0 {
+					continue
+				}
+				p := live[r.Intn(len(live))]
+				if err := mem.MarkDelivered(p.ep, p.memID); err != nil {
+					t.Fatal(err)
+				}
+				if err := wal.MarkDelivered(p.ep, p.walID); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
 		// Close and reopen the WAL to force recovery, then compare.
@@ -433,6 +675,10 @@ func TestStoreEquivalenceProperty(t *testing.T) {
 			for i := range memMsgs {
 				if !memMsgs[i].Msg.Equal(walMsgs[i].Msg) {
 					t.Logf("endpoint %s message %d differs", ep, i)
+					return false
+				}
+				if memMsgs[i].Delivered != walMsgs[i].Delivered {
+					t.Logf("endpoint %s message %d delivered flag differs", ep, i)
 					return false
 				}
 			}

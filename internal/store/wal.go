@@ -39,6 +39,7 @@ const (
 	recRemoveMessage
 	recAddSubscription
 	recRemoveSubscription
+	recMarkDelivered
 )
 
 // WALOptions configures OpenWAL.
@@ -163,6 +164,17 @@ func (w *WAL) apply(payload []byte) error {
 		if err := w.mirror.RemoveMessage(endpoint, mirrorID); err != nil {
 			return err
 		}
+	case recMarkDelivered:
+		id := RecordID(d.Uvarint())
+		endpoint := d.String()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if mirrorID, ok := w.lookupID(endpoint, id); ok {
+			if err := w.mirror.MarkDelivered(endpoint, mirrorID); err != nil {
+				return err
+			}
+		}
 	case recAddSubscription:
 		sub := SubscriptionRecord{
 			ClientID: d.String(), Name: d.String(), Topic: d.String(), Selector: d.String(),
@@ -261,6 +273,27 @@ func (w *WAL) RemoveMessage(endpoint string, id RecordID) error {
 	}
 	e := jms.NewEncoder(make([]byte, 0, 32))
 	e.Byte(recRemoveMessage)
+	e.Uvarint(uint64(id))
+	e.String(endpoint)
+	return w.appendRecord(e.Bytes())
+}
+
+// MarkDelivered implements Store.
+func (w *WAL) MarkDelivered(endpoint string, id RecordID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	mirrorID, ok := w.lookupID(endpoint, id)
+	if !ok {
+		return nil // acknowledged concurrently; nothing to mark
+	}
+	if err := w.mirror.MarkDelivered(endpoint, mirrorID); err != nil {
+		return err
+	}
+	e := jms.NewEncoder(make([]byte, 0, 32))
+	e.Byte(recMarkDelivered)
 	e.Uvarint(uint64(id))
 	e.String(endpoint)
 	return w.appendRecord(e.Bytes())
@@ -386,6 +419,16 @@ func (w *WAL) Compact() error {
 			if err := writeRec(e.Bytes()); err != nil {
 				_ = tmp.Close()
 				return fmt.Errorf("store: compacting: %w", err)
+			}
+			if sm.Delivered {
+				e := jms.NewEncoder(make([]byte, 0, 32))
+				e.Byte(recMarkDelivered)
+				e.Uvarint(uint64(walID))
+				e.String(ep)
+				if err := writeRec(e.Bytes()); err != nil {
+					_ = tmp.Close()
+					return fmt.Errorf("store: compacting: %w", err)
+				}
 			}
 		}
 	}

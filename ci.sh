@@ -27,3 +27,12 @@ fuzztime=${JMSFUZZ_TIME:-30s}
 if [ "$fuzztime" != "0" ]; then
 	go test -fuzz=FuzzConformance -fuzztime="$fuzztime" ./internal/explore
 fi
+
+# Opt-in hot-path microbenchmarks (broker send/ack, WAL group-commit
+# append, wire round trip): set JMSBENCH_TIME (a -benchtime value, e.g.
+# 1s or 2000x) to run them, so a perf regression is one command away.
+# Off by default to keep ci fast.
+benchtime=${JMSBENCH_TIME:-0}
+if [ "$benchtime" != "0" ]; then
+	go test -run '^$' -bench 'SendAck|WALAppend|SendReceive' -benchtime="$benchtime" .
+fi

@@ -9,7 +9,9 @@
 // measures (§3.2 performance block), compare (footnote-9 three-provider
 // comparison), conformance (fault-detection matrix), ingest (§4.1
 // DB-vs-streaming analysis), scale (cluster throughput/delay vs shard
-// count; -placement picks the sharding policy). -scale multiplies the
+// count; -placement picks the sharding policy), saturation (unthrottled
+// single-node capacity per stack and shard count, with the group-commit
+// batch histogram). -scale multiplies the
 // run durations; 1.0 matches the defaults used in EXPERIMENTS.md.
 //
 // Alongside the human-readable report, each invocation appends a
@@ -68,7 +70,7 @@ type measuresSummary struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("jmsbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, or all")
+	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, saturation, or all")
 	scale := fs.Float64("scale", 1.0, "duration multiplier for the timed experiments")
 	csv := fs.Bool("csv", false, "emit throughput sweeps as CSV instead of a table")
 	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
@@ -100,9 +102,10 @@ func run(args []string) error {
 		"conformance": func() error { return runConformance(*scale, report) },
 		"ingest":      func() error { return runIngest(*ingestEvents, report) },
 		"scale":       func() error { return runScale(*scale, *placement, report) },
+		"saturation":  func() error { return runSaturation(*scale, report) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale", "saturation"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -265,6 +268,21 @@ func runScale(scale float64, placement string, report *benchReport) error {
 			report.ClusterNodes = p.Nodes
 			report.PlacementPolicy = opts.Placement
 		}
+	}
+	return nil
+}
+
+func runSaturation(scale float64, report *benchReport) error {
+	fmt.Println("=== saturation: unthrottled capacity vs shard count ===")
+	opts := experiments.SaturationSweepOptions(scale)
+	points, err := experiments.SaturationSweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSaturationTable(opts, points))
+	report.Experiments["saturation"] = map[string]any{
+		"points":   points,
+		"baseline": experiments.SaturationBaseline,
 	}
 	return nil
 }

@@ -87,7 +87,7 @@ func run(args []string) error {
 			if *clusterN > 1 {
 				path = fmt.Sprintf("%s.%d", path, i)
 			}
-			wal, err := store.OpenWAL(path, store.WALOptions{Sync: true})
+			wal, err := store.OpenWAL(path, store.WALOptions{Sync: true, Metrics: reg})
 			if err != nil {
 				return nil, err
 			}

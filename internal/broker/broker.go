@@ -76,7 +76,17 @@ type Broker struct {
 	msgSeq      atomic.Int64
 	consumerSeq atomic.Int64
 
-	mu         sync.Mutex
+	// mu guards the destination registry (queues/topics/subs), the
+	// connection registries, and the crashed/closed lifecycle flags. The
+	// hot paths — enqueueToQueue and publishToTopic — take it in read
+	// mode and hold that read lock through persist+push, so sends to
+	// distinct destinations proceed in parallel (each mailbox and the
+	// stable store do their own locking) while Crash/Restart/Close take
+	// the write side as a quiesce epoch: once the write lock is held, no
+	// send is mid-flight, so recovery always sees a consistent world.
+	// Cold control-plane paths (consumer/subscription/temp-queue
+	// management) simply take the write lock.
+	mu         sync.RWMutex
 	queues     map[string]*mailbox
 	topics     map[string]map[string]*subscription // topic -> endpoint -> sub
 	subs       map[string]*subscription            // endpoint -> sub
@@ -526,14 +536,38 @@ func (b *Broker) send(dest jms.Destination, msg *jms.Message, opts jms.SendOptio
 }
 
 func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) error {
-	b.mu.Lock()
-	if b.closed || b.crashed {
-		b.mu.Unlock()
-		return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	// Fast path: the queue already exists, so a read lock suffices and
+	// sends to distinct queues run fully in parallel. The read lock is
+	// held through persist+push: that is the quiesce contract with
+	// Crash/Restart/Close (which take the write side), and overlapping
+	// read-side holders are exactly what lets the WAL's group committer
+	// batch their fsyncs. Queue creation is rare; it briefly upgrades to
+	// the write lock and retries.
+	for {
+		b.mu.RLock()
+		if b.closed || b.crashed {
+			b.mu.RUnlock()
+			return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+		}
+		mb, ok := b.queues[name]
+		if !ok {
+			b.mu.RUnlock()
+			b.mu.Lock()
+			if !b.closed && !b.crashed {
+				b.queueLocked(name)
+			}
+			b.mu.Unlock()
+			continue
+		}
+		err := b.enqueueEntry(mb, name, m, now)
+		b.mu.RUnlock()
+		return err
 	}
-	mb := b.queueLocked(name)
-	b.mu.Unlock()
+}
 
+// enqueueEntry persists (if required) and buffers one message on a
+// queue mailbox. Callers hold b.mu in read mode.
+func (b *Broker) enqueueEntry(mb *mailbox, name string, m *jms.Message, now time.Time) error {
 	e := entry{msg: m, enqueuedAt: now}
 	ep := trace.EndpointForQueue(name)
 	if m.Mode == jms.Persistent {
@@ -551,18 +585,15 @@ func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) erro
 }
 
 func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) error {
-	b.mu.Lock()
+	// The read lock is held through the whole fan-out, for the same
+	// quiesce contract as enqueueToQueue; publishes to distinct topics
+	// (and queue sends) proceed concurrently.
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if b.closed || b.crashed {
-		b.mu.Unlock()
 		return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
 	}
-	subs := make([]*subscription, 0, len(b.topics[name]))
 	for _, s := range b.topics[name] {
-		subs = append(subs, s)
-	}
-	b.mu.Unlock()
-
-	for _, s := range subs {
 		if !s.accepts(m) {
 			continue
 		}

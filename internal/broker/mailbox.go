@@ -18,15 +18,106 @@ type entry struct {
 	enqueuedAt time.Time
 }
 
+// bucketQ is one priority bucket: a FIFO queue of entries backed by a
+// head-indexed slice so the common case — pop at the head — is O(1)
+// instead of the O(n) memmove a naive slice-shift pays. Under an
+// unthrottled producer a mailbox can buffer millions of entries; with
+// slice-shift pops, every receive copied the entire backlog and
+// consumer throughput collapsed as the backlog grew (the saturation
+// experiment measured consumers at <1% of producer rate). The head
+// index makes pop cost independent of backlog depth; the storage is
+// compacted when the dead prefix dominates, keeping memory bounded by
+// the live entries.
+type bucketQ struct {
+	items []entry
+	head  int
+}
+
+// size returns the number of queued entries.
+func (q *bucketQ) size() int { return len(q.items) - q.head }
+
+// at returns the i-th queued entry (0 = head).
+func (q *bucketQ) at(i int) *entry { return &q.items[q.head+i] }
+
+// push appends an entry at the tail.
+func (q *bucketQ) push(e entry) { q.items = append(q.items, e) }
+
+// removeAt removes and returns the i-th queued entry. Removal at the
+// head is O(1); mid-queue removal (selector skips, expiry inside the
+// queue) shifts the tail.
+func (q *bucketQ) removeAt(i int) entry {
+	idx := q.head + i
+	e := q.items[idx]
+	if idx == q.head {
+		q.items[idx] = entry{} // release the message for GC
+		q.head++
+		q.compact()
+		return e
+	}
+	copy(q.items[idx:], q.items[idx+1:])
+	q.items[len(q.items)-1] = entry{}
+	q.items = q.items[:len(q.items)-1]
+	return e
+}
+
+// compact reclaims the dead prefix once it dominates the backing array,
+// bounding memory at O(live entries) with amortised O(1) cost per pop.
+func (q *bucketQ) compact() {
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+		return
+	}
+	if q.head >= 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for j := n; j < len(q.items); j++ {
+			q.items[j] = entry{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
+// pushFront prepends a block of entries, preserving their order (used
+// to return redelivered entries to the head of the queue). The dead
+// prefix is reused when large enough; otherwise the slice is rebuilt.
+func (q *bucketQ) pushFront(entries []entry) {
+	if len(entries) == 0 {
+		return
+	}
+	if q.head >= len(entries) {
+		q.head -= len(entries)
+		copy(q.items[q.head:], entries)
+		return
+	}
+	merged := make([]entry, 0, q.size()+len(entries))
+	merged = append(merged, entries...)
+	merged = append(merged, q.items[q.head:]...)
+	q.items, q.head = merged, 0
+}
+
+// drain removes and returns every queued entry in order.
+func (q *bucketQ) drain() []entry {
+	out := append([]entry(nil), q.items[q.head:]...)
+	q.items = nil
+	q.head = 0
+	return out
+}
+
 // mailbox is the pending-message buffer of one consumer group (a queue
 // or a subscription): ten priority-ordered FIFO buckets plus a
 // generation-channel wakeup for blocked receivers. Higher priorities are
 // served first (the broker's best effort at the JMS priority
 // requirement); within a priority bucket, arrival order is preserved,
 // which yields the FIFO-per-producer ordering that Property 3 checks.
+//
+// Each mailbox has its own lock, so sends, receives and acks on
+// distinct destinations never contend: the broker-wide registry lock
+// only locates the mailbox, and all queue/subscription traffic then
+// proceeds in parallel per destination.
 type mailbox struct {
 	mu      sync.Mutex
-	buckets [jms.NumPriorities][]entry
+	buckets [jms.NumPriorities]bucketQ
 	wake    chan struct{}
 	closed  bool
 	size    int
@@ -49,8 +140,7 @@ func (mb *mailbox) push(e entry) {
 	if mb.closed {
 		return
 	}
-	p := e.msg.Priority
-	mb.buckets[p] = append(mb.buckets[p], e)
+	mb.buckets[e.msg.Priority].push(e)
 	mb.size++
 	mb.wakeAllLocked()
 }
@@ -61,18 +151,22 @@ func (mb *mailbox) push(e entry) {
 func (mb *mailbox) pushFront(entries []entry) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	if mb.closed {
+	if mb.closed || len(entries) == 0 {
 		return
 	}
-	for i := len(entries) - 1; i >= 0; i-- {
-		e := entries[i]
+	// Group by priority, preserving order within each group.
+	var byPriority [jms.NumPriorities][]entry
+	for _, e := range entries {
 		p := e.msg.Priority
-		mb.buckets[p] = append([]entry{e}, mb.buckets[p]...)
-		mb.size++
+		byPriority[p] = append(byPriority[p], e)
 	}
-	if len(entries) > 0 {
-		mb.wakeAllLocked()
+	for p := range byPriority {
+		if len(byPriority[p]) > 0 {
+			mb.buckets[p].pushFront(byPriority[p])
+			mb.size += len(byPriority[p])
+		}
 	}
+	mb.wakeAllLocked()
 }
 
 // tryPop removes and returns the highest-priority available entry
@@ -88,12 +182,11 @@ func (mb *mailbox) tryPop(now time.Time, match func(*jms.Message) bool) (e entry
 		return entry{}, nil, false
 	}
 	for p := int(jms.PriorityHighest); p >= 0; p-- {
-		bucket := mb.buckets[p]
-		for i := 0; i < len(bucket); {
-			head := bucket[i]
+		q := &mb.buckets[p]
+		for i := 0; i < q.size(); {
+			head := q.at(i)
 			if head.msg.Expired(now) {
-				dropped = append(dropped, head)
-				bucket = append(bucket[:i], bucket[i+1:]...)
+				dropped = append(dropped, q.removeAt(i))
 				mb.size--
 				continue
 			}
@@ -101,12 +194,10 @@ func (mb *mailbox) tryPop(now time.Time, match func(*jms.Message) bool) (e entry
 				i++
 				continue
 			}
-			bucket = append(bucket[:i], bucket[i+1:]...)
+			e = q.removeAt(i)
 			mb.size--
-			mb.buckets[p] = bucket
-			return head, dropped, true
+			return e, dropped, true
 		}
-		mb.buckets[p] = bucket
 	}
 	return entry{}, dropped, false
 }
@@ -126,7 +217,9 @@ func (mb *mailbox) snapshot(now time.Time, match func(*jms.Message) bool) []*jms
 	defer mb.mu.Unlock()
 	var out []*jms.Message
 	for p := int(jms.PriorityHighest); p >= 0; p-- {
-		for _, e := range mb.buckets[p] {
+		q := &mb.buckets[p]
+		for i := 0; i < q.size(); i++ {
+			e := q.at(i)
 			if e.msg.Expired(now) {
 				continue
 			}
@@ -146,8 +239,7 @@ func (mb *mailbox) drain() []entry {
 	defer mb.mu.Unlock()
 	var out []entry
 	for p := 0; p < jms.NumPriorities; p++ {
-		out = append(out, mb.buckets[p]...)
-		mb.buckets[p] = nil
+		out = append(out, mb.buckets[p].drain()...)
 	}
 	mb.size = 0
 	return out

@@ -1,0 +1,187 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// stressMsg builds a message with an ID encoding its producer and
+// per-producer sequence number, so consumers can verify FIFO order.
+func stressMsg(producer, seq int, prio jms.Priority) *jms.Message {
+	m := jms.NewTextMessage("stress")
+	m.ID = fmt.Sprintf("p%d-%d", producer, seq)
+	m.Priority = prio
+	return m
+}
+
+// TestMailboxConcurrentStress hammers one mailbox with parallel pushers
+// and poppers across all ten priorities (run under -race in ci). It
+// asserts the mailbox loses nothing, duplicates nothing, and preserves
+// FIFO order per (producer, priority) stream as seen by any one
+// consumer — the ordering the per-priority buckets promise and
+// conformance Property 3 checks end to end. (Cross-consumer order is
+// unconstrained, as in JMS with competing consumers.)
+func TestMailboxConcurrentStress(t *testing.T) {
+	mb := newMailbox()
+	const producers = 8
+	const perProducer = 2000
+	const consumers = 8
+
+	producersDone := make(chan struct{})
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				prio := jms.Priority(p % jms.NumPriorities)
+				mb.push(entry{msg: stressMsg(p, i, prio), enqueuedAt: time.Now()})
+			}
+		}(p)
+	}
+	go func() {
+		pwg.Wait()
+		close(producersDone)
+	}()
+
+	var mu sync.Mutex
+	received := map[string]int{}
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			lastSeq := map[string]int{} // "producer/priority" -> last seq seen
+			for {
+				e, dropped, ok := mb.tryPop(time.Now(), nil)
+				if len(dropped) != 0 {
+					t.Errorf("unexpected expiry drops: %d", len(dropped))
+					return
+				}
+				if !ok {
+					select {
+					case <-producersDone:
+						if mb.pending() == 0 {
+							return
+						}
+					case <-mb.waitChan():
+					}
+					continue
+				}
+				var prod, seq int
+				if _, err := fmt.Sscanf(e.msg.ID, "p%d-%d", &prod, &seq); err != nil {
+					t.Errorf("bad message ID %q: %v", e.msg.ID, err)
+					return
+				}
+				key := fmt.Sprintf("%d/%d", prod, e.msg.Priority)
+				if last, seen := lastSeq[key]; seen && seq <= last {
+					t.Errorf("stream %s delivered out of order: %d after %d", key, seq, last)
+					return
+				}
+				lastSeq[key] = seq
+				mu.Lock()
+				received[e.msg.ID]++
+				mu.Unlock()
+			}
+		}()
+	}
+	cwg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if got, want := len(received), producers*perProducer; got != want {
+		t.Fatalf("received %d distinct messages, want %d", got, want)
+	}
+	for id, n := range received {
+		if n != 1 {
+			t.Fatalf("message %s delivered %d times", id, n)
+		}
+	}
+	if mb.pending() != 0 {
+		t.Fatalf("mailbox still holds %d entries", mb.pending())
+	}
+}
+
+// TestMailboxPushFrontUnderLoad interleaves redelivery (pushFront, as
+// session rollback uses) with concurrent pushes and pops and verifies
+// conservation: every entry that went in is delivered exactly once,
+// even while entries bounce back to the head of the queue.
+func TestMailboxPushFrontUnderLoad(t *testing.T) {
+	mb := newMailbox()
+	const total = 5000
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			mb.push(entry{msg: stressMsg(0, i, jms.PriorityDefault), enqueuedAt: time.Now()})
+		}
+	}()
+
+	received := map[string]int{}
+	pops := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for len(received) < total {
+			e, _, ok := mb.tryPop(time.Now(), nil)
+			if !ok {
+				select {
+				case <-mb.waitChan():
+				case <-time.After(50 * time.Millisecond):
+				}
+				continue
+			}
+			pops++
+			if pops%7 == 0 {
+				// "Roll back" this delivery: the entry returns to the
+				// front and must come out again later.
+				mb.pushFront([]entry{e})
+				continue
+			}
+			received[e.msg.ID]++
+		}
+	}()
+	wg.Wait()
+
+	if len(received) != total {
+		t.Fatalf("received %d distinct messages, want %d", len(received), total)
+	}
+	for id, n := range received {
+		if n != 1 {
+			t.Fatalf("message %s delivered %d times", id, n)
+		}
+	}
+}
+
+// TestMailboxCompaction pushes and pops through far more entries than
+// stay resident, ensuring the head-indexed buckets reclaim their dead
+// prefix (the pop path would otherwise leak one slot per message).
+func TestMailboxCompaction(t *testing.T) {
+	mb := newMailbox()
+	const rounds = 10000
+	for i := 0; i < rounds; i++ {
+		mb.push(entry{msg: stressMsg(0, i, jms.PriorityDefault), enqueuedAt: time.Now()})
+		if i%2 == 1 { // pop every other push, building a standing backlog
+			if _, _, ok := mb.tryPop(time.Now(), nil); !ok {
+				t.Fatalf("pop %d: mailbox unexpectedly empty", i)
+			}
+		}
+	}
+	mb.mu.Lock()
+	q := &mb.buckets[jms.PriorityDefault]
+	live, backing, head := q.size(), len(q.items), q.head
+	mb.mu.Unlock()
+	if live != rounds/2 {
+		t.Fatalf("queue holds %d entries, want %d", live, rounds/2)
+	}
+	if head >= 64 && head*2 >= backing {
+		t.Fatalf("dead prefix not reclaimed: head=%d backing=%d", head, backing)
+	}
+}

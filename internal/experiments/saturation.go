@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+	"jmsharness/internal/store"
+	"jmsharness/internal/wire"
+)
+
+// The saturation experiment measures how fast the provider goes when
+// nothing holds it back: unthrottled producers and consumers hammer a
+// set of disjoint queues ("shards") with no performance profile, no
+// pacing and no harness in the path. It is the capacity curve the
+// paper's throughput analysis presumes — MoCheQoS-style quantitative
+// bounds only mean something against a system that can saturate the
+// hardware — and the regression guard for the hot-path work: broker
+// lock sharding shows up as msgs/s scaling with the shard count, WAL
+// group commit as persistent-send throughput scaling with the number
+// of concurrent producers (fsyncs amortised across a batch).
+
+// SaturationOptions configures a saturation sweep.
+type SaturationOptions struct {
+	// Stacks selects the provider stacks to measure: "broker" (in-memory
+	// store, non-persistent sends), "wal" (WAL-backed stable store with
+	// Sync enabled, persistent sends), "wire" (TCP protocol bridge over
+	// the in-memory broker).
+	Stacks []string
+	// Shards are the shard counts to sweep; each shard is one distinct
+	// queue with its own producers and consumers.
+	Shards []int
+	// ProducersPerShard and ConsumersPerShard size the per-queue worker
+	// pools.
+	ProducersPerShard int
+	ConsumersPerShard int
+	// BodySize is the message body size in bytes.
+	BodySize int
+	// Run is the measured window per point; a Run/4 warmup precedes it.
+	Run time.Duration
+	// Dir is the scratch directory for WAL files ("" for a temp dir).
+	Dir string
+}
+
+// SaturationSweepOptions returns the default saturation sweep.
+func SaturationSweepOptions(scale float64) SaturationOptions {
+	return SaturationOptions{
+		Stacks:            []string{"broker", "wal", "wire"},
+		Shards:            []int{1, 2, 4},
+		ProducersPerShard: 4,
+		ConsumersPerShard: 4,
+		BodySize:          256,
+		Run:               scaleDur(1200*time.Millisecond, scale),
+	}
+}
+
+// SaturationPoint is one measured stack × shard-count point.
+type SaturationPoint struct {
+	Stack      string `json:"stack"`
+	Shards     int    `json:"shards"`
+	Producers  int    `json:"producers"`
+	Consumers  int    `json:"consumers"`
+	Persistent bool   `json:"persistent"`
+	// ProducedMsgsPerSec and ConsumedMsgsPerSec are the measured-window
+	// throughputs; consumed is the capacity figure (what actually made
+	// it through the provider end to end).
+	ProducedMsgsPerSec float64 `json:"produced_msgs_per_sec"`
+	ConsumedMsgsPerSec float64 `json:"consumed_msgs_per_sec"`
+	// Delay percentiles are send-timestamp→receive latencies, sampled.
+	DelayP50 time.Duration `json:"delay_p50_ns"`
+	DelayP95 time.Duration `json:"delay_p95_ns"`
+	DelayP99 time.Duration `json:"delay_p99_ns"`
+	// Commit-batch statistics (wal stack only): how many records each
+	// group commit flushed. Mean ≈ 1 means no batching — every record
+	// paid its own fsync.
+	CommitBatches   int64   `json:"commit_batches,omitempty"`
+	CommitBatchMean float64 `json:"commit_batch_mean,omitempty"`
+	CommitBatchP95  int64   `json:"commit_batch_p95,omitempty"`
+	CommitBatchMax  int64   `json:"commit_batch_max,omitempty"`
+}
+
+// SaturationSweep measures every requested stack at every shard count,
+// one fresh provider per point.
+func SaturationSweep(opts SaturationOptions) ([]SaturationPoint, error) {
+	if opts.ProducersPerShard <= 0 {
+		opts.ProducersPerShard = 4
+	}
+	if opts.ConsumersPerShard <= 0 {
+		opts.ConsumersPerShard = 4
+	}
+	if opts.BodySize <= 0 {
+		opts.BodySize = 256
+	}
+	if opts.Run <= 0 {
+		opts.Run = time.Second
+	}
+	dir := opts.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "jms-saturation")
+		if err != nil {
+			return nil, fmt.Errorf("experiments: saturation scratch dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	var points []SaturationPoint
+	for _, stack := range opts.Stacks {
+		for _, shards := range opts.Shards {
+			p, err := saturationPoint(stack, shards, dir, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: saturation %s/%d: %w", stack, shards, err)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// satStack is one provider stack under saturation test.
+type satStack struct {
+	factory    jms.ConnectionFactory
+	persistent bool
+	walReg     *obs.Registry // nil unless the stack has a WAL
+	cleanup    func()
+}
+
+// buildSatStack constructs the named stack.
+func buildSatStack(stack string, shards int, dir string, seq int) (*satStack, error) {
+	switch stack {
+	case "broker":
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-broker-%d", seq)})
+		if err != nil {
+			return nil, err
+		}
+		return &satStack{factory: b, cleanup: func() { _ = b.Close() }}, nil
+	case "wal":
+		reg := obs.NewRegistry()
+		path := filepath.Join(dir, fmt.Sprintf("sat-%d-%d.wal", seq, shards))
+		w, err := store.OpenWAL(path, walSaturationOptions(reg))
+		if err != nil {
+			return nil, err
+		}
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-wal-%d", seq), Stable: w})
+		if err != nil {
+			_ = w.Close()
+			return nil, err
+		}
+		return &satStack{
+			factory:    b,
+			persistent: true,
+			walReg:     reg,
+			cleanup: func() {
+				_ = b.Close()
+				_ = w.Close()
+				_ = os.Remove(path)
+			},
+		}, nil
+	case "wire":
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-wire-%d", seq)})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := wire.NewServer(b, "127.0.0.1:0")
+		if err != nil {
+			_ = b.Close()
+			return nil, err
+		}
+		srv.Start()
+		return &satStack{
+			factory: wire.NewFactory(srv.Addr()),
+			cleanup: func() {
+				_ = srv.Close()
+				_ = b.Close()
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown stack %q", stack)
+	}
+}
+
+// walSaturationOptions returns the WAL configuration for the saturation
+// stack: full fsync durability, instruments (the group-commit batch
+// histogram) homed in reg.
+func walSaturationOptions(reg *obs.Registry) store.WALOptions {
+	return store.WALOptions{Sync: true, Metrics: reg}
+}
+
+var satSeq atomic.Int64
+
+// delaySampleEvery subsamples receive-latency observations so a
+// multi-million-message run does not drown in bookkeeping.
+const delaySampleEvery = 8
+
+// saturationPoint measures one stack at one shard count.
+func saturationPoint(stack string, shards int, dir string, opts SaturationOptions) (SaturationPoint, error) {
+	st, err := buildSatStack(stack, shards, dir, int(satSeq.Add(1)))
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	defer st.cleanup()
+
+	mode := jms.NonPersistent
+	if st.persistent {
+		mode = jms.Persistent
+	}
+	sendOpts := jms.DefaultSendOptions()
+	sendOpts.Mode = mode
+	payload := make([]byte, opts.BodySize)
+
+	var (
+		produced  atomic.Int64
+		consumed  atomic.Int64
+		measuring atomic.Bool
+		stop      atomic.Bool
+		workerErr atomic.Value // first error, if any
+
+		delayMu sync.Mutex
+		delays  []time.Duration
+	)
+	fail := func(err error) {
+		if err != nil {
+			workerErr.CompareAndSwap(nil, err)
+			stop.Store(true)
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	type closer interface{ Close() error }
+	var conns []closer
+
+	// One connection per worker keeps the workers independent all the
+	// way down the stack (distinct TCP connections on the wire stack).
+	newSession := func() (jms.Session, error) {
+		conn, err := st.factory.CreateConnection()
+		if err != nil {
+			return nil, err
+		}
+		conns = append(conns, conn)
+		if err := conn.Start(); err != nil {
+			return nil, err
+		}
+		return conn.CreateSession(false, jms.AckAuto)
+	}
+
+	for shard := 0; shard < shards; shard++ {
+		queue := jms.Queue(fmt.Sprintf("sat-%d", shard))
+		for i := 0; i < opts.ProducersPerShard; i++ {
+			sess, err := newSession()
+			if err != nil {
+				stop.Store(true)
+				close(start)
+				wg.Wait()
+				return SaturationPoint{}, err
+			}
+			prod, err := sess.CreateProducer(queue)
+			if err != nil {
+				stop.Store(true)
+				close(start)
+				wg.Wait()
+				return SaturationPoint{}, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				msg := jms.NewBytesMessage(payload)
+				for !stop.Load() {
+					if err := prod.Send(msg, sendOpts); err != nil {
+						fail(err)
+						return
+					}
+					if measuring.Load() {
+						produced.Add(1)
+					}
+				}
+			}()
+		}
+		for i := 0; i < opts.ConsumersPerShard; i++ {
+			sess, err := newSession()
+			if err != nil {
+				stop.Store(true)
+				close(start)
+				wg.Wait()
+				return SaturationPoint{}, err
+			}
+			cons, err := sess.CreateConsumer(queue)
+			if err != nil {
+				stop.Store(true)
+				close(start)
+				wg.Wait()
+				return SaturationPoint{}, err
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				var n int64
+				var local []time.Duration
+				for !stop.Load() {
+					msg, err := cons.Receive(50 * time.Millisecond)
+					if err != nil {
+						fail(err)
+						break
+					}
+					if msg == nil {
+						continue
+					}
+					if !measuring.Load() {
+						continue
+					}
+					consumed.Add(1)
+					if n++; n%delaySampleEvery == 0 {
+						local = append(local, time.Since(msg.Timestamp))
+					}
+				}
+				delayMu.Lock()
+				delays = append(delays, local...)
+				delayMu.Unlock()
+			}()
+		}
+	}
+
+	close(start)
+	time.Sleep(opts.Run / 4) // warmup: let the pipeline fill
+	measureStart := time.Now()
+	measuring.Store(true)
+	time.Sleep(opts.Run)
+	measuring.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	if err, ok := workerErr.Load().(error); ok && err != nil {
+		return SaturationPoint{}, err
+	}
+
+	delayMu.Lock()
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	quant := func(q float64) time.Duration {
+		if len(delays) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(delays)-1))
+		return delays[i]
+	}
+	point := SaturationPoint{
+		Stack:              stack,
+		Shards:             shards,
+		Producers:          shards * opts.ProducersPerShard,
+		Consumers:          shards * opts.ConsumersPerShard,
+		Persistent:         st.persistent,
+		ProducedMsgsPerSec: float64(produced.Load()) / elapsed.Seconds(),
+		ConsumedMsgsPerSec: float64(consumed.Load()) / elapsed.Seconds(),
+		DelayP50:           quant(0.50),
+		DelayP95:           quant(0.95),
+		DelayP99:           quant(0.99),
+	}
+	delayMu.Unlock()
+
+	if st.walReg != nil {
+		snap := st.walReg.Histogram("wal.commit_batch", nil).Snapshot()
+		point.CommitBatches = snap.Count
+		point.CommitBatchMean = snap.Mean
+		point.CommitBatchP95 = snap.P95
+		point.CommitBatchMax = snap.Max
+	}
+	return point, nil
+}
+
+// SaturationBaseline is the pre-overhaul capacity, measured with this
+// same experiment at the commit before the hot-path work (single global
+// broker mutex, O(n) mailbox pops, one fsync per WAL record, unpooled
+// wire codec) on the development container. It is embedded so every
+// BENCH report carries the before/after comparison the overhaul is
+// judged against. Note the pathological in-memory numbers: unthrottled
+// producers buried the consumers because every mailbox pop paid a
+// memmove over the whole backlog.
+var SaturationBaseline = []SaturationPoint{
+	{Stack: "broker", Shards: 1, Producers: 4, Consumers: 4, ProducedMsgsPerSec: 189404, ConsumedMsgsPerSec: 886, DelayP50: 696229 * time.Microsecond, DelayP95: 1273741 * time.Microsecond, DelayP99: 1325090 * time.Microsecond},
+	{Stack: "broker", Shards: 2, Producers: 8, Consumers: 8, ProducedMsgsPerSec: 63224, ConsumedMsgsPerSec: 7401, DelayP50: 600965 * time.Microsecond, DelayP95: 1293282 * time.Microsecond, DelayP99: 1351664 * time.Microsecond},
+	{Stack: "broker", Shards: 4, Producers: 16, Consumers: 16, ProducedMsgsPerSec: 321744, ConsumedMsgsPerSec: 2164, DelayP50: 683498 * time.Microsecond, DelayP95: 1256978 * time.Microsecond, DelayP99: 1336868 * time.Microsecond},
+	{Stack: "wal", Shards: 1, Producers: 4, Consumers: 4, Persistent: true, ProducedMsgsPerSec: 3079, ConsumedMsgsPerSec: 1777, DelayP50: 385242 * time.Microsecond, DelayP95: 667395 * time.Microsecond, DelayP99: 679479 * time.Microsecond},
+	{Stack: "wal", Shards: 2, Producers: 8, Consumers: 8, Persistent: true, ProducedMsgsPerSec: 3373, ConsumedMsgsPerSec: 2275, DelayP50: 269910 * time.Microsecond, DelayP95: 491521 * time.Microsecond, DelayP99: 535543 * time.Microsecond},
+	{Stack: "wal", Shards: 4, Producers: 16, Consumers: 16, Persistent: true, ProducedMsgsPerSec: 3387, ConsumedMsgsPerSec: 1769, DelayP50: 423801 * time.Microsecond, DelayP95: 834591 * time.Microsecond, DelayP99: 949939 * time.Microsecond},
+	{Stack: "wire", Shards: 1, Producers: 4, Consumers: 4, ProducedMsgsPerSec: 11949, ConsumedMsgsPerSec: 11950, DelayP50: 426 * time.Microsecond, DelayP95: 861 * time.Microsecond, DelayP99: 2483 * time.Microsecond},
+	{Stack: "wire", Shards: 2, Producers: 8, Consumers: 8, ProducedMsgsPerSec: 13573, ConsumedMsgsPerSec: 13567, DelayP50: 847 * time.Microsecond, DelayP95: 2230 * time.Microsecond, DelayP99: 3927 * time.Microsecond},
+	{Stack: "wire", Shards: 4, Producers: 16, Consumers: 16, ProducedMsgsPerSec: 15042, ConsumedMsgsPerSec: 15018, DelayP50: 1032 * time.Microsecond, DelayP95: 3516 * time.Microsecond, DelayP99: 5678 * time.Microsecond},
+}
+
+// FormatSaturationTable renders a saturation sweep.
+func FormatSaturationTable(opts SaturationOptions, points []SaturationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "unthrottled capacity: %d producers + %d consumers per shard, %dB bodies, %v window\n",
+		opts.ProducersPerShard, opts.ConsumersPerShard, opts.BodySize, opts.Run)
+	fmt.Fprintf(&b, "%-8s %7s %12s %12s %10s %10s %10s %10s\n",
+		"stack", "shards", "prod/s", "cons/s", "p50", "p95", "p99", "batch")
+	for _, p := range points {
+		batch := "-"
+		if p.CommitBatches > 0 {
+			batch = fmt.Sprintf("%.1f", p.CommitBatchMean)
+		}
+		fmt.Fprintf(&b, "%-8s %7d %12.0f %12.0f %10v %10v %10v %10s\n",
+			p.Stack, p.Shards, p.ProducedMsgsPerSec, p.ConsumedMsgsPerSec,
+			p.DelayP50.Round(time.Microsecond), p.DelayP95.Round(time.Microsecond),
+			p.DelayP99.Round(time.Microsecond), batch)
+	}
+	return b.String()
+}

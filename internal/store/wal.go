@@ -8,29 +8,82 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 )
 
 // WAL is a file-backed Store built on a write-ahead log. Every mutation
-// is appended as a checksummed record and fsynced (when Sync is
-// enabled), so durable state survives process crashes; OpenWAL replays
-// the log, tolerating a torn final record.
+// is appended as a checksummed record and made durable (when Sync is
+// enabled) before the mutating call returns; OpenWAL replays the log,
+// tolerating a torn final record.
+//
+// Durability is group-committed: mutating calls apply their record to
+// the in-memory mirror under the store lock, hand the encoded record to
+// a committer goroutine, and block until the batch containing their
+// record has been written and fsynced. Concurrent writers therefore
+// share one write+fsync instead of paying one each — the classic group
+// commit — without weakening the contract that AddMessage does not
+// return before its record is on disk. Record order in the log matches
+// mirror-apply order (both happen under the store lock), so replay
+// reconstructs exactly the mirrored state.
 //
 // Record framing: uvarint payload length | payload | crc32(payload).
 // Payload: 1 type byte followed by type-specific fields in the shared
 // binary encoding (jms.Encoder).
 type WAL struct {
+	path string
+	sync bool
+
 	mu     sync.Mutex
-	f      *os.File
-	path   string
-	sync   bool
-	mirror *Memory // in-memory mirror for reads and snapshotting
+	f      *os.File // swapped by Compact; committer access is ordered via reqCh
+	mirror *Memory  // in-memory mirror for reads and snapshotting
 	nextID RecordID
 	closed bool
+	// failed is the sticky first commit error: once a write or fsync
+	// fails the log's tail is suspect, so every later mutation is
+	// refused rather than risking divergence between mirror and disk.
+	failed error
 	// remap translates mirror record IDs to WAL record IDs so the two
 	// stay consistent across compaction. The WAL assigns its own IDs.
 	ids map[string]map[RecordID]RecordID
+
+	// reqCh feeds the committer goroutine. Sends happen only under mu,
+	// which makes closing the channel in Close safe and gives the log
+	// the same total order as the mirror.
+	reqCh chan walCommit
+	// committerDone is closed when the committer goroutine has drained
+	// reqCh and exited.
+	committerDone chan struct{}
+
+	met walMetrics
+}
+
+// walCommit is one record awaiting group commit. A nil payload is a
+// flush barrier: it carries no bytes but its done channel fires only
+// after everything enqueued before it is durable.
+type walCommit struct {
+	payload []byte
+	done    chan error
+}
+
+// walMetrics instruments the committer (metric names under "wal.*").
+type walMetrics struct {
+	batch   *obs.Histogram // records per group commit
+	syncNs  *obs.Histogram // fsync latency, ns
+	records *obs.Counter   // records appended
+}
+
+// CommitBatchBounds are the bucket upper bounds for the
+// "wal.commit_batch" histogram: powers of two spanning 1..1024 records
+// per fsync.
+func CommitBatchBounds() []int64 {
+	out := make([]int64, 0, 11)
+	for b := int64(1); b <= 1024; b *= 2 {
+		out = append(out, b)
+	}
+	return out
 }
 
 // Record type tags.
@@ -42,11 +95,19 @@ const (
 	recMarkDelivered
 )
 
+// maxCommitBatch bounds how many records one group commit may coalesce,
+// keeping a single batch's buffer (and the latency of the callers at
+// its head) bounded under extreme writer counts.
+const maxCommitBatch = 512
+
 // WALOptions configures OpenWAL.
 type WALOptions struct {
-	// Sync forces an fsync after every record, matching the durability
-	// of a real persistent-mode provider. Disable for unit tests only.
+	// Sync forces an fsync per commit batch, matching the durability of
+	// a real persistent-mode provider. Disable for unit tests only.
 	Sync bool
+	// Metrics receives the WAL's instruments ("wal.commit_batch",
+	// "wal.sync_ns", "wal.records"). Nil means a private registry.
+	Metrics *obs.Registry
 }
 
 // OpenWAL opens (or creates) the log at path, replaying existing records
@@ -56,17 +117,29 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: opening WAL %s: %w", path, err)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	w := &WAL{
-		f:      f,
-		path:   path,
-		sync:   opts.Sync,
-		mirror: NewMemory(),
-		ids:    map[string]map[RecordID]RecordID{},
+		path:          path,
+		sync:          opts.Sync,
+		f:             f,
+		mirror:        NewMemory(),
+		ids:           map[string]map[RecordID]RecordID{},
+		reqCh:         make(chan walCommit, maxCommitBatch),
+		committerDone: make(chan struct{}),
+		met: walMetrics{
+			batch:   reg.Histogram("wal.commit_batch", CommitBatchBounds()),
+			syncNs:  reg.Histogram("wal.sync_ns", nil),
+			records: reg.Counter("wal.records"),
+		},
 	}
 	if err := w.replay(); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
+	go w.commitLoop()
 	return w, nil
 }
 
@@ -115,9 +188,12 @@ func readFrame(data []byte, pos int) (payload []byte, next int, ok bool) {
 	if sz <= 0 {
 		return nil, 0, false
 	}
+	if n > uint64(len(data)) {
+		return nil, 0, false
+	}
 	start := pos + sz
 	end := start + int(n)
-	if n > uint64(len(data)) || end+4 > len(data) {
+	if end+4 > len(data) {
 		return nil, 0, false
 	}
 	payload = data[start:end]
@@ -126,6 +202,15 @@ func readFrame(data []byte, pos int) (payload []byte, next int, ok bool) {
 		return nil, 0, false
 	}
 	return payload, end + 4, true
+}
+
+// appendFrame appends one framed record to buf and returns the extended
+// buffer. Reusing buf across records amortises the frame-encoding
+// allocations that a per-record binary.AppendUvarint(nil, …) would pay.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 }
 
 // apply interprets one record payload against the mirror.
@@ -164,6 +249,7 @@ func (w *WAL) apply(payload []byte) error {
 		if err := w.mirror.RemoveMessage(endpoint, mirrorID); err != nil {
 			return err
 		}
+		delete(w.ids[endpoint], id)
 	case recMarkDelivered:
 		id := RecordID(d.Uvarint())
 		endpoint := d.String()
@@ -215,124 +301,250 @@ func (w *WAL) lookupID(endpoint string, walID RecordID) (RecordID, bool) {
 	return id, ok
 }
 
-// appendRecord frames, writes and optionally syncs one record. Callers
-// hold w.mu.
-func (w *WAL) appendRecord(payload []byte) error {
-	frame := binary.AppendUvarint(nil, uint64(len(payload)))
-	frame = append(frame, payload...)
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
-	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("store: appending WAL record: %w", err)
-	}
-	if w.sync {
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("store: syncing WAL: %w", err)
+// commitLoop is the committer goroutine: it drains reqCh, coalescing
+// every record available (up to maxCommitBatch) into a single
+// write+fsync, then releases all of the batch's waiters at once.
+func (w *WAL) commitLoop() {
+	defer close(w.committerDone)
+	var frame []byte // reused frame-encoding buffer
+	pending := make([]walCommit, 0, maxCommitBatch)
+	for req := range w.reqCh {
+		pending = append(pending[:0], req)
+	drain:
+		for len(pending) < maxCommitBatch {
+			select {
+			case more, ok := <-w.reqCh:
+				if !ok {
+					break drain
+				}
+				pending = append(pending, more)
+			default:
+				break drain
+			}
 		}
+		frame = frame[:0]
+		records := 0
+		for _, c := range pending {
+			if c.payload == nil {
+				continue // flush barrier
+			}
+			frame = appendFrame(frame, c.payload)
+			records++
+		}
+		var err error
+		if records > 0 {
+			if _, werr := w.f.Write(frame); werr != nil {
+				err = fmt.Errorf("store: appending WAL records: %w", werr)
+			} else if w.sync {
+				start := time.Now()
+				if serr := w.f.Sync(); serr != nil {
+					err = fmt.Errorf("store: syncing WAL: %w", serr)
+				}
+				w.met.syncNs.ObserveDuration(time.Since(start))
+			}
+			w.met.batch.Observe(int64(records))
+			w.met.records.Add(int64(records))
+		}
+		if err != nil {
+			w.mu.Lock()
+			if w.failed == nil {
+				w.failed = err
+			}
+			w.mu.Unlock()
+		}
+		for _, c := range pending {
+			c.done <- err
+		}
+	}
+}
+
+// commit enqueues one encoded record (or a nil-payload barrier) for
+// group commit. Callers hold w.mu for the enqueue — guaranteeing log
+// order matches mirror order — and must release it before waiting on
+// the returned channel.
+func (w *WAL) commitLocked(payload []byte) chan error {
+	done := make(chan error, 1)
+	w.reqCh <- walCommit{payload: payload, done: done}
+	return done
+}
+
+// checkOpenLocked verifies the WAL accepts mutations. Callers hold w.mu.
+func (w *WAL) checkOpenLocked() error {
+	if w.closed {
+		return fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	if w.failed != nil {
+		return w.failed
 	}
 	return nil
 }
 
+// encPool recycles record-payload buffers across mutations.
+var encPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
+// putEnc returns a payload buffer to the pool, dropping oversized ones
+// so a single huge message body does not pin memory forever.
+func putEnc(buf *[]byte) {
+	if cap(*buf) <= 1<<16 {
+		*buf = (*buf)[:0]
+		encPool.Put(buf)
+	}
+}
+
 // AddMessage implements Store.
 func (w *WAL) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
+	buf := encPool.Get().(*[]byte)
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return 0, fmt.Errorf("store: %w", jms.ErrClosed)
+	if err := w.checkOpenLocked(); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
+		return 0, err
 	}
 	w.nextID++
 	id := w.nextID
-	e := jms.NewEncoder(make([]byte, 0, 64+msg.BodySize()))
+	e := jms.NewEncoder(*buf)
 	e.Byte(recAddMessage)
 	e.Uvarint(uint64(id))
 	e.String(endpoint)
 	msg.EncodeTo(e)
-	if err := w.appendRecord(e.Bytes()); err != nil {
-		return 0, err
-	}
 	mirrorID, err := w.mirror.AddMessage(endpoint, msg)
 	if err != nil {
+		w.nextID--
+		w.mu.Unlock()
+		putEnc(buf)
 		return 0, err
 	}
 	w.mapID(endpoint, id, mirrorID)
+	done := w.commitLocked(e.Bytes())
+	w.mu.Unlock()
+	err = <-done
+	*buf = e.Bytes()
+	putEnc(buf)
+	if err != nil {
+		return 0, err
+	}
 	return id, nil
 }
 
 // RemoveMessage implements Store.
 func (w *WAL) RemoveMessage(endpoint string, id RecordID) error {
+	buf := encPool.Get().(*[]byte)
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return fmt.Errorf("store: %w", jms.ErrClosed)
+	if err := w.checkOpenLocked(); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
+		return err
 	}
 	mirrorID, ok := w.lookupID(endpoint, id)
 	if !ok {
+		w.mu.Unlock()
+		putEnc(buf)
 		return fmt.Errorf("store: remove unknown record %d on %q", id, endpoint)
 	}
 	if err := w.mirror.RemoveMessage(endpoint, mirrorID); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
 		return err
 	}
-	e := jms.NewEncoder(make([]byte, 0, 32))
+	delete(w.ids[endpoint], id)
+	e := jms.NewEncoder(*buf)
 	e.Byte(recRemoveMessage)
 	e.Uvarint(uint64(id))
 	e.String(endpoint)
-	return w.appendRecord(e.Bytes())
+	done := w.commitLocked(e.Bytes())
+	w.mu.Unlock()
+	err := <-done
+	*buf = e.Bytes()
+	putEnc(buf)
+	return err
 }
 
 // MarkDelivered implements Store.
 func (w *WAL) MarkDelivered(endpoint string, id RecordID) error {
+	buf := encPool.Get().(*[]byte)
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return fmt.Errorf("store: %w", jms.ErrClosed)
+	if err := w.checkOpenLocked(); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
+		return err
 	}
 	mirrorID, ok := w.lookupID(endpoint, id)
 	if !ok {
+		w.mu.Unlock()
+		putEnc(buf)
 		return nil // acknowledged concurrently; nothing to mark
 	}
 	if err := w.mirror.MarkDelivered(endpoint, mirrorID); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
 		return err
 	}
-	e := jms.NewEncoder(make([]byte, 0, 32))
+	e := jms.NewEncoder(*buf)
 	e.Byte(recMarkDelivered)
 	e.Uvarint(uint64(id))
 	e.String(endpoint)
-	return w.appendRecord(e.Bytes())
+	done := w.commitLocked(e.Bytes())
+	w.mu.Unlock()
+	err := <-done
+	*buf = e.Bytes()
+	putEnc(buf)
+	return err
 }
 
 // AddSubscription implements Store.
 func (w *WAL) AddSubscription(sub SubscriptionRecord) error {
+	buf := encPool.Get().(*[]byte)
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return fmt.Errorf("store: %w", jms.ErrClosed)
-	}
-	if err := w.mirror.AddSubscription(sub); err != nil {
+	if err := w.checkOpenLocked(); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
 		return err
 	}
-	e := jms.NewEncoder(make([]byte, 0, 48))
+	if err := w.mirror.AddSubscription(sub); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
+		return err
+	}
+	e := jms.NewEncoder(*buf)
 	e.Byte(recAddSubscription)
 	e.String(sub.ClientID)
 	e.String(sub.Name)
 	e.String(sub.Topic)
 	e.String(sub.Selector)
-	return w.appendRecord(e.Bytes())
+	done := w.commitLocked(e.Bytes())
+	w.mu.Unlock()
+	err := <-done
+	*buf = e.Bytes()
+	putEnc(buf)
+	return err
 }
 
 // RemoveSubscription implements Store.
 func (w *WAL) RemoveSubscription(clientID, name string) error {
+	buf := encPool.Get().(*[]byte)
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return fmt.Errorf("store: %w", jms.ErrClosed)
-	}
-	if err := w.mirror.RemoveSubscription(clientID, name); err != nil {
+	if err := w.checkOpenLocked(); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
 		return err
 	}
-	e := jms.NewEncoder(make([]byte, 0, 32))
+	if err := w.mirror.RemoveSubscription(clientID, name); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
+		return err
+	}
+	e := jms.NewEncoder(*buf)
 	e.Byte(recRemoveSubscription)
 	e.String(clientID)
 	e.String(name)
-	return w.appendRecord(e.Bytes())
+	done := w.commitLocked(e.Bytes())
+	w.mu.Unlock()
+	err := <-done
+	*buf = e.Bytes()
+	putEnc(buf)
+	return err
 }
 
 // Snapshot implements Store. The snapshot's record IDs are WAL record
@@ -369,8 +581,16 @@ func (w *WAL) Snapshot() (*State, error) {
 func (w *WAL) Compact() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.closed {
-		return fmt.Errorf("store: %w", jms.ErrClosed)
+	if err := w.checkOpenLocked(); err != nil {
+		return err
+	}
+	// Flush the committer pipeline: everything applied to the mirror
+	// must be in the old log before we snapshot and swap files,
+	// otherwise an in-flight record could land in the new log twice or
+	// reference state the compacted log no longer carries. Holding w.mu
+	// blocks new enqueues while the barrier drains.
+	if err := <-w.commitLocked(nil); err != nil {
+		return err
 	}
 	st, err := w.mirror.Snapshot()
 	if err != nil {
@@ -382,10 +602,9 @@ func (w *WAL) Compact() error {
 		return fmt.Errorf("store: creating compaction file: %w", err)
 	}
 	defer os.Remove(tmpPath)
+	var frame []byte
 	writeRec := func(payload []byte) error {
-		frame := binary.AppendUvarint(nil, uint64(len(payload)))
-		frame = append(frame, payload...)
-		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+		frame = appendFrame(frame[:0], payload)
 		_, err := tmp.Write(frame)
 		return err
 	}
@@ -449,18 +668,27 @@ func (w *WAL) Compact() error {
 	if err != nil {
 		return fmt.Errorf("store: reopening compacted WAL: %w", err)
 	}
+	// The committer observes the new file handle because its next batch
+	// is ordered after this critical section: enqueues happen under
+	// w.mu, and the channel send/receive pair carries the write.
 	w.f = f
 	return nil
 }
 
-// Close implements Store.
+// Close implements Store. Pending group commits are flushed before the
+// file closes.
 func (w *WAL) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return nil
 	}
 	w.closed = true
+	// Safe: every send on reqCh happens under w.mu, and closed=true
+	// stops new ones.
+	close(w.reqCh)
+	w.mu.Unlock()
+	<-w.committerDone
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("store: closing WAL: %w", err)
 	}

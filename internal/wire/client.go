@@ -35,6 +35,7 @@ func (f *Factory) CreateConnection() (jms.Connection, error) {
 	}
 	c := &clientConn{
 		sock:    sock,
+		fw:      newFrameWriter(sock),
 		pending: map[uint64]chan reply{},
 		done:    make(chan struct{}),
 	}
@@ -62,8 +63,7 @@ func mapError(msg string) error {
 // clientConn implements jms.Connection over one TCP socket.
 type clientConn struct {
 	sock net.Conn
-
-	writeMu sync.Mutex
+	fw   *frameWriter // serialises request frames onto sock
 
 	mu       sync.Mutex
 	nextReq  uint64
@@ -132,11 +132,7 @@ func (c *clientConn) call(op byte, build func(*jms.Encoder)) (reply, error) {
 	c.pending[reqID] = ch
 	c.mu.Unlock()
 
-	payload := encodeRequest(op, reqID, build)
-	c.writeMu.Lock()
-	err := WriteFrame(c.sock, payload)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.fw.writeRequest(op, reqID, build); err != nil {
 		c.mu.Lock()
 		delete(c.pending, reqID)
 		c.mu.Unlock()

@@ -18,9 +18,11 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"jmsharness/internal/jms"
@@ -90,6 +92,77 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// frameWriter serialises frame writes onto one socket. The header and
+// payload are staged in a reused bufio.Writer and flushed together, so
+// each frame costs a single syscall (the bare WriteFrame pays two), and
+// the mutex keeps frames from concurrent senders whole.
+type frameWriter struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{bw: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// writeFrame writes one complete frame and flushes it to the socket.
+func (fw *frameWriter) writeFrame(payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if err := WriteFrame(fw.bw, payload); err != nil {
+		return err
+	}
+	return fw.bw.Flush()
+}
+
+// encPool recycles frame-encoding buffers across requests and replies;
+// the hot send/receive path would otherwise allocate a fresh encoder
+// buffer per frame. Pooled as *[]byte so Put itself does not allocate.
+var encPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// maxPooledEncBuf caps what encoding buffers are returned to the pool,
+// so one oversized message does not pin its buffer forever.
+const maxPooledEncBuf = 64 << 10
+
+// writeRequest encodes a request frame into a pooled buffer and writes
+// it out.
+func (fw *frameWriter) writeRequest(op byte, reqID uint64, build func(*jms.Encoder)) error {
+	buf := encPool.Get().(*[]byte)
+	e := jms.NewEncoder((*buf)[:0])
+	e.Byte(op)
+	e.Uvarint(reqID)
+	if build != nil {
+		build(e)
+	}
+	err := fw.writeFrame(e.Bytes())
+	putEncBuf(buf, e.Bytes())
+	return err
+}
+
+// writeReply encodes an opReply frame into a pooled buffer and writes
+// it out, returning the payload length for traffic accounting.
+func (fw *frameWriter) writeReply(reqID uint64, errMsg string, build func(*jms.Encoder)) (int, error) {
+	buf := encPool.Get().(*[]byte)
+	payload := appendReply((*buf)[:0], reqID, errMsg, build)
+	err := fw.writeFrame(payload)
+	n := len(payload)
+	putEncBuf(buf, payload)
+	return n, err
+}
+
+// putEncBuf returns an encoding buffer (possibly regrown to payload) to
+// the pool.
+func putEncBuf(buf *[]byte, payload []byte) {
+	if cap(payload) > maxPooledEncBuf {
+		return
+	}
+	*buf = payload
+	encPool.Put(buf)
+}
+
 // request is a decoded client request.
 type request struct {
 	op    byte
@@ -127,9 +200,9 @@ const (
 	statusError
 )
 
-// encodeReply builds an opReply frame payload.
-func encodeReply(reqID uint64, errMsg string, build func(*jms.Encoder)) []byte {
-	e := jms.NewEncoder(make([]byte, 0, 64))
+// appendReply appends an opReply frame payload to buf.
+func appendReply(buf []byte, reqID uint64, errMsg string, build func(*jms.Encoder)) []byte {
+	e := jms.NewEncoder(buf)
 	e.Byte(opReply)
 	e.Uvarint(reqID)
 	if errMsg != "" {
@@ -142,6 +215,11 @@ func encodeReply(reqID uint64, errMsg string, build func(*jms.Encoder)) []byte {
 		build(e)
 	}
 	return e.Bytes()
+}
+
+// encodeReply builds an opReply frame payload.
+func encodeReply(reqID uint64, errMsg string, build func(*jms.Encoder)) []byte {
+	return appendReply(make([]byte, 0, 64), reqID, errMsg, build)
 }
 
 // reply is a decoded server reply.

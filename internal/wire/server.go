@@ -140,8 +140,7 @@ func (s *Server) removeConn(c net.Conn) {
 type connState struct {
 	srv  *Server
 	sock net.Conn
-
-	writeMu sync.Mutex // serialises frame writes
+	fw   *frameWriter // serialises reply frames onto sock
 
 	mu        sync.Mutex
 	jmsConn   jms.Connection
@@ -174,6 +173,7 @@ func (s *Server) handleConn(sock net.Conn) {
 	st := &connState{
 		srv:       s,
 		sock:      sock,
+		fw:        newFrameWriter(sock),
 		jmsConn:   jmsConn,
 		sessions:  map[uint64]*sessState{},
 		consumers: map[uint64]jms.Consumer{},
@@ -211,14 +211,11 @@ func (s *Server) handleConn(sock net.Conn) {
 
 // sendReply writes one reply frame.
 func (st *connState) sendReply(reqID uint64, errMsg string, build func(*jms.Encoder)) {
-	payload := encodeReply(reqID, errMsg, build)
 	if errMsg != "" {
 		st.srv.met.reqErrors.Inc()
 	}
-	st.srv.met.bytesOut.Add(int64(len(payload)) + 4)
-	st.writeMu.Lock()
-	defer st.writeMu.Unlock()
-	_ = WriteFrame(st.sock, payload)
+	n, _ := st.fw.writeReply(reqID, errMsg, build)
+	st.srv.met.bytesOut.Add(int64(n) + 4)
 }
 
 // dispatch serves one request and sends its reply.

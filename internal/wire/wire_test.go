@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -61,6 +62,26 @@ func TestFrameRejectsOversize(t *testing.T) {
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	if _, err := ReadFrame(&buf); err == nil {
 		t.Error("oversize read accepted")
+	}
+}
+
+// TestServerDropsHostileFrame connects a raw socket to a live server
+// and sends a frame header claiming ~4GB: the server must drop the
+// connection (no allocation, no reply) rather than trust the length.
+func TestServerDropsHostileFrame(t *testing.T) {
+	_, f := startServer(t, broker.Profile{})
+	sock, err := net.Dial("tcp", f.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	if _, err := sock.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	_ = sock.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if n, err := sock.Read(buf); err == nil {
+		t.Fatalf("server replied %d bytes to a hostile frame; want connection close", n)
 	}
 }
 

@@ -789,6 +789,13 @@ func (b *Broker) openDurable(clientID, name, topicName string, sel *selector.Sel
 			return nil, err
 		}
 	}
+	// Accepted trade-off: persisting the subscription is a blocking
+	// group commit — an fsync on a sync WAL — under the broker write
+	// lock, stalling every send/publish for its duration. Durable
+	// open/unsubscribe are rare control-plane events, and holding the
+	// lock keeps the registry and the stable store in lockstep; moving
+	// the persist outside would need a reservation protocol so racing
+	// opens/unsubscribes of the same name cannot persist out of order.
 	if err := b.stable.AddSubscription(store.SubscriptionRecord{
 		ClientID: clientID, Name: name, Topic: topicName, Selector: selExpr,
 	}); err != nil {

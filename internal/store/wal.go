@@ -41,9 +41,18 @@ type WAL struct {
 	mirror *Memory  // in-memory mirror for reads and snapshotting
 	nextID RecordID
 	closed bool
+	// failMu guards failed separately from mu because the committer
+	// records commit errors while a mu holder may be blocked waiting on
+	// the committer itself — Compact waits on its flush barrier under
+	// mu, and a mutator can block sending into a full reqCh under mu.
+	// If the committer took mu to set failed, either state would be a
+	// deadlock that wedges the WAL and everything behind it.
+	failMu sync.Mutex
 	// failed is the sticky first commit error: once a write or fsync
 	// fails the log's tail is suspect, so every later mutation is
 	// refused rather than risking divergence between mirror and disk.
+	// Snapshot is refused too: the mirror may hold records whose commit
+	// failed — state the caller was explicitly told is not durable.
 	failed error
 	// remap translates mirror record IDs to WAL record IDs so the two
 	// stay consistent across compaction. The WAL assigns its own IDs.
@@ -303,10 +312,19 @@ func (w *WAL) lookupID(endpoint string, walID RecordID) (RecordID, bool) {
 
 // commitLoop is the committer goroutine: it drains reqCh, coalescing
 // every record available (up to maxCommitBatch) into a single
-// write+fsync, then releases all of the batch's waiters at once.
+// write+fsync, then releases all of the batch's waiters at once. It
+// must never acquire w.mu: waiters can hold w.mu while blocked on the
+// committer (see failMu), so it reports errors via setFailed only.
 func (w *WAL) commitLoop() {
 	defer close(w.committerDone)
 	var frame []byte // reused frame-encoding buffer
+	// sticky is the committer's copy of the first commit error. A
+	// failed write can leave a torn frame mid-log, and replay stops at
+	// the first bad frame — so appending records already buffered in
+	// reqCh past that hole would acknowledge writes that silently
+	// vanish on recovery. Once set, every later dequeued commit is
+	// refused with the original error instead of written.
+	var sticky error
 	pending := make([]walCommit, 0, maxCommitBatch)
 	for req := range w.reqCh {
 		pending = append(pending[:0], req)
@@ -322,35 +340,34 @@ func (w *WAL) commitLoop() {
 				break drain
 			}
 		}
-		frame = frame[:0]
-		records := 0
-		for _, c := range pending {
-			if c.payload == nil {
-				continue // flush barrier
-			}
-			frame = appendFrame(frame, c.payload)
-			records++
-		}
-		var err error
-		if records > 0 {
-			if _, werr := w.f.Write(frame); werr != nil {
-				err = fmt.Errorf("store: appending WAL records: %w", werr)
-			} else if w.sync {
-				start := time.Now()
-				if serr := w.f.Sync(); serr != nil {
-					err = fmt.Errorf("store: syncing WAL: %w", serr)
+		err := sticky
+		if err == nil {
+			frame = frame[:0]
+			records := 0
+			for _, c := range pending {
+				if c.payload == nil {
+					continue // flush barrier
 				}
-				w.met.syncNs.ObserveDuration(time.Since(start))
+				frame = appendFrame(frame, c.payload)
+				records++
 			}
-			w.met.batch.Observe(int64(records))
-			w.met.records.Add(int64(records))
-		}
-		if err != nil {
-			w.mu.Lock()
-			if w.failed == nil {
-				w.failed = err
+			if records > 0 {
+				if _, werr := w.f.Write(frame); werr != nil {
+					err = fmt.Errorf("store: appending WAL records: %w", werr)
+				} else if w.sync {
+					start := time.Now()
+					if serr := w.f.Sync(); serr != nil {
+						err = fmt.Errorf("store: syncing WAL: %w", serr)
+					}
+					w.met.syncNs.ObserveDuration(time.Since(start))
+				}
+				w.met.batch.Observe(int64(records))
+				w.met.records.Add(int64(records))
 			}
-			w.mu.Unlock()
+			if err != nil {
+				sticky = err
+				w.setFailed(err)
+			}
 		}
 		for _, c := range pending {
 			c.done <- err
@@ -368,15 +385,29 @@ func (w *WAL) commitLocked(payload []byte) chan error {
 	return done
 }
 
+// setFailed records the sticky first commit error. Called from the
+// committer, so it must not touch w.mu (see failMu).
+func (w *WAL) setFailed(err error) {
+	w.failMu.Lock()
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.failMu.Unlock()
+}
+
+// failedErr returns the sticky commit error, or nil.
+func (w *WAL) failedErr() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failed
+}
+
 // checkOpenLocked verifies the WAL accepts mutations. Callers hold w.mu.
 func (w *WAL) checkOpenLocked() error {
 	if w.closed {
 		return fmt.Errorf("store: %w", jms.ErrClosed)
 	}
-	if w.failed != nil {
-		return w.failed
-	}
-	return nil
+	return w.failedErr()
 }
 
 // encPool recycles record-payload buffers across mutations.
@@ -554,6 +585,12 @@ func (w *WAL) Snapshot() (*State, error) {
 	defer w.mu.Unlock()
 	if w.closed {
 		return nil, fmt.Errorf("store: %w", jms.ErrClosed)
+	}
+	if err := w.failedErr(); err != nil {
+		// A failed commit leaves its record in the mirror even though
+		// the caller was told the write failed; serving that state
+		// would present reads that were never durable.
+		return nil, err
 	}
 	st, err := w.mirror.Snapshot()
 	if err != nil {

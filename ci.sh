@@ -28,6 +28,15 @@ if [ "$fuzztime" != "0" ]; then
 	go test -fuzz=FuzzConformance -fuzztime="$fuzztime" ./internal/explore
 fi
 
+# Chaos smoke: one partition-and-heal (plus a forced reset) conformance
+# pass through the fault-injecting TCP proxy with reconnecting clients —
+# every safety property must hold on the resulting trace. Set JMSCHAOS=0
+# to skip the stage.
+chaossmoke=${JMSCHAOS:-1}
+if [ "$chaossmoke" != "0" ]; then
+	go test -run TestChaosPartitionAndResetConformance -count=1 ./internal/experiments
+fi
+
 # Opt-in hot-path microbenchmarks (broker send/ack, WAL group-commit
 # append, wire round trip): set JMSBENCH_TIME (a -benchtime value, e.g.
 # 1s or 2000x) to run them, so a perf regression is one command away.

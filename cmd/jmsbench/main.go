@@ -11,7 +11,9 @@
 // DB-vs-streaming analysis), scale (cluster throughput/delay vs shard
 // count; -placement picks the sharding policy), saturation (unthrottled
 // single-node capacity per stack and shard count, with the group-commit
-// batch histogram). -scale multiplies the
+// batch histogram), chaos (conformance over a fault-injecting TCP proxy
+// — latency, bandwidth caps, partitions, resets — with reconnecting
+// clients). -scale multiplies the
 // run durations; 1.0 matches the defaults used in EXPERIMENTS.md.
 //
 // Alongside the human-readable report, each invocation appends a
@@ -70,7 +72,7 @@ type measuresSummary struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("jmsbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, saturation, or all")
+	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, saturation, chaos, or all")
 	scale := fs.Float64("scale", 1.0, "duration multiplier for the timed experiments")
 	csv := fs.Bool("csv", false, "emit throughput sweeps as CSV instead of a table")
 	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
@@ -103,9 +105,10 @@ func run(args []string) error {
 		"ingest":      func() error { return runIngest(*ingestEvents, report) },
 		"scale":       func() error { return runScale(*scale, *placement, report) },
 		"saturation":  func() error { return runSaturation(*scale, report) },
+		"chaos":       func() error { return runChaos(*scale, report) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale", "saturation"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale", "saturation", "chaos"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -284,6 +287,22 @@ func runSaturation(scale float64, report *benchReport) error {
 		"points":   points,
 		"baseline": experiments.SaturationBaseline,
 	}
+	return nil
+}
+
+func runChaos(scale float64, report *benchReport) error {
+	fmt.Println("=== chaos: conformance under injected network faults ===")
+	rows, err := experiments.ChaosMatrix(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatChaos(rows))
+	for _, r := range rows {
+		if !r.Passed {
+			fmt.Printf("warning: profile %s violated %d safety properties\n", r.Profile, r.Violations)
+		}
+	}
+	report.Experiments["chaos"] = rows
 	return nil
 }
 

@@ -1,0 +1,243 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// newBoundedBroker returns a broker whose mailboxes hold at most cap
+// entries, with the given overload policy.
+func newBoundedBroker(t *testing.T, cap int, pol OverloadPolicy) *Broker {
+	t.Helper()
+	b, err := New(Options{Name: "bounded", MailboxCapacity: cap, Overload: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return b
+}
+
+func TestOverloadRejectQueue(t *testing.T) {
+	b := newBoundedBroker(t, 2, OverloadReject)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("narrow")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p, "a", jms.DefaultSendOptions())
+	mustSend(t, p, "b", jms.DefaultSendOptions())
+	err = p.Send(jms.NewTextMessage("c"), jms.DefaultSendOptions())
+	if !errors.Is(err, jms.ErrOverloaded) {
+		t.Fatalf("third send: got %v, want ErrOverloaded", err)
+	}
+	if got := b.Metrics().Snapshot().Counters["broker.overload_rejections"]; got != 1 {
+		t.Errorf("overload_rejections = %d, want 1", got)
+	}
+	// Draining one entry frees a slot.
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, c, time.Second); got != "a" {
+		t.Fatalf("got %q", got)
+	}
+	mustSend(t, p, "c", jms.DefaultSendOptions())
+}
+
+func TestOverloadBlockQueueUnblocksOnReceive(t *testing.T) {
+	b := newBoundedBroker(t, 1, OverloadBlock)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("narrow")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p, "first", jms.DefaultSendOptions())
+	sent := make(chan error, 1)
+	go func() { sent <- p.Send(jms.NewTextMessage("second"), jms.DefaultSendOptions()) }()
+	select {
+	case err := <-sent:
+		t.Fatalf("send to full queue returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, c, time.Second); got != "first" {
+		t.Fatalf("got %q", got)
+	}
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatalf("blocked send: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send still blocked after space freed")
+	}
+	if got := mustReceiveText(t, c, time.Second); got != "second" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOverloadBlockedSenderSeesClose(t *testing.T) {
+	b := newBoundedBroker(t, 1, OverloadBlock)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	p, err := sess.CreateProducer(jms.Queue("narrow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p, "fill", jms.DefaultSendOptions())
+	sent := make(chan error, 1)
+	go func() { sent <- p.Send(jms.NewTextMessage("parked"), jms.DefaultSendOptions()) }()
+	time.Sleep(50 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-sent:
+		if !errors.Is(err, jms.ErrClosed) {
+			t.Fatalf("blocked send after Close: got %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked send did not observe broker Close")
+	}
+}
+
+func TestOverloadTopicAllOrNothing(t *testing.T) {
+	b := newBoundedBroker(t, 1, OverloadReject)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	topic := jms.Topic("alerts")
+	fast, err := sess.CreateConsumer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.CreateConsumer(topic); err != nil { // slow, never drained
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p, "m1", jms.DefaultSendOptions()) // fills both subscriptions
+	if got := mustReceiveText(t, fast, time.Second); got != "m1" {
+		t.Fatalf("got %q", got)
+	}
+	// fast has room again, slow is still full: the publish must be
+	// all-or-nothing, delivering to neither.
+	err = p.Send(jms.NewTextMessage("m2"), jms.DefaultSendOptions())
+	if !errors.Is(err, jms.ErrOverloaded) {
+		t.Fatalf("publish with one full subscriber: got %v, want ErrOverloaded", err)
+	}
+	if msg, err := fast.ReceiveNoWait(); err != nil || msg != nil {
+		t.Fatalf("rejected publish leaked a copy to the fast subscriber: %v, %v", msg, err)
+	}
+}
+
+func TestOverloadRedeliveryExemptFromBound(t *testing.T) {
+	// Rollback must always be able to return entries, even to a full
+	// mailbox; the transient overshoot then refuses new sends until the
+	// backlog drains below capacity again.
+	b := newBoundedBroker(t, 1, OverloadReject)
+	_, prodSess := openSession(t, b, false, jms.AckAuto)
+	conn, err := b.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	consSess, err := conn.CreateSession(true, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("narrow")
+	p, err := prodSess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := consSess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed two messages through the capacity-1 mailbox into an open
+	// transaction, then roll back: both return at once, overshooting.
+	mustSend(t, p, "m1", jms.DefaultSendOptions())
+	if got := mustReceiveText(t, c, time.Second); got != "m1" {
+		t.Fatalf("got %q", got)
+	}
+	mustSend(t, p, "m2", jms.DefaultSendOptions())
+	if got := mustReceiveText(t, c, time.Second); got != "m2" {
+		t.Fatalf("got %q", got)
+	}
+	if err := consSess.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Occupancy 2 > capacity 1: new sends are refused until drained...
+	err = p.Send(jms.NewTextMessage("m3"), jms.DefaultSendOptions())
+	if !errors.Is(err, jms.ErrOverloaded) {
+		t.Fatalf("send over an overshot mailbox: got %v, want ErrOverloaded", err)
+	}
+	// ...but both redelivered entries are there, in order.
+	got1 := mustReceiveText(t, c, time.Second)
+	got2 := mustReceiveText(t, c, time.Second)
+	if got1 != "m1" || got2 != "m2" {
+		t.Fatalf("redelivery got %q, %q", got1, got2)
+	}
+	if err := consSess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverloadManyBlockedProducers(t *testing.T) {
+	b := newBoundedBroker(t, 4, OverloadBlock)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("narrow")
+	const total = 40
+	errs := make(chan error, total)
+	for i := 0; i < total; i++ {
+		go func(i int) {
+			conn, err := b.CreateConnection()
+			if err != nil {
+				errs <- err
+				return
+			}
+			s, err := conn.CreateSession(false, jms.AckAuto)
+			if err != nil {
+				errs <- err
+				return
+			}
+			p, err := s.CreateProducer(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- p.Send(jms.NewTextMessage(fmt.Sprintf("m%d", i)), jms.DefaultSendOptions())
+		}(i)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < total; i++ {
+		got := mustReceiveText(t, c, 5*time.Second)
+		if seen[got] {
+			t.Fatalf("duplicate %q", got)
+		}
+		seen[got] = true
+	}
+	for i := 0; i < total; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("producer: %v", err)
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("received %d distinct messages, want %d", len(seen), total)
+	}
+}

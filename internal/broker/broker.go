@@ -53,15 +53,50 @@ type Options struct {
 	// Spans receives per-message lifecycle spans. Nil disables span
 	// recording (a no-op recorder keeps the hot paths branch-free).
 	Spans obs.SpanRecorder
+	// MailboxCapacity bounds every per-destination mailbox (queues and
+	// topic subscriptions alike). 0 means unbounded. Redelivery and
+	// crash recovery are exempt: returning already-accepted messages
+	// never blocks or fails, so a mailbox can transiently exceed the
+	// bound and simply refuses new sends until drained.
+	MailboxCapacity int
+	// Overload selects what a send does when its destination mailbox is
+	// full (only meaningful with MailboxCapacity > 0).
+	Overload OverloadPolicy
+}
+
+// OverloadPolicy selects the behaviour of a send that finds its
+// destination mailbox full.
+type OverloadPolicy int
+
+const (
+	// OverloadBlock parks the producer until space frees up — classic
+	// backpressure. The default.
+	OverloadBlock OverloadPolicy = iota
+	// OverloadReject fails the send immediately with an error wrapping
+	// jms.ErrOverloaded.
+	OverloadReject
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadBlock:
+		return "block"
+	case OverloadReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+	}
 }
 
 // Broker is an in-memory JMS provider. It implements
 // jms.ConnectionFactory. A Broker is safe for concurrent use.
 type Broker struct {
-	name    string
-	profile Profile
-	clk     clock.Clock
-	stable  store.Store
+	name     string
+	profile  Profile
+	clk      clock.Clock
+	stable   store.Store
+	mbCap    int
+	overload OverloadPolicy
 
 	sendBucket    *stats.TokenBucket
 	deliverBucket *stats.TokenBucket
@@ -129,9 +164,12 @@ type brokerMetrics struct {
 	expired   *obs.Counter // entries dropped by TTL expiry
 	backlog   *obs.Gauge   // entries currently buffered
 
+	overloadRejects *obs.Counter // sends rejected by OverloadReject
+
 	sendThrottle    *obs.Histogram // send-path throttle wait, ns
 	deliverThrottle *obs.Histogram // delivery-path throttle wait, ns
 	sojourn         *obs.Histogram // enqueue → pop mailbox residence, ns
+	overloadWait    *obs.Histogram // OverloadBlock full-mailbox wait, ns
 }
 
 func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
@@ -142,9 +180,11 @@ func newBrokerMetrics(reg *obs.Registry) brokerMetrics {
 		acked:           reg.Counter("broker.acked"),
 		expired:         reg.Counter("broker.expired"),
 		backlog:         reg.Gauge("broker.backlog"),
+		overloadRejects: reg.Counter("broker.overload_rejections"),
 		sendThrottle:    reg.Histogram("broker.send_throttle_ns", nil),
 		deliverThrottle: reg.Histogram("broker.deliver_throttle_ns", nil),
 		sojourn:         reg.Histogram("broker.sojourn_ns", nil),
+		overloadWait:    reg.Histogram("broker.overload_block_ns", nil),
 	}
 }
 
@@ -170,11 +210,19 @@ func New(opts Options) (*Broker, error) {
 	if s, ok := opts.Spans.(*obs.Spans); opts.Spans == nil || (ok && s == nil) {
 		opts.Spans = obs.NopSpans()
 	}
+	if opts.MailboxCapacity < 0 {
+		return nil, fmt.Errorf("broker: negative MailboxCapacity %d", opts.MailboxCapacity)
+	}
+	if opts.Overload != OverloadBlock && opts.Overload != OverloadReject {
+		return nil, fmt.Errorf("broker: unknown overload policy %d", int(opts.Overload))
+	}
 	b := &Broker{
 		name:       opts.Name,
 		profile:    opts.Profile,
 		clk:        opts.Clock,
 		stable:     opts.Stable,
+		mbCap:      opts.MailboxCapacity,
+		overload:   opts.Overload,
 		jitter:     stats.NewRNG(opts.Seed),
 		reg:        opts.Metrics,
 		met:        newBrokerMetrics(opts.Metrics),
@@ -354,7 +402,7 @@ func (b *Broker) recoverLocked() error {
 			durable:   true,
 			clientID:  rec.ClientID,
 			subName:   rec.Name,
-			mb:        newMailbox(),
+			mb:        newMailbox(b.mbCap),
 			sel:       sel,
 			selExpr:   rec.Selector,
 		}
@@ -429,7 +477,7 @@ func (b *Broker) Close() error {
 func (b *Broker) queueLocked(name string) *mailbox {
 	mb, ok := b.queues[name]
 	if !ok {
-		mb = newMailbox()
+		mb = newMailbox(b.mbCap)
 		b.queues[name] = mb
 	}
 	return mb
@@ -559,25 +607,55 @@ func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) erro
 			b.mu.Unlock()
 			continue
 		}
+		if !mb.tryReserve() {
+			// Full mailbox. The wait (or the rejection) happens strictly
+			// after RUnlock: blocking while holding the read side would
+			// deadlock Crash/Close, whose write-lock quiesce must be able
+			// to close the very mailbox this send is waiting on.
+			space := mb.spaceChan()
+			b.mu.RUnlock()
+			if err := b.overloaded(trace.EndpointForQueue(name), space); err != nil {
+				return err
+			}
+			continue
+		}
 		err := b.enqueueEntry(mb, name, m, now)
 		b.mu.RUnlock()
 		return err
 	}
 }
 
+// overloaded handles a send that found its destination mailbox full:
+// under OverloadReject it returns a typed error immediately; under
+// OverloadBlock it parks on space until occupancy drops (or the mailbox
+// closes), then returns nil so the caller's retry loop revalidates the
+// world. Callers must NOT hold b.mu.
+func (b *Broker) overloaded(endpoint string, space <-chan struct{}) error {
+	if b.overload == OverloadReject {
+		b.met.overloadRejects.Inc()
+		return fmt.Errorf("broker %s: %s mailbox full: %w", b.name, endpoint, jms.ErrOverloaded)
+	}
+	start := b.clk.Now()
+	<-space
+	b.met.overloadWait.ObserveDuration(b.clk.Now().Sub(start))
+	return nil
+}
+
 // enqueueEntry persists (if required) and buffers one message on a
-// queue mailbox. Callers hold b.mu in read mode.
+// queue mailbox, consuming the caller's tryReserve claim. Callers hold
+// b.mu in read mode.
 func (b *Broker) enqueueEntry(mb *mailbox, name string, m *jms.Message, now time.Time) error {
 	e := entry{msg: m, enqueuedAt: now}
 	ep := trace.EndpointForQueue(name)
 	if m.Mode == jms.Persistent {
 		rec, err := b.stable.AddMessage(ep, m)
 		if err != nil {
+			mb.unreserve()
 			return fmt.Errorf("broker %s: persisting to %s: %w", b.name, ep, err)
 		}
 		e.rec, e.persisted = rec, true
 	}
-	mb.push(e)
+	mb.pushReserved(e)
 	b.met.enqueued.Inc()
 	b.met.backlog.Inc()
 	b.spans.Begin(m.ID, ep, m.Timestamp, now)
@@ -587,31 +665,67 @@ func (b *Broker) enqueueEntry(mb *mailbox, name string, m *jms.Message, now time
 func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) error {
 	// The read lock is held through the whole fan-out, for the same
 	// quiesce contract as enqueueToQueue; publishes to distinct topics
-	// (and queue sends) proceed concurrently.
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	if b.closed || b.crashed {
-		return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
-	}
-	for _, s := range b.topics[name] {
-		if !s.accepts(m) {
+	// (and queue sends) proceed concurrently. Under a bounded profile
+	// the publish first claims one slot on every matching subscription,
+	// so admission is all-or-nothing: a publish either fans out to all
+	// matching subscribers or (one being full) blocks/rejects without
+	// partially delivering.
+	for {
+		b.mu.RLock()
+		if b.closed || b.crashed {
+			b.mu.RUnlock()
+			return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+		}
+		var matched []*subscription
+		for _, s := range b.topics[name] {
+			if s.accepts(m) {
+				matched = append(matched, s)
+			}
+		}
+		full := -1
+		for i, s := range matched {
+			if !s.mb.tryReserve() {
+				full = i
+				break
+			}
+		}
+		if full >= 0 {
+			for _, s := range matched[:full] {
+				s.mb.unreserve()
+			}
+			space := matched[full].mb.spaceChan()
+			ep := matched[full].endpoint
+			b.mu.RUnlock()
+			if err := b.overloaded(ep, space); err != nil {
+				return err
+			}
 			continue
 		}
-		copyMsg := m.Clone()
-		e := entry{msg: copyMsg, enqueuedAt: now}
-		if m.Mode == jms.Persistent && s.durable {
-			rec, err := b.stable.AddMessage(s.endpoint, copyMsg)
-			if err != nil {
-				return fmt.Errorf("broker %s: persisting to %s: %w", b.name, s.endpoint, err)
+		for i, s := range matched {
+			copyMsg := m.Clone()
+			e := entry{msg: copyMsg, enqueuedAt: now}
+			if m.Mode == jms.Persistent && s.durable {
+				rec, err := b.stable.AddMessage(s.endpoint, copyMsg)
+				if err != nil {
+					// Release the claims not yet converted into entries;
+					// copies already fanned out stay delivered, matching
+					// the pre-bounded partial-failure behaviour.
+					for _, rest := range matched[i:] {
+						rest.mb.unreserve()
+					}
+					b.mu.RUnlock()
+					return fmt.Errorf("broker %s: persisting to %s: %w", b.name, s.endpoint, err)
+				}
+				e.rec, e.persisted = rec, true
 			}
-			e.rec, e.persisted = rec, true
+			s.mb.pushReserved(e)
+			b.met.enqueued.Inc()
+			b.met.backlog.Inc()
+			b.spans.Begin(copyMsg.ID, s.endpoint, copyMsg.Timestamp, now)
 		}
-		s.mb.push(e)
-		b.met.enqueued.Inc()
-		b.met.backlog.Inc()
-		b.spans.Begin(copyMsg.ID, s.endpoint, copyMsg.Timestamp, now)
+		b.mu.RUnlock()
+		return nil
 	}
-	return nil
 }
 
 // ackEntry finalises consumption of one delivered entry, removing its
@@ -680,7 +794,7 @@ func (b *Broker) createTempQueue(c *connection) (string, error) {
 	if b.closed || b.crashed {
 		return "", fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
 	}
-	b.queues[name] = newMailbox()
+	b.queues[name] = newMailbox(b.mbCap)
 	b.tempOwners[name] = c
 	return name, nil
 }
@@ -738,7 +852,7 @@ func (b *Broker) openNonDurable(topicName, consumerID string, sel *selector.Sele
 	sub := &subscription{
 		endpoint:  trace.EndpointForNonDurable(consumerID),
 		topicName: topicName,
-		mb:        newMailbox(),
+		mb:        newMailbox(b.mbCap),
 		active:    true,
 		sel:       sel,
 		selExpr:   selExpr,
@@ -807,7 +921,7 @@ func (b *Broker) openDurable(clientID, name, topicName string, sel *selector.Sel
 		durable:   true,
 		clientID:  clientID,
 		subName:   name,
-		mb:        newMailbox(),
+		mb:        newMailbox(b.mbCap),
 		active:    true,
 		sel:       sel,
 		selExpr:   selExpr,

@@ -115,16 +115,26 @@ func (q *bucketQ) drain() []entry {
 // distinct destinations never contend: the broker-wide registry lock
 // only locates the mailbox, and all queue/subscription traffic then
 // proceeds in parallel per destination.
+//
+// A mailbox may be bounded (capacity > 0): ordinary sends must then
+// claim a slot with tryReserve before pushing, and blocked senders
+// wait on spaceChan for occupancy to drop. Redelivery (pushFront) and
+// crash recovery bypass the bound — returning already-accepted
+// messages must never block or fail — so a mailbox can transiently
+// exceed its capacity and simply refuses new sends until drained.
 type mailbox struct {
-	mu      sync.Mutex
-	buckets [jms.NumPriorities]bucketQ
-	wake    chan struct{}
-	closed  bool
-	size    int
+	mu       sync.Mutex
+	buckets  [jms.NumPriorities]bucketQ
+	wake     chan struct{}
+	space    chan struct{} // closed and replaced when occupancy drops
+	closed   bool
+	size     int
+	capacity int // 0 = unbounded
+	reserved int // send slots claimed but not yet pushed
 }
 
-func newMailbox() *mailbox {
-	return &mailbox{wake: make(chan struct{})}
+func newMailbox(capacity int) *mailbox {
+	return &mailbox{wake: make(chan struct{}), space: make(chan struct{}), capacity: capacity}
 }
 
 // wakeAllLocked signals every blocked receiver. Callers hold mu.
@@ -133,10 +143,71 @@ func (mb *mailbox) wakeAllLocked() {
 	mb.wake = make(chan struct{})
 }
 
-// push appends an entry at the tail of its priority bucket.
-func (mb *mailbox) push(e entry) {
+// wakeSpaceLocked signals every sender blocked on a full mailbox.
+// Callers hold mu.
+func (mb *mailbox) wakeSpaceLocked() {
+	if mb.capacity <= 0 {
+		return
+	}
+	close(mb.space)
+	mb.space = make(chan struct{})
+}
+
+// tryReserve claims one send slot on a bounded mailbox, reporting
+// false when it is full. Unbounded and closed mailboxes always accept
+// (a push to a closed mailbox silently drops, matching the unbounded
+// path). A successful reservation must be settled with pushReserved or
+// unreserve.
+func (mb *mailbox) tryReserve() bool {
+	if mb.capacity <= 0 {
+		return true
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	if mb.closed {
+		return true
+	}
+	if mb.size+mb.reserved >= mb.capacity {
+		return false
+	}
+	mb.reserved++
+	return true
+}
+
+// unreserve releases an unused reservation.
+func (mb *mailbox) unreserve() {
+	if mb.capacity <= 0 {
+		return
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.reserved > 0 {
+		mb.reserved--
+		mb.wakeSpaceLocked()
+	}
+}
+
+// spaceChan returns a channel closed the next time occupancy drops,
+// for senders blocked on a full mailbox.
+func (mb *mailbox) spaceChan() <-chan struct{} {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.space
+}
+
+// push appends an entry at the tail of its priority bucket.
+func (mb *mailbox) push(e entry) { mb.pushEntry(e, false) }
+
+// pushReserved appends an entry, converting a tryReserve claim into
+// occupancy.
+func (mb *mailbox) pushReserved(e entry) { mb.pushEntry(e, true) }
+
+func (mb *mailbox) pushEntry(e entry, reserved bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if reserved && mb.reserved > 0 {
+		mb.reserved--
+	}
 	if mb.closed {
 		return
 	}
@@ -188,6 +259,7 @@ func (mb *mailbox) tryPop(now time.Time, match func(*jms.Message) bool) (e entry
 			if head.msg.Expired(now) {
 				dropped = append(dropped, q.removeAt(i))
 				mb.size--
+				mb.wakeSpaceLocked()
 				continue
 			}
 			if match != nil && !match(head.msg) {
@@ -196,6 +268,7 @@ func (mb *mailbox) tryPop(now time.Time, match func(*jms.Message) bool) (e entry
 			}
 			e = q.removeAt(i)
 			mb.size--
+			mb.wakeSpaceLocked()
 			return e, dropped, true
 		}
 	}
@@ -242,6 +315,7 @@ func (mb *mailbox) drain() []entry {
 		out = append(out, mb.buckets[p].drain()...)
 	}
 	mb.size = 0
+	mb.wakeSpaceLocked()
 	return out
 }
 
@@ -254,6 +328,9 @@ func (mb *mailbox) close() {
 	}
 	mb.closed = true
 	mb.wakeAllLocked()
+	// Senders blocked on a full mailbox must also wake: their retry
+	// loop observes the closed/crashed state and errors out.
+	mb.wakeSpaceLocked()
 }
 
 // pending returns the number of buffered entries.

@@ -26,7 +26,7 @@ func stressMsg(producer, seq int, prio jms.Priority) *jms.Message {
 // conformance Property 3 checks end to end. (Cross-consumer order is
 // unconstrained, as in JMS with competing consumers.)
 func TestMailboxConcurrentStress(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(0)
 	const producers = 8
 	const perProducer = 2000
 	const consumers = 8
@@ -112,7 +112,7 @@ func TestMailboxConcurrentStress(t *testing.T) {
 // conservation: every entry that went in is delivered exactly once,
 // even while entries bounce back to the head of the queue.
 func TestMailboxPushFrontUnderLoad(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(0)
 	const total = 5000
 
 	var wg sync.WaitGroup
@@ -164,7 +164,7 @@ func TestMailboxPushFrontUnderLoad(t *testing.T) {
 // stay resident, ensuring the head-indexed buckets reclaim their dead
 // prefix (the pop path would otherwise leak one slot per message).
 func TestMailboxCompaction(t *testing.T) {
-	mb := newMailbox()
+	mb := newMailbox(0)
 	const rounds = 10000
 	for i := 0; i < rounds; i++ {
 		mb.push(entry{msg: stressMsg(0, i, jms.PriorityDefault), enqueuedAt: time.Now()})

@@ -1,0 +1,480 @@
+// Package chaos implements a deterministic, seed-driven TCP
+// fault-injection proxy. It sits between a wire client and a wire
+// server (or any other TCP pair) and degrades the link on command or
+// on a scripted schedule: added latency and jitter, bandwidth caps,
+// per-direction black-holes (partitions), whole-proxy connection
+// resets, and mid-frame byte truncation.
+//
+// The paper's harness measures providers under load; the group-
+// communication literature it builds on treats partition and
+// reconnection as the defining stress of a messaging system. This
+// package is the repo's network-fault layer: internal/faults wraps
+// *logical* provider behaviour, chaos wraps the *wire*.
+//
+// Determinism. Every injected fault is appended to an event log that
+// records only the fault's parameters — never timestamps, connection
+// counts, or anything else traffic-dependent — and scheduled faults
+// are applied by a single goroutine in a fixed order. The same seed
+// and schedule therefore produce a byte-identical Events() log, which
+// is what lets a chaos scenario be replayed from its seed alone.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"jmsharness/internal/stats"
+)
+
+// Direction selects which half of the duplex link a fault applies to.
+// Up is client→server, Down is server→client.
+type Direction int
+
+// Directions. Both is the bitwise OR of Up and Down.
+const (
+	Up   Direction = 1 << iota // client → server
+	Down                       // server → client
+	Both = Up | Down
+)
+
+// String returns a stable, human-readable direction name.
+func (d Direction) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	case Both:
+		return "both"
+	default:
+		return fmt.Sprintf("dir(%d)", int(d))
+	}
+}
+
+// FaultKind names a scheduled fault.
+type FaultKind string
+
+// Fault kinds.
+const (
+	// FaultPartition black-holes the given direction(s) for Duration:
+	// the proxy stops forwarding but keeps the TCP connections alive,
+	// so healed traffic resumes without loss.
+	FaultPartition FaultKind = "partition"
+	// FaultReset closes every live proxied connection, forcing clients
+	// into their reconnect path.
+	FaultReset FaultKind = "reset"
+	// FaultTruncate lets Bytes bytes of the next forwarded chunk
+	// through, then kills that connection — a torn frame.
+	FaultTruncate FaultKind = "truncate"
+)
+
+// Fault is one scheduled fault. At is the offset from Start.
+type Fault struct {
+	At       time.Duration `json:"at"`
+	Kind     FaultKind     `json:"kind"`
+	Dir      Direction     `json:"dir,omitempty"`      // partition
+	Duration time.Duration `json:"duration,omitempty"` // partition
+	Bytes    int           `json:"bytes,omitempty"`    // truncate
+}
+
+// Options configures a Proxy.
+type Options struct {
+	// Target is the real server address to forward to.
+	Target string
+	// Listen is the proxy's own listen address; empty means
+	// "127.0.0.1:0".
+	Listen string
+	// Latency is added to every forwarded chunk in each direction.
+	Latency time.Duration
+	// Jitter adds a uniform [0, Jitter) delay on top of Latency, drawn
+	// from the seeded generator.
+	Jitter time.Duration
+	// BandwidthBps caps each direction of each connection at this many
+	// bytes per second; zero means unlimited.
+	BandwidthBps int
+	// Seed drives the jitter generator.
+	Seed uint64
+	// Schedule is applied by a single goroutine after Start, in order
+	// of At (ties broken by position), so the fault event log is a pure
+	// function of the schedule.
+	Schedule []Fault
+}
+
+// Proxy is a fault-injecting TCP forwarder.
+type Proxy struct {
+	opts Options
+	ln   net.Listener
+
+	mu       sync.Mutex
+	conns    map[*proxyConn]struct{}
+	healUp   chan struct{} // non-nil while up direction is partitioned
+	healDown chan struct{} // non-nil while down direction is partitioned
+	truncate int           // pending truncate budget; -1 when unarmed
+	events   []string
+	closed   bool
+
+	rmu sync.Mutex
+	rng *stats.RNG
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a proxy forwarding to opts.Target and begins applying the
+// schedule. Close releases it.
+func New(opts Options) (*Proxy, error) {
+	if opts.Target == "" {
+		return nil, fmt.Errorf("chaos: no target address")
+	}
+	listen := opts.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listening on %s: %w", listen, err)
+	}
+	p := &Proxy{
+		opts:     opts,
+		ln:       ln,
+		conns:    map[*proxyConn]struct{}{},
+		truncate: -1,
+		rng:      stats.NewRNG(opts.Seed),
+		stop:     make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.acceptLoop()
+	}()
+	if len(opts.Schedule) > 0 {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.runSchedule(opts.Schedule)
+		}()
+	}
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — the address clients dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting, kills every live connection and waits for the
+// pumps and the scheduler to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	// Heal any standing partition so parked pumps can observe the
+	// closed sockets and exit.
+	if p.healUp != nil {
+		close(p.healUp)
+		p.healUp = nil
+	}
+	if p.healDown != nil {
+		close(p.healDown)
+		p.healDown = nil
+	}
+	conns := make([]*proxyConn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	close(p.stop)
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.kill()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// Partition black-holes the given direction(s) until Heal. The TCP
+// connections stay up, so no in-flight bytes are lost — only delayed.
+func (p *Proxy) Partition(dir Direction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if dir&Up != 0 && p.healUp == nil {
+		p.healUp = make(chan struct{})
+	}
+	if dir&Down != 0 && p.healDown == nil {
+		p.healDown = make(chan struct{})
+	}
+	p.logLocked("partition dir=%s", dir)
+}
+
+// Heal ends every standing partition.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.healUp != nil {
+		close(p.healUp)
+		p.healUp = nil
+	}
+	if p.healDown != nil {
+		close(p.healDown)
+		p.healDown = nil
+	}
+	p.logLocked("heal")
+}
+
+// ResetAll closes every live proxied connection — the network-level
+// equivalent of yanking the cable mid-conversation.
+func (p *Proxy) ResetAll() {
+	p.mu.Lock()
+	conns := make([]*proxyConn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.logLocked("reset")
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.kill()
+	}
+}
+
+// TruncateNext arms a one-shot truncation: the next forwarded chunk is
+// cut to at most n bytes and its connection killed, tearing a frame.
+func (p *Proxy) TruncateNext(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	p.truncate = n
+	p.logLocked("truncate bytes=%d", n)
+}
+
+// Events returns the fault event log so far: one line per injected
+// fault, parameters only. For a fixed seed and schedule the log is
+// byte-identical across runs.
+func (p *Proxy) Events() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.events...)
+}
+
+// EventLog returns Events joined by newlines.
+func (p *Proxy) EventLog() string { return strings.Join(p.Events(), "\n") }
+
+// ActiveConns reports the number of live proxied connections.
+func (p *Proxy) ActiveConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+func (p *Proxy) logLocked(format string, args ...any) {
+	p.events = append(p.events, fmt.Sprintf(format, args...))
+}
+
+// runSchedule applies the scripted faults in At order from a single
+// goroutine. Partition heals are expanded into their own scheduled
+// actions so the event log stays a pure function of the schedule.
+func (p *Proxy) runSchedule(schedule []Fault) {
+	type action struct {
+		at   time.Duration
+		seq  int // stable tie-break: schedule order, heals after applies
+		run  func()
+		name string
+	}
+	var actions []action
+	for i, f := range schedule {
+		f := f
+		switch f.Kind {
+		case FaultPartition:
+			actions = append(actions, action{at: f.At, seq: 2 * i, run: func() { p.Partition(f.Dir) }})
+			actions = append(actions, action{at: f.At + f.Duration, seq: 2*i + 1, run: p.Heal})
+		case FaultReset:
+			actions = append(actions, action{at: f.At, seq: 2 * i, run: p.ResetAll})
+		case FaultTruncate:
+			actions = append(actions, action{at: f.At, seq: 2 * i, run: func() { p.TruncateNext(f.Bytes) }})
+		}
+	}
+	sort.SliceStable(actions, func(i, j int) bool {
+		if actions[i].at != actions[j].at {
+			return actions[i].at < actions[j].at
+		}
+		return actions[i].seq < actions[j].seq
+	})
+	start := time.Now()
+	for _, a := range actions {
+		delay := a.at - time.Since(start)
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-p.stop:
+				t.Stop()
+				return
+			}
+		}
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		a.run()
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.opts.Target)
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		c := &proxyConn{p: p, client: client, server: server}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.kill()
+			continue
+		}
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go func() {
+			defer p.wg.Done()
+			c.pump(Up, client, server)
+		}()
+		go func() {
+			defer p.wg.Done()
+			c.pump(Down, server, client)
+		}()
+	}
+}
+
+// proxyConn is one proxied client↔server pair.
+type proxyConn struct {
+	p      *Proxy
+	client net.Conn
+	server net.Conn
+	once   sync.Once
+}
+
+// kill closes both halves; the pumps then exit on read/write errors.
+func (c *proxyConn) kill() {
+	c.once.Do(func() {
+		_ = c.client.Close()
+		_ = c.server.Close()
+		c.p.mu.Lock()
+		delete(c.p.conns, c)
+		c.p.mu.Unlock()
+	})
+}
+
+// pump forwards one direction, applying shaping and faults per chunk.
+func (c *proxyConn) pump(dir Direction, src, dst net.Conn) {
+	defer c.kill()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !c.forward(dir, dst, buf[:n]) {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF but keep the reverse pump going.
+			if cw, ok := dst.(*net.TCPConn); ok {
+				_ = cw.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// forward applies partition, latency/jitter, bandwidth and truncation
+// to one chunk, then writes it. It reports false when the connection
+// must die (truncation, write error, proxy shutdown).
+func (c *proxyConn) forward(dir Direction, dst net.Conn, chunk []byte) bool {
+	// Black-hole: park until healed. The loop re-checks because the
+	// direction may be re-partitioned between wakeup and forwarding.
+	for {
+		c.p.mu.Lock()
+		var heal chan struct{}
+		if dir == Up {
+			heal = c.p.healUp
+		} else {
+			heal = c.p.healDown
+		}
+		c.p.mu.Unlock()
+		if heal == nil {
+			break
+		}
+		select {
+		case <-heal:
+		case <-c.p.stop:
+			return false
+		}
+	}
+	if d := c.delay(); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-c.p.stop:
+			t.Stop()
+			return false
+		}
+	}
+	if bps := c.p.opts.BandwidthBps; bps > 0 {
+		d := time.Duration(len(chunk)) * time.Second / time.Duration(bps)
+		if d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-c.p.stop:
+				t.Stop()
+				return false
+			}
+		}
+	}
+	// One-shot truncation: write a prefix, then kill the connection.
+	c.p.mu.Lock()
+	trunc := c.p.truncate
+	if trunc >= 0 {
+		c.p.truncate = -1
+	}
+	c.p.mu.Unlock()
+	if trunc >= 0 {
+		if trunc > len(chunk) {
+			trunc = len(chunk)
+		}
+		_, _ = dst.Write(chunk[:trunc])
+		return false
+	}
+	_, err := dst.Write(chunk)
+	return err == nil
+}
+
+// delay returns the latency + seeded jitter for one chunk.
+func (c *proxyConn) delay() time.Duration {
+	d := c.p.opts.Latency
+	if j := c.p.opts.Jitter; j > 0 {
+		c.p.rmu.Lock()
+		d += time.Duration(c.p.rng.Float64() * float64(j))
+		c.p.rmu.Unlock()
+	}
+	return d
+}

@@ -1,0 +1,254 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back until the
+// listener is closed.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		_ = ln.Close()
+		wg.Wait()
+	}
+}
+
+func roundTrip(t *testing.T, addr string, payload []byte) ([]byte, error) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(payload); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// TestProxyTransparent checks that a proxy with no faults forwards
+// traffic unchanged in both directions.
+func TestProxyTransparent(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Options{Target: addr, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	payload := bytes.Repeat([]byte("conform"), 1000)
+	got, err := roundTrip(t, p.Addr(), payload)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo mismatch: got %d bytes", len(got))
+	}
+	if len(p.Events()) != 0 {
+		t.Fatalf("clean proxy logged events: %q", p.Events())
+	}
+}
+
+// TestProxyLatency checks that configured latency actually delays the
+// round trip.
+func TestProxyLatency(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Options{Target: addr, Latency: 30 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	start := time.Now()
+	if _, err := roundTrip(t, p.Addr(), []byte("ping")); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	// Both directions pay the latency at least once.
+	if got := time.Since(start); got < 60*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 60ms", got)
+	}
+}
+
+// TestProxyPartitionAndHeal checks that a partition stalls traffic
+// without losing it: bytes written during the black-hole arrive after
+// Heal.
+func TestProxyPartitionAndHeal(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Options{Target: addr, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	p.Partition(Both)
+	if _, err := conn.Write([]byte("held")); err != nil {
+		t.Fatalf("write during partition: %v", err)
+	}
+	// The echo must not arrive while partitioned.
+	_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatalf("read succeeded during partition")
+	}
+	p.Heal()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(buf) != "held" {
+		t.Fatalf("got %q after heal", buf)
+	}
+}
+
+// TestProxyResetKillsConnections checks ResetAll tears down live
+// connections so clients see a prompt error.
+func TestProxyResetKillsConnections(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Options{Target: addr, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, p.Addr(), []byte("warm")); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	p.ResetAll()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatalf("read succeeded after reset")
+	}
+}
+
+// TestProxyTruncateTearsFrame checks an armed truncation lets at most
+// the budgeted bytes through and then kills the connection.
+func TestProxyTruncateTearsFrame(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(Options{Target: addr, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	p.TruncateNext(3)
+	if _, err := conn.Write([]byte("truncated-frame")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) > 3 {
+		t.Fatalf("got %d bytes through a 3-byte truncation: %q", len(got), got)
+	}
+}
+
+// TestScheduleDeterministic is the chaos determinism guarantee: the
+// same seed and schedule produce a byte-identical fault event log,
+// regardless of traffic.
+func TestScheduleDeterministic(t *testing.T) {
+	schedule := []Fault{
+		{At: 5 * time.Millisecond, Kind: FaultPartition, Dir: Both, Duration: 10 * time.Millisecond},
+		{At: 10 * time.Millisecond, Kind: FaultTruncate, Bytes: 7},
+		{At: 20 * time.Millisecond, Kind: FaultReset},
+		{At: 25 * time.Millisecond, Kind: FaultPartition, Dir: Up, Duration: 5 * time.Millisecond},
+	}
+	run := func(withTraffic bool) string {
+		addr, stop := echoServer(t)
+		defer stop()
+		p, err := New(Options{Target: addr, Seed: 42, Jitter: time.Millisecond, Schedule: schedule})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if withTraffic {
+			// Drive traffic through the proxy while faults fire; the log
+			// must not depend on it.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 20; i++ {
+					conn, err := net.Dial("tcp", p.Addr())
+					if err != nil {
+						return
+					}
+					_ = conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
+					_, _ = conn.Write([]byte("noise"))
+					_, _ = conn.Read(make([]byte, 5))
+					_ = conn.Close()
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+			<-done
+		}
+		// Let the schedule finish (last action heals at 30ms).
+		time.Sleep(60 * time.Millisecond)
+		log := p.EventLog()
+		_ = p.Close()
+		return log
+	}
+	quiet := run(false)
+	noisy := run(true)
+	if quiet != noisy {
+		t.Fatalf("event log depends on traffic:\nquiet:\n%s\nnoisy:\n%s", quiet, noisy)
+	}
+	if quiet == "" {
+		t.Fatalf("empty event log")
+	}
+	again := run(true)
+	if again != quiet {
+		t.Fatalf("event log not reproducible:\nfirst:\n%s\nsecond:\n%s", quiet, again)
+	}
+}

@@ -72,6 +72,9 @@ type Daemon struct {
 	listener net.Listener
 	server   *rpc.Server
 	serveWG  sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // NewDaemon returns a daemon named name that runs tests against
@@ -121,22 +124,38 @@ func (d *Daemon) Listen(addr string) (string, error) {
 			if err != nil {
 				return
 			}
+			d.connMu.Lock()
+			if d.conns == nil {
+				d.conns = map[net.Conn]struct{}{}
+			}
+			d.conns[conn] = struct{}{}
+			d.connMu.Unlock()
 			d.serveWG.Add(1)
 			go func() {
 				defer d.serveWG.Done()
 				d.server.ServeConn(conn)
+				d.connMu.Lock()
+				delete(d.conns, conn)
+				d.connMu.Unlock()
 			}()
 		}
 	}()
 	return l.Addr().String(), nil
 }
 
-// Close stops the RPC listener.
+// Close stops the RPC listener and severs every accepted connection, so
+// connected princes observe the death promptly (a deadline-bounded call
+// error or a missed heartbeat) instead of talking to a half-dead peer.
 func (d *Daemon) Close() error {
 	if d.listener == nil {
 		return nil
 	}
 	err := d.listener.Close()
+	d.connMu.Lock()
+	for conn := range d.conns {
+		_ = conn.Close()
+	}
+	d.connMu.Unlock()
 	return err
 }
 

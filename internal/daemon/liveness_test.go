@@ -1,0 +1,169 @@
+package daemon
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/chaos"
+	"jmsharness/internal/core"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/wire"
+)
+
+// TestDialDaemonTimeoutStalledListener dials a listener that accepts
+// and then says nothing: the dial must fail with ErrDeadline within the
+// timeout instead of hanging on the initial ping.
+func TestDialDaemonTimeoutStalledListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			sock, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer sock.Close() // hold open, never speak RPC
+		}
+	}()
+	start := time.Now()
+	_, err = DialDaemonTimeout(ln.Addr().String(), 200*time.Millisecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("dial of stalled listener: got %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dial took %v", elapsed)
+	}
+}
+
+// TestKilledDaemonFailsRunWithAttribution kills one daemon of a
+// two-daemon cluster mid-run: RunDistributed must fail promptly with an
+// error naming the dead daemon, not hang waiting on it.
+func TestKilledDaemonFailsRunWithAttribution(t *testing.T) {
+	b, err := broker.New(broker.Options{Name: "doomed-cluster"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := wire.NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	daemons := make([]*Daemon, 2)
+	addrs := make([]string, 2)
+	for i := range daemons {
+		d := NewDaemon("daemon-"+string(rune('A'+i)), wire.NewFactory(srv.Addr()), nil)
+		addr, err := d.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = d.Close() })
+		daemons[i] = d
+		addrs[i] = addr
+	}
+	prince, err := NewPrince(addrs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(prince.Close)
+	prince.HeartbeatEvery = 50 * time.Millisecond
+	prince.HeartbeatMisses = 2
+
+	cfg := harness.Config{
+		Name:        "doomed",
+		Destination: jms.Queue("doomedq"),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 50, BodySize: 32}, {ID: "p2", Rate: 50, BodySize: 32}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1"}, {ID: "c2"}},
+		Run:         10 * time.Second, // far longer than the kill delay
+	}
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		_ = daemons[1].Close()
+	}()
+	start := time.Now()
+	_, err = prince.RunAndAnalyze(cfg, core.DefaultOptions())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run with a killed daemon reported success")
+	}
+	if !strings.Contains(err.Error(), "daemon-B") {
+		t.Fatalf("error does not name the dead daemon: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("death detected only after %v: %v", elapsed, err)
+	}
+}
+
+// TestWedgedDaemonHeartbeatDeclaresDeath black-holes the prince→daemon
+// link mid-run with a chaos partition: the daemon process is alive but
+// unreachable, so only the heartbeat can notice. The run must fail with
+// ErrDaemonDown naming the daemon, well before the per-call deadline.
+func TestWedgedDaemonHeartbeatDeclaresDeath(t *testing.T) {
+	b, err := broker.New(broker.Options{Name: "wedged-cluster"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := wire.NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	d := NewDaemon("daemon-W", wire.NewFactory(srv.Addr()), nil)
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	proxy, err := chaos.New(chaos.Options{Target: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = proxy.Close() })
+
+	prince, err := NewPrince([]string{proxy.Addr()}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(prince.Close)
+	prince.HeartbeatEvery = 50 * time.Millisecond
+	prince.HeartbeatMisses = 3
+
+	cfg := harness.Config{
+		Name:        "wedged",
+		Destination: jms.Queue("wedgedq"),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 50, BodySize: 32}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1"}},
+		Run:         10 * time.Second,
+	}
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		proxy.Partition(chaos.Both)
+	}()
+	start := time.Now()
+	_, err = prince.RunAndAnalyze(cfg, core.DefaultOptions())
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDaemonDown) {
+		t.Fatalf("run through a black-holed link: got %v, want ErrDaemonDown", err)
+	}
+	if !strings.Contains(err.Error(), "daemon-W") {
+		t.Fatalf("error does not name the wedged daemon: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("death detected only after %v", elapsed)
+	}
+}

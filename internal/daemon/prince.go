@@ -1,10 +1,13 @@
 package daemon
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"net/rpc"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"jmsharness/internal/clock"
@@ -14,29 +17,93 @@ import (
 	"jmsharness/internal/tracedb"
 )
 
+// ErrDeadline marks an RPC that exceeded its per-call deadline: the
+// daemon's connection is torn down, because a reply that may arrive
+// arbitrarily late can no longer be trusted.
+var ErrDeadline = errors.New("daemon: call deadline exceeded")
+
+// ErrDaemonDown marks a daemon that stopped answering heartbeats while
+// a distributed run was in flight.
+var ErrDaemonDown = errors.New("daemon: unresponsive")
+
+// defaultDialTimeout bounds DialDaemon; defaultCallTimeout bounds every
+// control RPC a Client issues. Both exist so a dead or wedged daemon
+// surfaces as a prompt named error instead of a hang.
+const (
+	defaultDialTimeout = 5 * time.Second
+	defaultCallTimeout = 10 * time.Second
+)
+
 // Client is the prince's handle on one test daemon.
 type Client struct {
-	addr string
-	name string
-	rpc  *rpc.Client
+	addr        string
+	name        string
+	rpc         *rpc.Client
+	callTimeout time.Duration
 	// offset is the daemon clock's estimated offset relative to the
 	// prince (set by SyncClocks).
 	offset time.Duration
 }
 
-// DialDaemon connects to a daemon's RPC endpoint.
+// DialDaemon connects to a daemon's RPC endpoint with the default
+// dial timeout.
 func DialDaemon(addr string) (*Client, error) {
+	return DialDaemonTimeout(addr, defaultDialTimeout)
+}
+
+// DialDaemonTimeout connects to a daemon's RPC endpoint, bounding both
+// the TCP dial and the initial ping by timeout.
+func DialDaemonTimeout(addr string, timeout time.Duration) (*Client, error) {
 	registerGobTypes()
-	rc, err := rpc.Dial("tcp", addr)
+	if timeout <= 0 {
+		timeout = defaultDialTimeout
+	}
+	sock, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: dialing %s: %w", addr, err)
 	}
+	c := &Client{addr: addr, rpc: rpc.NewClient(sock), callTimeout: defaultCallTimeout}
 	var reply PingReply
-	if err := rc.Call("Daemon.Ping", PingArgs{}, &reply); err != nil {
-		_ = rc.Close()
+	if err := c.call("Daemon.Ping", PingArgs{}, &reply, timeout); err != nil {
+		_ = c.rpc.Close()
 		return nil, fmt.Errorf("daemon: pinging %s: %w", addr, err)
 	}
-	return &Client{addr: addr, name: reply.Name, rpc: rc}, nil
+	c.name = reply.Name
+	return c, nil
+}
+
+// WithCallTimeout overrides the per-call deadline (zero restores the
+// default). Returns the client for chaining.
+func (c *Client) WithCallTimeout(d time.Duration) *Client {
+	if d <= 0 {
+		d = defaultCallTimeout
+	}
+	c.callTimeout = d
+	return c
+}
+
+// call issues one RPC bounded by deadline. On expiry the connection is
+// closed — net/rpc has no per-call cancellation, so tearing the socket
+// down is what releases the pending call — and the error names the
+// daemon and wraps ErrDeadline.
+func (c *Client) call(method string, args, reply any, deadline time.Duration) error {
+	if deadline <= 0 {
+		deadline = c.callTimeout
+	}
+	pending := c.rpc.Go(method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-pending.Done:
+		return pending.Error
+	case <-timer.C:
+		_ = c.rpc.Close()
+		who := c.name
+		if who == "" {
+			who = c.addr
+		}
+		return fmt.Errorf("daemon: %s on %s after %v: %w", method, who, deadline, ErrDeadline)
+	}
 }
 
 // Name returns the daemon's self-reported name.
@@ -49,7 +116,7 @@ func (c *Client) Offset() time.Duration { return c.offset }
 // Metrics fetches a counters/gauges snapshot from the daemon.
 func (c *Client) Metrics() (MetricsReply, error) {
 	var reply MetricsReply
-	if err := c.rpc.Call("Daemon.Metrics", MetricsArgs{}, &reply); err != nil {
+	if err := c.call("Daemon.Metrics", MetricsArgs{}, &reply, 0); err != nil {
 		return MetricsReply{}, fmt.Errorf("daemon: metrics from %s: %w", c.name, err)
 	}
 	return reply, nil
@@ -71,6 +138,14 @@ type Prince struct {
 	Progress func(line string)
 	// ProgressEvery throttles Progress lines; zero means one second.
 	ProgressEvery time.Duration
+	// HeartbeatEvery is the liveness-ping interval while a distributed
+	// run is in flight; zero means 250ms. Heartbeats run on real time
+	// regardless of the prince's clock: they watch the network, not the
+	// workload.
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many consecutive missed heartbeats declare
+	// a daemon dead; zero means 4.
+	HeartbeatMisses int
 }
 
 // NewPrince connects to the daemons at addrs. clk may be nil for real
@@ -123,7 +198,7 @@ func (p *Prince) SyncClocks(samplesPerDaemon int) error {
 		for i := 0; i < samplesPerDaemon; i++ {
 			t1 := p.clk.Now()
 			var reply PingReply
-			if err := c.rpc.Call("Daemon.Ping", PingArgs{}, &reply); err != nil {
+			if err := c.call("Daemon.Ping", PingArgs{}, &reply, 0); err != nil {
 				return fmt.Errorf("daemon: syncing %s: %w", c.name, err)
 			}
 			t4 := p.clk.Now()
@@ -204,27 +279,52 @@ func (p *Prince) RunDistributed(testID string, assignments []Assignment) (*trace
 		cfg := a.Config
 		cfg.Node = client.name
 		id := fmt.Sprintf("%s#%d", testID, i)
-		if err := client.rpc.Call("Daemon.Prepare", PrepareArgs{TestID: id, Config: cfg}, &PrepareReply{}); err != nil {
+		if err := client.call("Daemon.Prepare", PrepareArgs{TestID: id, Config: cfg}, &PrepareReply{}, 0); err != nil {
 			return nil, fmt.Errorf("daemon: preparing %s on %s: %w", id, client.name, err)
 		}
 		placements = append(placements, placed{client: client, id: id})
 	}
 	// Coordinated start.
 	for _, pl := range placements {
-		if err := pl.client.rpc.Call("Daemon.Start", StartArgs{TestID: pl.id}, &StartReply{}); err != nil {
+		if err := pl.client.call("Daemon.Start", StartArgs{TestID: pl.id}, &StartReply{}, 0); err != nil {
 			return nil, fmt.Errorf("daemon: starting %s on %s: %w", pl.id, pl.client.name, err)
 		}
 	}
+	// Heartbeat each involved daemon for the duration of the wait, so a
+	// killed or wedged daemon fails the run with its name attached
+	// within the heartbeat deadline instead of hanging the poll loop.
+	involved := make([]*Client, 0, len(placements))
+	seen := map[*Client]bool{}
+	for _, pl := range placements {
+		if !seen[pl.client] {
+			seen[pl.client] = true
+			involved = append(involved, pl.client)
+		}
+	}
+	stopHeartbeats, heartbeatFailed := p.startHeartbeats(involved)
+	defer stopHeartbeats()
 	// Monitor for completion (or failure), emitting periodic progress
 	// lines while tests are in flight. Filter a copy: placements is
 	// still needed in order for Collect below.
 	remaining := append([]placed(nil), placements...)
 	lastProgress := p.clk.Now()
 	for len(remaining) > 0 {
+		select {
+		case err := <-heartbeatFailed:
+			return nil, err
+		default:
+		}
 		next := remaining[:0]
 		for _, pl := range remaining {
 			var status StatusReply
-			if err := pl.client.rpc.Call("Daemon.Status", StatusArgs{TestID: pl.id}, &status); err != nil {
+			if err := pl.client.call("Daemon.Status", StatusArgs{TestID: pl.id}, &status, 0); err != nil {
+				// A heartbeat-declared death severs the connection, which
+				// is often what failed this poll — prefer its diagnosis.
+				select {
+				case hbErr := <-heartbeatFailed:
+					return nil, hbErr
+				default:
+				}
 				return nil, fmt.Errorf("daemon: polling %s on %s: %w", pl.id, pl.client.name, err)
 			}
 			switch status.State {
@@ -242,12 +342,13 @@ func (p *Prince) RunDistributed(testID string, assignments []Assignment) (*trace
 		lastProgress = p.emitProgress(testID, lastProgress)
 		p.clk.Sleep(20 * time.Millisecond)
 	}
+	stopHeartbeats()
 	// Collect and merge.
 	logs := make([][]trace.Event, 0, len(placements))
 	offsets := map[string]time.Duration{}
 	for _, pl := range placements {
 		var collected CollectReply
-		if err := pl.client.rpc.Call("Daemon.Collect", CollectArgs{TestID: pl.id}, &collected); err != nil {
+		if err := pl.client.call("Daemon.Collect", CollectArgs{TestID: pl.id}, &collected, 0); err != nil {
 			return nil, fmt.Errorf("daemon: collecting %s from %s: %w", pl.id, pl.client.name, err)
 		}
 		logs = append(logs, collected.Events)
@@ -256,6 +357,76 @@ func (p *Prince) RunDistributed(testID string, assignments []Assignment) (*trace
 	tr := trace.Merge(logs, offsets)
 	p.db.BulkLoad(testID, tr.Events)
 	return tr, nil
+}
+
+// startHeartbeats pings each client on a real-time ticker until stop is
+// called. After HeartbeatMisses consecutive failures the daemon's name
+// and last error land on failed (buffered; first death wins) wrapped in
+// ErrDaemonDown. stop is idempotent and waits for the monitors to exit.
+func (p *Prince) startHeartbeats(clients []*Client) (stop func(), failed <-chan error) {
+	every := p.HeartbeatEvery
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	misses := p.HeartbeatMisses
+	if misses <= 0 {
+		misses = 4
+	}
+	done := make(chan struct{})
+	fail := make(chan error, 1)
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			missed := 0
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+				}
+				// Unlike Client.call, a slow ping is counted, not acted
+				// on: only the full run of misses severs the connection.
+				var reply PingReply
+				pending := c.rpc.Go("Daemon.Ping", PingArgs{}, &reply, make(chan *rpc.Call, 1))
+				timer := time.NewTimer(every)
+				var err error
+				select {
+				case <-pending.Done:
+					err = pending.Error
+				case <-timer.C:
+					err = fmt.Errorf("no reply within %v", every)
+				case <-done:
+					timer.Stop()
+					return
+				}
+				timer.Stop()
+				if err == nil {
+					missed = 0
+					continue
+				}
+				missed++
+				if missed < misses {
+					continue
+				}
+				// Declared dead: publish the diagnosis first, THEN sever
+				// the connection — closing releases any control RPC
+				// blocked on this daemon, and its error path must find
+				// the heartbeat verdict already waiting.
+				select {
+				case fail <- fmt.Errorf("daemon: %s missed %d heartbeats %v apart (%v): %w",
+					c.name, missed, every, err, ErrDaemonDown):
+				default:
+				}
+				_ = c.rpc.Close()
+				return
+			}
+		}(c)
+	}
+	return sync.OnceFunc(func() { close(done); wg.Wait() }), fail
 }
 
 // emitProgress builds one live status line from every daemon's harness

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/chaos"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/trace"
+	"jmsharness/internal/wire"
+)
+
+// ChaosRow is one fault profile's outcome: the conformance workload ran
+// over the wire protocol through a chaos proxy applying that profile,
+// with client-side reconnection on, and every safety property was
+// checked on the resulting trace.
+type ChaosRow struct {
+	// Profile names the fault profile.
+	Profile string `json:"profile"`
+	// FaultEvents is the proxy's deterministic event log (fault
+	// parameters only, so identical seeds reproduce identical logs).
+	FaultEvents []string `json:"fault_events,omitempty"`
+	// Reconnects counts successful client reconnections.
+	Reconnects int64 `json:"reconnects"`
+	// Sent and Delivered count committed sends and deliveries in the
+	// trace.
+	Sent      int64 `json:"sent"`
+	Delivered int64 `json:"delivered"`
+	// Violations counts safety-property violations (must be 0: the
+	// provider is correct; the network is what misbehaves).
+	Violations int `json:"violations"`
+	// Passed reports full conformance.
+	Passed bool `json:"passed"`
+}
+
+// chaosProfile is one named network-fault configuration.
+type chaosProfile struct {
+	name      string
+	latency   time.Duration
+	jitter    time.Duration
+	bandwidth int
+	schedule  func(run time.Duration) []chaos.Fault
+}
+
+// ChaosMatrix runs the conformance workload through a fault-injecting
+// TCP proxy under a range of network profiles — latency, a bandwidth
+// cap, a mid-run partition that heals, forced connection resets, and
+// their combination. The clients reconnect automatically, sends are
+// deduplicated by token, and consumption is client-acknowledged over
+// persistent delivery, so every safety property must still hold: a
+// chaotic network may delay or redeliver (flagged), but never lose,
+// duplicate or reorder committed messages.
+func ChaosMatrix(scale float64) ([]ChaosRow, error) {
+	run := scaleDur(400*time.Millisecond, scale)
+	profiles := []chaosProfile{
+		{name: "clean"},
+		{name: "latency", latency: 3 * time.Millisecond, jitter: 2 * time.Millisecond},
+		{name: "bandwidth", bandwidth: 512 << 10},
+		{name: "partition-heal", schedule: func(run time.Duration) []chaos.Fault {
+			return []chaos.Fault{
+				{At: run / 3, Kind: chaos.FaultPartition, Dir: chaos.Both, Duration: run / 4},
+			}
+		}},
+		{name: "reset", schedule: func(run time.Duration) []chaos.Fault {
+			return []chaos.Fault{
+				{At: run / 2, Kind: chaos.FaultReset},
+			}
+		}},
+		{name: "partition+reset", schedule: func(run time.Duration) []chaos.Fault {
+			return []chaos.Fault{
+				{At: run / 4, Kind: chaos.FaultReset},
+				{At: run / 2, Kind: chaos.FaultPartition, Dir: chaos.Both, Duration: run / 5},
+			}
+		}},
+	}
+	rows := make([]ChaosRow, 0, len(profiles))
+	for i, p := range profiles {
+		row, err := runChaosProfile(p, run, uint64(i+1))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runChaosProfile(p chaosProfile, run time.Duration, seed uint64) (ChaosRow, error) {
+	b, err := broker.New(broker.Options{Name: "chaos-" + p.name, Seed: seed})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer b.Close()
+	srv, err := wire.NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	srv.Start()
+	defer srv.Close()
+	opts := chaos.Options{
+		Target:       srv.Addr(),
+		Latency:      p.latency,
+		Jitter:       p.jitter,
+		BandwidthBps: p.bandwidth,
+		Seed:         seed,
+	}
+	if p.schedule != nil {
+		// The schedule clock starts at proxy creation; the brief warmup
+		// offset is absorbed by expressing fault times as run fractions.
+		opts.Schedule = p.schedule(run)
+	}
+	proxy, err := chaos.New(opts)
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer proxy.Close()
+
+	// Reconnect + per-send dedup tokens + persistent delivery +
+	// client acknowledgement: the configuration under which Delivery
+	// Integrity is supposed to survive connection loss.
+	factory := wire.NewFactory(proxy.Addr()).
+		WithCallTimeout(5 * time.Second).
+		WithReconnect(wire.ReconnectPolicy{Enabled: true, Seed: seed})
+	cfg := harness.Config{
+		Name:        "chaos-" + p.name,
+		Destination: jms.Queue("chaos-" + p.name),
+		Producers:   []harness.ProducerConfig{{ID: "p1", Rate: 300, BodySize: 64}},
+		Consumers:   []harness.ConsumerConfig{{ID: "c1", AckMode: jms.AckClient}},
+		Warmup:      20 * time.Millisecond,
+		Run:         run,
+		Warmdown:    scaleDur(400*time.Millisecond, 1),
+		Seed:        seed,
+	}
+	tr, err := harness.NewRunner(factory, nil).Run(cfg)
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	row := ChaosRow{
+		Profile:     p.name,
+		FaultEvents: proxy.Events(),
+		Reconnects:  factory.Reconnects(),
+		Violations:  len(report.Violations()),
+		Passed:      report.OK(),
+	}
+	for _, ev := range tr.Events {
+		switch ev.Type {
+		case trace.EventSendEnd:
+			row.Sent++
+		case trace.EventDeliver:
+			row.Delivered++
+		}
+	}
+	return row, nil
+}
+
+// FormatChaos renders the chaos matrix.
+func FormatChaos(rows []ChaosRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-7s %10s %10s %10s %10s %6s\n",
+		"Profile", "Faults", "Reconnect", "Sent", "Delivered", "Violations", "Pass")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-7d %10d %10d %10d %10d %6t\n",
+			r.Profile, len(r.FaultEvents), r.Reconnects, r.Sent, r.Delivered, r.Violations, r.Passed)
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"jmsharness/internal/chaos"
+)
+
+// TestChaosPartitionAndResetConformance is the acceptance bar for the
+// chaos layer: the conformance workload runs through the fault proxy
+// with a forced connection reset followed by a mid-run partition that
+// heals, and every safety property must still pass. The reconnecting
+// clients, send dedup tokens, and the Redelivered exemption are what
+// make this hold.
+func TestChaosPartitionAndResetConformance(t *testing.T) {
+	run := 400 * time.Millisecond
+	profile := chaosProfile{
+		name: "partition+reset",
+		schedule: func(run time.Duration) []chaos.Fault {
+			return []chaos.Fault{
+				{At: run / 4, Kind: chaos.FaultReset},
+				{At: run / 2, Kind: chaos.FaultPartition, Dir: chaos.Both, Duration: run / 5},
+			}
+		},
+	}
+	row, err := runChaosProfile(profile, run, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Passed {
+		t.Fatalf("conformance through partition+reset failed with %d violations", row.Violations)
+	}
+	if row.Reconnects < 1 {
+		t.Errorf("Reconnects = %d, want >= 1 (the reset must actually bite)", row.Reconnects)
+	}
+	if len(row.FaultEvents) < 3 {
+		t.Errorf("fault events = %v, want reset + partition + heal", row.FaultEvents)
+	}
+	if row.Sent == 0 || row.Delivered < row.Sent {
+		t.Errorf("sent=%d delivered=%d: committed sends must all be delivered", row.Sent, row.Delivered)
+	}
+}

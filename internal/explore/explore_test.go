@@ -114,6 +114,27 @@ func TestSmokeCorpus(t *testing.T) {
 	}
 }
 
+// TestChaosScenariosExecute runs one generated scenario per chaos
+// profile (seed 24 draws wire+flaky, seed 3 wire+partition): a lossless
+// chaotic network in front of a correct provider must produce zero
+// findings, exercising the chaos proxy and the reconnecting wire client
+// as ordinary scenario stacks.
+func TestChaosScenariosExecute(t *testing.T) {
+	for _, seed := range []uint64{24, 3} {
+		sc := Generate(seed)
+		if sc.Stack.Kind != StackWire || sc.Stack.Chaos == ChaosNone {
+			t.Fatalf("seed %d: expected a wire+chaos scenario, got %+v", seed, sc.Stack)
+		}
+		res, err := Execute(sc)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sc.Stack.Chaos, err)
+		}
+		if reason := Unexpected(sc, res); reason != "" {
+			t.Errorf("seed %d (%s): %s\n%s", seed, sc.Stack.Chaos, reason, res.Conformance.String())
+		}
+	}
+}
+
 // TestCrashRedeliveryRepro replays the checked-in minimized repro of a
 // real bug the explorer found (seed 5 of the development sweep): the
 // broker recovered delivered-but-unacknowledged persistent messages

@@ -102,6 +102,23 @@ func cleanScenario(seed uint64) *Scenario {
 		sc.Stack = StackSpec{Kind: StackWire}
 	}
 
+	// Wire stacks run through the chaos proxy half the time. The draw
+	// uses an independent stream so adding chaos never shifted any
+	// existing seed's scenario, and only lossless profiles appear (see
+	// the clean-by-construction rules: a chaotic but lossless network
+	// must not produce findings against a correct provider).
+	if sc.Stack.Kind == StackWire {
+		crng := stats.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+		switch crng.Intn(4) {
+		case 0:
+			sc.Stack.Chaos = ChaosFlaky
+			sc.Stack.ChaosSeed = crng.Uint64()
+		case 1:
+			sc.Stack.Chaos = ChaosPartition
+			sc.Stack.ChaosSeed = crng.Uint64()
+		}
+	}
+
 	// The expiry probe: a latent broker, short TTLs, one plain stream.
 	// Kept minimal on purpose — it verifies that the provider *does*
 	// expire what it must and delivers the rest.

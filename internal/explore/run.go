@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"jmsharness/internal/broker"
+	"jmsharness/internal/chaos"
 	"jmsharness/internal/cluster"
 	"jmsharness/internal/core"
 	"jmsharness/internal/faults"
@@ -58,8 +59,21 @@ func buildStack(spec StackSpec) (jms.ConnectionFactory, func(), error) {
 			return nil, nil, err
 		}
 		srv.Start()
-		inner = wire.NewFactory(srv.Addr())
-		cleanup = func() { _ = srv.Close(); _ = b.Close() }
+		if spec.Chaos != ChaosNone {
+			proxy, err := chaosProxy(spec, srv.Addr())
+			if err != nil {
+				_ = srv.Close()
+				_ = b.Close()
+				return nil, nil, err
+			}
+			inner = wire.NewFactory(proxy.Addr()).
+				WithCallTimeout(10 * time.Second).
+				WithReconnect(wire.ReconnectPolicy{Enabled: true, Seed: spec.ChaosSeed})
+			cleanup = func() { _ = proxy.Close(); _ = srv.Close(); _ = b.Close() }
+		} else {
+			inner = wire.NewFactory(srv.Addr())
+			cleanup = func() { _ = srv.Close(); _ = b.Close() }
+		}
 
 	default:
 		return nil, nil, fmt.Errorf("explore: unknown stack kind %q", spec.Kind)
@@ -71,6 +85,33 @@ func buildStack(spec StackSpec) (jms.ConnectionFactory, func(), error) {
 		return nil, nil, err
 	}
 	return factory, cleanup, nil
+}
+
+// chaosProxy interposes the scenario's network-fault profile between
+// the wire client and server. Only lossless profiles exist here — flaky
+// adds latency and jitter, partition black-holes the link mid-run and
+// heals — so a correct provider behind them must still pass every
+// property; the reconnecting factory plus send dedup keeps that true
+// even if a connection does drop under the proxy.
+func chaosProxy(spec StackSpec, target string) (*chaos.Proxy, error) {
+	opts := chaos.Options{Target: target, Seed: spec.ChaosSeed}
+	switch spec.Chaos {
+	case ChaosFlaky:
+		opts.Latency = 2 * time.Millisecond
+		opts.Jitter = 2 * time.Millisecond
+	case ChaosPartition:
+		// Generated runs are 200-300ms: partition a third of the way in,
+		// heal well before warmdown so everything in flight drains.
+		opts.Schedule = []chaos.Fault{{
+			At:       90 * time.Millisecond,
+			Kind:     chaos.FaultPartition,
+			Dir:      chaos.Both,
+			Duration: 50 * time.Millisecond,
+		}}
+	default:
+		return nil, fmt.Errorf("explore: unknown chaos profile %q", spec.Chaos)
+	}
+	return chaos.New(opts)
 }
 
 // wrapFault applies the scenario's fault wrapper, if any.

@@ -85,7 +85,23 @@ type StackSpec struct {
 	Fault string `json:"fault,omitempty"`
 	// FaultN parameterises every-nth-message faults.
 	FaultN int `json:"fault_n,omitempty"`
+	// Chaos names the network-fault profile interposed between the wire
+	// client and server (wire stacks only): "" for none, "flaky" for
+	// latency+jitter, "partition" for a mid-run partition that heals.
+	// Only lossless profiles are generated — the provider stack is
+	// correct, so a chaotic-but-lossless network must not produce
+	// findings.
+	Chaos string `json:"chaos,omitempty"`
+	// ChaosSeed drives the chaos proxy's jitter generator.
+	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
 }
+
+// Chaos profile names for StackSpec.Chaos.
+const (
+	ChaosNone      = ""
+	ChaosFlaky     = "flaky"
+	ChaosPartition = "partition"
+)
 
 // ProducerSpec is the JSON-serializable form of one producer.
 type ProducerSpec struct {
@@ -237,6 +253,14 @@ func (sc *Scenario) Validate() error {
 	}
 	if _, ok := ExpectedProperty(sc.Stack.Fault); !ok && sc.Stack.Fault != FaultNone {
 		return fmt.Errorf("explore: unknown fault %q", sc.Stack.Fault)
+	}
+	switch sc.Stack.Chaos {
+	case ChaosNone, ChaosFlaky, ChaosPartition:
+	default:
+		return fmt.Errorf("explore: unknown chaos profile %q", sc.Stack.Chaos)
+	}
+	if sc.Stack.Chaos != ChaosNone && sc.Stack.Kind != StackWire {
+		return fmt.Errorf("explore: chaos profile %q requires the wire stack", sc.Stack.Chaos)
 	}
 	cfg, err := sc.HarnessConfig()
 	if err != nil {

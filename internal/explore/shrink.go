@@ -146,12 +146,23 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 			cur, changed = cand, true
 		}
 
-		// 6. Simplify the stack to a plain broker (keeping the fault
-		// wrapper and latency profile, which may be load-bearing).
+		// 6. Strip the chaos proxy, then simplify the stack to a plain
+		// broker (keeping the fault wrapper and latency profile, which
+		// may be load-bearing).
+		if cur.Stack.Chaos != ChaosNone {
+			cand := cur.clone()
+			cand.Stack.Chaos = ChaosNone
+			cand.Stack.ChaosSeed = 0
+			if try(cand, "strip chaos proxy") {
+				cur, changed = cand, true
+			}
+		}
 		if cur.Stack.Kind != StackBroker {
 			cand := cur.clone()
 			cand.Stack.Kind = StackBroker
 			cand.Stack.Nodes = 0
+			cand.Stack.Chaos = ChaosNone
+			cand.Stack.ChaosSeed = 0
 			for i := range cand.Events {
 				cand.Events[i].Node = -1
 			}

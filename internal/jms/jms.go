@@ -130,6 +130,10 @@ var (
 	// ErrInvalidArgument is returned for out-of-range priorities,
 	// delivery modes, or other malformed parameters.
 	ErrInvalidArgument = errors.New("jms: invalid argument")
+	// ErrOverloaded is returned by a send when the destination's bounded
+	// mailbox is full and the provider's overload policy rejects rather
+	// than blocks (backpressure surfaced as a typed error).
+	ErrOverloaded = errors.New("jms: destination overloaded")
 )
 
 // ConnectionFactory creates connections to a provider. It is the JNDI

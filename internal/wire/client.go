@@ -4,12 +4,70 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jmsharness/internal/jms"
+	"jmsharness/internal/stats"
 )
+
+// ErrCallTimeout marks a wire call that exceeded the factory's call
+// timeout (WithCallTimeout): the server or the link stalled past the
+// deadline, so the call was abandoned and its transport discarded.
+var ErrCallTimeout = errors.New("wire: call timeout")
+
+// ErrTxInterrupted marks a transacted session whose connection was
+// lost mid-transaction: the staged work died with the server-side
+// session, so the commit outcome is "rolled back" — the caller must
+// treat the transaction as aborted and replay it if needed.
+var ErrTxInterrupted = errors.New("wire: transaction interrupted by connection loss; treat as rolled back")
+
+// errConnLost is the internal marker for a round trip that died with
+// its transport. With reconnection enabled, retryable calls wait for a
+// fresh transport and re-issue; otherwise it surfaces as jms.ErrClosed.
+var errConnLost = errors.New("wire: connection lost")
+
+// ReconnectPolicy configures automatic client-side reconnection.
+// When enabled, a lost TCP connection is redialed with capped
+// exponential backoff plus seeded jitter, and the connection's logical
+// state — client ID, sessions, consumers, durable subscribers, started
+// flag — is re-established on the new socket before calls resume.
+// Non-transacted sends carry idempotency tokens so a retried send
+// whose reply was lost cannot duplicate the message (Property 1 holds
+// across resets); in-flight transactions are poisoned instead
+// (ErrTxInterrupted), because their staged work died with the server
+// connection.
+type ReconnectPolicy struct {
+	// Enabled turns reconnection on. Off (the default), a connection
+	// loss is terminal, as a fail-fast harness expects.
+	Enabled bool
+	// MaxAttempts bounds redials per outage; zero means 8.
+	MaxAttempts int
+	// InitialBackoff is the first redial delay; zero means 10ms. Each
+	// attempt doubles it, capped at MaxBackoff, plus uniform jitter of
+	// up to one backoff step.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the backoff; zero means 1s.
+	MaxBackoff time.Duration
+	// Seed drives the jitter generator.
+	Seed uint64
+}
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	return p
+}
 
 // Factory implements jms.ConnectionFactory over the wire protocol: each
 // CreateConnection dials one TCP connection to the broker server. It is
@@ -18,6 +76,10 @@ import (
 type Factory struct {
 	addr        string
 	dialTimeout time.Duration
+	callTimeout time.Duration
+	reconnect   ReconnectPolicy
+
+	reconnects atomic.Int64
 }
 
 // NewFactory returns a factory connecting to the broker server at addr.
@@ -25,7 +87,36 @@ func NewFactory(addr string) *Factory {
 	return &Factory{addr: addr, dialTimeout: 5 * time.Second}
 }
 
+// WithCallTimeout bounds every request/reply round trip (receives get
+// their server-side wait added on top). Zero, the default, means calls
+// wait indefinitely. Returns the factory for chaining.
+func (f *Factory) WithCallTimeout(d time.Duration) *Factory {
+	f.callTimeout = d
+	return f
+}
+
+// WithReconnect installs a reconnection policy (see ReconnectPolicy).
+// Returns the factory for chaining.
+func (f *Factory) WithReconnect(p ReconnectPolicy) *Factory {
+	f.reconnect = p.withDefaults()
+	f.reconnect.Enabled = p.Enabled
+	return f
+}
+
+// Reconnects reports how many successful reconnections this factory's
+// connections have performed.
+func (f *Factory) Reconnects() int64 { return f.reconnects.Load() }
+
 var _ jms.ConnectionFactory = (*Factory)(nil)
+
+// clientUIDBase namespaces send-dedup tokens across processes sharing
+// one server; clientConnSeq disambiguates connections within a process
+// (package-global, NOT per-factory — distinct factories sharing one
+// server must never mint colliding tokens).
+var (
+	clientUIDBase = time.Now().UnixNano()
+	clientConnSeq atomic.Uint64
+)
 
 // CreateConnection implements jms.ConnectionFactory.
 func (f *Factory) CreateConnection() (jms.Connection, error) {
@@ -33,13 +124,17 @@ func (f *Factory) CreateConnection() (jms.Connection, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", f.addr, err)
 	}
+	seq := clientConnSeq.Add(1)
 	c := &clientConn{
-		sock:    sock,
-		fw:      newFrameWriter(sock),
-		pending: map[uint64]chan reply{},
-		done:    make(chan struct{}),
+		f:        f,
+		seq:      seq,
+		uid:      strconv.FormatInt(clientUIDBase, 36) + "-" + strconv.FormatUint(seq, 36),
+		wake:     make(chan struct{}),
+		sessions: map[*clientSession]struct{}{},
 	}
-	go c.readLoop()
+	tr := newTransport(sock)
+	c.tr = tr
+	go tr.readLoop(c)
 	return c, nil
 }
 
@@ -50,7 +145,7 @@ func mapError(msg string) error {
 		jms.ErrClosed, jms.ErrNotTransacted, jms.ErrTransacted,
 		jms.ErrClientIDInUse, jms.ErrNoClientID, jms.ErrDurableActive,
 		jms.ErrUnknownSubscription, jms.ErrInvalidDestination,
-		jms.ErrInvalidSelector, jms.ErrInvalidArgument,
+		jms.ErrInvalidSelector, jms.ErrInvalidArgument, jms.ErrOverloaded,
 	}
 	for _, e := range known {
 		if strings.Contains(msg, e.Error()) {
@@ -60,101 +155,361 @@ func mapError(msg string) error {
 	return errors.New(msg)
 }
 
-// clientConn implements jms.Connection over one TCP socket.
-type clientConn struct {
+// transport is one live TCP socket with its in-flight request table.
+// A clientConn owns at most one transport at a time; reconnection
+// replaces a failed transport with a fresh one.
+type transport struct {
 	sock net.Conn
 	fw   *frameWriter // serialises request frames onto sock
 
-	mu       sync.Mutex
-	nextReq  uint64
-	pending  map[uint64]chan reply
-	clientID string
-	closed   bool
-	connErr  error
-	done     chan struct{}
+	mu      sync.Mutex
+	nextReq uint64
+	pending map[uint64]chan reply
+	failed  bool
+}
+
+func newTransport(sock net.Conn) *transport {
+	return &transport{sock: sock, fw: newFrameWriter(sock), pending: map[uint64]chan reply{}}
+}
+
+// readLoop dispatches server replies to their waiting callers and
+// reports transport death to the owning connection.
+func (t *transport) readLoop(c *clientConn) {
+	for {
+		payload, err := ReadFrame(t.sock)
+		if err == nil {
+			var rep reply
+			rep, err = decodeReply(payload)
+			if err == nil {
+				t.mu.Lock()
+				ch, ok := t.pending[rep.reqID]
+				delete(t.pending, rep.reqID)
+				t.mu.Unlock()
+				if ok {
+					ch <- rep
+				}
+				continue
+			}
+		}
+		t.fail()
+		c.transportLost(t)
+		return
+	}
+}
+
+// fail closes the socket and releases every in-flight call with a
+// lost-marker reply. Idempotent.
+func (t *transport) fail() {
+	t.mu.Lock()
+	if t.failed {
+		t.mu.Unlock()
+		return
+	}
+	t.failed = true
+	pending := t.pending
+	t.pending = map[uint64]chan reply{}
+	t.mu.Unlock()
+	_ = t.sock.Close()
+	for _, ch := range pending {
+		ch <- reply{lost: true}
+	}
+}
+
+// register allocates a request ID and its reply channel; ok is false
+// when the transport has already failed.
+func (t *transport) register() (reqID uint64, ch chan reply, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed {
+		return 0, nil, false
+	}
+	t.nextReq++
+	ch = make(chan reply, 1)
+	t.pending[t.nextReq] = ch
+	return t.nextReq, ch, true
+}
+
+func (t *transport) unregister(reqID uint64) {
+	t.mu.Lock()
+	delete(t.pending, reqID)
+	t.mu.Unlock()
+}
+
+// roundTrip performs one request/reply exchange on tr. timer, when
+// non-nil, bounds the whole exchange. Returns errConnLost when the
+// transport died under the call and ErrCallTimeout when timer fired.
+func roundTrip(tr *transport, op byte, build func(*jms.Encoder), timer <-chan time.Time) (reply, error) {
+	reqID, ch, ok := tr.register()
+	if !ok {
+		return reply{}, errConnLost
+	}
+	if err := tr.fw.writeRequest(op, reqID, build); err != nil {
+		tr.unregister(reqID)
+		tr.fail()
+		return reply{}, errConnLost
+	}
+	select {
+	case rep := <-ch:
+		if rep.lost {
+			return reply{}, errConnLost
+		}
+		return rep, nil
+	case <-timer:
+		tr.unregister(reqID)
+		return reply{}, ErrCallTimeout
+	}
+}
+
+// clientConn implements jms.Connection. Its transport may be replaced
+// across reconnections; logical state (client ID, sessions, consumers)
+// lives here and is re-established onto each new transport.
+type clientConn struct {
+	f   *Factory
+	seq uint64
+	uid string // namespaces this connection's send-dedup tokens
+
+	mu           sync.Mutex
+	tr           *transport    // nil while disconnected
+	wake         chan struct{} // closed and replaced on every state change
+	closed       bool          // Close was called
+	dead         error         // terminal failure; set once
+	reconnecting bool
+	clientID     string
+	started      bool
+	sessions     map[*clientSession]struct{}
+
+	sendSeq atomic.Uint64
 }
 
 var _ jms.Connection = (*clientConn)(nil)
 
-// readLoop dispatches server replies to their waiting callers.
-func (c *clientConn) readLoop() {
+// wakeLocked signals every state-change waiter. Callers hold mu.
+func (c *clientConn) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+func (c *clientConn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// transportLost records the death of tr. Without reconnection the
+// connection dies with it (the seed's fail-fast semantics); with it, a
+// single reconnect loop is started per outage.
+func (c *clientConn) transportLost(tr *transport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tr == tr {
+		c.tr = nil
+		c.wakeLocked()
+	}
+	if c.closed || c.dead != nil {
+		return
+	}
+	if !c.f.reconnect.Enabled {
+		c.dead = fmt.Errorf("wire: connection lost: %w", jms.ErrClosed)
+		c.wakeLocked()
+		return
+	}
+	if !c.reconnecting {
+		c.reconnecting = true
+		go c.reconnectLoop()
+	}
+}
+
+// fatal marks the connection permanently failed.
+func (c *clientConn) fatal(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	c.reconnecting = false
+	c.wakeLocked()
+}
+
+// reconnectLoop redials with capped exponential backoff plus seeded
+// jitter, re-establishes the connection's logical state on the new
+// socket, and publishes the new transport. Exhausting the attempt
+// budget is terminal.
+func (c *clientConn) reconnectLoop() {
+	pol := c.f.reconnect
+	rng := stats.NewRNG(pol.Seed ^ (c.seq * 0x9E3779B97F4A7C15))
+	backoff := pol.InitialBackoff
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if c.isClosed() {
+			return
+		}
+		sock, err := net.DialTimeout("tcp", c.f.addr, c.f.dialTimeout)
+		if err == nil {
+			tr := newTransport(sock)
+			go tr.readLoop(c)
+			if err = c.reestablish(tr); err == nil {
+				c.mu.Lock()
+				if c.closed {
+					c.mu.Unlock()
+					tr.fail()
+					return
+				}
+				c.tr = tr
+				c.reconnecting = false
+				c.wakeLocked()
+				c.mu.Unlock()
+				c.f.reconnects.Add(1)
+				return
+			}
+			tr.fail()
+		}
+		lastErr = err
+		if attempt == pol.MaxAttempts {
+			break
+		}
+		// Jittered, capped exponential backoff. Transient re-establish
+		// failures (e.g. the server still tearing down the old
+		// connection's client ID or durable subscription) retry too.
+		time.Sleep(backoff + time.Duration(rng.Float64()*float64(backoff)))
+		if backoff *= 2; backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+	c.fatal(fmt.Errorf("wire: reconnect to %s failed after %d attempts (%v): %w",
+		c.f.addr, pol.MaxAttempts, lastErr, jms.ErrClosed))
+}
+
+// reestablish replays the connection's logical state onto a fresh
+// transport: client ID, every open session, every consumer and durable
+// subscriber, and the started flag. Dirty transactions are poisoned
+// (their staged work died with the old server-side session); consumers
+// of temporary queues are marked lost (temp queues are owned by the
+// dead server-side connection).
+func (c *clientConn) reestablish(tr *transport) error {
+	timeout := c.f.callTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	raw := func(op byte, build func(*jms.Encoder)) (reply, error) {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		rep, err := roundTrip(tr, op, build, tm.C)
+		if err != nil {
+			return reply{}, err
+		}
+		if rep.err != "" {
+			return reply{}, mapError(rep.err)
+		}
+		return rep, nil
+	}
+	c.mu.Lock()
+	clientID := c.clientID
+	started := c.started
+	sessions := make([]*clientSession, 0, len(c.sessions))
+	for s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.mu.Unlock()
+	if clientID != "" {
+		if _, err := raw(opSetClientID, func(e *jms.Encoder) { e.String(clientID) }); err != nil {
+			return fmt.Errorf("restoring client ID: %w", err)
+		}
+	}
+	for _, s := range sessions {
+		if err := s.reestablish(raw); err != nil {
+			return err
+		}
+	}
+	if started {
+		if _, err := raw(opStart, nil); err != nil {
+			return fmt.Errorf("restarting connection: %w", err)
+		}
+	}
+	return nil
+}
+
+// awaitTransport returns the live transport, blocking through an
+// in-progress reconnection. timer, when non-nil, bounds the wait.
+func (c *clientConn) awaitTransport(timer <-chan time.Time) (*transport, error) {
 	for {
-		payload, err := ReadFrame(c.sock)
-		if err != nil {
-			c.failAll(err)
-			return
-		}
-		rep, err := decodeReply(payload)
-		if err != nil {
-			c.failAll(err)
-			return
-		}
 		c.mu.Lock()
-		ch, ok := c.pending[rep.reqID]
-		delete(c.pending, rep.reqID)
+		switch {
+		case c.closed:
+			c.mu.Unlock()
+			return nil, jms.ErrClosed
+		case c.dead != nil:
+			err := c.dead
+			c.mu.Unlock()
+			return nil, err
+		case c.tr != nil:
+			tr := c.tr
+			c.mu.Unlock()
+			return tr, nil
+		}
+		wake := c.wake
 		c.mu.Unlock()
-		if ok {
-			ch <- rep
+		select {
+		case <-wake:
+		case <-timer:
+			return nil, fmt.Errorf("%w: waiting for reconnection", ErrCallTimeout)
 		}
 	}
 }
 
-// failAll terminates every in-flight call after a connection failure.
-func (c *clientConn) failAll(err error) {
-	c.mu.Lock()
-	if c.connErr == nil {
-		c.connErr = err
+// call performs one request/reply round trip. retry marks the
+// operation safe to re-issue on a fresh transport after a connection
+// loss (everything except Commit: a lost commit's outcome is unknown,
+// and retrying would commit an empty transaction while the real one
+// was rolled back). extra widens the call deadline for operations with
+// a legitimate server-side wait (blocking receives).
+func (c *clientConn) call(op byte, build func(*jms.Encoder), retry bool, extra time.Duration) (reply, error) {
+	var timer <-chan time.Time
+	if ct := c.f.callTimeout; ct > 0 {
+		tm := time.NewTimer(ct + extra)
+		defer tm.Stop()
+		timer = tm.C
 	}
-	pending := c.pending
-	c.pending = map[uint64]chan reply{}
-	alreadyClosed := c.closed
-	c.closed = true
-	c.mu.Unlock()
-	if !alreadyClosed {
-		close(c.done)
-		_ = c.sock.Close()
+	for {
+		tr, err := c.awaitTransport(timer)
+		if err != nil {
+			return reply{}, err
+		}
+		rep, err := roundTrip(tr, op, build, timer)
+		switch {
+		case err == nil:
+			if rep.err != "" {
+				return reply{}, mapError(rep.err)
+			}
+			return rep, nil
+		case errors.Is(err, errConnLost):
+			// Clear the dead transport now (the readLoop's own report
+			// may still be in flight) so the retry waits instead of
+			// spinning on the corpse.
+			c.transportLost(tr)
+			if retry && c.f.reconnect.Enabled {
+				continue
+			}
+			return reply{}, fmt.Errorf("wire: connection lost: %w", jms.ErrClosed)
+		default:
+			// Call timeout: the transport may deliver this reply
+			// arbitrarily late, so it cannot be trusted for later
+			// calls — kill it and let reconnection (if enabled) build
+			// a fresh one.
+			tr.fail()
+			return reply{}, fmt.Errorf("%w: op %d after %v", ErrCallTimeout, op, c.f.callTimeout+extra)
+		}
 	}
-	for _, ch := range pending {
-		ch <- reply{err: jms.ErrClosed.Error()}
-	}
-}
-
-// call performs one request/reply round trip.
-func (c *clientConn) call(op byte, build func(*jms.Encoder)) (reply, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return reply{}, jms.ErrClosed
-	}
-	c.nextReq++
-	reqID := c.nextReq
-	ch := make(chan reply, 1)
-	c.pending[reqID] = ch
-	c.mu.Unlock()
-
-	if err := c.fw.writeRequest(op, reqID, build); err != nil {
-		c.mu.Lock()
-		delete(c.pending, reqID)
-		c.mu.Unlock()
-		c.failAll(err)
-		return reply{}, fmt.Errorf("wire: %w", jms.ErrClosed)
-	}
-	rep := <-ch
-	if rep.err != "" {
-		return reply{}, mapError(rep.err)
-	}
-	return rep, nil
 }
 
 // callOK performs a round trip that carries no reply body.
-func (c *clientConn) callOK(op byte, build func(*jms.Encoder)) error {
-	_, err := c.call(op, build)
+func (c *clientConn) callOK(op byte, build func(*jms.Encoder), retry bool) error {
+	_, err := c.call(op, build, retry, 0)
 	return err
 }
 
 // SetClientID implements jms.Connection.
 func (c *clientConn) SetClientID(id string) error {
-	if err := c.callOK(opSetClientID, func(e *jms.Encoder) { e.String(id) }); err != nil {
+	if err := c.callOK(opSetClientID, func(e *jms.Encoder) { e.String(id) }, true); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -178,7 +533,7 @@ func (c *clientConn) CreateSession(transacted bool, ackMode jms.AckMode) (jms.Se
 	rep, err := c.call(opCreateSession, func(e *jms.Encoder) {
 		e.Bool(transacted)
 		e.Byte(byte(ackMode))
-	})
+	}, true, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -186,14 +541,35 @@ func (c *clientConn) CreateSession(transacted bool, ackMode jms.AckMode) (jms.Se
 	if err := rep.body.Err(); err != nil {
 		return nil, fmt.Errorf("wire: decoding session reply: %w", err)
 	}
-	return &clientSession{conn: c, id: id, transacted: transacted, ackMode: ackMode}, nil
+	s := &clientSession{conn: c, transacted: transacted, ackMode: ackMode, consumers: map[*clientConsumer]struct{}{}}
+	s.id.Store(id)
+	c.mu.Lock()
+	c.sessions[s] = struct{}{}
+	c.mu.Unlock()
+	return s, nil
 }
 
 // Start implements jms.Connection.
-func (c *clientConn) Start() error { return c.callOK(opStart, nil) }
+func (c *clientConn) Start() error {
+	if err := c.callOK(opStart, nil, true); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
+	return nil
+}
 
 // Stop implements jms.Connection.
-func (c *clientConn) Stop() error { return c.callOK(opStop, nil) }
+func (c *clientConn) Stop() error {
+	if err := c.callOK(opStop, nil, true); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.started = false
+	c.mu.Unlock()
+	return nil
+}
 
 // Close implements jms.Connection.
 func (c *clientConn) Close() error {
@@ -202,22 +578,35 @@ func (c *clientConn) Close() error {
 		c.mu.Unlock()
 		return nil
 	}
+	c.closed = true
+	tr := c.tr
+	c.tr = nil
+	c.wakeLocked()
 	c.mu.Unlock()
-	// Best effort: tell the server, then tear down locally.
-	_ = c.callOK(opCloseConn, nil)
-	c.failAll(jms.ErrClosed)
+	if tr != nil {
+		// Best effort: tell the server, then tear down locally.
+		tm := time.NewTimer(time.Second)
+		_, _ = roundTrip(tr, opCloseConn, nil, tm.C)
+		tm.Stop()
+		tr.fail()
+	}
 	return nil
 }
 
-// clientSession implements jms.Session over the wire.
+// clientSession implements jms.Session over the wire. Its server-side
+// ID is re-assigned on every reconnection; frame builders load it at
+// build time so a retried call addresses the current incarnation.
 type clientSession struct {
 	conn       *clientConn
-	id         uint64
 	transacted bool
 	ackMode    jms.AckMode
+	id         atomic.Uint64
 
-	mu     sync.Mutex
-	closed bool
+	mu        sync.Mutex
+	closed    bool
+	txDirty   bool // transacted: work staged in the open transaction
+	txBroken  bool // transacted: the open transaction died with a transport
+	consumers map[*clientConsumer]struct{}
 }
 
 var _ jms.Session = (*clientSession)(nil)
@@ -232,6 +621,53 @@ func (s *clientSession) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
+}
+
+// markDirty records transacted work staged on the server.
+func (s *clientSession) markDirty() {
+	if !s.transacted {
+		return
+	}
+	s.mu.Lock()
+	s.txDirty = true
+	s.mu.Unlock()
+}
+
+// reestablish recreates this session (and its consumers) on a fresh
+// transport, poisoning any open transaction.
+func (s *clientSession) reestablish(raw func(byte, func(*jms.Encoder)) (reply, error)) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.transacted && s.txDirty {
+		s.txBroken = true
+		s.txDirty = false
+	}
+	consumers := make([]*clientConsumer, 0, len(s.consumers))
+	for cc := range s.consumers {
+		consumers = append(consumers, cc)
+	}
+	s.mu.Unlock()
+	rep, err := raw(opCreateSession, func(e *jms.Encoder) {
+		e.Bool(s.transacted)
+		e.Byte(byte(s.ackMode))
+	})
+	if err != nil {
+		return fmt.Errorf("recreating session: %w", err)
+	}
+	id := rep.body.Uvarint()
+	if err := rep.body.Err(); err != nil {
+		return fmt.Errorf("wire: decoding session reply: %w", err)
+	}
+	s.id.Store(id)
+	for _, cc := range consumers {
+		if err := cc.reestablish(raw); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // CreateProducer implements jms.Session. Producers are client-side
@@ -271,12 +707,12 @@ func (s *clientSession) createConsumer(dest jms.Destination, durable bool, subNa
 		return nil, jms.ErrClosed
 	}
 	rep, err := s.conn.call(opCreateConsumer, func(e *jms.Encoder) {
-		e.Uvarint(s.id)
+		e.Uvarint(s.id.Load())
 		e.String(dest.String())
 		e.Bool(durable)
 		e.String(subName)
 		e.String(selectorExpr)
-	})
+	}, true, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -285,17 +721,30 @@ func (s *clientSession) createConsumer(dest jms.Destination, durable bool, subNa
 	if err := rep.body.Err(); err != nil {
 		return nil, fmt.Errorf("wire: decoding consumer reply: %w", err)
 	}
-	return &clientConsumer{sess: s, id: id, dest: dest, endpoint: endpoint, done: make(chan struct{})}, nil
+	cc := &clientConsumer{
+		sess: s, dest: dest, durable: durable, subName: subName,
+		selector: selectorExpr, endpoint: endpoint, done: make(chan struct{}),
+	}
+	cc.id.Store(id)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, jms.ErrClosed
+	}
+	s.consumers[cc] = struct{}{}
+	s.mu.Unlock()
+	return cc, nil
 }
 
 // CreateTemporaryQueue implements jms.Session. The temporary queue is
 // owned by this client's server-side connection and is deleted when the
-// connection closes.
+// connection closes (including a connection lost to a network fault —
+// reconnection does not restore temporary queues).
 func (s *clientSession) CreateTemporaryQueue() (jms.Queue, error) {
 	if s.isClosed() {
 		return "", jms.ErrClosed
 	}
-	rep, err := s.conn.call(opCreateTempQueue, func(e *jms.Encoder) { e.Uvarint(s.id) })
+	rep, err := s.conn.call(opCreateTempQueue, func(e *jms.Encoder) { e.Uvarint(s.id.Load()) }, true, 0)
 	if err != nil {
 		return "", err
 	}
@@ -345,10 +794,10 @@ func (b *clientBrowser) Enumerate() ([]*jms.Message, error) {
 		return nil, jms.ErrClosed
 	}
 	rep, err := b.sess.conn.call(opBrowse, func(e *jms.Encoder) {
-		e.Uvarint(b.sess.id)
+		e.Uvarint(b.sess.id.Load())
 		e.String(b.queue.Name())
 		e.String(b.selector)
-	})
+	}, true, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -379,28 +828,75 @@ func (b *clientBrowser) Close() error {
 // Unsubscribe implements jms.Session.
 func (s *clientSession) Unsubscribe(name string) error {
 	return s.conn.callOK(opUnsubscribe, func(e *jms.Encoder) {
-		e.Uvarint(s.id)
+		e.Uvarint(s.id.Load())
 		e.String(name)
-	})
+	}, true)
 }
 
-// Commit implements jms.Session.
+// Commit implements jms.Session. A commit is never retried across a
+// reconnection: if the transport died after the request was sent, the
+// outcome is unknown server-side, and re-issuing it would commit a
+// fresh, empty transaction while reporting success for the staged work
+// that was rolled back. A transaction already poisoned by a
+// reconnection fails with ErrTxInterrupted.
 func (s *clientSession) Commit() error {
 	if !s.transacted {
 		return jms.ErrNotTransacted
 	}
-	return s.sessionOp(opCommit)
+	if s.isClosed() {
+		return jms.ErrClosed
+	}
+	s.mu.Lock()
+	if s.txBroken {
+		s.txBroken = false
+		s.mu.Unlock()
+		return ErrTxInterrupted
+	}
+	s.mu.Unlock()
+	err := s.conn.callOK(opCommit, func(e *jms.Encoder) { e.Uvarint(s.id.Load()) }, false)
+	if err == nil {
+		s.mu.Lock()
+		s.txDirty = false
+		s.mu.Unlock()
+		return nil
+	}
+	// A commit that dies with its transport is never retried (a retry
+	// would commit the fresh, empty server-side transaction while the
+	// staged one rolled back). The connection itself recovers, so
+	// surface the typed interruption instead of a generic closed error.
+	if errors.Is(err, jms.ErrClosed) && s.conn.f.reconnect.Enabled && !s.conn.isClosed() {
+		s.mu.Lock()
+		s.txDirty, s.txBroken = false, false
+		s.mu.Unlock()
+		return fmt.Errorf("%w (%v)", ErrTxInterrupted, err)
+	}
+	return err
 }
 
-// Rollback implements jms.Session.
+// Rollback implements jms.Session. Unlike Commit, rollback is safe to
+// retry: after a reconnection the fresh server-side transaction is
+// empty, and rolling it back is the outcome the caller asked for.
 func (s *clientSession) Rollback() error {
 	if !s.transacted {
 		return jms.ErrNotTransacted
 	}
-	return s.sessionOp(opRollback)
+	if s.isClosed() {
+		return jms.ErrClosed
+	}
+	err := s.conn.callOK(opRollback, func(e *jms.Encoder) { e.Uvarint(s.id.Load()) }, true)
+	if err == nil {
+		s.mu.Lock()
+		s.txDirty = false
+		s.txBroken = false
+		s.mu.Unlock()
+	}
+	return err
 }
 
-// Acknowledge implements jms.Session.
+// Acknowledge implements jms.Session. Retrying an ack after a
+// reconnection is safe: the old session's unacked set died with it and
+// those messages are redelivered with the JMSRedelivered flag, which
+// the conformance model exempts from the no-duplicates property.
 func (s *clientSession) Acknowledge() error {
 	if s.transacted {
 		return jms.ErrTransacted
@@ -420,7 +916,7 @@ func (s *clientSession) sessionOp(op byte) error {
 	if s.isClosed() {
 		return jms.ErrClosed
 	}
-	return s.conn.callOK(op, func(e *jms.Encoder) { e.Uvarint(s.id) })
+	return s.conn.callOK(op, func(e *jms.Encoder) { e.Uvarint(s.id.Load()) }, true)
 }
 
 // Close implements jms.Session.
@@ -432,7 +928,10 @@ func (s *clientSession) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	return s.conn.callOK(opCloseSession, func(e *jms.Encoder) { e.Uvarint(s.id) })
+	s.conn.mu.Lock()
+	delete(s.conn.sessions, s)
+	s.conn.mu.Unlock()
+	return s.conn.callOK(opCloseSession, func(e *jms.Encoder) { e.Uvarint(s.id.Load()) }, true)
 }
 
 // clientProducer implements jms.Producer over the wire.
@@ -457,7 +956,13 @@ func (p *clientProducer) Send(msg *jms.Message, opts jms.SendOptions) error {
 	return p.SendTo(p.dest, msg, opts)
 }
 
-// SendTo implements jms.Producer.
+// SendTo implements jms.Producer. Non-transacted sends carry a
+// per-send idempotency token: if the reply is lost to a connection
+// reset and the send retried on a fresh transport, the server
+// recognises the token and returns the original message's stamps
+// instead of enqueuing a duplicate — exactly-once across resets.
+// Transacted sends carry no token: their staging died with the old
+// transaction, so the retry must genuinely re-send.
 func (p *clientProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
 	p.mu.Lock()
 	closed := p.closed
@@ -471,15 +976,27 @@ func (p *clientProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms
 	if err := opts.Validate(); err != nil {
 		return err
 	}
-	rep, err := p.sess.conn.call(opSend, func(e *jms.Encoder) {
-		e.Uvarint(p.sess.id)
+	s := p.sess
+	var token string
+	if !s.transacted {
+		token = s.conn.uid + "/" + strconv.FormatUint(s.conn.sendSeq.Add(1), 36)
+	}
+	rep, err := s.conn.call(opSend, func(e *jms.Encoder) {
+		e.Uvarint(s.id.Load())
+		e.String(token)
 		e.String(dest.String())
 		encodeSendOptions(e, opts)
 		msg.EncodeTo(e)
-	})
+	}, true, 0)
 	if err != nil {
 		return err
 	}
+	// Dirty only after the reply: work is staged in whichever server-
+	// side transaction actually executed the send. Marking before the
+	// call would let a concurrent reestablish poison a session whose
+	// send had not staged anything yet (it retries into the fresh
+	// transaction and commits there).
+	s.markDirty()
 	msg.ID = rep.body.String()
 	msg.Timestamp = rep.body.Time()
 	msg.Expiration = rep.body.Time()
@@ -503,17 +1020,22 @@ func (p *clientProducer) Close() error {
 // clientConsumer implements jms.Consumer over the wire using pull-mode
 // receive RPCs: each Receive is one round trip (chunked at receiveCap
 // for long or indefinite waits), which keeps JMS acknowledgement and
-// expiry semantics exact at the cost of a round trip per message.
+// expiry semantics exact at the cost of a round trip per message. The
+// server-side consumer ID is re-assigned on reconnection.
 type clientConsumer struct {
 	sess     *clientSession
-	id       uint64
 	dest     jms.Destination
-	endpoint string
+	durable  bool
+	subName  string
+	selector string
+	id       atomic.Uint64
 
 	mu         sync.Mutex
+	endpoint   string
 	listenStop chan struct{}
 	listenerWG sync.WaitGroup
 	closed     bool
+	lost       bool // unrecoverable across reconnect (temporary destination)
 	done       chan struct{}
 }
 
@@ -523,7 +1045,11 @@ var _ jms.Consumer = (*clientConsumer)(nil)
 func (c *clientConsumer) Destination() jms.Destination { return c.dest }
 
 // EndpointID implements jms.Consumer.
-func (c *clientConsumer) EndpointID() string { return c.endpoint }
+func (c *clientConsumer) EndpointID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoint
+}
 
 func (c *clientConsumer) isClosed() bool {
 	c.mu.Lock()
@@ -531,13 +1057,64 @@ func (c *clientConsumer) isClosed() bool {
 	return c.closed
 }
 
+// unavailable reports why the consumer cannot serve (nil if it can).
+func (c *clientConsumer) unavailable() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return jms.ErrClosed
+	}
+	if c.lost {
+		return fmt.Errorf("wire: consumer on temporary destination %s did not survive reconnect: %w", c.dest, jms.ErrClosed)
+	}
+	return nil
+}
+
+// reestablish recreates the server-side consumer after a reconnection.
+// Consumers of temporary queues cannot be restored — the queue was
+// owned by the dead server-side connection — and are marked lost so
+// their next use fails cleanly.
+func (c *clientConsumer) reestablish(raw func(byte, func(*jms.Encoder)) (reply, error)) error {
+	c.mu.Lock()
+	if c.closed || c.lost {
+		c.mu.Unlock()
+		return nil
+	}
+	if strings.HasPrefix(c.dest.Name(), "TEMP.") {
+		c.lost = true
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	rep, err := raw(opCreateConsumer, func(e *jms.Encoder) {
+		e.Uvarint(c.sess.id.Load())
+		e.String(c.dest.String())
+		e.Bool(c.durable)
+		e.String(c.subName)
+		e.String(c.selector)
+	})
+	if err != nil {
+		return fmt.Errorf("recreating consumer on %s: %w", c.dest, err)
+	}
+	id := rep.body.Uvarint()
+	endpoint := rep.body.String()
+	if err := rep.body.Err(); err != nil {
+		return fmt.Errorf("wire: decoding consumer reply: %w", err)
+	}
+	c.id.Store(id)
+	c.mu.Lock()
+	c.endpoint = endpoint
+	c.mu.Unlock()
+	return nil
+}
+
 // Receive implements jms.Consumer.
 func (c *clientConsumer) Receive(timeout time.Duration) (*jms.Message, error) {
 	indefinite := timeout <= 0
 	deadline := time.Now().Add(timeout)
 	for {
-		if c.isClosed() {
-			return nil, jms.ErrClosed
+		if err := c.unavailable(); err != nil {
+			return nil, err
 		}
 		chunk := receiveCap
 		if !indefinite {
@@ -564,8 +1141,8 @@ func (c *clientConsumer) Receive(timeout time.Duration) (*jms.Message, error) {
 
 // ReceiveNoWait implements jms.Consumer.
 func (c *clientConsumer) ReceiveNoWait() (*jms.Message, error) {
-	if c.isClosed() {
-		return nil, jms.ErrClosed
+	if err := c.unavailable(); err != nil {
+		return nil, err
 	}
 	msg, _, err := c.receiveOnce(0, true)
 	return msg, err
@@ -575,11 +1152,13 @@ func (c *clientConsumer) receiveOnce(timeout time.Duration, noWait bool) (*jms.M
 	// Round the wire timeout up: rounding a sub-millisecond remainder
 	// down to zero would read as "no timeout" on the server.
 	timeoutMs := int64((timeout + time.Millisecond - 1) / time.Millisecond)
+	// The server legitimately holds the reply for up to the requested
+	// wait, so that wait is added on top of the call timeout.
 	rep, err := c.sess.conn.call(opReceive, func(e *jms.Encoder) {
-		e.Uvarint(c.id)
+		e.Uvarint(c.id.Load())
 		e.Varint(timeoutMs)
 		e.Bool(noWait)
-	})
+	}, true, timeout)
 	if err != nil {
 		return nil, false, err
 	}
@@ -595,6 +1174,7 @@ func (c *clientConsumer) receiveOnce(timeout time.Duration, noWait bool) (*jms.M
 	if err := rep.body.Err(); err != nil {
 		return nil, false, fmt.Errorf("wire: decoding received message: %w", err)
 	}
+	c.sess.markDirty()
 	return &msg, true, nil
 }
 
@@ -652,6 +1232,7 @@ func (c *clientConsumer) Close() error {
 		return nil
 	}
 	c.closed = true
+	lost := c.lost
 	close(c.done)
 	stop := c.listenStop
 	c.listenStop = nil
@@ -660,5 +1241,12 @@ func (c *clientConsumer) Close() error {
 		close(stop)
 	}
 	c.listenerWG.Wait()
-	return c.sess.conn.callOK(opCloseConsumer, func(e *jms.Encoder) { e.Uvarint(c.id) })
+	c.sess.mu.Lock()
+	delete(c.sess.consumers, c)
+	c.sess.mu.Unlock()
+	if lost {
+		// The server-side consumer died with the old connection.
+		return nil
+	}
+	return c.sess.conn.callOK(opCloseConsumer, func(e *jms.Encoder) { e.Uvarint(c.id.Load()) }, true)
 }

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"sync"
+	"time"
+)
+
+// dedupCapacity bounds the send-dedup cache. The retry window a token
+// must survive is one reconnection (milliseconds of traffic), so a few
+// thousand completed sends of slack is generous while keeping the
+// cache O(1) memory.
+const dedupCapacity = 8192
+
+// sendStamp is the provider-assigned header set of a completed send,
+// replayed verbatim to a deduplicated retry.
+type sendStamp struct {
+	id         string
+	timestamp  time.Time
+	expiration time.Time
+}
+
+// dedupEntry tracks one token: done closes when its send settles; ok
+// distinguishes a committed send (stamp valid) from an aborted one.
+type dedupEntry struct {
+	done  chan struct{}
+	stamp sendStamp
+	ok    bool
+}
+
+// sendDedup makes client send retries idempotent across reconnects.
+// A reconnecting client re-issues any send whose reply it never saw,
+// carrying the same token; if the original actually reached the
+// provider, replaying its stamps instead of re-sending keeps Delivery
+// Integrity (Property 1) exactly-once across connection resets. The
+// cache is server-level — it must outlive the per-connection state
+// that dies with the TCP connection — and FIFO-bounded.
+type sendDedup struct {
+	mu      sync.Mutex
+	entries map[string]*dedupEntry
+	order   []string // FIFO eviction ring over inserted tokens
+	next    int
+}
+
+func newSendDedup() *sendDedup {
+	return &sendDedup{entries: map[string]*dedupEntry{}}
+}
+
+// begin claims token. If the token's send already completed, its stamp
+// is returned with hit=true. If another send with the same token is in
+// flight (the original racing its own retry), begin waits for that
+// outcome. Otherwise the caller owns the token and must settle it by
+// calling exactly one of commit (send reached the provider) or abort
+// (send failed; a retry may try again).
+func (d *sendDedup) begin(token string) (stamp sendStamp, hit bool, commit func(sendStamp), abort func()) {
+	for {
+		d.mu.Lock()
+		if e, ok := d.entries[token]; ok {
+			select {
+			case <-e.done:
+				if e.ok {
+					st := e.stamp
+					d.mu.Unlock()
+					return st, true, nil, nil
+				}
+				// The previous attempt failed; this retry takes over.
+				delete(d.entries, token)
+				d.mu.Unlock()
+				continue
+			default:
+			}
+			done := e.done
+			d.mu.Unlock()
+			<-done
+			continue
+		}
+		e := &dedupEntry{done: make(chan struct{})}
+		d.entries[token] = e
+		d.recordLocked(token)
+		d.mu.Unlock()
+		commit = func(st sendStamp) {
+			d.mu.Lock()
+			e.stamp = st
+			e.ok = true
+			close(e.done)
+			d.mu.Unlock()
+		}
+		abort = func() {
+			d.mu.Lock()
+			if d.entries[token] == e {
+				delete(d.entries, token)
+			}
+			close(e.done)
+			d.mu.Unlock()
+		}
+		return sendStamp{}, false, commit, abort
+	}
+}
+
+// recordLocked notes token in the eviction ring, dropping the oldest
+// tracked token once the ring is full. Callers hold mu.
+func (d *sendDedup) recordLocked(token string) {
+	if len(d.order) < dedupCapacity {
+		d.order = append(d.order, token)
+		return
+	}
+	delete(d.entries, d.order[d.next])
+	d.order[d.next] = token
+	d.next = (d.next + 1) % dedupCapacity
+}

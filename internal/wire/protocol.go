@@ -222,11 +222,14 @@ func encodeReply(reqID uint64, errMsg string, build func(*jms.Encoder)) []byte {
 	return appendReply(make([]byte, 0, 64), reqID, errMsg, build)
 }
 
-// reply is a decoded server reply.
+// reply is a decoded server reply. lost marks a synthetic reply
+// delivered by a failing transport to release its in-flight callers —
+// it never comes off the wire.
 type reply struct {
 	reqID uint64
 	err   string
 	body  *jms.Decoder
+	lost  bool
 }
 
 // decodeReply parses an opReply frame payload (including the opcode

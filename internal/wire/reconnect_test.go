@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/chaos"
+	"jmsharness/internal/jms"
+)
+
+// startProxiedServer brings up broker + wire server + chaos proxy and
+// returns the proxy, a reconnect-enabled factory dialing through it,
+// and an idempotent teardown (also registered as a test cleanup, for
+// tests that need everything down before a goroutine-leak check).
+func startProxiedServer(t *testing.T) (*chaos.Proxy, *Factory, func()) {
+	t.Helper()
+	b, err := broker.New(broker.Options{Name: "chaotic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	proxy, err := chaos.New(chaos.Options{Target: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teardown := sync.OnceFunc(func() {
+		_ = proxy.Close()
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	t.Cleanup(teardown)
+	f := NewFactory(proxy.Addr()).
+		WithCallTimeout(5 * time.Second).
+		WithReconnect(ReconnectPolicy{Enabled: true, Seed: 42})
+	return proxy, f, teardown
+}
+
+// TestReconnectSurvivesReset resets every TCP connection mid-workload:
+// with reconnection on, client-acknowledge consumption, and persistent
+// delivery, every message sent must still arrive — duplicates are
+// allowed only when flagged Redelivered, exactly the model exemption.
+func TestReconnectSurvivesReset(t *testing.T) {
+	proxy, f, _ := startProxiedServer(t)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("reset.q")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 40
+	opts := jms.DefaultSendOptions()
+	opts.Mode = jms.Persistent
+	for i := 0; i < total; i++ {
+		if err := p.Send(jms.NewTextMessage(fmt.Sprintf("m%d", i)), opts); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if i == total/2 {
+			proxy.ResetAll()
+		}
+	}
+	seen := map[string]bool{}
+	for len(seen) < total {
+		msg, err := c.Receive(5 * time.Second)
+		if err != nil {
+			t.Fatalf("receive after %d/%d: %v", len(seen), total, err)
+		}
+		if msg == nil {
+			t.Fatalf("receive timed out after %d/%d", len(seen), total)
+		}
+		body := string(msg.Body.(jms.TextBody))
+		if seen[body] && !msg.Redelivered {
+			t.Fatalf("duplicate %q without Redelivered flag", body)
+		}
+		seen[body] = true
+		if err := sess.Acknowledge(); err != nil {
+			t.Fatalf("ack: %v", err)
+		}
+	}
+	if f.Reconnects() < 1 {
+		t.Errorf("Reconnects() = %d, want >= 1", f.Reconnects())
+	}
+}
+
+// TestReconnectDuringActiveConsumption runs concurrent producer and
+// consumer goroutines through repeated connection resets (run under
+// -race in CI): every successfully-sent message must be received, and
+// the client's background goroutines must not leak.
+func TestReconnectDuringActiveConsumption(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var teardown func()
+	func() {
+		var proxy *chaos.Proxy
+		var f *Factory
+		proxy, f, teardown = startProxiedServer(t)
+		conn, err := f.CreateConnection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		prodSess, err := conn.CreateSession(false, jms.AckAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		consSess, err := conn.CreateSession(false, jms.AckClient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := jms.Queue("churn.q")
+		p, err := prodSess.CreateProducer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := consSess.CreateConsumer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const total = 60
+		opts := jms.DefaultSendOptions()
+		opts.Mode = jms.Persistent
+
+		var wg sync.WaitGroup
+		sendErr := make(chan error, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total; i++ {
+				if err := p.Send(jms.NewTextMessage(fmt.Sprintf("m%d", i)), opts); err != nil {
+					sendErr <- fmt.Errorf("send %d: %w", i, err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, at := range []int{1, 2, 3} {
+				time.Sleep(time.Duration(at) * 30 * time.Millisecond)
+				proxy.ResetAll()
+			}
+		}()
+
+		seen := map[string]bool{}
+		deadline := time.Now().Add(30 * time.Second)
+		for len(seen) < total && time.Now().Before(deadline) {
+			msg, err := c.Receive(5 * time.Second)
+			if err != nil {
+				t.Fatalf("receive after %d/%d: %v", len(seen), total, err)
+			}
+			if msg == nil {
+				continue
+			}
+			body := string(msg.Body.(jms.TextBody))
+			if seen[body] && !msg.Redelivered {
+				t.Fatalf("duplicate %q without Redelivered flag", body)
+			}
+			seen[body] = true
+			if err := consSess.Acknowledge(); err != nil {
+				t.Fatalf("ack: %v", err)
+			}
+		}
+		wg.Wait()
+		select {
+		case err := <-sendErr:
+			t.Fatal(err)
+		default:
+		}
+		if len(seen) != total {
+			t.Fatalf("received %d distinct messages, want %d", len(seen), total)
+		}
+		if f.Reconnects() < 1 {
+			t.Errorf("Reconnects() = %d, want >= 1", f.Reconnects())
+		}
+	}()
+	teardown()
+
+	// Everything is closed; background goroutines must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak after reconnect churn: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestCallTimeoutStalledServer points a client at a listener that
+// accepts and then never replies: calls must fail with ErrCallTimeout
+// instead of hanging.
+func TestCallTimeoutStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var mu sync.Mutex
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			sock, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, sock) // keep open, read nothing, reply never
+			mu.Unlock()
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		for _, s := range held {
+			s.Close()
+		}
+		mu.Unlock()
+	}()
+
+	f := NewFactory(ln.Addr().String()).WithCallTimeout(150 * time.Millisecond)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_, err = conn.CreateSession(false, jms.AckAuto)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("stalled call: got %v, want ErrCallTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestTxInterrupted loses a connection with a transaction in flight:
+// the staged work died with the server-side session, so Commit must
+// refuse with ErrTxInterrupted, and the next transaction must work.
+func TestTxInterrupted(t *testing.T) {
+	proxy, f, _ := startProxiedServer(t)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(true, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("tx.q")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("staged"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	proxy.ResetAll()
+	err = sess.Commit()
+	if !errors.Is(err, ErrTxInterrupted) {
+		t.Fatalf("commit across reset: got %v, want ErrTxInterrupted", err)
+	}
+	// The interrupted transaction rolled back: nothing was delivered,
+	// and the session is usable for a fresh transaction.
+	if err := p.Send(jms.NewTextMessage("retried"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatalf("commit after interruption: %v", err)
+	}
+	msg, err := c.Receive(5 * time.Second)
+	if err != nil || msg == nil {
+		t.Fatalf("receive: %v, %v", msg, err)
+	}
+	if got := string(msg.Body.(jms.TextBody)); got != "retried" {
+		t.Fatalf("got %q, want %q (staged send must not survive the reset)", got, "retried")
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if extra, _ := c.ReceiveNoWait(); extra != nil {
+		t.Fatalf("unexpected extra message %v", extra)
+	}
+}
+
+// TestOverloadRejectAcrossWire checks the typed overload error survives
+// the protocol boundary: errors.Is(err, jms.ErrOverloaded) on the
+// client side of a bounded reject-policy broker.
+func TestOverloadRejectAcrossWire(t *testing.T) {
+	b, err := broker.New(broker.Options{
+		Name:            "bounded",
+		MailboxCapacity: 1,
+		Overload:        broker.OverloadReject,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	conn, err := NewFactory(srv.Addr()).CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(jms.Queue("narrow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(jms.NewTextMessage("fits"), jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	err = p.Send(jms.NewTextMessage("overflow"), jms.DefaultSendOptions())
+	if !errors.Is(err, jms.ErrOverloaded) {
+		t.Fatalf("send to full queue over wire: got %v, want ErrOverloaded", err)
+	}
+}

@@ -42,6 +42,9 @@ type Server struct {
 	inner    jms.ConnectionFactory
 	listener net.Listener
 	met      *serverMetrics
+	// dedup makes tokenised send retries idempotent across client
+	// reconnections; it must outlive individual connections.
+	dedup *sendDedup
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -64,6 +67,7 @@ func NewServer(inner jms.ConnectionFactory, addr string) (*Server, error) {
 		inner:    inner,
 		listener: l,
 		met:      newServerMetrics(obs.NewRegistry()),
+		dedup:    newSendDedup(),
 		conns:    map[net.Conn]struct{}{},
 	}, nil
 }
@@ -369,6 +373,7 @@ func (st *connState) sessionOp(req request, op func(jms.Session) error) {
 
 func (st *connState) handleSend(req request) {
 	sessID := req.body.Uvarint()
+	token := req.body.String()
 	destStr := req.body.String()
 	opts := decodeSendOptions(req.body)
 	var msg jms.Message
@@ -387,6 +392,30 @@ func (st *connState) handleSend(req request) {
 		st.sendReply(req.reqID, err.Error(), nil)
 		return
 	}
+	// Tokenised sends are idempotent across reconnections: a retry of
+	// a send that already reached the provider replays the original
+	// stamps instead of enqueuing a duplicate.
+	var commit func(sendStamp)
+	var abort func()
+	if token != "" {
+		var stamp sendStamp
+		var hit bool
+		stamp, hit, commit, abort = st.srv.dedup.begin(token)
+		if hit {
+			st.sendReply(req.reqID, "", func(e *jms.Encoder) {
+				e.String(stamp.id)
+				e.Time(stamp.timestamp)
+				e.Time(stamp.expiration)
+			})
+			return
+		}
+	}
+	fail := func(errMsg string) {
+		if abort != nil {
+			abort()
+		}
+		st.sendReply(req.reqID, errMsg, nil)
+	}
 	st.mu.Lock()
 	prod, ok := ss.producers[destStr]
 	if !ok {
@@ -397,12 +426,15 @@ func (st *connState) handleSend(req request) {
 	}
 	st.mu.Unlock()
 	if err != nil {
-		st.sendReply(req.reqID, err.Error(), nil)
+		fail(err.Error())
 		return
 	}
 	if err := prod.Send(&msg, opts); err != nil {
-		st.sendReply(req.reqID, err.Error(), nil)
+		fail(err.Error())
 		return
+	}
+	if commit != nil {
+		commit(sendStamp{id: msg.ID, timestamp: msg.Timestamp, expiration: msg.Expiration})
 	}
 	// Reflect the provider-assigned headers back to the client.
 	st.sendReply(req.reqID, "", func(e *jms.Encoder) {

@@ -37,6 +37,19 @@ if [ "$chaossmoke" != "0" ]; then
 	go test -run TestChaosPartitionAndResetConformance -count=1 ./internal/experiments
 fi
 
+# Trace smoke: run a short traced saturation sweep exporting spans to
+# JSONL, then validate the export offline — every line must parse as a
+# span, and at least one trace must link three or more causally related
+# hops (client RPC → server recv → broker enqueue), proving end-to-end
+# trace propagation across the wire. Set JMSTRACE=0 to skip the stage.
+tracesmoke=${JMSTRACE:-1}
+if [ "$tracesmoke" != "0" ]; then
+	tracedir=$(mktemp -d)
+	go run ./cmd/jmsbench -experiment saturation -scale 0.05 -trace-out "$tracedir/spans.jsonl" -json-dir ""
+	go run ./cmd/jmsanalyze -spans "$tracedir/spans.jsonl" -min-hops 3
+	rm -rf "$tracedir"
+fi
+
 # Opt-in hot-path microbenchmarks (broker send/ack, WAL group-commit
 # append, wire round trip): set JMSBENCH_TIME (a -benchtime value, e.g.
 # 1s or 2000x) to run them, so a perf regression is one command away.

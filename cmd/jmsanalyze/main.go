@@ -8,6 +8,12 @@
 // (trace.Writer). Per-node clock offsets can be supplied as
 // node=offset pairs (Go duration syntax) when the logs were recorded on
 // unsynchronised machines.
+//
+// With -spans the command instead analyses a durable span export (the
+// JSONL file written by -trace-out on jmsbrokerd/jmsdaemon/jmsbench):
+// it prints the per-hop latency breakdown and, with -min-hops N, fails
+// unless at least one trace links N or more causally related spans —
+// the CI check that end-to-end trace propagation actually works.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 
 	"jmsharness/internal/analysis"
 	"jmsharness/internal/core"
+	"jmsharness/internal/experiments"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/trace"
 )
 
@@ -36,11 +44,16 @@ func run(args []string) error {
 	offsetsFlag := fs.String("offsets", "", "per-node clock offsets, e.g. node-a=1.5ms,node-b=-200us")
 	histogram := fs.Bool("histogram", false, "print the delay histogram")
 	allowDup := fs.Bool("allow-duplicates", false, "relax the duplicate check (dups-ok consumers)")
+	spansPath := fs.String("spans", "", "JSONL span export to analyse instead of trace logs")
+	minHops := fs.Int("min-hops", 0, "with -spans: require at least one trace with >= N causally linked spans")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *spansPath != "" {
+		return analyzeSpans(*spansPath, *minHops)
+	}
 	if *logs == "" {
-		return fmt.Errorf("-logs is required")
+		return fmt.Errorf("-logs or -spans is required")
 	}
 
 	var nodeLogs [][]trace.Event
@@ -84,6 +97,22 @@ func run(args []string) error {
 	}
 	if !result.OK() {
 		return fmt.Errorf("trace violates the specification")
+	}
+	return nil
+}
+
+// analyzeSpans aggregates a durable span export into the per-hop
+// latency breakdown. Every line must parse as a span — a malformed
+// export is an error, not a partial result.
+func analyzeSpans(path string, minHops int) error {
+	spans, err := obs.ReadSpanFile(path)
+	if err != nil {
+		return err
+	}
+	hb := experiments.AggregateSpans(spans)
+	fmt.Print(experiments.FormatHopBreakdown(hb))
+	if minHops > 0 && hb.MaxHops < minHops {
+		return fmt.Errorf("no trace links %d spans (deepest trace has %d): trace propagation is broken or sampling discarded every multi-hop trace", minHops, hb.MaxHops)
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"jmsharness/internal/experiments"
+	"jmsharness/internal/obs"
 )
 
 func main() {
@@ -78,6 +79,8 @@ func run(args []string) error {
 	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
 	placement := fs.String("placement", "hash-ring", "cluster placement policy for the scale experiment (hash-ring, modulo)")
 	jsonDir := fs.String("json-dir", ".", "directory for the machine-readable BENCH_<n>.json report (empty: disabled)")
+	traceOut := fs.String("trace-out", "", "JSONL span export path for the saturation experiment (empty: tracing off)")
+	traceSample := fs.Float64("trace-sample", 1.0, "head-based trace sampling fraction for -trace-out (0,1]")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,7 +107,7 @@ func run(args []string) error {
 		"conformance": func() error { return runConformance(*scale, report) },
 		"ingest":      func() error { return runIngest(*ingestEvents, report) },
 		"scale":       func() error { return runScale(*scale, *placement, report) },
-		"saturation":  func() error { return runSaturation(*scale, report) },
+		"saturation":  func() error { return runSaturation(*scale, *traceOut, *traceSample, report) },
 		"chaos":       func() error { return runChaos(*scale, report) },
 	}
 	if *experiment == "all" {
@@ -275,18 +278,51 @@ func runScale(scale float64, placement string, report *benchReport) error {
 	return nil
 }
 
-func runSaturation(scale float64, report *benchReport) error {
+func runSaturation(scale float64, traceOut string, traceSample float64, report *benchReport) error {
 	fmt.Println("=== saturation: unthrottled capacity vs shard count ===")
 	opts := experiments.SaturationSweepOptions(scale)
+
+	// With -trace-out, every message in the sweep carries trace context
+	// and the resulting spans are exported durably, then aggregated into
+	// the per-hop latency breakdown the report carries as "per_hop".
+	var sink *obs.JSONLSink
+	if traceOut != "" {
+		reg := obs.NewRegistry()
+		spans := obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+		s, err := obs.NewJSONLSink(traceOut, traceSample, reg)
+		if err != nil {
+			return fmt.Errorf("opening span export: %w", err)
+		}
+		sink = s
+		spans.Tee(sink)
+		opts.Spans = spans
+	}
+
 	points, err := experiments.SaturationSweep(opts)
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("span export: %w", cerr)
+		}
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.FormatSaturationTable(opts, points))
-	report.Experiments["saturation"] = map[string]any{
+	sat := map[string]any{
 		"points":   points,
 		"baseline": experiments.SaturationBaseline,
 	}
+	if traceOut != "" {
+		spans, err := obs.ReadSpanFile(traceOut)
+		if err != nil {
+			return fmt.Errorf("reading span export: %w", err)
+		}
+		hb := experiments.AggregateSpans(spans)
+		fmt.Print(experiments.FormatHopBreakdown(hb))
+		fmt.Printf("span export written to %s (%d spans, %d dropped)\n", traceOut, len(spans), sink.Dropped())
+		sat["per_hop"] = hb
+	}
+	report.Experiments["saturation"] = sat
 	return nil
 }
 

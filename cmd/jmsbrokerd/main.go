@@ -50,6 +50,8 @@ func run(args []string) error {
 	clusterN := fs.Int("cluster", 1, "number of federated broker nodes behind this endpoint (1: single broker)")
 	placementName := fs.String("placement", "hash-ring", "cluster placement policy: hash-ring, modulo")
 	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /spanz, /clusterz, /healthz, /debug/pprof); empty: disabled")
+	traceOut := fs.String("trace-out", "", "durable JSONL span export path (empty: disabled)")
+	traceSample := fs.Float64("trace-sample", 1.0, "head-based trace sampling fraction for -trace-out (0,1]")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,11 +66,21 @@ func run(args []string) error {
 
 	// One registry backs the brokers, the cluster front-end and the
 	// wire server, so a single /metricz shows the whole process. Span
-	// tracing only runs when someone can look at it.
+	// tracing only runs when someone can look at it — either the HTTP
+	// introspection endpoint or a durable -trace-out export.
 	reg := obs.NewRegistry()
 	var spans *obs.Spans
-	if *obsAddr != "" {
+	if *obsAddr != "" || *traceOut != "" {
 		spans = obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+	}
+	if *traceOut != "" {
+		sink, err := obs.NewJSONLSink(*traceOut, *traceSample, reg)
+		if err != nil {
+			return fmt.Errorf("opening span export: %w", err)
+		}
+		defer sink.Close()
+		spans.Tee(sink)
+		fmt.Printf("jmsbrokerd: exporting spans to %s (sample %.2f)\n", *traceOut, *traceSample)
 	}
 
 	// Each node may hold a WAL; the logs outlive their brokers so close
@@ -126,7 +138,12 @@ func run(args []string) error {
 			defer b.Close()
 			nodes = append(nodes, cluster.Node{Name: b.Name(), Factory: b})
 		}
-		clu, err = cluster.New(cluster.Options{Nodes: nodes, Placement: place, Metrics: reg})
+		co := cluster.Options{Nodes: nodes, Placement: place, Metrics: reg}
+		if spans != nil {
+			// Same typed-nil caution as broker.Options.Spans above.
+			co.Spans = spans
+		}
+		clu, err = cluster.New(co)
 		if err != nil {
 			return err
 		}
@@ -139,6 +156,9 @@ func run(args []string) error {
 		return err
 	}
 	srv.WithMetrics(reg)
+	if spans != nil {
+		srv.WithSpans(spans)
+	}
 	if *obsAddr != "" {
 		h := obs.NewHandler(reg)
 		h.HandleJSON("/spanz", func() any { return spans.Snapshot() })

@@ -43,12 +43,34 @@ func run(args []string) error {
 	brokerAddrs := fs.String("broker", "127.0.0.1:7800", "comma-separated wire addresses of the provider(s) under test; >1 federates them client-side")
 	placementName := fs.String("placement", "hash-ring", "destination sharding policy when federating: hash-ring, modulo")
 	name := fs.String("name", "", "daemon name (default: listen address)")
-	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /healthz, /debug/pprof); empty: disabled")
+	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /spanz, /healthz, /debug/pprof); empty: disabled")
+	traceOut := fs.String("trace-out", "", "durable JSONL span export path for client-side send RPCs (empty: disabled)")
+	traceSample := fs.Float64("trace-sample", 1.0, "head-based trace sampling fraction for -trace-out (0,1]")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *name == "" {
 		*name = *addr
+	}
+
+	// Client-side trace hops: each wire factory records send-RPC spans,
+	// and the federation layer records forward hops, so the daemon's
+	// export shows wire RTT from the test side even when the broker's
+	// own export is elsewhere.
+	var spans *obs.Spans
+	var sinkReg *obs.Registry
+	if *obsAddr != "" || *traceOut != "" {
+		sinkReg = obs.NewRegistry()
+		spans = obs.NewSpans(sinkReg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+	}
+	if *traceOut != "" {
+		sink, err := obs.NewJSONLSink(*traceOut, *traceSample, sinkReg)
+		if err != nil {
+			return fmt.Errorf("opening span export: %w", err)
+		}
+		defer sink.Close()
+		spans.Tee(sink)
+		fmt.Printf("jmsdaemon: exporting spans to %s (sample %.2f)\n", *traceOut, *traceSample)
 	}
 
 	var addrs []string
@@ -60,10 +82,17 @@ func run(args []string) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("-broker needs at least one wire address")
 	}
+	newFactory := func(a string) *wire.Factory {
+		f := wire.NewFactory(a)
+		if spans != nil {
+			f.WithSpans(spans)
+		}
+		return f
+	}
 	var provider jms.ConnectionFactory
 	var clu *cluster.Cluster
 	if len(addrs) == 1 {
-		provider = wire.NewFactory(addrs[0])
+		provider = newFactory(addrs[0])
 	} else {
 		place, err := cluster.PlacementByName(*placementName, len(addrs))
 		if err != nil {
@@ -71,9 +100,15 @@ func run(args []string) error {
 		}
 		nodes := make([]cluster.Node, len(addrs))
 		for i, a := range addrs {
-			nodes[i] = cluster.Node{Name: a, Factory: wire.NewFactory(a)}
+			nodes[i] = cluster.Node{Name: a, Factory: newFactory(a)}
 		}
-		clu, err = cluster.New(cluster.Options{Nodes: nodes, Placement: place})
+		co := cluster.Options{Nodes: nodes, Placement: place}
+		if spans != nil {
+			// Assign only when non-nil: a typed-nil *obs.Spans in the
+			// interface field would defeat cluster.New's NopSpans guard.
+			co.Spans = spans
+		}
+		clu, err = cluster.New(co)
 		if err != nil {
 			return err
 		}
@@ -89,6 +124,9 @@ func run(args []string) error {
 	defer d.Close()
 	if *obsAddr != "" {
 		h := obs.NewHandler(d.Metrics())
+		if spans != nil {
+			h.HandleJSON("/spanz", func() any { return spans.Snapshot() })
+		}
 		if clu != nil {
 			h.HandleJSON("/clusterz", func() any { return clu.Status() })
 		}

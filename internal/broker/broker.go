@@ -107,6 +107,10 @@ type Broker struct {
 	reg   *obs.Registry
 	met   brokerMetrics
 	spans obs.SpanRecorder
+	// traceOn gates the per-send trace-context work (mint + property
+	// lookups) so a tracing-disabled broker pays only no-op calls on
+	// the hot path.
+	traceOn bool
 
 	msgSeq      atomic.Int64
 	consumerSeq atomic.Int64
@@ -210,6 +214,7 @@ func New(opts Options) (*Broker, error) {
 	if s, ok := opts.Spans.(*obs.Spans); opts.Spans == nil || (ok && s == nil) {
 		opts.Spans = obs.NopSpans()
 	}
+	traceOn := opts.Spans != obs.NopSpans()
 	if opts.MailboxCapacity < 0 {
 		return nil, fmt.Errorf("broker: negative MailboxCapacity %d", opts.MailboxCapacity)
 	}
@@ -227,6 +232,7 @@ func New(opts Options) (*Broker, error) {
 		reg:        opts.Metrics,
 		met:        newBrokerMetrics(opts.Metrics),
 		spans:      opts.Spans,
+		traceOn:    traceOn,
 		queues:     map[string]*mailbox{},
 		topics:     map[string]map[string]*subscription{},
 		subs:       map[string]*subscription{},
@@ -356,11 +362,13 @@ func (b *Broker) Crash() {
 	for _, c := range conns {
 		c.forceClose()
 	}
-	for _, mb := range queues {
+	for name, mb := range queues {
 		mb.close()
+		b.endStranded(mb, trace.EndpointForQueue(name), true)
 	}
 	for _, s := range subs {
 		s.mb.close()
+		b.endStranded(s.mb, s.endpoint, true)
 	}
 	b.met.backlog.Set(0)
 }
@@ -438,7 +446,10 @@ func (b *Broker) recoverLocked() error {
 			mb.push(entry{msg: sm.Msg, rec: sm.ID, persisted: true, enqueuedAt: now})
 			b.met.enqueued.Inc()
 			b.met.backlog.Inc()
-			b.spans.Begin(sm.Msg.ID, ep, sm.Msg.Timestamp, now)
+			// Recovered messages kept their trace properties through the
+			// WAL round trip, so post-crash spans stay linked to the
+			// original trace.
+			b.spans.Begin(b.spanStart(sm.Msg, ep, now, 0))
 		}
 	}
 	return nil
@@ -463,13 +474,35 @@ func (b *Broker) Close() error {
 	for _, c := range conns {
 		c.forceClose()
 	}
-	for _, mb := range queues {
+	for name, mb := range queues {
 		mb.close()
+		b.endStranded(mb, trace.EndpointForQueue(name), false)
 	}
 	for _, s := range subs {
 		s.mb.close()
+		b.endStranded(s.mb, s.endpoint, false)
 	}
 	return nil
+}
+
+// endStranded closes out the spans of messages still buffered when
+// their mailbox shut down: they will never be delivered, so their
+// lifecycle ends as a drop. Without this a closed broker strands its
+// undelivered spans in the recorder's bounded in-flight table, starving
+// every later Begin against the same recorder. On a crash
+// (keepPersisted) spans of persisted messages stay open: Restart
+// re-begins them under the same key, keeping the trace continuous.
+func (b *Broker) endStranded(mb *mailbox, ep string, keepPersisted bool) {
+	if b.spans == obs.NopSpans() {
+		return
+	}
+	now := b.clk.Now()
+	for _, e := range mb.drain() {
+		if keepPersisted && e.persisted {
+			continue
+		}
+		b.spans.End(e.msg.ID, ep, now, obs.OutcomeDropped)
+	}
 }
 
 // queueLocked returns (creating if needed) the queue mailbox. Callers
@@ -566,6 +599,15 @@ func (b *Broker) send(dest jms.Destination, msg *jms.Message, opts jms.SendOptio
 	msg.Timestamp = m.Timestamp
 	msg.Expiration = m.Expiration
 
+	if b.traceOn {
+		// Establish the message's trace context (fresh unless a wire
+		// server or cluster front-end already routed it) and reflect
+		// the ID back like the other provider stamps, so the caller
+		// can correlate its send with the exported spans.
+		tid := obs.StampTrace(m)
+		msg.SetProperty(obs.TraceIDProperty, jms.Str(tid))
+	}
+
 	b.throttleSend()
 
 	var err error
@@ -647,19 +689,40 @@ func (b *Broker) overloaded(endpoint string, space <-chan struct{}) error {
 func (b *Broker) enqueueEntry(mb *mailbox, name string, m *jms.Message, now time.Time) error {
 	e := entry{msg: m, enqueuedAt: now}
 	ep := trace.EndpointForQueue(name)
+	var walWait time.Duration
 	if m.Mode == jms.Persistent {
+		persistStart := b.clk.Now()
 		rec, err := b.stable.AddMessage(ep, m)
 		if err != nil {
 			mb.unreserve()
 			return fmt.Errorf("broker %s: persisting to %s: %w", b.name, ep, err)
 		}
+		walWait = b.clk.Now().Sub(persistStart)
 		e.rec, e.persisted = rec, true
 	}
 	mb.pushReserved(e)
 	b.met.enqueued.Inc()
 	b.met.backlog.Inc()
-	b.spans.Begin(m.ID, ep, m.Timestamp, now)
+	b.spans.Begin(b.spanStart(m, ep, now, walWait))
 	return nil
+}
+
+// spanStart assembles the Begin payload for one enqueued copy; the
+// trace-context property lookups run only when tracing is on.
+func (b *Broker) spanStart(m *jms.Message, ep string, now time.Time, walWait time.Duration) obs.SpanStart {
+	st := obs.SpanStart{
+		MsgID:      m.ID,
+		Endpoint:   ep,
+		SentAt:     m.Timestamp,
+		EnqueuedAt: now,
+		WALWait:    walWait,
+	}
+	if b.traceOn {
+		st.TraceID = obs.MessageTraceID(m)
+		st.Hop = obs.MessageTraceHop(m)
+		st.Node = b.name
+	}
+	return st
 }
 
 func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) error {
@@ -704,7 +767,9 @@ func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) erro
 		for i, s := range matched {
 			copyMsg := m.Clone()
 			e := entry{msg: copyMsg, enqueuedAt: now}
+			var walWait time.Duration
 			if m.Mode == jms.Persistent && s.durable {
+				persistStart := b.clk.Now()
 				rec, err := b.stable.AddMessage(s.endpoint, copyMsg)
 				if err != nil {
 					// Release the claims not yet converted into entries;
@@ -716,12 +781,13 @@ func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) erro
 					b.mu.RUnlock()
 					return fmt.Errorf("broker %s: persisting to %s: %w", b.name, s.endpoint, err)
 				}
+				walWait = b.clk.Now().Sub(persistStart)
 				e.rec, e.persisted = rec, true
 			}
 			s.mb.pushReserved(e)
 			b.met.enqueued.Inc()
 			b.met.backlog.Inc()
-			b.spans.Begin(copyMsg.ID, s.endpoint, copyMsg.Timestamp, now)
+			b.spans.Begin(b.spanStart(copyMsg, s.endpoint, now, walWait))
 		}
 		b.mu.RUnlock()
 		return nil

@@ -847,7 +847,7 @@ func (c *consumer) receive(timeout time.Duration, noWait bool) (*jms.Message, er
 				b.met.backlog.Dec()
 				b.met.delivered.Inc()
 				b.met.sojourn.ObserveDuration(now.Sub(e.enqueuedAt))
-				b.spans.Deliver(e.msg.ID, c.endpoint, now)
+				b.spans.Deliver(e.msg.ID, c.endpoint, now, e.msg.Redelivered)
 				if e.rec != 0 {
 					// Mark delivery in stable storage before handing the
 					// message over, so a crash with the acknowledgement

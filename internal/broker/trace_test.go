@@ -1,0 +1,125 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+// newTracedBroker returns a broker recording spans into a fresh
+// registry shared with the recorder.
+func newTracedBroker(t *testing.T) (*obs.Registry, *obs.Spans, *Broker) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	spans := obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+	b, err := New(Options{Name: "traced", Metrics: reg, Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return reg, spans, b
+}
+
+// TestBrokerStampsTraceContext checks a plain broker send stamps the
+// trace ID onto the message and the completed span carries it.
+func TestBrokerStampsTraceContext(t *testing.T) {
+	_, spans, b := newTracedBroker(t)
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("trace")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jms.NewTextMessage("x")
+	if err := p.Send(m, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	tid := obs.MessageTraceID(m)
+	if tid == "" {
+		t.Fatal("send did not stamp a trace ID")
+	}
+	got, err := c.Receive(time.Second)
+	if err != nil || got == nil {
+		t.Fatalf("receive: msg=%v err=%v", got, err)
+	}
+	if obs.MessageTraceID(got) != tid {
+		t.Errorf("delivered trace ID = %q, want %q", obs.MessageTraceID(got), tid)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		found := false
+		for _, sp := range spans.Recent() {
+			if sp.TraceID == tid && sp.Kind == obs.KindEnqueue && sp.Outcome == "acked" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no acked enqueue span carries the trace ID")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRedeliveryWaitSeparateFromQueueWait recovers a client-ack session
+// and checks the redelivery re-observation lands in
+// span.redelivery_wait_ns — NOT a second (enqueue-relative, so wildly
+// inflated) sample in span.queue_wait_ns.
+func TestRedeliveryWaitSeparateFromQueueWait(t *testing.T) {
+	reg, spans, b := newTracedBroker(t)
+	_, sess := openSession(t, b, false, jms.AckClient)
+	q := jms.Queue("redeliver")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSend(t, p, "again", jms.DefaultSendOptions())
+	if got := mustReceiveText(t, c, time.Second); got != "again" {
+		t.Fatalf("got %q", got)
+	}
+	if err := sess.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Receive(time.Second)
+	if err != nil || m == nil || !m.Redelivered {
+		t.Fatalf("redelivery: %v, %v", m, err)
+	}
+	if err := sess.Acknowledge(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for reg.Counter("span.ended").Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("span never ended")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Histogram("span.queue_wait_ns", nil).Snapshot().Count; got != 1 {
+		t.Errorf("queue_wait samples = %d, want 1 (first delivery only)", got)
+	}
+	if got := reg.Histogram("span.redelivery_wait_ns", nil).Snapshot().Count; got != 1 {
+		t.Errorf("redelivery_wait samples = %d, want 1", got)
+	}
+	var sp obs.Span
+	for _, s := range spans.Recent() {
+		if s.Endpoint == "queue:redeliver" {
+			sp = s
+		}
+	}
+	if sp.Redeliveries != 1 {
+		t.Errorf("span redeliveries = %d, want 1", sp.Redeliveries)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jmsharness/internal/broker"
 	"jmsharness/internal/jms"
@@ -66,6 +67,11 @@ type Options struct {
 	// histogram). Nil means a private registry, still readable through
 	// Metrics().
 	Metrics *obs.Registry
+	// Spans receives one forward-hop span per topic copy fanned out to
+	// an extra node, linking cross-node deliveries into one trace. Nil
+	// disables the cluster-side spans (messages still carry their
+	// trace context either way).
+	Spans obs.SpanRecorder
 }
 
 // Cluster is a sharded federation of broker nodes. It implements
@@ -76,6 +82,7 @@ type Cluster struct {
 
 	reg     *obs.Registry
 	met     clusterMetrics
+	spans   obs.SpanRecorder
 	anonSeq atomic.Int64
 
 	mu        sync.Mutex
@@ -139,10 +146,16 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = obs.NewRegistry()
 	}
+	// Same typed-nil guard as broker.New: a nil *obs.Spans in the
+	// interface field must read as "disabled".
+	if s, ok := opts.Spans.(*obs.Spans); opts.Spans == nil || (ok && s == nil) {
+		opts.Spans = obs.NopSpans()
+	}
 	c := &Cluster{
 		nodes:     opts.Nodes,
 		place:     opts.Placement,
 		reg:       opts.Metrics,
+		spans:     opts.Spans,
 		topics:    map[string]*topicState{},
 		temps:     map[string]int{},
 		queues:    map[string]int{},
@@ -174,9 +187,12 @@ type LocalOptions struct {
 	// Stables are per-node stable stores; nil (or nil entries) mean
 	// in-memory stores. Length must be 0 or n.
 	Stables []store.Store
-	// Placement, Metrics and Seed are as in Options.
+	// Placement, Metrics, Spans and Seed are as in Options; Spans is
+	// additionally handed to every local broker, so node enqueue spans
+	// and cluster forward hops land in one recorder.
 	Placement Placement
 	Metrics   *obs.Registry
+	Spans     obs.SpanRecorder
 	Seed      uint64
 }
 
@@ -205,6 +221,7 @@ func NewLocal(n int, opts LocalOptions) (*Cluster, error) {
 			Profile: opts.Profile,
 			Stable:  stable,
 			Seed:    opts.Seed + uint64(i)*31,
+			Spans:   opts.Spans,
 		})
 		if err != nil {
 			for _, cl := range owned {
@@ -215,7 +232,7 @@ func NewLocal(n int, opts LocalOptions) (*Cluster, error) {
 		owned = append(owned, b.Close)
 		nodes = append(nodes, Node{Name: b.Name(), Factory: b})
 	}
-	c, err := New(Options{Nodes: nodes, Placement: opts.Placement, Metrics: opts.Metrics})
+	c, err := New(Options{Nodes: nodes, Placement: opts.Placement, Metrics: opts.Metrics, Spans: opts.Spans})
 	if err != nil {
 		for _, cl := range owned {
 			_ = cl()
@@ -230,6 +247,20 @@ var _ jms.ConnectionFactory = (*Cluster)(nil)
 
 // Metrics returns the cluster's metrics registry.
 func (c *Cluster) Metrics() *obs.Registry { return c.reg }
+
+// recordForward emits one routing/forwarding hop span.
+func (c *Cluster) recordForward(tid string, hop int64, msgID string, node int, start time.Time) {
+	c.spans.RecordHop(obs.Span{
+		TraceID:  tid,
+		Hop:      hop,
+		Kind:     obs.KindForward,
+		Node:     "cluster",
+		MsgID:    msgID,
+		Endpoint: c.nodes[node].Name,
+		SentAt:   start,
+		EndedAt:  time.Now(),
+	})
+}
 
 // Placement returns the cluster's placement policy.
 func (c *Cluster) Placement() Placement { return c.place }

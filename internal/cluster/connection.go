@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 )
 
 // clusterConn is the front-end jms.Connection: it fans out to at most
@@ -605,6 +606,14 @@ func (p *clusterProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jm
 	start := time.Now()
 	defer func() { c.met.routeNs.Observe(time.Since(start).Nanoseconds()) }()
 
+	// The front-end is the outermost producer layer for a clustered
+	// send: it establishes the trace context, and every copy routed to
+	// a node is one trace hop. The hop marker is cleared from the
+	// caller's own message afterwards so reusing the object starts a
+	// fresh trace (clones handed to nodes keep their routed context).
+	tid := obs.StampTrace(msg)
+	defer obs.ClearTraceRouting(msg)
+
 	switch dest.Kind() {
 	case jms.KindQueue:
 		node := c.queueNodeObserved(dest.Name())
@@ -612,10 +621,12 @@ func (p *clusterProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jm
 		if err != nil {
 			return err
 		}
+		hop := obs.AdvanceTraceHop(msg)
 		if err := np.SendTo(dest, msg, opts); err != nil {
 			return err
 		}
 		c.met.routed[node].Inc()
+		c.recordForward(tid, hop, msg.ID, node, start)
 		return nil
 	case jms.KindTopic:
 		targets := c.topicTargets(dest.Name())
@@ -623,13 +634,20 @@ func (p *clusterProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jm
 		// the provider-stamped ID/timestamp; further targets receive
 		// clones. Each node stamps its copy independently — consumer
 		// identity in the harness rides on message properties, which
-		// clones share.
+		// clones share. Clones are taken before any hop advance so
+		// every fanned-out copy crosses the same single hop.
+		outs := make([]*jms.Message, len(targets))
+		for i := range targets {
+			if i == 0 {
+				outs[i] = msg
+			} else {
+				outs[i] = msg.Clone()
+			}
+		}
 		var first error
 		for i, node := range targets {
-			out := msg
-			if i > 0 {
-				out = msg.Clone()
-			}
+			out := outs[i]
+			hop := obs.AdvanceTraceHop(out)
 			np, err := p.nodeProducer(node)
 			if err == nil {
 				err = np.SendTo(dest, out, opts)
@@ -641,6 +659,7 @@ func (p *clusterProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jm
 				continue
 			}
 			c.met.forwarded[node].Inc()
+			c.recordForward(tid, hop, out.ID, node, start)
 		}
 		return first
 	default:

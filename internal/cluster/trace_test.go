@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+// newTracedCluster builds an n-node local cluster whose brokers and
+// front-end share one span recorder.
+func newTracedCluster(t *testing.T, n int) (*obs.Spans, *Cluster) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	spans := obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+	c, err := NewLocal(n, LocalOptions{NamePrefix: t.Name(), Seed: 7, Metrics: reg, Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return spans, c
+}
+
+// tracedSpans returns the completed spans carrying tid, polling briefly
+// because acknowledgement (which completes enqueue spans) is
+// asynchronous with respect to Receive returning.
+func tracedSpans(spans *obs.Spans, tid string, wantAtLeast int) []obs.Span {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var got []obs.Span
+		for _, sp := range spans.Recent() {
+			if sp.TraceID == tid {
+				got = append(got, sp)
+			}
+		}
+		if len(got) >= wantAtLeast || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterQueueTraceLinksHops routes one queue send through the
+// cluster front-end and checks the forward hop and the owning node's
+// enqueue lifecycle land under the producer's trace ID.
+func TestClusterQueueTraceLinksHops(t *testing.T) {
+	spans, c := newTracedCluster(t, 3)
+	_, sess := openSession(t, c)
+	q := jms.Queue("traced.q")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jms.NewTextMessage("x")
+	if err := p.Send(m, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	tid := obs.MessageTraceID(m)
+	if tid == "" {
+		t.Fatal("cluster send did not stamp a trace ID")
+	}
+	if _, routed := m.Property(obs.TraceHopProperty); routed {
+		t.Error("caller's message still carries the hop marker after send: reuse would not re-mint")
+	}
+
+	cons, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cons.Receive(3 * time.Second)
+	if err != nil || got == nil {
+		t.Fatalf("receive: msg=%v err=%v", got, err)
+	}
+	if obs.MessageTraceID(got) != tid {
+		t.Errorf("delivered trace ID = %q, want %q", obs.MessageTraceID(got), tid)
+	}
+	if hop := obs.MessageTraceHop(got); hop != 1 {
+		t.Errorf("delivered hop = %d, want 1 (one routing boundary)", hop)
+	}
+
+	linked := tracedSpans(spans, tid, 2)
+	kinds := map[string]int{}
+	for _, sp := range linked {
+		kinds[sp.Kind]++
+	}
+	if kinds[obs.KindForward] != 1 || kinds[obs.KindEnqueue] != 1 {
+		t.Errorf("trace %s spans = %v, want 1 forward + 1 enqueue", tid, kinds)
+	}
+}
+
+// TestClusterTopicForwardLinksHops publishes once to a topic with
+// subscribers spread over the nodes: every forwarded copy's hop and
+// every node's enqueue lifecycle must link under one trace ID, each
+// copy having crossed exactly one boundary.
+func TestClusterTopicForwardLinksHops(t *testing.T) {
+	spans, c := newTracedCluster(t, 3)
+	_, sess := openSession(t, c)
+	topic := jms.Topic("traced.fan")
+	var subs []jms.Consumer
+	for i := 0; i < 4; i++ {
+		s, err := sess.CreateConsumer(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	p, err := sess.CreateProducer(topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jms.NewTextMessage("fan")
+	if err := p.Send(m, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	tid := obs.MessageTraceID(m)
+	if tid == "" {
+		t.Fatal("publish did not stamp a trace ID")
+	}
+
+	for i, s := range subs {
+		got, err := s.Receive(3 * time.Second)
+		if err != nil || got == nil {
+			t.Fatalf("subscriber %d: msg=%v err=%v", i, got, err)
+		}
+		if obs.MessageTraceID(got) != tid {
+			t.Errorf("subscriber %d trace ID = %q, want %q", i, obs.MessageTraceID(got), tid)
+		}
+		if hop := obs.MessageTraceHop(got); hop != 1 {
+			t.Errorf("subscriber %d hop = %d, want 1 (clones must not cascade hops)", i, hop)
+		}
+	}
+
+	// One forward hop per node that received a copy, one enqueue
+	// lifecycle per subscriber endpoint, all under tid.
+	st := c.Status()
+	nodesWithSubs := 0
+	for _, ns := range st.Nodes {
+		if ns.Forwarded > 0 || ns.Routed > 0 {
+			nodesWithSubs++
+		}
+	}
+	linked := tracedSpans(spans, tid, nodesWithSubs+len(subs))
+	kinds := map[string]int{}
+	for _, sp := range linked {
+		kinds[sp.Kind]++
+	}
+	if kinds[obs.KindForward] < 1 {
+		t.Errorf("trace %s recorded no forward hops (spans: %v)", tid, kinds)
+	}
+	if kinds[obs.KindEnqueue] != len(subs) {
+		t.Errorf("trace %s enqueue spans = %d, want %d (one per subscriber)", tid, kinds[obs.KindEnqueue], len(subs))
+	}
+}

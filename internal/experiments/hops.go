@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"jmsharness/internal/obs"
+)
+
+// Per-hop latency breakdown: where a message's milliseconds went,
+// aggregated from a durable span export (obs.JSONLSink). Each exported
+// span contributes its stage durations — enqueue wait (mailbox →
+// delivery), WAL-commit wait (the slice of the enqueue spent blocked
+// on the group committer), wire RTT (client send RPC round trip), and
+// settle (delivery → acknowledgement) — and the aggregation reduces
+// each stage to p50/p95/p99. This is the report the paper's
+// methodology implies but single-hop spans could not produce: a
+// causally complete account of one logical message across process,
+// node and durability boundaries.
+
+// HopStat summarises one stage's latency distribution.
+type HopStat struct {
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// HopBreakdown is the per-hop latency aggregation of a span export.
+type HopBreakdown struct {
+	// Spans and Traces count the export's volume; MultiHopTraces is
+	// how many traces link two or more spans, and MaxHops the largest
+	// number of causally linked spans observed under one trace ID.
+	Spans          int `json:"spans"`
+	Traces         int `json:"traces"`
+	MultiHopTraces int `json:"multi_hop_traces"`
+	MaxHops        int `json:"max_hops"`
+
+	EnqueueWait HopStat `json:"enqueue_wait"`
+	WALWait     HopStat `json:"wal_wait"`
+	WireRTT     HopStat `json:"wire_rtt"`
+	Forward     HopStat `json:"forward"`
+	Settle      HopStat `json:"settle"`
+}
+
+// AggregateSpans reduces a span export to its per-hop breakdown.
+func AggregateSpans(spans []obs.Span) HopBreakdown {
+	var enqueue, wal, rtt, forward, settle []time.Duration
+	traces := map[string]int{}
+	for _, sp := range spans {
+		if sp.TraceID != "" {
+			traces[sp.TraceID]++
+		}
+		switch sp.Kind {
+		case obs.KindEnqueue:
+			if w := sp.QueueWait(); w > 0 {
+				enqueue = append(enqueue, w)
+			}
+			if sp.WALWaitNs > 0 {
+				wal = append(wal, time.Duration(sp.WALWaitNs))
+			}
+			if s := sp.Settle(); s > 0 {
+				settle = append(settle, s)
+			}
+		case obs.KindSendRPC:
+			if d := sp.Duration(); d > 0 {
+				rtt = append(rtt, d)
+			}
+		case obs.KindForward:
+			if d := sp.Duration(); d > 0 {
+				forward = append(forward, d)
+			}
+		}
+	}
+	hb := HopBreakdown{
+		Spans:       len(spans),
+		Traces:      len(traces),
+		EnqueueWait: hopStat(enqueue),
+		WALWait:     hopStat(wal),
+		WireRTT:     hopStat(rtt),
+		Forward:     hopStat(forward),
+		Settle:      hopStat(settle),
+	}
+	for _, n := range traces {
+		if n >= 2 {
+			hb.MultiHopTraces++
+		}
+		if n > hb.MaxHops {
+			hb.MaxHops = n
+		}
+	}
+	return hb
+}
+
+// hopStat sorts and reduces one stage's samples.
+func hopStat(ds []time.Duration) HopStat {
+	if len(ds) == 0 {
+		return HopStat{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	q := func(p float64) time.Duration { return ds[int(p*float64(len(ds)-1))] }
+	return HopStat{Count: int64(len(ds)), P50: q(0.50), P95: q(0.95), P99: q(0.99)}
+}
+
+// FormatHopBreakdown renders the breakdown as a table.
+func FormatHopBreakdown(hb HopBreakdown) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-hop latency breakdown: %d spans, %d traces (%d multi-hop, deepest %d spans)\n",
+		hb.Spans, hb.Traces, hb.MultiHopTraces, hb.MaxHops)
+	fmt.Fprintf(&b, "%-14s %10s %12s %12s %12s\n", "stage", "samples", "p50", "p95", "p99")
+	row := func(name string, s HopStat) {
+		if s.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%-14s %10d %12v %12v %12v\n", name, s.Count,
+			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	}
+	row("enqueue-wait", hb.EnqueueWait)
+	row("wal-wait", hb.WALWait)
+	row("wire-rtt", hb.WireRTT)
+	row("forward", hb.Forward)
+	row("settle", hb.Settle)
+	return b.String()
+}

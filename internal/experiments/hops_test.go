@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/obs"
+)
+
+func TestAggregateSpans(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	ms := func(d int) time.Time { return t0.Add(time.Duration(d) * time.Millisecond) }
+	spans := []obs.Span{
+		// Trace A: a full wire path — RPC, server recv, enqueue lifecycle.
+		{TraceID: "A", Hop: 0, Kind: obs.KindSendRPC, SentAt: t0, EndedAt: ms(2)},
+		{TraceID: "A", Hop: 1, Kind: obs.KindServerRecv, SentAt: t0, EndedAt: ms(1)},
+		{TraceID: "A", Hop: 1, Kind: obs.KindEnqueue, SentAt: t0, EnqueuedAt: ms(1),
+			DeliveredAt: ms(5), EndedAt: ms(6), WALWaitNs: int64(500 * time.Microsecond)},
+		// Trace B: a cluster forward plus its enqueue.
+		{TraceID: "B", Hop: 1, Kind: obs.KindForward, SentAt: t0, EndedAt: ms(3)},
+		{TraceID: "B", Hop: 1, Kind: obs.KindEnqueue, SentAt: t0, EnqueuedAt: ms(3),
+			DeliveredAt: ms(4), EndedAt: ms(5)},
+		// Trace C: single-hop local enqueue, never delivered (no samples
+		// beyond enqueue fields that are set).
+		{TraceID: "C", Hop: 0, Kind: obs.KindEnqueue, SentAt: t0, EnqueuedAt: ms(1)},
+	}
+	hb := AggregateSpans(spans)
+	if hb.Spans != 6 || hb.Traces != 3 {
+		t.Errorf("spans/traces = %d/%d, want 6/3", hb.Spans, hb.Traces)
+	}
+	if hb.MultiHopTraces != 2 {
+		t.Errorf("multi-hop traces = %d, want 2", hb.MultiHopTraces)
+	}
+	if hb.MaxHops != 3 {
+		t.Errorf("max hops = %d, want 3", hb.MaxHops)
+	}
+	if hb.EnqueueWait.Count != 2 {
+		t.Errorf("enqueue-wait samples = %d, want 2 (undelivered span contributes none)", hb.EnqueueWait.Count)
+	}
+	if hb.WALWait.Count != 1 || hb.WALWait.P50 != 500*time.Microsecond {
+		t.Errorf("wal-wait = %+v, want one 500µs sample", hb.WALWait)
+	}
+	if hb.WireRTT.Count != 1 || hb.WireRTT.P50 != 2*time.Millisecond {
+		t.Errorf("wire-rtt = %+v, want one 2ms sample", hb.WireRTT)
+	}
+	if hb.Forward.Count != 1 || hb.Forward.P50 != 3*time.Millisecond {
+		t.Errorf("forward = %+v, want one 3ms sample", hb.Forward)
+	}
+	if hb.Settle.Count != 2 {
+		t.Errorf("settle samples = %d, want 2", hb.Settle.Count)
+	}
+
+	out := FormatHopBreakdown(hb)
+	for _, want := range []string{"enqueue-wait", "wal-wait", "wire-rtt", "forward", "settle", "deepest 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHopStatQuantiles(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	s := hopStat(ds)
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond || s.P95 != 95*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Errorf("quantiles = %v/%v/%v", s.P50, s.P95, s.P99)
+	}
+	if z := hopStat(nil); z.Count != 0 {
+		t.Errorf("empty stat = %+v", z)
+	}
+}

@@ -48,6 +48,11 @@ type SaturationOptions struct {
 	Run time.Duration
 	// Dir is the scratch directory for WAL files ("" for a temp dir).
 	Dir string
+	// Spans, when non-nil, traces every message end to end: brokers
+	// record enqueue lifecycle spans, the wire stack's client and
+	// server record send-RPC and server-receive hops. Tee a JSONLSink
+	// into it to export the run for per-hop analysis.
+	Spans obs.SpanRecorder
 }
 
 // SaturationSweepOptions returns the default saturation sweep.
@@ -132,11 +137,12 @@ type satStack struct {
 	cleanup    func()
 }
 
-// buildSatStack constructs the named stack.
-func buildSatStack(stack string, shards int, dir string, seq int) (*satStack, error) {
+// buildSatStack constructs the named stack; spans (possibly nil)
+// traces it end to end.
+func buildSatStack(stack string, shards int, dir string, seq int, spans obs.SpanRecorder) (*satStack, error) {
 	switch stack {
 	case "broker":
-		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-broker-%d", seq)})
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-broker-%d", seq), Spans: spans})
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +154,7 @@ func buildSatStack(stack string, shards int, dir string, seq int) (*satStack, er
 		if err != nil {
 			return nil, err
 		}
-		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-wal-%d", seq), Stable: w})
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-wal-%d", seq), Stable: w, Spans: spans})
 		if err != nil {
 			_ = w.Close()
 			return nil, err
@@ -164,7 +170,7 @@ func buildSatStack(stack string, shards int, dir string, seq int) (*satStack, er
 			},
 		}, nil
 	case "wire":
-		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-wire-%d", seq)})
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-wire-%d", seq), Spans: spans})
 		if err != nil {
 			return nil, err
 		}
@@ -173,9 +179,14 @@ func buildSatStack(stack string, shards int, dir string, seq int) (*satStack, er
 			_ = b.Close()
 			return nil, err
 		}
+		f := wire.NewFactory(srv.Addr())
+		if spans != nil {
+			srv.WithSpans(spans)
+			f.WithSpans(spans)
+		}
 		srv.Start()
 		return &satStack{
-			factory: wire.NewFactory(srv.Addr()),
+			factory: f,
 			cleanup: func() {
 				_ = srv.Close()
 				_ = b.Close()
@@ -201,7 +212,7 @@ const delaySampleEvery = 8
 
 // saturationPoint measures one stack at one shard count.
 func saturationPoint(stack string, shards int, dir string, opts SaturationOptions) (SaturationPoint, error) {
-	st, err := buildSatStack(stack, shards, dir, int(satSeq.Add(1)))
+	st, err := buildSatStack(stack, shards, dir, int(satSeq.Add(1)), opts.Spans)
 	if err != nil {
 		return SaturationPoint{}, err
 	}

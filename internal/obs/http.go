@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -31,12 +32,29 @@ func NewHandler(reg *Registry) *Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	h.HandleJSON("/metricz", func() any {
-		return struct {
+	// /metricz negotiates its representation: JSON by default, the
+	// Prometheus text exposition when the client asks for text/plain
+	// (a scraper's Accept header) without also accepting JSON.
+	h.mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		accept := r.Header.Get("Accept")
+		if strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := WritePrometheus(w, reg.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		payload := struct {
 			Now      time.Time `json:"now"`
 			UptimeNs int64     `json:"uptime_ns"`
 			Snapshot
 		}{time.Now(), int64(time.Since(h.started)), reg.Snapshot()}
+		if err := enc.Encode(payload); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -80,7 +98,15 @@ func NewHTTPServer(addr string, handler *Handler) (*HTTPServer, error) {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	h := &HTTPServer{Handler: handler, listener: l}
-	h.srv = &http.Server{Handler: h.Handler}
+	// A stuck or malicious scraper must not pin a connection forever:
+	// bound the header read and each response write. WriteTimeout stays
+	// generous because /debug/pprof/profile legitimately streams for
+	// its ?seconds= window (30s by default).
+	h.srv = &http.Server{
+		Handler:           h.Handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+	}
 	go func() { _ = h.srv.Serve(l) }()
 	return h, nil
 }

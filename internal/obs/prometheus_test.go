@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("broker.enqueued").Add(7)
+	reg.Gauge("broker.backlog").Set(3)
+	h := reg.Histogram("wal.commit_wait_ns", nil)
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE broker_enqueued counter\nbroker_enqueued 7\n",
+		"# TYPE broker_backlog gauge\nbroker_backlog 3\n",
+		"# TYPE wal_commit_wait_ns summary\n",
+		`wal_commit_wait_ns{quantile="0.5"}`,
+		`wal_commit_wait_ns{quantile="0.99"}`,
+		"wal_commit_wait_ns_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"broker.enqueued":  "broker_enqueued",
+		"span.in_flight":   "span_in_flight",
+		"9lives":           "_9lives",
+		"wire:rpc-latency": "wire:rpc_latency",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetriczContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x.total").Inc()
+	h := NewHandler(reg)
+
+	// Default (no Accept, or a JSON-accepting client) stays JSON.
+	for _, accept := range []string{"", "application/json", "text/plain, application/json"} {
+		req := httptest.NewRequest("GET", "/metricz", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Accept=%q: Content-Type = %q, want application/json", accept, ct)
+		}
+		var payload struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			t.Errorf("Accept=%q: body is not JSON: %v", accept, err)
+		}
+	}
+
+	// A text-only scraper gets the Prometheus exposition.
+	req := httptest.NewRequest("GET", "/metricz", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "# TYPE x_total counter") {
+		t.Errorf("exposition missing counter family:\n%s", body)
+	}
+}

@@ -160,11 +160,11 @@ func TestSpansLifecycle(t *testing.T) {
 	r := NewRegistry()
 	s := NewSpans(r, 4, 8)
 	t0 := time.Unix(100, 0)
-	s.Begin("m1", "q:orders", t0, t0.Add(time.Millisecond))
+	s.Begin(SpanStart{MsgID: "m1", Endpoint: "q:orders", TraceID: "t1", Hop: 2, Node: "b0", SentAt: t0, EnqueuedAt: t0.Add(time.Millisecond), WALWait: 200 * time.Microsecond})
 	if got := s.InFlight(); got != 1 {
 		t.Errorf("in flight = %d, want 1", got)
 	}
-	s.Deliver("m1", "q:orders", t0.Add(3*time.Millisecond))
+	s.Deliver("m1", "q:orders", t0.Add(3*time.Millisecond), false)
 	s.End("m1", "q:orders", t0.Add(5*time.Millisecond), OutcomeAcked)
 	if got := s.InFlight(); got != 0 {
 		t.Errorf("in flight after end = %d, want 0", got)
@@ -176,6 +176,12 @@ func TestSpansLifecycle(t *testing.T) {
 	sp := recent[0]
 	if sp.MsgID != "m1" || sp.Endpoint != "q:orders" || sp.Outcome != "acked" {
 		t.Errorf("unexpected span %+v", sp)
+	}
+	if sp.TraceID != "t1" || sp.Hop != 2 || sp.Node != "b0" || sp.Kind != KindEnqueue {
+		t.Errorf("trace context not carried: %+v", sp)
+	}
+	if sp.WALWaitNs != int64(200*time.Microsecond) {
+		t.Errorf("wal wait = %d, want %d", sp.WALWaitNs, int64(200*time.Microsecond))
 	}
 	if got := sp.QueueWait(); got != 2*time.Millisecond {
 		t.Errorf("queue wait = %v, want 2ms", got)
@@ -193,9 +199,9 @@ func TestSpansOverflowAndRing(t *testing.T) {
 	r := NewRegistry()
 	s := NewSpans(r, 2, 2)
 	t0 := time.Unix(0, 0)
-	s.Begin("a", "q:x", t0, t0)
-	s.Begin("b", "q:x", t0, t0)
-	s.Begin("c", "q:x", t0, t0) // over the in-flight cap: dropped
+	s.Begin(SpanStart{MsgID: "a", Endpoint: "q:x", SentAt: t0, EnqueuedAt: t0})
+	s.Begin(SpanStart{MsgID: "b", Endpoint: "q:x", SentAt: t0, EnqueuedAt: t0})
+	s.Begin(SpanStart{MsgID: "c", Endpoint: "q:x", SentAt: t0, EnqueuedAt: t0}) // over the in-flight cap: dropped
 	if got := s.InFlight(); got != 2 {
 		t.Errorf("in flight = %d, want 2", got)
 	}
@@ -227,8 +233,8 @@ func TestSpansConcurrent(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 500; j++ {
 				msg := string(rune('a'+id)) + "-msg"
-				s.Begin(msg, "q:x", t0, t0)
-				s.Deliver(msg, "q:x", t0.Add(time.Microsecond))
+				s.Begin(SpanStart{MsgID: msg, Endpoint: "q:x", SentAt: t0, EnqueuedAt: t0})
+				s.Deliver(msg, "q:x", t0.Add(time.Microsecond), false)
 				s.End(msg, "q:x", t0.Add(2*time.Microsecond), OutcomeAcked)
 			}
 		}(i)

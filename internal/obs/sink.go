@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sync"
+)
+
+// RingSink keeps the last keep completed spans in memory: the bounded,
+// allocation-free sink backing /spanz. It is safe for concurrent use.
+type RingSink struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total int
+}
+
+// NewRingSink returns a ring retaining the last keep spans (<=0
+// chooses DefaultKeep).
+func NewRingSink(keep int) *RingSink {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	return &RingSink{ring: make([]Span, keep)}
+}
+
+var _ SpanSink = (*RingSink)(nil)
+
+// Emit implements SpanSink.
+func (r *RingSink) Emit(sp Span) {
+	r.mu.Lock()
+	r.ring[r.next] = sp
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Recent returns the spans still in the ring, newest first.
+func (r *RingSink) Recent() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	if n > len(r.ring) {
+		n = len(r.ring)
+	}
+	out := make([]Span, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.ring[(r.next-i+len(r.ring))%len(r.ring)])
+	}
+	return out
+}
+
+// JSONLSink writes completed spans to a file as JSON lines — the
+// durable export feeding offline per-hop analysis (jmsanalyze -spans,
+// the jmsbench per-hop breakdown). Writes go through a buffered writer;
+// Close flushes. It is safe for concurrent use.
+//
+// Sampling is head-based and trace-coherent: the keep/drop decision
+// hashes the trace ID, so either every span of a trace is exported or
+// none are — a sampled trace is never missing hops. Spans dropped by
+// sampling count under "trace.sink_sampled_out"; spans lost to write
+// errors (or emitted after Close) count under "trace.sink_dropped",
+// and the first write error sticks, turning subsequent emits into
+// counted drops rather than repeated failures.
+type JSONLSink struct {
+	sampleBar uint64 // keep iff hash(traceID) <= sampleBar
+
+	written *Counter
+	sampled *Counter
+	dropped *Counter
+
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	closed bool
+}
+
+var _ SpanSink = (*JSONLSink)(nil)
+
+// NewJSONLSink opens (truncating) path and returns a sink exporting
+// spans to it. sample in (0,1] is the head-based sampling rate (values
+// outside the range mean 1.0: export everything). Instruments register
+// in reg ("trace.sink_written", "trace.sink_sampled_out",
+// "trace.sink_dropped"); a nil reg keeps them private.
+func NewJSONLSink(path string, sample float64, reg *Registry) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening span export %s: %w", path, err)
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	bar := uint64(math.MaxUint64)
+	if sample > 0 && sample < 1 {
+		bar = uint64(sample * float64(math.MaxUint64))
+	}
+	s := &JSONLSink{
+		sampleBar: bar,
+		written:   reg.Counter("trace.sink_written"),
+		sampled:   reg.Counter("trace.sink_sampled_out"),
+		dropped:   reg.Counter("trace.sink_dropped"),
+		f:         f,
+		w:         bufio.NewWriterSize(f, 64<<10),
+	}
+	s.enc = json.NewEncoder(s.w)
+	return s, nil
+}
+
+// keep decides the head-based sampling for one span. Untraced spans
+// hash their message ID so they sample at the same rate.
+func (s *JSONLSink) keep(sp Span) bool {
+	if s.sampleBar == math.MaxUint64 {
+		return true
+	}
+	key := sp.TraceID
+	if key == "" {
+		key = sp.MsgID
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64() <= s.sampleBar
+}
+
+// Emit implements SpanSink.
+func (s *JSONLSink) Emit(sp Span) {
+	if !s.keep(sp) {
+		s.sampled.Inc()
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.closed {
+		s.dropped.Inc()
+		return
+	}
+	if err := s.enc.Encode(sp); err != nil {
+		s.err = err
+		s.dropped.Inc()
+		return
+	}
+	s.written.Inc()
+}
+
+// Close flushes and closes the export file, returning the first write
+// error encountered over the sink's lifetime.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.f.Close(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Dropped returns how many spans were lost to write errors or
+// post-close emits (not sampling).
+func (s *JSONLSink) Dropped() int64 { return s.dropped.Value() }
+
+// ReadSpanFile parses a JSONL span export written by a JSONLSink. Every
+// line must parse as a span; a malformed line is an error, not a skip,
+// so export corruption cannot silently thin an analysis.
+func ReadSpanFile(path string) ([]Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening span file %s: %w", path, err)
+	}
+	defer f.Close()
+	var spans []Span
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			return nil, fmt.Errorf("obs: %s line %d: %w", path, line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading %s: %w", path, err)
+	}
+	return spans, nil
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	reg := NewRegistry()
+	sink, err := NewJSONLSink(path, 1.0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(100, 0).UTC()
+	want := Span{
+		TraceID: "t-1", Hop: 2, Kind: KindEnqueue, Node: "b0",
+		MsgID: "m-1", Endpoint: "queue:orders",
+		SentAt: t0, EnqueuedAt: t0.Add(time.Millisecond),
+		DeliveredAt: t0.Add(2 * time.Millisecond), EndedAt: t0.Add(3 * time.Millisecond),
+		WALWaitNs: 12345, Outcome: OutcomeAcked.String(),
+	}
+	sink.Emit(want)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("read %d spans, want 1", len(spans))
+	}
+	if spans[0] != want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", spans[0], want)
+	}
+	if got := reg.Counter("trace.sink_written").Value(); got != 1 {
+		t.Errorf("sink_written = %d, want 1", got)
+	}
+}
+
+func TestJSONLSinkConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	sink, err := NewJSONLSink(path, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sink.Emit(Span{
+					TraceID: fmt.Sprintf("t-%d-%d", g, i),
+					MsgID:   fmt.Sprintf("m-%d-%d", g, i),
+					Kind:    KindEnqueue, Endpoint: "queue:x", Outcome: OutcomeAcked.String(),
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != goroutines*perG {
+		t.Errorf("read %d spans, want %d", len(spans), goroutines*perG)
+	}
+	if sink.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", sink.Dropped())
+	}
+}
+
+func TestJSONLSinkSamplingIsTraceCoherent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	reg := NewRegistry()
+	sink, err := NewJSONLSink(path, 0.25, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each trace emits three hops; sampling must keep or drop all
+	// three together, never export a partial trace.
+	const traces = 400
+	for i := 0; i < traces; i++ {
+		tid := fmt.Sprintf("trace-%d", i)
+		for hop := int64(0); hop < 3; hop++ {
+			sink.Emit(Span{TraceID: tid, Hop: hop, Kind: KindForward, MsgID: fmt.Sprintf("m-%d", i)})
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := map[string]int{}
+	for _, sp := range spans {
+		hops[sp.TraceID]++
+	}
+	if len(hops) == 0 || len(hops) == traces {
+		t.Fatalf("sampled %d of %d traces; rate 0.25 should keep a strict subset", len(hops), traces)
+	}
+	for tid, n := range hops {
+		if n != 3 {
+			t.Errorf("trace %s exported %d of its 3 hops: sampling is not trace-coherent", tid, n)
+		}
+	}
+	kept := int64(len(spans))
+	out := reg.Counter("trace.sink_sampled_out").Value()
+	if kept+out != traces*3 {
+		t.Errorf("written %d + sampled_out %d != emitted %d", kept, out, traces*3)
+	}
+}
+
+func TestJSONLSinkEmitAfterCloseCountsDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	sink, err := NewJSONLSink(path, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Emit(Span{TraceID: "t", MsgID: "m"})
+	if got := sink.Dropped(); got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+}
+
+func TestReadSpanFileRejectsMalformedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	data := `{"trace_id":"t1","msg_id":"m1","kind":"enqueue","endpoint":"queue:x","sent_at":"2026-01-01T00:00:00Z","enqueued_at":"2026-01-01T00:00:00Z","delivered_at":"0001-01-01T00:00:00Z","ended_at":"2026-01-01T00:00:01Z","outcome":"acked","hop":0}
+this is not json
+`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSpanFile(path); err == nil {
+		t.Fatal("malformed line parsed without error")
+	}
+}
+
+func TestRingSinkKeepsNewest(t *testing.T) {
+	r := NewRingSink(2)
+	for i := 0; i < 3; i++ {
+		r.Emit(Span{MsgID: fmt.Sprintf("m%d", i)})
+	}
+	recent := r.Recent()
+	if len(recent) != 2 || recent[0].MsgID != "m2" || recent[1].MsgID != "m1" {
+		t.Errorf("recent = %+v, want m2,m1", recent)
+	}
+}

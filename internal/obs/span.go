@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -34,20 +35,67 @@ func (o Outcome) String() string {
 	}
 }
 
+// Span kinds: what stage of a message's journey a span covers. One
+// logical message yields one KindEnqueue span per (broker, endpoint)
+// copy plus zero or more one-shot hop spans, all linked by TraceID.
+const (
+	// KindEnqueue is a broker-side lifecycle span: enqueue → deliver →
+	// ack/expire/drop, with the WAL-commit wait folded in.
+	KindEnqueue = "enqueue"
+	// KindSendRPC is a wire client's send round trip (SentAt → EndedAt
+	// is the wire RTT, including the server-side enqueue).
+	KindSendRPC = "send_rpc"
+	// KindServerRecv is the wire server's decode-and-enqueue of one
+	// send request.
+	KindServerRecv = "server_recv"
+	// KindForward is a cluster front-end routing or forwarding one
+	// message copy to a node.
+	KindForward = "forward"
+)
+
+// OutcomeOK marks a completed one-shot hop span (no lifecycle).
+const OutcomeOK = "ok"
+
+// SpanStart carries everything known about a message copy at enqueue
+// time; see SpanRecorder.Begin.
+type SpanStart struct {
+	MsgID    string
+	Endpoint string
+	// TraceID and Hop are the message's trace context (see
+	// StampTrace); zero values mean the message was untraced.
+	TraceID string
+	Hop     int64
+	// Node names the broker recording the span.
+	Node string
+	// SentAt is the provider send timestamp, EnqueuedAt the mailbox
+	// arrival time.
+	SentAt     time.Time
+	EnqueuedAt time.Time
+	// WALWait is how long the enqueue blocked on the stable store's
+	// commit (zero for non-persistent messages or memory stores).
+	WALWait time.Duration
+}
+
 // SpanRecorder receives the lifecycle transitions of each message copy
-// routed through a broker: send → enqueue (Begin), deliver (Deliver),
-// and ack/expire/drop (End). A message published to a topic fans out
-// into one span per matching subscription, keyed by (message ID,
-// endpoint). Implementations must be safe for concurrent use.
+// routed through a broker — enqueue (Begin), deliver (Deliver), and
+// ack/expire/drop (End), keyed by (message ID, endpoint) — plus
+// completed one-shot hop spans (RecordHop) from the wire and cluster
+// layers. A message published to a topic fans out into one span per
+// matching subscription. Implementations must be safe for concurrent
+// use.
 type SpanRecorder interface {
-	// Begin opens the span for one enqueued message copy. sentAt is the
-	// provider send timestamp, enqueuedAt the mailbox arrival time.
-	Begin(msgID, endpoint string, sentAt, enqueuedAt time.Time)
-	// Deliver stamps the span's delivery to a consumer. Redelivery
-	// restamps (the span tracks the latest delivery).
-	Deliver(msgID, endpoint string, at time.Time)
+	// Begin opens the lifecycle span for one enqueued message copy.
+	Begin(st SpanStart)
+	// Deliver stamps the span's delivery to a consumer. redelivered
+	// marks a repeat delivery (recovered session, reconnect), which is
+	// accounted separately from the first-delivery queue wait.
+	Deliver(msgID, endpoint string, at time.Time, redelivered bool)
 	// End closes the span with its outcome.
 	End(msgID, endpoint string, at time.Time, o Outcome)
+	// RecordHop records a completed one-shot hop span (a client send
+	// RPC, a server decode, a cluster forward) that has no
+	// deliver/ack lifecycle of its own.
+	RecordHop(sp Span)
 }
 
 // nopRecorder is the disabled recorder: every method is an empty,
@@ -55,29 +103,46 @@ type SpanRecorder interface {
 // interface call when tracing is off.
 type nopRecorder struct{}
 
-func (nopRecorder) Begin(string, string, time.Time, time.Time) {}
-func (nopRecorder) Deliver(string, string, time.Time)          {}
-func (nopRecorder) End(string, string, time.Time, Outcome)     {}
+func (nopRecorder) Begin(SpanStart)                         {}
+func (nopRecorder) Deliver(string, string, time.Time, bool) {}
+func (nopRecorder) End(string, string, time.Time, Outcome)  {}
+func (nopRecorder) RecordHop(Span)                          {}
 
 // NopSpans returns the shared no-op recorder.
 func NopSpans() SpanRecorder { return nopRecorder{} }
 
-// Span is one message copy's recorded lifecycle.
+// Span is one recorded span: either a message copy's broker-side
+// lifecycle (KindEnqueue) or a completed one-shot hop.
 type Span struct {
+	TraceID string `json:"trace_id,omitempty"`
+	Hop     int64  `json:"hop"`
+	Kind    string `json:"kind"`
+	Node    string `json:"node,omitempty"`
+
 	MsgID    string `json:"msg_id"`
 	Endpoint string `json:"endpoint"`
 	// Timestamps carry Go's monotonic clock reading when recorded from
 	// a live broker, so durations derived from them are immune to wall
-	// clock steps.
+	// clock steps. For one-shot hop spans SentAt is the hop's start and
+	// EndedAt its completion.
 	SentAt      time.Time `json:"sent_at"`
 	EnqueuedAt  time.Time `json:"enqueued_at"`
 	DeliveredAt time.Time `json:"delivered_at"`
 	EndedAt     time.Time `json:"ended_at"`
-	Outcome     string    `json:"outcome"`
+	// WALWaitNs is the stable-store commit wait paid inside the
+	// enqueue (KindEnqueue spans only).
+	WALWaitNs int64 `json:"wal_wait_ns,omitempty"`
+	// Redeliveries counts repeat deliveries of this copy.
+	Redeliveries int    `json:"redeliveries,omitempty"`
+	Outcome      string `json:"outcome"`
 }
 
 // QueueWait returns enqueue → delivery (or end, if never delivered).
+// One-shot hop spans, which never enqueue, report 0.
 func (s Span) QueueWait() time.Duration {
+	if s.EnqueuedAt.IsZero() {
+		return 0
+	}
 	if !s.DeliveredAt.IsZero() {
 		return s.DeliveredAt.Sub(s.EnqueuedAt)
 	}
@@ -87,26 +152,58 @@ func (s Span) QueueWait() time.Duration {
 	return 0
 }
 
-// Spans is the live SpanRecorder: a bounded in-flight table plus a ring
-// of recently completed spans, feeding two latency histograms in a
-// Registry ("span.queue_wait_ns": enqueue → deliver; "span.settle_ns":
-// deliver → ack). When the in-flight table is full, new spans are
-// counted but not tracked ("span.overflow"), bounding memory under any
-// load.
+// Settle returns delivery → end, or 0 if the span never settled.
+func (s Span) Settle() time.Duration {
+	if s.DeliveredAt.IsZero() || s.EndedAt.IsZero() {
+		return 0
+	}
+	return s.EndedAt.Sub(s.DeliveredAt)
+}
+
+// Duration returns the span's total extent: SentAt (or EnqueuedAt) to
+// EndedAt.
+func (s Span) Duration() time.Duration {
+	start := s.SentAt
+	if start.IsZero() {
+		start = s.EnqueuedAt
+	}
+	if start.IsZero() || s.EndedAt.IsZero() {
+		return 0
+	}
+	return s.EndedAt.Sub(start)
+}
+
+// SpanSink receives completed spans from a Spans recorder. Emit must be
+// safe for concurrent use and must not block for long: it runs on
+// broker hot paths (under no recorder lock, but on the acking
+// goroutine).
+type SpanSink interface {
+	Emit(sp Span)
+}
+
+// Spans is the live SpanRecorder: a bounded in-flight table feeding
+// latency histograms in a Registry ("span.queue_wait_ns": enqueue →
+// first delivery; "span.redelivery_wait_ns": enqueue → repeat
+// delivery; "span.settle_ns": deliver → ack) and, on completion, every
+// attached SpanSink. A RingSink of recent completed spans is always
+// attached, backing Recent and the /spanz trace view. When the
+// in-flight table is full, new spans are counted but not tracked
+// ("span.overflow"), bounding memory under any load.
 type Spans struct {
-	queueWait *Histogram
-	settle    *Histogram
-	begun     *Counter
-	ended     *Counter
-	overflow  *Counter
-	inFlight  *Gauge
+	queueWait  *Histogram
+	redelivery *Histogram
+	settle     *Histogram
+	begun      *Counter
+	ended      *Counter
+	hops       *Counter
+	overflow   *Counter
+	inFlight   *Gauge
 
 	mu    sync.Mutex
 	live  map[spanKey]*Span
 	limit int
-	ring  []Span
-	next  int
-	total int
+	ring  *RingSink
+	sinks []SpanSink
 }
 
 type spanKey struct {
@@ -123,7 +220,8 @@ const DefaultKeep = 256
 // NewSpans returns a live recorder registering its instruments in reg.
 // maxInFlight bounds the in-flight table (<=0 chooses
 // DefaultMaxInFlight); keep is the completed-span ring size (<=0
-// chooses DefaultKeep).
+// chooses DefaultKeep). Additional sinks (a JSONLSink, say) attach with
+// Tee before the recorder is shared.
 func NewSpans(reg *Registry, maxInFlight, keep int) *Spans {
 	if maxInFlight <= 0 {
 		maxInFlight = DefaultMaxInFlight
@@ -131,47 +229,84 @@ func NewSpans(reg *Registry, maxInFlight, keep int) *Spans {
 	if keep <= 0 {
 		keep = DefaultKeep
 	}
+	ring := NewRingSink(keep)
 	return &Spans{
-		queueWait: reg.Histogram("span.queue_wait_ns", nil),
-		settle:    reg.Histogram("span.settle_ns", nil),
-		begun:     reg.Counter("span.begun"),
-		ended:     reg.Counter("span.ended"),
-		overflow:  reg.Counter("span.overflow"),
-		inFlight:  reg.Gauge("span.in_flight"),
-		live:      make(map[spanKey]*Span, 64),
-		limit:     maxInFlight,
-		ring:      make([]Span, keep),
+		queueWait:  reg.Histogram("span.queue_wait_ns", nil),
+		redelivery: reg.Histogram("span.redelivery_wait_ns", nil),
+		settle:     reg.Histogram("span.settle_ns", nil),
+		begun:      reg.Counter("span.begun"),
+		ended:      reg.Counter("span.ended"),
+		hops:       reg.Counter("span.hops"),
+		overflow:   reg.Counter("span.overflow"),
+		inFlight:   reg.Gauge("span.in_flight"),
+		live:       make(map[spanKey]*Span, 64),
+		limit:      maxInFlight,
+		ring:       ring,
+		sinks:      []SpanSink{ring},
 	}
 }
 
 var _ SpanRecorder = (*Spans)(nil)
 
+// Tee attaches an additional sink receiving every completed span.
+// Attach sinks before the recorder is handed to a broker; Tee is not
+// synchronised against concurrent recording.
+func (s *Spans) Tee(sink SpanSink) { s.sinks = append(s.sinks, sink) }
+
+// emit fans one completed span out to every sink. Callers must not
+// hold s.mu (a sink may be arbitrarily slow).
+func (s *Spans) emit(sp Span) {
+	for _, sink := range s.sinks {
+		sink.Emit(sp)
+	}
+}
+
 // Begin implements SpanRecorder.
-func (s *Spans) Begin(msgID, endpoint string, sentAt, enqueuedAt time.Time) {
+func (s *Spans) Begin(st SpanStart) {
 	s.begun.Inc()
-	k := spanKey{msgID, endpoint}
+	k := spanKey{st.MsgID, st.Endpoint}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.live[k]; !exists && len(s.live) >= s.limit {
 		s.overflow.Inc()
 		return
 	}
-	s.live[k] = &Span{MsgID: msgID, Endpoint: endpoint, SentAt: sentAt, EnqueuedAt: enqueuedAt}
+	s.live[k] = &Span{
+		TraceID:    st.TraceID,
+		Hop:        st.Hop,
+		Kind:       KindEnqueue,
+		Node:       st.Node,
+		MsgID:      st.MsgID,
+		Endpoint:   st.Endpoint,
+		SentAt:     st.SentAt,
+		EnqueuedAt: st.EnqueuedAt,
+		WALWaitNs:  int64(st.WALWait),
+	}
 	s.inFlight.Set(int64(len(s.live)))
 }
 
-// Deliver implements SpanRecorder.
-func (s *Spans) Deliver(msgID, endpoint string, at time.Time) {
+// Deliver implements SpanRecorder. The span tracks the latest delivery;
+// a redelivery is observed under span.redelivery_wait_ns so the
+// first-delivery queue-wait histogram is never double-counted.
+func (s *Spans) Deliver(msgID, endpoint string, at time.Time, redelivered bool) {
 	k := spanKey{msgID, endpoint}
 	s.mu.Lock()
 	sp, ok := s.live[k]
 	var wait time.Duration
 	if ok {
 		sp.DeliveredAt = at
+		if redelivered {
+			sp.Redeliveries++
+		}
 		wait = at.Sub(sp.EnqueuedAt)
 	}
 	s.mu.Unlock()
-	if ok {
+	if !ok {
+		return
+	}
+	if redelivered {
+		s.redelivery.ObserveDuration(wait)
+	} else {
 		s.queueWait.ObserveDuration(wait)
 	}
 }
@@ -189,15 +324,22 @@ func (s *Spans) End(msgID, endpoint string, at time.Time, o Outcome) {
 	delete(s.live, k)
 	sp.EndedAt = at
 	sp.Outcome = o.String()
-	s.ring[s.next] = *sp
-	s.next = (s.next + 1) % len(s.ring)
-	s.total++
 	s.inFlight.Set(int64(len(s.live)))
-	delivered := sp.DeliveredAt
+	done := *sp
 	s.mu.Unlock()
-	if o == OutcomeAcked && !delivered.IsZero() {
-		s.settle.ObserveDuration(at.Sub(delivered))
+	if o == OutcomeAcked && !done.DeliveredAt.IsZero() {
+		s.settle.ObserveDuration(at.Sub(done.DeliveredAt))
 	}
+	s.emit(done)
+}
+
+// RecordHop implements SpanRecorder.
+func (s *Spans) RecordHop(sp Span) {
+	s.hops.Inc()
+	if sp.Outcome == "" {
+		sp.Outcome = OutcomeOK
+	}
+	s.emit(sp)
 }
 
 // InFlight returns the number of open spans.
@@ -208,27 +350,99 @@ func (s *Spans) InFlight() int {
 }
 
 // Recent returns the completed spans still in the ring, newest first.
-func (s *Spans) Recent() []Span {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := s.total
-	if n > len(s.ring) {
-		n = len(s.ring)
+func (s *Spans) Recent() []Span { return s.ring.Recent() }
+
+// SpanzSnapshot is the /spanz payload.
+type SpanzSnapshot struct {
+	InFlight int `json:"in_flight"`
+	// Recent are the completed spans still in the ring, newest first.
+	Recent []Span `json:"recent"`
+	// Traces groups the ring's spans into recent multi-hop traces
+	// (two or more causally linked spans), per-hop durations included.
+	Traces []TraceView `json:"traces,omitempty"`
+}
+
+// TraceView is one multi-hop trace assembled from recent spans.
+type TraceView struct {
+	TraceID string    `json:"trace_id"`
+	Hops    []HopView `json:"hops"`
+}
+
+// HopView is one span of a trace, reduced to its per-hop durations.
+type HopView struct {
+	Hop          int64  `json:"hop"`
+	Kind         string `json:"kind"`
+	Node         string `json:"node,omitempty"`
+	Endpoint     string `json:"endpoint"`
+	MsgID        string `json:"msg_id"`
+	DurationNs   int64  `json:"duration_ns"`
+	QueueWaitNs  int64  `json:"queue_wait_ns,omitempty"`
+	WALWaitNs    int64  `json:"wal_wait_ns,omitempty"`
+	SettleNs     int64  `json:"settle_ns,omitempty"`
+	Redeliveries int    `json:"redeliveries,omitempty"`
+	Outcome      string `json:"outcome"`
+}
+
+// maxSnapshotTraces bounds the /spanz trace view.
+const maxSnapshotTraces = 32
+
+// AssembleTraces groups spans by trace ID and returns the multi-hop
+// traces (>= 2 spans), hops ordered causally (hop counter, then start
+// time), newest trace first, at most limit traces (<=0: no limit).
+func AssembleTraces(spans []Span, limit int) []TraceView {
+	byID := make(map[string][]Span)
+	var order []string // first-seen order; spans arrive newest first
+	for _, sp := range spans {
+		if sp.TraceID == "" {
+			continue
+		}
+		if _, seen := byID[sp.TraceID]; !seen {
+			order = append(order, sp.TraceID)
+		}
+		byID[sp.TraceID] = append(byID[sp.TraceID], sp)
 	}
-	out := make([]Span, 0, n)
-	for i := 1; i <= n; i++ {
-		out = append(out, s.ring[(s.next-i+len(s.ring))%len(s.ring)])
+	var out []TraceView
+	for _, id := range order {
+		group := byID[id]
+		if len(group) < 2 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].Hop != group[j].Hop {
+				return group[i].Hop < group[j].Hop
+			}
+			return group[i].SentAt.Before(group[j].SentAt)
+		})
+		tv := TraceView{TraceID: id, Hops: make([]HopView, 0, len(group))}
+		for _, sp := range group {
+			tv.Hops = append(tv.Hops, HopView{
+				Hop:          sp.Hop,
+				Kind:         sp.Kind,
+				Node:         sp.Node,
+				Endpoint:     sp.Endpoint,
+				MsgID:        sp.MsgID,
+				DurationNs:   int64(sp.Duration()),
+				QueueWaitNs:  int64(sp.QueueWait()),
+				WALWaitNs:    sp.WALWaitNs,
+				SettleNs:     int64(sp.Settle()),
+				Redeliveries: sp.Redeliveries,
+				Outcome:      sp.Outcome,
+			})
+		}
+		out = append(out, tv)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
 	}
 	return out
 }
 
-// SpanzSnapshot is the /spanz payload.
-type SpanzSnapshot struct {
-	InFlight int    `json:"in_flight"`
-	Recent   []Span `json:"recent"`
-}
-
 // Snapshot returns the recorder's introspection payload.
 func (s *Spans) Snapshot() SpanzSnapshot {
-	return SpanzSnapshot{InFlight: s.InFlight(), Recent: s.Recent()}
+	recent := s.Recent()
+	return SpanzSnapshot{
+		InFlight: s.InFlight(),
+		Recent:   recent,
+		Traces:   AssembleTraces(recent, maxSnapshotTraces),
+	}
 }

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"strconv"
+	"sync/atomic"
+
+	"jmsharness/internal/jms"
+)
+
+// Trace context rides on every message as two reserved application
+// properties, so it survives anything the message itself survives: the
+// wire codec, WAL persistence and crash recovery, and topic fan-out
+// clones all round-trip properties verbatim. No wire or WAL format
+// change was needed to make tracing distributed.
+const (
+	// TraceIDProperty carries the logical message's trace identifier,
+	// minted once at the outermost producer layer.
+	TraceIDProperty = "JMSXTraceID"
+	// TraceHopProperty carries the hop counter: how many process or
+	// node boundaries (wire server decode, cluster forward) the message
+	// has crossed since the mint. Its presence — not its value — marks
+	// the trace context as established: StampTrace will not re-mint a
+	// message that carries the hop key, which is how a retry or an
+	// inner producer layer reuses the outer layer's trace ID while a
+	// caller reusing one message object across logical sends still
+	// gets a fresh trace per send.
+	TraceHopProperty = "JMSXTraceHop"
+)
+
+// traceSeq disambiguates trace IDs within a process; traceBase
+// namespaces them across processes (seeded once, randomly).
+var (
+	traceSeq  atomic.Uint64
+	traceBase = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0x9e3779b97f4a7c15 // fixed namespace; seq still disambiguates
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+)
+
+// traceBaseHex is the namespace prefix, rendered once: minting runs on
+// the traced send hot path, so the per-call work is one AppendUint.
+var traceBaseHex = func() string {
+	b := make([]byte, 0, 17)
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, "0123456789abcdef"[(traceBase>>uint(shift))&0xf])
+	}
+	return string(append(b, '-'))
+}()
+
+// MintTraceID returns a fresh process-unique trace identifier.
+func MintTraceID() string {
+	return string(strconv.AppendUint([]byte(traceBaseHex), traceSeq.Add(1), 16))
+}
+
+// MessageTraceID returns m's trace ID, or "" if untraced.
+func MessageTraceID(m *jms.Message) string {
+	return m.StringProperty(TraceIDProperty)
+}
+
+// MessageTraceHop returns m's hop counter (0 for a message that has
+// not crossed a boundary, or carries no trace context at all).
+func MessageTraceHop(m *jms.Message) int64 {
+	return m.Int64Property(TraceHopProperty)
+}
+
+// StampTrace establishes m's trace context at a producer-send entry
+// point and returns the trace ID. A message already carrying routed
+// context (the hop property, set by a wire server or cluster front-end
+// upstream) keeps its trace ID; anything else — including a message
+// object reused across sends — is stamped with a fresh one, mirroring
+// how JMS re-stamps the provider message ID on every send.
+func StampTrace(m *jms.Message) string {
+	if _, routed := m.Property(TraceHopProperty); routed {
+		if id := m.StringProperty(TraceIDProperty); id != "" {
+			return id
+		}
+	}
+	id := MintTraceID()
+	m.SetProperty(TraceIDProperty, jms.Str(id))
+	return id
+}
+
+// AdvanceTraceHop marks one boundary crossing: it increments m's hop
+// counter (establishing the trace context if the message had none) and
+// returns the new hop number. Called by the wire server on decode and
+// by the cluster front-end on each routed or forwarded copy.
+func AdvanceTraceHop(m *jms.Message) int64 {
+	if m.StringProperty(TraceIDProperty) == "" {
+		m.SetProperty(TraceIDProperty, jms.Str(MintTraceID()))
+	}
+	hop := m.Int64Property(TraceHopProperty) + 1
+	m.SetProperty(TraceHopProperty, jms.Int64(hop))
+	return hop
+}
+
+// ClearTraceRouting removes the hop marker from m, returning it to
+// "unrouted" state so the next producer-layer send re-mints. Cluster
+// front-ends call this after routing the caller's own message object
+// (whose stamps must reflect back to the caller) so reuse of that
+// object starts a new trace.
+func ClearTraceRouting(m *jms.Message) {
+	delete(m.Properties, TraceHopProperty)
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"testing"
+
+	"jmsharness/internal/jms"
+)
+
+func TestMintTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := MintTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestStampTraceMintsFreshPerSend(t *testing.T) {
+	// A message object reused across sends (the bench workers do this)
+	// must get a distinct trace per logical send.
+	m := jms.NewTextMessage("x")
+	first := StampTrace(m)
+	if first == "" || MessageTraceID(m) != first {
+		t.Fatalf("stamp did not set the trace property: %q", first)
+	}
+	second := StampTrace(m)
+	if second == first {
+		t.Error("re-stamping an unrouted message reused the trace ID")
+	}
+}
+
+func TestStampTraceKeepsRoutedContext(t *testing.T) {
+	// Once a boundary advanced the hop counter, downstream producer
+	// layers must reuse — not re-mint — the trace ID.
+	m := jms.NewTextMessage("x")
+	id := StampTrace(m)
+	if hop := AdvanceTraceHop(m); hop != 1 {
+		t.Fatalf("first hop = %d, want 1", hop)
+	}
+	if kept := StampTrace(m); kept != id {
+		t.Errorf("stamp after routing re-minted: %s != %s", kept, id)
+	}
+	if hop := AdvanceTraceHop(m); hop != 2 {
+		t.Errorf("second hop = %d, want 2", hop)
+	}
+}
+
+func TestAdvanceTraceHopEstablishesContext(t *testing.T) {
+	// A message arriving at a boundary without context (an untraced
+	// producer) still gets a trace, so its downstream hops link up.
+	m := jms.NewTextMessage("x")
+	if hop := AdvanceTraceHop(m); hop != 1 {
+		t.Fatalf("hop = %d, want 1", hop)
+	}
+	if MessageTraceID(m) == "" {
+		t.Error("advance did not establish a trace ID")
+	}
+}
+
+func TestClearTraceRoutingRestartsTraces(t *testing.T) {
+	m := jms.NewTextMessage("x")
+	id := StampTrace(m)
+	AdvanceTraceHop(m)
+	ClearTraceRouting(m)
+	if hop := MessageTraceHop(m); hop != 0 {
+		t.Errorf("hop after clear = %d, want 0", hop)
+	}
+	if next := StampTrace(m); next == id {
+		t.Error("stamp after clear reused the routed trace ID")
+	}
+}
+
+func TestTraceContextSurvivesClone(t *testing.T) {
+	m := jms.NewTextMessage("x")
+	id := StampTrace(m)
+	AdvanceTraceHop(m)
+	c := m.Clone()
+	if MessageTraceID(c) != id || MessageTraceHop(c) != 1 {
+		t.Errorf("clone lost trace context: id=%q hop=%d", MessageTraceID(c), MessageTraceHop(c))
+	}
+	// Advancing the clone must not touch the original (fan-out copies
+	// advance independently).
+	AdvanceTraceHop(c)
+	if MessageTraceHop(m) != 1 {
+		t.Errorf("advancing a clone mutated the original (hop=%d)", MessageTraceHop(m))
+	}
+}

@@ -79,9 +79,10 @@ type walCommit struct {
 
 // walMetrics instruments the committer (metric names under "wal.*").
 type walMetrics struct {
-	batch   *obs.Histogram // records per group commit
-	syncNs  *obs.Histogram // fsync latency, ns
-	records *obs.Counter   // records appended
+	batch      *obs.Histogram // records per group commit
+	syncNs     *obs.Histogram // fsync latency, ns
+	commitWait *obs.Histogram // AddMessage wait for durability, ns
+	records    *obs.Counter   // records appended
 }
 
 // CommitBatchBounds are the bucket upper bounds for the
@@ -139,9 +140,10 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 		reqCh:         make(chan walCommit, maxCommitBatch),
 		committerDone: make(chan struct{}),
 		met: walMetrics{
-			batch:   reg.Histogram("wal.commit_batch", CommitBatchBounds()),
-			syncNs:  reg.Histogram("wal.sync_ns", nil),
-			records: reg.Counter("wal.records"),
+			batch:      reg.Histogram("wal.commit_batch", CommitBatchBounds()),
+			syncNs:     reg.Histogram("wal.sync_ns", nil),
+			commitWait: reg.Histogram("wal.commit_wait_ns", nil),
+			records:    reg.Counter("wal.records"),
 		},
 	}
 	if err := w.replay(); err != nil {
@@ -450,7 +452,12 @@ func (w *WAL) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
 	w.mapID(endpoint, id, mirrorID)
 	done := w.commitLocked(e.Bytes())
 	w.mu.Unlock()
+	// The wait below is the "WAL-commit wait" hop of a message's
+	// distributed trace: how long the producer's send blocked on the
+	// group committer making the record durable.
+	waitStart := time.Now()
 	err = <-done
+	w.met.commitWait.ObserveDuration(time.Since(waitStart))
 	*buf = e.Bytes()
 	putEnc(buf)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
 	"jmsharness/internal/stats"
 )
 
@@ -78,6 +79,7 @@ type Factory struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
 	reconnect   ReconnectPolicy
+	spans       obs.SpanRecorder
 
 	reconnects atomic.Int64
 }
@@ -100,6 +102,15 @@ func (f *Factory) WithCallTimeout(d time.Duration) *Factory {
 func (f *Factory) WithReconnect(p ReconnectPolicy) *Factory {
 	f.reconnect = p.withDefaults()
 	f.reconnect.Enabled = p.Enabled
+	return f
+}
+
+// WithSpans records a send-RPC hop span (wire round-trip time) for
+// every producer send through this factory's connections. Trace
+// context is stamped on outgoing messages regardless; the recorder
+// only adds the client-side span. Returns the factory for chaining.
+func (f *Factory) WithSpans(rec obs.SpanRecorder) *Factory {
+	f.spans = rec
 	return f
 }
 
@@ -977,6 +988,13 @@ func (p *clientProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms
 		return err
 	}
 	s := p.sess
+	// The trace context is stamped once, here, before the request is
+	// built: the reconnect-retry loop inside call re-encodes the same
+	// message object, so a retried send reuses — never re-mints — its
+	// trace ID, keeping retries and the dedup-replayed original under
+	// one trace.
+	tid := obs.StampTrace(msg)
+	rpcStart := time.Now()
 	var token string
 	if !s.transacted {
 		token = s.conn.uid + "/" + strconv.FormatUint(s.conn.sendSeq.Add(1), 36)
@@ -1005,6 +1023,18 @@ func (p *clientProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms
 	msg.Priority = opts.Priority
 	if err := rep.body.Err(); err != nil {
 		return fmt.Errorf("wire: decoding send reply: %w", err)
+	}
+	if rec := s.conn.f.spans; rec != nil {
+		rec.RecordHop(obs.Span{
+			TraceID:  tid,
+			Hop:      obs.MessageTraceHop(msg),
+			Kind:     obs.KindSendRPC,
+			Node:     "wire-client",
+			MsgID:    msg.ID,
+			Endpoint: dest.String(),
+			SentAt:   rpcStart,
+			EndedAt:  time.Now(),
+		})
 	}
 	return nil
 }

@@ -42,6 +42,7 @@ type Server struct {
 	inner    jms.ConnectionFactory
 	listener net.Listener
 	met      *serverMetrics
+	spans    obs.SpanRecorder
 	// dedup makes tokenised send retries idempotent across client
 	// reconnections; it must outlive individual connections.
 	dedup *sendDedup
@@ -77,6 +78,16 @@ func NewServer(inner jms.ConnectionFactory, addr string) (*Server, error) {
 // the server for chaining.
 func (s *Server) WithMetrics(reg *obs.Registry) *Server {
 	s.met = newServerMetrics(reg)
+	return s
+}
+
+// WithSpans records a server-receive hop span (decode → provider
+// enqueue) for every send request. The hop counter on the message is
+// advanced regardless — that is what links a client's send RPC to the
+// broker's enqueue span — the recorder only adds the server-side span.
+// Call before Serve/Start; returns the server for chaining.
+func (s *Server) WithSpans(rec obs.SpanRecorder) *Server {
+	s.spans = rec
 	return s
 }
 
@@ -382,6 +393,12 @@ func (st *connState) handleSend(req request) {
 		st.sendReply(req.reqID, err.Error(), nil)
 		return
 	}
+	// Crossing the wire is one trace hop: advance the counter before
+	// the provider sees the message, so the broker's enqueue span and
+	// the client's send RPC carry distinct hop numbers under one trace
+	// ID. (StampTrace downstream preserves routed context.)
+	decodeAt := time.Now()
+	hop := obs.AdvanceTraceHop(&msg)
 	dest, err := jms.ParseDestination(destStr)
 	if err != nil {
 		st.sendReply(req.reqID, err.Error(), nil)
@@ -435,6 +452,18 @@ func (st *connState) handleSend(req request) {
 	}
 	if commit != nil {
 		commit(sendStamp{id: msg.ID, timestamp: msg.Timestamp, expiration: msg.Expiration})
+	}
+	if st.srv.spans != nil {
+		st.srv.spans.RecordHop(obs.Span{
+			TraceID:  obs.MessageTraceID(&msg),
+			Hop:      hop,
+			Kind:     obs.KindServerRecv,
+			Node:     "wire-server",
+			MsgID:    msg.ID,
+			Endpoint: destStr,
+			SentAt:   decodeAt,
+			EndedAt:  time.Now(),
+		})
 	}
 	// Reflect the provider-assigned headers back to the client.
 	st.sendReply(req.reqID, "", func(e *jms.Encoder) {

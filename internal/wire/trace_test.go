@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+// startTracedServer is startServer with one span recorder shared by
+// the broker, the wire server and the client factory — the in-process
+// equivalent of a fully traced deployment.
+func startTracedServer(t *testing.T) (*obs.Spans, *Factory) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	spans := obs.NewSpans(reg, obs.DefaultMaxInFlight, obs.DefaultKeep)
+	b, err := broker.New(broker.Options{Name: "traced", Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.WithSpans(spans)
+	srv.Start()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = b.Close()
+	})
+	return spans, NewFactory(srv.Addr()).WithSpans(spans)
+}
+
+// TestWireTraceRoundTrip sends one message across the wire and checks
+// the trace context survives end to end: the consumer sees the
+// producer's trace ID with the hop counter advanced by the server, and
+// the recorder links the client RPC, the server receive, and the broker
+// enqueue lifecycle under that one trace ID.
+func TestWireTraceRoundTrip(t *testing.T) {
+	spans, f := startTracedServer(t)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("trace.q")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sent := jms.NewTextMessage("traced")
+	if err := p.Send(sent, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	tid := obs.MessageTraceID(sent)
+	if tid == "" {
+		t.Fatal("send did not stamp a trace ID on the caller's message")
+	}
+
+	got, err := c.Receive(5 * time.Second)
+	if err != nil || got == nil {
+		t.Fatalf("receive: msg=%v err=%v", got, err)
+	}
+	if gotID := obs.MessageTraceID(got); gotID != tid {
+		t.Errorf("consumer trace ID = %q, want %q", gotID, tid)
+	}
+	if hop := obs.MessageTraceHop(got); hop != 1 {
+		t.Errorf("consumer hop = %d, want 1 (advanced once by the server)", hop)
+	}
+
+	// The completed spans (RPC and server-recv immediately, the enqueue
+	// lifecycle once the auto-ack settles) must all link under tid.
+	want := map[string]bool{obs.KindSendRPC: false, obs.KindServerRecv: false, obs.KindEnqueue: false}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, sp := range spans.Recent() {
+			if sp.TraceID == tid {
+				want[sp.Kind] = true
+			}
+		}
+		missing := 0
+		for _, seen := range want {
+			if !seen {
+				missing++
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s incomplete after 5s: %+v", tid, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReconnectRetryReusesTraceID resets every TCP connection
+// mid-workload: a send retried across the reconnect must carry the
+// SAME trace ID as the original attempt (the retry is the same logical
+// message), while distinct sends still get distinct IDs.
+func TestReconnectRetryReusesTraceID(t *testing.T) {
+	proxy, f, _ := startProxiedServer(t)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("trace.retry.q")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 20
+	opts := jms.DefaultSendOptions()
+	opts.Mode = jms.Persistent
+	sentID := map[string]string{} // body -> trace ID reflected onto the sent message
+	for i := 0; i < total; i++ {
+		m := jms.NewTextMessage(fmt.Sprintf("m%d", i))
+		if err := p.Send(m, opts); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		sentID[fmt.Sprintf("m%d", i)] = obs.MessageTraceID(m)
+		if i == total/2 {
+			proxy.ResetAll()
+		}
+	}
+	distinct := map[string]bool{}
+	for _, id := range sentID {
+		if id == "" {
+			t.Fatal("a send left no trace ID on its message")
+		}
+		distinct[id] = true
+	}
+	if len(distinct) != total {
+		t.Fatalf("%d sends produced %d distinct trace IDs: a retry re-minted", total, len(distinct))
+	}
+
+	seen := map[string]bool{}
+	for len(seen) < total {
+		msg, err := c.Receive(5 * time.Second)
+		if err != nil || msg == nil {
+			t.Fatalf("receive after %d/%d: msg=%v err=%v", len(seen), total, msg, err)
+		}
+		body := string(msg.Body.(jms.TextBody))
+		if want := sentID[body]; obs.MessageTraceID(msg) != want {
+			t.Errorf("%s arrived with trace %q, want %q (retry re-minted mid-flight)",
+				body, obs.MessageTraceID(msg), want)
+		}
+		seen[body] = true
+		if err := sess.Acknowledge(); err != nil {
+			t.Fatalf("ack: %v", err)
+		}
+	}
+	if f.Reconnects() < 1 {
+		t.Errorf("Reconnects() = %d, want >= 1", f.Reconnects())
+	}
+}

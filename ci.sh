@@ -37,6 +37,17 @@ if [ "$chaossmoke" != "0" ]; then
 	go test -run TestChaosPartitionAndResetConformance -count=1 ./internal/experiments
 fi
 
+# Failover smoke: a short replicated-cluster run with a scripted
+# permanent primary kill — the failure detector must promote the
+# victim's destinations to their followers (>= 1 promotion logged),
+# deliveries on the victim's queues must resume, and every safety
+# property must hold straight through the outage. Set JMSFAILOVER=0 to
+# skip the stage.
+failoversmoke=${JMSFAILOVER:-1}
+if [ "$failoversmoke" != "0" ]; then
+	go test -run TestFailoverConformance -count=1 ./internal/experiments
+fi
+
 # Trace smoke: run a short traced saturation sweep exporting spans to
 # JSONL, then validate the export offline — every line must parse as a
 # span, and at least one trace must link three or more causally related

@@ -13,7 +13,9 @@
 // single-node capacity per stack and shard count, with the group-commit
 // batch histogram), chaos (conformance over a fault-injecting TCP proxy
 // — latency, bandwidth caps, partitions, resets — with reconnecting
-// clients). -scale multiplies the
+// clients), failover (replicated cluster under steady persistent load
+// with a permanent mid-run primary kill: unavailability window, MTTR
+// and full conformance through the promotion). -scale multiplies the
 // run durations; 1.0 matches the defaults used in EXPERIMENTS.md.
 //
 // Alongside the human-readable report, each invocation appends a
@@ -73,7 +75,7 @@ type measuresSummary struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("jmsbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, saturation, chaos, or all")
+	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, saturation, chaos, failover, or all")
 	scale := fs.Float64("scale", 1.0, "duration multiplier for the timed experiments")
 	csv := fs.Bool("csv", false, "emit throughput sweeps as CSV instead of a table")
 	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
@@ -109,9 +111,10 @@ func run(args []string) error {
 		"scale":       func() error { return runScale(*scale, *placement, report) },
 		"saturation":  func() error { return runSaturation(*scale, *traceOut, *traceSample, report) },
 		"chaos":       func() error { return runChaos(*scale, report) },
+		"failover":    func() error { return runFailover(*scale, report) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale", "saturation", "chaos"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale", "saturation", "chaos", "failover"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -339,6 +342,20 @@ func runChaos(scale float64, report *benchReport) error {
 		}
 	}
 	report.Experiments["chaos"] = rows
+	return nil
+}
+
+func runFailover(scale float64, report *benchReport) error {
+	fmt.Println("=== failover: replicated cluster, permanent primary kill mid-run ===")
+	res, err := experiments.Failover(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFailover(res))
+	if !res.Passed {
+		fmt.Printf("warning: failover run violated %d safety properties\n", res.Violations)
+	}
+	report.Experiments["failover"] = res
 	return nil
 }
 

@@ -13,6 +13,13 @@
 // persistent messages and durable subscriptions survive process
 // restarts; in cluster mode each node gets its own log (<path>.<i>).
 //
+// With -replicate (cluster mode, N >= 2) every destination additionally
+// gets a WAL-shipping follower on another node with semisynchronous
+// acknowledgement and heartbeat-detected failover: if a node dies, its
+// destinations are promoted to their followers and the dead node is
+// fenced. /clusterz then carries the per-destination primary/follower
+// table, per-link replication lag and the last promotion epoch.
+//
 // With -obs-addr the broker serves live introspection over HTTP:
 // /metricz (broker and wire counters, gauges, latency histograms),
 // /spanz (recent per-message spans), /clusterz (cluster topology and
@@ -30,6 +37,7 @@ import (
 	"jmsharness/internal/cluster"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/obs"
+	"jmsharness/internal/replica"
 	"jmsharness/internal/store"
 	"jmsharness/internal/wire"
 )
@@ -49,6 +57,7 @@ func run(args []string) error {
 	walPath := fs.String("wal", "", "write-ahead log path for the stable store (empty: in-memory); cluster nodes append .<i>")
 	clusterN := fs.Int("cluster", 1, "number of federated broker nodes behind this endpoint (1: single broker)")
 	placementName := fs.String("placement", "hash-ring", "cluster placement policy: hash-ring, modulo")
+	replicate := fs.Bool("replicate", false, "replicate every destination to a follower node with automated failover (requires -cluster >= 2)")
 	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /spanz, /clusterz, /healthz, /debug/pprof); empty: disabled")
 	traceOut := fs.String("trace-out", "", "durable JSONL span export path (empty: disabled)")
 	traceSample := fs.Float64("trace-sample", 1.0, "head-based trace sampling fraction for -trace-out (0,1]")
@@ -57,6 +66,9 @@ func run(args []string) error {
 	}
 	if *clusterN < 1 {
 		return fmt.Errorf("-cluster must be >= 1, got %d", *clusterN)
+	}
+	if *replicate && *clusterN < 2 {
+		return fmt.Errorf("-replicate needs -cluster >= 2 for a distinct follower, got %d", *clusterN)
 	}
 
 	profile, err := broker.ProfileByName(*profileName)
@@ -124,6 +136,37 @@ func run(args []string) error {
 		}
 		defer b.Close()
 		provider = b
+	} else if *replicate {
+		place, err := cluster.PlacementByName(*placementName, *clusterN)
+		if err != nil {
+			return err
+		}
+		ro := replica.Options{Profile: profile, Placement: place, Metrics: reg}
+		if spans != nil {
+			// Same typed-nil caution as broker.Options.Spans below.
+			ro.Spans = spans
+		}
+		if *walPath != "" {
+			// Each node's WAL publishes its committed records to the
+			// stream its replication links ship from. The manager owns
+			// the stores and closes them on shutdown.
+			ro.OpenStore = func(i int) (store.Store, *store.Stream, error) {
+				stream := store.NewStream()
+				wal, err := store.OpenWAL(fmt.Sprintf("%s.%d", *walPath, i),
+					store.WALOptions{Sync: true, Metrics: reg, Stream: stream})
+				if err != nil {
+					return nil, nil, err
+				}
+				return wal, stream, nil
+			}
+		}
+		m, err := replica.NewLocal(*clusterN, ro)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		clu = m.Cluster()
+		provider = clu
 	} else {
 		place, err := cluster.PlacementByName(*placementName, *clusterN)
 		if err != nil {
@@ -173,8 +216,12 @@ func run(args []string) error {
 		fmt.Printf("jmsbrokerd: observability on http://%s/metricz\n", ohs.Addr())
 	}
 	if clu != nil {
-		fmt.Printf("jmsbrokerd: serving %d-node %s cluster (%s profile) on %s\n",
-			*clusterN, *placementName, profile.Name, srv.Addr())
+		mode := "cluster"
+		if *replicate {
+			mode = "replicated cluster"
+		}
+		fmt.Printf("jmsbrokerd: serving %d-node %s %s (%s profile) on %s\n",
+			*clusterN, *placementName, mode, profile.Name, srv.Addr())
 	} else {
 		fmt.Printf("jmsbrokerd: serving %s profile on %s\n", profile.Name, srv.Addr())
 	}

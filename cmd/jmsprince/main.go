@@ -73,7 +73,14 @@ func suite(runSecs float64) []harness.Config {
 			Producers: []harness.ProducerConfig{
 				{ID: "qp", Rate: 300, BodySize: 128,
 					Priorities: []jms.Priority{1, 9},
-					TTLs:       []time.Duration{0, time.Millisecond}},
+					// The TTL must sit clearly above the stack's delivery
+					// delay: the expectation model is a step function at the
+					// observed mean, and loopback wire stacks deliver in
+					// ~1ms (replicated clusters add a semisync round trip),
+					// so a 1ms TTL would flip the verdict on scheduler
+					// noise. 25ms is unambiguous on any local stack and the
+					// check still catches over-eager expiry.
+					TTLs: []time.Duration{0, 25 * time.Millisecond}},
 			},
 			Consumers: []harness.ConsumerConfig{{ID: "qc"}},
 			Warmup:    warm, Run: run, Warmdown: warm * 2,

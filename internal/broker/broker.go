@@ -134,6 +134,10 @@ type Broker struct {
 	tempOwners map[string]*connection // temporary queue name -> owner
 	crashed    bool
 	closed     bool
+	// fenced marks a broker superseded by failover (see Fence): it
+	// refuses connections and cannot restart, so a stale primary can
+	// never re-accept writes for destinations promoted elsewhere.
+	fenced bool
 }
 
 // subscription is the state of one topic subscription (durable or the
@@ -325,6 +329,9 @@ func (b *Broker) CreateConnection() (jms.Connection, error) {
 	if b.closed {
 		return nil, fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
 	}
+	if b.fenced {
+		return nil, fmt.Errorf("broker %s: %w", b.name, jms.ErrFenced)
+	}
 	if b.crashed {
 		return nil, fmt.Errorf("broker %s: crashed and not restarted", b.name)
 	}
@@ -380,6 +387,9 @@ func (b *Broker) Restart() error {
 	defer b.mu.Unlock()
 	if b.closed {
 		return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+	}
+	if b.fenced {
+		return fmt.Errorf("broker %s: %w", b.name, jms.ErrFenced)
 	}
 	if !b.crashed {
 		return fmt.Errorf("broker %s: restart without crash", b.name)

@@ -1,0 +1,130 @@
+package broker
+
+import (
+	"fmt"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/selector"
+	"jmsharness/internal/store"
+	"jmsharness/internal/trace"
+)
+
+// This file is the broker's side of destination failover
+// (internal/replica): fencing a superseded primary and adopting a dead
+// peer's replicated state into a promoted follower.
+
+// Fence permanently refuses service: new connections fail with
+// jms.ErrFenced and existing ones are force-closed. The failure
+// detector fences a node when it declares it dead — if the node was
+// merely partitioned and still alive, fencing stops it from accepting
+// writes under routing the rest of the cluster has already moved past.
+// Fencing is sticky across Crash: a fenced broker cannot Restart.
+func (b *Broker) Fence() {
+	b.mu.Lock()
+	if b.closed || b.fenced {
+		b.mu.Unlock()
+		return
+	}
+	b.fenced = true
+	alreadyDead := b.crashed
+	b.mu.Unlock()
+	if !alreadyDead {
+		// A live zombie: tear down exactly as a crash does, so every
+		// client is disconnected and volatile state is discarded. The
+		// fenced flag keeps Restart and CreateConnection refusing.
+		b.Crash()
+	}
+}
+
+// Fenced reports whether the broker has been fenced.
+func (b *Broker) Fenced() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.fenced
+}
+
+// Healthy reports whether the broker is serving: not crashed, not
+// fenced, not closed. The replication failure detector's liveness
+// probes read it.
+func (b *Broker) Healthy() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return !b.crashed && !b.fenced && !b.closed
+}
+
+// Adopt merges a dead primary's replicated durable state into this
+// broker: every subscription and pending message in st is persisted to
+// this broker's own stable store (re-replicating it to this node's
+// followers when the store is replicated) and made live for delivery.
+// Messages the old primary had handed to a consumer arrive flagged
+// JMSRedelivered, exactly as in single-node crash recovery — the
+// paper's Property 5 boundary between a duplicate and a redelivery.
+func (b *Broker) Adopt(st *store.State) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.crashed || b.fenced {
+		return fmt.Errorf("broker %s: adopt on dead broker: %w", b.name, jms.ErrClosed)
+	}
+	now := b.clk.Now()
+	for _, rec := range st.Subscriptions {
+		ep := trace.EndpointForDurable(rec.ClientID, rec.Name)
+		if _, ok := b.subs[ep]; ok {
+			continue // already hosted here (e.g. re-promotion)
+		}
+		var sel *selector.Selector
+		var err error
+		if rec.Selector != "" {
+			sel, err = selector.Parse(rec.Selector)
+			if err != nil {
+				return fmt.Errorf("broker %s: adopting subscription %s: %w", b.name, rec.Key(), err)
+			}
+		}
+		if err := b.stable.AddSubscription(rec); err != nil {
+			return fmt.Errorf("broker %s: adopting subscription %s: %w", b.name, rec.Key(), err)
+		}
+		sub := &subscription{
+			endpoint:  ep,
+			topicName: rec.Topic,
+			durable:   true,
+			clientID:  rec.ClientID,
+			subName:   rec.Name,
+			mb:        newMailbox(b.mbCap),
+			sel:       sel,
+			selExpr:   rec.Selector,
+		}
+		b.subs[ep] = sub
+		if b.topics[rec.Topic] == nil {
+			b.topics[rec.Topic] = map[string]*subscription{}
+		}
+		b.topics[rec.Topic][ep] = sub
+	}
+	for ep, msgs := range st.Messages {
+		var mb *mailbox
+		if dest, err := jms.ParseDestination(ep); err == nil && dest.Kind() == jms.KindQueue {
+			mb = b.queueLocked(dest.Name())
+		} else if sub, ok := b.subs[ep]; ok {
+			mb = sub.mb
+		} else {
+			continue // orphaned endpoint (unsubscribed before the crash)
+		}
+		for _, sm := range msgs {
+			id, err := b.stable.AddMessage(ep, sm.Msg)
+			if err != nil {
+				return fmt.Errorf("broker %s: adopting message on %s: %w", b.name, ep, err)
+			}
+			if sm.Delivered {
+				if err := b.stable.MarkDelivered(ep, id); err != nil {
+					return fmt.Errorf("broker %s: adopting delivery mark on %s: %w", b.name, ep, err)
+				}
+				sm.Msg.Redelivered = true
+			}
+			// Like crash recovery, adoption is exempt from the mailbox
+			// bound: the messages were already accepted by the cluster.
+			mb.push(entry{msg: sm.Msg, rec: id, persisted: true, enqueuedAt: now})
+			b.met.enqueued.Inc()
+			b.met.backlog.Inc()
+			b.spans.Begin(b.spanStart(sm.Msg, ep, now, 0))
+		}
+	}
+	return nil
+}

@@ -91,7 +91,18 @@ type Cluster struct {
 	queues    map[string]int          // queue name -> owning node (observed)
 	clientIDs map[string]*clusterConn // cluster-wide client-ID claims
 	crashed   []bool                  // front-end's view of CrashNode state
+	down      []bool                  // nodes declared dead by failure detection
 	closed    bool
+
+	// epoch is the routing epoch, bumped by every MarkNodeDown so
+	// observers (and fenced ex-primaries) can tell stale routing state
+	// from current.
+	epoch atomic.Int64
+	// replStatus, when set by the replication manager, supplies the
+	// Replication section of Status. A function (rather than data)
+	// avoids an import cycle: replica imports cluster, never the
+	// reverse.
+	replStatus func() *ReplicationStatus
 
 	// owned holds resources the cluster created itself (NewLocal
 	// brokers) and must close.
@@ -161,6 +172,7 @@ func New(opts Options) (*Cluster, error) {
 		queues:    map[string]int{},
 		clientIDs: map[string]*clusterConn{},
 		crashed:   make([]bool, len(opts.Nodes)),
+		down:      make([]bool, len(opts.Nodes)),
 	}
 	c.met = clusterMetrics{
 		routed:    make([]*obs.Counter, len(c.nodes)),
@@ -221,6 +233,7 @@ func NewLocal(n int, opts LocalOptions) (*Cluster, error) {
 			Profile: opts.Profile,
 			Stable:  stable,
 			Seed:    opts.Seed + uint64(i)*31,
+			Metrics: opts.Metrics,
 			Spans:   opts.Spans,
 		})
 		if err != nil {
@@ -271,38 +284,40 @@ func (c *Cluster) NumNodes() int { return len(c.nodes) }
 // NodeName returns the name of node i.
 func (c *Cluster) NodeName(i int) string { return c.nodes[i].Name }
 
+// NodeFactory returns node i's connection factory — for NewLocal
+// clusters the *broker.Broker itself, which callers may type-assert to
+// reach broker-level capabilities (fencing, adoption).
+func (c *Cluster) NodeFactory(i int) jms.ConnectionFactory { return c.nodes[i].Factory }
+
 // QueueNode returns the node index owning the named queue (following
-// the temporary-queue registry for "TEMP." names).
+// the temporary-queue registry for "TEMP." names). Nodes declared dead
+// by MarkNodeDown are skipped in ranking order, so after a promotion
+// the queue's traffic lands on its former follower.
 func (c *Cluster) QueueNode(name string) int {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if n, ok := c.temps[name]; ok {
-		c.mu.Unlock()
 		return n
 	}
-	c.mu.Unlock()
-	return c.place.Node(queueKey(name))
+	return c.pickLiveLocked(queueKey(name))
 }
 
 // queueNodeObserved is QueueNode plus recording the queue for Status.
 func (c *Cluster) queueNodeObserved(name string) int {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if n, ok := c.temps[name]; ok {
-		c.mu.Unlock()
 		return n
 	}
-	n, ok := c.queues[name]
-	if !ok {
-		n = c.place.Node(queueKey(name))
-		c.queues[name] = n
-	}
-	c.mu.Unlock()
+	n := c.pickLiveLocked(queueKey(name))
+	c.queues[name] = n
 	return n
 }
 
 // DurableNode returns the node index hosting the durable subscription
 // (clientID, subName).
 func (c *Cluster) DurableNode(clientID, subName string) int {
-	return c.place.Node(durableKey(clientID, subName))
+	return c.pickLive(durableKey(clientID, subName))
 }
 
 // topicTargets returns the node indices a publish on topic must reach:
@@ -329,7 +344,7 @@ func (c *Cluster) topicTargets(topic string) []int {
 		}
 	}
 	if len(set) == 0 {
-		return []int{c.place.Node(topicKey(topic))}
+		return []int{c.pickLive(topicKey(topic))}
 	}
 	out := make([]int, 0, len(set))
 	for i := range c.nodes {
@@ -561,6 +576,9 @@ type NodeStatus struct {
 	Kind      string `json:"kind"`
 	Crashable bool   `json:"crashable"`
 	Crashed   bool   `json:"crashed"`
+	// Down marks nodes declared dead by failure detection (routing
+	// skips them even if they come back).
+	Down bool `json:"down"`
 	// Routed counts queue messages routed to the node, Forwarded the
 	// topic publish copies sent to it, Consumers its live consumers.
 	Routed    int64 `json:"routed"`
@@ -580,6 +598,10 @@ type Status struct {
 	Topics map[string][]int `json:"topics"`
 	// TempQueues is the number of live temporary-queue routes.
 	TempQueues int `json:"temp_queues"`
+	// Epoch is the routing epoch (bumped per MarkNodeDown).
+	Epoch int64 `json:"epoch"`
+	// Replication is present when a replication manager is attached.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // nodeKind labels a node's factory type for Status.
@@ -611,11 +633,17 @@ func (c *Cluster) Status() Status {
 		queuesPerNode[n]++
 	}
 	crashed := append([]bool(nil), c.crashed...)
+	down := append([]bool(nil), c.down...)
+	replStatus := c.replStatus
 	topics := make([]string, 0, len(c.topics))
 	for t := range c.topics {
 		topics = append(topics, t)
 	}
 	c.mu.Unlock()
+	st.Epoch = c.epoch.Load()
+	if replStatus != nil {
+		st.Replication = replStatus()
+	}
 	for _, t := range topics {
 		st.Topics[t] = c.topicTargets(t)
 	}
@@ -627,6 +655,7 @@ func (c *Cluster) Status() Status {
 			Kind:      nodeKind(n.Factory),
 			Crashable: canCrash,
 			Crashed:   crashed[i],
+			Down:      down[i],
 			Routed:    c.met.routed[i].Value(),
 			Forwarded: c.met.forwarded[i].Value(),
 			Consumers: c.met.consumers[i].Value(),

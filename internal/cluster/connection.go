@@ -320,7 +320,7 @@ func (s *clusterSession) CreateConsumerWithSelector(dest jms.Destination, select
 	case jms.KindQueue:
 		node = c.queueNodeObserved(dest.Name())
 	case jms.KindTopic:
-		node = c.place.Node(anonKey(dest.Name(), c.anonSeq.Add(1)))
+		node = c.pickLive(anonKey(dest.Name(), c.anonSeq.Add(1)))
 		release = c.addConsumerRef(dest.Name(), node)
 	default:
 		return nil, fmt.Errorf("%w: %v", jms.ErrInvalidDestination, dest)
@@ -367,7 +367,7 @@ func (s *clusterSession) CreateDurableSubscriberWithSelector(topic jms.Topic, na
 	}
 	c := s.conn.c
 	key := durableKey(clientID, name)
-	node := c.place.Node(key)
+	node := c.pickLive(key)
 	ns, err := s.nodeSession(node)
 	if err != nil {
 		return nil, err
@@ -398,7 +398,7 @@ func (s *clusterSession) CreateBrowser(queue jms.Queue, selectorExpr string) (jm
 // route to it, and drops the route when the owning connection closes.
 func (s *clusterSession) CreateTemporaryQueue() (jms.Queue, error) {
 	c := s.conn.c
-	node := c.place.Node(anonKey("temp", c.anonSeq.Add(1)))
+	node := c.pickLive(anonKey("temp", c.anonSeq.Add(1)))
 	ns, err := s.nodeSession(node)
 	if err != nil {
 		return "", err
@@ -421,7 +421,7 @@ func (s *clusterSession) Unsubscribe(name string) error {
 	}
 	c := s.conn.c
 	key := durableKey(clientID, name)
-	ns, err := s.nodeSession(c.place.Node(key))
+	ns, err := s.nodeSession(c.pickLive(key))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,183 @@
+package cluster
+
+// Failover support for replicated destinations (internal/replica): the
+// failure detector declares a node dead through MarkNodeDown, which
+// bumps the routing epoch, fences the dead node's provider so a
+// not-actually-dead primary refuses writes issued under stale routing,
+// and makes every ranked-placement lookup fall through to the key's
+// next live node — the follower that is being promoted.
+
+// fenceable is implemented by providers (the in-process broker) that
+// can refuse service after being superseded. Fencing is sticky: it
+// survives Crash/Restart, because a fenced node that restarts is still
+// not the destination's primary.
+type fenceable interface {
+	Fence()
+}
+
+// pickLive returns the first live node in key's ranking.
+func (c *Cluster) pickLive(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pickLiveLocked(key)
+}
+
+// pickLiveLocked is pickLive under c.mu. With no ranked placement (or
+// every node down) it falls back to the primary placement.
+func (c *Cluster) pickLiveLocked(key string) int {
+	primary := c.place.Node(key)
+	if !c.down[primary] {
+		return primary
+	}
+	if rp, ok := c.place.(RankedPlacement); ok {
+		for _, n := range rp.Ranked(key) {
+			if !c.down[n] {
+				return n
+			}
+		}
+	}
+	return primary
+}
+
+// RankedLive returns key's ranking restricted to live nodes, preference
+// first. With no ranked placement it returns just the live owner (or
+// nothing). The replication manager derives primary (index 0) and
+// follower (index 1) from it.
+func (c *Cluster) RankedLive(key string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rp, ok := c.place.(RankedPlacement)
+	if !ok {
+		n := c.place.Node(key)
+		if c.down[n] {
+			return nil
+		}
+		return []int{n}
+	}
+	out := make([]int, 0, len(c.nodes))
+	for _, n := range rp.Ranked(key) {
+		if !c.down[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RankedLiveQueue is RankedLive for a queue name, and RankedLiveDurable
+// for a durable subscription — exported so the replication layer shares
+// the router's exact key derivation.
+func (c *Cluster) RankedLiveQueue(name string) []int { return c.RankedLive(queueKey(name)) }
+
+// RankedLiveDurable is RankedLive for a durable subscription identity.
+func (c *Cluster) RankedLiveDurable(clientID, subName string) []int {
+	return c.RankedLive(durableKey(clientID, subName))
+}
+
+// NodeDown reports whether node i has been declared dead.
+func (c *Cluster) NodeDown(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[i]
+}
+
+// RoutingEpoch returns the current routing epoch. It starts at 0 and
+// MarkNodeDown bumps it.
+func (c *Cluster) RoutingEpoch() int64 { return c.epoch.Load() }
+
+// MarkNodeDown declares node i dead for routing: every destination it
+// owned remaps to the next live node in ranking order, its stale
+// forwarding state is dropped, its provider is fenced (if it supports
+// fencing) so a zombie primary cannot accept writes, and the routing
+// epoch advances. Idempotent; returns the epoch in force after the
+// call. It does not crash the node — the caller (failure detector)
+// already believes it dead.
+func (c *Cluster) MarkNodeDown(i int) int64 {
+	c.mu.Lock()
+	if c.down[i] {
+		c.mu.Unlock()
+		return c.epoch.Load()
+	}
+	c.down[i] = true
+	// Stale queue-route observations: recompute against the new down
+	// set so Status and the next send agree immediately.
+	for name, n := range c.queues {
+		if n == i {
+			c.queues[name] = c.pickLiveLocked(queueKey(name))
+		}
+	}
+	// A dead node serves no subscribers; non-durable refs die with it
+	// and durable pins remap to the subscription's next live node so
+	// publishes keep accumulating for the promoted backlog.
+	for _, ts := range c.topics {
+		delete(ts.refs, i)
+		for key, n := range ts.durables {
+			if n == i {
+				ts.durables[key] = c.pickLiveLocked("durable:" + key)
+			}
+		}
+	}
+	// Temp queues are connection-scoped volatile state; routes to the
+	// dead node are garbage the owning consumer will replace.
+	for name, n := range c.temps {
+		if n == i {
+			delete(c.temps, name)
+		}
+	}
+	epoch := c.epoch.Add(1)
+	c.mu.Unlock()
+	if f, ok := c.nodes[i].Factory.(fenceable); ok {
+		f.Fence()
+	}
+	c.met.consumers[i].Set(0)
+	return epoch
+}
+
+// SetReplicationStatus registers the function Status uses to populate
+// its Replication section; the replication manager calls this once at
+// startup.
+func (c *Cluster) SetReplicationStatus(f func() *ReplicationStatus) {
+	c.mu.Lock()
+	c.replStatus = f
+	c.mu.Unlock()
+}
+
+// DestinationReplica is one destination's replica assignment for
+// /clusterz.
+type DestinationReplica struct {
+	// Endpoint is the destination's placement identity ("queue:<name>"
+	// or "durable:<clientID>/<subName>").
+	Endpoint string `json:"endpoint"`
+	Primary  int    `json:"primary"`
+	// Follower is -1 when the destination has no live follower (single
+	// surviving node).
+	Follower int `json:"follower"`
+}
+
+// ReplicaLink is one replication link's progress for /clusterz.
+type ReplicaLink struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// LagRecords is how many committed records the follower has not yet
+	// acknowledged; LagBytes their payload volume.
+	LagRecords int64 `json:"lag_records"`
+	LagBytes   int64 `json:"lag_bytes"`
+	// Degraded reports the link timed out and detached: the primary is
+	// acknowledging writes without waiting for this follower until it
+	// catches back up.
+	Degraded bool `json:"degraded"`
+}
+
+// ReplicationStatus is the Replication section of Status, supplied by
+// the replication manager.
+type ReplicationStatus struct {
+	// Promotions counts follower promotions since startup;
+	// LastPromotionEpoch is the routing epoch the most recent one
+	// installed (0 when none happened).
+	Promotions         int64 `json:"promotions"`
+	LastPromotionEpoch int64 `json:"last_promotion_epoch"`
+	// Destinations lists the primary/follower assignment of every
+	// destination observed so far.
+	Destinations []DestinationReplica `json:"destinations"`
+	// Links lists per-link replication lag.
+	Links []ReplicaLink `json:"links"`
+}

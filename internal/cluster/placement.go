@@ -25,6 +25,19 @@ type Placement interface {
 	Node(key string) int
 }
 
+// RankedPlacement extends Placement with a key's full node preference
+// order: Ranked(key)[0] equals Node(key) and the remaining entries are
+// the failover order. Replication places a destination's follower on
+// Ranked(key)[1] — for a hash ring, the next distinct node walking the
+// ring from the key — and routing falls through the ranking when nodes
+// are marked down.
+type RankedPlacement interface {
+	Placement
+	// Ranked returns every node index exactly once, preference first.
+	// The returned slice is freshly allocated.
+	Ranked(key string) []int
+}
+
 // hash64 is the stable key hash shared by the built-in placements:
 // FNV-1a followed by a splitmix64-style finalizer. Raw FNV-1a of short
 // sequential keys ("queue:q-1", "queue:q-2", ...) clusters — similar
@@ -99,6 +112,23 @@ func (r *HashRing) Node(key string) int {
 	return r.points[i].node
 }
 
+// Ranked implements RankedPlacement: distinct nodes in ring-walk order
+// starting at the key's point.
+func (r *HashRing) Ranked(key string) []int {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.nodes)
+	seen := make([]bool, r.nodes)
+	for i := 0; i < len(r.points) && len(out) < r.nodes; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
 // Modulo is the naive placement alternative: hash(key) mod nodes. It
 // balances as well as the ring for uniform keys but relocates almost
 // every key when the node count changes; it exists as the baseline
@@ -120,6 +150,17 @@ func (m *Modulo) Name() string { return "modulo" }
 
 // Node implements Placement.
 func (m *Modulo) Node(key string) int { return int(hash64(key) % uint64(m.nodes)) }
+
+// Ranked implements RankedPlacement: the owner followed by the nodes in
+// increasing index order (wrapping).
+func (m *Modulo) Ranked(key string) []int {
+	out := make([]int, m.nodes)
+	start := m.Node(key)
+	for i := range out {
+		out[i] = (start + i) % m.nodes
+	}
+	return out
+}
 
 // PlacementByName builds a named policy for CLI use.
 func PlacementByName(name string, nodes int) (Placement, error) {

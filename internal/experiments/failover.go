@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/replica"
+	"jmsharness/internal/trace"
+)
+
+// FailoverResult is the outcome of the kill-primary-mid-run experiment:
+// a replicated cluster under steady persistent load loses one node
+// permanently, the failure detector promotes every victim-owned
+// destination to its follower, and the run keeps going. The interesting
+// numbers are the availability gap seen by clients of the victim's
+// queues — alongside full conformance of the whole trace.
+type FailoverResult struct {
+	// Nodes is the cluster size; Queues the number of loaded queues.
+	Nodes  int `json:"nodes"`
+	Queues int `json:"queues"`
+	// VictimNode is the killed node; VictimQueues the queues it owned
+	// (whose clients experience the failover).
+	VictimNode   string   `json:"victim_node"`
+	VictimQueues []string `json:"victim_queues"`
+	// KillAt is when the permanent kill fired, from test start.
+	KillAt time.Duration `json:"kill_at"`
+	// DetectionBudget is the configured detector worst case
+	// (HeartbeatEvery × HeartbeatMisses) — the floor any measured
+	// recovery time sits on.
+	DetectionBudget time.Duration `json:"detection_budget"`
+	// Promotions counts follower promotions (expected: 1, the victim).
+	Promotions int64 `json:"promotions"`
+	// UnavailableWindow is the victim queues' send gap: last successful
+	// send before the kill to first successful send after it.
+	UnavailableWindow time.Duration `json:"unavailable_window"`
+	// MTTR is time-to-recovery for consumers: kill to the first
+	// delivery on a victim queue after it.
+	MTTR time.Duration `json:"mttr"`
+	// Sent and Delivered count successful sends and deliveries across
+	// all queues; SendErrors counts sends the outage rejected.
+	Sent       int64 `json:"sent"`
+	SendErrors int64 `json:"send_errors"`
+	Delivered  int64 `json:"delivered"`
+	// Violations counts safety-property violations (must be 0: a
+	// semisynchronous replica covers everything that was ever acked).
+	Violations int `json:"violations"`
+	// Passed reports full conformance.
+	Passed bool `json:"passed"`
+	// ReplicaEvents is the manager's promotion/degrade event log.
+	ReplicaEvents []string `json:"replica_events,omitempty"`
+}
+
+// Failover runs the replicated-failover experiment: three nodes, steady
+// persistent load on six queues, one primary killed mid-run and never
+// restarted. Every safety property must hold straight through — acked
+// messages survive on the promoted follower, unreplicated in-flight
+// sends were never acked so their loss is invisible, and duplicates
+// appear only as flagged redeliveries.
+func Failover(scale float64) (*FailoverResult, error) {
+	const (
+		nodes  = 3
+		queues = 6
+	)
+	hbEvery := 10 * time.Millisecond
+	hbMisses := 3
+	m, err := replica.NewLocal(nodes, replica.Options{
+		Seed:            1,
+		HeartbeatEvery:  hbEvery,
+		HeartbeatMisses: hbMisses,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	c := m.Cluster()
+
+	// The victim is whichever node owns the first queue; its other
+	// queues ride the same failover. Placement is seed-stable, so the
+	// split is too.
+	victim := c.QueueNode("fo.q0")
+	var victimQueues []string
+	cfg := harness.Config{
+		Name:     "failover",
+		Warmup:   20 * time.Millisecond,
+		Run:      scaleDur(600*time.Millisecond, scale),
+		Warmdown: scaleDur(400*time.Millisecond, 1),
+		Seed:     1,
+	}
+	for i := 0; i < queues; i++ {
+		name := fmt.Sprintf("fo.q%d", i)
+		if c.QueueNode(name) == victim {
+			victimQueues = append(victimQueues, "queue:"+name)
+		}
+		cfg.Producers = append(cfg.Producers, harness.ProducerConfig{
+			ID: fmt.Sprintf("p%d", i), Destination: jms.Queue(name), Rate: 250, BodySize: 64,
+		})
+		cfg.Consumers = append(cfg.Consumers, harness.ConsumerConfig{
+			ID: fmt.Sprintf("c%d", i), Destination: jms.Queue(name),
+		})
+	}
+	killAt := cfg.Warmup + cfg.Run/3
+	cfg.Faults = []harness.FaultEvent{{At: killAt, Node: victim, NoRestart: true}}
+
+	tr, err := harness.NewRunner(c, nil).Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FailoverResult{
+		Nodes:           nodes,
+		Queues:          queues,
+		VictimNode:      c.NodeName(victim),
+		VictimQueues:    victimQueues,
+		KillAt:          killAt,
+		DetectionBudget: hbEvery * time.Duration(hbMisses),
+		Promotions:      m.Promotions(),
+		Violations:      len(report.Violations()),
+		Passed:          report.OK(),
+		ReplicaEvents:   m.Events(),
+	}
+
+	onVictim := func(dest string) bool {
+		for _, q := range victimQueues {
+			if dest == q {
+				return true
+			}
+		}
+		return false
+	}
+	var crashTime, lastSendBefore, firstSendAfter, firstDeliverAfter time.Time
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Type {
+		case trace.EventCrash:
+			if crashTime.IsZero() {
+				crashTime = ev.Time
+			}
+		case trace.EventSendEnd:
+			if ev.Err != "" {
+				res.SendErrors++
+				continue
+			}
+			res.Sent++
+			if !onVictim(ev.Dest) {
+				continue
+			}
+			if crashTime.IsZero() {
+				lastSendBefore = ev.Time
+			} else if firstSendAfter.IsZero() {
+				firstSendAfter = ev.Time
+			}
+		case trace.EventDeliver:
+			res.Delivered++
+			if !crashTime.IsZero() && firstDeliverAfter.IsZero() && onVictim(ev.Dest) {
+				firstDeliverAfter = ev.Time
+			}
+		}
+	}
+	if !lastSendBefore.IsZero() && !firstSendAfter.IsZero() {
+		res.UnavailableWindow = firstSendAfter.Sub(lastSendBefore)
+	}
+	if !crashTime.IsZero() && !firstDeliverAfter.IsZero() {
+		res.MTTR = firstDeliverAfter.Sub(crashTime)
+	}
+	return res, nil
+}
+
+// FormatFailover renders the failover experiment result.
+func FormatFailover(r *FailoverResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replicated failover: %d nodes, %d queues, victim %s owning %d queue(s), killed at %v (never restarted)\n",
+		r.Nodes, r.Queues, r.VictimNode, len(r.VictimQueues), r.KillAt.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-22s %12s\n", "Measure", "Value")
+	fmt.Fprintf(&b, "%-22s %12v\n", "Detection budget", r.DetectionBudget)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Promotions", r.Promotions)
+	fmt.Fprintf(&b, "%-22s %12v\n", "Unavailable window", r.UnavailableWindow.Round(100*time.Microsecond))
+	fmt.Fprintf(&b, "%-22s %12v\n", "MTTR (first delivery)", r.MTTR.Round(100*time.Microsecond))
+	fmt.Fprintf(&b, "%-22s %12d\n", "Sent ok", r.Sent)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Send errors", r.SendErrors)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Delivered", r.Delivered)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Violations", r.Violations)
+	fmt.Fprintf(&b, "%-22s %12t\n", "Passed", r.Passed)
+	for _, ev := range r.ReplicaEvents {
+		fmt.Fprintf(&b, "  replica: %s\n", ev)
+	}
+	return b.String()
+}

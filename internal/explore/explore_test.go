@@ -135,6 +135,25 @@ func TestChaosScenariosExecute(t *testing.T) {
 	}
 }
 
+// TestFailoverScenarioExecutes runs the first generated replicated
+// failover probe (seed 28 draws it): a three-node replicated cluster
+// with a permanent mid-run node kill. Promotion must absorb the kill —
+// every safety property holds straight through the detection window,
+// so any finding at all is a regression in the replica subsystem.
+func TestFailoverScenarioExecutes(t *testing.T) {
+	sc := Generate(28)
+	if !sc.Stack.Replicated || len(sc.Events) == 0 || !sc.Events[0].NoRestart {
+		t.Fatalf("seed 28: expected a replicated failover probe, got %+v events %+v", sc.Stack, sc.Events)
+	}
+	res, err := Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason := Unexpected(sc, res); reason != "" {
+		t.Errorf("failover probe: %s\n%s", reason, res.Conformance.String())
+	}
+}
+
 // TestCrashRedeliveryRepro replays the checked-in minimized repro of a
 // real bug the explorer found (seed 5 of the development sweep): the
 // broker recovered delivered-but-unacknowledged persistent messages

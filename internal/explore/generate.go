@@ -61,6 +61,38 @@ func faultScenario(seed uint64, fault string) *Scenario {
 	return sc
 }
 
+// failoverProbe rewrites a cluster scenario into the replicated
+// failover shape: two persistent steady queue streams, one permanent
+// node kill partway through the run, and a warm-down long enough for
+// the failure detector (~100ms at stock settings) plus the drain. The
+// oracle expectation is the strictest one the explorer has — a clean
+// stack, so any violation at all is a finding.
+func failoverProbe(sc *Scenario, rng *stats.RNG) *Scenario {
+	sc.Name = fmt.Sprintf("seed-%d-failover-probe", sc.Seed)
+	sc.Stack.Replicated = true
+	if sc.Stack.Nodes < 3 {
+		// Three nodes keep a full primary+follower pair for every
+		// destination even after the kill.
+		sc.Stack.Nodes = 3
+	}
+	sc.Warmdown = 500 * time.Millisecond
+	for i := 0; i < 2; i++ {
+		q := fmt.Sprintf("queue:fz.fo%d", i)
+		sc.Producers = append(sc.Producers, ProducerSpec{
+			ID: fmt.Sprintf("p%d", i), Dest: q, Rate: 200, BodySize: 32,
+		})
+		sc.Consumers = append(sc.Consumers, ConsumerSpec{
+			ID: fmt.Sprintf("c%d", i), Dest: q,
+		})
+	}
+	sc.Events = []EventSpec{{
+		At:        sc.Warmup + sc.Run*time.Duration(30+rng.Intn(30))/100,
+		Node:      rng.Intn(sc.Stack.Nodes),
+		NoRestart: true,
+	}}
+	return sc
+}
+
 // cleanScenario builds a randomized scenario against a clean stack. The
 // generator is free within "clean by construction" rules — combinations
 // the model cannot distinguish from provider misbehaviour are avoided:
@@ -100,6 +132,22 @@ func cleanScenario(seed uint64) *Scenario {
 		sc.Stack = StackSpec{Kind: StackCluster, Nodes: 2 + rng.Intn(3)}
 	default:
 		sc.Stack = StackSpec{Kind: StackWire}
+	}
+
+	// Cluster stacks upgrade, one time in three, to the replicated
+	// failover probe: WAL-shipping followers plus a permanent mid-run
+	// node kill that promotion — not restart — must absorb. Like the
+	// chaos draw below, it uses an independent stream so adding failover
+	// never shifted any other seed's scenario. The probe shape is
+	// deliberately conservative (persistent steady queues, auto-ack):
+	// the point is that every safety property holds straight through the
+	// kill, the detection window and the promotion, not that failover
+	// composes with every workload knob at once.
+	if sc.Stack.Kind == StackCluster {
+		frng := stats.NewRNG(seed ^ 0xf41107e2fa170be5)
+		if frng.Intn(3) == 0 {
+			return failoverProbe(sc, frng)
+		}
 	}
 
 	// Wire stacks run through the chaos proxy half the time. The draw

@@ -12,6 +12,7 @@ import (
 	"jmsharness/internal/faults"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/model"
+	"jmsharness/internal/replica"
 	"jmsharness/internal/wire"
 )
 
@@ -42,6 +43,25 @@ func buildStack(spec StackSpec) (jms.ConnectionFactory, func(), error) {
 		inner, cleanup = b, func() { _ = b.Close() }
 
 	case StackCluster:
+		if spec.Replicated {
+			// Explicit heartbeat tuning: probe scenarios run for well
+			// under a second, so detection must complete inside the
+			// warmdown — the conservative package defaults would leave
+			// the victim's backlog unadopted until after the trace ends.
+			m, err := replica.NewLocal(spec.Nodes, replica.Options{
+				Profile:         profile,
+				Seed:            1,
+				HeartbeatEvery:  25 * time.Millisecond,
+				HeartbeatMisses: 4,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			// The manager's cluster is the factory (and NodeCrasher); the
+			// manager itself owns detection, promotion and teardown.
+			inner, cleanup = m.Cluster(), func() { _ = m.Close() }
+			break
+		}
 		c, err := cluster.NewLocal(spec.Nodes, cluster.LocalOptions{NamePrefix: "fz", Profile: profile, Seed: 1})
 		if err != nil {
 			return nil, nil, err

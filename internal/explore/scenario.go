@@ -77,6 +77,11 @@ type StackSpec struct {
 	Kind string `json:"kind"`
 	// Nodes is the cluster size (cluster stacks only).
 	Nodes int `json:"nodes,omitempty"`
+	// Replicated gives each destination a WAL-shipping follower with
+	// failure-detected promotion (cluster stacks only, needs Nodes >= 2).
+	// It is the stack for failover scenarios: a NoRestart node kill must
+	// be absorbed by promotion, not recovered in place.
+	Replicated bool `json:"replicated,omitempty"`
 	// Latent gives the underlying broker(s) a base delivery latency, so
 	// short-TTL messages genuinely should expire in flight (the expiry
 	// probe configuration).
@@ -144,6 +149,10 @@ type EventSpec struct {
 	// Node is the cluster node to crash; -1 crashes the whole provider.
 	Node     int           `json:"node"`
 	Downtime time.Duration `json:"downtime,omitempty"`
+	// NoRestart makes the kill permanent: the node stays down for the
+	// rest of the run. Only generated against replicated cluster stacks,
+	// where failover — not restart — is the expected recovery.
+	NoRestart bool `json:"no_restart,omitempty"`
 }
 
 // Scenario is one complete generated test: stack, workload, schedule.
@@ -238,7 +247,7 @@ func (sc *Scenario) HarnessConfig() (harness.Config, error) {
 		cfg.Consumers = append(cfg.Consumers, cc)
 	}
 	for _, e := range sc.Events {
-		cfg.Faults = append(cfg.Faults, harness.FaultEvent{At: e.At, Node: e.Node, Downtime: e.Downtime})
+		cfg.Faults = append(cfg.Faults, harness.FaultEvent{At: e.At, Node: e.Node, Downtime: e.Downtime, NoRestart: e.NoRestart})
 	}
 	return cfg, nil
 }
@@ -250,6 +259,19 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Stack.Kind == StackCluster && sc.Stack.Nodes <= 0 {
 		return fmt.Errorf("explore: cluster stack needs nodes > 0")
+	}
+	if sc.Stack.Replicated {
+		if sc.Stack.Kind != StackCluster {
+			return fmt.Errorf("explore: replicated stacks require the cluster kind")
+		}
+		if sc.Stack.Nodes < 2 {
+			return fmt.Errorf("explore: replicated stacks need nodes >= 2 for a distinct follower")
+		}
+	}
+	for i, e := range sc.Events {
+		if e.NoRestart && !sc.Stack.Replicated {
+			return fmt.Errorf("explore: event %d is a permanent kill, which only replicated stacks survive", i)
+		}
 	}
 	if _, ok := ExpectedProperty(sc.Stack.Fault); !ok && sc.Stack.Fault != FaultNone {
 		return fmt.Errorf("explore: unknown fault %q", sc.Stack.Fault)

@@ -157,14 +157,29 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 				cur, changed = cand, true
 			}
 		}
+		if cur.Stack.Replicated {
+			// Strip replication before simplifying the topology: a plain
+			// cluster cannot survive the permanent kills replication
+			// absorbs, so those events become crash/restart cycles.
+			cand := cur.clone()
+			cand.Stack.Replicated = false
+			for i := range cand.Events {
+				cand.Events[i].NoRestart = false
+			}
+			if try(cand, "strip replication") {
+				cur, changed = cand, true
+			}
+		}
 		if cur.Stack.Kind != StackBroker {
 			cand := cur.clone()
 			cand.Stack.Kind = StackBroker
 			cand.Stack.Nodes = 0
+			cand.Stack.Replicated = false
 			cand.Stack.Chaos = ChaosNone
 			cand.Stack.ChaosSeed = 0
 			for i := range cand.Events {
 				cand.Events[i].Node = -1
+				cand.Events[i].NoRestart = false
 			}
 			if try(cand, "stack -> broker") {
 				cur, changed = cand, true

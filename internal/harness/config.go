@@ -124,6 +124,11 @@ type FaultEvent struct {
 	// Downtime is how long the target stays down before Restart; zero
 	// means 20ms.
 	Downtime time.Duration
+	// NoRestart leaves the target down for the rest of the run — a
+	// permanent node kill. Against a replicated provider this is the
+	// failover scenario: the node's destinations must be promoted to
+	// their followers rather than recovered in place.
+	NoRestart bool
 }
 
 // Config describes one test.

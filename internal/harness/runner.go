@@ -229,6 +229,9 @@ func (r *Runner) injectFault(fe FaultEvent, collector *trace.Collector) {
 	if fe.Node < 0 {
 		collector.Log(trace.Event{Type: trace.EventCrash, Detail: "injected"})
 		r.factory.(Crashable).Crash()
+		if fe.NoRestart {
+			return
+		}
 		r.clk.Sleep(fe.Downtime)
 		ev := trace.Event{Type: trace.EventRecovered}
 		if err := r.factory.(Crashable).Restart(); err != nil {
@@ -241,6 +244,12 @@ func (r *Runner) injectFault(fe FaultEvent, collector *trace.Collector) {
 	detail := fmt.Sprintf("injected node-%d", fe.Node)
 	collector.Log(trace.Event{Type: trace.EventCrash, Detail: detail})
 	nc.CrashNode(fe.Node)
+	if fe.NoRestart {
+		// A permanent kill: a replicated provider is expected to fail
+		// the node's destinations over to their followers; the harness
+		// deliberately never restarts it.
+		return
+	}
 	r.clk.Sleep(fe.Downtime)
 	ev := trace.Event{Type: trace.EventRecovered, Detail: detail}
 	if err := nc.RestartNode(fe.Node); err != nil {

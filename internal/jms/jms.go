@@ -134,6 +134,10 @@ var (
 	// mailbox is full and the provider's overload policy rejects rather
 	// than blocks (backpressure surfaced as a typed error).
 	ErrOverloaded = errors.New("jms: destination overloaded")
+	// ErrFenced is returned by a provider that has been superseded after
+	// a failover: its destinations were promoted elsewhere, so accepting
+	// work under stale routing would split the brain.
+	ErrFenced = errors.New("jms: provider fenced after failover")
 )
 
 // ConnectionFactory creates connections to a provider. It is the JNDI

@@ -1,0 +1,375 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+// The replication wire protocol: length-prefixed crc-checked frames
+// over a plain TCP connection, one connection per primary→follower
+// link, in the same uvarint-len | payload | crc32 shape as the WAL's
+// on-disk records. The payload's first byte is the frame type.
+//
+//	hello    sender → server   String(source node name), Bool(reset)
+//	helloAck server → sender   Uvarint(lastApplied cumulative seq)
+//	record   sender → server   Uvarint(seq), Blob(store record payload)
+//	ack      server → sender   Uvarint(lastApplied cumulative seq)
+//	ping     probe  → server   (empty)
+//	pong     server → probe    Bool(broker healthy)
+//
+// The server acknowledges cumulatively: an ack for sequence s covers
+// every record at or below s. Sequence numbers are the source stream's,
+// so they are monotonic but gappy on any one link (records owned by a
+// different follower are skipped, not shipped).
+const (
+	frHello byte = iota + 1
+	frHelloAck
+	frRecord
+	frAck
+	frPing
+	frPong
+)
+
+// maxFrame bounds a frame payload; larger is a corrupt length prefix.
+const maxFrame = 4 << 20
+
+// linkIOTimeout bounds any single frame write (and handshake reads) so
+// a blackholed connection fails fast instead of wedging a session.
+const linkIOTimeout = time.Second
+
+var errBadFrame = errors.New("replica: frame checksum mismatch")
+
+// writeFrame sends one frame: uvarint payload length, payload, crc32 of
+// the payload. A torn or bit-flipped frame fails the follower's
+// checksum and drops the link — replication resumes from the last acked
+// offset on the next connection, never applying the torn tail.
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	buf := make([]byte, 0, n+len(payload)+4)
+	buf = append(buf, hdr[:n]...)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	if err := conn.SetWriteDeadline(time.Now().Add(linkIOTimeout)); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readFrame reads one frame and verifies its checksum.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("replica: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+		return nil, errBadFrame
+	}
+	return payload, nil
+}
+
+// pingNode probes node i's replication server over a short-lived
+// connection and reports whether its broker answered healthy within
+// the heartbeat interval. The probe dials the server directly — the
+// failure detector models a control plane separate from the data
+// links, so chaos interposed on replication links (WrapLink) does not
+// blind it.
+func (m *Manager) pingNode(i int) bool {
+	timeout := m.opts.HeartbeatEvery
+	if timeout < 10*time.Millisecond {
+		timeout = 10 * time.Millisecond
+	}
+	conn, err := net.DialTimeout("tcp", m.nodes[i].server.Addr(), timeout)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, []byte{frPing}); err != nil {
+		return false
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	payload, err := readFrame(bufio.NewReader(conn))
+	if err != nil || len(payload) == 0 || payload[0] != frPong {
+		return false
+	}
+	d := jms.NewDecoder(payload[1:])
+	healthy := d.Bool()
+	return d.Err() == nil && healthy
+}
+
+// inbound is the follower-side state for one source node: its own
+// replica store (so one peer's resync never disturbs another's state),
+// the id-translating applier, and the cumulative apply cursor.
+type inbound struct {
+	mu sync.Mutex
+	// gen invalidates stale sessions: a new hello (or a reset, or a
+	// seal) bumps it, and a session that captured an older gen stops
+	// applying. Two racing connections can therefore never interleave
+	// applies.
+	gen         uint64
+	store       *store.Memory
+	app         store.Applier
+	lastApplied uint64
+	// sealed freezes the inbound permanently: set when the source is
+	// declared dead, just before its state is adopted, so the adoption
+	// snapshot is final even if a zombie sender is still flushing.
+	sealed bool
+}
+
+// repServer is one node's replication listener: it answers liveness
+// probes for its broker and hosts one inbound follower stream per
+// source peer.
+type repServer struct {
+	m    *Manager
+	node int
+	ln   net.Listener
+
+	mu       sync.Mutex
+	inbounds map[string]*inbound
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+func newRepServer(m *Manager, node int) (*repServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("replica: node %d listener: %w", node, err)
+	}
+	s := &repServer{
+		m:        m,
+		node:     node,
+		ln:       ln,
+		inbounds: map[string]*inbound{},
+		conns:    map[net.Conn]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's dial address.
+func (s *repServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *repServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *repServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(linkIOTimeout))
+	payload, err := readFrame(br)
+	if err != nil || len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case frPing:
+		// A liveness probe: pong carries whether this node's broker is
+		// actually serving, so a crashed (or fenced) broker reads as
+		// dead even while the replication listener survives.
+		healthy := false
+		if b := s.m.brokerOf(s.node); b != nil {
+			healthy = b.Healthy()
+		}
+		e := jms.NewEncoder([]byte{frPong})
+		e.Bool(healthy)
+		_ = writeFrame(conn, e.Bytes())
+	case frHello:
+		d := jms.NewDecoder(payload[1:])
+		source := d.String()
+		reset := d.Bool()
+		if d.Err() != nil {
+			return
+		}
+		s.follow(conn, br, source, reset)
+	}
+}
+
+// inboundFor returns (creating if needed) the inbound for a source.
+func (s *repServer) inboundFor(source string) *inbound {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inb := s.inbounds[source]
+	if inb == nil {
+		mem := store.NewMemory()
+		inb = &inbound{store: mem, app: store.Applier{Dst: mem}}
+		s.inbounds[source] = inb
+	}
+	return inb
+}
+
+// follow runs the follower side of one replication session.
+func (s *repServer) follow(conn net.Conn, br *bufio.Reader, source string, reset bool) {
+	inb := s.inboundFor(source)
+	inb.mu.Lock()
+	if inb.sealed {
+		inb.mu.Unlock()
+		return
+	}
+	inb.gen++
+	gen := inb.gen
+	if reset {
+		// Full resync: the sender replays its stream from the start
+		// (typically because this node just became the follower for
+		// endpoints whose records it never received, and the cumulative
+		// cursor cannot express the gap). Drop everything previously
+		// received from this source and rebuild.
+		mem := store.NewMemory()
+		inb.store = mem
+		inb.app = store.Applier{Dst: mem}
+		inb.lastApplied = 0
+	}
+	last := inb.lastApplied
+	inb.mu.Unlock()
+
+	e := jms.NewEncoder([]byte{frHelloAck})
+	e.Uvarint(last)
+	if writeFrame(conn, e.Bytes()) != nil {
+		return
+	}
+	for {
+		// Generous idle deadline: an idle healthy link redials
+		// occasionally, a dead one gets collected.
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		payload, err := readFrame(br)
+		if err != nil || len(payload) == 0 || payload[0] != frRecord {
+			return // includes errBadFrame: a torn frame drops the link unapplied
+		}
+		d := jms.NewDecoder(payload[1:])
+		seq := d.Uvarint()
+		rec := d.Blob()
+		if d.Err() != nil {
+			return
+		}
+		inb.mu.Lock()
+		if inb.gen != gen || inb.sealed {
+			inb.mu.Unlock()
+			return
+		}
+		if seq > inb.lastApplied {
+			op, derr := store.DecodeOp(rec)
+			if derr != nil {
+				inb.mu.Unlock()
+				return
+			}
+			if aerr := inb.app.Apply(op); aerr != nil {
+				inb.mu.Unlock()
+				s.m.event("follower %d: apply from %s failed: %v", s.node, source, aerr)
+				return
+			}
+			inb.lastApplied = seq
+		}
+		last := inb.lastApplied
+		inb.mu.Unlock()
+		e := jms.NewEncoder([]byte{frAck})
+		e.Uvarint(last)
+		if writeFrame(conn, e.Bytes()) != nil {
+			return
+		}
+	}
+}
+
+// sealSource permanently freezes the inbound from a source declared
+// dead, so the adoption snapshot that follows cannot race a still-
+// flushing zombie sender.
+func (s *repServer) sealSource(source string) {
+	inb := s.inboundFor(source)
+	inb.mu.Lock()
+	inb.sealed = true
+	inb.gen++
+	inb.mu.Unlock()
+}
+
+// snapshotSource returns the replicated state received from source, or
+// nil when nothing was ever received.
+func (s *repServer) snapshotSource(source string) (*store.State, error) {
+	s.mu.Lock()
+	inb := s.inbounds[source]
+	s.mu.Unlock()
+	if inb == nil {
+		return nil, nil
+	}
+	inb.mu.Lock()
+	defer inb.mu.Unlock()
+	return inb.store.Snapshot()
+}
+
+// lastAppliedFrom reports the cumulative apply cursor for a source (for
+// tests and status).
+func (s *repServer) lastAppliedFrom(source string) uint64 {
+	s.mu.Lock()
+	inb := s.inbounds[source]
+	s.mu.Unlock()
+	if inb == nil {
+		return 0
+	}
+	inb.mu.Lock()
+	defer inb.mu.Unlock()
+	return inb.lastApplied
+}
+
+// Close stops the listener and force-closes every live session.
+func (s *repServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,601 @@
+// Package replica adds per-destination replication and automated
+// failover to the broker cluster: every destination gets a primary (its
+// consistent-hash owner) plus one follower — the next distinct node in
+// the key's ring-walk order — that consumes the primary's committed
+// record stream (sends, acknowledges, delivered-markers, expirations)
+// over a dedicated TCP replication link with sequence numbers, acked
+// offsets and crc-checked frames.
+//
+// Replication is semi-synchronous: a store mutation returns to the
+// producer only after its record is durable locally AND acknowledged by
+// the destination's follower. If the follower cannot acknowledge within
+// SyncTimeout the link degrades — the primary keeps serving without
+// replication cover (availability over strict sync, as in MySQL
+// semisync) and re-attaches automatically once the follower catches
+// back up. A heartbeat failure detector probes every node's liveness;
+// after HeartbeatMisses consecutive misses the node is declared dead:
+// its destinations' followers adopt the replicated backlog, the routing
+// ring remaps (cluster.MarkNodeDown) and the dead node is fenced so a
+// zombie primary cannot accept writes under stale routing. Reconnecting
+// clients land on the promoted follower; messages the old primary had
+// handed out but not seen acknowledged arrive flagged JMSRedelivered,
+// so the conformance model's duplicate/FIFO exemptions apply exactly as
+// in single-node crash recovery.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/cluster"
+	"jmsharness/internal/obs"
+	"jmsharness/internal/store"
+)
+
+// ErrHalted is returned to a producer whose record could not be
+// replicated because its node's replication was stopped (the node was
+// declared dead mid-write). The record is durable locally but was never
+// acknowledged to the client — the classic indeterminate send.
+var ErrHalted = errors.New("replica: replication halted")
+
+// Options configures NewLocal.
+type Options struct {
+	// Profile, Placement, Metrics, Spans and Seed are handed to
+	// cluster.NewLocal. Placement must implement RankedPlacement for
+	// follower selection; nil means the default hash ring.
+	Profile   broker.Profile
+	Placement cluster.Placement
+	Metrics   *obs.Registry
+	Spans     obs.SpanRecorder
+	Seed      uint64
+	// HeartbeatEvery is the failure detector's probe interval (default
+	// 100ms); HeartbeatMisses the consecutive misses that declare a
+	// node dead (default 5). Detection budget ≈ Every × Misses. The
+	// defaults are deliberately conservative — a false positive fences
+	// a healthy node permanently, so the budget must absorb scheduler
+	// and fsync stalls on a loaded host; controlled experiments pass
+	// tighter values explicitly.
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+	// SyncTimeout bounds how long a producer waits for its record's
+	// follower acknowledgement before the link degrades (default 2s).
+	SyncTimeout time.Duration
+	// OpenStore supplies node i's stable store and the committed-record
+	// stream feeding its replication links. Nil means an in-memory
+	// store decorated with store.NewStreamed; a WAL-backed node passes
+	// store.WALOptions.Stream instead.
+	OpenStore func(i int) (store.Store, *store.Stream, error)
+	// WrapLink rewrites the dial address of the from→to replication
+	// link, letting experiments interpose a chaos proxy on inter-node
+	// links. Nil means direct connection. Called on every dial.
+	WrapLink func(from, to int, addr string) string
+}
+
+// replNode is one node's replication state. The state this node holds
+// as a follower of its peers lives in its repServer, one store per
+// source, so resyncing one peer never disturbs another's data.
+type replNode struct {
+	name string
+	// stable is the node's replicated store (what its broker writes
+	// through); stream its committed-record feed.
+	stable  *replicatedStore
+	stream  *store.Stream
+	broker  *broker.Broker
+	server  *repServer
+	senders map[int]*sender
+}
+
+// Manager owns a replicated local cluster: the cluster itself, one
+// replication server and follower store per node, the inter-node
+// senders, and the failure detector.
+type Manager struct {
+	opts  Options
+	c     *cluster.Cluster
+	nodes []*replNode
+
+	promotions         atomic.Int64
+	lastPromotionEpoch atomic.Int64
+
+	met struct {
+		promotions *obs.Counter
+		lag        *obs.Gauge
+	}
+
+	// pmu serializes promotions.
+	pmu sync.Mutex
+
+	mu        sync.Mutex
+	endpoints map[string]bool // endpoints observed in replication traffic
+	events    []string
+	closed    bool
+
+	stop chan struct{}
+}
+
+// NewLocal builds an n-node replicated cluster of in-process brokers
+// (n ≥ 2 for replication to exist; n == 1 degenerates to a plain
+// cluster). Close shuts everything down.
+func NewLocal(n int, opts Options) (*Manager, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("replica: need n > 0 nodes, got %d", n)
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if opts.HeartbeatMisses <= 0 {
+		opts.HeartbeatMisses = 5
+	}
+	if opts.SyncTimeout <= 0 {
+		opts.SyncTimeout = 2 * time.Second
+	}
+	if opts.OpenStore == nil {
+		opts.OpenStore = func(int) (store.Store, *store.Stream, error) {
+			s := store.NewStream()
+			return store.NewStreamed(store.NewMemory(), s), s, nil
+		}
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &Manager{
+		opts:      opts,
+		nodes:     make([]*replNode, n),
+		endpoints: map[string]bool{},
+		stop:      make(chan struct{}),
+	}
+	m.met.promotions = reg.Counter("replica.promotions")
+	m.met.lag = reg.Gauge("replica.lag_records")
+
+	fail := func(err error) (*Manager, error) {
+		m.teardown()
+		return nil, err
+	}
+	stables := make([]store.Store, n)
+	for i := 0; i < n; i++ {
+		base, stream, err := opts.OpenStore(i)
+		if err != nil {
+			return fail(err)
+		}
+		node := &replNode{
+			stream:  stream,
+			senders: map[int]*sender{},
+		}
+		node.stable = &replicatedStore{inner: base, stream: stream, m: m, node: i}
+		m.nodes[i] = node
+		stables[i] = node.stable
+	}
+	c, err := cluster.NewLocal(n, cluster.LocalOptions{
+		NamePrefix: "replica",
+		Profile:    opts.Profile,
+		Stables:    stables,
+		Placement:  opts.Placement,
+		Metrics:    opts.Metrics,
+		Spans:      opts.Spans,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	m.c = c
+	for i := 0; i < n; i++ {
+		m.nodes[i].name = c.NodeName(i)
+		b, ok := c.NodeFactory(i).(*broker.Broker)
+		if !ok {
+			_ = c.Close()
+			return fail(fmt.Errorf("replica: node %d is not an in-process broker", i))
+		}
+		m.nodes[i].broker = b
+	}
+	// Servers start only after every node's broker handle is in place,
+	// so liveness probes never observe a half-built manager.
+	for i := 0; i < n; i++ {
+		srv, err := newRepServer(m, i)
+		if err != nil {
+			return fail(err)
+		}
+		m.nodes[i].server = srv
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s := newSender(m, i, j)
+			m.nodes[i].senders[j] = s
+			go s.run()
+		}
+	}
+	c.SetReplicationStatus(m.replicationStatus)
+	go m.detect()
+	return m, nil
+}
+
+// Cluster returns the replicated cluster; it implements
+// jms.ConnectionFactory and the harness's NodeCrasher, so a harness run
+// against it can kill a node and exercise promotion end to end.
+func (m *Manager) Cluster() *cluster.Cluster { return m.c }
+
+// Promotions returns how many follower promotions have happened.
+func (m *Manager) Promotions() int64 { return m.promotions.Load() }
+
+// Events returns the replication event log (promotions, degradations,
+// resyncs), oldest first.
+func (m *Manager) Events() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.events...)
+}
+
+// event appends one timestamped line to the event log.
+func (m *Manager) event(format string, args ...any) {
+	m.mu.Lock()
+	m.events = append(m.events, fmt.Sprintf(format, args...))
+	m.mu.Unlock()
+}
+
+// observeEndpoint records an endpoint seen in replication traffic, for
+// the /clusterz destination table.
+func (m *Manager) observeEndpoint(ep string) {
+	m.mu.Lock()
+	if !m.endpoints[ep] {
+		m.endpoints[ep] = true
+	}
+	m.mu.Unlock()
+}
+
+// rankedFor maps a stored endpoint to its live node ranking using the
+// router's own key derivation: "queue:<name>" is already the queue's
+// placement key; "sub:<clientID>:<subName>" maps to the durable key.
+// Unknown endpoint shapes get no replication.
+func (m *Manager) rankedFor(ep string) []int {
+	if name, ok := strings.CutPrefix(ep, "queue:"); ok {
+		return m.c.RankedLiveQueue(name)
+	}
+	if rest, ok := strings.CutPrefix(ep, "sub:"); ok {
+		if cid, sub, ok := strings.Cut(rest, ":"); ok {
+			return m.c.RankedLiveDurable(cid, sub)
+		}
+	}
+	return nil
+}
+
+// followerFor returns the node that must replicate endpoint ep for the
+// copy held on node from: the first live node in ep's ranking that is
+// not from itself; -1 when no such node exists (single survivor).
+func (m *Manager) followerFor(from int, ep string) int {
+	for _, n := range m.rankedFor(ep) {
+		if n != from {
+			return n
+		}
+	}
+	return -1
+}
+
+// waitReplicated blocks until node from's committed records up to seq
+// are acknowledged by ep's follower (or the link degrades, or the
+// node's replication halts). The semisync write barrier.
+func (m *Manager) waitReplicated(from int, ep string, seq uint64) error {
+	m.observeEndpoint(ep)
+	to := m.followerFor(from, ep)
+	if to < 0 {
+		return nil
+	}
+	s := m.nodes[from].senders[to]
+	if s == nil {
+		return nil
+	}
+	return s.waitFor(seq)
+}
+
+// linkAddr resolves the dial address of the from→to replication link,
+// applying the chaos interposition hook when configured.
+func (m *Manager) linkAddr(from, to int) string {
+	addr := m.nodes[to].server.Addr()
+	if m.opts.WrapLink != nil {
+		return m.opts.WrapLink(from, to, addr)
+	}
+	return addr
+}
+
+// detect is the heartbeat failure detector: every HeartbeatEvery it
+// probes each live node's replication server (which answers for its
+// broker's health); HeartbeatMisses consecutive misses trigger
+// promotion of the node's destinations to their followers.
+func (m *Manager) detect() {
+	misses := make([]int, len(m.nodes))
+	ticker := time.NewTicker(m.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		// Probe concurrently so one wedged peer (a full dial timeout)
+		// cannot starve the other nodes' probe cadence.
+		ok := make([]bool, len(m.nodes))
+		var wg sync.WaitGroup
+		for i := range m.nodes {
+			if m.c.NodeDown(i) {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ok[i] = m.pingNode(i)
+			}(i)
+		}
+		wg.Wait()
+		for i := range m.nodes {
+			if m.c.NodeDown(i) {
+				continue
+			}
+			if ok[i] {
+				misses[i] = 0
+				continue
+			}
+			misses[i]++
+			if misses[i] >= m.opts.HeartbeatMisses {
+				misses[i] = 0
+				m.promote(i)
+			}
+		}
+	}
+}
+
+// promote fails node dead over to its followers: each live node adopts
+// the dead node's destinations it was following, routing remaps
+// (MarkNodeDown fences the dead node and bumps the epoch), and every
+// replication link resyncs against the new follower assignment.
+func (m *Manager) promote(dead int) {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	if m.c.NodeDown(dead) || m.isClosed() {
+		return
+	}
+	deadName := m.nodes[dead].name
+	m.event("detector: node %s declared dead", deadName)
+	// Seal first: every live node permanently stops applying records
+	// from the dead source, so the adoption snapshots below are final
+	// even if a zombie sender is still flushing. Records sealed out
+	// were never acknowledged to their producers (their semisync waits
+	// end in ErrHalted below), so dropping them loses nothing acked.
+	for j := range m.nodes {
+		if j != dead {
+			m.nodes[j].server.sealSource(deadName)
+		}
+	}
+	// Adoption next, while RankedLive still ranks the dead node
+	// primary: for every replicated endpoint the dead node owned, its
+	// follower (the first live node after it in ranking order) adopts
+	// the replicated backlog into its own broker — re-persisting it
+	// through its own replicated store, which re-covers the data on the
+	// follower's follower.
+	for j := range m.nodes {
+		if j == dead {
+			continue
+		}
+		subset, err := m.adoptionSet(dead, j)
+		if err != nil {
+			m.event("promotion: snapshot on %s failed: %v", m.nodes[j].name, err)
+			continue
+		}
+		if subset == nil {
+			continue
+		}
+		if err := m.nodes[j].broker.Adopt(subset); err != nil {
+			m.event("promotion: adopt on %s failed: %v", m.nodes[j].name, err)
+			continue
+		}
+		m.event("promotion: %s adopted %d endpoints from %s",
+			m.nodes[j].name, len(subset.Messages), m.nodes[dead].name)
+	}
+	// Release every producer blocked on replication involving the dead
+	// node — its own senders halt with an error (in-flight unreplicated
+	// records must NOT be acknowledged to producers), links toward it
+	// detach (their records re-cover via the resync below).
+	for i, node := range m.nodes {
+		for to, s := range node.senders {
+			if i == dead {
+				s.halt()
+			} else if to == dead {
+				s.markPeerDead()
+			}
+		}
+	}
+	// Now flip routing: fences the dead node, remaps its destinations.
+	epoch := m.c.MarkNodeDown(dead)
+	m.lastPromotionEpoch.Store(epoch)
+	m.promotions.Add(1)
+	m.met.promotions.Inc()
+	m.event("promotion: routing epoch %d, node %s fenced", epoch, m.nodes[dead].name)
+	// Follower assignments changed for every endpoint the dead node
+	// owned or followed; surviving links full-resync so the new
+	// followers receive the history they skipped.
+	for i, node := range m.nodes {
+		if i == dead || m.c.NodeDown(i) {
+			continue
+		}
+		for to, s := range node.senders {
+			if to == dead || m.c.NodeDown(to) {
+				continue
+			}
+			s.forceResync()
+		}
+	}
+}
+
+// adoptionSet extracts from node j's follower state for the dead
+// source the endpoints the dead node owned (ranking it primary).
+// Returns nil when empty.
+func (m *Manager) adoptionSet(dead, j int) (*store.State, error) {
+	snap, err := m.nodes[j].server.snapshotSource(m.nodes[dead].name)
+	if err != nil || snap == nil {
+		return nil, err
+	}
+	owns := func(ep string) bool {
+		ranked := m.rankedFor(ep)
+		return len(ranked) > 0 && ranked[0] == dead
+	}
+	subset := &store.State{Messages: map[string][]store.StoredMessage{}}
+	for ep, msgs := range snap.Messages {
+		if owns(ep) {
+			subset.Messages[ep] = msgs
+		}
+	}
+	for _, sub := range snap.Subscriptions {
+		if owns("sub:" + sub.ClientID + ":" + sub.Name) {
+			subset.Subscriptions = append(subset.Subscriptions, sub)
+		}
+	}
+	if len(subset.Messages) == 0 && len(subset.Subscriptions) == 0 {
+		return nil, nil
+	}
+	return subset, nil
+}
+
+// updateLag refreshes the replica.lag_records gauge with the worst
+// per-link record lag.
+func (m *Manager) updateLag() {
+	var worst int64
+	for i, node := range m.nodes {
+		if m.c != nil && m.c.NodeDown(i) {
+			continue
+		}
+		for to, s := range node.senders {
+			if m.c != nil && m.c.NodeDown(to) {
+				continue
+			}
+			if lag := s.lagRecords(); lag > worst {
+				worst = lag
+			}
+		}
+	}
+	m.met.lag.Set(worst)
+}
+
+// replicationStatus builds the /clusterz Replication section.
+func (m *Manager) replicationStatus() *cluster.ReplicationStatus {
+	st := &cluster.ReplicationStatus{
+		Promotions:         m.promotions.Load(),
+		LastPromotionEpoch: m.lastPromotionEpoch.Load(),
+	}
+	m.mu.Lock()
+	eps := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		eps = append(eps, ep)
+	}
+	m.mu.Unlock()
+	sortStrings(eps)
+	for _, ep := range eps {
+		ranked := m.rankedFor(ep)
+		if len(ranked) == 0 {
+			continue
+		}
+		dr := cluster.DestinationReplica{Endpoint: ep, Primary: ranked[0], Follower: -1}
+		for _, n := range ranked[1:] {
+			if n != ranked[0] {
+				dr.Follower = n
+				break
+			}
+		}
+		st.Destinations = append(st.Destinations, dr)
+	}
+	for i, node := range m.nodes {
+		if m.c.NodeDown(i) {
+			continue
+		}
+		for to, s := range node.senders {
+			if m.c.NodeDown(to) {
+				continue
+			}
+			st.Links = append(st.Links, cluster.ReplicaLink{
+				From:       node.name,
+				To:         m.nodes[to].name,
+				LagRecords: s.lagRecords(),
+				LagBytes:   s.lagBytes(),
+				Degraded:   s.isDegraded(),
+			})
+		}
+	}
+	return st
+}
+
+// sortStrings is sort.Strings without dragging sort into every file.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Close stops the detector, halts every link (releasing blocked
+// producers), closes the replication servers, the cluster and the
+// stores.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	return m.teardown()
+}
+
+// teardown releases everything that has been constructed so far (also
+// the error path of NewLocal, where later fields may be nil).
+func (m *Manager) teardown() error {
+	for _, node := range m.nodes {
+		if node == nil {
+			continue
+		}
+		for _, s := range node.senders {
+			s.halt()
+		}
+	}
+	var first error
+	for _, node := range m.nodes {
+		if node == nil || node.server == nil {
+			continue
+		}
+		node.server.Close()
+	}
+	if m.c != nil {
+		if err := m.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, node := range m.nodes {
+		if node == nil || node.stable == nil {
+			continue
+		}
+		if err := node.stable.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// brokerOf returns node i's broker, nil while construction is still in
+// flight (the replication servers start before the cluster exists).
+func (m *Manager) brokerOf(i int) *broker.Broker {
+	if i < 0 || i >= len(m.nodes) || m.nodes[i] == nil {
+		return nil
+	}
+	return m.nodes[i].broker
+}

@@ -1,0 +1,543 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"jmsharness/internal/chaos"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+// poll spins until cond holds or the deadline passes.
+func poll(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newTestManager(t *testing.T, n int, opts Options) *Manager {
+	t.Helper()
+	m, err := NewLocal(n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	return m
+}
+
+func openSession(t *testing.T, f jms.ConnectionFactory) jms.Session {
+	t.Helper()
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func sendText(t *testing.T, sess jms.Session, dest jms.Destination, bodies ...string) {
+	t.Helper()
+	p, err := sess.CreateProducer(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, body := range bodies {
+		if err := p.Send(jms.NewTextMessage(body), jms.DefaultSendOptions()); err != nil {
+			t.Fatalf("send %q: %v", body, err)
+		}
+	}
+}
+
+// drainText receives until a timeout and returns the set of bodies.
+func drainText(t *testing.T, sess jms.Session, dest jms.Destination, per time.Duration) map[string]bool {
+	t.Helper()
+	cons, err := sess.CreateConsumer(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	got := map[string]bool{}
+	for {
+		msg, err := cons.Receive(per)
+		if err != nil || msg == nil {
+			return got
+		}
+		got[string(msg.Body.(jms.TextBody))] = true
+	}
+}
+
+// dialFollower opens a raw replication session to srv posing as source,
+// returning the reader and the follower's cumulative cursor.
+func dialFollower(t *testing.T, srv *repServer, source string, reset bool) (net.Conn, *bufio.Reader, uint64) {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := jms.NewEncoder([]byte{frHello})
+	e.String(source)
+	e.Bool(reset)
+	if err := writeFrame(conn, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	payload, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != frHelloAck {
+		t.Fatalf("expected helloAck, got frame type %d", payload[0])
+	}
+	d := jms.NewDecoder(payload[1:])
+	last := d.Uvarint()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return conn, br, last
+}
+
+// recordPayload encodes one add-message store record.
+func recordPayload(id uint64, body string) []byte {
+	e := jms.NewEncoder(nil)
+	store.AppendOp(e, store.Op{
+		Kind:     store.OpAddMessage,
+		ID:       store.RecordID(id),
+		Endpoint: "queue:q",
+		Msg:      jms.NewTextMessage(body),
+	})
+	return e.Bytes()
+}
+
+// shipRecord frames and sends one record, then waits for its ack.
+func shipRecord(t *testing.T, conn net.Conn, br *bufio.Reader, seq uint64, rec []byte) uint64 {
+	t.Helper()
+	e := jms.NewEncoder([]byte{frRecord})
+	e.Uvarint(seq)
+	e.Blob(rec)
+	if err := writeFrame(conn, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != frAck {
+		t.Fatalf("expected ack, got frame type %d", payload[0])
+	}
+	d := jms.NewDecoder(payload[1:])
+	acked := d.Uvarint()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return acked
+}
+
+// newBareServer builds a repServer with no cluster behind it, for
+// protocol-level tests.
+func newBareServer(t *testing.T) *repServer {
+	t.Helper()
+	m := &Manager{nodes: []*replNode{{name: "bare-0"}}}
+	srv, err := newRepServer(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFollowerCatchUpMidStream drives the follower protocol directly: a
+// reconnecting source resumes from the follower's cumulative cursor, a
+// mid-stream offset, and only the suffix is applied — once.
+func TestFollowerCatchUpMidStream(t *testing.T) {
+	srv := newBareServer(t)
+	conn, br, last := dialFollower(t, srv, "src", false)
+	if last != 0 {
+		t.Fatalf("fresh follower cursor = %d, want 0", last)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if acked := shipRecord(t, conn, br, seq, recordPayload(seq, fmt.Sprintf("m-%d", seq))); acked != seq {
+			t.Fatalf("ack = %d, want %d", acked, seq)
+		}
+	}
+	conn.Close()
+
+	conn2, br2, last := dialFollower(t, srv, "src", false)
+	defer conn2.Close()
+	if last != 3 {
+		t.Fatalf("cursor after reconnect = %d, want 3", last)
+	}
+	// Replay an already-applied record (the sender resends from its own
+	// notion of progress) plus two new ones; the replay must be a no-op.
+	shipRecord(t, conn2, br2, 3, recordPayload(3, "m-3"))
+	shipRecord(t, conn2, br2, 4, recordPayload(4, "m-4"))
+	if acked := shipRecord(t, conn2, br2, 5, recordPayload(5, "m-5")); acked != 5 {
+		t.Fatalf("ack = %d, want 5", acked)
+	}
+	snap, err := srv.snapshotSource("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := snap.Messages["queue:q"]
+	if len(msgs) != 5 {
+		t.Fatalf("follower holds %d messages, want 5 (no loss, no double-apply)", len(msgs))
+	}
+	for i, sm := range msgs {
+		if want := fmt.Sprintf("m-%d", i+1); string(sm.Msg.Body.(jms.TextBody)) != want {
+			t.Fatalf("message %d = %q, want %q", i, sm.Msg.Body, want)
+		}
+	}
+}
+
+// TestFollowerRejectsTornTail corrupts a record frame's checksum: the
+// follower must drop the link without applying it, keep its cursor, and
+// apply the clean retransmission exactly once.
+func TestFollowerRejectsTornTail(t *testing.T) {
+	srv := newBareServer(t)
+	conn, br, _ := dialFollower(t, srv, "src", false)
+	shipRecord(t, conn, br, 1, recordPayload(1, "good"))
+
+	// Hand-frame record 2 with its CRC bytes zeroed — a torn tail.
+	e := jms.NewEncoder([]byte{frRecord})
+	e.Uvarint(2)
+	e.Blob(recordPayload(2, "torn"))
+	payload := e.Bytes()
+	var hdr [16]byte
+	frame := append(hdr[:0], byte(len(payload)))
+	frame = append(frame, payload...)
+	frame = append(frame, 0, 0, 0, 0)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(br); err == nil {
+		t.Fatal("follower acked a torn frame")
+	}
+	conn.Close()
+	if got := srv.lastAppliedFrom("src"); got != 1 {
+		t.Fatalf("cursor after torn frame = %d, want 1", got)
+	}
+
+	conn2, br2, last := dialFollower(t, srv, "src", false)
+	defer conn2.Close()
+	if last != 1 {
+		t.Fatalf("cursor on reconnect = %d, want 1", last)
+	}
+	shipRecord(t, conn2, br2, 2, recordPayload(2, "retry"))
+	snap, err := srv.snapshotSource("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := snap.Messages["queue:q"]
+	if len(msgs) != 2 {
+		t.Fatalf("follower holds %d messages, want 2", len(msgs))
+	}
+	if body := string(msgs[1].Msg.Body.(jms.TextBody)); body != "retry" {
+		t.Fatalf("second message = %q; torn payload must not survive", body)
+	}
+}
+
+// linkProxies lazily interposes one chaos proxy per replication link.
+type linkProxies struct {
+	mu sync.Mutex
+	m  map[[2]int]*chaos.Proxy
+}
+
+func newLinkProxies(t *testing.T) *linkProxies {
+	lp := &linkProxies{m: map[[2]int]*chaos.Proxy{}}
+	t.Cleanup(func() {
+		lp.mu.Lock()
+		defer lp.mu.Unlock()
+		for _, p := range lp.m {
+			_ = p.Close()
+		}
+	})
+	return lp
+}
+
+func (lp *linkProxies) wrap(from, to int, addr string) string {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	key := [2]int{from, to}
+	if p, ok := lp.m[key]; ok {
+		return p.Addr()
+	}
+	p, err := chaos.New(chaos.Options{Target: addr})
+	if err != nil {
+		return addr // fall back to the direct link
+	}
+	lp.m[key] = p
+	return p.Addr()
+}
+
+func (lp *linkProxies) get(from, to int) *chaos.Proxy {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	return lp.m[[2]int{from, to}]
+}
+
+// TestFailoverPreservesPersistentMessages is the tentpole end-to-end:
+// persistent messages across several queues, the node owning one of
+// them is killed, the failure detector promotes its follower, and a
+// fresh client receives every message — zero acked persistent loss.
+func TestFailoverPreservesPersistentMessages(t *testing.T) {
+	m := newTestManager(t, 3, Options{
+		Seed:            11,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 3,
+	})
+	c := m.Cluster()
+	sess := openSession(t, c)
+	queues := []jms.Queue{"fo-a", "fo-b", "fo-c"}
+	want := map[jms.Queue][]string{}
+	for qi, q := range queues {
+		for i := 0; i < 10; i++ {
+			body := fmt.Sprintf("q%d-m%02d", qi, i)
+			want[q] = append(want[q], body)
+		}
+		sendText(t, sess, q, want[q]...)
+	}
+	victim := c.QueueNode(queues[0].Name())
+	epochBefore := c.RoutingEpoch()
+
+	if !c.CrashNode(victim) {
+		t.Fatal("CrashNode refused")
+	}
+	poll(t, 5*time.Second, "promotion", func() bool { return m.Promotions() > 0 })
+	if got := c.RoutingEpoch(); got <= epochBefore {
+		t.Fatalf("routing epoch = %d, want > %d after promotion", got, epochBefore)
+	}
+	if !c.NodeDown(victim) {
+		t.Fatal("victim not marked down")
+	}
+	if err := c.RestartNode(victim); !errors.Is(err, jms.ErrFenced) {
+		t.Fatalf("restarting fenced node: err = %v, want ErrFenced", err)
+	}
+
+	sess2 := openSession(t, c)
+	for _, q := range queues {
+		if newOwner := c.QueueNode(q.Name()); newOwner == victim {
+			t.Fatalf("queue %s still routed to dead node %d", q, victim)
+		}
+		got := drainText(t, sess2, q, 500*time.Millisecond)
+		for _, body := range want[q] {
+			if !got[body] {
+				t.Errorf("queue %s: message %q lost in failover", q, body)
+			}
+		}
+	}
+	st := c.Status()
+	if st.Replication == nil || st.Replication.Promotions < 1 {
+		t.Fatal("cluster status missing replication promotion evidence")
+	}
+	if st.Epoch <= epochBefore {
+		t.Fatalf("status epoch = %d, want > %d", st.Epoch, epochBefore)
+	}
+}
+
+// TestPromotionDoesNotAckUnreplicated kills a primary while a producer
+// is blocked waiting for replication of a record its partitioned
+// follower never received: the send must FAIL (the record was never
+// covered) and the message must not surface after failover.
+func TestPromotionDoesNotAckUnreplicated(t *testing.T) {
+	lp := newLinkProxies(t)
+	m := newTestManager(t, 3, Options{
+		Seed:            23,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 3,
+		SyncTimeout:     30 * time.Second, // far beyond the detection budget
+		WrapLink:        lp.wrap,
+	})
+	c := m.Cluster()
+	q := jms.Queue("unacked")
+	primary := c.QueueNode(q.Name())
+	follower := m.followerFor(primary, "queue:"+q.Name())
+	if follower < 0 {
+		t.Fatal("no follower for queue")
+	}
+	poll(t, 2*time.Second, "replication link dialed", func() bool { return lp.get(primary, follower) != nil })
+	lp.get(primary, follower).Partition(chaos.Both)
+
+	sess := openSession(t, c)
+	sendErr := make(chan error, 1)
+	go func() {
+		p, err := sess.CreateProducer(q)
+		if err != nil {
+			sendErr <- err
+			return
+		}
+		sendErr <- p.Send(jms.NewTextMessage("in-flight"), jms.DefaultSendOptions())
+	}()
+	link := m.nodes[primary].senders[follower]
+	poll(t, 5*time.Second, "send blocked in replication barrier", func() bool {
+		link.mu.Lock()
+		defer link.mu.Unlock()
+		return len(link.pending) > 0
+	})
+	// The send is now blocked in the semisync barrier. Kill the primary;
+	// CrashNode itself blocks behind the in-flight send, the detector
+	// notices the wedged broker, promotes, and promotion halts the dead
+	// node's links — releasing the send with an error.
+	crashed := make(chan struct{})
+	go func() {
+		c.CrashNode(primary)
+		close(crashed)
+	}()
+	select {
+	case err := <-sendErr:
+		if err == nil {
+			t.Fatal("send of an unreplicated record reported success")
+		}
+		if !errors.Is(err, ErrHalted) {
+			t.Fatalf("send err = %v, want ErrHalted in chain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("send still blocked after promotion")
+	}
+	<-crashed
+	poll(t, 5*time.Second, "promotion", func() bool { return m.Promotions() > 0 })
+
+	sess2 := openSession(t, c)
+	if got := drainText(t, sess2, q, 300*time.Millisecond); got["in-flight"] {
+		t.Fatal("unacknowledged record surfaced after failover")
+	}
+}
+
+// TestReplicationLinkPartitionHealsDegraded partitions a replication
+// link mid-traffic: sends degrade (succeed without cover) after
+// SyncTimeout, the link heals and catches up, and a failover after the
+// heal still loses nothing — the chaos-on-replication-link story.
+func TestReplicationLinkPartitionHealsDegraded(t *testing.T) {
+	lp := newLinkProxies(t)
+	m := newTestManager(t, 3, Options{
+		Seed:            42,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 3,
+		SyncTimeout:     100 * time.Millisecond,
+		WrapLink:        lp.wrap,
+	})
+	c := m.Cluster()
+	q := jms.Queue("healme")
+	primary := c.QueueNode(q.Name())
+	follower := m.followerFor(primary, "queue:"+q.Name())
+	poll(t, 2*time.Second, "replication link dialed", func() bool { return lp.get(primary, follower) != nil })
+
+	sess := openSession(t, c)
+	sendText(t, sess, q, "before-partition")
+
+	link := m.nodes[primary].senders[follower]
+	lp.get(primary, follower).Partition(chaos.Both)
+	start := time.Now()
+	sendText(t, sess, q, "during-partition") // must succeed, degraded
+	if waited := time.Since(start); waited < 80*time.Millisecond {
+		t.Fatalf("degraded send returned in %v; semisync barrier did not engage", waited)
+	}
+	poll(t, 2*time.Second, "link degraded", link.isDegraded)
+
+	lp.get(primary, follower).Heal()
+	poll(t, 5*time.Second, "follower caught up", func() bool {
+		return !link.isDegraded() && link.lagRecords() == 0
+	})
+
+	sendText(t, sess, q, "after-heal")
+	c.CrashNode(primary)
+	poll(t, 5*time.Second, "promotion", func() bool { return m.Promotions() > 0 })
+
+	got := drainText(t, openSession(t, c), q, 500*time.Millisecond)
+	for _, body := range []string{"before-partition", "during-partition", "after-heal"} {
+		if !got[body] {
+			t.Errorf("message %q lost across partition+heal+failover", body)
+		}
+	}
+}
+
+// TestDurableSubscriptionFailover replicates a durable subscription and
+// its backlog: after the hosting node dies, the promoted follower
+// serves the subscription's pending messages, flagged redelivered only
+// if they had been handed out.
+func TestDurableSubscriptionFailover(t *testing.T) {
+	m := newTestManager(t, 3, Options{
+		Seed:            7,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 3,
+	})
+	c := m.Cluster()
+	conn, err := c.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := conn.SetClientID("dur-client"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := jms.Topic("events")
+	sub, err := sess.CreateDurableSubscriber(topic, "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sub.Close() // backlog accumulates while inactive
+	sendText(t, sess, topic, "e-1", "e-2", "e-3")
+
+	victim := c.DurableNode("dur-client", "keep")
+	c.CrashNode(victim)
+	poll(t, 5*time.Second, "promotion", func() bool { return m.Promotions() > 0 })
+
+	_ = conn.Close() // release the client ID for the reconnecting client
+	conn2, err := c.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn2.Close() })
+	if err := conn2.SetClientID("dur-client"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := conn2.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := sess2.CreateDurableSubscriber(topic, "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		msg, err := sub2.Receive(3 * time.Second)
+		if err != nil || msg == nil {
+			t.Fatalf("receive %d after failover: msg=%v err=%v", i, msg, err)
+		}
+		got[string(msg.Body.(jms.TextBody))] = true
+	}
+	for _, body := range []string{"e-1", "e-2", "e-3"} {
+		if !got[body] {
+			t.Errorf("durable backlog message %q lost in failover", body)
+		}
+	}
+}

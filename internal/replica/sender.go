@@ -1,0 +1,389 @@
+package replica
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+// pendingRec is one record shipped on a link and not yet acknowledged.
+type pendingRec struct {
+	seq  uint64
+	size int64
+}
+
+// sender is the primary side of one from→to replication link. It
+// subscribes to its node's committed-record stream, ships the records
+// whose endpoint the peer follows, and tracks the peer's cumulative
+// acknowledgement so producers can wait for replication cover
+// (waitFor). It reconnects forever until the link is halted (its own
+// node died) or the peer is declared dead.
+type sender struct {
+	m        *Manager
+	from, to int
+	stream   *store.Stream
+
+	stop chan struct{} // closed by halt
+
+	mu   sync.Mutex
+	wake chan struct{} // closed and replaced on every progress change
+	conn net.Conn      // live session's connection, closed to force re-handshake
+	// pending are shipped-but-unacked records in sequence order;
+	// lastProcessed is the newest stream seq demuxed (shipped or
+	// skipped). Acknowledged-through is pending[0]-1 when pending is
+	// non-empty, else lastProcessed.
+	pending       []pendingRec
+	lastProcessed uint64
+	// degraded: the peer failed to acknowledge within SyncTimeout;
+	// producers proceed without replication cover until the link
+	// catches back up (semisync degradation, not an error).
+	degraded bool
+	// resyncGen counts forceResync requests; needReset holds until a
+	// handshake carrying the reset reaches the peer.
+	resyncGen uint64
+	needReset bool
+	peerDead  bool
+	halted    bool
+}
+
+func newSender(m *Manager, from, to int) *sender {
+	return &sender{
+		m:      m,
+		from:   from,
+		to:     to,
+		stream: m.nodes[from].stream,
+		stop:   make(chan struct{}),
+		wake:   make(chan struct{}),
+	}
+}
+
+// broadcastLocked wakes every waitFor blocked on this link.
+func (s *sender) broadcastLocked() {
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// ackedThroughLocked is the highest stream seq known replicated.
+func (s *sender) ackedThroughLocked() uint64 {
+	if len(s.pending) > 0 {
+		return s.pending[0].seq - 1
+	}
+	return s.lastProcessed
+}
+
+// lagRecords is the link's record lag: stream head minus acked-through.
+func (s *sender) lagRecords() int64 {
+	s.mu.Lock()
+	acked := s.ackedThroughLocked()
+	s.mu.Unlock()
+	last := s.stream.LastSeq()
+	if last <= acked {
+		return 0
+	}
+	return int64(last - acked)
+}
+
+// lagBytes is the payload byte count of the unacked stream suffix.
+func (s *sender) lagBytes() int64 {
+	s.mu.Lock()
+	acked := s.ackedThroughLocked()
+	s.mu.Unlock()
+	return s.stream.SizeOfRange(acked)
+}
+
+func (s *sender) isDegraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded || s.peerDead
+}
+
+// waitFor blocks until the peer has acknowledged the stream through
+// seq, the link degrades (returns nil: the write proceeds without
+// cover), or replication halts because this node was declared dead
+// (returns ErrHalted: the producer must NOT see the write succeed).
+func (s *sender) waitFor(seq uint64) error {
+	timer := time.NewTimer(s.m.opts.SyncTimeout)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		switch {
+		case s.halted:
+			s.mu.Unlock()
+			return ErrHalted
+		case s.peerDead || s.degraded:
+			s.mu.Unlock()
+			return nil
+		case s.ackedThroughLocked() >= seq:
+			s.mu.Unlock()
+			return nil
+		}
+		wake := s.wake
+		s.mu.Unlock()
+		select {
+		case <-wake:
+		case <-s.stop:
+			// Re-check under the lock; halted wins.
+		case <-timer.C:
+			s.setDegraded()
+			return nil
+		}
+	}
+}
+
+// setDegraded flips the link into degraded mode (peer too slow or
+// unreachable); producers stop waiting on it until it catches up.
+func (s *sender) setDegraded() {
+	s.mu.Lock()
+	if !s.degraded && !s.halted && !s.peerDead {
+		s.degraded = true
+		s.broadcastLocked()
+		s.mu.Unlock()
+		s.m.event("link %d->%d: degraded (no follower ack within %v)", s.from, s.to, s.m.opts.SyncTimeout)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// halt stops the link with prejudice: every blocked producer gets
+// ErrHalted. Used when this sender's own node is declared dead (its
+// in-flight unreplicated records must never be acked to clients) and on
+// manager shutdown.
+func (s *sender) halt() {
+	s.mu.Lock()
+	if s.halted {
+		s.mu.Unlock()
+		return
+	}
+	s.halted = true
+	close(s.stop)
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// markPeerDead detaches the link from a peer declared dead: blocked
+// producers proceed (their records re-cover on the post-promotion
+// resync toward the new follower) and the dial loop exits.
+func (s *sender) markPeerDead() {
+	s.mu.Lock()
+	if s.peerDead || s.halted {
+		s.mu.Unlock()
+		return
+	}
+	s.peerDead = true
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// forceResync makes the next session replay the stream from the start
+// with a reset handshake (the peer drops this source's state first).
+// Needed whenever follower assignment changes: the cumulative cursor
+// cannot express records that were skipped while another node was the
+// follower.
+func (s *sender) forceResync() {
+	s.mu.Lock()
+	s.needReset = true
+	s.resyncGen++
+	if s.conn != nil {
+		s.conn.Close() // current session ends; redial re-handshakes
+	}
+	s.mu.Unlock()
+}
+
+// run dials and runs replication sessions until the link dies.
+func (s *sender) run() {
+	backoff := 5 * time.Millisecond
+	for {
+		s.mu.Lock()
+		dead := s.halted || s.peerDead
+		s.mu.Unlock()
+		if dead {
+			return
+		}
+		if err := s.connect(); err == nil {
+			backoff = 5 * time.Millisecond
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// connect runs one session; nil means a clean teardown (forced resync
+// or shutdown), an error means dial/handshake/session failure.
+func (s *sender) connect() error {
+	conn, err := net.DialTimeout("tcp", s.m.linkAddr(s.from, s.to), linkIOTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	s.mu.Lock()
+	if s.halted || s.peerDead {
+		s.mu.Unlock()
+		return nil
+	}
+	s.conn = conn
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.conn = nil
+		s.mu.Unlock()
+	}()
+	return s.session(conn)
+}
+
+func (s *sender) session(conn net.Conn) error {
+	s.mu.Lock()
+	reset := s.needReset
+	gen := s.resyncGen
+	s.mu.Unlock()
+
+	e := jms.NewEncoder([]byte{frHello})
+	e.String(s.m.nodes[s.from].name)
+	e.Bool(reset)
+	if err := writeFrame(conn, e.Bytes()); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(linkIOTimeout))
+	payload, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 || payload[0] != frHelloAck {
+		return errBadFrame
+	}
+	d := jms.NewDecoder(payload[1:])
+	lastApplied := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// The reset reached the peer; clear the flag unless another
+	// forceResync raced in since the handshake started.
+	if reset {
+		s.mu.Lock()
+		if s.resyncGen == gen {
+			s.needReset = false
+		}
+		s.mu.Unlock()
+		lastApplied = 0
+	}
+	sub, err := s.stream.Subscribe(lastApplied)
+	if err != nil {
+		s.mu.Lock()
+		s.needReset = true
+		s.resyncGen++
+		s.mu.Unlock()
+		return err // position trimmed: next session full-resyncs
+	}
+	defer sub.Close()
+	s.mu.Lock()
+	s.pending = s.pending[:0]
+	s.lastProcessed = lastApplied
+	s.broadcastLocked()
+	s.mu.Unlock()
+
+	// The ack reader ends the session on any inbound error; the
+	// stopOrDone combiner translates either teardown path into a stop
+	// for the stream subscriber.
+	sessDone := make(chan struct{})
+	var once sync.Once
+	endSession := func() { once.Do(func() { close(sessDone) }) }
+	defer endSession()
+	go func() {
+		defer endSession()
+		for {
+			_ = conn.SetReadDeadline(time.Time{})
+			payload, err := readFrame(br)
+			if err != nil || len(payload) == 0 || payload[0] != frAck {
+				return
+			}
+			d := jms.NewDecoder(payload[1:])
+			seq := d.Uvarint()
+			if d.Err() != nil {
+				return
+			}
+			s.onAck(seq)
+		}
+	}()
+	stopOrDone := make(chan struct{})
+	go func() {
+		select {
+		case <-s.stop:
+		case <-sessDone:
+		}
+		close(stopOrDone)
+	}()
+
+	for {
+		batch, err := sub.Next(stopOrDone)
+		if err != nil {
+			return err // stream closed or trimmed
+		}
+		if batch == nil {
+			return nil // session torn down or sender stopping
+		}
+		for _, rec := range batch {
+			op, derr := store.DecodeOp(rec.Payload)
+			if derr != nil {
+				return derr
+			}
+			ship := s.m.followerFor(s.from, op.EndpointOf()) == s.to
+			if ship {
+				s.mu.Lock()
+				s.pending = append(s.pending, pendingRec{seq: rec.Seq, size: int64(len(rec.Payload))})
+				s.mu.Unlock()
+				e := jms.NewEncoder([]byte{frRecord})
+				e.Uvarint(rec.Seq)
+				e.Blob(rec.Payload)
+				if werr := writeFrame(conn, e.Bytes()); werr != nil {
+					return werr
+				}
+			}
+			s.mu.Lock()
+			s.lastProcessed = rec.Seq
+			if !ship && len(s.pending) == 0 {
+				// Skipped records advance acked-through directly.
+				s.broadcastLocked()
+			}
+			s.mu.Unlock()
+		}
+		s.m.updateLag()
+	}
+}
+
+// onAck processes the peer's cumulative acknowledgement.
+func (s *sender) onAck(seq uint64) {
+	s.mu.Lock()
+	drop := 0
+	for drop < len(s.pending) && s.pending[drop].seq <= seq {
+		drop++
+	}
+	if drop > 0 {
+		s.pending = append(s.pending[:0], s.pending[drop:]...)
+	}
+	if s.degraded && len(s.pending) == 0 && s.lastProcessed == s.stream.LastSeq() {
+		s.degraded = false
+		s.mu.Unlock()
+		s.m.event("link %d->%d: follower caught up, sync restored", s.from, s.to)
+		s.mu.Lock()
+	}
+	s.broadcastLocked()
+	s.mu.Unlock()
+	s.m.updateLag()
+}

@@ -1,0 +1,67 @@
+package replica
+
+import (
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+// replicatedStore decorates a node's stable store with the semisync
+// replication barrier: every mutation first commits locally (and
+// publishes to the node's committed-record stream), then blocks until
+// the endpoint's follower has acknowledged the stream through that
+// record. The stream sequence to wait for is read *after* the inner
+// call returns — both the WAL group-commit loop and the Streamed
+// decorator publish before releasing the caller, so LastSeq() is
+// guaranteed to cover this mutation.
+type replicatedStore struct {
+	inner  store.Store
+	stream *store.Stream
+	m      *Manager
+	node   int
+}
+
+var _ store.Store = (*replicatedStore)(nil)
+
+func (r *replicatedStore) barrier(endpoint string) error {
+	return r.m.waitReplicated(r.node, endpoint, r.stream.LastSeq())
+}
+
+func (r *replicatedStore) AddMessage(endpoint string, msg *jms.Message) (store.RecordID, error) {
+	id, err := r.inner.AddMessage(endpoint, msg)
+	if err != nil {
+		return 0, err
+	}
+	return id, r.barrier(endpoint)
+}
+
+func (r *replicatedStore) RemoveMessage(endpoint string, id store.RecordID) error {
+	if err := r.inner.RemoveMessage(endpoint, id); err != nil {
+		return err
+	}
+	return r.barrier(endpoint)
+}
+
+func (r *replicatedStore) MarkDelivered(endpoint string, id store.RecordID) error {
+	if err := r.inner.MarkDelivered(endpoint, id); err != nil {
+		return err
+	}
+	return r.barrier(endpoint)
+}
+
+func (r *replicatedStore) AddSubscription(sub store.SubscriptionRecord) error {
+	if err := r.inner.AddSubscription(sub); err != nil {
+		return err
+	}
+	return r.barrier("sub:" + sub.ClientID + ":" + sub.Name)
+}
+
+func (r *replicatedStore) RemoveSubscription(clientID, name string) error {
+	if err := r.inner.RemoveSubscription(clientID, name); err != nil {
+		return err
+	}
+	return r.barrier("sub:" + clientID + ":" + name)
+}
+
+func (r *replicatedStore) Snapshot() (*store.State, error) { return r.inner.Snapshot() }
+
+func (r *replicatedStore) Close() error { return r.inner.Close() }

@@ -1,0 +1,455 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"jmsharness/internal/jms"
+)
+
+// This file is the store half of destination replication: a committed
+// mutation stream a follower can subscribe to, plus the shared record
+// codec and an Applier that replays records against any Store. The WAL
+// publishes into a Stream from its group-commit loop (so a record is
+// only ever streamed after it is durable), and Streamed decorates the
+// in-memory store with the same contract.
+
+// OpKind tags one durable mutation. The values double as the WAL's
+// on-disk record type bytes, so a WAL payload and a replication-stream
+// payload are the same bytes.
+type OpKind byte
+
+const (
+	OpAddMessage OpKind = iota + 1
+	OpRemoveMessage
+	OpAddSubscription
+	OpRemoveSubscription
+	OpMarkDelivered
+)
+
+// Op is one decoded durable mutation.
+type Op struct {
+	Kind OpKind
+	// ID is the originating store's record ID for message ops. An
+	// Applier maps it to the destination store's own ID space.
+	ID       RecordID
+	Endpoint string
+	Msg      *jms.Message       // OpAddMessage only
+	Sub      SubscriptionRecord // OpAddSubscription only
+	ClientID string             // OpRemoveSubscription only
+	Name     string             // OpRemoveSubscription only
+}
+
+// AppendOp encodes op into e in the shared record format: 1 type byte
+// followed by type-specific fields.
+func AppendOp(e *jms.Encoder, op Op) {
+	e.Byte(byte(op.Kind))
+	switch op.Kind {
+	case OpAddMessage:
+		e.Uvarint(uint64(op.ID))
+		e.String(op.Endpoint)
+		op.Msg.EncodeTo(e)
+	case OpRemoveMessage, OpMarkDelivered:
+		e.Uvarint(uint64(op.ID))
+		e.String(op.Endpoint)
+	case OpAddSubscription:
+		e.String(op.Sub.ClientID)
+		e.String(op.Sub.Name)
+		e.String(op.Sub.Topic)
+		e.String(op.Sub.Selector)
+	case OpRemoveSubscription:
+		e.String(op.ClientID)
+		e.String(op.Name)
+	}
+}
+
+// DecodeOp parses one record payload.
+func DecodeOp(payload []byte) (Op, error) {
+	if len(payload) == 0 {
+		return Op{}, errors.New("store: empty record")
+	}
+	op := Op{Kind: OpKind(payload[0])}
+	d := jms.NewDecoder(payload[1:])
+	switch op.Kind {
+	case OpAddMessage:
+		op.ID = RecordID(d.Uvarint())
+		op.Endpoint = d.String()
+		var msg jms.Message
+		msg.DecodeFrom(d)
+		op.Msg = &msg
+	case OpRemoveMessage, OpMarkDelivered:
+		op.ID = RecordID(d.Uvarint())
+		op.Endpoint = d.String()
+	case OpAddSubscription:
+		op.Sub = SubscriptionRecord{
+			ClientID: d.String(), Name: d.String(), Topic: d.String(), Selector: d.String(),
+		}
+	case OpRemoveSubscription:
+		op.ClientID, op.Name = d.String(), d.String()
+	default:
+		return Op{}, fmt.Errorf("store: unknown record type %d", payload[0])
+	}
+	if err := d.Err(); err != nil {
+		return Op{}, err
+	}
+	return op, nil
+}
+
+// EndpointOf returns the endpoint a message op targets, or the durable
+// subscription endpoint for subscription ops ("" when the op has no
+// endpoint identity). Replication uses it to pick the op's follower.
+func (op Op) EndpointOf() string {
+	switch op.Kind {
+	case OpAddMessage, OpRemoveMessage, OpMarkDelivered:
+		return op.Endpoint
+	case OpAddSubscription:
+		return "sub:" + op.Sub.ClientID + ":" + op.Sub.Name
+	case OpRemoveSubscription:
+		return "sub:" + op.ClientID + ":" + op.Name
+	}
+	return ""
+}
+
+// Applier replays a stream of ops against Dst, translating the source
+// store's record IDs into Dst's. It is the id-mapping core shared by
+// WAL replay and replication followers. Not safe for concurrent use.
+type Applier struct {
+	Dst Store
+	ids map[string]map[RecordID]RecordID
+}
+
+// Apply applies one op. Mark-delivered of an unknown record is a no-op
+// (it may race an acknowledge, exactly as in Store.MarkDelivered);
+// removing an unknown record is an error.
+func (a *Applier) Apply(op Op) error {
+	switch op.Kind {
+	case OpAddMessage:
+		dstID, err := a.Dst.AddMessage(op.Endpoint, op.Msg)
+		if err != nil {
+			return err
+		}
+		a.Map(op.Endpoint, op.ID, dstID)
+	case OpRemoveMessage:
+		dstID, ok := a.Lookup(op.Endpoint, op.ID)
+		if !ok {
+			return fmt.Errorf("store: remove of unknown record %d on %q", op.ID, op.Endpoint)
+		}
+		if err := a.Dst.RemoveMessage(op.Endpoint, dstID); err != nil {
+			return err
+		}
+		delete(a.ids[op.Endpoint], op.ID)
+	case OpMarkDelivered:
+		if dstID, ok := a.Lookup(op.Endpoint, op.ID); ok {
+			if err := a.Dst.MarkDelivered(op.Endpoint, dstID); err != nil {
+				return err
+			}
+		}
+	case OpAddSubscription:
+		if err := a.Dst.AddSubscription(op.Sub); err != nil {
+			return err
+		}
+	case OpRemoveSubscription:
+		if err := a.Dst.RemoveSubscription(op.ClientID, op.Name); err != nil {
+			return err
+		}
+		delete(a.ids, "sub:"+op.ClientID+":"+op.Name)
+	default:
+		return fmt.Errorf("store: unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// Map records a source→destination ID translation.
+func (a *Applier) Map(endpoint string, src, dst RecordID) {
+	if a.ids == nil {
+		a.ids = map[string]map[RecordID]RecordID{}
+	}
+	if a.ids[endpoint] == nil {
+		a.ids[endpoint] = map[RecordID]RecordID{}
+	}
+	a.ids[endpoint][src] = dst
+}
+
+// Lookup translates a source ID.
+func (a *Applier) Lookup(endpoint string, src RecordID) (RecordID, bool) {
+	m, ok := a.ids[endpoint]
+	if !ok {
+		return 0, false
+	}
+	id, ok := m[src]
+	return id, ok
+}
+
+// Reset drops every translation, for a full resync.
+func (a *Applier) Reset() { a.ids = nil }
+
+// ErrStreamTrimmed reports that a subscriber's position was trimmed out
+// of the stream's retained window; the subscriber must full-resync.
+var ErrStreamTrimmed = errors.New("store: stream position trimmed")
+
+// ErrStreamClosed reports the stream was closed.
+var ErrStreamClosed = errors.New("store: stream closed")
+
+// StreamRecord is one committed record with its stream sequence number.
+// Sequence numbers start at 1 and are dense.
+type StreamRecord struct {
+	Seq     uint64
+	Payload []byte // immutable after publication
+}
+
+// Stream is an in-order log of committed store records that followers
+// subscribe to. Publishers append only records that are already durable
+// in the source store, so a subscriber replaying the stream can never
+// observe a record the source might lose.
+type Stream struct {
+	mu     sync.Mutex
+	recs   []StreamRecord
+	base   uint64 // highest trimmed-away sequence number; recs start at base+1
+	bytes  int64  // total payload bytes retained
+	subs   map[*StreamSub]struct{}
+	closed bool
+}
+
+// NewStream returns an empty stream.
+func NewStream() *Stream {
+	return &Stream{subs: map[*StreamSub]struct{}{}}
+}
+
+// Publish appends payloads (copied) in order, assigning sequence
+// numbers, and wakes subscribers. It must be called only after the
+// records are committed in the source store.
+func (s *Stream) Publish(payloads ...[]byte) {
+	if len(payloads) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	seq := s.base + uint64(len(s.recs))
+	for _, p := range payloads {
+		seq++
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		s.recs = append(s.recs, StreamRecord{Seq: seq, Payload: cp})
+		s.bytes += int64(len(cp))
+	}
+	for sub := range s.subs {
+		sub.wake()
+	}
+	s.mu.Unlock()
+}
+
+// LastSeq returns the sequence number of the newest published record
+// (0 when nothing was ever published).
+func (s *Stream) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base + uint64(len(s.recs))
+}
+
+// Bytes returns the total payload bytes currently retained.
+func (s *Stream) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// SizeOfRange returns the payload bytes of retained records in
+// (after, LastSeq] — a follower's byte lag at position after.
+func (s *Stream) SizeOfRange(after uint64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, r := range s.recs {
+		if r.Seq > after {
+			n += int64(len(r.Payload))
+		}
+	}
+	return n
+}
+
+// TrimTo discards retained records with Seq ≤ seq. Subscribers behind
+// the trim point get ErrStreamTrimmed and must full-resync.
+func (s *Stream) TrimTo(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.base {
+		return
+	}
+	last := s.base + uint64(len(s.recs))
+	if seq > last {
+		seq = last
+	}
+	drop := int(seq - s.base)
+	for _, r := range s.recs[:drop] {
+		s.bytes -= int64(len(r.Payload))
+	}
+	s.recs = append([]StreamRecord(nil), s.recs[drop:]...)
+	s.base = seq
+}
+
+// Subscribe returns a subscriber positioned just after sequence number
+// after (0 replays from the beginning). Fails with ErrStreamTrimmed if
+// that position is no longer retained.
+func (s *Stream) Subscribe(after uint64) (*StreamSub, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStreamClosed
+	}
+	if after < s.base {
+		return nil, fmt.Errorf("%w: want records after %d, retained start at %d", ErrStreamTrimmed, after, s.base+1)
+	}
+	sub := &StreamSub{s: s, next: after + 1, notify: make(chan struct{}, 1)}
+	s.subs[sub] = struct{}{}
+	return sub, nil
+}
+
+// Close wakes and invalidates all subscribers.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for sub := range s.subs {
+		sub.wake()
+	}
+	s.subs = map[*StreamSub]struct{}{}
+	s.mu.Unlock()
+}
+
+// StreamSub is one subscriber's cursor into a Stream.
+type StreamSub struct {
+	s      *Stream
+	next   uint64
+	notify chan struct{}
+}
+
+func (sub *StreamSub) wake() {
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next returns the batch of records after the cursor, advancing it.
+// With no records pending it blocks until a publish, a Stream close, or
+// a receive on stop. Returns (nil, nil) when stopped.
+func (sub *StreamSub) Next(stop <-chan struct{}) ([]StreamRecord, error) {
+	for {
+		sub.s.mu.Lock()
+		if sub.next <= sub.s.base {
+			sub.s.mu.Unlock()
+			return nil, ErrStreamTrimmed
+		}
+		start := int(sub.next - sub.s.base - 1)
+		if start < len(sub.s.recs) {
+			batch := sub.s.recs[start:]
+			sub.next = sub.s.base + uint64(len(sub.s.recs)) + 1
+			sub.s.mu.Unlock()
+			return batch, nil
+		}
+		if sub.s.closed {
+			sub.s.mu.Unlock()
+			return nil, ErrStreamClosed
+		}
+		sub.s.mu.Unlock()
+		select {
+		case <-sub.notify:
+		case <-stop:
+			return nil, nil
+		}
+	}
+}
+
+// Close detaches the subscriber from the stream.
+func (sub *StreamSub) Close() {
+	sub.s.mu.Lock()
+	delete(sub.s.subs, sub)
+	sub.s.mu.Unlock()
+}
+
+// Streamed decorates a Store so every committed mutation is also
+// published to a Stream, giving Memory-backed nodes the same
+// replication feed the WAL produces from its group-commit loop. The
+// publish happens after the inner call succeeds, so — like the WAL
+// path — a streamed record is always durable at the source. Causally
+// related records (an acknowledge can only follow the send that
+// produced its ID) publish in causal order because each op publishes
+// before its call returns.
+type Streamed struct {
+	inner Store
+	s     *Stream
+}
+
+// NewStreamed wraps inner, publishing committed ops to s.
+func NewStreamed(inner Store, s *Stream) *Streamed {
+	return &Streamed{inner: inner, s: s}
+}
+
+var _ Store = (*Streamed)(nil)
+
+// Stream returns the stream mutations are published to.
+func (t *Streamed) Stream() *Stream { return t.s }
+
+func (t *Streamed) publish(op Op) {
+	e := jms.NewEncoder(nil)
+	AppendOp(e, op)
+	t.s.Publish(e.Bytes())
+}
+
+// AddMessage implements Store.
+func (t *Streamed) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
+	id, err := t.inner.AddMessage(endpoint, msg)
+	if err != nil {
+		return 0, err
+	}
+	t.publish(Op{Kind: OpAddMessage, ID: id, Endpoint: endpoint, Msg: msg})
+	return id, nil
+}
+
+// RemoveMessage implements Store.
+func (t *Streamed) RemoveMessage(endpoint string, id RecordID) error {
+	if err := t.inner.RemoveMessage(endpoint, id); err != nil {
+		return err
+	}
+	t.publish(Op{Kind: OpRemoveMessage, ID: id, Endpoint: endpoint})
+	return nil
+}
+
+// MarkDelivered implements Store.
+func (t *Streamed) MarkDelivered(endpoint string, id RecordID) error {
+	if err := t.inner.MarkDelivered(endpoint, id); err != nil {
+		return err
+	}
+	t.publish(Op{Kind: OpMarkDelivered, ID: id, Endpoint: endpoint})
+	return nil
+}
+
+// AddSubscription implements Store.
+func (t *Streamed) AddSubscription(sub SubscriptionRecord) error {
+	if err := t.inner.AddSubscription(sub); err != nil {
+		return err
+	}
+	t.publish(Op{Kind: OpAddSubscription, Sub: sub})
+	return nil
+}
+
+// RemoveSubscription implements Store.
+func (t *Streamed) RemoveSubscription(clientID, name string) error {
+	if err := t.inner.RemoveSubscription(clientID, name); err != nil {
+		return err
+	}
+	t.publish(Op{Kind: OpRemoveSubscription, ClientID: clientID, Name: name})
+	return nil
+}
+
+// Snapshot implements Store.
+func (t *Streamed) Snapshot() (*State, error) { return t.inner.Snapshot() }
+
+// Close implements Store.
+func (t *Streamed) Close() error {
+	t.s.Close()
+	return t.inner.Close()
+}

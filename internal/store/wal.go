@@ -2,7 +2,6 @@ package store
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -54,9 +53,15 @@ type WAL struct {
 	// Snapshot is refused too: the mirror may hold records whose commit
 	// failed — state the caller was explicitly told is not durable.
 	failed error
-	// remap translates mirror record IDs to WAL record IDs so the two
-	// stay consistent across compaction. The WAL assigns its own IDs.
-	ids map[string]map[RecordID]RecordID
+	// app applies records to the mirror, translating WAL record IDs to
+	// mirror IDs so the two stay consistent across compaction. The WAL
+	// assigns its own IDs.
+	app Applier
+	// stream, when set, receives every committed record payload from
+	// the group-commit loop — after the batch is durable, before its
+	// waiters are released — so replication followers never see a
+	// record that a crash could still lose.
+	stream *Stream
 
 	// reqCh feeds the committer goroutine. Sends happen only under mu,
 	// which makes closing the channel in Close safe and gives the log
@@ -96,15 +101,6 @@ func CommitBatchBounds() []int64 {
 	return out
 }
 
-// Record type tags.
-const (
-	recAddMessage byte = iota + 1
-	recRemoveMessage
-	recAddSubscription
-	recRemoveSubscription
-	recMarkDelivered
-)
-
 // maxCommitBatch bounds how many records one group commit may coalesce,
 // keeping a single batch's buffer (and the latency of the callers at
 // its head) bounded under extreme writer counts.
@@ -118,6 +114,10 @@ type WALOptions struct {
 	// Metrics receives the WAL's instruments ("wal.commit_batch",
 	// "wal.sync_ns", "wal.records"). Nil means a private registry.
 	Metrics *obs.Registry
+	// Stream, when non-nil, receives every committed record payload
+	// (replayed history first, then live records from the group-commit
+	// loop) for replication followers to subscribe to.
+	Stream *Stream
 }
 
 // OpenWAL opens (or creates) the log at path, replaying existing records
@@ -136,7 +136,7 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 		sync:          opts.Sync,
 		f:             f,
 		mirror:        NewMemory(),
-		ids:           map[string]map[RecordID]RecordID{},
+		stream:        opts.Stream,
 		reqCh:         make(chan walCommit, maxCommitBatch),
 		committerDone: make(chan struct{}),
 		met: walMetrics{
@@ -146,6 +146,7 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 			records:    reg.Counter("wal.records"),
 		},
 	}
+	w.app.Dst = w.mirror
 	if err := w.replay(); err != nil {
 		_ = f.Close()
 		return nil, err
@@ -169,6 +170,7 @@ func (w *WAL) replay() error {
 	}
 	pos := 0
 	goodEnd := 0
+	var replayed [][]byte
 	for pos < len(data) {
 		payload, next, ok := readFrame(data, pos)
 		if !ok {
@@ -177,8 +179,16 @@ func (w *WAL) replay() error {
 		if err := w.apply(payload); err != nil {
 			return fmt.Errorf("store: WAL record at offset %d: %w", pos, err)
 		}
+		if w.stream != nil {
+			replayed = append(replayed, payload)
+		}
 		pos = next
 		goodEnd = next
+	}
+	if w.stream != nil {
+		// Seed the stream with the durable history so a follower that
+		// resyncs from offset zero receives the full state.
+		w.stream.Publish(replayed...)
 	}
 	if goodEnd < len(data) {
 		if err := w.f.Truncate(int64(goodEnd)); err != nil {
@@ -226,90 +236,17 @@ func appendFrame(buf, payload []byte) []byte {
 
 // apply interprets one record payload against the mirror.
 func (w *WAL) apply(payload []byte) error {
-	if len(payload) == 0 {
-		return errors.New("empty record")
+	op, err := DecodeOp(payload)
+	if err != nil {
+		return err
 	}
-	d := jms.NewDecoder(payload[1:])
-	switch payload[0] {
-	case recAddMessage:
-		id := RecordID(d.Uvarint())
-		endpoint := d.String()
-		var msg jms.Message
-		msg.DecodeFrom(d)
-		if err := d.Err(); err != nil {
-			return err
-		}
-		mirrorID, err := w.mirror.AddMessage(endpoint, &msg)
-		if err != nil {
-			return err
-		}
-		w.mapID(endpoint, id, mirrorID)
-		if id > w.nextID {
-			w.nextID = id
-		}
-	case recRemoveMessage:
-		id := RecordID(d.Uvarint())
-		endpoint := d.String()
-		if err := d.Err(); err != nil {
-			return err
-		}
-		mirrorID, ok := w.lookupID(endpoint, id)
-		if !ok {
-			return fmt.Errorf("remove of unknown record %d on %q", id, endpoint)
-		}
-		if err := w.mirror.RemoveMessage(endpoint, mirrorID); err != nil {
-			return err
-		}
-		delete(w.ids[endpoint], id)
-	case recMarkDelivered:
-		id := RecordID(d.Uvarint())
-		endpoint := d.String()
-		if err := d.Err(); err != nil {
-			return err
-		}
-		if mirrorID, ok := w.lookupID(endpoint, id); ok {
-			if err := w.mirror.MarkDelivered(endpoint, mirrorID); err != nil {
-				return err
-			}
-		}
-	case recAddSubscription:
-		sub := SubscriptionRecord{
-			ClientID: d.String(), Name: d.String(), Topic: d.String(), Selector: d.String(),
-		}
-		if err := d.Err(); err != nil {
-			return err
-		}
-		if err := w.mirror.AddSubscription(sub); err != nil {
-			return err
-		}
-	case recRemoveSubscription:
-		clientID, name := d.String(), d.String()
-		if err := d.Err(); err != nil {
-			return err
-		}
-		if err := w.mirror.RemoveSubscription(clientID, name); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown record type %d", payload[0])
+	if err := w.app.Apply(op); err != nil {
+		return err
+	}
+	if op.Kind == OpAddMessage && op.ID > w.nextID {
+		w.nextID = op.ID
 	}
 	return nil
-}
-
-func (w *WAL) mapID(endpoint string, walID, mirrorID RecordID) {
-	if w.ids[endpoint] == nil {
-		w.ids[endpoint] = map[RecordID]RecordID{}
-	}
-	w.ids[endpoint][walID] = mirrorID
-}
-
-func (w *WAL) lookupID(endpoint string, walID RecordID) (RecordID, bool) {
-	m, ok := w.ids[endpoint]
-	if !ok {
-		return 0, false
-	}
-	id, ok := m[walID]
-	return id, ok
 }
 
 // commitLoop is the committer goroutine: it drains reqCh, coalescing
@@ -319,7 +256,8 @@ func (w *WAL) lookupID(endpoint string, walID RecordID) (RecordID, bool) {
 // committer (see failMu), so it reports errors via setFailed only.
 func (w *WAL) commitLoop() {
 	defer close(w.committerDone)
-	var frame []byte // reused frame-encoding buffer
+	var frame []byte       // reused frame-encoding buffer
+	var published [][]byte // reused stream-publication scratch
 	// sticky is the committer's copy of the first commit error. A
 	// failed write can leave a torn frame mid-log, and replay stops at
 	// the first bad frame — so appending records already buffered in
@@ -369,6 +307,19 @@ func (w *WAL) commitLoop() {
 			if err != nil {
 				sticky = err
 				w.setFailed(err)
+			} else if w.stream != nil && records > 0 {
+				// Publish the now-durable batch before releasing its
+				// waiters: a caller observing its own write complete can
+				// rely on the record already being in the stream, which
+				// is what lets semi-synchronous replication wait on the
+				// stream's LastSeq after a store call returns.
+				published = published[:0]
+				for _, c := range pending {
+					if c.payload != nil {
+						published = append(published, c.payload)
+					}
+				}
+				w.stream.Publish(published...)
 			}
 		}
 		for _, c := range pending {
@@ -438,10 +389,7 @@ func (w *WAL) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
 	w.nextID++
 	id := w.nextID
 	e := jms.NewEncoder(*buf)
-	e.Byte(recAddMessage)
-	e.Uvarint(uint64(id))
-	e.String(endpoint)
-	msg.EncodeTo(e)
+	AppendOp(e, Op{Kind: OpAddMessage, ID: id, Endpoint: endpoint, Msg: msg})
 	mirrorID, err := w.mirror.AddMessage(endpoint, msg)
 	if err != nil {
 		w.nextID--
@@ -449,7 +397,7 @@ func (w *WAL) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
 		putEnc(buf)
 		return 0, err
 	}
-	w.mapID(endpoint, id, mirrorID)
+	w.app.Map(endpoint, id, mirrorID)
 	done := w.commitLocked(e.Bytes())
 	w.mu.Unlock()
 	// The wait below is the "WAL-commit wait" hop of a message's
@@ -475,7 +423,7 @@ func (w *WAL) RemoveMessage(endpoint string, id RecordID) error {
 		putEnc(buf)
 		return err
 	}
-	mirrorID, ok := w.lookupID(endpoint, id)
+	mirrorID, ok := w.app.Lookup(endpoint, id)
 	if !ok {
 		w.mu.Unlock()
 		putEnc(buf)
@@ -486,11 +434,9 @@ func (w *WAL) RemoveMessage(endpoint string, id RecordID) error {
 		putEnc(buf)
 		return err
 	}
-	delete(w.ids[endpoint], id)
+	delete(w.app.ids[endpoint], id)
 	e := jms.NewEncoder(*buf)
-	e.Byte(recRemoveMessage)
-	e.Uvarint(uint64(id))
-	e.String(endpoint)
+	AppendOp(e, Op{Kind: OpRemoveMessage, ID: id, Endpoint: endpoint})
 	done := w.commitLocked(e.Bytes())
 	w.mu.Unlock()
 	err := <-done
@@ -508,7 +454,7 @@ func (w *WAL) MarkDelivered(endpoint string, id RecordID) error {
 		putEnc(buf)
 		return err
 	}
-	mirrorID, ok := w.lookupID(endpoint, id)
+	mirrorID, ok := w.app.Lookup(endpoint, id)
 	if !ok {
 		w.mu.Unlock()
 		putEnc(buf)
@@ -520,9 +466,7 @@ func (w *WAL) MarkDelivered(endpoint string, id RecordID) error {
 		return err
 	}
 	e := jms.NewEncoder(*buf)
-	e.Byte(recMarkDelivered)
-	e.Uvarint(uint64(id))
-	e.String(endpoint)
+	AppendOp(e, Op{Kind: OpMarkDelivered, ID: id, Endpoint: endpoint})
 	done := w.commitLocked(e.Bytes())
 	w.mu.Unlock()
 	err := <-done
@@ -546,11 +490,7 @@ func (w *WAL) AddSubscription(sub SubscriptionRecord) error {
 		return err
 	}
 	e := jms.NewEncoder(*buf)
-	e.Byte(recAddSubscription)
-	e.String(sub.ClientID)
-	e.String(sub.Name)
-	e.String(sub.Topic)
-	e.String(sub.Selector)
+	AppendOp(e, Op{Kind: OpAddSubscription, Sub: sub})
 	done := w.commitLocked(e.Bytes())
 	w.mu.Unlock()
 	err := <-done
@@ -573,10 +513,9 @@ func (w *WAL) RemoveSubscription(clientID, name string) error {
 		putEnc(buf)
 		return err
 	}
+	delete(w.app.ids, "sub:"+clientID+":"+name)
 	e := jms.NewEncoder(*buf)
-	e.Byte(recRemoveSubscription)
-	e.String(clientID)
-	e.String(name)
+	AppendOp(e, Op{Kind: OpRemoveSubscription, ClientID: clientID, Name: name})
 	done := w.commitLocked(e.Bytes())
 	w.mu.Unlock()
 	err := <-done
@@ -606,7 +545,7 @@ func (w *WAL) Snapshot() (*State, error) {
 	// Translate mirror IDs back to WAL IDs.
 	for ep, msgs := range st.Messages {
 		reverse := map[RecordID]RecordID{}
-		for walID, mirrorID := range w.ids[ep] {
+		for walID, mirrorID := range w.app.ids[ep] {
 			reverse[mirrorID] = walID
 		}
 		for i := range msgs {
@@ -654,18 +593,14 @@ func (w *WAL) Compact() error {
 	}
 	for _, sub := range st.Subscriptions {
 		e := jms.NewEncoder(nil)
-		e.Byte(recAddSubscription)
-		e.String(sub.ClientID)
-		e.String(sub.Name)
-		e.String(sub.Topic)
-		e.String(sub.Selector)
+		AppendOp(e, Op{Kind: OpAddSubscription, Sub: sub})
 		if err := writeRec(e.Bytes()); err != nil {
 			_ = tmp.Close()
 			return fmt.Errorf("store: compacting: %w", err)
 		}
 	}
 	reverse := map[string]map[RecordID]RecordID{}
-	for ep, m := range w.ids {
+	for ep, m := range w.app.ids {
 		reverse[ep] = map[RecordID]RecordID{}
 		for walID, mirrorID := range m {
 			reverse[ep][mirrorID] = walID
@@ -675,19 +610,14 @@ func (w *WAL) Compact() error {
 		for _, sm := range msgs {
 			walID := reverse[ep][sm.ID]
 			e := jms.NewEncoder(make([]byte, 0, 64+sm.Msg.BodySize()))
-			e.Byte(recAddMessage)
-			e.Uvarint(uint64(walID))
-			e.String(ep)
-			sm.Msg.EncodeTo(e)
+			AppendOp(e, Op{Kind: OpAddMessage, ID: walID, Endpoint: ep, Msg: sm.Msg})
 			if err := writeRec(e.Bytes()); err != nil {
 				_ = tmp.Close()
 				return fmt.Errorf("store: compacting: %w", err)
 			}
 			if sm.Delivered {
 				e := jms.NewEncoder(make([]byte, 0, 32))
-				e.Byte(recMarkDelivered)
-				e.Uvarint(uint64(walID))
-				e.String(ep)
+				AppendOp(e, Op{Kind: OpMarkDelivered, ID: walID, Endpoint: ep})
 				if err := writeRec(e.Bytes()); err != nil {
 					_ = tmp.Close()
 					return fmt.Errorf("store: compacting: %w", err)
@@ -733,6 +663,9 @@ func (w *WAL) Close() error {
 	close(w.reqCh)
 	w.mu.Unlock()
 	<-w.committerDone
+	if w.stream != nil {
+		w.stream.Close()
+	}
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("store: closing WAL: %w", err)
 	}

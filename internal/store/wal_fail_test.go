@@ -20,7 +20,6 @@ func newTestWAL(path string, f *os.File) *WAL {
 		sync:          true,
 		f:             f,
 		mirror:        NewMemory(),
-		ids:           map[string]map[RecordID]RecordID{},
 		reqCh:         make(chan walCommit, maxCommitBatch),
 		committerDone: make(chan struct{}),
 		met: walMetrics{
@@ -31,13 +30,10 @@ func newTestWAL(path string, f *os.File) *WAL {
 	}
 }
 
-// encAdd encodes one recAddMessage payload, as the mutators do.
+// encAdd encodes one add-message payload, as the mutators do.
 func encAdd(id uint64, m *jms.Message) []byte {
 	e := jms.NewEncoder(nil)
-	e.Byte(recAddMessage)
-	e.Uvarint(id)
-	e.String("queue:q")
-	m.EncodeTo(e)
+	AppendOp(e, Op{Kind: OpAddMessage, ID: RecordID(id), Endpoint: "queue:q", Msg: m})
 	return e.Bytes()
 }
 

@@ -109,7 +109,6 @@ func TestWALGroupCommitBatches(t *testing.T) {
 		sync:          true,
 		f:             f,
 		mirror:        NewMemory(),
-		ids:           map[string]map[RecordID]RecordID{},
 		reqCh:         make(chan walCommit, maxCommitBatch),
 		committerDone: make(chan struct{}),
 		met: walMetrics{
@@ -126,16 +125,13 @@ func TestWALGroupCommitBatches(t *testing.T) {
 		m := msg(fmt.Sprintf("batch-%d", i))
 		w.nextID++
 		e := jms.NewEncoder(nil)
-		e.Byte(recAddMessage)
-		e.Uvarint(uint64(w.nextID))
-		e.String("queue:q")
-		m.EncodeTo(e)
+		AppendOp(e, Op{Kind: OpAddMessage, ID: w.nextID, Endpoint: "queue:q", Msg: m})
 		mirrorID, err := w.mirror.AddMessage("queue:q", m)
 		if err != nil {
 			w.mu.Unlock()
 			t.Fatal(err)
 		}
-		w.mapID("queue:q", w.nextID, mirrorID)
+		w.app.Map("queue:q", w.nextID, mirrorID)
 		dones = append(dones, w.commitLocked(e.Bytes()))
 	}
 	w.mu.Unlock()

@@ -5,6 +5,13 @@
 # obs concurrency tests) under the race detector.
 set -eux
 
+# Every QoS budget in the tree (jmsbench experiment gates, jmsanalyze
+# -contract, the explorer's QoS oracle) is widened uniformly by
+# JMSQOS_SLACK, read via qos.SlackFromEnv. This is the one place CI
+# sets it: 2x absorbs a loaded shared runner without masking
+# regressions in kind. Override per-invocation when hunting a flake.
+export JMSQOS_SLACK=${JMSQOS_SLACK:-2}
+
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
@@ -46,6 +53,18 @@ fi
 failoversmoke=${JMSFAILOVER:-1}
 if [ "$failoversmoke" != "0" ]; then
 	go test -run TestFailoverConformance -count=1 ./internal/experiments
+fi
+
+# QoS conformance smoke: the quantitative side of the gate. Each
+# experiment declares a contract (delay percentiles, throughput floors,
+# failover MTTR/unavailability budgets); jmsbench embeds the verdicts
+# in its report and exits non-zero on any violation. A short saturation
+# point checks the capacity floors, a failover drill checks the
+# recovery budgets through a real promotion. Set JMSQOS=0 to skip.
+qossmoke=${JMSQOS:-1}
+if [ "$qossmoke" != "0" ]; then
+	go run ./cmd/jmsbench -experiment saturation -scale 0.2 -json-dir ""
+	go run ./cmd/jmsbench -experiment failover -scale 0.5 -json-dir ""
 fi
 
 # Trace smoke: run a short traced saturation sweep exporting spans to

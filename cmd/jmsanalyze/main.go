@@ -14,6 +14,14 @@
 // it prints the per-hop latency breakdown and, with -min-hops N, fails
 // unless at least one trace links N or more causally related spans —
 // the CI check that end-to-end trace propagation actually works.
+//
+// With -contract FILE, a qos.Contract (JSON) is evaluated offline
+// against whichever input was given: trace logs judge the trace-based
+// checks (delay percentiles, floors, fairness, rejection, failover
+// budgets), a span export judges the hop checks (hop-p50/p95/p99 with
+// stage-name scopes: enqueue-wait, wal-wait, wire-rtt, forward,
+// settle). A violated contract makes the command exit non-zero, same
+// as a safety violation. JMSQOS_SLACK applies here too.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"jmsharness/internal/core"
 	"jmsharness/internal/experiments"
 	"jmsharness/internal/obs"
+	"jmsharness/internal/qos"
 	"jmsharness/internal/trace"
 )
 
@@ -46,11 +55,20 @@ func run(args []string) error {
 	allowDup := fs.Bool("allow-duplicates", false, "relax the duplicate check (dups-ok consumers)")
 	spansPath := fs.String("spans", "", "JSONL span export to analyse instead of trace logs")
 	minHops := fs.Int("min-hops", 0, "with -spans: require at least one trace with >= N causally linked spans")
+	contractPath := fs.String("contract", "", "qos contract JSON to evaluate against the trace logs or span export")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var contract *qos.Contract
+	if *contractPath != "" {
+		c, err := qos.LoadContract(*contractPath)
+		if err != nil {
+			return err
+		}
+		contract = c.WithSlack(qos.SlackFromEnv())
+	}
 	if *spansPath != "" {
-		return analyzeSpans(*spansPath, *minHops)
+		return analyzeSpans(*spansPath, *minHops, contract)
 	}
 	if *logs == "" {
 		return fmt.Errorf("-logs or -spans is required")
@@ -83,6 +101,7 @@ func run(args []string) error {
 	tr := trace.Merge(nodeLogs, offsets)
 	opts := core.DefaultOptions()
 	opts.Model.AllowDuplicates = *allowDup
+	opts.QoS = contract
 	if *histogram {
 		opts.Analysis = analysis.Options{HistogramBuckets: 30}
 	}
@@ -102,9 +121,10 @@ func run(args []string) error {
 }
 
 // analyzeSpans aggregates a durable span export into the per-hop
-// latency breakdown. Every line must parse as a span — a malformed
-// export is an error, not a partial result.
-func analyzeSpans(path string, minHops int) error {
+// latency breakdown and, when given a contract, judges its hop checks
+// against the aggregation. Every line must parse as a span — a
+// malformed export is an error, not a partial result.
+func analyzeSpans(path string, minHops int, contract *qos.Contract) error {
 	spans, err := obs.ReadSpanFile(path)
 	if err != nil {
 		return err
@@ -113,6 +133,16 @@ func analyzeSpans(path string, minHops int) error {
 	fmt.Print(experiments.FormatHopBreakdown(hb))
 	if minHops > 0 && hb.MaxHops < minHops {
 		return fmt.Errorf("no trace links %d spans (deepest trace has %d): trace propagation is broken or sampling discarded every multi-hop trace", minHops, hb.MaxHops)
+	}
+	if contract != nil {
+		rep, err := contract.EvaluateHops(experiments.HopSetFromBreakdown(hb))
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		if !rep.OK() {
+			return fmt.Errorf("span export violates contract %s: %s", rep.Contract, strings.Join(rep.Violated(), ", "))
+		}
 	}
 	return nil
 }

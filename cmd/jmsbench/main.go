@@ -30,10 +30,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"jmsharness/internal/experiments"
 	"jmsharness/internal/obs"
+	"jmsharness/internal/qos"
 )
 
 func main() {
@@ -49,12 +51,30 @@ func main() {
 // cluster topologies: single-provider runs report 1/"single", the
 // scale experiment reports its largest federation and policy.
 type benchReport struct {
-	Timestamp       time.Time      `json:"timestamp"`
-	Experiment      string         `json:"experiment"`
-	Scale           float64        `json:"scale"`
-	ClusterNodes    int            `json:"cluster_nodes"`
-	PlacementPolicy string         `json:"placement_policy"`
-	Experiments     map[string]any `json:"experiments"`
+	Timestamp       time.Time `json:"timestamp"`
+	Experiment      string    `json:"experiment"`
+	Scale           float64   `json:"scale"`
+	ClusterNodes    int       `json:"cluster_nodes"`
+	PlacementPolicy string    `json:"placement_policy"`
+	// QoSSlack is the JMSQOS_SLACK factor the run's contracts were
+	// widened by; QoSFailures lists every violated contract check, one
+	// "experiment: kind, kind" entry per failing report. A non-empty
+	// list makes jmsbench exit non-zero (after writing this report).
+	QoSSlack    float64        `json:"qos_slack"`
+	QoSFailures []string       `json:"qos_failures,omitempty"`
+	Experiments map[string]any `json:"experiments"`
+}
+
+// gate records a QoS verdict: a nil or passing report is quiet, a
+// failing one is printed and queued to fail the process at exit.
+func (r *benchReport) gate(where string, rep *qos.Report) {
+	if rep == nil {
+		return
+	}
+	if !rep.OK() {
+		fmt.Printf("QOS FAIL %s: %s\n%s", where, strings.Join(rep.Violated(), ", "), rep.String())
+		r.QoSFailures = append(r.QoSFailures, where+": "+strings.Join(rep.Violated(), ", "))
+	}
 }
 
 // measuresSummary is the compact perf-trajectory record for the §3.2
@@ -71,6 +91,7 @@ type measuresSummary struct {
 	ConsumerUnfairness   time.Duration `json:"consumer_unfairness_ns"`
 	ConformanceOK        bool          `json:"conformance_ok"`
 	MeasuredMessageCount int64         `json:"measured_message_count"`
+	QoS                  *qos.Report   `json:"qos,omitempty"`
 }
 
 func run(args []string) error {
@@ -93,6 +114,7 @@ func run(args []string) error {
 		Scale:           *scale,
 		ClusterNodes:    1,
 		PlacementPolicy: "single",
+		QoSSlack:        qos.SlackFromEnv(),
 		Experiments:     map[string]any{},
 	}
 
@@ -120,16 +142,24 @@ func run(args []string) error {
 			}
 			fmt.Println()
 		}
-		return writeReport(*jsonDir, report)
+	} else {
+		runner, ok := runners[*experiment]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *experiment)
+		}
+		if err := runner(); err != nil {
+			return err
+		}
 	}
-	runner, ok := runners[*experiment]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", *experiment)
-	}
-	if err := runner(); err != nil {
+	if err := writeReport(*jsonDir, report); err != nil {
 		return err
 	}
-	return writeReport(*jsonDir, report)
+	// The QoS gate: the report (with the embedded verdicts) is written
+	// either way, but a violated contract fails the invocation.
+	if len(report.QoSFailures) > 0 {
+		return fmt.Errorf("qos contract violations:\n  %s", strings.Join(report.QoSFailures, "\n  "))
+	}
+	return nil
 }
 
 // nextBenchPath scans dir for BENCH_<n>.json files and returns the path
@@ -210,6 +240,10 @@ func runMeasures(scale float64, report *benchReport) error {
 	}
 	fmt.Print(res.Measures.String())
 	fmt.Printf("conformance: ok=%t\n", res.Conformance.OK())
+	if res.QoS != nil {
+		fmt.Print(res.QoS.String())
+	}
+	report.gate("measures", res.QoS)
 	m := res.Measures
 	report.Experiments["measures"] = measuresSummary{
 		ProducerMsgsPerSec:   m.Producer.PerSecond,
@@ -223,6 +257,7 @@ func runMeasures(scale float64, report *benchReport) error {
 		ConsumerUnfairness:   m.Fairness.ConsumerUnfairness,
 		ConformanceOK:        res.Conformance.OK(),
 		MeasuredMessageCount: m.Delay.N,
+		QoS:                  res.QoS,
 	}
 	return nil
 }
@@ -268,6 +303,9 @@ func runScale(scale float64, placement string, report *benchReport) error {
 				points[i-1].Nodes, points[i].Nodes)
 		}
 	}
+	for _, p := range points {
+		report.gate(fmt.Sprintf("scale/%d-shards", p.Nodes), p.QoS)
+	}
 	report.Experiments["scale"] = map[string]any{
 		"placement": opts.Placement,
 		"points":    points,
@@ -311,6 +349,9 @@ func runSaturation(scale float64, traceOut string, traceSample float64, report *
 		return err
 	}
 	fmt.Print(experiments.FormatSaturationTable(opts, points))
+	for _, p := range points {
+		report.gate(fmt.Sprintf("saturation/%s/%d-shards", p.Stack, p.Shards), p.QoS)
+	}
 	sat := map[string]any{
 		"points":   points,
 		"baseline": experiments.SaturationBaseline,
@@ -324,6 +365,14 @@ func runSaturation(scale float64, traceOut string, traceSample float64, report *
 		fmt.Print(experiments.FormatHopBreakdown(hb))
 		fmt.Printf("span export written to %s (%d spans, %d dropped)\n", traceOut, len(spans), sink.Dropped())
 		sat["per_hop"] = hb
+		hopRep, err := experiments.HopContract().WithSlack(qos.SlackFromEnv()).
+			EvaluateHops(experiments.HopSetFromBreakdown(hb))
+		if err != nil {
+			return fmt.Errorf("evaluating hop contract: %w", err)
+		}
+		fmt.Print(hopRep.String())
+		sat["per_hop_qos"] = hopRep
+		report.gate("saturation/per-hop", hopRep)
 	}
 	report.Experiments["saturation"] = sat
 	return nil
@@ -340,6 +389,7 @@ func runChaos(scale float64, report *benchReport) error {
 		if !r.Passed {
 			fmt.Printf("warning: profile %s violated %d safety properties\n", r.Profile, r.Violations)
 		}
+		report.gate("chaos/"+r.Profile, r.QoS)
 	}
 	report.Experiments["chaos"] = rows
 	return nil
@@ -355,6 +405,10 @@ func runFailover(scale float64, report *benchReport) error {
 	if !res.Passed {
 		fmt.Printf("warning: failover run violated %d safety properties\n", res.Violations)
 	}
+	if res.QoS != nil {
+		fmt.Print(res.QoS.String())
+	}
+	report.gate("failover", res.QoS)
 	report.Experiments["failover"] = res
 	return nil
 }

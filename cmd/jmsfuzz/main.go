@@ -66,8 +66,8 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("\n%d scenarios: %d clean ok, %d faulty flagged, %d findings\n",
-		sum.Scenarios, sum.CleanOK, countFaults(sum.FaultsByKind), len(sum.Findings))
+	fmt.Printf("\n%d scenarios: %d clean ok, %d faulty flagged, %d qos probes, %d findings\n",
+		sum.Scenarios, sum.CleanOK, countFaults(sum.FaultsByKind), sum.QoSProbes, len(sum.Findings))
 	covered, all := sum.CoveredFaults()
 	faults := make([]string, 0, len(covered))
 	for f := range covered {
@@ -79,6 +79,14 @@ func run(args []string) error {
 	}
 	if !all {
 		fmt.Println("  (sweep too short to cover every fault wrapper; any 12 consecutive seeds do)")
+	}
+	qosFaults := make([]string, 0, len(sum.QoSByFault))
+	for f := range sum.QoSByFault {
+		qosFaults = append(qosFaults, f)
+	}
+	sort.Strings(qosFaults)
+	for _, f := range qosFaults {
+		fmt.Printf("  qos %-16s flagged %d time(s)\n", f, sum.QoSByFault[f])
 	}
 
 	if len(sum.Findings) > 0 {
@@ -105,12 +113,18 @@ func runReplay(path string) error {
 	if sc.Stack.Fault != explore.FaultNone {
 		fmt.Printf(", fault %s", sc.Stack.Fault)
 	}
+	if sc.Stack.QoSFault != explore.QoSFaultNone {
+		fmt.Printf(", qos fault %s", sc.Stack.QoSFault)
+	}
 	fmt.Printf(", %d workers)\n", sc.Workers())
 	res, err := explore.Execute(sc)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Conformance)
+	if res.QoS != nil {
+		fmt.Print(res.QoS.String())
+	}
 	if reason := explore.Unexpected(sc, res); reason != "" {
 		return fmt.Errorf("still reproduces: %s", reason)
 	}

@@ -167,6 +167,16 @@ type ReplicaLink struct {
 	Degraded bool `json:"degraded"`
 }
 
+// NodeSuspicion is one node the failure detector has pinged and missed
+// but not yet declared dead, for /clusterz.
+type NodeSuspicion struct {
+	Node string `json:"node"`
+	// Misses is how many consecutive probes the node has missed; the
+	// detector declares it dead (and promotes its followers) when the
+	// count reaches its configured threshold.
+	Misses int `json:"misses"`
+}
+
 // ReplicationStatus is the Replication section of Status, supplied by
 // the replication manager.
 type ReplicationStatus struct {
@@ -175,6 +185,11 @@ type ReplicationStatus struct {
 	// installed (0 when none happened).
 	Promotions         int64 `json:"promotions"`
 	LastPromotionEpoch int64 `json:"last_promotion_epoch"`
+	// Suspected lists nodes currently missing heartbeats — pinged and
+	// unresponsive, but below the promotion threshold. A node that is
+	// actually dead transits through here on its way to promotion; a
+	// briefly-stalled one appears and clears.
+	Suspected []NodeSuspicion `json:"suspected,omitempty"`
 	// Destinations lists the primary/follower assignment of every
 	// destination observed so far.
 	Destinations []DestinationReplica `json:"destinations"`

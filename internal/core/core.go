@@ -21,6 +21,7 @@ import (
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/model"
+	"jmsharness/internal/qos"
 	"jmsharness/internal/trace"
 )
 
@@ -30,6 +31,9 @@ type Options struct {
 	Model model.Config
 	// Analysis configures the performance measures.
 	Analysis analysis.Options
+	// QoS, when set, evaluates the quantitative contract against the
+	// trace alongside the safety properties.
+	QoS *qos.Contract
 	// Clock is the time source for test execution; nil means real time.
 	Clock clock.Clock
 }
@@ -49,10 +53,16 @@ type Result struct {
 	Conformance *model.Report
 	// Performance is the §3.2 measures report.
 	Performance *analysis.Measures
+	// QoS is the quantitative-contract report; nil when no contract was
+	// configured.
+	QoS *qos.Report
 }
 
-// OK reports whether every safety property held.
-func (r *Result) OK() bool { return r.Conformance.OK() }
+// OK reports whether every safety property held and, when a contract
+// was evaluated, every QoS check passed.
+func (r *Result) OK() bool {
+	return r.Conformance.OK() && (r.QoS == nil || r.QoS.OK())
+}
 
 // String renders the full report.
 func (r *Result) String() string {
@@ -65,6 +75,10 @@ func (r *Result) String() string {
 	b.WriteString(r.Conformance.String())
 	b.WriteString("--- performance ---\n")
 	b.WriteString(r.Performance.String())
+	if r.QoS != nil {
+		b.WriteString("--- qos ---\n")
+		b.WriteString(r.QoS.String())
+	}
 	return b.String()
 }
 
@@ -79,12 +93,19 @@ func Analyze(name string, tr *trace.Trace, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: performance analysis of %s: %w", name, err)
 	}
-	return &Result{
+	res := &Result{
 		Test:        name,
 		Stats:       tr.Summarize(),
 		Conformance: report,
 		Performance: measures,
-	}, nil
+	}
+	if opts.QoS != nil {
+		res.QoS, err = opts.QoS.EvaluateTrace(tr)
+		if err != nil {
+			return nil, fmt.Errorf("core: qos evaluation of %s: %w", name, err)
+		}
+	}
+	return res, nil
 }
 
 // RunAndAnalyze executes one configured test against a provider and

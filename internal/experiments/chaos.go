@@ -10,6 +10,7 @@ import (
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/model"
+	"jmsharness/internal/qos"
 	"jmsharness/internal/trace"
 	"jmsharness/internal/wire"
 )
@@ -35,6 +36,10 @@ type ChaosRow struct {
 	Violations int `json:"violations"`
 	// Passed reports full conformance.
 	Passed bool `json:"passed"`
+	// QoS is the verdict on ChaosContract(profile): a recovery floor for
+	// every profile, delay and rejection bounds for the non-partitioning
+	// ones.
+	QoS *qos.Report `json:"qos,omitempty"`
 }
 
 // chaosProfile is one named network-fault configuration.
@@ -148,6 +153,7 @@ func runChaosProfile(p chaosProfile, run time.Duration, seed uint64) (ChaosRow, 
 		Reconnects:  factory.Reconnects(),
 		Violations:  len(report.Violations()),
 		Passed:      report.OK(),
+		QoS:         qosGate(ChaosContract(p.name), tr),
 	}
 	for _, ev := range tr.Events {
 		switch ev.Type {

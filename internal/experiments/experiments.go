@@ -26,6 +26,7 @@ import (
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/model"
+	"jmsharness/internal/qos"
 	"jmsharness/internal/trace"
 )
 
@@ -228,10 +229,11 @@ func Figure1(scale float64) (*Figure1Result, error) {
 }
 
 // MeasuresResult carries the §3.2 performance-measure block for a
-// mixed workload, together with its conformance report.
+// mixed workload, together with its conformance and QoS reports.
 type MeasuresResult struct {
 	Measures    *analysis.Measures
 	Conformance *model.Report
+	QoS         *qos.Report
 }
 
 // PerformanceMeasures runs the §3.2 measurement workload: two producers
@@ -267,7 +269,11 @@ func PerformanceMeasures(scale float64) (*MeasuresResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MeasuresResult{Measures: m, Conformance: report}, nil
+	return &MeasuresResult{
+		Measures:    m,
+		Conformance: report,
+		QoS:         qosGate(MeasuresContract(), tr),
+	}, nil
 }
 
 // ComparisonRow is one provider's result in the footnote-9 comparison.

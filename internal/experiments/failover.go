@@ -8,6 +8,7 @@ import (
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/model"
+	"jmsharness/internal/qos"
 	"jmsharness/internal/replica"
 	"jmsharness/internal/trace"
 )
@@ -50,6 +51,9 @@ type FailoverResult struct {
 	Violations int `json:"violations"`
 	// Passed reports full conformance.
 	Passed bool `json:"passed"`
+	// QoS is the verdict on FailoverContract: MTTR/unavailability on the
+	// victim queue, a throughput floor and a rejection ceiling overall.
+	QoS *qos.Report `json:"qos,omitempty"`
 	// ReplicaEvents is the manager's promotion/degrade event log.
 	ReplicaEvents []string `json:"replica_events,omitempty"`
 }
@@ -124,6 +128,7 @@ func Failover(scale float64) (*FailoverResult, error) {
 		Promotions:      m.Promotions(),
 		Violations:      len(report.Violations()),
 		Passed:          report.OK(),
+		QoS:             qosGate(FailoverContract(), tr),
 		ReplicaEvents:   m.Events(),
 	}
 

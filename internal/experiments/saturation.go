@@ -13,6 +13,7 @@ import (
 	"jmsharness/internal/broker"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/obs"
+	"jmsharness/internal/qos"
 	"jmsharness/internal/store"
 	"jmsharness/internal/wire"
 )
@@ -90,6 +91,9 @@ type SaturationPoint struct {
 	CommitBatchMean float64 `json:"commit_batch_mean,omitempty"`
 	CommitBatchP95  int64   `json:"commit_batch_p95,omitempty"`
 	CommitBatchMax  int64   `json:"commit_batch_max,omitempty"`
+	// QoS is the verdict on SaturationContract(Stack), judged against
+	// observations synthesized from this point's own counters.
+	QoS *qos.Report `json:"qos,omitempty"`
 }
 
 // SaturationSweep measures every requested stack at every shard count,
@@ -365,6 +369,7 @@ func saturationPoint(stack string, shards int, dir string, opts SaturationOption
 		i := int(q * float64(len(delays)-1))
 		return delays[i]
 	}
+	obsSet := saturationObservations(elapsed, int(produced.Load()), int(consumed.Load()), delays)
 	point := SaturationPoint{
 		Stack:              stack,
 		Shards:             shards,
@@ -376,6 +381,7 @@ func saturationPoint(stack string, shards int, dir string, opts SaturationOption
 		DelayP50:           quant(0.50),
 		DelayP95:           quant(0.95),
 		DelayP99:           quant(0.99),
+		QoS:                SaturationContract(stack).WithSlack(qos.SlackFromEnv()).Evaluate(obsSet),
 	}
 	delayMu.Unlock()
 

@@ -11,6 +11,7 @@ import (
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/model"
+	"jmsharness/internal/qos"
 )
 
 // ScaleOptions configures the cluster scaling sweep: the same saturated
@@ -80,6 +81,9 @@ type ScalePoint struct {
 	// ConformanceOK reports whether Properties 1–5 held — scaling that
 	// breaks the formal model is not scaling.
 	ConformanceOK bool `json:"conformance_ok"`
+	// QoS is the verdict on ScaleContract(CapacityMsgs): measured
+	// consumption must reach a decent fraction of configured capacity.
+	QoS *qos.Report `json:"qos,omitempty"`
 	// RoutedPerNode is each node's routed-message count, showing how
 	// the placement spread the queues.
 	RoutedPerNode []int64 `json:"routed_per_node"`
@@ -162,6 +166,7 @@ func ScaleSweep(opts ScaleOptions) ([]ScalePoint, error) {
 			MeanDelay:     m.Delay.Mean,
 			P95Delay:      m.Delay.P95,
 			ConformanceOK: report.OK(),
+			QoS:           qosGate(ScaleContract(float64(n)*opts.PerNodeRate), tr),
 			RoutedPerNode: routed,
 		})
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"time"
+
+	"jmsharness/internal/core"
 )
 
 // Options configures an explorer sweep.
@@ -45,6 +47,11 @@ type Summary struct {
 	Scenarios    int
 	CleanOK      int
 	FaultsByKind map[string]int
+	// QoSProbes counts scenarios carrying a quantitative contract;
+	// QoSByFault counts, per seeded QoS fault, the ones the matching
+	// contract check flagged as expected.
+	QoSProbes  int
+	QoSByFault map[string]int
 	// Findings are the unexpected verdicts, minimized when shrinking is
 	// enabled.
 	Findings []Finding
@@ -62,7 +69,7 @@ func Explore(seed uint64, opts Options) (*Summary, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	sum := &Summary{FaultsByKind: map[string]int{}}
+	sum := &Summary{FaultsByKind: map[string]int{}, QoSByFault: map[string]int{}}
 	deadline := time.Now().Add(opts.Duration)
 
 	for s := seed; time.Now().Before(deadline); s++ {
@@ -75,34 +82,46 @@ func Explore(seed uint64, opts Options) (*Summary, error) {
 			return sum, fmt.Errorf("explore: seed %d (%s): %w", s, sc.Name, err)
 		}
 		sum.Scenarios++
+		if sc.Contract != nil {
+			sum.QoSProbes++
+		}
 		reason := Unexpected(sc, res)
 		if reason == "" {
-			if sc.Stack.Fault == FaultNone {
-				sum.CleanOK++
-				logf("seed %-6d %-28s ok (clean)", s, sc.Name)
-			} else {
+			switch {
+			case sc.Stack.Fault != FaultNone:
 				sum.FaultsByKind[sc.Stack.Fault]++
 				want, _ := ExpectedProperty(sc.Stack.Fault)
 				logf("seed %-6d %-28s ok (flagged by %s)", s, sc.Name, want)
+			case sc.Stack.QoSFault != QoSFaultNone:
+				sum.QoSByFault[sc.Stack.QoSFault]++
+				want, _ := ExpectedQoSKind(sc.Stack.QoSFault)
+				logf("seed %-6d %-28s ok (flagged by qos %s)", s, sc.Name, want)
+			default:
+				sum.CleanOK++
+				logf("seed %-6d %-28s ok (clean)", s, sc.Name)
 			}
 			continue
 		}
 
 		logf("seed %-6d %-28s FINDING: %s", s, sc.Name, reason)
-		finding := Finding{Seed: s, Reason: reason, Scenario: sc, Report: res.Conformance.String()}
+		finding := Finding{Seed: s, Reason: reason, Scenario: sc, Report: findingReport(res)}
 		if opts.Shrink {
 			origViolated := res.Conformance.ViolatedProperties()
+			var origQoS []string
+			if res.QoS != nil {
+				origQoS = res.QoS.Violated()
+			}
 			shrunk, attempts := Shrink(sc, func(cand *Scenario) (bool, error) {
 				r, err := Execute(cand)
 				if err != nil {
 					return false, err
 				}
-				return sameFinding(sc, origViolated, cand, r), nil
+				return sameFinding(sc, origViolated, origQoS, cand, r), nil
 			}, ShrinkOptions{MaxAttempts: opts.ShrinkBudget, Log: logf})
 			logf("seed %-6d shrunk to %d workers in %d attempts", s, shrunk.Workers(), attempts)
 			finding.Scenario = shrunk
 			if r, err := Execute(shrunk); err == nil {
-				finding.Report = r.Conformance.String()
+				finding.Report = findingReport(r)
 			}
 		}
 		if opts.ReproDir != "" {
@@ -116,6 +135,17 @@ func Explore(seed uint64, opts Options) (*Summary, error) {
 		sum.Findings = append(sum.Findings, finding)
 	}
 	return sum, nil
+}
+
+// findingReport renders the parts of a result a finding cares about:
+// the conformance report plus, when a contract was evaluated, the QoS
+// report.
+func findingReport(res *core.Result) string {
+	s := res.Conformance.String()
+	if res.QoS != nil {
+		s += res.QoS.String()
+	}
+	return s
 }
 
 // CoveredFaults reports which fault wrappers the sweep exercised and

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"jmsharness/internal/jms"
+	"jmsharness/internal/qos"
 	"jmsharness/internal/stats"
 )
 
@@ -93,6 +94,104 @@ func failoverProbe(sc *Scenario, rng *stats.RNG) *Scenario {
 	return sc
 }
 
+// linkPartitionProbe rewrites a cluster scenario into the replication-
+// link partition shape: a replicated cluster whose inter-node
+// replication links all partition mid-run and heal, with a semisync
+// timeout short enough that the partition demonstrably degrades the
+// links before they reattach. No node dies, so the expectation is the
+// strictest one — zero violations, safety or QoS.
+func linkPartitionProbe(sc *Scenario, rng *stats.RNG) *Scenario {
+	sc.Name = fmt.Sprintf("seed-%d-link-partition-probe", sc.Seed)
+	sc.Stack.Replicated = true
+	if sc.Stack.Nodes < 3 {
+		sc.Stack.Nodes = 3
+	}
+	// Degrade well inside the partition: the default 2s semisync wait
+	// would outlast the whole scenario and hide the drill entirely.
+	sc.Stack.SyncTimeout = 30 * time.Millisecond
+	sc.Warmdown = 400 * time.Millisecond
+	for i := 0; i < 2; i++ {
+		q := fmt.Sprintf("queue:fz.lp%d", i)
+		sc.Producers = append(sc.Producers, ProducerSpec{
+			ID: fmt.Sprintf("p%d", i), Dest: q, Rate: 200, BodySize: 32,
+		})
+		sc.Consumers = append(sc.Consumers, ConsumerSpec{
+			ID: fmt.Sprintf("c%d", i), Dest: q,
+		})
+	}
+	sc.Events = []EventSpec{{
+		At:            sc.Warmup + sc.Run*time.Duration(20+rng.Intn(30))/100,
+		Node:          rng.Intn(sc.Stack.Nodes),
+		Downtime:      time.Duration(60+rng.Intn(40)) * time.Millisecond,
+		LinkPartition: true,
+	}}
+	sc.Contract = &qos.Contract{
+		Name:       "fz-link-partition",
+		WarmupTrim: 25 * time.Millisecond,
+		MinSamples: 12,
+		MinWindow:  100 * time.Millisecond,
+		Checks: []qos.Check{
+			// Degraded links stall producers for up to the partition
+			// duration plus the semisync timeout; the floor only asserts
+			// the cluster kept moving, not that it was unaffected.
+			{Kind: qos.KindThroughputFloor, MinPerSec: 20},
+			{Kind: qos.KindRejectionCeiling, MaxRatio: 0.05},
+		},
+	}
+	return sc
+}
+
+// qosProbe rewrites a broker scenario into the quantitative-contract
+// shape: one steady stream judged against a delay budget, a throughput
+// floor and a rejection ceiling, with (three times in four) a seeded
+// QoS fault — provider latency, send rejection, or send throttling —
+// that must be flagged by exactly its matching check while every safety
+// property still holds. The clean variant pins the other direction: a
+// healthy broker must violate nothing. Budgets leave an order of
+// magnitude between a healthy in-process broker (sub-millisecond
+// delays, the full offered rate) and the seeded faults, so scheduler
+// noise on a loaded CI host cannot flip a verdict in either direction.
+func qosProbe(sc *Scenario, qrng *stats.RNG) *Scenario {
+	sc.Run = time.Duration(300+qrng.Intn(100)) * time.Millisecond
+	sc.Warmdown = 300 * time.Millisecond
+	variant := "clean"
+	switch qrng.Intn(4) {
+	case 1:
+		variant = QoSFaultLatency
+		sc.Stack.QoSFault = QoSFaultLatency
+		// Well above the 50ms p95 budget, well below the warmdown (so
+		// everything still delivers and Property 2 holds).
+		sc.Stack.QoSDelay = time.Duration(80+qrng.Intn(50)) * time.Millisecond
+	case 2:
+		variant = QoSFaultReject
+		sc.Stack.QoSFault = QoSFaultReject
+		// Every 2nd or 3rd send rejected: ratio 1/3..1/2 against a 0.10
+		// ceiling.
+		sc.Stack.QoSEveryN = 2 + qrng.Intn(2)
+	case 3:
+		variant = QoSFaultThrottle
+		sc.Stack.QoSFault = QoSFaultThrottle
+		// Each send stalls 60-90ms, collapsing the offered 150/s to
+		// ~11-17/s against a 30/s floor.
+		sc.Stack.QoSDelay = time.Duration(60+qrng.Intn(30)) * time.Millisecond
+	}
+	sc.Name = fmt.Sprintf("seed-%d-qos-%s", sc.Seed, variant)
+	sc.Producers = []ProducerSpec{{ID: "p0", Dest: "queue:fz.qos", Rate: 150, BodySize: 64}}
+	sc.Consumers = []ConsumerSpec{{ID: "c0", Dest: "queue:fz.qos"}}
+	sc.Contract = &qos.Contract{
+		Name:       "fz-qos",
+		WarmupTrim: 25 * time.Millisecond,
+		MinSamples: 12,
+		MinWindow:  100 * time.Millisecond,
+		Checks: []qos.Check{
+			{Kind: qos.KindDelayP95, Max: 50 * time.Millisecond},
+			{Kind: qos.KindThroughputFloor, MinPerSec: 30},
+			{Kind: qos.KindRejectionCeiling, MaxRatio: 0.10},
+		},
+	}
+	return sc
+}
+
 // cleanScenario builds a randomized scenario against a clean stack. The
 // generator is free within "clean by construction" rules — combinations
 // the model cannot distinguish from provider misbehaviour are avoided:
@@ -148,6 +247,14 @@ func cleanScenario(seed uint64) *Scenario {
 		if frng.Intn(3) == 0 {
 			return failoverProbe(sc, frng)
 		}
+		// The remaining cluster scenarios upgrade, one time in four, to
+		// the replication-link partition probe. Again an independent
+		// stream: adding the probe must not shift what any existing seed
+		// generates.
+		prng := stats.NewRNG(seed ^ 0x6a09e667f3bcc909)
+		if prng.Intn(4) == 0 {
+			return linkPartitionProbe(sc, prng)
+		}
 	}
 
 	// Wire stacks run through the chaos proxy half the time. The draw
@@ -164,6 +271,16 @@ func cleanScenario(seed uint64) *Scenario {
 		case 1:
 			sc.Stack.Chaos = ChaosPartition
 			sc.Stack.ChaosSeed = crng.Uint64()
+		}
+	}
+
+	// Broker stacks upgrade, one time in four, to the quantitative QoS
+	// probe — the explorer's second oracle direction. Independent stream,
+	// same reasoning as above.
+	if sc.Stack.Kind == StackBroker {
+		qrng := stats.NewRNG(seed ^ 0x5bd1e995c6b37f21)
+		if qrng.Intn(4) == 0 {
+			return qosProbe(sc, qrng)
 		}
 	}
 

@@ -1,0 +1,328 @@
+package explore
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/core"
+	"jmsharness/internal/qos"
+	"jmsharness/internal/replica"
+)
+
+// TestQoSProbeGeneration pins the QoS probe shapes to fixed seeds (the
+// probes draw from independent RNG streams, so these draws can only
+// change if the streams themselves do) and checks the fault→check
+// table.
+func TestQoSProbeGeneration(t *testing.T) {
+	wantKind := map[string]string{
+		QoSFaultLatency:  qos.KindDelayP95,
+		QoSFaultReject:   qos.KindRejectionCeiling,
+		QoSFaultThrottle: qos.KindThroughputFloor,
+	}
+	for fault, kind := range wantKind {
+		got, ok := ExpectedQoSKind(fault)
+		if !ok || got != kind {
+			t.Errorf("ExpectedQoSKind(%s) = %v,%v want %v", fault, got, ok, kind)
+		}
+	}
+	if _, ok := ExpectedQoSKind(QoSFaultNone); ok {
+		t.Error("QoSFaultNone must not map to a check kind")
+	}
+
+	pins := map[uint64]string{
+		16: QoSFaultNone,
+		15: QoSFaultLatency,
+		26: QoSFaultReject,
+		5:  QoSFaultThrottle,
+	}
+	for seed, fault := range pins {
+		sc := Generate(seed)
+		if sc.Contract == nil || sc.Stack.QoSFault != fault {
+			t.Errorf("seed %d: want qos probe with fault %q, got %+v", seed, fault, sc.Stack)
+		}
+	}
+	sc := Generate(2)
+	if !sc.Stack.Replicated || len(sc.Events) != 1 || !sc.Events[0].LinkPartition || sc.Contract == nil {
+		t.Errorf("seed 2: want link-partition probe, got %+v events %+v", sc.Stack, sc.Events)
+	}
+	if sc.Stack.SyncTimeout <= 0 || sc.Stack.SyncTimeout >= sc.Events[0].Downtime {
+		t.Errorf("seed 2: sync timeout %v must be positive and inside the %v partition",
+			sc.Stack.SyncTimeout, sc.Events[0].Downtime)
+	}
+}
+
+// TestQoSOracleInversion executes the first 50 contract-bearing
+// scenarios of the fixed seed range and requires every verdict to agree
+// with the oracle, in both directions: seeded QoS faults flagged by the
+// matching check, clean (and link-partitioned) stacks flagged by
+// nothing — safety or QoS.
+func TestQoSOracleInversion(t *testing.T) {
+	var seeds []uint64
+	for s := uint64(0); s < 2000 && len(seeds) < 50; s++ {
+		if Generate(s).Contract != nil {
+			seeds = append(seeds, s)
+		}
+	}
+	if len(seeds) < 50 {
+		t.Fatalf("only %d contract scenarios in the scanned range", len(seeds))
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed)
+			res, err := Execute(sc)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.Name, err)
+			}
+			if reason := Unexpected(sc, res); reason != "" {
+				t.Errorf("%s: %s\n%s", sc.Name, reason, res)
+			}
+		})
+	}
+}
+
+// TestShrinkQoSViolation injects a QoS bug — a contract whose
+// throughput floor the offered load can never meet — into a busy
+// scenario and checks the shrinker reduces it, via the production
+// sameFinding predicate, to a minimal repro that round-trips through
+// the JSON repro format and still violates on replay.
+func TestShrinkQoSViolation(t *testing.T) {
+	sc := &Scenario{
+		Seed:  7,
+		Name:  "unattainable-floor",
+		Stack: StackSpec{Kind: StackBroker},
+		Contract: &qos.Contract{
+			Name:       "floor-too-high",
+			WarmupTrim: 10 * time.Millisecond,
+			MinWindow:  40 * time.Millisecond,
+			Checks: []qos.Check{
+				{Kind: qos.KindThroughputFloor, MinPerSec: 1e6},
+				{Kind: qos.KindDelayP95, Max: time.Second},
+			},
+		},
+		Producers: []ProducerSpec{
+			{ID: "p0", Dest: "queue:shrink.q", Rate: 300, BodySize: 64},
+			{ID: "p1", Dest: "queue:shrink.q", Rate: 200, BodySize: 32, Priorities: []int{1, 9}},
+		},
+		Consumers: []ConsumerSpec{
+			{ID: "c0", Dest: "queue:shrink.q"},
+			{ID: "c1", Dest: "queue:shrink.q", AckMode: 1},
+			{ID: "c2", Dest: "topic:shrink.t"},
+		},
+		Warmup:   10 * time.Millisecond,
+		Run:      120 * time.Millisecond,
+		Warmdown: 150 * time.Millisecond,
+	}
+	res, err := Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason := Unexpected(sc, res)
+	if !strings.Contains(reason, "violated qos "+qos.KindThroughputFloor) {
+		t.Fatalf("want a throughput-floor finding before shrinking, got %q", reason)
+	}
+	origQoS := res.QoS.Violated()
+
+	interesting := func(cand *Scenario) (bool, error) {
+		r, err := Execute(cand)
+		if err != nil {
+			return false, err
+		}
+		return sameFinding(sc, nil, origQoS, cand, r), nil
+	}
+	shrunk, attempts := Shrink(sc, interesting, ShrinkOptions{MaxAttempts: 40, Log: t.Logf})
+	t.Logf("shrunk to %d workers in %d attempts", shrunk.Workers(), attempts)
+	if shrunk.Workers() > 2 {
+		t.Errorf("shrunk scenario has %d workers, want <= 2", shrunk.Workers())
+	}
+	if shrunk.Contract == nil {
+		t.Fatal("shrinker dropped the load-bearing contract")
+	}
+
+	// The minimized repro must survive the JSON round trip and violate
+	// the same check on replay, twice.
+	path := filepath.Join(t.TempDir(), "qos-repro.json")
+	if err := shrunk.WriteRepro(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := Execute(loaded)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if !r.QoS.Failed(qos.KindThroughputFloor) {
+			t.Errorf("replay %d of the shrunk repro no longer violates the floor", i)
+		}
+	}
+}
+
+// linkPartitionScenario is the deterministic replication-link drill the
+// WrapLink tests share: a three-node replicated cluster, semisync with
+// a 30ms timeout, and every node's replication links partitioned for
+// 80ms mid-run (partitioning all three removes any dependence on which
+// node the hash assigns a queue's primary or follower to).
+func linkPartitionScenario() *Scenario {
+	sc := &Scenario{
+		Seed: 11,
+		Name: "link-partition-drill",
+		Stack: StackSpec{
+			Kind:        StackCluster,
+			Nodes:       3,
+			Replicated:  true,
+			SyncTimeout: 30 * time.Millisecond,
+		},
+		Contract: &qos.Contract{
+			Name:       "partition-tolerance",
+			WarmupTrim: 20 * time.Millisecond,
+			MinSamples: 12,
+			MinWindow:  100 * time.Millisecond,
+			Checks: []qos.Check{
+				{Kind: qos.KindThroughputFloor, MinPerSec: 20},
+				{Kind: qos.KindRejectionCeiling, MaxRatio: 0.05},
+			},
+		},
+		Producers: []ProducerSpec{
+			{ID: "p0", Dest: "queue:lp.q0", Rate: 200, BodySize: 32},
+			{ID: "p1", Dest: "queue:lp.q1", Rate: 200, BodySize: 32},
+		},
+		Consumers: []ConsumerSpec{
+			{ID: "c0", Dest: "queue:lp.q0"},
+			{ID: "c1", Dest: "queue:lp.q1"},
+		},
+		Warmup:   10 * time.Millisecond,
+		Run:      250 * time.Millisecond,
+		Warmdown: 400 * time.Millisecond,
+	}
+	for node := 0; node < 3; node++ {
+		sc.Events = append(sc.Events, EventSpec{
+			At:            70 * time.Millisecond,
+			Node:          node,
+			Downtime:      80 * time.Millisecond,
+			LinkPartition: true,
+		})
+	}
+	return sc
+}
+
+// TestLinkPartitionDegradesAndHeals is the WrapLink chaos drill run
+// against the manager directly, so the replication event log is
+// observable: partitioning every replication link (not killing any
+// node) must degrade semisync within the timeout, heal after the
+// partition lifts, never trigger a promotion (the failure detector
+// pings nodes directly), and leave both the safety properties and the
+// scenario contract intact.
+func TestLinkPartitionDegradesAndHeals(t *testing.T) {
+	sc := linkPartitionScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lp := newLinkChaos(sc)
+	if lp == nil {
+		t.Fatal("scenario has no link partitions")
+	}
+	defer lp.close()
+	m, err := replica.NewLocal(sc.Stack.Nodes, replica.Options{
+		Seed:            1,
+		HeartbeatEvery:  25 * time.Millisecond,
+		HeartbeatMisses: 4,
+		SyncTimeout:     sc.Stack.SyncTimeout,
+		WrapLink:        lp.wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	cfg, err := sc.HarnessConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.QoS = sc.Contract
+	res, err := core.RunAndAnalyze(m.Cluster(), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason := Unexpected(sc, res); reason != "" {
+		t.Errorf("partition drill: %s\n%s", reason, res)
+	}
+
+	degraded, restored := false, false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !(degraded && restored) {
+		degraded, restored = false, false
+		for _, e := range m.Events() {
+			if strings.Contains(e, "degraded") {
+				degraded = true
+			}
+			if strings.Contains(e, "sync restored") {
+				restored = true
+			}
+			if strings.Contains(e, "promot") {
+				t.Fatalf("link partition triggered a promotion: %s", e)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !degraded {
+		t.Errorf("no replication link degraded during the partition; events:\n%s",
+			strings.Join(m.Events(), "\n"))
+	}
+	if !restored {
+		t.Errorf("no replication link resynced after the partition healed; events:\n%s",
+			strings.Join(m.Events(), "\n"))
+	}
+}
+
+// TestShrinkPreservesPartition gives the link-partition drill a delay
+// budget the semisync stall must break — the first send on each link
+// after the partition starts waits the full 30ms timeout before
+// degrading — and checks the shrinker keeps the partition events (and
+// the replicated stack they require): dropping them heals the delays
+// and loses the finding.
+func TestShrinkPreservesPartition(t *testing.T) {
+	sc := linkPartitionScenario()
+	sc.Contract.Checks = []qos.Check{{Kind: qos.KindDelayP99, Max: 12 * time.Millisecond}}
+	res, err := Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason := Unexpected(sc, res)
+	if !strings.Contains(reason, "violated qos "+qos.KindDelayP99) {
+		t.Fatalf("want a delay-p99 finding before shrinking, got %q\n%s", reason, res)
+	}
+	origQoS := res.QoS.Violated()
+
+	interesting := func(cand *Scenario) (bool, error) {
+		r, err := Execute(cand)
+		if err != nil {
+			return false, err
+		}
+		return sameFinding(sc, nil, origQoS, cand, r), nil
+	}
+	shrunk, attempts := Shrink(sc, interesting, ShrinkOptions{MaxAttempts: 30, Log: t.Logf})
+	t.Logf("shrunk to %d workers, %d events in %d attempts", shrunk.Workers(), len(shrunk.Events), attempts)
+	partitions := 0
+	for _, e := range shrunk.Events {
+		if e.LinkPartition {
+			partitions++
+		}
+	}
+	if partitions == 0 {
+		t.Fatalf("shrinker dropped every load-bearing partition event: %+v", shrunk.Events)
+	}
+	if !shrunk.Stack.Replicated {
+		t.Error("shrinker stripped replication out from under the partition events")
+	}
+	if shrunk.Contract == nil {
+		t.Error("shrinker dropped the load-bearing contract")
+	}
+}

@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"jmsharness/internal/broker"
@@ -25,14 +26,23 @@ func latentProfile() broker.Profile {
 
 // buildStack constructs the provider stack a scenario runs against and
 // returns the factory plus a cleanup function.
-func buildStack(spec StackSpec) (jms.ConnectionFactory, func(), error) {
+func buildStack(sc *Scenario) (jms.ConnectionFactory, func(), error) {
 	var (
 		inner   jms.ConnectionFactory
 		cleanup func()
 	)
+	spec := sc.Stack
 	profile := broker.Unlimited()
 	if spec.Latent {
 		profile = latentProfile()
+	}
+	if spec.QoSFault == QoSFaultLatency {
+		// The latency fault lives in the provider, not a receive-side
+		// wrapper: a per-consumer sleep would serialize deliveries and
+		// fake FIFO/priority violations, whereas broker-level latency
+		// delays every message alike and stays safety-clean.
+		profile.Name = "fz-qos-latent"
+		profile.BaseLatency = spec.QoSDelay
 	}
 	switch spec.Kind {
 	case StackBroker:
@@ -48,18 +58,32 @@ func buildStack(spec StackSpec) (jms.ConnectionFactory, func(), error) {
 			// under a second, so detection must complete inside the
 			// warmdown — the conservative package defaults would leave
 			// the victim's backlog unadopted until after the trace ends.
-			m, err := replica.NewLocal(spec.Nodes, replica.Options{
+			ropts := replica.Options{
 				Profile:         profile,
 				Seed:            1,
 				HeartbeatEvery:  25 * time.Millisecond,
 				HeartbeatMisses: 4,
-			})
+				SyncTimeout:     spec.SyncTimeout,
+			}
+			lp := newLinkChaos(sc)
+			if lp != nil {
+				ropts.WrapLink = lp.wrap
+			}
+			m, err := replica.NewLocal(spec.Nodes, ropts)
 			if err != nil {
+				if lp != nil {
+					lp.close()
+				}
 				return nil, nil, err
 			}
 			// The manager's cluster is the factory (and NodeCrasher); the
 			// manager itself owns detection, promotion and teardown.
-			inner, cleanup = m.Cluster(), func() { _ = m.Close() }
+			inner, cleanup = m.Cluster(), func() {
+				_ = m.Close()
+				if lp != nil {
+					lp.close()
+				}
+			}
 			break
 		}
 		c, err := cluster.NewLocal(spec.Nodes, cluster.LocalOptions{NamePrefix: "fz", Profile: profile, Seed: 1})
@@ -134,6 +158,65 @@ func chaosProxy(spec StackSpec, target string) (*chaos.Proxy, error) {
 	return chaos.New(opts)
 }
 
+// linkChaos interposes chaos proxies on a replicated cluster's
+// inter-node replication links, lazily — one proxy per link, created at
+// dial time. Links touching a partitioned node carry that node's
+// partition schedule; the failure detector pings nodes directly, so a
+// link partition degrades replication without triggering promotion.
+type linkChaos struct {
+	mu     sync.Mutex
+	m      map[[2]int]*chaos.Proxy
+	faults map[int][]chaos.Fault
+}
+
+// newLinkChaos returns the link interposer for the scenario's
+// link-partition events, or nil when there are none.
+func newLinkChaos(sc *Scenario) *linkChaos {
+	faults := map[int][]chaos.Fault{}
+	for _, e := range sc.Events {
+		if !e.LinkPartition {
+			continue
+		}
+		// Fault.At counts from proxy start; links dial when the stack is
+		// built, just before the harness starts, so the scenario offset
+		// carries over within a few milliseconds.
+		faults[e.Node] = append(faults[e.Node], chaos.Fault{
+			At:       e.At,
+			Kind:     chaos.FaultPartition,
+			Dir:      chaos.Both,
+			Duration: e.Downtime,
+		})
+	}
+	if len(faults) == 0 {
+		return nil
+	}
+	return &linkChaos{m: map[[2]int]*chaos.Proxy{}, faults: faults}
+}
+
+func (lc *linkChaos) wrap(from, to int, addr string) string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	key := [2]int{from, to}
+	if p, ok := lc.m[key]; ok {
+		return p.Addr()
+	}
+	schedule := append(append([]chaos.Fault{}, lc.faults[from]...), lc.faults[to]...)
+	p, err := chaos.New(chaos.Options{Target: addr, Schedule: schedule})
+	if err != nil {
+		return addr // fall back to the direct link
+	}
+	lc.m[key] = p
+	return p.Addr()
+}
+
+func (lc *linkChaos) close() {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, p := range lc.m {
+		_ = p.Close()
+	}
+}
+
 // wrapFault applies the scenario's fault wrapper, if any.
 func wrapFault(inner jms.ConnectionFactory, spec StackSpec) (jms.ConnectionFactory, error) {
 	n := spec.FaultN
@@ -142,28 +225,40 @@ func wrapFault(inner jms.ConnectionFactory, spec StackSpec) (jms.ConnectionFacto
 	}
 	switch spec.Fault {
 	case FaultNone:
-		return inner, nil
 	case FaultDropper:
-		return faults.NewDropper(inner, n), nil
+		inner = faults.NewDropper(inner, n)
 	case FaultDuplicator:
-		return faults.NewDuplicator(inner, n), nil
+		inner = faults.NewDuplicator(inner, n)
 	case FaultReorderer:
-		return faults.NewReorderer(inner, n), nil
+		inner = faults.NewReorderer(inner, n)
 	case FaultCorrupter:
-		return faults.NewCorrupter(inner, n), nil
+		inner = faults.NewCorrupter(inner, n)
 	case FaultTTLIgnorer:
-		return faults.NewTTLIgnorer(inner), nil
+		inner = faults.NewTTLIgnorer(inner)
 	case FaultOverEagerExpirer:
-		return faults.NewOverEagerExpirer(inner), nil
+		inner = faults.NewOverEagerExpirer(inner)
 	default:
 		return nil, fmt.Errorf("explore: unknown fault %q", spec.Fault)
 	}
+	// QoS faults layer independently of the safety wrappers. Latency is
+	// handled at stack-build time (broker profile), so only the send-path
+	// faults appear here.
+	switch spec.QoSFault {
+	case QoSFaultNone, QoSFaultLatency:
+	case QoSFaultReject:
+		inner = faults.NewRejector(inner, spec.QoSEveryN)
+	case QoSFaultThrottle:
+		inner = faults.NewThrottler(inner, spec.QoSDelay)
+	default:
+		return nil, fmt.Errorf("explore: unknown qos fault %q", spec.QoSFault)
+	}
+	return inner, nil
 }
 
 // Execute runs one scenario end to end: build the stack, run the
 // harness, check every safety property.
 func Execute(sc *Scenario) (*core.Result, error) {
-	factory, cleanup, err := buildStack(sc.Stack)
+	factory, cleanup, err := buildStack(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -181,13 +276,20 @@ func Execute(sc *Scenario) (*core.Result, error) {
 	// gross, systematic inversions count; none of the explorer's fault
 	// wrappers targets priority, so this costs the oracle nothing.
 	opts.Model.Priority.AbsoluteSlack = 25 * time.Millisecond
+	// Generated contracts are evaluated exactly as written: their budgets
+	// already carry the margin that makes them noise-proof, so no extra
+	// slack factor is applied here (unlike jmsbench's CI gates).
+	opts.QoS = sc.Contract
 	return core.RunAndAnalyze(factory, cfg, opts)
 }
 
 // Unexpected compares the result against the scenario's oracle
-// expectation and returns "" when they agree: a clean stack must violate
-// nothing, and a known-faulty stack must be flagged by the matching
-// property. Anything else is a finding worth shrinking.
+// expectation, in both formal dimensions, and returns "" when they
+// agree: a clean stack must violate nothing — no safety property, no
+// contract check — a known-faulty stack must be flagged by the matching
+// property, and a QoS-faulted stack must stay safety-clean while the
+// matching contract check fires. Anything else is a finding worth
+// shrinking.
 func Unexpected(sc *Scenario, res *core.Result) string {
 	if want, faulty := ExpectedProperty(sc.Stack.Fault); faulty {
 		if r, ok := res.Conformance.Result(want); !ok || len(r.Violations) == 0 {
@@ -202,21 +304,52 @@ func Unexpected(sc *Scenario, res *core.Result) string {
 		}
 		return "clean stack violated " + strings.Join(names, ", ")
 	}
+	if want, faulted := ExpectedQoSKind(sc.Stack.QoSFault); faulted {
+		// Only the matching check is asserted — a throttled provider may
+		// collaterally stretch delays, say, and that is the fault working,
+		// not the oracle misfiring (mirroring the safety discipline, where
+		// a dropper is only required to trip Property 2).
+		if !res.QoS.Failed(want) {
+			return fmt.Sprintf("qos fault %s not flagged by %s", sc.Stack.QoSFault, want)
+		}
+		return ""
+	}
+	if res.QoS != nil {
+		if kinds := res.QoS.Violated(); len(kinds) > 0 {
+			return "clean stack violated qos " + strings.Join(kinds, ", ")
+		}
+	}
 	return ""
 }
 
 // sameFinding reports whether a shrunk candidate still reproduces the
-// original finding class: for a missed fault, the matching property is
-// still silent; for a clean-stack violation, at least one of the
-// originally violated properties still fires.
-func sameFinding(orig *Scenario, origViolated []model.Property, cand *Scenario, res *core.Result) bool {
+// original finding class: for a missed fault (safety or QoS), the
+// matching check is still silent; for a clean-stack violation, at least
+// one of the originally violated properties or contract checks still
+// fires.
+func sameFinding(orig *Scenario, origViolated []model.Property, origQoS []string, cand *Scenario, res *core.Result) bool {
 	if want, faulty := ExpectedProperty(orig.Stack.Fault); faulty {
 		r, ok := res.Conformance.Result(want)
 		return !ok || len(r.Violations) == 0
 	}
+	if want, faulted := ExpectedQoSKind(orig.Stack.QoSFault); faulted {
+		// A shrink pass that strips the fault or the contract has changed
+		// the question, not reproduced the answer.
+		if cand.Stack.QoSFault != orig.Stack.QoSFault || cand.Contract == nil {
+			return false
+		}
+		return !res.QoS.Failed(want)
+	}
 	for _, p := range origViolated {
 		if r, ok := res.Conformance.Result(p); ok && len(r.Violations) > 0 {
 			return true
+		}
+	}
+	if res.QoS != nil {
+		for _, kind := range origQoS {
+			if res.QoS.Failed(kind) {
+				return true
+			}
 		}
 	}
 	return false

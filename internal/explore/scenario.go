@@ -32,6 +32,7 @@ import (
 	"jmsharness/internal/harness"
 	"jmsharness/internal/jms"
 	"jmsharness/internal/model"
+	"jmsharness/internal/qos"
 )
 
 // Stack kinds.
@@ -51,6 +52,39 @@ const (
 	FaultTTLIgnorer       = "ttl-ignorer"
 	FaultOverEagerExpirer = "over-eager-expirer"
 )
+
+// QoS fault names for StackSpec.QoSFault: quantitative misbehaviour
+// that leaves every safety property intact but must trip the matching
+// contract check. Empty means none.
+const (
+	QoSFaultNone = ""
+	// QoSFaultLatency gives the broker a per-delivery base latency of
+	// QoSDelay — deliveries are correct, complete and ordered, just
+	// slow. Matching check: the delay-percentile budget.
+	QoSFaultLatency = "latency"
+	// QoSFaultReject errors every QoSEveryN-th send (load shedding).
+	// Rejected sends are not "sent" per Definition 1 so safety holds;
+	// the rejection ratio trips the overload-rejection ceiling.
+	QoSFaultReject = "reject"
+	// QoSFaultThrottle stalls every send by QoSDelay, collapsing the
+	// achievable rate. Matching check: the throughput floor.
+	QoSFaultThrottle = "throttle"
+)
+
+// ExpectedQoSKind maps a QoS fault to the contract check kind that must
+// flag it — the quantitative half of the oracle-inversion table.
+func ExpectedQoSKind(fault string) (string, bool) {
+	switch fault {
+	case QoSFaultLatency:
+		return qos.KindDelayP95, true
+	case QoSFaultReject:
+		return qos.KindRejectionCeiling, true
+	case QoSFaultThrottle:
+		return qos.KindThroughputFloor, true
+	default:
+		return "", false
+	}
+}
 
 // ExpectedProperty maps a fault wrapper to the safety property that must
 // flag it — the oracle-inversion table.
@@ -99,6 +133,20 @@ type StackSpec struct {
 	Chaos string `json:"chaos,omitempty"`
 	// ChaosSeed drives the chaos proxy's jitter generator.
 	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
+	// QoSFault names the quantitative fault injected for QoS probes
+	// (see the QoSFault* constants); safety-clean by construction.
+	QoSFault string `json:"qos_fault,omitempty"`
+	// QoSDelay parameterises latency (per-delivery base latency) and
+	// throttle (per-send stall) QoS faults.
+	QoSDelay time.Duration `json:"qos_delay,omitempty"`
+	// QoSEveryN parameterises the reject QoS fault: every nth send
+	// errors.
+	QoSEveryN int `json:"qos_every_n,omitempty"`
+	// SyncTimeout overrides the replicated cluster's semisync wait
+	// (replicated stacks only); zero keeps the package default. Link
+	// partition probes lower it so a mid-run partition demonstrably
+	// degrades — and then heals — within the scenario.
+	SyncTimeout time.Duration `json:"sync_timeout,omitempty"`
 }
 
 // Chaos profile names for StackSpec.Chaos.
@@ -153,6 +201,12 @@ type EventSpec struct {
 	// rest of the run. Only generated against replicated cluster stacks,
 	// where failover — not restart — is the expected recovery.
 	NoRestart bool `json:"no_restart,omitempty"`
+	// LinkPartition turns the event into a replication-link partition
+	// instead of a crash: every replication link from or to Node is
+	// black-holed for Downtime, then heals. No broker dies — the link
+	// degrades and reattaches, which must stay invisible to every
+	// safety property. Replicated stacks only.
+	LinkPartition bool `json:"link_partition,omitempty"`
 }
 
 // Scenario is one complete generated test: stack, workload, schedule.
@@ -170,6 +224,9 @@ type Scenario struct {
 	// AllowDuplicates relaxes the no-duplicates check (set when a
 	// consumer uses dups-ok acknowledgement).
 	AllowDuplicates bool `json:"allow_duplicates,omitempty"`
+	// Contract is the scenario's QoS contract, evaluated over the trace
+	// alongside the safety properties; nil means no quantitative checks.
+	Contract *qos.Contract `json:"contract,omitempty"`
 }
 
 // Workers counts the scenario's producers plus consumers.
@@ -247,6 +304,11 @@ func (sc *Scenario) HarnessConfig() (harness.Config, error) {
 		cfg.Consumers = append(cfg.Consumers, cc)
 	}
 	for _, e := range sc.Events {
+		if e.LinkPartition {
+			// Link partitions are injected at the stack layer (chaos
+			// proxies on the replication links), not by the harness.
+			continue
+		}
 		cfg.Faults = append(cfg.Faults, harness.FaultEvent{At: e.At, Node: e.Node, Downtime: e.Downtime, NoRestart: e.NoRestart})
 	}
 	return cfg, nil
@@ -272,9 +334,44 @@ func (sc *Scenario) Validate() error {
 		if e.NoRestart && !sc.Stack.Replicated {
 			return fmt.Errorf("explore: event %d is a permanent kill, which only replicated stacks survive", i)
 		}
+		if e.LinkPartition {
+			if !sc.Stack.Replicated {
+				return fmt.Errorf("explore: event %d partitions replication links, which need a replicated stack", i)
+			}
+			if e.Downtime <= 0 {
+				return fmt.Errorf("explore: event %d is a link partition with no duration", i)
+			}
+			if e.Node < 0 || e.Node >= sc.Stack.Nodes {
+				return fmt.Errorf("explore: event %d partitions links of node %d outside the cluster", i, e.Node)
+			}
+		}
 	}
 	if _, ok := ExpectedProperty(sc.Stack.Fault); !ok && sc.Stack.Fault != FaultNone {
 		return fmt.Errorf("explore: unknown fault %q", sc.Stack.Fault)
+	}
+	switch sc.Stack.QoSFault {
+	case QoSFaultNone:
+	case QoSFaultLatency, QoSFaultThrottle:
+		if sc.Stack.QoSDelay <= 0 {
+			return fmt.Errorf("explore: qos fault %q needs qos_delay > 0", sc.Stack.QoSFault)
+		}
+	case QoSFaultReject:
+		if sc.Stack.QoSEveryN <= 0 {
+			return fmt.Errorf("explore: qos fault reject needs qos_every_n > 0")
+		}
+	default:
+		return fmt.Errorf("explore: unknown qos fault %q", sc.Stack.QoSFault)
+	}
+	if sc.Stack.QoSFault != QoSFaultNone && sc.Contract == nil {
+		return fmt.Errorf("explore: qos fault %q without a contract to flag it", sc.Stack.QoSFault)
+	}
+	if sc.Contract != nil {
+		if err := sc.Contract.Validate(); err != nil {
+			return err
+		}
+	}
+	if sc.Stack.SyncTimeout != 0 && !sc.Stack.Replicated {
+		return fmt.Errorf("explore: sync_timeout requires a replicated stack")
 	}
 	switch sc.Stack.Chaos {
 	case ChaosNone, ChaosFlaky, ChaosPartition:

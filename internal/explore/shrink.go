@@ -3,6 +3,8 @@ package explore
 import (
 	"fmt"
 	"time"
+
+	"jmsharness/internal/qos"
 )
 
 // ShrinkOptions bounds a shrink run.
@@ -160,9 +162,13 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 		if cur.Stack.Replicated {
 			// Strip replication before simplifying the topology: a plain
 			// cluster cannot survive the permanent kills replication
-			// absorbs, so those events become crash/restart cycles.
+			// absorbs, so those events become crash/restart cycles — and
+			// link partitions (like the semisync timeout) only exist on
+			// replicated stacks, so they go too.
 			cand := cur.clone()
 			cand.Stack.Replicated = false
+			cand.Stack.SyncTimeout = 0
+			cand.dropLinkPartitions()
 			for i := range cand.Events {
 				cand.Events[i].NoRestart = false
 			}
@@ -175,13 +181,31 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 			cand.Stack.Kind = StackBroker
 			cand.Stack.Nodes = 0
 			cand.Stack.Replicated = false
+			cand.Stack.SyncTimeout = 0
 			cand.Stack.Chaos = ChaosNone
 			cand.Stack.ChaosSeed = 0
+			cand.dropLinkPartitions()
 			for i := range cand.Events {
 				cand.Events[i].Node = -1
 				cand.Events[i].NoRestart = false
 			}
 			if try(cand, "stack -> broker") {
+				cur, changed = cand, true
+			}
+		}
+
+		// 6b. Strip the QoS dimension when it is not load-bearing: drop
+		// the contract together with any seeded QoS fault (a fault
+		// without its contract is an unjudged scenario, which Validate
+		// rejects). For QoS findings sameFinding keeps both, so this pass
+		// only fires on safety findings that happen to carry a contract.
+		if cur.Contract != nil || cur.Stack.QoSFault != QoSFaultNone {
+			cand := cur.clone()
+			cand.Contract = nil
+			cand.Stack.QoSFault = QoSFaultNone
+			cand.Stack.QoSDelay = 0
+			cand.Stack.QoSEveryN = 0
+			if try(cand, "strip qos contract") {
 				cur, changed = cand, true
 			}
 		}
@@ -244,5 +268,22 @@ func (sc *Scenario) clone() *Scenario {
 	}
 	out.Consumers = append([]ConsumerSpec(nil), sc.Consumers...)
 	out.Events = append([]EventSpec(nil), sc.Events...)
+	if sc.Contract != nil {
+		c := *sc.Contract
+		c.Checks = append([]qos.Check(nil), sc.Contract.Checks...)
+		out.Contract = &c
+	}
 	return &out
+}
+
+// dropLinkPartitions removes every link-partition event; they only make
+// sense on replicated stacks.
+func (sc *Scenario) dropLinkPartitions() {
+	var events []EventSpec
+	for _, e := range sc.Events {
+		if !e.LinkPartition {
+			events = append(events, e)
+		}
+	}
+	sc.Events = events
 }

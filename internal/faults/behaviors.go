@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"time"
 
 	"jmsharness/internal/jms"
@@ -172,6 +173,54 @@ func (p *priorityInverter) Flush() []*jms.Message {
 	out := p.stash
 	p.stash = nil
 	return out
+}
+
+// NewRejector returns a provider that rejects every nth send with an
+// error, modelling an overloaded broker shedding load. Rejected sends
+// raise an exception to the producer (so they are not "sent" per
+// Definition 1 and owe no delivery — every safety property still
+// holds), but the rejection *rate* trips a QoS rejection-ceiling check.
+func NewRejector(inner jms.ConnectionFactory, n int) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewSend: func() SendBehavior {
+			return &rejector{counterSend: counterSend{
+				n:   n,
+				act: func(*jms.Message, *jms.SendOptions) bool { return true },
+			}}
+		},
+	}
+}
+
+// rejector is a counterSend whose suppressed sends surface an error.
+type rejector struct {
+	counterSend
+}
+
+var (
+	_ SendBehavior = (*rejector)(nil)
+	_ Erroring     = (*rejector)(nil)
+)
+
+// SendError implements Erroring.
+func (r *rejector) SendError() error { return errRejected }
+
+var errRejected = fmt.Errorf("faults: send rejected (provider overloaded)")
+
+// NewThrottler returns a provider that stalls every send by the given
+// pause before letting it through. Nothing is lost, reordered or
+// delayed on the delivery side — but the achievable send rate collapses
+// to ~1/pause, which a QoS throughput-floor check must catch.
+func NewThrottler(inner jms.ConnectionFactory, pause time.Duration) *Factory {
+	return &Factory{
+		Inner: inner,
+		NewSend: func() SendBehavior {
+			return sendFunc(func(*jms.Message, *jms.SendOptions) bool {
+				time.Sleep(pause)
+				return false
+			})
+		},
+	}
 }
 
 // NewDelayer returns a provider that adds a fixed receive-side delay to

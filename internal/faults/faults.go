@@ -42,6 +42,16 @@ type Flusher interface {
 	Flush() []*jms.Message
 }
 
+// Erroring is an optional extension of SendBehavior: after TransformSend
+// suppresses a send, SendError decides the error surfaced to the caller.
+// A nil error keeps the classic silent-drop semantics; a non-nil error
+// models an overloaded provider rejecting the send outright — the
+// message is not "sent" per Definition 1, so no delivery is owed.
+type Erroring interface {
+	// SendError returns the error to report for the suppressed send.
+	SendError() error
+}
+
 // Factory wraps an inner provider with fault injection. Behaviours are
 // created per producer/consumer so each keeps independent state.
 type Factory struct {
@@ -146,7 +156,7 @@ type faultProducer struct {
 func (p *faultProducer) Send(msg *jms.Message, opts jms.SendOptions) error {
 	if p.behavior != nil {
 		if suppress := p.behavior.TransformSend(msg, &opts); suppress {
-			return nil
+			return p.suppressedError()
 		}
 	}
 	return p.Producer.Send(msg, opts)
@@ -155,10 +165,19 @@ func (p *faultProducer) Send(msg *jms.Message, opts jms.SendOptions) error {
 func (p *faultProducer) SendTo(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
 	if p.behavior != nil {
 		if suppress := p.behavior.TransformSend(msg, &opts); suppress {
-			return nil
+			return p.suppressedError()
 		}
 	}
 	return p.Producer.SendTo(dest, msg, opts)
+}
+
+// suppressedError maps a suppressed send to its reported outcome:
+// silent success, unless the behaviour opts into erroring.
+func (p *faultProducer) suppressedError() error {
+	if e, ok := p.behavior.(Erroring); ok {
+		return e.SendError()
+	}
+	return nil
 }
 
 type faultConsumer struct {

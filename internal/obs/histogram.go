@@ -170,7 +170,17 @@ func (h *Histogram) quantile(counts []int64, total int64, q float64) int64 {
 		}
 		hi := h.bounds[i]
 		frac := (rank - float64(prev)) / float64(c)
-		return lo + int64(frac*float64(hi-lo))
+		v := lo + int64(frac*float64(hi-lo))
+		// Interpolation assumes the bucket is filled to its bounds; the
+		// true quantile can never escape the observed extremes, so clamp
+		// (a partially filled edge bucket otherwise overshoots the max).
+		if mx := h.max.Load(); v > mx {
+			v = mx
+		}
+		if mn := h.min.Load(); v < mn {
+			v = mn
+		}
+		return v
 	}
 	return h.max.Load()
 }

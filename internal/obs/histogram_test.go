@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the reference implementation: the nearest-rank
+// q-quantile of the raw samples.
+func exactQuantile(sorted []int64, q float64) int64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// quantileBand is the error a fixed-bucket estimate is allowed: the
+// bucket containing the exact quantile, widened by one bucket on each
+// side (a rank landing exactly on a cumulative-count boundary can push
+// the interpolated estimate into a neighboring bucket). The overflow
+// bucket's upper edge is the observed max — that is what the estimator
+// reports there.
+func quantileBand(bounds []int64, maxv, exact int64) (int64, int64) {
+	i := sort.Search(len(bounds), func(j int) bool { return bounds[j] >= exact })
+	lo := int64(0)
+	if i >= 2 {
+		lo = bounds[i-2]
+	}
+	hi := maxv
+	if i+1 < len(bounds) {
+		hi = bounds[i+1]
+	}
+	if hi < maxv && i+1 >= len(bounds) {
+		hi = maxv
+	}
+	return lo, hi
+}
+
+// distributions the estimator must handle: flat mass (every bucket
+// holds a slice), two far-apart modes (quantiles jump a bucket gap),
+// and a heavy tail (high quantiles land in exponentially wide buckets
+// and the overflow).
+var quantileDistributions = []struct {
+	name string
+	gen  func(r *rand.Rand) int64
+}{
+	{"uniform", func(r *rand.Rand) int64 {
+		return 1 + r.Int63n(1_000_000_000)
+	}},
+	{"bimodal", func(r *rand.Rand) int64 {
+		if r.Intn(2) == 0 {
+			return 10_000 + r.Int63n(2_000)
+		}
+		return 100_000_000 + r.Int63n(20_000_000)
+	}},
+	{"heavy-tail", func(r *rand.Rand) int64 {
+		// Log-uniform over ~7 decades: the p99 sits deep in the tail,
+		// occasionally past the last finite bucket bound.
+		return int64(math.Pow(10, 3+7*r.Float64()))
+	}},
+}
+
+// TestHistogramQuantilesWithinBucketResolution is the property the
+// delay/QoS pipeline leans on: for any input shape, the histogram's
+// p50/p95/p99 estimates agree with the exact sorted-sample quantiles
+// to within bucket resolution. Samples are observed from concurrent
+// writers so the lock-free hot path is exercised under -race.
+func TestHistogramQuantilesWithinBucketResolution(t *testing.T) {
+	const n = 20_000
+	for _, dist := range quantileDistributions {
+		t.Run(dist.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			samples := make([]int64, n)
+			for i := range samples {
+				samples[i] = dist.gen(r)
+			}
+
+			h := NewHistogram(nil) // DurationBounds
+			var wg sync.WaitGroup
+			const writers = 4
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(part []int64) {
+					defer wg.Done()
+					for _, v := range part {
+						h.Observe(v)
+					}
+				}(samples[w*n/writers : (w+1)*n/writers])
+			}
+			wg.Wait()
+
+			sorted := append([]int64(nil), samples...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			snap := h.Snapshot()
+
+			if snap.Count != n {
+				t.Fatalf("count = %d, want %d", snap.Count, n)
+			}
+			if snap.Min != sorted[0] || snap.Max != sorted[n-1] {
+				t.Fatalf("min/max = %d/%d, want %d/%d", snap.Min, snap.Max, sorted[0], sorted[n-1])
+			}
+			var sum int64
+			for _, v := range samples {
+				sum += v
+			}
+			if snap.Sum != sum {
+				t.Fatalf("sum = %d, want %d", snap.Sum, sum)
+			}
+
+			bounds := DurationBounds()
+			for _, tc := range []struct {
+				q   float64
+				got int64
+			}{{0.50, snap.P50}, {0.95, snap.P95}, {0.99, snap.P99}} {
+				exact := exactQuantile(sorted, tc.q)
+				lo, hi := quantileBand(bounds, snap.Max, exact)
+				if tc.got < lo || tc.got > hi {
+					t.Errorf("p%.0f = %d outside bucket-resolution band [%d, %d] around exact %d",
+						tc.q*100, tc.got, lo, hi, exact)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileMonotonicity: for every distribution the
+// estimated quantiles must be ordered — a quantile estimator that
+// crosses over under interpolation is lying about the distribution.
+func TestHistogramQuantileMonotonicity(t *testing.T) {
+	for _, dist := range quantileDistributions {
+		t.Run(dist.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			h := NewHistogram(nil)
+			for i := 0; i < 5_000; i++ {
+				h.Observe(dist.gen(r))
+			}
+			snap := h.Snapshot()
+			if snap.P50 > snap.P95 || snap.P95 > snap.P99 {
+				t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", snap.P50, snap.P95, snap.P99)
+			}
+			if snap.P99 > snap.Max || snap.P50 < snap.Min {
+				t.Fatalf("quantiles escape [min, max]: min=%d p50=%d p99=%d max=%d",
+					snap.Min, snap.P50, snap.P99, snap.Max)
+			}
+		})
+	}
+}

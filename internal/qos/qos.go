@@ -1,0 +1,655 @@
+// Package qos promotes the harness's performance measures into
+// first-class quantitative conformance checks, the MoCheQoS direction:
+// a Contract is a set of per-scenario quality-of-service obligations —
+// delay-percentile budgets, throughput floors, fairness bounds across
+// consumers, overload-rejection ceilings, failover MTTR and
+// unavailability budgets — evaluated over the same merged traces (and
+// span exports) the safety model consumes, and reported with the same
+// flag/attribution discipline as Properties 1–5: a seeded overload or
+// latency fault must be flagged by its matching check, a clean stack by
+// none.
+//
+// A flaky quantitative gate is worse than no gate, so every evaluation
+// is scheduler-noise-proofed: measurements are windowed to the run
+// phase with an additional WarmupTrim, checks below MinSamples or
+// MinWindow are SKIPPED rather than failed, and a SlackFactor widens
+// budgets (and shrinks floors) uniformly so a loaded CI host can be
+// tuned in one place without rewriting every contract.
+package qos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"jmsharness/internal/stats"
+	"jmsharness/internal/trace"
+)
+
+// Check kinds. Duration-budget kinds compare an observed duration
+// against Max; floor kinds compare an observed rate against MinPerSec;
+// ratio kinds compare an observed ratio against MaxRatio.
+const (
+	// KindDelayP50/P95/P99 budget the given percentile of message delay
+	// (send start → delivery start) for messages produced in the
+	// measurement window.
+	KindDelayP50 = "delay-p50"
+	KindDelayP95 = "delay-p95"
+	KindDelayP99 = "delay-p99"
+	// KindThroughputFloor floors the consumed message rate over the
+	// measurement window; KindProducerFloor floors the produced rate.
+	KindThroughputFloor = "throughput-floor"
+	KindProducerFloor   = "producer-floor"
+	// KindConsumerFairness budgets the standard deviation of per-consumer
+	// mean delays (the paper's unfairness measure as a bound).
+	KindConsumerFairness = "consumer-fairness"
+	// KindRejectionCeiling bounds the fraction of send attempts that
+	// errored in the window — the overload-rejection ceiling.
+	KindRejectionCeiling = "rejection-ceiling"
+	// KindUnavailability budgets the longest delivery gap spanning an
+	// injected crash (last delivery before the kill to first after);
+	// KindMTTR budgets crash → first subsequent delivery. Both are
+	// skipped on crash-free traces.
+	KindUnavailability = "unavailability"
+	KindMTTR           = "mttr"
+	// KindHopP50/P95/P99 budget per-hop span latencies (Scope names the
+	// hop); they evaluate against span exports, not traces.
+	KindHopP50 = "hop-p50"
+	KindHopP95 = "hop-p95"
+	KindHopP99 = "hop-p99"
+)
+
+// Check is one quantitative obligation inside a Contract.
+type Check struct {
+	// Kind selects the measure (see the Kind constants).
+	Kind string `json:"kind"`
+	// Scope restricts the measurement: empty means the whole trace; a
+	// destination string ("queue:x", "topic:y") restricts trace checks
+	// to that destination; for hop kinds it names the hop stage.
+	Scope string `json:"scope,omitempty"`
+	// Max is the duration budget (delay, fairness, unavailability, MTTR
+	// and hop kinds).
+	Max time.Duration `json:"max,omitempty"`
+	// MinPerSec is the rate floor (throughput/producer floors).
+	MinPerSec float64 `json:"min_per_sec,omitempty"`
+	// MaxRatio is the ratio ceiling (rejection-ceiling).
+	MaxRatio float64 `json:"max_ratio,omitempty"`
+}
+
+// Label renders the check's identity for reports.
+func (c Check) Label() string {
+	if c.Scope == "" {
+		return c.Kind
+	}
+	return c.Kind + "[" + c.Scope + "]"
+}
+
+// Contract is a named set of QoS checks plus the noise-proofing knobs
+// their evaluation shares.
+type Contract struct {
+	Name string `json:"name"`
+	// SlackFactor uniformly widens duration budgets and ratio ceilings
+	// (multiplied) and relaxes rate floors (divided). Zero means 1 (no
+	// slack). It exists so a loaded CI host tunes every budget at once.
+	SlackFactor float64 `json:"slack_factor,omitempty"`
+	// WarmupTrim shifts the start of the measurement window this far
+	// past the run-phase start, discarding ramp-up samples.
+	WarmupTrim time.Duration `json:"warmup_trim,omitempty"`
+	// MinSamples is the minimum sample count below which sample-based
+	// checks are skipped instead of judged. Zero means 10.
+	MinSamples int `json:"min_samples,omitempty"`
+	// MinWindow is the minimum measurement window below which rate
+	// checks are skipped (a 10ms window turns one scheduler blip into a
+	// fake rate collapse).
+	MinWindow time.Duration `json:"min_window,omitempty"`
+	Checks    []Check       `json:"checks"`
+}
+
+// slack returns the effective slack factor (always ≥ a tiny epsilon).
+func (c *Contract) slack() float64 {
+	if c.SlackFactor <= 0 {
+		return 1
+	}
+	return c.SlackFactor
+}
+
+// minSamples returns the effective minimum sample threshold.
+func (c *Contract) minSamples() int {
+	if c.MinSamples <= 0 {
+		return 10
+	}
+	return c.MinSamples
+}
+
+// WithSlack returns a copy of the contract with the slack factor
+// multiplied by f (callers apply environment slack without mutating a
+// shared contract). f ≤ 1 returns the contract unchanged.
+func (c *Contract) WithSlack(f float64) *Contract {
+	if c == nil || f <= 1 {
+		return c
+	}
+	out := *c
+	out.SlackFactor = c.slack() * f
+	out.Checks = append([]Check(nil), c.Checks...)
+	return &out
+}
+
+// Validate reports whether the contract is well-formed.
+func (c *Contract) Validate() error {
+	if len(c.Checks) == 0 {
+		return fmt.Errorf("qos: contract %q has no checks", c.Name)
+	}
+	if c.SlackFactor < 0 {
+		return fmt.Errorf("qos: contract %q has negative slack factor", c.Name)
+	}
+	for i, ck := range c.Checks {
+		switch ck.Kind {
+		case KindDelayP50, KindDelayP95, KindDelayP99, KindConsumerFairness,
+			KindUnavailability, KindMTTR, KindHopP50, KindHopP95, KindHopP99:
+			if ck.Max <= 0 {
+				return fmt.Errorf("qos: check %d (%s) needs max > 0", i, ck.Label())
+			}
+		case KindThroughputFloor, KindProducerFloor:
+			if ck.MinPerSec <= 0 {
+				return fmt.Errorf("qos: check %d (%s) needs min_per_sec > 0", i, ck.Label())
+			}
+		case KindRejectionCeiling:
+			if ck.MaxRatio < 0 {
+				return fmt.Errorf("qos: check %d (%s) needs max_ratio >= 0", i, ck.Label())
+			}
+		default:
+			return fmt.Errorf("qos: check %d has unknown kind %q", i, ck.Kind)
+		}
+	}
+	return nil
+}
+
+// Result is the verdict on one check — same discipline as the model's
+// PropertyResult: a skipped check is neither pass nor fail.
+type Result struct {
+	Kind     string `json:"kind"`
+	Scope    string `json:"scope,omitempty"`
+	Budget   string `json:"budget"`
+	Observed string `json:"observed"`
+	Passed   bool   `json:"passed"`
+	Skipped  bool   `json:"skipped,omitempty"`
+	// Detail explains a skip or carries the raw numbers behind a fail.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Label renders the result's check identity.
+func (r Result) Label() string { return Check{Kind: r.Kind, Scope: r.Scope}.Label() }
+
+// Report is the contract-evaluation outcome for one run.
+type Report struct {
+	Contract string   `json:"contract"`
+	Results  []Result `json:"results"`
+}
+
+// OK reports whether no check failed (skipped checks do not fail).
+func (r *Report) OK() bool {
+	for _, res := range r.Results {
+		if !res.Skipped && !res.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Violated returns the kinds of all failed checks, in report order.
+func (r *Report) Violated() []string {
+	var kinds []string
+	for _, res := range r.Results {
+		if !res.Skipped && !res.Passed {
+			kinds = append(kinds, res.Kind)
+		}
+	}
+	return kinds
+}
+
+// Failed reports whether any check of the given kind failed.
+func (r *Report) Failed(kind string) bool {
+	if r == nil {
+		return false
+	}
+	for _, res := range r.Results {
+		if res.Kind == kind && !res.Skipped && !res.Passed {
+			return true
+		}
+	}
+	return false
+}
+
+// Result returns the first result of the given kind.
+func (r *Report) Result(kind string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Kind == kind {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// String renders the report in the model.Report style.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "qos contract %s\n", r.Contract)
+	for _, res := range r.Results {
+		verdict := "OK"
+		switch {
+		case res.Skipped:
+			verdict = "SKIPPED"
+		case !res.Passed:
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-28s budget=%-12s observed=%-12s %s", res.Label(), res.Budget, res.Observed, verdict)
+		if res.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", res.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Observations is the windowed measurement set one scope's checks are
+// judged against. FromTrace computes it; tests may build it directly.
+type Observations struct {
+	// Window is the measurement window length (run phase minus
+	// WarmupTrim); zero or negative means no usable window.
+	Window time.Duration
+	// Delays are send-start→delivery delays, in seconds, of messages
+	// produced in the window (delivered any time).
+	Delays []float64
+	// ConsumerDelays breaks Delays down by consuming consumer.
+	ConsumerDelays map[string][]float64
+	// Produced and Consumed count successful sends / deliveries in the
+	// window.
+	Produced int
+	Consumed int
+	// SendAttempts and SendErrors count send completions (including
+	// errored ones) in the window, for the rejection ratio.
+	SendAttempts int
+	SendErrors   int
+	// Crashes counts injected crashes in the whole trace; Unavailable
+	// and MTTR are the worst crash-spanning delivery gap and worst
+	// crash→first-delivery time (whole trace, not windowed — recovery
+	// happens in the warmdown).
+	Crashes     int
+	Unavailable time.Duration
+	MTTR        time.Duration
+}
+
+// FromTrace computes the observations for one scope ("" = everything,
+// otherwise a destination string) with the given warmup trim.
+func FromTrace(tr *trace.Trace, scope string, trim time.Duration) (*Observations, error) {
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("qos: empty trace")
+	}
+	start := tr.Events[0].Time
+	end := tr.Events[len(tr.Events)-1].Time
+	halfOpen := false
+	if s, e, ok := tr.PhaseBounds(trace.PhaseRun); ok {
+		start, end = s, e
+		halfOpen = true
+	}
+	start = start.Add(trim)
+	o := &Observations{
+		Window:         end.Sub(start),
+		ConsumerDelays: map[string][]float64{},
+	}
+	inWindow := func(t time.Time) bool {
+		if t.Before(start) {
+			return false
+		}
+		if halfOpen {
+			return t.Before(end)
+		}
+		return !t.After(end)
+	}
+	inScope := func(dest string) bool { return scope == "" || dest == scope }
+
+	sendStart := map[string]time.Time{}
+	producedInWindow := map[string]bool{}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Type {
+		case trace.EventSendStart:
+			if inScope(ev.Dest) {
+				sendStart[ev.MsgUID] = ev.Time
+			}
+		case trace.EventSendEnd:
+			if !inScope(ev.Dest) || !inWindow(ev.Time) {
+				continue
+			}
+			o.SendAttempts++
+			if ev.Err != "" {
+				o.SendErrors++
+				continue
+			}
+			o.Produced++
+			producedInWindow[ev.MsgUID] = true
+		case trace.EventCrash:
+			o.Crashes++
+		}
+	}
+
+	// Delivery pass: windowed consumption, delays of window-produced
+	// messages, and the full in-scope delivery timeline for the
+	// crash-recovery measures.
+	var deliverTimes []time.Time
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if ev.Type != trace.EventDeliver || !inScope(ev.Dest) {
+			continue
+		}
+		deliverTimes = append(deliverTimes, ev.Time)
+		if inWindow(ev.Time) {
+			o.Consumed++
+		}
+		if !producedInWindow[ev.MsgUID] {
+			continue
+		}
+		st, ok := sendStart[ev.MsgUID]
+		if !ok {
+			continue
+		}
+		d := ev.Time.Sub(st).Seconds()
+		o.Delays = append(o.Delays, d)
+		o.ConsumerDelays[ev.Consumer] = append(o.ConsumerDelays[ev.Consumer], d)
+	}
+
+	if o.Crashes > 0 {
+		traceEnd := tr.Events[len(tr.Events)-1].Time
+		for i := range tr.Events {
+			ev := &tr.Events[i]
+			if ev.Type != trace.EventCrash {
+				continue
+			}
+			prev, next := ev.Time, traceEnd
+			haveNext := false
+			for _, dt := range deliverTimes {
+				if !dt.After(ev.Time) {
+					prev = dt
+					continue
+				}
+				next = dt
+				haveNext = true
+				break
+			}
+			gap := next.Sub(prev)
+			if gap > o.Unavailable {
+				o.Unavailable = gap
+			}
+			mttr := next.Sub(ev.Time)
+			if !haveNext {
+				// Never recovered on this scope: charge to the trace end.
+				mttr = traceEnd.Sub(ev.Time)
+			}
+			if mttr > o.MTTR {
+				o.MTTR = mttr
+			}
+		}
+	}
+	return o, nil
+}
+
+// EvaluateTrace judges every trace-based check of the contract against
+// the trace. Hop checks are skipped (they need span data; see
+// EvaluateHops).
+func (c *Contract) EvaluateTrace(tr *trace.Trace) (*Report, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Contract: c.Name}
+	cache := map[string]*Observations{}
+	for _, ck := range c.Checks {
+		if isHopKind(ck.Kind) {
+			rep.Results = append(rep.Results, Result{
+				Kind: ck.Kind, Scope: ck.Scope,
+				Budget:  budgetDuration(ck.Max, c.slack()),
+				Skipped: true, Detail: "hop checks need span data",
+			})
+			continue
+		}
+		o, ok := cache[ck.Scope]
+		if !ok {
+			var err error
+			o, err = FromTrace(tr, ck.Scope, c.WarmupTrim)
+			if err != nil {
+				return nil, err
+			}
+			cache[ck.Scope] = o
+		}
+		rep.Results = append(rep.Results, c.judge(ck, o))
+	}
+	return rep, nil
+}
+
+// Evaluate judges the contract against pre-computed observations (all
+// checks share the one scope the observations were built for).
+func (c *Contract) Evaluate(o *Observations) *Report {
+	rep := &Report{Contract: c.Name}
+	for _, ck := range c.Checks {
+		if isHopKind(ck.Kind) {
+			rep.Results = append(rep.Results, Result{
+				Kind: ck.Kind, Scope: ck.Scope,
+				Budget:  budgetDuration(ck.Max, c.slack()),
+				Skipped: true, Detail: "hop checks need span data",
+			})
+			continue
+		}
+		rep.Results = append(rep.Results, c.judge(ck, o))
+	}
+	return rep
+}
+
+// HopQuantiles is the per-hop latency summary hop checks evaluate
+// against (converted from the experiments' span aggregation).
+type HopQuantiles struct {
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// HopSet maps hop stage name → quantiles.
+type HopSet map[string]HopQuantiles
+
+// EvaluateHops judges the contract's hop checks against a span-derived
+// hop set; trace-based checks are skipped.
+func (c *Contract) EvaluateHops(hops HopSet) (*Report, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Contract: c.Name}
+	for _, ck := range c.Checks {
+		if !isHopKind(ck.Kind) {
+			rep.Results = append(rep.Results, Result{
+				Kind: ck.Kind, Scope: ck.Scope,
+				Budget:  c.budgetFor(ck),
+				Skipped: true, Detail: "trace checks need a trace",
+			})
+			continue
+		}
+		budget := time.Duration(float64(ck.Max) * c.slack())
+		res := Result{Kind: ck.Kind, Scope: ck.Scope, Budget: budgetDuration(ck.Max, c.slack())}
+		h, ok := hops[ck.Scope]
+		if !ok || h.Count < c.minSamples() {
+			res.Skipped = true
+			res.Detail = fmt.Sprintf("n=%d < min samples %d", h.Count, c.minSamples())
+			rep.Results = append(rep.Results, res)
+			continue
+		}
+		observed := h.P95
+		switch ck.Kind {
+		case KindHopP50:
+			observed = h.P50
+		case KindHopP99:
+			observed = h.P99
+		}
+		res.Observed = observed.Round(time.Microsecond).String()
+		res.Passed = observed <= budget
+		if !res.Passed {
+			res.Detail = fmt.Sprintf("hop %s over budget by %s", ck.Scope, (observed - budget).Round(time.Microsecond))
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// judge evaluates one trace-based check against the observations.
+func (c *Contract) judge(ck Check, o *Observations) Result {
+	res := Result{Kind: ck.Kind, Scope: ck.Scope, Budget: c.budgetFor(ck)}
+	slack := c.slack()
+	minN := c.minSamples()
+	skip := func(format string, args ...any) Result {
+		res.Skipped = true
+		res.Detail = fmt.Sprintf(format, args...)
+		return res
+	}
+	failBy := func(format string, args ...any) {
+		res.Detail = fmt.Sprintf(format, args...)
+	}
+
+	switch ck.Kind {
+	case KindDelayP50, KindDelayP95, KindDelayP99:
+		if len(o.Delays) < minN {
+			return skip("n=%d < min samples %d", len(o.Delays), minN)
+		}
+		q := 0.50
+		switch ck.Kind {
+		case KindDelayP95:
+			q = 0.95
+		case KindDelayP99:
+			q = 0.99
+		}
+		observed := time.Duration(stats.Quantile(o.Delays, q) * float64(time.Second))
+		budget := time.Duration(float64(ck.Max) * slack)
+		res.Observed = observed.Round(time.Microsecond).String()
+		res.Passed = observed <= budget
+		if !res.Passed {
+			failBy("over budget by %s (n=%d)", (observed - budget).Round(time.Microsecond), len(o.Delays))
+		}
+
+	case KindConsumerFairness:
+		var means []float64
+		for _, ds := range o.ConsumerDelays {
+			if len(ds) >= minN {
+				means = append(means, stats.MeanOf(ds))
+			}
+		}
+		if len(means) < 2 {
+			return skip("%d consumers with >= %d samples, need 2", len(means), minN)
+		}
+		observed := time.Duration(stats.StdDevOf(means) * float64(time.Second))
+		budget := time.Duration(float64(ck.Max) * slack)
+		res.Observed = observed.Round(time.Microsecond).String()
+		res.Passed = observed <= budget
+		if !res.Passed {
+			failBy("unfairness over budget by %s across %d consumers", (observed - budget).Round(time.Microsecond), len(means))
+		}
+
+	case KindThroughputFloor, KindProducerFloor:
+		if o.Window <= 0 || o.Window < c.MinWindow {
+			return skip("window %s < min window %s", o.Window, c.MinWindow)
+		}
+		count := o.Consumed
+		if ck.Kind == KindProducerFloor {
+			count = o.Produced
+		}
+		observed := float64(count) / o.Window.Seconds()
+		floor := ck.MinPerSec / slack
+		res.Observed = fmt.Sprintf("%.1f/s", observed)
+		res.Passed = observed >= floor
+		if !res.Passed {
+			failBy("%.1f/s under floor %.1f/s (n=%d over %s)", observed, floor, count, o.Window)
+		}
+
+	case KindRejectionCeiling:
+		if o.SendAttempts < minN {
+			return skip("attempts=%d < min samples %d", o.SendAttempts, minN)
+		}
+		observed := float64(o.SendErrors) / float64(o.SendAttempts)
+		ceiling := ck.MaxRatio * slack
+		res.Observed = fmt.Sprintf("%.3f", observed)
+		res.Passed = observed <= ceiling
+		if !res.Passed {
+			failBy("%d/%d sends rejected, ceiling %.3f", o.SendErrors, o.SendAttempts, ceiling)
+		}
+
+	case KindUnavailability, KindMTTR:
+		if o.Crashes == 0 {
+			return skip("no crash in trace")
+		}
+		observed := o.Unavailable
+		if ck.Kind == KindMTTR {
+			observed = o.MTTR
+		}
+		budget := time.Duration(float64(ck.Max) * slack)
+		res.Observed = observed.Round(time.Microsecond).String()
+		res.Passed = observed <= budget
+		if !res.Passed {
+			failBy("over budget by %s across %d crashes", (observed - budget).Round(time.Microsecond), o.Crashes)
+		}
+
+	default:
+		return skip("unknown kind %q", ck.Kind)
+	}
+	return res
+}
+
+// budgetFor renders a check's slack-adjusted budget.
+func (c *Contract) budgetFor(ck Check) string {
+	slack := c.slack()
+	switch ck.Kind {
+	case KindThroughputFloor, KindProducerFloor:
+		return fmt.Sprintf(">=%.1f/s", ck.MinPerSec/slack)
+	case KindRejectionCeiling:
+		return fmt.Sprintf("<=%.3f", ck.MaxRatio*slack)
+	default:
+		return budgetDuration(ck.Max, slack)
+	}
+}
+
+func budgetDuration(max time.Duration, slack float64) string {
+	return "<=" + time.Duration(float64(max)*slack).Round(time.Microsecond).String()
+}
+
+func isHopKind(kind string) bool {
+	return kind == KindHopP50 || kind == KindHopP95 || kind == KindHopP99
+}
+
+// LoadContract reads and validates a JSON contract file (the
+// `jmsanalyze -contract` input format).
+func LoadContract(path string) (*Contract, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Contract
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("qos: parsing %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("qos: %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// SlackFromEnv reads the shared CI slack factor from JMSQOS_SLACK
+// (a float ≥ 1; unset, empty or invalid means 1). ci.sh exports it in
+// one place so loaded-host tuning is a one-line change.
+func SlackFromEnv() float64 {
+	v := os.Getenv("JMSQOS_SLACK")
+	if v == "" {
+		return 1
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f < 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,530 @@
+package qos
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jmsharness/internal/trace"
+)
+
+// traceBuilder assembles a synthetic phased trace with exact timings,
+// so every judgement semantics test controls its inputs precisely.
+type traceBuilder struct {
+	t0  time.Time
+	seq int64
+	evs []trace.Event
+}
+
+func newTraceBuilder() *traceBuilder {
+	return &traceBuilder{t0: time.Unix(1000, 0)}
+}
+
+func (b *traceBuilder) add(off time.Duration, ev trace.Event) {
+	b.seq++
+	ev.Seq = b.seq
+	ev.Node = "qos-test"
+	ev.Time = b.t0.Add(off)
+	b.evs = append(b.evs, ev)
+}
+
+func (b *traceBuilder) phase(off time.Duration, name string) {
+	b.add(off, trace.Event{Type: trace.EventPhase, Detail: name})
+}
+
+// msg logs a full send+deliver for one message; deliverOff <= 0 skips
+// the delivery (an undelivered message).
+func (b *traceBuilder) msg(uid, dest, consumer string, sendOff, deliverOff time.Duration) {
+	b.add(sendOff, trace.Event{Type: trace.EventSendStart, MsgUID: uid, Dest: dest, Producer: producerOf(uid)})
+	b.add(sendOff, trace.Event{Type: trace.EventSendEnd, MsgUID: uid, Dest: dest, Producer: producerOf(uid)})
+	if deliverOff > 0 {
+		b.add(deliverOff, trace.Event{Type: trace.EventDeliver, MsgUID: uid, Dest: dest, Consumer: consumer})
+	}
+}
+
+func (b *traceBuilder) failedSend(uid, dest string, off time.Duration) {
+	b.add(off, trace.Event{Type: trace.EventSendStart, MsgUID: uid, Dest: dest})
+	b.add(off, trace.Event{Type: trace.EventSendEnd, MsgUID: uid, Dest: dest, Err: "rejected"})
+}
+
+func (b *traceBuilder) crash(off time.Duration) {
+	b.add(off, trace.Event{Type: trace.EventCrash})
+}
+
+func (b *traceBuilder) trace() *trace.Trace {
+	// Events must be time-ordered like a merged trace; the builder is
+	// used with monotone offsets except deliveries, so sort stably.
+	evs := append([]trace.Event(nil), b.evs...)
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Time.Before(evs[j-1].Time); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	return &trace.Trace{Events: evs}
+}
+
+func producerOf(uid string) string {
+	if i := strings.LastIndexByte(uid, '/'); i >= 0 {
+		return uid[:i]
+	}
+	return uid
+}
+
+// standardPhases marks warmup at 0, run at 10ms..210ms, warmdown to
+// 400ms — a 200ms run window.
+func standardPhases(b *traceBuilder) {
+	b.phase(0, trace.PhaseWarmup)
+	b.phase(10*time.Millisecond, trace.PhaseRun)
+	b.phase(210*time.Millisecond, trace.PhaseWarmdown)
+	b.phase(400*time.Millisecond, trace.PhaseDone)
+}
+
+// steadyStream logs n messages on dest at fixed spacing across the run
+// window, each delivered after delay.
+func steadyStream(b *traceBuilder, dest, consumer string, n int, delay time.Duration) {
+	start := 12 * time.Millisecond
+	spacing := 190 * time.Millisecond / time.Duration(n)
+	for i := 0; i < n; i++ {
+		off := start + spacing*time.Duration(i)
+		b.msg(trace.MessageUID("p-"+dest, int64(i+1)), dest, consumer, off, off+delay)
+	}
+}
+
+func mustEvaluate(t *testing.T, c *Contract, tr *trace.Trace) *Report {
+	t.Helper()
+	rep, err := c.EvaluateTrace(tr)
+	if err != nil {
+		t.Fatalf("EvaluateTrace: %v", err)
+	}
+	return rep
+}
+
+func onlyResult(t *testing.T, rep *Report) Result {
+	t.Helper()
+	if len(rep.Results) != 1 {
+		t.Fatalf("want 1 result, got %d: %v", len(rep.Results), rep.Results)
+	}
+	return rep.Results[0]
+}
+
+func TestDelayPercentileJudgement(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	steadyStream(b, "queue:q", "c0", 40, 2*time.Millisecond)
+
+	pass := &Contract{Name: "t", Checks: []Check{{Kind: KindDelayP95, Max: 5 * time.Millisecond}}}
+	if res := onlyResult(t, mustEvaluate(t, pass, b.trace())); !res.Passed || res.Skipped {
+		t.Fatalf("2ms delays must pass a 5ms p95 budget: %+v", res)
+	}
+	fail := &Contract{Name: "t", Checks: []Check{{Kind: KindDelayP95, Max: time.Millisecond}}}
+	res := onlyResult(t, mustEvaluate(t, fail, b.trace()))
+	if res.Passed || res.Skipped {
+		t.Fatalf("2ms delays must fail a 1ms p95 budget: %+v", res)
+	}
+	if res.Detail == "" || res.Observed == "" || res.Budget == "" {
+		t.Fatalf("failed result must carry budget/observed/detail: %+v", res)
+	}
+}
+
+func TestPercentilesDistinguishTail(t *testing.T) {
+	// 90 fast messages and 10 slow ones: p50 passes a tight budget,
+	// p99 must catch the tail.
+	b := newTraceBuilder()
+	standardPhases(b)
+	for i := 0; i < 100; i++ {
+		off := 12*time.Millisecond + time.Duration(i)*1900*time.Microsecond
+		delay := time.Millisecond
+		if i%10 == 0 {
+			delay = 50 * time.Millisecond
+		}
+		b.msg(trace.MessageUID("p0", int64(i+1)), "queue:q", "c0", off, off+delay)
+	}
+	tr := b.trace()
+	c := &Contract{Name: "t", Checks: []Check{
+		{Kind: KindDelayP50, Max: 5 * time.Millisecond},
+		{Kind: KindDelayP99, Max: 5 * time.Millisecond},
+	}}
+	rep := mustEvaluate(t, c, tr)
+	p50, _ := rep.Result(KindDelayP50)
+	p99, _ := rep.Result(KindDelayP99)
+	if !p50.Passed {
+		t.Fatalf("p50 should pass with a 10%% slow tail: %+v", p50)
+	}
+	if p99.Passed || p99.Skipped {
+		t.Fatalf("p99 must catch the 50ms tail: %+v", p99)
+	}
+}
+
+func TestWarmupTrimExcludesRampSamples(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	// Ramp: 15 slow messages in the first 20ms of the run window.
+	for i := 0; i < 15; i++ {
+		off := 11*time.Millisecond + time.Duration(i)*time.Millisecond
+		b.msg(trace.MessageUID("ramp", int64(i+1)), "queue:q", "c0", off, off+80*time.Millisecond)
+	}
+	// Steady state: 40 fast messages from 40ms on.
+	for i := 0; i < 40; i++ {
+		off := 40*time.Millisecond + time.Duration(i)*4*time.Millisecond
+		b.msg(trace.MessageUID("steady", int64(i+1)), "queue:q", "c0", off, off+time.Millisecond)
+	}
+	tr := b.trace()
+	check := []Check{{Kind: KindDelayP95, Max: 10 * time.Millisecond}}
+
+	untrimmed := &Contract{Name: "t", Checks: check}
+	if res := onlyResult(t, mustEvaluate(t, untrimmed, tr)); res.Passed {
+		t.Fatalf("without trim the 80ms ramp tail must fail the 10ms budget: %+v", res)
+	}
+	trimmed := &Contract{Name: "t", WarmupTrim: 30 * time.Millisecond, Checks: check}
+	if res := onlyResult(t, mustEvaluate(t, trimmed, tr)); !res.Passed || res.Skipped {
+		t.Fatalf("a 30ms trim must discard the ramp samples: %+v", res)
+	}
+}
+
+func TestMinSamplesSkipsNotFails(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	steadyStream(b, "queue:q", "c0", 5, 90*time.Millisecond) // way over budget, but only 5 samples
+	c := &Contract{Name: "t", MinSamples: 10, Checks: []Check{{Kind: KindDelayP95, Max: time.Millisecond}}}
+	res := onlyResult(t, mustEvaluate(t, c, b.trace()))
+	if !res.Skipped {
+		t.Fatalf("5 samples under MinSamples=10 must skip, not judge: %+v", res)
+	}
+	if rep := mustEvaluate(t, c, b.trace()); !rep.OK() {
+		t.Fatalf("a skipped check must not fail the report")
+	}
+}
+
+func TestMinWindowSkipsRateChecks(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	steadyStream(b, "queue:q", "c0", 20, time.Millisecond)
+	c := &Contract{Name: "t", MinWindow: time.Second, Checks: []Check{
+		{Kind: KindThroughputFloor, MinPerSec: 1},
+		{Kind: KindProducerFloor, MinPerSec: 1},
+	}}
+	rep := mustEvaluate(t, c, b.trace())
+	for _, res := range rep.Results {
+		if !res.Skipped {
+			t.Fatalf("200ms window under MinWindow=1s must skip rate checks: %+v", res)
+		}
+	}
+}
+
+func TestThroughputFloorJudgement(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	steadyStream(b, "queue:q", "c0", 40, time.Millisecond) // ~200/s over the 200ms window
+	pass := &Contract{Name: "t", Checks: []Check{{Kind: KindThroughputFloor, MinPerSec: 100}}}
+	if res := onlyResult(t, mustEvaluate(t, pass, b.trace())); !res.Passed || res.Skipped {
+		t.Fatalf("~200/s must pass a 100/s floor: %+v", res)
+	}
+	fail := &Contract{Name: "t", Checks: []Check{{Kind: KindThroughputFloor, MinPerSec: 300}}}
+	if res := onlyResult(t, mustEvaluate(t, fail, b.trace())); res.Passed || res.Skipped {
+		t.Fatalf("~200/s must fail a 300/s floor: %+v", res)
+	}
+	// Zero deliveries is a FAIL (the paper's trivial provider), never a
+	// skip — sample thresholds must not mask total silence.
+	b2 := newTraceBuilder()
+	standardPhases(b2)
+	for i := 0; i < 20; i++ {
+		off := 12*time.Millisecond + time.Duration(i)*5*time.Millisecond
+		b2.msg(trace.MessageUID("p0", int64(i+1)), "queue:q", "c0", off, 0)
+	}
+	trivial := &Contract{Name: "t", Checks: []Check{{Kind: KindThroughputFloor, MinPerSec: 10}}}
+	if res := onlyResult(t, mustEvaluate(t, trivial, b2.trace())); res.Passed || res.Skipped {
+		t.Fatalf("zero deliveries must fail the floor outright: %+v", res)
+	}
+}
+
+func TestSlackSemantics(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	steadyStream(b, "queue:q", "c0", 40, 8*time.Millisecond) // ~200/s, 8ms delays
+	// Tight budgets that fail at slack 1...
+	checks := []Check{
+		{Kind: KindDelayP95, Max: 5 * time.Millisecond},
+		{Kind: KindThroughputFloor, MinPerSec: 300},
+	}
+	tight := &Contract{Name: "t", Checks: checks}
+	rep := mustEvaluate(t, tight, b.trace())
+	if rep.OK() {
+		t.Fatalf("tight contract must fail at slack 1: %s", rep)
+	}
+	// ...pass once slack widens the budget and relaxes the floor.
+	slacked := &Contract{Name: "t", SlackFactor: 2, Checks: checks}
+	rep = mustEvaluate(t, slacked, b.trace())
+	if !rep.OK() {
+		t.Fatalf("slack 2 must widen 5ms->10ms and relax 300/s->150/s: %s", rep)
+	}
+	// WithSlack composes multiplicatively and never mutates the original.
+	doubled := tight.WithSlack(2)
+	if tight.SlackFactor != 0 {
+		t.Fatalf("WithSlack mutated the receiver")
+	}
+	if doubled.SlackFactor != 2 {
+		t.Fatalf("WithSlack(2) on slack 1 contract: got %v", doubled.SlackFactor)
+	}
+	if again := doubled.WithSlack(3); again.SlackFactor != 6 {
+		t.Fatalf("WithSlack must compose: got %v", again.SlackFactor)
+	}
+	if same := tight.WithSlack(1); same != tight {
+		t.Fatalf("WithSlack(1) must be a no-op")
+	}
+}
+
+func TestRejectionCeiling(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	for i := 0; i < 30; i++ {
+		off := 12*time.Millisecond + time.Duration(i)*6*time.Millisecond
+		uid := trace.MessageUID("p0", int64(i+1))
+		if i%3 == 0 { // every third send rejected -> ratio 1/3
+			b.failedSend(uid, "queue:q", off)
+			continue
+		}
+		b.msg(uid, "queue:q", "c0", off, off+time.Millisecond)
+	}
+	tr := b.trace()
+	pass := &Contract{Name: "t", Checks: []Check{{Kind: KindRejectionCeiling, MaxRatio: 0.5}}}
+	if res := onlyResult(t, mustEvaluate(t, pass, tr)); !res.Passed || res.Skipped {
+		t.Fatalf("ratio 1/3 must pass a 0.5 ceiling: %+v", res)
+	}
+	fail := &Contract{Name: "t", Checks: []Check{{Kind: KindRejectionCeiling, MaxRatio: 0.1}}}
+	if res := onlyResult(t, mustEvaluate(t, fail, tr)); res.Passed || res.Skipped {
+		t.Fatalf("ratio 1/3 must fail a 0.1 ceiling: %+v", res)
+	}
+}
+
+func TestConsumerFairness(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	// Two consumers with skewed mean delays (1ms vs 41ms), plus one
+	// straggler consumer below the sample threshold that must not count.
+	for i := 0; i < 20; i++ {
+		off := 12*time.Millisecond + time.Duration(i)*9*time.Millisecond
+		b.msg(trace.MessageUID("pa", int64(i+1)), "queue:q", "fast", off, off+time.Millisecond)
+		b.msg(trace.MessageUID("pb", int64(i+1)), "queue:q", "slow", off, off+41*time.Millisecond)
+	}
+	b.msg(trace.MessageUID("pc", 1), "queue:q", "straggler", 15*time.Millisecond, 15*time.Millisecond+time.Hour)
+	tr := b.trace()
+	fail := &Contract{Name: "t", Checks: []Check{{Kind: KindConsumerFairness, Max: 10 * time.Millisecond}}}
+	if res := onlyResult(t, mustEvaluate(t, fail, tr)); res.Passed || res.Skipped {
+		t.Fatalf("40ms mean-delay skew must fail a 10ms unfairness budget: %+v", res)
+	}
+	pass := &Contract{Name: "t", Checks: []Check{{Kind: KindConsumerFairness, Max: 50 * time.Millisecond}}}
+	if res := onlyResult(t, mustEvaluate(t, pass, tr)); !res.Passed || res.Skipped {
+		t.Fatalf("skew ~28ms stddev must pass a 50ms budget: %+v", res)
+	}
+	// One consumer only: skipped, not judged.
+	b2 := newTraceBuilder()
+	standardPhases(b2)
+	steadyStream(b2, "queue:q", "c0", 20, time.Millisecond)
+	solo := &Contract{Name: "t", Checks: []Check{{Kind: KindConsumerFairness, Max: time.Millisecond}}}
+	if res := onlyResult(t, mustEvaluate(t, solo, b2.trace())); !res.Skipped {
+		t.Fatalf("fairness needs two qualifying consumers: %+v", res)
+	}
+}
+
+func TestCrashRecoveryMeasures(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	// Deliveries every 5ms until 60ms, crash at 63ms, recovery delivery
+	// at 143ms: unavailability = 143-60 = 83ms, MTTR = 143-63 = 80ms.
+	for i := 0; i < 10; i++ {
+		off := 12*time.Millisecond + time.Duration(i)*5*time.Millisecond
+		b.msg(trace.MessageUID("p0", int64(i+1)), "queue:q", "c0", off, off+3*time.Millisecond)
+	}
+	b.crash(63 * time.Millisecond)
+	b.msg(trace.MessageUID("p0", 11), "queue:q", "c0", 140*time.Millisecond, 143*time.Millisecond)
+	tr := b.trace()
+
+	c := &Contract{Name: "t", Checks: []Check{
+		{Kind: KindUnavailability, Max: 100 * time.Millisecond},
+		{Kind: KindMTTR, Max: 100 * time.Millisecond},
+	}}
+	rep := mustEvaluate(t, c, tr)
+	if !rep.OK() {
+		t.Fatalf("83ms/80ms must pass 100ms budgets: %s", rep)
+	}
+	una, _ := rep.Result(KindUnavailability)
+	mttr, _ := rep.Result(KindMTTR)
+	if una.Observed != "83ms" {
+		t.Fatalf("unavailability observed = %q, want 83ms", una.Observed)
+	}
+	if mttr.Observed != "80ms" {
+		t.Fatalf("mttr observed = %q, want 80ms", mttr.Observed)
+	}
+
+	tight := &Contract{Name: "t", Checks: []Check{{Kind: KindMTTR, Max: 50 * time.Millisecond}}}
+	if res := onlyResult(t, mustEvaluate(t, tight, tr)); res.Passed || res.Skipped {
+		t.Fatalf("80ms MTTR must fail a 50ms budget: %+v", res)
+	}
+
+	// Crash-free traces skip both measures.
+	b2 := newTraceBuilder()
+	standardPhases(b2)
+	steadyStream(b2, "queue:q", "c0", 20, time.Millisecond)
+	rep = mustEvaluate(t, c, b2.trace())
+	for _, res := range rep.Results {
+		if !res.Skipped {
+			t.Fatalf("crash measures must skip on crash-free traces: %+v", res)
+		}
+	}
+}
+
+func TestScopeRestrictsMeasurement(t *testing.T) {
+	b := newTraceBuilder()
+	standardPhases(b)
+	steadyStream(b, "queue:fast", "cf", 30, time.Millisecond)
+	steadyStream(b, "queue:slow", "cs", 30, 60*time.Millisecond)
+	tr := b.trace()
+	c := &Contract{Name: "t", Checks: []Check{
+		{Kind: KindDelayP95, Scope: "queue:fast", Max: 10 * time.Millisecond},
+		{Kind: KindDelayP95, Scope: "queue:slow", Max: 10 * time.Millisecond},
+	}}
+	rep := mustEvaluate(t, c, tr)
+	if len(rep.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(rep.Results))
+	}
+	if !rep.Results[0].Passed {
+		t.Fatalf("fast queue must pass its own budget: %+v", rep.Results[0])
+	}
+	if rep.Results[1].Passed {
+		t.Fatalf("slow queue must fail on its own scope: %+v", rep.Results[1])
+	}
+	if got := rep.Violated(); len(got) != 1 || got[0] != KindDelayP95 {
+		t.Fatalf("Violated = %v", got)
+	}
+}
+
+func TestEvaluateHops(t *testing.T) {
+	hops := HopSet{
+		"wire-rtt": {Count: 100, P50: time.Millisecond, P95: 4 * time.Millisecond, P99: 9 * time.Millisecond},
+		"settle":   {Count: 3, P95: time.Hour},
+	}
+	c := &Contract{Name: "t", MinSamples: 10, Checks: []Check{
+		{Kind: KindHopP95, Scope: "wire-rtt", Max: 5 * time.Millisecond},
+		{Kind: KindHopP99, Scope: "wire-rtt", Max: 5 * time.Millisecond},
+		{Kind: KindHopP95, Scope: "settle", Max: time.Millisecond},
+		{Kind: KindHopP95, Scope: "missing", Max: time.Millisecond},
+		{Kind: KindDelayP95, Max: time.Millisecond},
+	}}
+	rep, err := c.EvaluateHops(hops)
+	if err != nil {
+		t.Fatalf("EvaluateHops: %v", err)
+	}
+	if !rep.Results[0].Passed {
+		t.Fatalf("4ms p95 must pass 5ms: %+v", rep.Results[0])
+	}
+	if rep.Results[1].Passed || rep.Results[1].Skipped {
+		t.Fatalf("9ms p99 must fail 5ms: %+v", rep.Results[1])
+	}
+	for i := 2; i <= 4; i++ {
+		if !rep.Results[i].Skipped {
+			t.Fatalf("result %d must skip (under-sampled, missing hop, or trace check): %+v", i, rep.Results[i])
+		}
+	}
+	// And the inverse: hop checks skip under EvaluateTrace.
+	b := newTraceBuilder()
+	standardPhases(b)
+	steadyStream(b, "queue:q", "c0", 20, time.Millisecond)
+	hopOnly := &Contract{Name: "t", Checks: []Check{{Kind: KindHopP95, Scope: "wire-rtt", Max: time.Millisecond}}}
+	if res := onlyResult(t, mustEvaluate(t, hopOnly, b.trace())); !res.Skipped {
+		t.Fatalf("hop checks must skip against a trace: %+v", res)
+	}
+}
+
+func TestContractJSONRoundTrip(t *testing.T) {
+	c := &Contract{
+		Name:        "round-trip",
+		SlackFactor: 1.5,
+		WarmupTrim:  25 * time.Millisecond,
+		MinSamples:  12,
+		MinWindow:   100 * time.Millisecond,
+		Checks: []Check{
+			{Kind: KindDelayP95, Scope: "queue:q", Max: 40 * time.Millisecond},
+			{Kind: KindThroughputFloor, MinPerSec: 30},
+			{Kind: KindRejectionCeiling, MaxRatio: 0.1},
+		},
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "contract.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadContract(path)
+	if err != nil {
+		t.Fatalf("LoadContract: %v", err)
+	}
+	if got.Name != c.Name || got.SlackFactor != c.SlackFactor || got.WarmupTrim != c.WarmupTrim ||
+		got.MinSamples != c.MinSamples || got.MinWindow != c.MinWindow || len(got.Checks) != len(c.Checks) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, c)
+	}
+	for i := range c.Checks {
+		if got.Checks[i] != c.Checks[i] {
+			t.Fatalf("check %d mismatch: %+v vs %+v", i, got.Checks[i], c.Checks[i])
+		}
+	}
+}
+
+func TestContractValidation(t *testing.T) {
+	bad := []*Contract{
+		{Name: "empty"},
+		{Name: "kind", Checks: []Check{{Kind: "bogus", Max: time.Second}}},
+		{Name: "nomax", Checks: []Check{{Kind: KindDelayP95}}},
+		{Name: "nofloor", Checks: []Check{{Kind: KindThroughputFloor}}},
+		{Name: "negslack", SlackFactor: -1, Checks: []Check{{Kind: KindDelayP95, Max: time.Second}}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("contract %q must fail validation", c.Name)
+		}
+	}
+	good := &Contract{Name: "ok", Checks: []Check{{Kind: KindMTTR, Max: time.Second}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid contract rejected: %v", err)
+	}
+}
+
+func TestSlackFromEnv(t *testing.T) {
+	cases := map[string]float64{
+		"":    1,
+		"2.5": 2.5,
+		"0.5": 1, // below 1 clamps: env slack never tightens budgets
+		"abc": 1,
+		"3":   3,
+	}
+	for v, want := range cases {
+		t.Setenv("JMSQOS_SLACK", v)
+		if got := SlackFromEnv(); got != want {
+			t.Fatalf("SlackFromEnv(%q) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{Contract: "r", Results: []Result{
+		{Kind: KindDelayP95, Budget: "<=5ms", Observed: "2ms", Passed: true},
+		{Kind: KindThroughputFloor, Budget: ">=30.0/s", Observed: "12.0/s", Detail: "under floor"},
+		{Kind: KindMTTR, Budget: "<=100ms", Skipped: true, Detail: "no crash in trace"},
+	}}
+	s := rep.String()
+	for _, want := range []string{"OK", "FAIL", "SKIPPED", "under floor", "delay-p95"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+	if rep.OK() {
+		t.Fatalf("report with a failed check must not be OK")
+	}
+	if !rep.Failed(KindThroughputFloor) || rep.Failed(KindDelayP95) || rep.Failed(KindMTTR) {
+		t.Fatalf("Failed attribution wrong: %v", rep.Violated())
+	}
+}

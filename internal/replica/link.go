@@ -20,17 +20,29 @@ import (
 // link, in the same uvarint-len | payload | crc32 shape as the WAL's
 // on-disk records. The payload's first byte is the frame type.
 //
-//	hello    sender → server   String(source node name), Bool(reset)
-//	helloAck server → sender   Uvarint(lastApplied cumulative seq)
-//	record   sender → server   Uvarint(seq), Blob(store record payload)
-//	ack      server → sender   Uvarint(lastApplied cumulative seq)
-//	ping     probe  → server   (empty)
-//	pong     server → probe    Bool(broker healthy)
+//	hello     sender → server   String(source node name), Bool(reset)
+//	helloAck  server → sender   Uvarint(lastApplied cumulative seq)
+//	record    sender → server   Uvarint(seq), Blob(store record payload)
+//	ack       server → sender   Uvarint(lastApplied cumulative seq)
+//	ping      probe  → server   (empty)
+//	pong      server → probe    Bool(broker healthy)
+//	snapBegin sender → server   (empty; reset sessions only)
+//	snapEntry sender → server   store record payload (no seq)
+//	snapEnd   sender → server   Uvarint(cut seq the snapshot equals)
 //
 // The server acknowledges cumulatively: an ack for sequence s covers
 // every record at or below s. Sequence numbers are the source stream's,
 // so they are monotonic but gappy on any one link (records owned by a
 // different follower are skipped, not shipped).
+//
+// The snapshot frames carry a resync whose replay window was trimmed
+// out of the source's record stream (Stream.TrimTo): instead of
+// replaying from sequence 0 — records that no longer exist — the
+// sender ships an atomic snapshot of its store filtered to the
+// endpoints this peer follows, then streams normally from the cut.
+// Only a reset session may carry them: the peer has already dropped
+// this source's state, so installing the snapshot is a rebuild, never
+// an overwrite of live follower state.
 const (
 	frHello byte = iota + 1
 	frHelloAck
@@ -38,6 +50,9 @@ const (
 	frAck
 	frPing
 	frPong
+	frSnapBegin
+	frSnapEntry
+	frSnapEnd
 )
 
 // maxFrame bounds a frame payload; larger is a corrupt length prefix.
@@ -273,43 +288,114 @@ func (s *repServer) follow(conn net.Conn, br *bufio.Reader, source string, reset
 	if writeFrame(conn, e.Bytes()) != nil {
 		return
 	}
+	// A snapshot may only open a reset session, before any record: it
+	// wholesale-replaces this source's state, which is safe exactly when
+	// that state was just dropped and nothing new has been applied.
+	snapAllowed := reset
+	inSnap := false
 	for {
 		// Generous idle deadline: an idle healthy link redials
 		// occasionally, a dead one gets collected.
 		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
 		payload, err := readFrame(br)
-		if err != nil || len(payload) == 0 || payload[0] != frRecord {
+		if err != nil || len(payload) == 0 {
 			return // includes errBadFrame: a torn frame drops the link unapplied
 		}
-		d := jms.NewDecoder(payload[1:])
-		seq := d.Uvarint()
-		rec := d.Blob()
-		if d.Err() != nil {
-			return
-		}
-		inb.mu.Lock()
-		if inb.gen != gen || inb.sealed {
+		switch payload[0] {
+		case frSnapBegin:
+			if !snapAllowed {
+				return
+			}
+			inSnap = true
+			inb.mu.Lock()
+			if inb.gen != gen || inb.sealed {
+				inb.mu.Unlock()
+				return
+			}
+			mem := store.NewMemory()
+			inb.store = mem
+			inb.app = store.Applier{Dst: mem}
+			inb.lastApplied = 0
 			inb.mu.Unlock()
-			return
-		}
-		if seq > inb.lastApplied {
-			op, derr := store.DecodeOp(rec)
+		case frSnapEntry:
+			if !inSnap {
+				return
+			}
+			op, derr := store.DecodeOp(payload[1:])
 			if derr != nil {
+				return
+			}
+			inb.mu.Lock()
+			if inb.gen != gen || inb.sealed {
 				inb.mu.Unlock()
 				return
 			}
 			if aerr := inb.app.Apply(op); aerr != nil {
 				inb.mu.Unlock()
-				s.m.event("follower %d: apply from %s failed: %v", s.node, source, aerr)
+				s.m.event("follower %d: snapshot apply from %s failed: %v", s.node, source, aerr)
 				return
 			}
-			inb.lastApplied = seq
-		}
-		last := inb.lastApplied
-		inb.mu.Unlock()
-		e := jms.NewEncoder([]byte{frAck})
-		e.Uvarint(last)
-		if writeFrame(conn, e.Bytes()) != nil {
+			inb.mu.Unlock()
+		case frSnapEnd:
+			if !inSnap {
+				return
+			}
+			inSnap = false
+			snapAllowed = false
+			d := jms.NewDecoder(payload[1:])
+			cut := d.Uvarint()
+			if d.Err() != nil {
+				return
+			}
+			inb.mu.Lock()
+			if inb.gen != gen || inb.sealed {
+				inb.mu.Unlock()
+				return
+			}
+			inb.lastApplied = cut
+			inb.mu.Unlock()
+			e := jms.NewEncoder([]byte{frAck})
+			e.Uvarint(cut)
+			if writeFrame(conn, e.Bytes()) != nil {
+				return
+			}
+		case frRecord:
+			if inSnap {
+				return
+			}
+			snapAllowed = false
+			d := jms.NewDecoder(payload[1:])
+			seq := d.Uvarint()
+			rec := d.Blob()
+			if d.Err() != nil {
+				return
+			}
+			inb.mu.Lock()
+			if inb.gen != gen || inb.sealed {
+				inb.mu.Unlock()
+				return
+			}
+			if seq > inb.lastApplied {
+				op, derr := store.DecodeOp(rec)
+				if derr != nil {
+					inb.mu.Unlock()
+					return
+				}
+				if aerr := inb.app.Apply(op); aerr != nil {
+					inb.mu.Unlock()
+					s.m.event("follower %d: apply from %s failed: %v", s.node, source, aerr)
+					return
+				}
+				inb.lastApplied = seq
+			}
+			last := inb.lastApplied
+			inb.mu.Unlock()
+			e := jms.NewEncoder([]byte{frAck})
+			e.Uvarint(last)
+			if writeFrame(conn, e.Bytes()) != nil {
+				return
+			}
+		default:
 			return
 		}
 	}

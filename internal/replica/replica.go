@@ -112,6 +112,7 @@ type Manager struct {
 	mu        sync.Mutex
 	endpoints map[string]bool // endpoints observed in replication traffic
 	events    []string
+	suspicion map[int]int // node -> consecutive heartbeat misses (below threshold)
 	closed    bool
 
 	stop chan struct{}
@@ -147,6 +148,7 @@ func NewLocal(n int, opts Options) (*Manager, error) {
 		opts:      opts,
 		nodes:     make([]*replNode, n),
 		endpoints: map[string]bool{},
+		suspicion: map[int]int{},
 		stop:      make(chan struct{}),
 	}
 	m.met.promotions = reg.Counter("replica.promotions")
@@ -334,19 +336,37 @@ func (m *Manager) detect() {
 		wg.Wait()
 		for i := range m.nodes {
 			if m.c.NodeDown(i) {
+				m.setSuspicion(i, 0)
 				continue
 			}
 			if ok[i] {
 				misses[i] = 0
+				m.setSuspicion(i, 0)
 				continue
 			}
 			misses[i]++
 			if misses[i] >= m.opts.HeartbeatMisses {
 				misses[i] = 0
+				m.setSuspicion(i, 0)
 				m.promote(i)
+				continue
 			}
+			m.setSuspicion(i, misses[i])
 		}
 	}
+}
+
+// setSuspicion publishes node i's consecutive heartbeat-miss count for
+// /clusterz: non-zero marks the node suspected (pinged and missing, not
+// yet promoted); zero clears it.
+func (m *Manager) setSuspicion(i, misses int) {
+	m.mu.Lock()
+	if misses == 0 {
+		delete(m.suspicion, i)
+	} else {
+		m.suspicion[i] = misses
+	}
+	m.mu.Unlock()
 }
 
 // promote fails node dead over to its followers: each live node adopts
@@ -480,6 +500,37 @@ func (m *Manager) updateLag() {
 	m.met.lag.Set(worst)
 }
 
+// streamTrimBatch is how many fully acknowledged records accumulate
+// before a retention trim runs, amortizing TrimTo's copy of the
+// retained suffix across many acks.
+const streamTrimBatch = 256
+
+// maybeTrim advances node from's committed-record stream retention to
+// the lowest acknowledged position across its live links, bounding the
+// stream's memory to the unacknowledged suffix. Halted or detached
+// links never acknowledge again and must not pin retention forever,
+// and a link awaiting reset rebuilds from a snapshot cut rather than
+// the retained history, so none of those constrain the floor. A link
+// the trim outruns anyway (racing a mid-reset session) fails its
+// subscribe with ErrStreamTrimmed and converges through the snapshot
+// resync path.
+func (m *Manager) maybeTrim(from int) {
+	node := m.nodes[from]
+	floor := node.stream.LastSeq()
+	for _, s := range node.senders {
+		s.mu.Lock()
+		live := !s.halted && !s.peerDead && !s.needReset
+		acked := s.ackedThroughLocked()
+		s.mu.Unlock()
+		if live && acked < floor {
+			floor = acked
+		}
+	}
+	if floor >= node.stream.OldestRetained()+streamTrimBatch {
+		node.stream.TrimTo(floor)
+	}
+}
+
 // replicationStatus builds the /clusterz Replication section.
 func (m *Manager) replicationStatus() *cluster.ReplicationStatus {
 	st := &cluster.ReplicationStatus{
@@ -491,7 +542,17 @@ func (m *Manager) replicationStatus() *cluster.ReplicationStatus {
 	for ep := range m.endpoints {
 		eps = append(eps, ep)
 	}
+	for i, misses := range m.suspicion {
+		st.Suspected = append(st.Suspected, cluster.NodeSuspicion{
+			Node: m.nodes[i].name, Misses: misses,
+		})
+	}
 	m.mu.Unlock()
+	for i := 1; i < len(st.Suspected); i++ {
+		for j := i; j > 0 && st.Suspected[j].Node < st.Suspected[j-1].Node; j-- {
+			st.Suspected[j], st.Suspected[j-1] = st.Suspected[j-1], st.Suspected[j]
+		}
+	}
 	sortStrings(eps)
 	for _, ep := range eps {
 		ranked := m.rankedFor(ep)

@@ -374,9 +374,15 @@ func TestPromotionDoesNotAckUnreplicated(t *testing.T) {
 		t.Fatal("no follower for queue")
 	}
 	poll(t, 2*time.Second, "replication link dialed", func() bool { return lp.get(primary, follower) != nil })
+	// Prove the link has a live session before partitioning: a covered
+	// send returns only after the follower acknowledged it. Partitioning
+	// straight after the first dial can race the link handshake — the
+	// helloAck blackholes, no session establishes, and the in-flight
+	// record below would never reach the link's pending window.
+	sess := openSession(t, c)
+	sendText(t, sess, q, "warmup")
 	lp.get(primary, follower).Partition(chaos.Both)
 
-	sess := openSession(t, c)
 	sendErr := make(chan error, 1)
 	go func() {
 		p, err := sess.CreateProducer(q)
@@ -467,6 +473,51 @@ func TestReplicationLinkPartitionHealsDegraded(t *testing.T) {
 			t.Errorf("message %q lost across partition+heal+failover", body)
 		}
 	}
+}
+
+// TestSuspectedNodeSurfacedInStatus crashes a broker under a detector
+// whose promotion threshold is far away: the node must appear in the
+// cluster status as suspected (pinged and missing, not yet promoted)
+// and clear again once it restarts healthy.
+func TestSuspectedNodeSurfacedInStatus(t *testing.T) {
+	m := newTestManager(t, 3, Options{
+		Seed:            19,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 10000, // suspicion only; never promote in this test
+	})
+	c := m.Cluster()
+	victim := 1
+	victimName := m.nodes[victim].name
+	if !c.CrashNode(victim) {
+		t.Fatal("CrashNode refused")
+	}
+	suspicionOf := func(name string) int {
+		st := c.Status()
+		if st.Replication == nil {
+			return 0
+		}
+		for _, s := range st.Replication.Suspected {
+			if s.Node == name {
+				return s.Misses
+			}
+		}
+		return 0
+	}
+	poll(t, 5*time.Second, "crashed node suspected", func() bool {
+		return suspicionOf(victimName) > 0
+	})
+	if got := m.Promotions(); got != 0 {
+		t.Fatalf("promotions = %d, want 0 (threshold not reached)", got)
+	}
+	if down := c.NodeDown(victim); down {
+		t.Fatal("suspected node marked down before the threshold")
+	}
+	if err := c.RestartNode(victim); err != nil {
+		t.Fatalf("restart below threshold: %v", err)
+	}
+	poll(t, 5*time.Second, "suspicion cleared after restart", func() bool {
+		return suspicionOf(victimName) == 0
+	})
 }
 
 // TestDurableSubscriptionFailover replicates a durable subscription and

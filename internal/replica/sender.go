@@ -282,6 +282,20 @@ func (s *sender) session(conn net.Conn) error {
 		}
 		s.mu.Unlock()
 		lastApplied = 0
+		// A trimmed stream cannot replay from zero — the history is
+		// gone. Ship an atomic snapshot cut of the store instead and
+		// stream from the cut.
+		if s.stream.OldestRetained() > 0 {
+			cut, serr := s.sendSnapshot(conn)
+			if serr != nil {
+				s.mu.Lock()
+				s.needReset = true
+				s.resyncGen++
+				s.mu.Unlock()
+				return serr
+			}
+			lastApplied = cut
+		}
 	}
 	sub, err := s.stream.Subscribe(lastApplied)
 	if err != nil {
@@ -364,7 +378,58 @@ func (s *sender) session(conn net.Conn) error {
 			s.mu.Unlock()
 		}
 		s.m.updateLag()
+		s.m.maybeTrim(s.from)
 	}
+}
+
+// sendSnapshot opens a reset session whose replay window was trimmed:
+// it ships an atomic snapshot of this node's store — filtered to the
+// endpoints the peer follows, encoded as ordinary store ops — and
+// returns the stream cut the snapshot is exactly consistent with. The
+// caller subscribes from the cut.
+func (s *sender) sendSnapshot(conn net.Conn) (uint64, error) {
+	snap, cut, err := s.m.nodes[s.from].stable.snapshotCut()
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFrame(conn, []byte{frSnapBegin}); err != nil {
+		return 0, err
+	}
+	entry := func(op store.Op) error {
+		e := jms.NewEncoder([]byte{frSnapEntry})
+		store.AppendOp(e, op)
+		return writeFrame(conn, e.Bytes())
+	}
+	for ep, msgs := range snap.Messages {
+		if s.m.followerFor(s.from, ep) != s.to {
+			continue
+		}
+		for _, sm := range msgs {
+			if err := entry(store.Op{Kind: store.OpAddMessage, ID: sm.ID, Endpoint: ep, Msg: sm.Msg}); err != nil {
+				return 0, err
+			}
+			if sm.Delivered {
+				if err := entry(store.Op{Kind: store.OpMarkDelivered, ID: sm.ID, Endpoint: ep}); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	for _, sub := range snap.Subscriptions {
+		if s.m.followerFor(s.from, "sub:"+sub.ClientID+":"+sub.Name) != s.to {
+			continue
+		}
+		if err := entry(store.Op{Kind: store.OpAddSubscription, Sub: sub}); err != nil {
+			return 0, err
+		}
+	}
+	e := jms.NewEncoder([]byte{frSnapEnd})
+	e.Uvarint(cut)
+	if err := writeFrame(conn, e.Bytes()); err != nil {
+		return 0, err
+	}
+	s.m.event("link %d->%d: snapshot resync at stream cut %d", s.from, s.to, cut)
+	return cut, nil
 }
 
 // onAck processes the peer's cumulative acknowledgement.
@@ -386,4 +451,5 @@ func (s *sender) onAck(seq uint64) {
 	s.broadcastLocked()
 	s.mu.Unlock()
 	s.m.updateLag()
+	s.m.maybeTrim(s.from)
 }

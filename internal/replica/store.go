@@ -1,6 +1,8 @@
 package replica
 
 import (
+	"sync"
+
 	"jmsharness/internal/jms"
 	"jmsharness/internal/store"
 )
@@ -18,6 +20,12 @@ type replicatedStore struct {
 	stream *store.Stream
 	m      *Manager
 	node   int
+	// cutMu makes snapshotCut an atomic cut of the record stream: every
+	// mutation holds the read side across the inner call (which commits
+	// AND publishes before returning), so the write side observes a
+	// store with no mutation between commit and publication — the
+	// snapshot then corresponds exactly to stream position LastSeq().
+	cutMu sync.RWMutex
 }
 
 var _ store.Store = (*replicatedStore)(nil)
@@ -26,8 +34,24 @@ func (r *replicatedStore) barrier(endpoint string) error {
 	return r.m.waitReplicated(r.node, endpoint, r.stream.LastSeq())
 }
 
+// snapshotCut returns the store's state together with the stream
+// sequence it is exactly consistent with: every record ≤ cut is
+// reflected in the state, no record > cut is. Senders use it to resync
+// a follower whose replay window was trimmed away.
+func (r *replicatedStore) snapshotCut() (*store.State, uint64, error) {
+	r.cutMu.Lock()
+	defer r.cutMu.Unlock()
+	snap, err := r.inner.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, r.stream.LastSeq(), nil
+}
+
 func (r *replicatedStore) AddMessage(endpoint string, msg *jms.Message) (store.RecordID, error) {
+	r.cutMu.RLock()
 	id, err := r.inner.AddMessage(endpoint, msg)
+	r.cutMu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
@@ -35,28 +59,40 @@ func (r *replicatedStore) AddMessage(endpoint string, msg *jms.Message) (store.R
 }
 
 func (r *replicatedStore) RemoveMessage(endpoint string, id store.RecordID) error {
-	if err := r.inner.RemoveMessage(endpoint, id); err != nil {
+	r.cutMu.RLock()
+	err := r.inner.RemoveMessage(endpoint, id)
+	r.cutMu.RUnlock()
+	if err != nil {
 		return err
 	}
 	return r.barrier(endpoint)
 }
 
 func (r *replicatedStore) MarkDelivered(endpoint string, id store.RecordID) error {
-	if err := r.inner.MarkDelivered(endpoint, id); err != nil {
+	r.cutMu.RLock()
+	err := r.inner.MarkDelivered(endpoint, id)
+	r.cutMu.RUnlock()
+	if err != nil {
 		return err
 	}
 	return r.barrier(endpoint)
 }
 
 func (r *replicatedStore) AddSubscription(sub store.SubscriptionRecord) error {
-	if err := r.inner.AddSubscription(sub); err != nil {
+	r.cutMu.RLock()
+	err := r.inner.AddSubscription(sub)
+	r.cutMu.RUnlock()
+	if err != nil {
 		return err
 	}
 	return r.barrier("sub:" + sub.ClientID + ":" + sub.Name)
 }
 
 func (r *replicatedStore) RemoveSubscription(clientID, name string) error {
-	if err := r.inner.RemoveSubscription(clientID, name); err != nil {
+	r.cutMu.RLock()
+	err := r.inner.RemoveSubscription(clientID, name)
+	r.cutMu.RUnlock()
+	if err != nil {
 		return err
 	}
 	return r.barrier("sub:" + clientID + ":" + name)

@@ -1,0 +1,206 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+// TestSnapshotResyncProtocol drives the snapshot frames directly: a
+// reset session ships snapBegin, entries and snapEnd with a cut, the
+// follower installs the state and sets its cumulative cursor to the
+// cut, and a plain reconnect resumes from there.
+func TestSnapshotResyncProtocol(t *testing.T) {
+	srv := newBareServer(t)
+	conn, br, last := dialFollower(t, srv, "src", true)
+	if last != 0 {
+		t.Fatalf("reset handshake cursor = %d, want 0", last)
+	}
+	if err := writeFrame(conn, []byte{frSnapBegin}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		e := jms.NewEncoder([]byte{frSnapEntry})
+		store.AppendOp(e, store.Op{
+			Kind:     store.OpAddMessage,
+			ID:       store.RecordID(i),
+			Endpoint: "queue:q",
+			Msg:      jms.NewTextMessage(fmt.Sprintf("snap-%d", i)),
+		})
+		if err := writeFrame(conn, e.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := jms.NewEncoder([]byte{frSnapEnd})
+	e.Uvarint(40)
+	if err := writeFrame(conn, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != frAck {
+		t.Fatalf("expected ack after snapEnd, got frame type %d", payload[0])
+	}
+	d := jms.NewDecoder(payload[1:])
+	if acked := d.Uvarint(); d.Err() != nil || acked != 40 {
+		t.Fatalf("snapshot ack = %d (err %v), want 40", acked, d.Err())
+	}
+	// Records at or below the cut are duplicates of snapshot state and
+	// must not re-apply; records above it apply normally.
+	shipRecord(t, conn, br, 38, recordPayload(38, "stale"))
+	shipRecord(t, conn, br, 41, recordPayload(41, "after-cut"))
+	conn.Close()
+
+	conn2, br2, last := dialFollower(t, srv, "src", false)
+	defer conn2.Close()
+	if last != 41 {
+		t.Fatalf("cursor after snapshot resync = %d, want 41", last)
+	}
+	_ = br2
+	snap, err := srv.snapshotSource("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := snap.Messages["queue:q"]
+	if len(msgs) != 4 {
+		t.Fatalf("follower holds %d messages, want 4 (3 snapshot + 1 streamed)", len(msgs))
+	}
+	for i, want := range []string{"snap-1", "snap-2", "snap-3", "after-cut"} {
+		if got := string(msgs[i].Msg.Body.(jms.TextBody)); got != want {
+			t.Fatalf("message %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestSnapshotRejectedWithoutReset makes sure a snapshot cannot
+// overwrite live follower state: snapBegin on a non-reset session must
+// drop the link, leaving the previously applied records intact.
+func TestSnapshotRejectedWithoutReset(t *testing.T) {
+	srv := newBareServer(t)
+	conn, br, _ := dialFollower(t, srv, "src", false)
+	shipRecord(t, conn, br, 1, recordPayload(1, "keep"))
+	if err := writeFrame(conn, []byte{frSnapBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(br); err == nil {
+		t.Fatal("follower kept serving after a snapshot on a non-reset session")
+	}
+	conn.Close()
+	if got := srv.lastAppliedFrom("src"); got != 1 {
+		t.Fatalf("cursor after rejected snapshot = %d, want 1", got)
+	}
+	snap, err := srv.snapshotSource("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Messages["queue:q"]) != 1 {
+		t.Fatal("rejected snapshot disturbed existing follower state")
+	}
+}
+
+// TestStreamTrimAfterAcks is the retention fix end to end: a working
+// replicated queue's committed-record stream must not grow without
+// bound — once the follower has acknowledged enough history, the
+// stream trims to the acknowledged floor.
+func TestStreamTrimAfterAcks(t *testing.T) {
+	m := newTestManager(t, 2, Options{Seed: 5})
+	c := m.Cluster()
+	q := jms.Queue("trim-q")
+	primary := c.QueueNode(q.Name())
+
+	sess := openSession(t, c)
+	// Each consumed message costs several stream records (add, mark
+	// delivered, remove), so this comfortably crosses streamTrimBatch.
+	const n = streamTrimBatch
+	bodies := make([]string, n)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf("m-%03d", i)
+	}
+	sendText(t, sess, q, bodies...)
+	got := drainText(t, sess, q, 500*time.Millisecond)
+	if len(got) != n {
+		t.Fatalf("drained %d messages, want %d", len(got), n)
+	}
+
+	stream := m.nodes[primary].stream
+	poll(t, 5*time.Second, "stream retention trim", func() bool {
+		return stream.OldestRetained() >= streamTrimBatch
+	})
+	if lastSeq := stream.LastSeq(); lastSeq < uint64(2*n) {
+		t.Fatalf("stream head = %d, want >= %d (trim must not rewind the head)", lastSeq, 2*n)
+	}
+}
+
+// TestResyncAfterTrimPreservesBacklog is the regression the snapshot
+// resync exists for: trim the stream past the full history, then force
+// a full resync (what every promotion does to surviving links). Before
+// the fix the link looped forever on ErrStreamTrimmed; now it ships a
+// snapshot cut, the follower resumes from the acknowledged offset, and
+// a real failover still serves the surviving backlog.
+func TestResyncAfterTrimPreservesBacklog(t *testing.T) {
+	m := newTestManager(t, 3, Options{
+		Seed:            13,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 3,
+	})
+	c := m.Cluster()
+	q := jms.Queue("resync-q")
+	primary := c.QueueNode(q.Name())
+	follower := m.followerFor(primary, "queue:"+q.Name())
+	if follower < 0 {
+		t.Fatal("no follower for queue")
+	}
+
+	sess := openSession(t, c)
+	churn := make([]string, streamTrimBatch)
+	for i := range churn {
+		churn[i] = fmt.Sprintf("churn-%03d", i)
+	}
+	sendText(t, sess, q, churn...)
+	if got := drainText(t, sess, q, 500*time.Millisecond); len(got) != len(churn) {
+		t.Fatalf("drained %d churn messages, want %d", len(got), len(churn))
+	}
+	stream := m.nodes[primary].stream
+	poll(t, 5*time.Second, "stream retention trim", func() bool {
+		return stream.OldestRetained() >= streamTrimBatch
+	})
+
+	keep := []string{"keep-0", "keep-1", "keep-2", "keep-3", "keep-4"}
+	sendText(t, sess, q, keep...)
+
+	// Force the full resync a promotion would: the replay window is
+	// gone, so the link must rebuild the follower from a snapshot cut.
+	link := m.nodes[primary].senders[follower]
+	link.forceResync()
+	poll(t, 5*time.Second, "snapshot resync catches up", func() bool {
+		link.mu.Lock()
+		resyncPending := link.needReset
+		link.mu.Unlock()
+		return !resyncPending && link.lagRecords() == 0
+	})
+	snap, err := m.nodes[follower].server.snapshotSource(m.nodes[primary].name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(snap.Messages["queue:"+q.Name()]); got != len(keep) {
+		t.Fatalf("follower holds %d backlog messages after snapshot resync, want %d", got, len(keep))
+	}
+
+	// And the point of it all: failover off the trimmed primary still
+	// serves every surviving message.
+	if !c.CrashNode(primary) {
+		t.Fatal("CrashNode refused")
+	}
+	poll(t, 5*time.Second, "promotion", func() bool { return m.Promotions() > 0 })
+	got := drainText(t, openSession(t, c), q, 500*time.Millisecond)
+	for _, body := range keep {
+		if !got[body] {
+			t.Errorf("message %q lost across trim + resync + failover", body)
+		}
+	}
+}

@@ -271,6 +271,16 @@ func (s *Stream) SizeOfRange(after uint64) int64 {
 	return n
 }
 
+// OldestRetained returns the highest trimmed-away sequence number:
+// retained records start at OldestRetained()+1, and Subscribe at any
+// position below it fails with ErrStreamTrimmed. Zero means the full
+// history is retained.
+func (s *Stream) OldestRetained() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base
+}
+
 // TrimTo discards retained records with Seq ≤ seq. Subscribers behind
 // the trim point get ErrStreamTrimmed and must full-resync.
 func (s *Stream) TrimTo(seq uint64) {

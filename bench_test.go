@@ -456,6 +456,154 @@ func BenchmarkWALAppendParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkWireSendPipelined compares blocking wire sends against
+// credit-windowed pipelined sends on the same server. The blocking arm
+// pays one TCP round trip per message; the pipelined arms stage a
+// window of sends into coalesced frames and settle them against the
+// server's batched completions, so per-message cost approaches the
+// encode/decode work alone. Receives are interleaved (singly for the
+// blocking arm, a window at a time for the pipelined ones) to keep the
+// mailbox backlog bounded.
+func BenchmarkWireSendPipelined(b *testing.B) {
+	bk, err := broker.New(broker.Options{Name: "pipebench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bk.Close()
+	srv, err := wire.NewServer(bk, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+	payload := make([]byte, 512)
+	opts := jms.DefaultSendOptions()
+	arms := []struct {
+		name   string
+		window int
+	}{
+		{"blocking", 0},
+		{"window32", 32},
+		{"window256", 256},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			f := wire.NewFactory(srv.Addr())
+			if arm.window > 0 {
+				f = f.WithPipelining(arm.window)
+			}
+			conn, err := f.CreateConnection()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			if err := conn.Start(); err != nil {
+				b.Fatal(err)
+			}
+			sess, err := conn.CreateSession(false, jms.AckAuto)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := jms.Queue("pipe-" + arm.name)
+			p, err := sess.CreateProducer(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := sess.CreateConsumer(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recv := func(n int) {
+				for i := 0; i < n; i++ {
+					msg, err := c.Receive(5 * time.Second)
+					if err != nil || msg == nil {
+						b.Fatalf("receive: %v, %v", msg, err)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if arm.window == 0 {
+				for i := 0; i < b.N; i++ {
+					if err := p.Send(jms.NewBytesMessage(payload), opts); err != nil {
+						b.Fatal(err)
+					}
+					recv(1)
+				}
+				return
+			}
+			ap, ok := p.(jms.AsyncProducer)
+			if !ok {
+				b.Fatal("pipelined wire producer is not an AsyncProducer")
+			}
+			pending := make([]jms.Completion, 0, arm.window)
+			settle := func() {
+				for _, comp := range pending {
+					if err := comp(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				recv(len(pending))
+				pending = pending[:0]
+			}
+			for i := 0; i < b.N; i++ {
+				comp, err := ap.SendAsync(jms.NewBytesMessage(payload), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pending = append(pending, comp)
+				if len(pending) == arm.window {
+					settle()
+				}
+			}
+			settle()
+		})
+	}
+}
+
+// BenchmarkWALAppendSharded measures concurrent synchronous appends
+// against the segmented WAL at 1, 2 and 4 shards. Four writers append
+// to four distinct queues; with more shards their group commits run in
+// independent per-shard commit loops instead of serialising behind one
+// fsync queue.
+func BenchmarkWALAppendSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
+			w, err := store.OpenSharded(filepath.Join(b.TempDir(), "shard.wal"), shards, store.WALOptions{Sync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			const writers = 4
+			var seq atomic.Int64
+			errs := make(chan error, writers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for g := 0; g < writers; g++ {
+				go func(g int) {
+					endpoint := fmt.Sprintf("queue:sat-%d", g)
+					for {
+						i := seq.Add(1)
+						if i > int64(b.N) {
+							errs <- nil
+							return
+						}
+						if _, err := w.AddMessage(endpoint, benchWALMessage(int(i))); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			for g := 0; g < writers; g++ {
+				if err := <-errs; err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHarnessOverhead measures a whole harness run per iteration,
 // bounding the fixed cost the harness adds around a test.
 func BenchmarkHarnessOverhead(b *testing.B) {

@@ -55,6 +55,16 @@ if [ "$failoversmoke" != "0" ]; then
 	go test -run TestFailoverConformance -count=1 ./internal/experiments
 fi
 
+# Pipelining smoke: the credit-windowed async send path must be
+# strictly faster than blocking round trips against the same wire
+# server (best-of-three each, so a scheduler hiccup cannot flip the
+# comparison). Guards the whole pipelined path: frame coalescing,
+# window credits, completion batching. Set JMSPIPE=0 to skip.
+pipesmoke=${JMSPIPE:-1}
+if [ "$pipesmoke" != "0" ]; then
+	JMSPIPE_SMOKE=1 go test -run TestPipelinedFasterThanBlocking -count=1 ./internal/wire
+fi
+
 # QoS conformance smoke: the quantitative side of the gate. Each
 # experiment declares a contract (delay percentiles, throughput floors,
 # failover MTTR/unavailability budgets); jmsbench embeds the verdicts
@@ -86,5 +96,5 @@ fi
 # Off by default to keep ci fast.
 benchtime=${JMSBENCH_TIME:-0}
 if [ "$benchtime" != "0" ]; then
-	go test -run '^$' -bench 'SendAck|WALAppend|SendReceive' -benchtime="$benchtime" .
+	go test -run '^$' -bench 'SendAck|WALAppend|SendReceive|SendPipelined' -benchtime="$benchtime" .
 fi

@@ -55,6 +55,7 @@ func run(args []string) error {
 	profileName := fs.String("profile", "unlimited", "performance profile: unlimited, provider-I, provider-II, provider-A/B/C")
 	name := fs.String("name", "brokerd", "broker name (prefixes message IDs)")
 	walPath := fs.String("wal", "", "write-ahead log path for the stable store (empty: in-memory); cluster nodes append .<i>")
+	walShards := fs.Int("wal-shards", 1, "segment the WAL into N shard logs with independent commit loops (requires -wal)")
 	clusterN := fs.Int("cluster", 1, "number of federated broker nodes behind this endpoint (1: single broker)")
 	placementName := fs.String("placement", "hash-ring", "cluster placement policy: hash-ring, modulo")
 	replicate := fs.Bool("replicate", false, "replicate every destination to a follower node with automated failover (requires -cluster >= 2)")
@@ -69,6 +70,18 @@ func run(args []string) error {
 	}
 	if *replicate && *clusterN < 2 {
 		return fmt.Errorf("-replicate needs -cluster >= 2 for a distinct follower, got %d", *clusterN)
+	}
+	if *walShards < 1 {
+		return fmt.Errorf("-wal-shards must be >= 1, got %d", *walShards)
+	}
+	if *walShards > 1 && *walPath == "" {
+		return fmt.Errorf("-wal-shards needs -wal")
+	}
+	if *walShards > 1 && *replicate {
+		// Replication ships committed ops over the store stream, whose
+		// ordering guarantees are per-WAL; a sharded log behind one
+		// stream is untested territory, so refuse rather than guess.
+		return fmt.Errorf("-wal-shards is not supported with -replicate")
 	}
 
 	profile, err := broker.ProfileByName(*profileName)
@@ -111,12 +124,22 @@ func run(args []string) error {
 			if *clusterN > 1 {
 				path = fmt.Sprintf("%s.%d", path, i)
 			}
-			wal, err := store.OpenWAL(path, store.WALOptions{Sync: true, Metrics: reg})
-			if err != nil {
-				return nil, err
+			opts := store.WALOptions{Sync: true, Metrics: reg}
+			if *walShards > 1 {
+				wal, err := store.OpenSharded(path, *walShards, opts)
+				if err != nil {
+					return nil, err
+				}
+				walClosers = append(walClosers, wal.Close)
+				stable = wal
+			} else {
+				wal, err := store.OpenWAL(path, opts)
+				if err != nil {
+					return nil, err
+				}
+				walClosers = append(walClosers, wal.Close)
+				stable = wal
 			}
-			walClosers = append(walClosers, wal.Close)
-			stable = wal
 		}
 		bo := broker.Options{Name: name, Profile: profile, Stable: stable, Metrics: reg}
 		if spans != nil {

@@ -1,0 +1,102 @@
+package broker
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/store"
+)
+
+// TestSendAsyncOrderAndCompletion pipelines persistent sends through a
+// sharded WAL and checks the async contract: stamps assigned at staging,
+// per-producer order preserved end to end, every completion resolves
+// nil.
+func TestSendAsyncOrderAndCompletion(t *testing.T) {
+	w, err := store.OpenSharded(filepath.Join(t.TempDir(), "async.wal"), 2, store.WALOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Name: "async", Stable: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	_, sess := openSession(t, b, false, jms.AckAuto)
+	q := jms.Queue("pipeline")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, ok := p.(jms.AsyncProducer)
+	if !ok {
+		t.Fatal("broker producer does not implement jms.AsyncProducer")
+	}
+
+	const n = 64
+	completions := make([]jms.Completion, 0, n)
+	for i := 0; i < n; i++ {
+		msg := jms.NewTextMessage(fmt.Sprintf("m%d", i))
+		c, err := ap.SendAsync(msg, jms.SendOptions{Mode: jms.Persistent, Priority: jms.PriorityDefault})
+		if err != nil {
+			t.Fatalf("SendAsync %d: %v", i, err)
+		}
+		if msg.ID == "" || msg.Timestamp.IsZero() {
+			t.Fatalf("send %d not stamped at staging: id=%q ts=%v", i, msg.ID, msg.Timestamp)
+		}
+		completions = append(completions, c)
+	}
+	for i, c := range completions {
+		if err := c(); err != nil {
+			t.Fatalf("completion %d: %v", i, err)
+		}
+	}
+
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("m%d", i)
+		if got := mustReceiveText(t, c, time.Second); got != want {
+			t.Fatalf("position %d: got %q, want %q (async sends reordered)", i, got, want)
+		}
+	}
+}
+
+// TestSendAsyncTransactedBuffersUntilCommit checks the transacted
+// fallback: SendAsync buffers like Send, completes immediately, and the
+// message only enters the provider at commit.
+func TestSendAsyncTransactedBuffersUntilCommit(t *testing.T) {
+	b := newTestBroker(t)
+	_, sess := openSession(t, b, true, jms.AckAuto)
+	q := jms.Queue("txq")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := p.(jms.AsyncProducer)
+	comp, err := ap.SendAsync(jms.NewTextMessage("tx"), jms.DefaultSendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp(); err != nil {
+		t.Fatal(err)
+	}
+	_, other := openSession(t, b, false, jms.AckAuto)
+	c, err := other.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := c.Receive(50 * time.Millisecond); err != nil || m != nil {
+		t.Fatalf("uncommitted async send visible: msg=%v err=%v", m, err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustReceiveText(t, c, time.Second); got != "tx" {
+		t.Errorf("got %q after commit", got)
+	}
+}

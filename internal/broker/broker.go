@@ -578,15 +578,37 @@ func (b *Broker) deliveryLatency() time.Duration {
 	return lat
 }
 
-// send routes one message to its destination's mailbox(es). The message
-// is stamped with its provider ID, timestamp and expiration. It is
-// called on the producer's goroutine after throttling.
+// noopWait is the completion of a send with nothing left to wait for.
+var noopWait = func() error { return nil }
+
+// send routes one message to its destination's mailbox(es) and blocks
+// until it is fully accepted (durably recorded, for persistent mode).
 func (b *Broker) send(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) error {
+	wait, err := b.sendStaged(dest, msg, opts)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// sendStaged routes one message to its destination's mailbox(es),
+// returning before persistent copies are durable: the returned wait
+// closure (call it exactly once) blocks until every copy's stable
+// record is committed. The message is stamped with its provider ID,
+// timestamp and expiration before return, and the mailbox push happens
+// here too, under the same read-side quiesce lock as the blocking path
+// — only the group-commit wait moves out, so a pipelined producer can
+// keep a window of sends inside one fsync domain. A consumer can
+// therefore receive a staged message before its producer's wait
+// returns; if the commit then fails, that is the delivery of a failed
+// send, which JMS's send indeterminacy already permits (and the
+// conformance model already accepts).
+func (b *Broker) sendStaged(dest jms.Destination, msg *jms.Message, opts jms.SendOptions) (func() error, error) {
 	if dest == nil {
-		return fmt.Errorf("%w: no destination", jms.ErrInvalidDestination)
+		return nil, fmt.Errorf("%w: no destination", jms.ErrInvalidDestination)
 	}
 	if err := opts.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	now := b.clk.Now()
 	m := msg.Clone()
@@ -620,22 +642,24 @@ func (b *Broker) send(dest jms.Destination, msg *jms.Message, opts jms.SendOptio
 
 	b.throttleSend()
 
+	var wait func() error
 	var err error
 	switch dest.Kind() {
 	case jms.KindQueue:
-		err = b.enqueueToQueue(dest.Name(), m, now)
+		wait, err = b.enqueueToQueue(dest.Name(), m, now)
 	case jms.KindTopic:
-		err = b.publishToTopic(dest.Name(), m, now)
+		wait, err = b.publishToTopic(dest.Name(), m, now)
 	default:
 		err = fmt.Errorf("%w: kind %v", jms.ErrInvalidDestination, dest.Kind())
 	}
-	if err == nil {
-		b.met.sent.Inc()
+	if err != nil {
+		return nil, err
 	}
-	return err
+	b.met.sent.Inc()
+	return wait, nil
 }
 
-func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) error {
+func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) (func() error, error) {
 	// Fast path: the queue already exists, so a read lock suffices and
 	// sends to distinct queues run fully in parallel. The read lock is
 	// held through persist+push: that is the quiesce contract with
@@ -647,7 +671,7 @@ func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) erro
 		b.mu.RLock()
 		if b.closed || b.crashed {
 			b.mu.RUnlock()
-			return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+			return nil, fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
 		}
 		mb, ok := b.queues[name]
 		if !ok {
@@ -667,13 +691,13 @@ func (b *Broker) enqueueToQueue(name string, m *jms.Message, now time.Time) erro
 			space := mb.spaceChan()
 			b.mu.RUnlock()
 			if err := b.overloaded(trace.EndpointForQueue(name), space); err != nil {
-				return err
+				return nil, err
 			}
 			continue
 		}
-		err := b.enqueueEntry(mb, name, m, now)
+		wait, err := b.enqueueEntry(mb, name, m, now)
 		b.mu.RUnlock()
-		return err
+		return wait, err
 	}
 }
 
@@ -694,27 +718,46 @@ func (b *Broker) overloaded(endpoint string, space <-chan struct{}) error {
 }
 
 // enqueueEntry persists (if required) and buffers one message on a
-// queue mailbox, consuming the caller's tryReserve claim. Callers hold
-// b.mu in read mode.
-func (b *Broker) enqueueEntry(mb *mailbox, name string, m *jms.Message, now time.Time) error {
+// queue mailbox, consuming the caller's tryReserve claim, and returns
+// the durability wait. Callers hold b.mu in read mode. On a staged
+// store only the record's ordering happens here — the span's WALWait
+// then reports the staging cost, with the true commit wait visible in
+// the store's wal.commit_wait_ns histogram.
+func (b *Broker) enqueueEntry(mb *mailbox, name string, m *jms.Message, now time.Time) (func() error, error) {
 	e := entry{msg: m, enqueuedAt: now}
 	ep := trace.EndpointForQueue(name)
+	wait := noopWait
 	var walWait time.Duration
 	if m.Mode == jms.Persistent {
 		persistStart := b.clk.Now()
-		rec, err := b.stable.AddMessage(ep, m)
+		rec, w, err := b.addStable(ep, m)
 		if err != nil {
 			mb.unreserve()
-			return fmt.Errorf("broker %s: persisting to %s: %w", b.name, ep, err)
+			return nil, fmt.Errorf("broker %s: persisting to %s: %w", b.name, ep, err)
 		}
 		walWait = b.clk.Now().Sub(persistStart)
 		e.rec, e.persisted = rec, true
+		wait = w
 	}
 	mb.pushReserved(e)
 	b.met.enqueued.Inc()
 	b.met.backlog.Inc()
 	b.spans.Begin(b.spanStart(m, ep, now, walWait))
-	return nil
+	return wait, nil
+}
+
+// addStable records one persistent copy on the stable store, staged
+// when the store supports it (the wait closure then carries the group
+// commit), blocking otherwise.
+func (b *Broker) addStable(ep string, m *jms.Message) (store.RecordID, func() error, error) {
+	if st, ok := b.stable.(store.Staged); ok {
+		return st.AddMessageStaged(ep, m)
+	}
+	rec, err := b.stable.AddMessage(ep, m)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rec, noopWait, nil
 }
 
 // spanStart assembles the Begin payload for one enqueued copy; the
@@ -735,7 +778,7 @@ func (b *Broker) spanStart(m *jms.Message, ep string, now time.Time, walWait tim
 	return st
 }
 
-func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) error {
+func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) (func() error, error) {
 	// The read lock is held through the whole fan-out, for the same
 	// quiesce contract as enqueueToQueue; publishes to distinct topics
 	// (and queue sends) proceed concurrently. Under a bounded profile
@@ -747,7 +790,7 @@ func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) erro
 		b.mu.RLock()
 		if b.closed || b.crashed {
 			b.mu.RUnlock()
-			return fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
+			return nil, fmt.Errorf("broker %s: %w", b.name, jms.ErrClosed)
 		}
 		var matched []*subscription
 		for _, s := range b.topics[name] {
@@ -770,29 +813,38 @@ func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) erro
 			ep := matched[full].endpoint
 			b.mu.RUnlock()
 			if err := b.overloaded(ep, space); err != nil {
-				return err
+				return nil, err
 			}
 			continue
 		}
+		var waits []func() error
 		for i, s := range matched {
 			copyMsg := m.Clone()
 			e := entry{msg: copyMsg, enqueuedAt: now}
 			var walWait time.Duration
 			if m.Mode == jms.Persistent && s.durable {
 				persistStart := b.clk.Now()
-				rec, err := b.stable.AddMessage(s.endpoint, copyMsg)
+				rec, w, err := b.addStable(s.endpoint, copyMsg)
 				if err != nil {
 					// Release the claims not yet converted into entries;
 					// copies already fanned out stay delivered, matching
-					// the pre-bounded partial-failure behaviour.
+					// the pre-bounded partial-failure behaviour. Copies
+					// already staged must still settle: their waits are
+					// drained here so each runs exactly once.
 					for _, rest := range matched[i:] {
 						rest.mb.unreserve()
 					}
 					b.mu.RUnlock()
-					return fmt.Errorf("broker %s: persisting to %s: %w", b.name, s.endpoint, err)
+					for _, w := range waits {
+						_ = w()
+					}
+					return nil, fmt.Errorf("broker %s: persisting to %s: %w", b.name, s.endpoint, err)
 				}
 				walWait = b.clk.Now().Sub(persistStart)
 				e.rec, e.persisted = rec, true
+				if w != nil {
+					waits = append(waits, w)
+				}
 			}
 			s.mb.pushReserved(e)
 			b.met.enqueued.Inc()
@@ -800,7 +852,18 @@ func (b *Broker) publishToTopic(name string, m *jms.Message, now time.Time) erro
 			b.spans.Begin(b.spanStart(copyMsg, s.endpoint, now, walWait))
 		}
 		b.mu.RUnlock()
-		return nil
+		if len(waits) == 0 {
+			return noopWait, nil
+		}
+		return func() error {
+			var first error
+			for _, w := range waits {
+				if err := w(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}, nil
 	}
 }
 
@@ -816,6 +879,50 @@ func (b *Broker) ackEntry(endpoint string, e entry) error {
 		return fmt.Errorf("broker %s: acking on %s: %w", b.name, endpoint, err)
 	}
 	return nil
+}
+
+// ackEntries finalises consumption of a batch of delivered entries in
+// one pass: every persistent record's remove is staged on the stable
+// store first, then the durability waits are drained together, so a
+// batch of N acknowledgements shares one group commit instead of
+// paying N sequential fsync round trips. On a store without staged
+// removes it degrades to the sequential blocking path. Returns the
+// first error; later entries are still acknowledged.
+func (b *Broker) ackEntries(entries []deliveredEntry) error {
+	st, staged := b.stable.(store.Staged)
+	if !staged || len(entries) < 2 {
+		var first error
+		for _, d := range entries {
+			if err := b.ackEntry(d.endpoint, d.e); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	now := b.clk.Now()
+	waits := make([]func() error, 0, len(entries))
+	var first error
+	for _, d := range entries {
+		b.met.acked.Inc()
+		b.spans.End(d.e.msg.ID, d.endpoint, now, obs.OutcomeAcked)
+		if !d.e.persisted {
+			continue
+		}
+		wait, err := st.RemoveMessageStaged(d.endpoint, d.e.rec)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("broker %s: acking on %s: %w", b.name, d.endpoint, err)
+			}
+			continue
+		}
+		waits = append(waits, wait)
+	}
+	for _, w := range waits {
+		if err := w(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // dropExpired accounts for entries dropped by a mailbox pop because

@@ -506,10 +506,8 @@ func (s *session) Commit() error {
 			return fmt.Errorf("broker: commit sending to %v: %w", st.dest, err)
 		}
 	}
-	for _, d := range receives {
-		if err := s.b.ackEntry(d.endpoint, d.e); err != nil {
-			return err
-		}
+	if err := s.b.ackEntries(receives); err != nil {
+		return err
 	}
 	return nil
 }
@@ -564,12 +562,9 @@ func (s *session) Acknowledge() error {
 	unacked := s.unacked
 	s.unacked = nil
 	s.mu.Unlock()
-	for _, d := range unacked {
-		if err := s.b.ackEntry(d.endpoint, d.e); err != nil {
-			return err
-		}
-	}
-	return nil
+	// Batched: all staged removes share one group commit instead of
+	// paying one blocking WAL round trip per message.
+	return s.b.ackEntries(unacked)
 }
 
 // Recover implements jms.Session.
@@ -613,12 +608,7 @@ func (s *session) recordDelivery(d deliveredEntry) error {
 		batch := s.unacked
 		s.unacked = nil
 		s.mu.Unlock()
-		for _, u := range batch {
-			if err := s.b.ackEntry(u.endpoint, u.e); err != nil {
-				return err
-			}
-		}
-		return nil
+		return s.b.ackEntries(batch)
 	default: // AckClient
 		s.unacked = append(s.unacked, d)
 		s.mu.Unlock()
@@ -667,10 +657,8 @@ func (s *session) closeGraceful() error {
 		case jms.AckClient:
 			s.redeliver(unacked)
 		default:
-			for _, d := range unacked {
-				if err := s.b.ackEntry(d.endpoint, d.e); err != nil && firstErr == nil {
-					firstErr = err
-				}
+			if err := s.b.ackEntries(unacked); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
 	}
@@ -721,7 +709,10 @@ type producer struct {
 	closed bool
 }
 
-var _ jms.Producer = (*producer)(nil)
+var (
+	_ jms.Producer      = (*producer)(nil)
+	_ jms.AsyncProducer = (*producer)(nil)
+)
 
 // Destination implements jms.Producer.
 func (p *producer) Destination() jms.Destination { return p.dest }
@@ -764,6 +755,41 @@ func (p *producer) SendTo(dest jms.Destination, msg *jms.Message, opts jms.SendO
 		return nil
 	}
 	return s.b.send(dest, msg, opts)
+}
+
+// SendAsync implements jms.AsyncProducer: the message is stamped,
+// persisted-in-order and enqueued before return, with the durability
+// wait handed back as the completion. On a transacted session sends
+// are buffered until commit exactly as Send does, so the completion is
+// immediate.
+func (p *producer) SendAsync(msg *jms.Message, opts jms.SendOptions) (jms.Completion, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, jms.ErrClosed
+	}
+	p.mu.Unlock()
+	if p.dest == nil {
+		return nil, fmt.Errorf("%w: unidentified producer requires SendTo", jms.ErrInvalidDestination)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := p.sess
+	if s.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	if s.transacted {
+		if err := p.SendTo(p.dest, msg, opts); err != nil {
+			return nil, err
+		}
+		return jms.CompletedSend, nil
+	}
+	wait, err := s.b.sendStaged(p.dest, msg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return jms.Completion(wait), nil
 }
 
 // Close implements jms.Producer.

@@ -117,22 +117,35 @@ func ScaleContract(capacityPerSec float64) *qos.Contract {
 }
 
 // SaturationContract floors one stack's unthrottled capacity. The
-// floors sit far under the post-overhaul numbers (broker and wire both
+// floors sit far under the measured numbers (broker and wire both
 // clear five figures, the fsync-bound WAL clears four on this
 // container) but far above each stack's known failure modes — the
 // pre-overhaul broker collapsed to three figures consumed when the
 // backlog memmove buried the consumers.
+//
+// The pipelined stacks split their floors: produced is the tier metric
+// (credit-windowed sends sharing group commits — walshard clears ~95k
+// and wirepipe ~30-45k on this single-core container, against the ~19k
+// blocking-send plateau the sharded WAL measured before pipelining),
+// while consumed stays modest because an unthrottled producer fleet
+// starves the consumers, whose every receive still pays a blocking
+// MarkDelivered through the same commit loops.
 func SaturationContract(stack string) *qos.Contract {
-	floor := 2000.0
-	if stack == "wal" {
-		floor = 300
+	prod, cons := 2000.0, 2000.0
+	switch stack {
+	case "wal":
+		prod, cons = 300, 300
+	case "walshard":
+		prod, cons = 25000, 100
+	case "wirepipe":
+		prod, cons = 8000, 50
 	}
 	return &qos.Contract{
 		Name:      "saturation-" + stack,
 		MinWindow: 100 * time.Millisecond,
 		Checks: []qos.Check{
-			{Kind: qos.KindThroughputFloor, MinPerSec: floor},
-			{Kind: qos.KindProducerFloor, MinPerSec: floor},
+			{Kind: qos.KindThroughputFloor, MinPerSec: cons},
+			{Kind: qos.KindProducerFloor, MinPerSec: prod},
 		},
 	}
 }

@@ -34,7 +34,11 @@ type SaturationOptions struct {
 	// Stacks selects the provider stacks to measure: "broker" (in-memory
 	// store, non-persistent sends), "wal" (WAL-backed stable store with
 	// Sync enabled, persistent sends), "wire" (TCP protocol bridge over
-	// the in-memory broker).
+	// the in-memory broker), "walshard" (segmented WAL with one shard
+	// per queue, persistent windowed async sends), "wirepipe" (TCP
+	// bridge over the segmented-WAL broker with credit-windowed
+	// pipelined producers — the full persistent hot path with every
+	// per-message round trip removed).
 	Stacks []string
 	// Shards are the shard counts to sweep; each shard is one distinct
 	// queue with its own producers and consumers.
@@ -59,7 +63,7 @@ type SaturationOptions struct {
 // SaturationSweepOptions returns the default saturation sweep.
 func SaturationSweepOptions(scale float64) SaturationOptions {
 	return SaturationOptions{
-		Stacks:            []string{"broker", "wal", "wire"},
+		Stacks:            []string{"broker", "wal", "wire", "walshard", "wirepipe"},
 		Shards:            []int{1, 2, 4},
 		ProducersPerShard: 4,
 		ConsumersPerShard: 4,
@@ -137,9 +141,20 @@ func SaturationSweep(opts SaturationOptions) ([]SaturationPoint, error) {
 type satStack struct {
 	factory    jms.ConnectionFactory
 	persistent bool
+	async      bool          // producers use windowed async sends
 	walReg     *obs.Registry // nil unless the stack has a WAL
 	cleanup    func()
 }
+
+// satAsyncWindow is how many uncompleted sends each async-stack
+// producer keeps in flight before draining its completions. On the
+// wirepipe stack the wire client's own credit window (satPipeWindow)
+// is the real bound; this one just caps the local completion buffer.
+const satAsyncWindow = 128
+
+// satPipeWindow is the credit window requested by the wirepipe stack's
+// pipelined wire clients.
+const satPipeWindow = 256
 
 // buildSatStack constructs the named stack; spans (possibly nil)
 // traces it end to end.
@@ -171,6 +186,71 @@ func buildSatStack(stack string, shards int, dir string, seq int, spans obs.Span
 				_ = b.Close()
 				_ = w.Close()
 				_ = os.Remove(path)
+			},
+		}, nil
+	case "walshard":
+		reg := obs.NewRegistry()
+		root := filepath.Join(dir, fmt.Sprintf("sat-shard-%d-%d", seq, shards))
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, err
+		}
+		sw, err := store.OpenSharded(filepath.Join(root, "log.wal"), shards, walSaturationOptions(reg))
+		if err != nil {
+			return nil, err
+		}
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-walshard-%d", seq), Stable: sw, Spans: spans})
+		if err != nil {
+			_ = sw.Close()
+			return nil, err
+		}
+		return &satStack{
+			factory:    b,
+			persistent: true,
+			async:      true,
+			walReg:     reg,
+			cleanup: func() {
+				_ = b.Close()
+				_ = sw.Close()
+				_ = os.RemoveAll(root)
+			},
+		}, nil
+	case "wirepipe":
+		reg := obs.NewRegistry()
+		root := filepath.Join(dir, fmt.Sprintf("sat-pipe-%d-%d", seq, shards))
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, err
+		}
+		sw, err := store.OpenSharded(filepath.Join(root, "log.wal"), shards, walSaturationOptions(reg))
+		if err != nil {
+			return nil, err
+		}
+		b, err := broker.New(broker.Options{Name: fmt.Sprintf("sat-wirepipe-%d", seq), Stable: sw, Spans: spans})
+		if err != nil {
+			_ = sw.Close()
+			return nil, err
+		}
+		srv, err := wire.NewServer(b, "127.0.0.1:0")
+		if err != nil {
+			_ = b.Close()
+			_ = sw.Close()
+			return nil, err
+		}
+		f := wire.NewFactory(srv.Addr()).WithPipelining(satPipeWindow)
+		if spans != nil {
+			srv.WithSpans(spans)
+			f.WithSpans(spans)
+		}
+		srv.Start()
+		return &satStack{
+			factory:    f,
+			persistent: true,
+			async:      true,
+			walReg:     reg,
+			cleanup: func() {
+				_ = srv.Close()
+				_ = b.Close()
+				_ = sw.Close()
+				_ = os.RemoveAll(root)
 			},
 		}, nil
 	case "wire":
@@ -283,21 +363,60 @@ func saturationPoint(stack string, shards int, dir string, opts SaturationOption
 				wg.Wait()
 				return SaturationPoint{}, err
 			}
+			ap, asyncOK := prod.(jms.AsyncProducer)
 			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				<-start
-				msg := jms.NewBytesMessage(payload)
-				for !stop.Load() {
-					if err := prod.Send(msg, sendOpts); err != nil {
-						fail(err)
-						return
+			if st.async && asyncOK {
+				go func() {
+					defer wg.Done()
+					<-start
+					// Windowed async sends: keep a window of uncompleted
+					// sends in flight, drain completions in batches. Each
+					// send gets a fresh message — completions stamp the
+					// message asynchronously, so in-flight sends must not
+					// share one.
+					pending := make([]jms.Completion, 0, satAsyncWindow)
+					drain := func() bool {
+						for _, c := range pending {
+							if err := c(); err != nil {
+								fail(err)
+								return false
+							}
+							if measuring.Load() {
+								produced.Add(1)
+							}
+						}
+						pending = pending[:0]
+						return true
 					}
-					if measuring.Load() {
-						produced.Add(1)
+					for !stop.Load() {
+						comp, err := ap.SendAsync(jms.NewBytesMessage(payload), sendOpts)
+						if err != nil {
+							fail(err)
+							return
+						}
+						pending = append(pending, comp)
+						if len(pending) == satAsyncWindow && !drain() {
+							return
+						}
 					}
-				}
-			}()
+					drain()
+				}()
+			} else {
+				go func() {
+					defer wg.Done()
+					<-start
+					msg := jms.NewBytesMessage(payload)
+					for !stop.Load() {
+						if err := prod.Send(msg, sendOpts); err != nil {
+							fail(err)
+							return
+						}
+						if measuring.Load() {
+							produced.Add(1)
+						}
+					}
+				}()
+			}
 		}
 		for i := 0; i < opts.ConsumersPerShard; i++ {
 			sess, err := newSession()

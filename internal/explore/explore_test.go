@@ -239,3 +239,32 @@ func TestShrinkInjectedBug(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelinedChaosScenarioExecutes runs a generated wire scenario
+// that composes producer pipelining with the mid-run partition chaos
+// profile — the duplicate hazard the pipelined path must pin down: a
+// reconnect replays the unacked credit window with its original dedup
+// tokens, so sends that reached the provider before the partition must
+// settle from the server's dedup cache, not apply twice. Zero findings
+// expected, including no-duplicates.
+func TestPipelinedChaosScenarioExecutes(t *testing.T) {
+	var sc *Scenario
+	var seed uint64
+	for s := uint64(0); s < 500; s++ {
+		c := Generate(s)
+		if c.Stack.Kind == StackWire && c.Stack.Pipelined && c.Stack.Chaos == ChaosPartition {
+			sc, seed = c, s
+			break
+		}
+	}
+	if sc == nil {
+		t.Fatal("no seed in 0..499 draws a pipelined wire+partition scenario")
+	}
+	res, err := Execute(sc)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if reason := Unexpected(sc, res); reason != "" {
+		t.Errorf("seed %d (window %d): %s\n%s", seed, sc.Stack.PipeWindow, reason, res.Conformance.String())
+	}
+}

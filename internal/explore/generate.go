@@ -272,6 +272,18 @@ func cleanScenario(seed uint64) *Scenario {
 			sc.Stack.Chaos = ChaosPartition
 			sc.Stack.ChaosSeed = crng.Uint64()
 		}
+		// Half the wire stacks pipeline their producers through the
+		// credit-windowed async send path — batched completions, send
+		// dedup, reconnect replay of the unacked window. Independent
+		// stream, as always: adding pipelining must not shift what any
+		// existing seed generates. Composing with the chaos draw above is
+		// deliberate — replay-after-partition is exactly the duplicate
+		// hazard the no-duplicates property must keep pinned down.
+		wrng := stats.NewRNG(seed ^ 0xc2b2ae3d27d4eb4f)
+		if wrng.Intn(2) == 0 {
+			sc.Stack.Pipelined = true
+			sc.Stack.PipeWindow = 1 << (2 + wrng.Intn(5)) // 4..64
+		}
 	}
 
 	// Broker stacks upgrade, one time in four, to the quantitative QoS

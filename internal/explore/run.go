@@ -103,6 +103,7 @@ func buildStack(sc *Scenario) (jms.ConnectionFactory, func(), error) {
 			return nil, nil, err
 		}
 		srv.Start()
+		var wf *wire.Factory
 		if spec.Chaos != ChaosNone {
 			proxy, err := chaosProxy(spec, srv.Addr())
 			if err != nil {
@@ -110,14 +111,22 @@ func buildStack(sc *Scenario) (jms.ConnectionFactory, func(), error) {
 				_ = b.Close()
 				return nil, nil, err
 			}
-			inner = wire.NewFactory(proxy.Addr()).
+			wf = wire.NewFactory(proxy.Addr()).
 				WithCallTimeout(10 * time.Second).
 				WithReconnect(wire.ReconnectPolicy{Enabled: true, Seed: spec.ChaosSeed})
 			cleanup = func() { _ = proxy.Close(); _ = srv.Close(); _ = b.Close() }
 		} else {
-			inner = wire.NewFactory(srv.Addr())
+			wf = wire.NewFactory(srv.Addr())
 			cleanup = func() { _ = srv.Close(); _ = b.Close() }
 		}
+		if spec.Pipelined {
+			window := spec.PipeWindow
+			if window == 0 {
+				window = 32
+			}
+			wf = wf.WithPipelining(window)
+		}
+		inner = wf
 
 	default:
 		return nil, nil, fmt.Errorf("explore: unknown stack kind %q", spec.Kind)

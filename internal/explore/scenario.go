@@ -124,6 +124,16 @@ type StackSpec struct {
 	Fault string `json:"fault,omitempty"`
 	// FaultN parameterises every-nth-message faults.
 	FaultN int `json:"fault_n,omitempty"`
+	// Pipelined enables credit-windowed producer pipelining on the wire
+	// client (wire stacks only): sends stream without per-send replies
+	// and settle via batched completions, with reconnect replaying the
+	// unacked window under the server's send dedup. The conformance
+	// expectation is unchanged — a pipelined clean stack must violate
+	// nothing, duplicates included.
+	Pipelined bool `json:"pipelined,omitempty"`
+	// PipeWindow overrides the pipelining credit window; zero keeps the
+	// factory default.
+	PipeWindow int `json:"pipe_window,omitempty"`
 	// Chaos names the network-fault profile interposed between the wire
 	// client and server (wire stacks only): "" for none, "flaky" for
 	// latency+jitter, "partition" for a mid-run partition that heals.
@@ -380,6 +390,15 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Stack.Chaos != ChaosNone && sc.Stack.Kind != StackWire {
 		return fmt.Errorf("explore: chaos profile %q requires the wire stack", sc.Stack.Chaos)
+	}
+	if sc.Stack.Pipelined && sc.Stack.Kind != StackWire {
+		return fmt.Errorf("explore: pipelining requires the wire stack")
+	}
+	if sc.Stack.PipeWindow != 0 && !sc.Stack.Pipelined {
+		return fmt.Errorf("explore: pipe_window requires pipelined")
+	}
+	if sc.Stack.PipeWindow < 0 {
+		return fmt.Errorf("explore: pipe_window must be >= 0")
 	}
 	cfg, err := sc.HarnessConfig()
 	if err != nil {

@@ -159,6 +159,17 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 				cur, changed = cand, true
 			}
 		}
+		// Strip producer pipelining before simplifying the stack: a
+		// finding that survives on blocking sends is not about the
+		// credit window, the completion batching or the replay path.
+		if cur.Stack.Pipelined {
+			cand := cur.clone()
+			cand.Stack.Pipelined = false
+			cand.Stack.PipeWindow = 0
+			if try(cand, "strip pipelining") {
+				cur, changed = cand, true
+			}
+		}
 		if cur.Stack.Replicated {
 			// Strip replication before simplifying the topology: a plain
 			// cluster cannot survive the permanent kills replication
@@ -184,6 +195,8 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 			cand.Stack.SyncTimeout = 0
 			cand.Stack.Chaos = ChaosNone
 			cand.Stack.ChaosSeed = 0
+			cand.Stack.Pipelined = false
+			cand.Stack.PipeWindow = 0
 			cand.dropLinkPartitions()
 			for i := range cand.Events {
 				cand.Events[i].Node = -1

@@ -287,6 +287,31 @@ type Producer interface {
 	Close() error
 }
 
+// Completion resolves an asynchronous send: it blocks until the message
+// is fully accepted by the provider (durably recorded, for persistent
+// delivery) and returns the send's final error. Call it exactly once.
+type Completion func() error
+
+// CompletedSend is the completion of a send that was already fully
+// accepted when SendAsync returned (non-persistent delivery, or a
+// transacted session where acceptance happens at commit).
+var CompletedSend Completion = func() error { return nil }
+
+// AsyncProducer is an optional Producer extension for pipelined sends.
+// SendAsync stages msg exactly as Send would — the provider assigns
+// msg.ID and msg.Timestamp before returning, and per-producer order is
+// the call order — but returns before the message is durable, handing
+// back a Completion for the durability wait. A producer that keeps many
+// completions outstanding turns the per-send durability round trip into
+// a window of concurrently committing sends; Send is the special case
+// of a window of 1. JMS 1.0.2 has no asynchronous send, so this is a
+// provider extension (discovered by type assertion), but its semantics
+// are chosen so that Send(msg) ≡ the pair SendAsync(msg) + Completion.
+type AsyncProducer interface {
+	Producer
+	SendAsync(msg *Message, opts SendOptions) (Completion, error)
+}
+
 // Listener is an asynchronous message callback. A session dispatches to
 // its listeners serially.
 type Listener func(*Message)

@@ -86,6 +86,28 @@ type Store interface {
 	Close() error
 }
 
+// Staged is an optional Store extension for pipelined producers.
+// AddMessageStaged behaves like AddMessage except that it returns as
+// soon as the record is ordered (applied to in-memory state and queued
+// for commit); the returned wait closure blocks until the record is
+// durable and must be called exactly once. Callers that need the
+// blocking contract simply call wait immediately. Every store in this
+// package implements it; stores whose AddMessage is already
+// synchronous return a no-op wait.
+// RemoveMessageStaged is the same split for acknowledgements: the
+// remove is applied and queued, and the wait closure blocks until it
+// is durable. A session acknowledging a batch of messages stages every
+// remove first and then waits on all of them, so N acks share one
+// group commit instead of paying N sequential fsync waits.
+type Staged interface {
+	AddMessageStaged(endpoint string, msg *jms.Message) (RecordID, func() error, error)
+	RemoveMessageStaged(endpoint string, id RecordID) (func() error, error)
+}
+
+// noWait is the wait closure of stores whose AddMessage is durable (or
+// as durable as it ever gets) before staging returns.
+var noWait = func() error { return nil }
+
 // Memory is an in-memory Store. It models the stable storage of a
 // simulated provider: a broker crash discards the broker, not its
 // Memory store, so recovery semantics can be tested without disk I/O.
@@ -109,7 +131,29 @@ func NewMemory() *Memory {
 	}
 }
 
-var _ Store = (*Memory)(nil)
+var (
+	_ Store  = (*Memory)(nil)
+	_ Staged = (*Memory)(nil)
+)
+
+// AddMessageStaged implements Staged. A Memory store has no commit
+// latency, so staging is the whole operation.
+func (m *Memory) AddMessageStaged(endpoint string, msg *jms.Message) (RecordID, func() error, error) {
+	id, err := m.AddMessage(endpoint, msg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, noWait, nil
+}
+
+// RemoveMessageStaged implements Staged. A Memory store has no commit
+// latency, so staging is the whole operation.
+func (m *Memory) RemoveMessageStaged(endpoint string, id RecordID) (func() error, error) {
+	if err := m.RemoveMessage(endpoint, id); err != nil {
+		return nil, err
+	}
+	return noWait, nil
+}
 
 // AddMessage implements Store.
 func (m *Memory) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {

@@ -398,7 +398,10 @@ func NewStreamed(inner Store, s *Stream) *Streamed {
 	return &Streamed{inner: inner, s: s}
 }
 
-var _ Store = (*Streamed)(nil)
+var (
+	_ Store  = (*Streamed)(nil)
+	_ Staged = (*Streamed)(nil)
+)
 
 // Stream returns the stream mutations are published to.
 func (t *Streamed) Stream() *Stream { return t.s }
@@ -419,6 +422,30 @@ func (t *Streamed) AddMessage(endpoint string, msg *jms.Message) (RecordID, erro
 	return id, nil
 }
 
+// AddMessageStaged implements Staged. The publish happens at staging
+// time, not inside the wait closure: once staging returns, the broker
+// may hand the message to a consumer whose acknowledge publishes a
+// RemoveMessage op inline, and a follower must never see that remove
+// before its add. Inner stores here are Memory-backed (WAL nodes
+// publish from their own group-commit loop), so staging and durability
+// coincide and the early publish keeps the decorator's contract.
+func (t *Streamed) AddMessageStaged(endpoint string, msg *jms.Message) (RecordID, func() error, error) {
+	st, ok := t.inner.(Staged)
+	if !ok {
+		id, err := t.AddMessage(endpoint, msg)
+		if err != nil {
+			return 0, nil, err
+		}
+		return id, noWait, nil
+	}
+	id, wait, err := st.AddMessageStaged(endpoint, msg)
+	if err != nil {
+		return 0, nil, err
+	}
+	t.publish(Op{Kind: OpAddMessage, ID: id, Endpoint: endpoint, Msg: msg})
+	return id, wait, nil
+}
+
 // RemoveMessage implements Store.
 func (t *Streamed) RemoveMessage(endpoint string, id RecordID) error {
 	if err := t.inner.RemoveMessage(endpoint, id); err != nil {
@@ -426,6 +453,27 @@ func (t *Streamed) RemoveMessage(endpoint string, id RecordID) error {
 	}
 	t.publish(Op{Kind: OpRemoveMessage, ID: id, Endpoint: endpoint})
 	return nil
+}
+
+// RemoveMessageStaged implements Staged. Like AddMessageStaged, the
+// publish happens at staging time: the matching add was published at
+// its own staging, so stream order still shows the add before the
+// remove, and a later op on the same endpoint cannot overtake the
+// remove on the stream.
+func (t *Streamed) RemoveMessageStaged(endpoint string, id RecordID) (func() error, error) {
+	st, ok := t.inner.(Staged)
+	if !ok {
+		if err := t.RemoveMessage(endpoint, id); err != nil {
+			return nil, err
+		}
+		return noWait, nil
+	}
+	wait, err := st.RemoveMessageStaged(endpoint, id)
+	if err != nil {
+		return nil, err
+	}
+	t.publish(Op{Kind: OpRemoveMessage, ID: id, Endpoint: endpoint})
+	return wait, nil
 }
 
 // MarkDelivered implements Store.

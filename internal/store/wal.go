@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jmsharness/internal/jms"
@@ -62,6 +63,16 @@ type WAL struct {
 	// waiters are released — so replication followers never see a
 	// record that a crash could still lose.
 	stream *Stream
+	// ownsStream marks the WAL responsible for closing stream. A WAL
+	// opened as one shard of a ShardedWAL shares the stream with its
+	// siblings, and the sharded wrapper closes it exactly once.
+	ownsStream bool
+	// sharedID, when set, is a record-ID source shared with sibling
+	// shards: AddMessage draws from it instead of the private nextID so
+	// IDs are unique and monotonic across the whole sharded store, which
+	// is what lets recovery order records from different shard files by
+	// a single global sequence.
+	sharedID *atomic.Uint64
 
 	// reqCh feeds the committer goroutine. Sends happen only under mu,
 	// which makes closing the channel in Close safe and gives the log
@@ -123,6 +134,12 @@ type WALOptions struct {
 // OpenWAL opens (or creates) the log at path, replaying existing records
 // to rebuild durable state.
 func OpenWAL(path string, opts WALOptions) (*WAL, error) {
+	return openWAL(path, opts, nil, true)
+}
+
+// openWAL is the shared constructor: sharedID and ownsStream distinguish
+// a standalone WAL from one shard of a ShardedWAL.
+func openWAL(path string, opts WALOptions, sharedID *atomic.Uint64, ownsStream bool) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening WAL %s: %w", path, err)
@@ -137,6 +154,8 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 		f:             f,
 		mirror:        NewMemory(),
 		stream:        opts.Stream,
+		ownsStream:    ownsStream,
+		sharedID:      sharedID,
 		reqCh:         make(chan walCommit, maxCommitBatch),
 		committerDone: make(chan struct{}),
 		met: walMetrics{
@@ -246,7 +265,27 @@ func (w *WAL) apply(payload []byte) error {
 	if op.Kind == OpAddMessage && op.ID > w.nextID {
 		w.nextID = op.ID
 	}
+	if op.Kind == OpAddMessage && w.sharedID != nil {
+		// Raise the shared global sequence to at least this record's ID
+		// so IDs allocated after recovery stay above every replayed
+		// record in every shard.
+		for {
+			cur := w.sharedID.Load()
+			if uint64(op.ID) <= cur || w.sharedID.CompareAndSwap(cur, uint64(op.ID)) {
+				break
+			}
+		}
+	}
 	return nil
+}
+
+// nextRecordID allocates the next message record ID. Callers hold w.mu.
+func (w *WAL) nextRecordID() RecordID {
+	if w.sharedID != nil {
+		return RecordID(w.sharedID.Add(1))
+	}
+	w.nextID++
+	return w.nextID
 }
 
 // commitLoop is the committer goroutine: it drains reqCh, coalescing
@@ -379,70 +418,108 @@ func putEnc(buf *[]byte) {
 
 // AddMessage implements Store.
 func (w *WAL) AddMessage(endpoint string, msg *jms.Message) (RecordID, error) {
-	buf := encPool.Get().(*[]byte)
-	w.mu.Lock()
-	if err := w.checkOpenLocked(); err != nil {
-		w.mu.Unlock()
-		putEnc(buf)
+	id, wait, err := w.AddMessageStaged(endpoint, msg)
+	if err != nil {
 		return 0, err
 	}
-	w.nextID++
-	id := w.nextID
-	e := jms.NewEncoder(*buf)
-	AppendOp(e, Op{Kind: OpAddMessage, ID: id, Endpoint: endpoint, Msg: msg})
-	mirrorID, err := w.mirror.AddMessage(endpoint, msg)
-	if err != nil {
-		w.nextID--
-		w.mu.Unlock()
-		putEnc(buf)
-		return 0, err
-	}
-	w.app.Map(endpoint, id, mirrorID)
-	done := w.commitLocked(e.Bytes())
-	w.mu.Unlock()
-	// The wait below is the "WAL-commit wait" hop of a message's
-	// distributed trace: how long the producer's send blocked on the
-	// group committer making the record durable.
-	waitStart := time.Now()
-	err = <-done
-	w.met.commitWait.ObserveDuration(time.Since(waitStart))
-	*buf = e.Bytes()
-	putEnc(buf)
-	if err != nil {
+	if err := wait(); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
-// RemoveMessage implements Store.
-func (w *WAL) RemoveMessage(endpoint string, id RecordID) error {
+// AddMessageStaged implements Staged: the record is applied to the
+// mirror and enqueued for group commit, but the call returns before it
+// is durable. The returned wait closure blocks until the record's batch
+// is on disk (call it exactly once). Staging under w.mu keeps log order
+// equal to mirror order exactly as the blocking path does; only the
+// durability wait moves out, which is what lets a pipelined producer
+// keep many appends in flight inside one fsync domain.
+func (w *WAL) AddMessageStaged(endpoint string, msg *jms.Message) (RecordID, func() error, error) {
 	buf := encPool.Get().(*[]byte)
 	w.mu.Lock()
 	if err := w.checkOpenLocked(); err != nil {
 		w.mu.Unlock()
 		putEnc(buf)
+		return 0, nil, err
+	}
+	id := w.nextRecordID()
+	e := jms.NewEncoder(*buf)
+	AppendOp(e, Op{Kind: OpAddMessage, ID: id, Endpoint: endpoint, Msg: msg})
+	mirrorID, err := w.mirror.AddMessage(endpoint, msg)
+	if err != nil {
+		if w.sharedID == nil {
+			w.nextID--
+		}
+		w.mu.Unlock()
+		putEnc(buf)
+		return 0, nil, err
+	}
+	w.app.Map(endpoint, id, mirrorID)
+	done := w.commitLocked(e.Bytes())
+	w.mu.Unlock()
+	enc := e.Bytes()
+	wait := func() error {
+		// The wait below is the "WAL-commit wait" hop of a message's
+		// distributed trace: how long the producer's send blocked on the
+		// group committer making the record durable.
+		waitStart := time.Now()
+		err := <-done
+		w.met.commitWait.ObserveDuration(time.Since(waitStart))
+		*buf = enc
+		putEnc(buf)
 		return err
+	}
+	return id, wait, nil
+}
+
+// RemoveMessage implements Store.
+func (w *WAL) RemoveMessage(endpoint string, id RecordID) error {
+	wait, err := w.RemoveMessageStaged(endpoint, id)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// RemoveMessageStaged implements Staged: the remove is applied to the
+// mirror and enqueued for group commit, but the call returns before it
+// is durable. The returned wait closure blocks until the remove's
+// batch is on disk (call it exactly once). A session acknowledging N
+// messages stages them all and then waits, folding N fsync waits into
+// one group commit.
+func (w *WAL) RemoveMessageStaged(endpoint string, id RecordID) (func() error, error) {
+	buf := encPool.Get().(*[]byte)
+	w.mu.Lock()
+	if err := w.checkOpenLocked(); err != nil {
+		w.mu.Unlock()
+		putEnc(buf)
+		return nil, err
 	}
 	mirrorID, ok := w.app.Lookup(endpoint, id)
 	if !ok {
 		w.mu.Unlock()
 		putEnc(buf)
-		return fmt.Errorf("store: remove unknown record %d on %q", id, endpoint)
+		return nil, fmt.Errorf("store: remove unknown record %d on %q", id, endpoint)
 	}
 	if err := w.mirror.RemoveMessage(endpoint, mirrorID); err != nil {
 		w.mu.Unlock()
 		putEnc(buf)
-		return err
+		return nil, err
 	}
 	delete(w.app.ids[endpoint], id)
 	e := jms.NewEncoder(*buf)
 	AppendOp(e, Op{Kind: OpRemoveMessage, ID: id, Endpoint: endpoint})
 	done := w.commitLocked(e.Bytes())
 	w.mu.Unlock()
-	err := <-done
-	*buf = e.Bytes()
-	putEnc(buf)
-	return err
+	enc := e.Bytes()
+	wait := func() error {
+		err := <-done
+		*buf = enc
+		putEnc(buf)
+		return err
+	}
+	return wait, nil
 }
 
 // MarkDelivered implements Store.
@@ -559,6 +636,20 @@ func (w *WAL) Snapshot() (*State, error) {
 	return st, nil
 }
 
+// barrier blocks until every record enqueued before the call is durable
+// (or returns the sticky commit failure). ShardedWAL uses it to align
+// all shards on a consistent cut before compacting any of them.
+func (w *WAL) barrier() error {
+	w.mu.Lock()
+	if err := w.checkOpenLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	done := w.commitLocked(nil)
+	w.mu.Unlock()
+	return <-done
+}
+
 // Compact rewrites the log to contain only live state, bounding log
 // growth. Record IDs remain valid.
 func (w *WAL) Compact() error {
@@ -663,7 +754,7 @@ func (w *WAL) Close() error {
 	close(w.reqCh)
 	w.mu.Unlock()
 	<-w.committerDone
-	if w.stream != nil {
+	if w.stream != nil && w.ownsStream {
 		w.stream.Close()
 	}
 	if err := w.f.Close(); err != nil {

@@ -212,3 +212,72 @@ func TestWALHostileLengthPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRemoveMessageStagedGroupCommit stages a batch of removes and only
+// then drains the waits — the shape of a session acknowledging many
+// messages at once. The staged removes must (a) coalesce into far fewer
+// group commits than the batch has records and (b) all be durable once
+// the waits return, verified against a crash copy taken without Close.
+func TestRemoveMessageStagedGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "staged-remove.wal")
+	reg := obs.NewRegistry()
+	w, err := OpenWAL(path, WALOptions{Sync: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const n = 64
+	ids := make([]RecordID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := w.AddMessage("queue:q", msg(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	batches := reg.Histogram("wal.commit_batch", CommitBatchBounds())
+	before := batches.Snapshot().Count
+	waits := make([]func() error, 0, n)
+	for _, id := range ids {
+		wait, err := w.RemoveMessageStaged("queue:q", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, wait)
+	}
+	for _, wfn := range waits {
+		if err := wfn(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commits := batches.Snapshot().Count - before
+	if commits >= n/4 {
+		t.Fatalf("%d staged removes cost %d group commits, want coalescing", n, commits)
+	}
+
+	// Crash: the log as-is, without Close, must already hold every
+	// remove whose wait returned.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashPath := filepath.Join(dir, "crash.wal")
+	if err := os.WriteFile(crashPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenWAL(crashPath, WALOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	st, err := reopened.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Messages["queue:q"]); got != 0 {
+		t.Fatalf("crash copy still holds %d messages, want 0 after staged removes", got)
+	}
+}

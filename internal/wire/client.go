@@ -80,6 +80,7 @@ type Factory struct {
 	callTimeout time.Duration
 	reconnect   ReconnectPolicy
 	spans       obs.SpanRecorder
+	pipeWindow  int
 
 	reconnects atomic.Int64
 }
@@ -114,6 +115,28 @@ func (f *Factory) WithSpans(rec obs.SpanRecorder) *Factory {
 	return f
 }
 
+// WithPipelining enables credit-windowed pipelined sends on this
+// factory's connections: non-transacted producers stream up to window
+// uncompleted sends over the wire and collect completions
+// asynchronously (see jms.AsyncProducer), instead of paying one
+// blocking round trip per message. A window of 1 degenerates to
+// blocking-send semantics; 0 (the default) disables pipelining
+// entirely. The server may grant a smaller window than requested.
+// Durability guarantees are unchanged — a completion resolves only
+// after the provider has made the send durable — and reconnection
+// replays the unacked window with its original idempotency tokens, so
+// resets cannot duplicate messages. Returns the factory for chaining.
+func (f *Factory) WithPipelining(window int) *Factory {
+	if window < 0 {
+		window = 0
+	}
+	if window > pipeMaxWindow {
+		window = pipeMaxWindow
+	}
+	f.pipeWindow = window
+	return f
+}
+
 // Reconnects reports how many successful reconnections this factory's
 // connections have performed.
 func (f *Factory) Reconnects() int64 { return f.reconnects.Load() }
@@ -137,12 +160,15 @@ func (f *Factory) CreateConnection() (jms.Connection, error) {
 	}
 	seq := clientConnSeq.Add(1)
 	c := &clientConn{
-		f:        f,
-		seq:      seq,
-		uid:      strconv.FormatInt(clientUIDBase, 36) + "-" + strconv.FormatUint(seq, 36),
-		wake:     make(chan struct{}),
-		sessions: map[*clientSession]struct{}{},
+		f:         f,
+		seq:       seq,
+		uid:       strconv.FormatInt(clientUIDBase, 36) + "-" + strconv.FormatUint(seq, 36),
+		wake:      make(chan struct{}),
+		sessions:  map[*clientSession]struct{}{},
+		pipes:     map[*clientPipe]struct{}{},
+		pipesByID: map[uint64]*clientPipe{},
 	}
+	c.acks = &ackBatcher{c: c}
 	tr := newTransport(sock)
 	c.tr = tr
 	go tr.readLoop(c)
@@ -183,29 +209,35 @@ func newTransport(sock net.Conn) *transport {
 	return &transport{sock: sock, fw: newFrameWriter(sock), pending: map[uint64]chan reply{}}
 }
 
-// readLoop dispatches server replies to their waiting callers and
+// readLoop dispatches server frames — request replies to their waiting
+// callers, pipelined-send completion batches to their pipes — and
 // reports transport death to the owning connection.
 func (t *transport) readLoop(c *clientConn) {
 	for {
 		payload, err := ReadFrame(t.sock)
-		if err == nil {
-			var rep reply
-			rep, err = decodeReply(payload)
-			if err == nil {
-				t.mu.Lock()
-				ch, ok := t.pending[rep.reqID]
-				delete(t.pending, rep.reqID)
-				t.mu.Unlock()
-				if ok {
-					ch <- rep
-				}
-				continue
-			}
+		if err != nil {
+			break
 		}
-		t.fail()
-		c.transportLost(t)
-		return
+		if len(payload) > 0 && payload[0] == opPipeCompletion {
+			if c.applyPipeCompletions(payload) != nil {
+				break
+			}
+			continue
+		}
+		rep, err := decodeReply(payload)
+		if err != nil {
+			break
+		}
+		t.mu.Lock()
+		ch, ok := t.pending[rep.reqID]
+		delete(t.pending, rep.reqID)
+		t.mu.Unlock()
+		if ok {
+			ch <- rep
+		}
 	}
+	t.fail()
+	c.transportLost(t)
 }
 
 // fail closes the socket and releases every in-flight call with a
@@ -279,6 +311,8 @@ type clientConn struct {
 	seq uint64
 	uid string // namespaces this connection's send-dedup tokens
 
+	acks *ackBatcher // coalesces session acknowledgements
+
 	mu           sync.Mutex
 	tr           *transport    // nil while disconnected
 	wake         chan struct{} // closed and replaced on every state change
@@ -288,8 +322,58 @@ type clientConn struct {
 	clientID     string
 	started      bool
 	sessions     map[*clientSession]struct{}
+	pipes        map[*clientPipe]struct{} // every pipe ever opened
+	pipesByID    map[uint64]*clientPipe   // by current server pipe ID
 
 	sendSeq atomic.Uint64
+}
+
+// registerPipe records a pipe's current server-side identity. The lock
+// order is pipe.mu before conn.mu throughout the pipe code.
+func (c *clientConn) registerPipe(pp *clientPipe, id uint64) {
+	c.mu.Lock()
+	c.pipes[pp] = struct{}{}
+	c.pipesByID[id] = pp
+	c.mu.Unlock()
+}
+
+// unregisterPipe drops a dead transport's pipe ID binding.
+func (c *clientConn) unregisterPipe(id uint64, pp *clientPipe) {
+	c.mu.Lock()
+	if c.pipesByID[id] == pp {
+		delete(c.pipesByID, id)
+	}
+	c.mu.Unlock()
+}
+
+// snapshotPipes lists the connection's pipes. Callers must not hold
+// c.mu-ordered locks (see registerPipe).
+func (c *clientConn) snapshotPipes() []*clientPipe {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pipes := make([]*clientPipe, 0, len(c.pipes))
+	for pp := range c.pipes {
+		pipes = append(pipes, pp)
+	}
+	return pipes
+}
+
+// applyPipeCompletions settles the entries of one opPipeCompletion
+// frame. A non-nil return kills the transport (malformed frame).
+func (c *clientConn) applyPipeCompletions(payload []byte) error {
+	return decodePipeCompletions(payload, func(pc pipeCompletion) {
+		c.mu.Lock()
+		pp := c.pipesByID[pc.pipeID]
+		c.mu.Unlock()
+		if pp == nil {
+			return // completion for a pipe of a dead incarnation
+		}
+		if pc.errMsg != "" {
+			pp.complete(pc.seq, mapError(pc.errMsg), sendStamp{})
+			return
+		}
+		pp.complete(pc.seq, nil, pc.stamp)
+	})
 }
 
 var _ jms.Connection = (*clientConn)(nil)
@@ -308,37 +392,51 @@ func (c *clientConn) isClosed() bool {
 
 // transportLost records the death of tr. Without reconnection the
 // connection dies with it (the seed's fail-fast semantics); with it, a
-// single reconnect loop is started per outage.
+// single reconnect loop is started per outage. Pipes opened on tr are
+// detached (their in-flight window survives for replay); if the loss
+// is terminal, every in-flight pipelined send fails.
 func (c *clientConn) transportLost(tr *transport) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.tr == tr {
 		c.tr = nil
 		c.wakeLocked()
 	}
-	if c.closed || c.dead != nil {
-		return
-	}
-	if !c.f.reconnect.Enabled {
+	var terminal error
+	switch {
+	case c.closed:
+		terminal = jms.ErrClosed
+	case c.dead != nil:
+		terminal = c.dead
+	case !c.f.reconnect.Enabled:
 		c.dead = fmt.Errorf("wire: connection lost: %w", jms.ErrClosed)
+		terminal = c.dead
 		c.wakeLocked()
-		return
-	}
-	if !c.reconnecting {
+	case !c.reconnecting:
 		c.reconnecting = true
 		go c.reconnectLoop()
+	}
+	c.mu.Unlock()
+	for _, pp := range c.snapshotPipes() {
+		pp.detach(tr)
+		if terminal != nil {
+			pp.failAll(terminal)
+		}
 	}
 }
 
 // fatal marks the connection permanently failed.
 func (c *clientConn) fatal(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.dead == nil {
 		c.dead = err
 	}
+	dead := c.dead
 	c.reconnecting = false
 	c.wakeLocked()
+	c.mu.Unlock()
+	for _, pp := range c.snapshotPipes() {
+		pp.failAll(dead)
+	}
 }
 
 // reconnectLoop redials with capped exponential backoff plus seeded
@@ -428,6 +526,16 @@ func (c *clientConn) reestablish(tr *transport) error {
 	}
 	for _, s := range sessions {
 		if err := s.reestablish(raw); err != nil {
+			return err
+		}
+	}
+	// Pipes replay after sessions (a pipe addresses its session's new
+	// incarnation): each re-opens and re-sends its unacked window with
+	// the original dedup tokens, so sends that reached the provider
+	// before the reset settle from the dedup cache instead of applying
+	// twice.
+	for _, pp := range c.snapshotPipes() {
+		if err := pp.reestablish(tr, raw); err != nil {
 			return err
 		}
 	}
@@ -600,6 +708,9 @@ func (c *clientConn) Close() error {
 		_, _ = roundTrip(tr, opCloseConn, nil, tm.C)
 		tm.Stop()
 		tr.fail()
+	}
+	for _, pp := range c.snapshotPipes() {
+		pp.failAll(jms.ErrClosed)
 	}
 	return nil
 }
@@ -904,15 +1015,23 @@ func (s *clientSession) Rollback() error {
 	return err
 }
 
-// Acknowledge implements jms.Session. Retrying an ack after a
-// reconnection is safe: the old session's unacked set died with it and
-// those messages are redelivered with the JMSRedelivered flag, which
-// the conformance model exempts from the no-duplicates property.
+// Acknowledge implements jms.Session. Acknowledgements ride the
+// connection's ack batcher: concurrent calls from the sessions
+// multiplexed on this connection coalesce into one opAckBatch round
+// trip, and the call blocks until that round trip settles (AckClient
+// semantics are untouched — when Acknowledge returns, the server has
+// acked). Retrying an ack after a reconnection is safe: the old
+// session's unacked set died with it and those messages are
+// redelivered with the JMSRedelivered flag, which the conformance
+// model exempts from the no-duplicates property.
 func (s *clientSession) Acknowledge() error {
 	if s.transacted {
 		return jms.ErrTransacted
 	}
-	return s.sessionOp(opAck)
+	if s.isClosed() {
+		return jms.ErrClosed
+	}
+	return s.conn.acks.acknowledge(s)
 }
 
 // Recover implements jms.Session.
@@ -952,17 +1071,88 @@ type clientProducer struct {
 
 	mu     sync.Mutex
 	closed bool
+	pipe   *clientPipe // lazily created when pipelining is enabled
 }
 
-var _ jms.Producer = (*clientProducer)(nil)
+var (
+	_ jms.Producer      = (*clientProducer)(nil)
+	_ jms.AsyncProducer = (*clientProducer)(nil)
+)
 
 // Destination implements jms.Producer.
 func (p *clientProducer) Destination() jms.Destination { return p.dest }
 
-// Send implements jms.Producer.
+// pipelined reports whether this producer's sends flow through a
+// credit-windowed pipe (factory opted in; transacted sessions stay on
+// the classic path — their sends are staged server-side and carry no
+// idempotency tokens, so windowed replay cannot protect them).
+func (p *clientProducer) pipelined() bool {
+	return p.sess.conn.f.pipeWindow > 0 && !p.sess.transacted && p.dest != nil
+}
+
+// getPipe lazily creates the producer's pipe.
+func (p *clientProducer) getPipe() (*clientPipe, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, jms.ErrClosed
+	}
+	if p.pipe == nil {
+		p.pipe = &clientPipe{
+			sess:     p.sess,
+			dest:     p.dest,
+			destStr:  p.dest.String(),
+			inflight: map[uint64]*pipeInflight{},
+		}
+	}
+	return p.pipe, nil
+}
+
+// SendAsync implements jms.AsyncProducer. With pipelining enabled the
+// send is streamed inside the credit window and the returned
+// completion resolves when the server settles it; otherwise it
+// degenerates to the blocking send.
+func (p *clientProducer) SendAsync(msg *jms.Message, opts jms.SendOptions) (jms.Completion, error) {
+	if p.dest == nil {
+		return nil, fmt.Errorf("%w: unidentified producer requires SendTo", jms.ErrInvalidDestination)
+	}
+	if !p.pipelined() {
+		if err := p.SendTo(p.dest, msg, opts); err != nil {
+			return nil, err
+		}
+		return jms.CompletedSend, nil
+	}
+	return p.sendPipelined(msg, opts)
+}
+
+// sendPipelined stages one send on the producer's pipe.
+func (p *clientProducer) sendPipelined(msg *jms.Message, opts jms.SendOptions) (jms.Completion, error) {
+	if p.sess.isClosed() {
+		return nil, jms.ErrClosed
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	pipe, err := p.getPipe()
+	if err != nil {
+		return nil, err
+	}
+	return pipe.send(msg, opts)
+}
+
+// Send implements jms.Producer. With pipelining enabled it is exactly
+// a window-of-1 use of the pipe: stage the send, wait for its
+// completion.
 func (p *clientProducer) Send(msg *jms.Message, opts jms.SendOptions) error {
 	if p.dest == nil {
 		return fmt.Errorf("%w: unidentified producer requires SendTo", jms.ErrInvalidDestination)
+	}
+	if p.pipelined() {
+		comp, err := p.sendPipelined(msg, opts)
+		if err != nil {
+			return err
+		}
+		return comp()
 	}
 	return p.SendTo(p.dest, msg, opts)
 }

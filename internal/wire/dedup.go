@@ -3,13 +3,19 @@ package wire
 import (
 	"sync"
 	"time"
+
+	"jmsharness/internal/obs"
 )
 
-// dedupCapacity bounds the send-dedup cache. The retry window a token
-// must survive is one reconnection (milliseconds of traffic), so a few
-// thousand completed sends of slack is generous while keeping the
-// cache O(1) memory.
-const dedupCapacity = 8192
+// Bounds on the send-dedup cache. The retry window a token must
+// survive is one reconnection (milliseconds to low seconds of
+// traffic), so a few thousand completed sends of count slack plus a
+// generous age ceiling keeps the cache O(1) memory even under
+// pipelined retry storms.
+const (
+	dedupCapacity = 8192
+	dedupMaxAge   = 2 * time.Minute
+)
 
 // sendStamp is the provider-assigned header set of a completed send,
 // replayed verbatim to a deduplicated retry.
@@ -27,22 +33,48 @@ type dedupEntry struct {
 	ok    bool
 }
 
+// dedupRecord is one insertion-ordered eviction queue slot.
+type dedupRecord struct {
+	token string
+	at    time.Time
+}
+
 // sendDedup makes client send retries idempotent across reconnects.
-// A reconnecting client re-issues any send whose reply it never saw,
-// carrying the same token; if the original actually reached the
-// provider, replaying its stamps instead of re-sending keeps Delivery
-// Integrity (Property 1) exactly-once across connection resets. The
-// cache is server-level — it must outlive the per-connection state
-// that dies with the TCP connection — and FIFO-bounded.
+// A reconnecting client re-issues any send whose reply (or pipelined
+// completion) it never saw, carrying the same token; if the original
+// actually reached the provider, replaying its stamps instead of
+// re-sending keeps Delivery Integrity (Property 1) exactly-once across
+// connection resets. The cache is server-level — it must outlive the
+// per-connection state that dies with the TCP connection — and bounded
+// by both count and age: settled tokens are evicted once the cache
+// exceeds dedupCapacity or the token is older than dedupMaxAge.
+// Unsettled (in-flight) tokens are never evicted: a retry racing its
+// original must observe the original's outcome.
 type sendDedup struct {
 	mu      sync.Mutex
 	entries map[string]*dedupEntry
-	order   []string // FIFO eviction ring over inserted tokens
-	next    int
+	queue   []dedupRecord // insertion-ordered eviction queue
+	gauge   *obs.Gauge    // optional wire.dedup_entries
+	now     func() time.Time
 }
 
 func newSendDedup() *sendDedup {
-	return &sendDedup{entries: map[string]*dedupEntry{}}
+	return &sendDedup{entries: map[string]*dedupEntry{}, now: time.Now}
+}
+
+// setGauge publishes the live entry count on g.
+func (d *sendDedup) setGauge(g *obs.Gauge) {
+	d.mu.Lock()
+	d.gauge = g
+	d.publishLocked()
+	d.mu.Unlock()
+}
+
+// size reports the live entry count.
+func (d *sendDedup) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
 }
 
 // begin claims token. If the token's send already completed, its stamp
@@ -76,6 +108,7 @@ func (d *sendDedup) begin(token string) (stamp sendStamp, hit bool, commit func(
 		e := &dedupEntry{done: make(chan struct{})}
 		d.entries[token] = e
 		d.recordLocked(token)
+		d.publishLocked()
 		d.mu.Unlock()
 		commit = func(st sendStamp) {
 			d.mu.Lock()
@@ -88,6 +121,7 @@ func (d *sendDedup) begin(token string) (stamp sendStamp, hit bool, commit func(
 			d.mu.Lock()
 			if d.entries[token] == e {
 				delete(d.entries, token)
+				d.publishLocked()
 			}
 			close(e.done)
 			d.mu.Unlock()
@@ -96,14 +130,43 @@ func (d *sendDedup) begin(token string) (stamp sendStamp, hit bool, commit func(
 	}
 }
 
-// recordLocked notes token in the eviction ring, dropping the oldest
-// tracked token once the ring is full. Callers hold mu.
+// recordLocked notes token in the eviction queue and evicts what the
+// count and age bounds no longer cover. Callers hold mu.
 func (d *sendDedup) recordLocked(token string) {
-	if len(d.order) < dedupCapacity {
-		d.order = append(d.order, token)
-		return
+	d.queue = append(d.queue, dedupRecord{token: token, at: d.now()})
+	now := d.now()
+	// Scan at most one pass over the queue: entries that are still in
+	// flight are re-queued rather than evicted, and re-queued entries
+	// must not be revisited (over count with every entry unsettled, the
+	// loop would otherwise spin forever).
+	scans := len(d.queue)
+	for i := 0; i < scans && len(d.queue) > 0; i++ {
+		overCount := len(d.queue) > dedupCapacity
+		overAge := now.Sub(d.queue[0].at) > dedupMaxAge
+		if !overCount && !overAge {
+			break
+		}
+		rec := d.queue[0]
+		d.queue = d.queue[1:]
+		e, ok := d.entries[rec.token]
+		if !ok {
+			continue // aborted or superseded; nothing left to evict
+		}
+		select {
+		case <-e.done:
+			delete(d.entries, rec.token)
+		default:
+			// Still in flight — keep it, behind the settled entries.
+			d.queue = append(d.queue, rec)
+		}
 	}
-	delete(d.entries, d.order[d.next])
-	d.order[d.next] = token
-	d.next = (d.next + 1) % dedupCapacity
+	d.publishLocked()
+}
+
+// publishLocked mirrors the entry count onto the gauge. Callers hold
+// mu.
+func (d *sendDedup) publishLocked() {
+	if d.gauge != nil {
+		d.gauge.Set(int64(len(d.entries)))
+	}
 }

@@ -1,0 +1,460 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+// clientPipe is the client half of one pipelined producer: a credit
+// window of in-flight sends awaiting batched completions. Sends are
+// staged onto the wire without individual replies; the server settles
+// them via opPipeCompletion frames matched by sequence number. When
+// the transport dies, the unacked window stays registered and is
+// replayed — with the original dedup tokens — onto the next transport,
+// so a send that reached the provider before the reset settles from
+// the server's dedup cache instead of applying twice.
+type clientPipe struct {
+	sess    *clientSession
+	dest    jms.Destination
+	destStr string
+
+	mu       sync.Mutex
+	tr       *transport // transport the pipe is open on; nil = needs (re)open
+	id       uint64     // server pipe ID on tr
+	window   int        // granted credit window
+	credit   chan struct{}
+	nextSeq  uint64
+	inflight map[uint64]*pipeInflight
+}
+
+// pipeInflight is one send awaiting its completion.
+type pipeInflight struct {
+	seq   uint64
+	token string
+	msg   *jms.Message
+	opts  jms.SendOptions
+	done  chan struct{}
+	err   error
+	stamp sendStamp
+}
+
+// lockOpen acquires pp.mu with the pipe open on a live transport,
+// (re)opening it if needed. On success it returns with pp.mu HELD; on
+// error the lock is released. Crucially, pp.mu is never held while
+// waiting for a reconnection: the reconnect loop's reestablish pass
+// needs pp.mu to replay the window, and the new transport is only
+// published after that pass — holding the lock through the wait would
+// deadlock until the call timeout. The opPipeOpen round trip itself
+// runs under pp.mu, which serialises sends on this producer — exactly
+// the per-producer FIFO the pipe must keep anyway — and cannot block
+// on reconnection (a dying transport fails its pending calls).
+func (pp *clientPipe) lockOpen() error {
+	c := pp.sess.conn
+	var timer <-chan time.Time
+	var tm *time.Timer
+	for {
+		pp.mu.Lock()
+		if pp.tr != nil {
+			if tm != nil {
+				tm.Stop()
+			}
+			return nil
+		}
+		pp.mu.Unlock()
+		if tm == nil {
+			if ct := c.f.callTimeout; ct > 0 {
+				tm = time.NewTimer(ct)
+				timer = tm.C
+			}
+		}
+		tr, err := c.awaitTransport(timer)
+		if err != nil {
+			if tm != nil {
+				tm.Stop()
+			}
+			return err
+		}
+		pp.mu.Lock()
+		if pp.tr != nil { // reestablish re-opened it meanwhile
+			if tm != nil {
+				tm.Stop()
+			}
+			return nil
+		}
+		rep, err := roundTrip(tr, opPipeOpen, func(e *jms.Encoder) {
+			e.Uvarint(pp.sess.id.Load())
+			e.String(pp.destStr)
+			e.Uvarint(uint64(c.f.pipeWindow))
+		}, timer)
+		switch {
+		case err == nil:
+			if rep.err != "" {
+				pp.mu.Unlock()
+				if tm != nil {
+					tm.Stop()
+				}
+				return mapError(rep.err)
+			}
+			if oerr := pp.openedLocked(tr, rep); oerr != nil {
+				pp.mu.Unlock()
+				if tm != nil {
+					tm.Stop()
+				}
+				return oerr
+			}
+			if tm != nil {
+				tm.Stop()
+			}
+			return nil
+		case errors.Is(err, ErrCallTimeout):
+			pp.mu.Unlock()
+			tr.fail()
+			if tm != nil {
+				tm.Stop()
+			}
+			return fmt.Errorf("%w: opening pipe", ErrCallTimeout)
+		default: // transport died under the open
+			pp.mu.Unlock()
+			c.transportLost(tr)
+			if !c.f.reconnect.Enabled {
+				if tm != nil {
+					tm.Stop()
+				}
+				return fmt.Errorf("wire: connection lost: %w", jms.ErrClosed)
+			}
+		}
+	}
+}
+
+// openedLocked installs the server's pipe grant. Callers hold pp.mu.
+func (pp *clientPipe) openedLocked(tr *transport, rep reply) error {
+	id := rep.body.Uvarint()
+	granted := int(rep.body.Uvarint())
+	if err := rep.body.Err(); err != nil {
+		return fmt.Errorf("wire: decoding pipe-open reply: %w", err)
+	}
+	if granted < 1 {
+		granted = 1
+	}
+	pp.id = id
+	pp.tr = tr
+	if pp.credit == nil {
+		// The window is fixed by the first grant; the server's cap is
+		// deterministic, so re-opens grant the same number.
+		pp.window = granted
+		pp.credit = make(chan struct{}, granted)
+	}
+	pp.sess.conn.registerPipe(pp, id)
+	return nil
+}
+
+// send stages one pipelined send and returns its completion. The
+// returned jms.Completion blocks until the server settles the send
+// (or the factory's call timeout elapses).
+func (pp *clientPipe) send(msg *jms.Message, opts jms.SendOptions) (jms.Completion, error) {
+	c := pp.sess.conn
+	// Stamp the trace once: a replay re-encodes the same message, so a
+	// retried send reuses — never re-mints — its trace ID.
+	tid := obs.StampTrace(msg)
+	rpcStart := time.Now()
+	if err := pp.lockOpen(); err != nil {
+		return nil, err
+	}
+	credit := pp.credit
+	pp.mu.Unlock()
+	// One credit per uncompleted send; released when it settles. The
+	// window is what bounds both the server-side queue and the replay
+	// set, so the acquire is unconditional — a full window frees as
+	// completions arrive, and a dead connection fails every in-flight
+	// entry, which also frees it.
+	credit <- struct{}{}
+	if err := pp.lockOpen(); err != nil {
+		<-credit
+		return nil, err
+	}
+	pp.nextSeq++
+	seq := pp.nextSeq
+	inf := &pipeInflight{
+		seq:   seq,
+		token: c.uid + "/" + strconv.FormatUint(c.sendSeq.Add(1), 36),
+		msg:   msg,
+		opts:  opts,
+		done:  make(chan struct{}),
+	}
+	pp.inflight[seq] = inf
+	tr := pp.tr
+	// stageRequest (not writeRequest): the frame is staged and flushed
+	// by a background flusher, so a tight send loop coalesces many
+	// frames into one syscall instead of paying one each.
+	err := tr.fw.stageRequest(opPipeSend, seq, func(e *jms.Encoder) {
+		e.Uvarint(pp.id)
+		e.String(inf.token)
+		encodeSendOptions(e, opts)
+		msg.EncodeTo(e)
+	})
+	pp.mu.Unlock()
+	if err != nil {
+		// The transport died under the write. The entry stays in the
+		// window: reconnection (when enabled) replays it with the same
+		// token, and a dead connection fails it.
+		c.transportLost(tr)
+	}
+	return func() error {
+		var timer <-chan time.Time
+		if ct := c.f.callTimeout; ct > 0 {
+			tm := time.NewTimer(ct)
+			defer tm.Stop()
+			timer = tm.C
+		}
+		select {
+		case <-inf.done:
+		case <-timer:
+			pp.timeoutEntry(inf)
+			<-inf.done
+		}
+		if inf.err != nil {
+			return inf.err
+		}
+		msg.ID = inf.stamp.id
+		msg.Timestamp = inf.stamp.timestamp
+		msg.Expiration = inf.stamp.expiration
+		msg.Destination = pp.dest
+		msg.Mode = opts.Mode
+		msg.Priority = opts.Priority
+		if rec := c.f.spans; rec != nil {
+			rec.RecordHop(obs.Span{
+				TraceID:  tid,
+				Hop:      obs.MessageTraceHop(msg),
+				Kind:     obs.KindSendRPC,
+				Node:     "wire-client",
+				MsgID:    msg.ID,
+				Endpoint: pp.destStr,
+				SentAt:   rpcStart,
+				EndedAt:  time.Now(),
+			})
+		}
+		return nil
+	}, nil
+}
+
+// complete settles one in-flight send from a server completion.
+// Unknown sequence numbers (late completions for entries already timed
+// out or failed) are ignored.
+func (pp *clientPipe) complete(seq uint64, err error, stamp sendStamp) {
+	pp.mu.Lock()
+	inf, ok := pp.inflight[seq]
+	if !ok {
+		pp.mu.Unlock()
+		return
+	}
+	delete(pp.inflight, seq)
+	inf.err = err
+	inf.stamp = stamp
+	close(inf.done)
+	credit := pp.credit
+	pp.mu.Unlock()
+	<-credit
+}
+
+// timeoutEntry resolves one entry as timed out (if still pending) and
+// recycles the transport — a server that sat on a completion past the
+// call timeout cannot be trusted for later frames, mirroring the
+// blocking path's handling.
+func (pp *clientPipe) timeoutEntry(inf *pipeInflight) {
+	pp.mu.Lock()
+	if _, ok := pp.inflight[inf.seq]; !ok {
+		pp.mu.Unlock()
+		return
+	}
+	delete(pp.inflight, inf.seq)
+	inf.err = fmt.Errorf("%w: pipelined send", ErrCallTimeout)
+	close(inf.done)
+	credit := pp.credit
+	tr := pp.tr
+	pp.mu.Unlock()
+	<-credit
+	if tr != nil {
+		tr.fail()
+		pp.sess.conn.transportLost(tr)
+	}
+}
+
+// detach notes the death of tr: the pipe must be re-opened before the
+// next send, and the dead incarnation's ID stops resolving.
+func (pp *clientPipe) detach(tr *transport) {
+	pp.mu.Lock()
+	if pp.tr != tr {
+		pp.mu.Unlock()
+		return
+	}
+	pp.tr = nil
+	oldID := pp.id
+	pp.mu.Unlock()
+	pp.sess.conn.unregisterPipe(oldID, pp)
+}
+
+// failAll resolves every in-flight send with err (terminal connection
+// failure).
+func (pp *clientPipe) failAll(err error) {
+	pp.mu.Lock()
+	entries := make([]*pipeInflight, 0, len(pp.inflight))
+	for _, inf := range pp.inflight {
+		entries = append(entries, inf)
+	}
+	pp.inflight = map[uint64]*pipeInflight{}
+	for _, inf := range entries {
+		inf.err = err
+		close(inf.done)
+	}
+	credit := pp.credit
+	pp.mu.Unlock()
+	for range entries {
+		<-credit
+	}
+}
+
+// reestablish re-opens the pipe on a fresh transport and replays the
+// unacked window, oldest send first, with the original tokens. The
+// server's dedup cache turns replays of sends that actually reached
+// the provider into stamp echoes, so nothing applies twice. A pipe
+// with nothing in flight stays detached and re-opens lazily on its
+// next send.
+func (pp *clientPipe) reestablish(tr *transport, raw func(byte, func(*jms.Encoder)) (reply, error)) error {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.sess.isClosed() || pp.tr != nil || len(pp.inflight) == 0 {
+		return nil
+	}
+	rep, err := raw(opPipeOpen, func(e *jms.Encoder) {
+		e.Uvarint(pp.sess.id.Load())
+		e.String(pp.destStr)
+		e.Uvarint(uint64(pp.sess.conn.f.pipeWindow))
+	})
+	if err != nil {
+		return fmt.Errorf("reopening pipe to %s: %w", pp.destStr, err)
+	}
+	if err := pp.openedLocked(tr, rep); err != nil {
+		return err
+	}
+	seqs := make([]uint64, 0, len(pp.inflight))
+	for seq := range pp.inflight {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		inf := pp.inflight[seq]
+		err := tr.fw.stageRequest(opPipeSend, seq, func(e *jms.Encoder) {
+			e.Uvarint(pp.id)
+			e.String(inf.token)
+			encodeSendOptions(e, inf.opts)
+			inf.msg.EncodeTo(e)
+		})
+		if err != nil {
+			return fmt.Errorf("replaying pipelined send: %w", err)
+		}
+	}
+	return nil
+}
+
+// ackBatcher coalesces concurrent session acknowledgements on one
+// connection into opAckBatch round trips. The first caller becomes the
+// flusher and carries every acknowledgement queued while its batch's
+// round trip runs — so a lone Acknowledge pays exactly one RPC with no
+// added latency, and N concurrent ones collapse into a handful of
+// RPCs. Every caller blocks until its batch's round trip settles,
+// which is what preserves AckClient semantics: when Acknowledge
+// returns, the acks are on the server.
+type ackBatcher struct {
+	c *clientConn
+
+	mu       sync.Mutex
+	queue    []*ackWaiter
+	flushing bool
+}
+
+type ackWaiter struct {
+	sess *clientSession
+	done chan struct{}
+	err  error
+}
+
+// acknowledge enqueues one session acknowledgement and blocks until
+// the batch carrying it completes.
+func (ab *ackBatcher) acknowledge(s *clientSession) error {
+	w := &ackWaiter{sess: s, done: make(chan struct{})}
+	ab.mu.Lock()
+	ab.queue = append(ab.queue, w)
+	if ab.flushing {
+		ab.mu.Unlock()
+		<-w.done
+		return w.err
+	}
+	ab.flushing = true
+	for len(ab.queue) > 0 {
+		batch := ab.queue
+		if len(batch) > ackBatchMax {
+			batch = batch[:ackBatchMax]
+		}
+		ab.queue = ab.queue[len(batch):]
+		ab.mu.Unlock()
+		ab.flush(batch)
+		ab.mu.Lock()
+	}
+	ab.flushing = false
+	ab.mu.Unlock()
+	<-w.done
+	return w.err
+}
+
+// flush performs one opAckBatch round trip for batch, deduplicating
+// sessions (acknowledging a session once covers every waiter on it:
+// Acknowledge acks all messages delivered so far, which includes
+// everything delivered before any of the coalesced calls began).
+func (ab *ackBatcher) flush(batch []*ackWaiter) {
+	sessions := make([]*clientSession, 0, len(batch))
+	index := make(map[*clientSession]int, len(batch))
+	for _, w := range batch {
+		if _, ok := index[w.sess]; !ok {
+			index[w.sess] = len(sessions)
+			sessions = append(sessions, w.sess)
+		}
+	}
+	// Session IDs are loaded at build time so a retry after a
+	// reconnection addresses the sessions' new incarnations.
+	rep, err := ab.c.call(opAckBatch, func(e *jms.Encoder) {
+		e.Uvarint(uint64(len(sessions)))
+		for _, s := range sessions {
+			e.Uvarint(s.id.Load())
+		}
+	}, true, 0)
+	errs := make([]error, len(sessions))
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+	} else {
+		for i := range sessions {
+			if msg := rep.body.String(); msg != "" {
+				errs[i] = mapError(msg)
+			}
+		}
+		if derr := rep.body.Err(); derr != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = fmt.Errorf("wire: decoding ack-batch reply: %w", derr)
+				}
+			}
+		}
+	}
+	for _, w := range batch {
+		w.err = errs[index[w.sess]]
+		close(w.done)
+	}
+}

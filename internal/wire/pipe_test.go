@@ -1,0 +1,518 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+// text extracts a TextBody payload.
+func text(m *jms.Message) string {
+	b, _ := m.Body.(jms.TextBody)
+	return string(b)
+}
+
+// TestPipelinedSendOrderAndCompletion streams a few hundred async
+// sends through a credit window and checks the pipelined contract:
+// every completion resolves nil with provider stamps applied, and the
+// consumer sees the exact send order (per-producer FIFO end to end).
+func TestPipelinedSendOrderAndCompletion(t *testing.T) {
+	_, f := startServer(t, broker.Profile{})
+	f.WithPipelining(64)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("pipe.order")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, ok := p.(jms.AsyncProducer)
+	if !ok {
+		t.Fatal("wire producer does not implement jms.AsyncProducer")
+	}
+
+	const n = 300
+	comps := make([]jms.Completion, 0, n)
+	msgs := make([]*jms.Message, 0, n)
+	for i := 0; i < n; i++ {
+		m := jms.NewTextMessage(fmt.Sprintf("m%d", i))
+		comp, err := ap.SendAsync(m, jms.DefaultSendOptions())
+		if err != nil {
+			t.Fatalf("SendAsync %d: %v", i, err)
+		}
+		comps = append(comps, comp)
+		msgs = append(msgs, m)
+	}
+	for i, comp := range comps {
+		if err := comp(); err != nil {
+			t.Fatalf("completion %d: %v", i, err)
+		}
+		if msgs[i].ID == "" || msgs[i].Timestamp.IsZero() {
+			t.Fatalf("send %d completed without stamps: id=%q", i, msgs[i].ID)
+		}
+	}
+
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m, err := c.Receive(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			t.Fatalf("missing message %d", i)
+		}
+		want := fmt.Sprintf("m%d", i)
+		if got := text(m); got != want {
+			t.Fatalf("position %d: got %q, want %q (pipelined sends reordered)", i, got, want)
+		}
+	}
+}
+
+// TestPipelinedBlockingSendIsWindowOfOne checks that plain Send still
+// works with pipelining enabled (stage + wait = the classic
+// semantics) and stamps the message.
+func TestPipelinedBlockingSendIsWindowOfOne(t *testing.T) {
+	_, f := startServer(t, broker.Profile{})
+	f.WithPipelining(8)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("pipe.blocking")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := jms.NewTextMessage("solo")
+	if err := p.Send(m, jms.DefaultSendOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if m.ID == "" {
+		t.Fatal("blocking pipelined send returned without stamps")
+	}
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Receive(2 * time.Second)
+	if err != nil || got == nil || text(got) != "solo" {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestPipelinedReplayNoDuplicates resets every TCP connection while a
+// pipelined producer is mid-window. Reconnection must replay the
+// unacked window with the original dedup tokens, so the consumer sees
+// every message exactly once — a duplicate apply on replay is exactly
+// the bug the server's dedup cache exists to prevent.
+func TestPipelinedReplayNoDuplicates(t *testing.T) {
+	proxy, f, _ := startProxiedServer(t)
+	f.WithPipelining(32)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("pipe.replay")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := p.(jms.AsyncProducer)
+
+	const n = 200
+	comps := make([]jms.Completion, 0, n)
+	for i := 0; i < n; i++ {
+		comp, err := ap.SendAsync(jms.NewTextMessage(fmt.Sprintf("r%d", i)), jms.DefaultSendOptions())
+		if err != nil {
+			t.Fatalf("SendAsync %d: %v", i, err)
+		}
+		comps = append(comps, comp)
+		if i == n/3 || i == 2*n/3 {
+			proxy.ResetAll() // kill the link with a full window in flight
+		}
+	}
+	for i, comp := range comps {
+		if err := comp(); err != nil {
+			t.Fatalf("completion %d failed across reconnect: %v", i, err)
+		}
+	}
+
+	c, err := sess.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for {
+		m, err := c.Receive(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == nil {
+			break
+		}
+		seen[text(m)]++
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("r%d", i)
+		switch seen[key] {
+		case 0:
+			t.Errorf("message %q lost across reconnect", key)
+		case 1:
+		default:
+			t.Errorf("message %q applied %d times (replay duplicated)", key, seen[key])
+		}
+		delete(seen, key)
+	}
+	for key, cnt := range seen {
+		t.Errorf("unexpected message %q x%d", key, cnt)
+	}
+}
+
+// TestPipelinedTransactedFallsBack checks that transacted sessions
+// bypass the pipe: SendAsync buffers in the transaction like Send and
+// nothing is visible before commit.
+func TestPipelinedTransactedFallsBack(t *testing.T) {
+	_, f := startServer(t, broker.Profile{})
+	f.WithPipelining(16)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jms.Queue("pipe.tx")
+	p, err := sess.CreateProducer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := p.(jms.AsyncProducer).SendAsync(jms.NewTextMessage("tx"), jms.DefaultSendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp(); err != nil {
+		t.Fatal(err)
+	}
+	other, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := other.CreateConsumer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := c.Receive(100 * time.Millisecond); err != nil || m != nil {
+		t.Fatalf("uncommitted transacted send visible: %v, %v", m, err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Receive(2 * time.Second)
+	if err != nil || m == nil || text(m) != "tx" {
+		t.Fatalf("got %v, %v after commit", m, err)
+	}
+}
+
+// TestAckBatchCoalesces drives concurrent AckClient sessions through
+// the connection's ack batcher and checks semantics: every Acknowledge
+// returns only after its acks are on the server, so nothing is
+// redelivered after a recover.
+func TestAckBatchCoalesces(t *testing.T) {
+	_, f := startServer(t, broker.Profile{})
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess, err := conn.CreateSession(false, jms.AckClient)
+			if err != nil {
+				errs <- err
+				return
+			}
+			q := jms.Queue(fmt.Sprintf("ackb.%d", i))
+			p, err := sess.CreateProducer(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			c, err := sess.CreateConsumer(q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for round := 0; round < 5; round++ {
+				if err := p.Send(jms.NewTextMessage("x"), jms.DefaultSendOptions()); err != nil {
+					errs <- err
+					return
+				}
+				m, err := c.Receive(2 * time.Second)
+				if err != nil || m == nil {
+					errs <- fmt.Errorf("session %d round %d: %v, %v", i, round, m, err)
+					return
+				}
+				if err := sess.Acknowledge(); err != nil {
+					errs <- fmt.Errorf("session %d ack: %w", i, err)
+					return
+				}
+			}
+			// Everything acknowledged: a recover must redeliver nothing.
+			if err := sess.Recover(); err != nil {
+				errs <- err
+				return
+			}
+			if m, err := c.Receive(100 * time.Millisecond); err != nil || m != nil {
+				errs <- fmt.Errorf("session %d: acked message redelivered: %v, %v", i, m, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// gatedWriter blocks its first Write until released, so a test can
+// deterministically pile frames up behind an in-flight syscall.
+type gatedWriter struct {
+	first   sync.Once
+	entered chan struct{} // closed when the first Write starts
+	release chan struct{} // the first Write returns when this closes
+	mu      sync.Mutex
+	writes  int
+	bytes   int
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	var gate bool
+	g.first.Do(func() { gate = true })
+	if gate {
+		close(g.entered)
+		<-g.release
+	}
+	g.mu.Lock()
+	g.writes++
+	g.bytes += len(p)
+	g.mu.Unlock()
+	return len(p), nil
+}
+
+// TestFrameWriterCoalescesFlushes stages N frames while the socket
+// write is blocked and asserts they drain in far fewer syscalls than
+// frames: the first frame pays one Write, the N staged behind it share
+// exactly one more.
+func TestFrameWriterCoalescesFlushes(t *testing.T) {
+	g := &gatedWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	fw := newFrameWriter(g)
+
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- fw.writeFrame([]byte("frame-0")) }()
+	<-g.entered // the flusher is now parked inside Write
+
+	const n = 64
+	var queued sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		queued.Add(1)
+		go func(i int) {
+			defer queued.Done()
+			if err := fw.writeFrame([]byte(fmt.Sprintf("frame-%d", i))); err != nil {
+				t.Errorf("writeFrame %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Staged frames return without flushing themselves: wait for all N
+	// to be queued behind the blocked flusher before releasing it.
+	queued.Wait()
+	close(g.release)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	// The flusher loops until the staging buffer is empty before
+	// writeFrame(frame-0) returns, so all N+1 frames are out now.
+	flushes := fw.flushCount()
+	if flushes != 2 {
+		t.Errorf("%d frames drained in %d flushes, want exactly 2 (1 blocked + 1 coalesced)", n+1, flushes)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wantBytes := 0
+	for i := 0; i <= n; i++ {
+		wantBytes += 4 + len(fmt.Sprintf("frame-%d", i))
+	}
+	if g.bytes != wantBytes {
+		t.Errorf("wrote %d bytes, want %d (frames lost or torn)", g.bytes, wantBytes)
+	}
+}
+
+// TestDedupEvictionBounds checks both dedup bounds: count (the oldest
+// settled tokens fall out past dedupCapacity) and age (a settled token
+// older than dedupMaxAge is evicted on the next insert), and that the
+// gauge tracks the live entry count. In-flight tokens survive both
+// bounds.
+func TestDedupEvictionBounds(t *testing.T) {
+	now := time.Unix(1000, 0)
+	d := newSendDedup()
+	d.now = func() time.Time { return now }
+	reg := obs.NewRegistry()
+	g := reg.Gauge("wire.dedup_entries")
+	d.setGauge(g)
+
+	// An in-flight token must never be evicted.
+	_, hit, commitFlight, _ := d.begin("inflight")
+	if hit {
+		t.Fatal("fresh token hit")
+	}
+
+	for i := 0; i < dedupCapacity+100; i++ {
+		_, hit, commit, _ := d.begin(fmt.Sprintf("tok%d", i))
+		if hit {
+			t.Fatalf("fresh token %d hit", i)
+		}
+		commit(sendStamp{id: fmt.Sprintf("id%d", i)})
+	}
+	if got := d.size(); got > dedupCapacity+1 {
+		t.Errorf("dedup grew to %d entries, capacity %d", got, dedupCapacity)
+	}
+	if g.Value() != int64(d.size()) {
+		t.Errorf("gauge %d != size %d", g.Value(), d.size())
+	}
+	// The oldest settled tokens are gone; a replay of one re-runs the
+	// send (fresh claim, not a hit). The newest survive as hits.
+	if _, hit, _, abort := d.begin("tok0"); hit {
+		t.Error("evicted token still hits")
+	} else {
+		abort()
+	}
+	if stamp, hit, _, _ := d.begin(fmt.Sprintf("tok%d", dedupCapacity+99)); !hit {
+		t.Error("recent token evicted")
+	} else if stamp.id != fmt.Sprintf("id%d", dedupCapacity+99) {
+		t.Errorf("wrong stamp %q replayed", stamp.id)
+	}
+	// The in-flight token survived the count pressure.
+	commitFlight(sendStamp{id: "flight"})
+	if stamp, hit, _, _ := d.begin("inflight"); !hit || stamp.id != "flight" {
+		t.Errorf("in-flight token evicted under count pressure: hit=%v stamp=%q", hit, stamp.id)
+	}
+
+	// Age: advance past dedupMaxAge; the next insert sweeps everything
+	// settled out.
+	now = now.Add(dedupMaxAge + time.Second)
+	_, _, commit, _ := d.begin("fresh")
+	commit(sendStamp{id: "f"})
+	if got := d.size(); got != 1 {
+		t.Errorf("age eviction left %d entries, want 1", got)
+	}
+	if g.Value() != 1 {
+		t.Errorf("gauge %d after age eviction, want 1", g.Value())
+	}
+	if _, hit, _, abort := d.begin(fmt.Sprintf("tok%d", dedupCapacity+99)); hit {
+		t.Error("aged-out token still hits")
+	} else {
+		abort()
+	}
+}
+
+// TestPipelinedSendsShareFlushes asserts the satellite contract on the
+// live path: N pipelined sends produce far fewer client-side socket
+// flushes than N. The credit window keeps many frames in flight, so
+// the coalescing frameWriter batches them.
+func TestPipelinedSendsShareFlushes(t *testing.T) {
+	_, f := startServer(t, broker.Profile{})
+	f.WithPipelining(128)
+	conn, err := f.CreateConnection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := conn.CreateSession(false, jms.AckAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.CreateProducer(jms.Queue("pipe.flush"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := p.(jms.AsyncProducer)
+
+	cc := conn.(*clientConn)
+	cc.mu.Lock()
+	fw := cc.tr.fw
+	cc.mu.Unlock()
+	before := fw.flushCount()
+
+	const n = 512
+	comps := make([]jms.Completion, 0, n)
+	for i := 0; i < n; i++ {
+		comp, err := ap.SendAsync(jms.NewTextMessage("f"), jms.DefaultSendOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps = append(comps, comp)
+	}
+	for _, comp := range comps {
+		if err := comp(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushes := fw.flushCount() - before
+	// The bound is deliberately loose (scheduling decides how many
+	// frames pile up per syscall) but must be well under one flush per
+	// send; in practice it is a small fraction.
+	if flushes >= n {
+		t.Errorf("%d pipelined sends cost %d flushes, want ≪ %d", n, flushes, n)
+	}
+	t.Logf("%d pipelined sends in %d socket flushes", n, flushes)
+}

@@ -18,7 +18,6 @@
 package wire
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -48,6 +47,18 @@ const (
 	opBrowse
 	opCreateTempQueue
 	opReply // server→client: reply to a request
+	// Pipelined extensions. A pipe is one credit-windowed async send
+	// stream: the client opens it with opPipeOpen (a normal
+	// request/reply that grants the window), then streams opPipeSend
+	// frames — which carry NO individual replies — up to the granted
+	// window of uncompleted sends. The server settles sends in batched
+	// opPipeCompletion frames (server→client, matched by per-pipe
+	// sequence number, not request ID). opAckBatch coalesces several
+	// sessions' acknowledgements into one round trip.
+	opPipeOpen
+	opPipeSend
+	opPipeCompletion
+	opAckBatch
 )
 
 // maxFrameSize bounds a frame payload; larger frames indicate protocol
@@ -92,27 +103,122 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// frameWriter serialises frame writes onto one socket. The header and
-// payload are staged in a reused bufio.Writer and flushed together, so
-// each frame costs a single syscall (the bare WriteFrame pays two), and
-// the mutex keeps frames from concurrent senders whole.
+// frameWriter serialises frame writes onto one socket and coalesces
+// concurrent frames behind one syscall. Each frame (header + payload)
+// is staged whole under the mutex; the first staging goroutine becomes
+// the flusher and loops writing whatever has accumulated, so frames
+// staged by other goroutines while a Write syscall is in flight ride
+// the flusher's next pass instead of paying their own syscall. That is
+// what makes pipelined sends and batched completions cheap: N frames
+// from N goroutines cost far fewer than N Write calls.
+//
+// A frame staged while a flusher is active returns nil immediately —
+// its bytes are guaranteed to be carried by that flusher (or the write
+// error is made visible by closing the socket, which the connection's
+// read side observes as a transport failure).
 type frameWriter struct {
-	mu sync.Mutex
-	bw *bufio.Writer
+	mu       sync.Mutex
+	w        io.Writer
+	buf      []byte // frames staged for the next flush
+	spare    []byte // recycled flush buffer (double-buffering)
+	flushing bool   // a flusher currently owns the socket
+	err      error  // sticky first write error
+	flushes  int64  // Write syscalls issued
 }
 
 func newFrameWriter(w io.Writer) *frameWriter {
-	return &frameWriter{bw: bufio.NewWriterSize(w, 32<<10)}
+	return &frameWriter{w: w}
 }
 
-// writeFrame writes one complete frame and flushes it to the socket.
+// writeFrame stages one complete frame and ensures it reaches the
+// socket: either this caller flushes it (possibly together with frames
+// staged meanwhile) or an already-active flusher carries it.
 func (fw *frameWriter) writeFrame(payload []byte) error {
 	fw.mu.Lock()
-	defer fw.mu.Unlock()
-	if err := WriteFrame(fw.bw, payload); err != nil {
+	if err := fw.stageLocked(payload); err != nil || fw.flushing {
+		fw.mu.Unlock()
 		return err
 	}
-	return fw.bw.Flush()
+	fw.flushing = true
+	err := fw.flushLocked()
+	fw.mu.Unlock()
+	return err
+}
+
+// stageFrame stages one complete frame and returns without waiting for
+// the socket write: if no flusher is active, a background one is
+// started. This is the pipelined-send path — a tight send loop stages
+// frame after frame while the flusher's Write syscall is in flight, so
+// consecutive frames coalesce into one syscall instead of paying one
+// each. Write failures surface by closing the socket, which the
+// connection's read side reports as a transport loss.
+func (fw *frameWriter) stageFrame(payload []byte) error {
+	fw.mu.Lock()
+	if err := fw.stageLocked(payload); err != nil || fw.flushing {
+		fw.mu.Unlock()
+		return err
+	}
+	fw.flushing = true
+	fw.mu.Unlock()
+	go func() {
+		fw.mu.Lock()
+		_ = fw.flushLocked()
+		fw.mu.Unlock()
+	}()
+	return nil
+}
+
+// stageLocked appends one frame to the staging buffer. Callers hold
+// mu.
+func (fw *frameWriter) stageLocked(payload []byte) error {
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	if fw.err != nil {
+		return fw.err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	fw.buf = append(fw.buf, hdr[:]...)
+	fw.buf = append(fw.buf, payload...)
+	return nil
+}
+
+// flushLocked drains the staging buffer, releasing mu around each
+// Write syscall so frames keep staging meanwhile. Callers hold mu and
+// must have claimed flushing; it is cleared on return. Returns the
+// first write error (also made sticky).
+func (fw *frameWriter) flushLocked() error {
+	var err error
+	for err == nil && len(fw.buf) > 0 {
+		out := fw.buf
+		fw.buf = fw.spare[:0]
+		fw.spare = nil
+		fw.flushes++
+		fw.mu.Unlock()
+		_, err = fw.w.Write(out)
+		fw.mu.Lock()
+		if cap(out) <= maxPooledEncBuf {
+			fw.spare = out[:0]
+		}
+	}
+	fw.flushing = false
+	if err != nil && fw.err == nil {
+		fw.err = err
+		// Frames staged behind the failure would silently vanish; kill
+		// the socket so the connection's read loop reports the loss.
+		if c, ok := fw.w.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}
+	return err
+}
+
+// flushCount reports how many socket Write calls the writer has made.
+func (fw *frameWriter) flushCount() int64 {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.flushes
 }
 
 // encPool recycles frame-encoding buffers across requests and replies;
@@ -138,6 +244,23 @@ func (fw *frameWriter) writeRequest(op byte, reqID uint64, build func(*jms.Encod
 		build(e)
 	}
 	err := fw.writeFrame(e.Bytes())
+	putEncBuf(buf, e.Bytes())
+	return err
+}
+
+// stageRequest encodes a request frame into a pooled buffer and stages
+// it for an asynchronous flush (see stageFrame). The payload is copied
+// into the staging buffer before return, so recycling the encode buffer
+// immediately is safe.
+func (fw *frameWriter) stageRequest(op byte, reqID uint64, build func(*jms.Encoder)) error {
+	buf := encPool.Get().(*[]byte)
+	e := jms.NewEncoder((*buf)[:0])
+	e.Byte(op)
+	e.Uvarint(reqID)
+	if build != nil {
+		build(e)
+	}
+	err := fw.stageFrame(e.Bytes())
 	putEncBuf(buf, e.Bytes())
 	return err
 }
@@ -256,6 +379,80 @@ func decodeReply(payload []byte) (reply, error) {
 	default:
 		return reply{}, fmt.Errorf("wire: unknown reply status %d", status)
 	}
+}
+
+// Pipelining limits.
+const (
+	// pipeMaxWindow caps the credit window a server grants per pipe.
+	pipeMaxWindow = 1024
+	// pipeCompletionBatch caps how many completions ride one
+	// opPipeCompletion frame.
+	pipeCompletionBatch = 256
+	// ackBatchMax caps how many session acknowledgements one
+	// opAckBatch round trip carries.
+	ackBatchMax = 256
+)
+
+// pipeCompletion is one settled pipelined send, identified by its pipe
+// and the client-assigned sequence number of the send.
+type pipeCompletion struct {
+	pipeID uint64
+	seq    uint64
+	errMsg string
+	stamp  sendStamp
+}
+
+// appendPipeCompletions appends an opPipeCompletion frame payload
+// carrying the batch.
+func appendPipeCompletions(buf []byte, batch []pipeCompletion) []byte {
+	e := jms.NewEncoder(buf)
+	e.Byte(opPipeCompletion)
+	e.Uvarint(uint64(len(batch)))
+	for _, c := range batch {
+		e.Uvarint(c.pipeID)
+		e.Uvarint(c.seq)
+		if c.errMsg != "" {
+			e.Byte(statusError)
+			e.String(c.errMsg)
+			continue
+		}
+		e.Byte(statusOK)
+		e.String(c.stamp.id)
+		e.Time(c.stamp.timestamp)
+		e.Time(c.stamp.expiration)
+	}
+	return e.Bytes()
+}
+
+// decodePipeCompletions parses an opPipeCompletion frame payload
+// (including the opcode byte) and invokes apply for each entry.
+func decodePipeCompletions(payload []byte, apply func(pipeCompletion)) error {
+	d := jms.NewDecoder(payload[1:])
+	n := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("wire: malformed completion batch: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		var c pipeCompletion
+		c.pipeID = d.Uvarint()
+		c.seq = d.Uvarint()
+		switch d.Byte() {
+		case statusError:
+			c.errMsg = d.String()
+			if c.errMsg == "" {
+				c.errMsg = "wire: pipelined send failed"
+			}
+		case statusOK:
+			c.stamp.id = d.String()
+			c.stamp.timestamp = d.Time()
+			c.stamp.expiration = d.Time()
+		}
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("wire: malformed completion entry: %w", err)
+		}
+		apply(c)
+	}
+	return nil
 }
 
 // encodeSendOptions appends send options.

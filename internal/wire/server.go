@@ -15,22 +15,26 @@ import (
 // throughput and raw frame bytes in each direction (metric names under
 // "wire.*").
 type serverMetrics struct {
-	connsActive *obs.Gauge
-	connsTotal  *obs.Counter
-	requests    *obs.Counter
-	reqErrors   *obs.Counter
-	bytesIn     *obs.Counter
-	bytesOut    *obs.Counter
+	connsActive  *obs.Gauge
+	connsTotal   *obs.Counter
+	requests     *obs.Counter
+	reqErrors    *obs.Counter
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	pipeSends    *obs.Counter
+	dedupEntries *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	return &serverMetrics{
-		connsActive: reg.Gauge("wire.conns_active"),
-		connsTotal:  reg.Counter("wire.conns_total"),
-		requests:    reg.Counter("wire.requests"),
-		reqErrors:   reg.Counter("wire.request_errors"),
-		bytesIn:     reg.Counter("wire.bytes_in"),
-		bytesOut:    reg.Counter("wire.bytes_out"),
+		connsActive:  reg.Gauge("wire.conns_active"),
+		connsTotal:   reg.Counter("wire.conns_total"),
+		requests:     reg.Counter("wire.requests"),
+		reqErrors:    reg.Counter("wire.request_errors"),
+		bytesIn:      reg.Counter("wire.bytes_in"),
+		bytesOut:     reg.Counter("wire.bytes_out"),
+		pipeSends:    reg.Counter("wire.pipe_sends"),
+		dedupEntries: reg.Gauge("wire.dedup_entries"),
 	}
 }
 
@@ -64,13 +68,15 @@ func NewServer(inner jms.ConnectionFactory, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: listening on %s: %w", addr, err)
 	}
-	return &Server{
+	s := &Server{
 		inner:    inner,
 		listener: l,
 		met:      newServerMetrics(obs.NewRegistry()),
 		dedup:    newSendDedup(),
 		conns:    map[net.Conn]struct{}{},
-	}, nil
+	}
+	s.dedup.setGauge(s.met.dedupEntries)
+	return s, nil
 }
 
 // WithMetrics re-homes the server's instruments in reg (so broker and
@@ -78,6 +84,7 @@ func NewServer(inner jms.ConnectionFactory, addr string) (*Server, error) {
 // the server for chaining.
 func (s *Server) WithMetrics(reg *obs.Registry) *Server {
 	s.met = newServerMetrics(reg)
+	s.dedup.setGauge(s.met.dedupEntries)
 	return s
 }
 
@@ -157,12 +164,40 @@ type connState struct {
 	sock net.Conn
 	fw   *frameWriter // serialises reply frames onto sock
 
+	// compCh carries settled pipelined sends to the completion
+	// batcher, which coalesces them into opPipeCompletion frames.
+	compCh chan pipeCompletion
+	compWG sync.WaitGroup
+	pipeWG sync.WaitGroup
+
 	mu        sync.Mutex
 	jmsConn   jms.Connection
 	sessions  map[uint64]*sessState
 	consumers map[uint64]jms.Consumer
+	pipes     map[uint64]*srvPipe
 	nextID    uint64
 	reqWG     sync.WaitGroup
+}
+
+// srvPipe is the server half of one pipelined send stream: a channel
+// of decoded sends fed in arrival order by the connection's read loop
+// and drained by a dedicated worker, so per-producer FIFO survives the
+// fan-out that ordinary requests get.
+type srvPipe struct {
+	id      uint64
+	prod    jms.Producer
+	destStr string
+	window  int
+	ch      chan pipeSendReq
+}
+
+// pipeSendReq is one decoded opPipeSend frame.
+type pipeSendReq struct {
+	seq      uint64
+	token    string
+	opts     jms.SendOptions
+	msg      jms.Message
+	decodeAt time.Time
 }
 
 // sessState is one server-side session with its lazily created
@@ -189,16 +224,33 @@ func (s *Server) handleConn(sock net.Conn) {
 		srv:       s,
 		sock:      sock,
 		fw:        newFrameWriter(sock),
+		compCh:    make(chan pipeCompletion, pipeCompletionBatch),
 		jmsConn:   jmsConn,
 		sessions:  map[uint64]*sessState{},
 		consumers: map[uint64]jms.Consumer{},
+		pipes:     map[uint64]*srvPipe{},
 	}
+	st.compWG.Add(1)
+	go st.runCompletionBatcher()
 	defer func() {
 		// Close the JMS connection first: it unblocks any dispatch
 		// goroutine parked in a consumer Receive, so a dying socket
 		// doesn't pin this handler for the rest of a receive timeout.
 		_ = jmsConn.Close()
 		st.reqWG.Wait()
+		// Pipes next: the read loop (sole writer to pipe channels) has
+		// exited, so closing them lets workers drain, settle their
+		// staged sends, and release the completion batcher.
+		st.mu.Lock()
+		pipes := st.pipes
+		st.pipes = map[uint64]*srvPipe{}
+		st.mu.Unlock()
+		for _, p := range pipes {
+			close(p.ch)
+		}
+		st.pipeWG.Wait()
+		close(st.compCh)
+		st.compWG.Wait()
 	}()
 
 	for {
@@ -215,6 +267,17 @@ func (s *Server) handleConn(sock net.Conn) {
 		if req.op == opCloseConn {
 			st.sendReply(req.reqID, "", nil)
 			return
+		}
+		if req.op == opPipeSend {
+			// Pipelined sends are queued inline, in arrival order — a
+			// goroutine per frame (the ordinary dispatch) would lose
+			// the per-producer FIFO the pipe promises. A well-behaved
+			// client holds at most the granted window of uncompleted
+			// sends, so the queue insert never blocks for long.
+			if !st.handlePipeSend(req) {
+				return
+			}
+			continue
 		}
 		st.reqWG.Add(1)
 		go func() {
@@ -330,6 +393,12 @@ func (st *connState) dispatch(req request) {
 			return
 		}
 		st.sendReply(req.reqID, "", func(e *jms.Encoder) { e.String(q.Name()) })
+
+	case opPipeOpen:
+		st.handlePipeOpen(req)
+
+	case opAckBatch:
+		st.handleAckBatch(req)
 
 	case opUnsubscribe:
 		id := req.body.Uvarint()
@@ -470,6 +539,237 @@ func (st *connState) handleSend(req request) {
 		e.String(msg.ID)
 		e.Time(msg.Timestamp)
 		e.Time(msg.Expiration)
+	})
+}
+
+// handlePipeOpen creates a pipelined send stream: its own provider
+// producer, a send queue sized to the granted credit window, and a
+// worker goroutine that stages sends in order.
+func (st *connState) handlePipeOpen(req request) {
+	sessID := req.body.Uvarint()
+	destStr := req.body.String()
+	want := req.body.Uvarint()
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	dest, err := jms.ParseDestination(destStr)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	ss, err := st.session(sessID)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	prod, err := ss.sess.CreateProducer(dest)
+	if err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	window := int(want)
+	if window < 1 {
+		window = 1
+	}
+	if window > pipeMaxWindow {
+		window = pipeMaxWindow
+	}
+	p := &srvPipe{prod: prod, destStr: destStr, window: window, ch: make(chan pipeSendReq, window)}
+	st.mu.Lock()
+	st.nextID++
+	p.id = st.nextID
+	st.pipes[p.id] = p
+	st.mu.Unlock()
+	st.pipeWG.Add(1)
+	go st.runPipe(p)
+	st.sendReply(req.reqID, "", func(e *jms.Encoder) {
+		e.Uvarint(p.id)
+		e.Uvarint(uint64(window))
+	})
+}
+
+// handlePipeSend decodes one pipelined send (the frame's request-ID
+// slot carries the client's per-pipe sequence number) and queues it on
+// its pipe. A false return means the frame was unintelligible and the
+// connection must die — there is no reply channel to carry the error.
+func (st *connState) handlePipeSend(req request) bool {
+	pipeID := req.body.Uvarint()
+	token := req.body.String()
+	opts := decodeSendOptions(req.body)
+	var msg jms.Message
+	msg.DecodeFrom(req.body)
+	if err := req.body.Err(); err != nil {
+		return false
+	}
+	st.srv.met.pipeSends.Inc()
+	st.mu.Lock()
+	p, ok := st.pipes[pipeID]
+	st.mu.Unlock()
+	if !ok {
+		st.complete(pipeCompletion{pipeID: pipeID, seq: req.reqID, errMsg: "wire: unknown pipe"})
+		return true
+	}
+	p.ch <- pipeSendReq{seq: req.reqID, token: token, opts: opts, msg: msg, decodeAt: time.Now()}
+	return true
+}
+
+// runPipe drains one pipe's send queue: deduplicates retried tokens,
+// stages each send with the provider (asynchronously when the provider
+// supports jms.AsyncProducer), and hands the durability wait to a
+// per-pipe waiter so the next send stages while the previous one
+// commits. Both stages are FIFO, preserving per-producer order.
+func (st *connState) runPipe(p *srvPipe) {
+	defer st.pipeWG.Done()
+	type stagedSend struct {
+		seq    uint64
+		wait   jms.Completion
+		commit func(sendStamp)
+		abort  func()
+		stamp  sendStamp
+	}
+	waitCh := make(chan stagedSend, p.window)
+	var waiterWG sync.WaitGroup
+	waiterWG.Add(1)
+	go func() {
+		defer waiterWG.Done()
+		for w := range waitCh {
+			if err := w.wait(); err != nil {
+				if w.abort != nil {
+					w.abort()
+				}
+				st.complete(pipeCompletion{pipeID: p.id, seq: w.seq, errMsg: err.Error()})
+				continue
+			}
+			if w.commit != nil {
+				w.commit(w.stamp)
+			}
+			st.complete(pipeCompletion{pipeID: p.id, seq: w.seq, stamp: w.stamp})
+		}
+	}()
+	ap, async := p.prod.(jms.AsyncProducer)
+	for req := range p.ch {
+		var commit func(sendStamp)
+		var abort func()
+		if req.token != "" {
+			var stamp sendStamp
+			var hit bool
+			stamp, hit, commit, abort = st.srv.dedup.begin(req.token)
+			if hit {
+				// A replayed send whose original already reached the
+				// provider: settle with the original stamps, apply
+				// nothing — exactly-once across the reconnect.
+				st.complete(pipeCompletion{pipeID: p.id, seq: req.seq, stamp: stamp})
+				continue
+			}
+		}
+		msg := req.msg
+		hop := obs.AdvanceTraceHop(&msg)
+		var wait jms.Completion
+		var err error
+		if async {
+			wait, err = ap.SendAsync(&msg, req.opts)
+		} else {
+			err = p.prod.Send(&msg, req.opts)
+			wait = jms.CompletedSend
+		}
+		if err != nil {
+			if abort != nil {
+				abort()
+			}
+			st.complete(pipeCompletion{pipeID: p.id, seq: req.seq, errMsg: err.Error()})
+			continue
+		}
+		if st.srv.spans != nil {
+			st.srv.spans.RecordHop(obs.Span{
+				TraceID:  obs.MessageTraceID(&msg),
+				Hop:      hop,
+				Kind:     obs.KindServerRecv,
+				Node:     "wire-server",
+				MsgID:    msg.ID,
+				Endpoint: p.destStr,
+				SentAt:   req.decodeAt,
+				EndedAt:  time.Now(),
+			})
+		}
+		waitCh <- stagedSend{
+			seq: req.seq, wait: wait, commit: commit, abort: abort,
+			stamp: sendStamp{id: msg.ID, timestamp: msg.Timestamp, expiration: msg.Expiration},
+		}
+	}
+	close(waitCh)
+	waiterWG.Wait()
+}
+
+// complete queues one settled pipelined send for the batcher.
+func (st *connState) complete(c pipeCompletion) {
+	st.compCh <- c
+}
+
+// runCompletionBatcher coalesces settled sends into opPipeCompletion
+// frames: it takes one completion, drains whatever else is immediately
+// available (up to pipeCompletionBatch), and writes them as one frame.
+// Under load the batches grow naturally; an isolated completion ships
+// alone with no added latency.
+func (st *connState) runCompletionBatcher() {
+	defer st.compWG.Done()
+	batch := make([]pipeCompletion, 0, pipeCompletionBatch)
+	var buf []byte
+	for c := range st.compCh {
+		batch = append(batch[:0], c)
+	drain:
+		for len(batch) < pipeCompletionBatch {
+			select {
+			case c2, ok := <-st.compCh:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, c2)
+			default:
+				break drain
+			}
+		}
+		buf = appendPipeCompletions(buf[:0], batch)
+		if err := st.fw.writeFrame(buf); err != nil {
+			// The socket is gone; drain silently so workers can finish.
+			continue
+		}
+		st.srv.met.bytesOut.Add(int64(len(buf)) + 4)
+	}
+}
+
+// handleAckBatch acknowledges several sessions in one round trip. The
+// reply carries one status string per requested session, in order.
+func (st *connState) handleAckBatch(req request) {
+	n := req.body.Uvarint()
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	if n > ackBatchMax {
+		st.sendReply(req.reqID, fmt.Sprintf("wire: ack batch of %d exceeds limit", n), nil)
+		return
+	}
+	ids := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ids = append(ids, req.body.Uvarint())
+	}
+	if err := req.body.Err(); err != nil {
+		st.sendReply(req.reqID, err.Error(), nil)
+		return
+	}
+	st.sendReply(req.reqID, "", func(e *jms.Encoder) {
+		for _, id := range ids {
+			ss, err := st.session(id)
+			if err == nil {
+				err = ss.sess.Acknowledge()
+			}
+			if err != nil {
+				e.String(err.Error())
+			} else {
+				e.String("")
+			}
+		}
 	})
 }
 

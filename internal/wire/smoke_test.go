@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/jms"
+)
+
+// TestPipelinedFasterThanBlocking is ci.sh's JMSPIPE smoke stage: the
+// same send workload must run strictly faster through the credit
+// window than through blocking round trips. The margin is large on any
+// hardware — the blocking arm pays one TCP round trip per message, the
+// pipelined arm one per window — but wall-clock comparisons still
+// flake under arbitrary scheduler pressure, so the stage is opt-in
+// (JMSPIPE_SMOKE=1) and each arm keeps the best of three runs.
+func TestPipelinedFasterThanBlocking(t *testing.T) {
+	if os.Getenv("JMSPIPE_SMOKE") == "" {
+		t.Skip("set JMSPIPE_SMOKE=1 to run the pipelining smoke comparison")
+	}
+	_, f := startServer(t, broker.Profile{})
+	const (
+		messages = 512
+		window   = 64
+		rounds   = 3
+	)
+	payload := make([]byte, 256)
+	opts := jms.DefaultSendOptions()
+
+	producer := func(f *Factory, queue string) jms.Producer {
+		t.Helper()
+		conn, err := f.CreateConnection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+		if err := conn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sess, err := conn.CreateSession(false, jms.AckAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := sess.CreateProducer(jms.Queue(queue))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	best := func(run func() time.Duration) time.Duration {
+		min := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			if d := run(); min == 0 || d < min {
+				min = d
+			}
+		}
+		return min
+	}
+
+	bp := producer(f, "smoke-blocking")
+	blocking := best(func() time.Duration {
+		start := time.Now()
+		for i := 0; i < messages; i++ {
+			if err := bp.Send(jms.NewBytesMessage(payload), opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	})
+
+	pp := producer(f.WithPipelining(window), "smoke-pipelined")
+	ap, ok := pp.(jms.AsyncProducer)
+	if !ok {
+		t.Fatal("pipelined wire producer is not an AsyncProducer")
+	}
+	pipelined := best(func() time.Duration {
+		start := time.Now()
+		pending := make([]jms.Completion, 0, window)
+		settle := func() {
+			for _, comp := range pending {
+				if err := comp(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pending = pending[:0]
+		}
+		for i := 0; i < messages; i++ {
+			comp, err := ap.SendAsync(jms.NewBytesMessage(payload), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pending = append(pending, comp)
+			if len(pending) == window {
+				settle()
+			}
+		}
+		settle()
+		return time.Since(start)
+	})
+
+	t.Logf("blocking %v, pipelined %v for %d sends", blocking, pipelined, messages)
+	if pipelined >= blocking {
+		t.Fatalf("pipelined sends (%v) not faster than blocking (%v)", pipelined, blocking)
+	}
+}

@@ -55,6 +55,19 @@ if [ "$failoversmoke" != "0" ]; then
 	go test -run TestFailoverConformance -count=1 ./internal/experiments
 fi
 
+# Quorum smoke: the R=2 failover drill — the primary's preferred
+# replication link is partitioned mid-run, then the primary is killed
+# for good. The witness majority must still promote within budget, the
+# second follower must cover every acked message (zero safety
+# violations), and the R=1 regression pair must show the conformance
+# checker attributing the loss the single-follower design would eat
+# silently. Set JMSQUORUM=0 to skip the stage.
+quorumsmoke=${JMSQUORUM:-1}
+if [ "$quorumsmoke" != "0" ]; then
+	go test -run 'TestQuorumConformance|TestSingleFollowerCoverGapAttributed' -count=1 ./internal/experiments
+	go run ./cmd/jmsbench -experiment quorum -scale 0.5 -json-dir ""
+fi
+
 # Pipelining smoke: the credit-windowed async send path must be
 # strictly faster than blocking round trips against the same wire
 # server (best-of-three each, so a scheduler hiccup cannot flip the

@@ -15,7 +15,10 @@
 // — latency, bandwidth caps, partitions, resets — with reconnecting
 // clients), failover (replicated cluster under steady persistent load
 // with a permanent mid-run primary kill: unavailability window, MTTR
-// and full conformance through the promotion). -scale multiplies the
+// and full conformance through the promotion), quorum (failover at
+// R=2/Q=2 with the primary's preferred replication link partitioned
+// before the kill: the second follower must cover everything ever
+// acked, gated on zero safety violations). -scale multiplies the
 // run durations; 1.0 matches the defaults used in EXPERIMENTS.md.
 //
 // Alongside the human-readable report, each invocation appends a
@@ -96,7 +99,7 @@ type measuresSummary struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("jmsbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, saturation, chaos, failover, or all")
+	experiment := fs.String("experiment", "all", "fig1, fig2, fig3, measures, compare, conformance, ingest, scale, saturation, chaos, failover, quorum, or all")
 	scale := fs.Float64("scale", 1.0, "duration multiplier for the timed experiments")
 	csv := fs.Bool("csv", false, "emit throughput sweeps as CSV instead of a table")
 	ingestEvents := fs.Int("ingest-events", 300_000, "synthetic trace size for the ingest experiment")
@@ -134,9 +137,10 @@ func run(args []string) error {
 		"saturation":  func() error { return runSaturation(*scale, *traceOut, *traceSample, report) },
 		"chaos":       func() error { return runChaos(*scale, report) },
 		"failover":    func() error { return runFailover(*scale, report) },
+		"quorum":      func() error { return runQuorum(*scale, report) },
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale", "saturation", "chaos", "failover"} {
+		for _, name := range []string{"fig1", "fig2", "fig3", "measures", "compare", "conformance", "ingest", "scale", "saturation", "chaos", "failover", "quorum"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -410,6 +414,30 @@ func runFailover(scale float64, report *benchReport) error {
 	}
 	report.gate("failover", res.QoS)
 	report.Experiments["failover"] = res
+	return nil
+}
+
+func runQuorum(scale float64, report *benchReport) error {
+	fmt.Println("=== quorum: R=2 failover with a partitioned replication link ===")
+	res, err := experiments.Quorum(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatQuorum(res))
+	if res.QoS != nil {
+		fmt.Print(res.QoS.String())
+	}
+	report.gate("quorum", res.QoS)
+	// Safety is the whole point of the second follower: a violation here
+	// means acked messages died with the primary despite R=2, so it fails
+	// the invocation just like a contract breach.
+	if !res.Passed {
+		fmt.Printf("SAFETY FAIL quorum: %d violations (%s)\n",
+			res.Violations, strings.Join(res.ViolatedProperties, ", "))
+		report.QoSFailures = append(report.QoSFailures,
+			"quorum: safety "+strings.Join(res.ViolatedProperties, ", "))
+	}
+	report.Experiments["quorum"] = res
 	return nil
 }
 

@@ -14,11 +14,14 @@
 // restarts; in cluster mode each node gets its own log (<path>.<i>).
 //
 // With -replicate (cluster mode, N >= 2) every destination additionally
-// gets a WAL-shipping follower on another node with semisynchronous
-// acknowledgement and heartbeat-detected failover: if a node dies, its
-// destinations are promoted to their followers and the dead node is
-// fenced. /clusterz then carries the per-destination primary/follower
-// table, per-link replication lag and the last promotion epoch.
+// gets WAL-shipping followers on other nodes (-replication-factor, one
+// by default) with quorum acknowledgement (-quorum follower acks per
+// write, majority by default) and witness-voted failover: if a majority
+// of live witnesses agree a node is dead, its destinations are promoted
+// to their most-caught-up followers and the dead node is fenced.
+// /clusterz then carries the per-destination primary/followers table
+// with quorum health, per-link replication lag, witness suspicions and
+// the last promotion epoch.
 //
 // With -obs-addr the broker serves live introspection over HTTP:
 // /metricz (broker and wire counters, gauges, latency histograms),
@@ -58,7 +61,9 @@ func run(args []string) error {
 	walShards := fs.Int("wal-shards", 1, "segment the WAL into N shard logs with independent commit loops (requires -wal)")
 	clusterN := fs.Int("cluster", 1, "number of federated broker nodes behind this endpoint (1: single broker)")
 	placementName := fs.String("placement", "hash-ring", "cluster placement policy: hash-ring, modulo")
-	replicate := fs.Bool("replicate", false, "replicate every destination to a follower node with automated failover (requires -cluster >= 2)")
+	replicate := fs.Bool("replicate", false, "replicate every destination to follower nodes with automated failover (requires -cluster >= 2)")
+	replFactor := fs.Int("replication-factor", 1, "followers per destination with -replicate (at most -cluster minus 1)")
+	quorum := fs.Int("quorum", 0, "follower acks required before a write is acked with -replicate (0: majority of -replication-factor)")
 	obsAddr := fs.String("obs-addr", "", "HTTP observability address (/metricz, /spanz, /clusterz, /healthz, /debug/pprof); empty: disabled")
 	traceOut := fs.String("trace-out", "", "durable JSONL span export path (empty: disabled)")
 	traceSample := fs.Float64("trace-sample", 1.0, "head-based trace sampling fraction for -trace-out (0,1]")
@@ -70,6 +75,17 @@ func run(args []string) error {
 	}
 	if *replicate && *clusterN < 2 {
 		return fmt.Errorf("-replicate needs -cluster >= 2 for a distinct follower, got %d", *clusterN)
+	}
+	if !*replicate && (*replFactor != 1 || *quorum != 0) {
+		return fmt.Errorf("-replication-factor and -quorum need -replicate")
+	}
+	if *replicate {
+		if *replFactor < 1 || *replFactor > *clusterN-1 {
+			return fmt.Errorf("-replication-factor %d needs that many distinct followers out of %d nodes", *replFactor, *clusterN)
+		}
+		if *quorum < 0 || *quorum > *replFactor {
+			return fmt.Errorf("-quorum %d exceeds -replication-factor %d", *quorum, *replFactor)
+		}
 	}
 	if *walShards < 1 {
 		return fmt.Errorf("-wal-shards must be >= 1, got %d", *walShards)
@@ -164,7 +180,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		ro := replica.Options{Profile: profile, Placement: place, Metrics: reg}
+		ro := replica.Options{
+			Profile:           profile,
+			Placement:         place,
+			Metrics:           reg,
+			ReplicationFactor: *replFactor,
+			QuorumSize:        *quorum,
+		}
 		if spans != nil {
 			// Same typed-nil caution as broker.Options.Spans below.
 			ro.Spans = spans

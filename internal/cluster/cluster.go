@@ -89,6 +89,7 @@ type Cluster struct {
 	topics    map[string]*topicState  // topic name -> forwarding state
 	temps     map[string]int          // temporary queue name -> owning node
 	queues    map[string]int          // queue name -> owning node (observed)
+	pins      map[string]int          // placement key -> promotion-elected node
 	clientIDs map[string]*clusterConn // cluster-wide client-ID claims
 	crashed   []bool                  // front-end's view of CrashNode state
 	down      []bool                  // nodes declared dead by failure detection
@@ -170,6 +171,7 @@ func New(opts Options) (*Cluster, error) {
 		topics:    map[string]*topicState{},
 		temps:     map[string]int{},
 		queues:    map[string]int{},
+		pins:      map[string]int{},
 		clientIDs: map[string]*clusterConn{},
 		crashed:   make([]bool, len(opts.Nodes)),
 		down:      make([]bool, len(opts.Nodes)),

@@ -22,9 +22,16 @@ func (c *Cluster) pickLive(key string) int {
 	return c.pickLiveLocked(key)
 }
 
-// pickLiveLocked is pickLive under c.mu. With no ranked placement (or
-// every node down) it falls back to the primary placement.
+// pickLiveLocked is pickLive under c.mu. A promotion pin overrides the
+// placement ranking: when replication elects the most-caught-up
+// follower as a key's new primary, routing must land there rather than
+// on the ranking's next node, or the adopted backlog would be
+// unreachable. With no ranked placement (or every node down) it falls
+// back to the primary placement.
 func (c *Cluster) pickLiveLocked(key string) int {
+	if n, ok := c.pins[key]; ok && !c.down[n] {
+		return n
+	}
 	primary := c.place.Node(key)
 	if !c.down[primary] {
 		return primary
@@ -40,9 +47,10 @@ func (c *Cluster) pickLiveLocked(key string) int {
 }
 
 // RankedLive returns key's ranking restricted to live nodes, preference
-// first. With no ranked placement it returns just the live owner (or
-// nothing). The replication manager derives primary (index 0) and
-// follower (index 1) from it.
+// first. A promotion pin moves its node to the front so the replication
+// manager's primary derivation (index 0) agrees with routing after a
+// most-caught-up election. With no ranked placement it returns just the
+// live owner (or nothing).
 func (c *Cluster) RankedLive(key string) []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -60,7 +68,44 @@ func (c *Cluster) RankedLive(key string) []int {
 			out = append(out, n)
 		}
 	}
+	if p, ok := c.pins[key]; ok && !c.down[p] {
+		reordered := make([]int, 0, len(out))
+		reordered = append(reordered, p)
+		for _, n := range out {
+			if n != p {
+				reordered = append(reordered, n)
+			}
+		}
+		out = reordered
+	}
 	return out
+}
+
+// PinQueue pins a queue's routing (and replication primariness) to a
+// node, overriding placement ranking until that node itself dies. The
+// replication manager pins each adopted endpoint to its elected
+// most-caught-up holder during promotion.
+func (c *Cluster) PinQueue(name string, node int) {
+	c.mu.Lock()
+	c.pins[queueKey(name)] = node
+	if _, ok := c.queues[name]; ok {
+		c.queues[name] = node
+	}
+	c.mu.Unlock()
+}
+
+// PinDurable pins a durable subscription's routing to a node, including
+// its topic-forwarding entry so publishes accumulate on the adopter.
+func (c *Cluster) PinDurable(clientID, subName string, node int) {
+	key := durableKey(clientID, subName)
+	c.mu.Lock()
+	c.pins[key] = node
+	for _, ts := range c.topics {
+		if _, ok := ts.durables[key]; ok {
+			ts.durables[key] = node
+		}
+	}
+	c.mu.Unlock()
 }
 
 // RankedLiveQueue is RankedLive for a queue name, and RankedLiveDurable
@@ -98,6 +143,14 @@ func (c *Cluster) MarkNodeDown(i int) int64 {
 		return c.epoch.Load()
 	}
 	c.down[i] = true
+	// Promotion pins pointing at the dead node are void — the next
+	// election re-pins. Drop them before remapping so the lookups below
+	// fall through to the ranking.
+	for key, n := range c.pins {
+		if n == i {
+			delete(c.pins, key)
+		}
+	}
 	// Stale queue-route observations: recompute against the new down
 	// set so Status and the next send agree immediately.
 	for name, n := range c.queues {
@@ -107,12 +160,14 @@ func (c *Cluster) MarkNodeDown(i int) int64 {
 	}
 	// A dead node serves no subscribers; non-durable refs die with it
 	// and durable pins remap to the subscription's next live node so
-	// publishes keep accumulating for the promoted backlog.
+	// publishes keep accumulating for the promoted backlog. (key is
+	// already the full "durable:..." placement key — addDurable stores
+	// durableKey() output — so it is used as-is.)
 	for _, ts := range c.topics {
 		delete(ts.refs, i)
 		for key, n := range ts.durables {
 			if n == i {
-				ts.durables[key] = c.pickLiveLocked("durable:" + key)
+				ts.durables[key] = c.pickLiveLocked(key)
 			}
 		}
 	}
@@ -141,6 +196,19 @@ func (c *Cluster) SetReplicationStatus(f func() *ReplicationStatus) {
 	c.mu.Unlock()
 }
 
+// FollowerStatus is one follower's view of a destination's replication
+// cover for /clusterz.
+type FollowerStatus struct {
+	Node int `json:"node"`
+	// Acked is the follower's cumulative apply cursor for the primary's
+	// stream — how far this copy is known to have caught up.
+	Acked uint64 `json:"acked"`
+	// Degraded reports the primary has detached this link from the
+	// quorum barrier (timeout or peer death); the follower no longer
+	// counts toward the quorum until it catches back up.
+	Degraded bool `json:"degraded"`
+}
+
 // DestinationReplica is one destination's replica assignment for
 // /clusterz.
 type DestinationReplica struct {
@@ -148,9 +216,17 @@ type DestinationReplica struct {
 	// or "durable:<clientID>/<subName>").
 	Endpoint string `json:"endpoint"`
 	Primary  int    `json:"primary"`
-	// Follower is -1 when the destination has no live follower (single
-	// surviving node).
-	Follower int `json:"follower"`
+	// Follower is the most-preferred follower (-1 when the destination
+	// has no live follower at all); Followers lists every replica with
+	// its acked offset and link health.
+	Follower  int              `json:"follower"`
+	Followers []FollowerStatus `json:"followers,omitempty"`
+	// QuorumSize is the number of healthy follower acks this
+	// destination's writes wait for (the configured quorum clamped to
+	// the live follower count); QuorumMet reports whether enough
+	// non-degraded links exist right now to satisfy it.
+	QuorumSize int  `json:"quorum_size,omitempty"`
+	QuorumMet  bool `json:"quorum_met"`
 }
 
 // ReplicaLink is one replication link's progress for /clusterz.
@@ -167,14 +243,16 @@ type ReplicaLink struct {
 	Degraded bool `json:"degraded"`
 }
 
-// NodeSuspicion is one node the failure detector has pinged and missed
-// but not yet declared dead, for /clusterz.
+// NodeSuspicion is one node some witness has probed and missed but that
+// has not yet been declared dead, for /clusterz.
 type NodeSuspicion struct {
 	Node string `json:"node"`
-	// Misses is how many consecutive probes the node has missed; the
-	// detector declares it dead (and promotes its followers) when the
-	// count reaches its configured threshold.
+	// Misses is the worst consecutive-miss count any live witness
+	// currently holds against the node.
 	Misses int `json:"misses"`
+	// Votes is how many witnesses are past the promotion threshold;
+	// the node is declared dead when a majority of live witnesses vote.
+	Votes int `json:"votes"`
 }
 
 // ReplicationStatus is the Replication section of Status, supplied by
@@ -185,6 +263,11 @@ type ReplicationStatus struct {
 	// installed (0 when none happened).
 	Promotions         int64 `json:"promotions"`
 	LastPromotionEpoch int64 `json:"last_promotion_epoch"`
+	// ReplicationFactor is the configured follower count per
+	// destination; QuorumSize how many of them must acknowledge before
+	// a write is acked to the client.
+	ReplicationFactor int `json:"replication_factor"`
+	QuorumSize        int `json:"quorum_size"`
 	// Suspected lists nodes currently missing heartbeats — pinged and
 	// unresponsive, but below the promotion threshold. A node that is
 	// actually dead transits through here on its way to promotion; a

@@ -69,6 +69,25 @@ func FailoverContract() *qos.Contract {
 	}
 }
 
+// QuorumContract bounds the quorum-failover drill. Scoping mirrors
+// FailoverContract: the victim owns qm.q0, so that queue rides both the
+// link partition and the promotion. The latent broker profile (40ms)
+// and the 30ms detector worst case both sit inside the recovery
+// budgets; the throughput floor and rejection ceiling bound the
+// collateral damage of the degraded link plus the outage.
+func QuorumContract() *qos.Contract {
+	return &qos.Contract{
+		Name:      "quorum",
+		MinWindow: 100 * time.Millisecond,
+		Checks: []qos.Check{
+			{Kind: qos.KindUnavailability, Scope: "queue:qm.q0", Max: 400 * time.Millisecond},
+			{Kind: qos.KindMTTR, Scope: "queue:qm.q0", Max: 450 * time.Millisecond},
+			{Kind: qos.KindThroughputFloor, MinPerSec: 300},
+			{Kind: qos.KindRejectionCeiling, MaxRatio: 0.30},
+		},
+	}
+}
+
 // ChaosContract bounds one chaos profile's run (300 msgs/s offered
 // through the proxy). Every profile is held to a recovery floor — the
 // run as a whole still moves messages — and the non-partitioning ones

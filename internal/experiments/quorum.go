@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"jmsharness/internal/broker"
+	"jmsharness/internal/chaos"
+	"jmsharness/internal/harness"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/model"
+	"jmsharness/internal/obs"
+	"jmsharness/internal/qos"
+	"jmsharness/internal/replica"
+	"jmsharness/internal/trace"
+)
+
+// QuorumResult is the outcome of the quorum-failover experiment: a
+// replicated cluster with two followers per destination loses the
+// primary's replication link to its preferred follower mid-run, and
+// then the primary itself — permanently. With R=2 the second follower
+// keeps full cover through the partition, so the witness-quorum
+// detector promotes the most-caught-up survivor and not one acked
+// message is lost. The same schedule against R=1 is the PR-7 silent
+// cover gap: the only link is dark when the primary dies, and the
+// conformance checker attributes the acked-message loss.
+type QuorumResult struct {
+	// Nodes is the cluster size; Queues the number of loaded queues.
+	Nodes  int `json:"nodes"`
+	Queues int `json:"queues"`
+	// ReplicationFactor and Quorum are the cover settings under test.
+	ReplicationFactor int `json:"replication_factor"`
+	Quorum            int `json:"quorum"`
+	// VictimNode is the killed primary; PartitionedLink names the
+	// replication link (victim -> preferred follower) that went dark
+	// before the kill.
+	VictimNode      string `json:"victim_node"`
+	PartitionedLink string `json:"partitioned_link"`
+	// PartitionAt and KillAt are the fault offsets from test start.
+	PartitionAt time.Duration `json:"partition_at"`
+	KillAt      time.Duration `json:"kill_at"`
+	// DetectionBudget is the configured detector worst case
+	// (HeartbeatEvery × HeartbeatMisses).
+	DetectionBudget time.Duration `json:"detection_budget"`
+	// Promotions counts node promotions (expected: 1, the victim).
+	Promotions int64 `json:"promotions"`
+	// UnquorateWrites counts writes acked below the configured quorum —
+	// the partitioned link degrading visibly instead of blocking.
+	UnquorateWrites int64 `json:"unquorate_writes"`
+	// UnavailableWindow is the victim queue's send gap around the kill;
+	// MTTR the kill-to-first-delivery recovery time.
+	UnavailableWindow time.Duration `json:"unavailable_window"`
+	MTTR              time.Duration `json:"mttr"`
+	// Sent, SendErrors and Delivered count across all queues.
+	Sent       int64 `json:"sent"`
+	SendErrors int64 `json:"send_errors"`
+	Delivered  int64 `json:"delivered"`
+	// Violations counts safety-property violations; ViolatedProperties
+	// names the properties that fired. Zero/empty with R=2: the second
+	// follower covers everything ever acked.
+	Violations         int      `json:"violations"`
+	ViolatedProperties []string `json:"violated_properties,omitempty"`
+	// Passed reports full conformance.
+	Passed bool `json:"passed"`
+	// QoS is the verdict on QuorumContract.
+	QoS *qos.Report `json:"qos,omitempty"`
+	// ReplicaEvents is the manager's promotion/degrade event log.
+	ReplicaEvents []string `json:"replica_events,omitempty"`
+}
+
+// quorumProxies lazily interposes a chaos proxy on every replication
+// link so one of them can be partitioned mid-run, after placement
+// reveals which link matters.
+type quorumProxies struct {
+	mu sync.Mutex
+	m  map[[2]int]*chaos.Proxy
+}
+
+func (qp *quorumProxies) wrap(from, to int, addr string) string {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if p, ok := qp.m[[2]int{from, to}]; ok {
+		return p.Addr()
+	}
+	p, err := chaos.New(chaos.Options{Target: addr})
+	if err != nil {
+		return addr // fall back to the direct link
+	}
+	qp.m[[2]int{from, to}] = p
+	return p.Addr()
+}
+
+func (qp *quorumProxies) get(from, to int) *chaos.Proxy {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return qp.m[[2]int{from, to}]
+}
+
+func (qp *quorumProxies) close() {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	for _, p := range qp.m {
+		_ = p.Close()
+	}
+}
+
+// Quorum runs the quorum-failover experiment at R=2, Q=2: steady
+// persistent load on six queues, the primary's preferred replication
+// link partitioned a sixth of the way through the run, the primary
+// itself killed (never restarted) a third of the way in. Every safety
+// property must hold straight through: the second follower kept
+// acknowledging during the partition, so promotion lands on a replica
+// that holds everything ever acked.
+func Quorum(scale float64) (*QuorumResult, error) {
+	return quorumRun(scale, 2, 2)
+}
+
+// quorumRun is Quorum with the replication factor and quorum under the
+// caller's control — the R=1 configuration reproduces the silent-cover
+// gap this experiment exists to guard against.
+func quorumRun(scale float64, rf, quorum int) (*QuorumResult, error) {
+	const (
+		nodes  = 3
+		queues = 6
+	)
+	hbEvery := 10 * time.Millisecond
+	hbMisses := 3
+	// The latent profile keeps a deterministic in-flight window: sends
+	// acked in the last BaseLatency before the kill have not been
+	// delivered yet, so the only thing standing between them and loss is
+	// replication cover.
+	profile := broker.Profile{Name: "qm-latent", BaseLatency: 40 * time.Millisecond}
+	qp := &quorumProxies{m: map[[2]int]*chaos.Proxy{}}
+	defer qp.close()
+	reg := obs.NewRegistry()
+	m, err := replica.NewLocal(nodes, replica.Options{
+		Profile:           profile,
+		Seed:              1,
+		HeartbeatEvery:    hbEvery,
+		HeartbeatMisses:   hbMisses,
+		SyncTimeout:       25 * time.Millisecond,
+		ReplicationFactor: rf,
+		QuorumSize:        quorum,
+		Metrics:           reg,
+		WrapLink:          qp.wrap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	c := m.Cluster()
+
+	// The victim is whichever node owns the first queue; the partitioned
+	// link is its ranking-preferred follower for that queue. Placement is
+	// seed-stable, so both are too.
+	victim := c.QueueNode("qm.q0")
+	ranked := c.RankedLiveQueue("qm.q0")
+	if len(ranked) < 2 {
+		return nil, fmt.Errorf("experiments: queue qm.q0 has no follower to partition")
+	}
+	partner := ranked[1]
+
+	cfg := harness.Config{
+		Name:     "quorum",
+		Warmup:   20 * time.Millisecond,
+		Run:      scaleDur(600*time.Millisecond, scale),
+		Warmdown: scaleDur(400*time.Millisecond, 1),
+		Seed:     1,
+	}
+	for i := 0; i < queues; i++ {
+		name := fmt.Sprintf("qm.q%d", i)
+		cfg.Producers = append(cfg.Producers, harness.ProducerConfig{
+			ID: fmt.Sprintf("p%d", i), Destination: jms.Queue(name), Rate: 250, BodySize: 64,
+		})
+		cfg.Consumers = append(cfg.Consumers, harness.ConsumerConfig{
+			ID: fmt.Sprintf("c%d", i), Destination: jms.Queue(name),
+		})
+	}
+	partAt := cfg.Warmup + cfg.Run/6
+	killAt := cfg.Warmup + cfg.Run/3
+	cfg.Faults = []harness.FaultEvent{{At: killAt, Node: victim, NoRestart: true}}
+
+	// The victim's link to the preferred follower dials during manager
+	// startup; wait for the proxy, then schedule the one-way-pair
+	// blackout relative to harness start. The partition never heals — the
+	// victim dies holding it.
+	deadline := time.Now().Add(2 * time.Second)
+	for qp.get(victim, partner) == nil {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("experiments: replication link %d->%d never dialed", victim, partner)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	timer := time.AfterFunc(partAt, func() { qp.get(victim, partner).Partition(chaos.Both) })
+	defer timer.Stop()
+
+	tr, err := harness.NewRunner(c, nil).Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := model.Check(tr, model.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &QuorumResult{
+		Nodes:             nodes,
+		Queues:            queues,
+		ReplicationFactor: rf,
+		Quorum:            quorum,
+		VictimNode:        c.NodeName(victim),
+		PartitionedLink:   fmt.Sprintf("%s->%s", c.NodeName(victim), c.NodeName(partner)),
+		PartitionAt:       partAt,
+		KillAt:            killAt,
+		DetectionBudget:   hbEvery * time.Duration(hbMisses),
+		Promotions:        m.Promotions(),
+		UnquorateWrites:   reg.Counter("replica.unquorate_writes").Value(),
+		Violations:        len(report.Violations()),
+		Passed:            report.OK(),
+		QoS:               qosGate(QuorumContract(), tr),
+		ReplicaEvents:     m.Events(),
+	}
+	for _, p := range report.ViolatedProperties() {
+		res.ViolatedProperties = append(res.ViolatedProperties, string(p))
+	}
+
+	victimQueue := "queue:qm.q0"
+	var crashTime, lastSendBefore, firstSendAfter, firstDeliverAfter time.Time
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Type {
+		case trace.EventCrash:
+			if crashTime.IsZero() {
+				crashTime = ev.Time
+			}
+		case trace.EventSendEnd:
+			if ev.Err != "" {
+				res.SendErrors++
+				continue
+			}
+			res.Sent++
+			if ev.Dest != victimQueue {
+				continue
+			}
+			if crashTime.IsZero() {
+				lastSendBefore = ev.Time
+			} else if firstSendAfter.IsZero() {
+				firstSendAfter = ev.Time
+			}
+		case trace.EventDeliver:
+			res.Delivered++
+			if !crashTime.IsZero() && firstDeliverAfter.IsZero() && ev.Dest == victimQueue {
+				firstDeliverAfter = ev.Time
+			}
+		}
+	}
+	if !lastSendBefore.IsZero() && !firstSendAfter.IsZero() {
+		res.UnavailableWindow = firstSendAfter.Sub(lastSendBefore)
+	}
+	if !crashTime.IsZero() && !firstDeliverAfter.IsZero() {
+		res.MTTR = firstDeliverAfter.Sub(crashTime)
+	}
+	return res, nil
+}
+
+// FormatQuorum renders the quorum experiment result.
+func FormatQuorum(r *QuorumResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Quorum failover: %d nodes, R=%d Q=%d, %d queues, link %s partitioned at %v, victim %s killed at %v (never restarted)\n",
+		r.Nodes, r.ReplicationFactor, r.Quorum, r.Queues,
+		r.PartitionedLink, r.PartitionAt.Round(time.Millisecond),
+		r.VictimNode, r.KillAt.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-22s %12s\n", "Measure", "Value")
+	fmt.Fprintf(&b, "%-22s %12v\n", "Detection budget", r.DetectionBudget)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Promotions", r.Promotions)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Unquorate writes", r.UnquorateWrites)
+	fmt.Fprintf(&b, "%-22s %12v\n", "Unavailable window", r.UnavailableWindow.Round(100*time.Microsecond))
+	fmt.Fprintf(&b, "%-22s %12v\n", "MTTR (first delivery)", r.MTTR.Round(100*time.Microsecond))
+	fmt.Fprintf(&b, "%-22s %12d\n", "Sent ok", r.Sent)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Send errors", r.SendErrors)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Delivered", r.Delivered)
+	fmt.Fprintf(&b, "%-22s %12d\n", "Violations", r.Violations)
+	fmt.Fprintf(&b, "%-22s %12t\n", "Passed", r.Passed)
+	for _, ev := range r.ReplicaEvents {
+		fmt.Fprintf(&b, "  replica: %s\n", ev)
+	}
+	return b.String()
+}

@@ -65,9 +65,10 @@ func faultScenario(seed uint64, fault string) *Scenario {
 // failoverProbe rewrites a cluster scenario into the replicated
 // failover shape: two persistent steady queue streams, one permanent
 // node kill partway through the run, and a warm-down long enough for
-// the failure detector (~100ms at stock settings) plus the drain. The
-// oracle expectation is the strictest one the explorer has — a clean
-// stack, so any violation at all is a finding.
+// the witness-quorum failure detector (200ms at the explorer's
+// heartbeat settings) plus the drain. The oracle expectation is the
+// strictest one the explorer has — a clean stack, so any violation at
+// all is a finding.
 func failoverProbe(sc *Scenario, rng *stats.RNG) *Scenario {
 	sc.Name = fmt.Sprintf("seed-%d-failover-probe", sc.Seed)
 	sc.Stack.Replicated = true
@@ -76,6 +77,7 @@ func failoverProbe(sc *Scenario, rng *stats.RNG) *Scenario {
 		// destination even after the kill.
 		sc.Stack.Nodes = 3
 	}
+	drawQuorum(sc)
 	sc.Warmdown = 500 * time.Millisecond
 	for i := 0; i < 2; i++ {
 		q := fmt.Sprintf("queue:fz.fo%d", i)
@@ -94,6 +96,22 @@ func failoverProbe(sc *Scenario, rng *stats.RNG) *Scenario {
 	return sc
 }
 
+// drawQuorum draws a replication factor and quorum size for a
+// replicated probe stack from an independent stream: R in {2,3} clamped
+// to the distinct-follower ceiling, Q anywhere in [1, R]. Like every
+// other upgrade draw, the separate stream means adding quorum
+// replication never shifted what any existing seed generates — the same
+// probe shapes simply gained wider cover.
+func drawQuorum(sc *Scenario) {
+	qrng := stats.NewRNG(sc.Seed ^ 0x7f4a7c159e3779b9)
+	r := 2 + qrng.Intn(2)
+	if max := sc.Stack.Nodes - 1; r > max {
+		r = max
+	}
+	sc.Stack.ReplicationFactor = r
+	sc.Stack.Quorum = 1 + qrng.Intn(r)
+}
+
 // linkPartitionProbe rewrites a cluster scenario into the replication-
 // link partition shape: a replicated cluster whose inter-node
 // replication links all partition mid-run and heal, with a semisync
@@ -106,6 +124,7 @@ func linkPartitionProbe(sc *Scenario, rng *stats.RNG) *Scenario {
 	if sc.Stack.Nodes < 3 {
 		sc.Stack.Nodes = 3
 	}
+	drawQuorum(sc)
 	// Degrade well inside the partition: the default 2s semisync wait
 	// would outlast the whole scenario and hide the drill entirely.
 	sc.Stack.SyncTimeout = 30 * time.Millisecond

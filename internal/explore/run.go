@@ -58,12 +58,19 @@ func buildStack(sc *Scenario) (jms.ConnectionFactory, func(), error) {
 			// under a second, so detection must complete inside the
 			// warmdown — the conservative package defaults would leave
 			// the victim's backlog unadopted until after the trace ends.
+			// The miss threshold stays high enough that a generated link
+			// partition (60-99ms) cannot cross the detection budget:
+			// witness probes travel the same chaos-wrapped links as the
+			// replication stream, so a partitioned link blinds its
+			// witness for the partition's whole duration.
 			ropts := replica.Options{
-				Profile:         profile,
-				Seed:            1,
-				HeartbeatEvery:  25 * time.Millisecond,
-				HeartbeatMisses: 4,
-				SyncTimeout:     spec.SyncTimeout,
+				Profile:           profile,
+				Seed:              1,
+				HeartbeatEvery:    25 * time.Millisecond,
+				HeartbeatMisses:   8,
+				SyncTimeout:       spec.SyncTimeout,
+				ReplicationFactor: spec.ReplicationFactor,
+				QuorumSize:        spec.Quorum,
 			}
 			lp := newLinkChaos(sc)
 			if lp != nil {
@@ -170,8 +177,12 @@ func chaosProxy(spec StackSpec, target string) (*chaos.Proxy, error) {
 // linkChaos interposes chaos proxies on a replicated cluster's
 // inter-node replication links, lazily — one proxy per link, created at
 // dial time. Links touching a partitioned node carry that node's
-// partition schedule; the failure detector pings nodes directly, so a
-// link partition degrades replication without triggering promotion.
+// partition schedule. The failure detector's witness probes travel
+// these same links, so a partition does raise suspicion on the nodes it
+// cuts off — but promotion needs a majority of live witnesses to agree,
+// and a single node's partitioned links never blind more than a
+// minority for longer than the detection budget tolerates, so the link
+// degrades and reattaches without a false promotion.
 type linkChaos struct {
 	mu     sync.Mutex
 	m      map[[2]int]*chaos.Proxy

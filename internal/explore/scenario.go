@@ -111,11 +111,19 @@ type StackSpec struct {
 	Kind string `json:"kind"`
 	// Nodes is the cluster size (cluster stacks only).
 	Nodes int `json:"nodes,omitempty"`
-	// Replicated gives each destination a WAL-shipping follower with
+	// Replicated gives each destination WAL-shipping followers with
 	// failure-detected promotion (cluster stacks only, needs Nodes >= 2).
 	// It is the stack for failover scenarios: a NoRestart node kill must
 	// be absorbed by promotion, not recovered in place.
 	Replicated bool `json:"replicated,omitempty"`
+	// ReplicationFactor is the follower count per destination on a
+	// replicated stack; zero keeps the package default of 1. Must leave a
+	// distinct follower set, so at most Nodes-1.
+	ReplicationFactor int `json:"replication_factor,omitempty"`
+	// Quorum is how many of those followers must acknowledge a write
+	// before the client sees it succeed; zero keeps the package default
+	// (a majority of ReplicationFactor). At most ReplicationFactor.
+	Quorum int `json:"quorum,omitempty"`
 	// Latent gives the underlying broker(s) a base delivery latency, so
 	// short-TTL messages genuinely should expire in flight (the expiry
 	// probe configuration).
@@ -339,6 +347,19 @@ func (sc *Scenario) Validate() error {
 		if sc.Stack.Nodes < 2 {
 			return fmt.Errorf("explore: replicated stacks need nodes >= 2 for a distinct follower")
 		}
+		if sc.Stack.ReplicationFactor < 0 || sc.Stack.ReplicationFactor > sc.Stack.Nodes-1 {
+			return fmt.Errorf("explore: replication factor %d needs %d distinct followers out of %d nodes",
+				sc.Stack.ReplicationFactor, sc.Stack.ReplicationFactor, sc.Stack.Nodes)
+		}
+		rf := sc.Stack.ReplicationFactor
+		if rf == 0 {
+			rf = 1
+		}
+		if sc.Stack.Quorum < 0 || sc.Stack.Quorum > rf {
+			return fmt.Errorf("explore: quorum %d exceeds replication factor %d", sc.Stack.Quorum, rf)
+		}
+	} else if sc.Stack.ReplicationFactor != 0 || sc.Stack.Quorum != 0 {
+		return fmt.Errorf("explore: replication_factor/quorum require a replicated stack")
 	}
 	for i, e := range sc.Events {
 		if e.NoRestart && !sc.Stack.Replicated {

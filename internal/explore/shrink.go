@@ -170,15 +170,47 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 				cur, changed = cand, true
 			}
 		}
+		// Strip link-partition chaos on its own first: a finding that
+		// survives with the links healthy is not about degradation or
+		// reattachment.
+		if cur.Stack.Replicated {
+			hasLinkChaos := false
+			for _, e := range cur.Events {
+				hasLinkChaos = hasLinkChaos || e.LinkPartition
+			}
+			if hasLinkChaos {
+				cand := cur.clone()
+				cand.dropLinkPartitions()
+				if try(cand, "strip link chaos") {
+					cur, changed = cand, true
+				}
+			}
+		}
+		// Walk the replication factor down before stripping replication
+		// entirely: a finding that reproduces at R=1 is not about the
+		// quorum fan-out.
+		for cur.Stack.ReplicationFactor > 1 {
+			cand := cur.clone()
+			cand.Stack.ReplicationFactor--
+			if cand.Stack.Quorum > cand.Stack.ReplicationFactor {
+				cand.Stack.Quorum = cand.Stack.ReplicationFactor
+			}
+			if !try(cand, "reduce replication factor") {
+				break
+			}
+			cur, changed = cand, true
+		}
 		if cur.Stack.Replicated {
 			// Strip replication before simplifying the topology: a plain
 			// cluster cannot survive the permanent kills replication
 			// absorbs, so those events become crash/restart cycles — and
-			// link partitions (like the semisync timeout) only exist on
-			// replicated stacks, so they go too.
+			// link partitions (like the semisync timeout and the quorum
+			// settings) only exist on replicated stacks, so they go too.
 			cand := cur.clone()
 			cand.Stack.Replicated = false
 			cand.Stack.SyncTimeout = 0
+			cand.Stack.ReplicationFactor = 0
+			cand.Stack.Quorum = 0
 			cand.dropLinkPartitions()
 			for i := range cand.Events {
 				cand.Events[i].NoRestart = false
@@ -193,6 +225,8 @@ func Shrink(sc *Scenario, interesting func(*Scenario) (bool, error), opts Shrink
 			cand.Stack.Nodes = 0
 			cand.Stack.Replicated = false
 			cand.Stack.SyncTimeout = 0
+			cand.Stack.ReplicationFactor = 0
+			cand.Stack.Quorum = 0
 			cand.Stack.Chaos = ChaosNone
 			cand.Stack.ChaosSeed = 0
 			cand.Stack.Pipelined = false

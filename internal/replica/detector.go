@@ -1,0 +1,204 @@
+package replica
+
+// Partition-tolerant failure detection. PR 7's detector was a single
+// in-process loop pinging every node: one observer, so a one-way
+// partition of that observer's view (or of the node the loop happened
+// to run near) could false-promote, and the loop itself was a single
+// point of failure. Here every node runs its own prober goroutine
+// (detectFrom) and the per-node views are exchanged as witness votes:
+// each ping frame carries the prober's current suspicion bitmap, each
+// pong answers with the responder's. promote() fires only when a
+// majority of the live witnesses agree the target is dead, so a lone
+// observer with a broken inbound path cannot take down a healthy
+// primary, and losing any one detector loop loses one witness, not the
+// control plane.
+//
+// Probes are sent through linkAddr — the same WrapLink-interposable
+// path the replication data links dial — so a chaos proxy that
+// partitions a replication link partitions the probes with it. That is
+// deliberate: the detector observes exactly the connectivity the data
+// plane has, which is what the promotion decision is about.
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"jmsharness/internal/jms"
+)
+
+// peerView is one node's local evidence about its peers: consecutive
+// probe misses per target, plus the latest suspicion bitmap received
+// from each witness and when it arrived. Votes expire (witnessQuorum's
+// freshness window) so a stale bitmap from before a heal cannot keep
+// condemning a recovered node.
+type peerView struct {
+	mu     sync.Mutex
+	misses []int       // consecutive failed probes, per target
+	votes  []uint64    // last suspicion bitmap received, per witness
+	voteAt []time.Time // when that bitmap arrived
+}
+
+func newPeerView(n int) *peerView {
+	return &peerView{
+		misses: make([]int, n),
+		votes:  make([]uint64, n),
+		voteAt: make([]time.Time, n),
+	}
+}
+
+// bitmap encodes which targets this view currently suspects (miss
+// count at or past threshold) as a bit set, for piggybacking on ping
+// frames.
+func (v *peerView) bitmap(threshold int) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var b uint64
+	for t, miss := range v.misses {
+		if miss >= threshold {
+			b |= 1 << uint(t)
+		}
+	}
+	return b
+}
+
+func (v *peerView) observe(t int, ok bool) {
+	v.mu.Lock()
+	if ok {
+		v.misses[t] = 0
+	} else if v.misses[t] < 1<<30 {
+		v.misses[t]++
+	}
+	v.mu.Unlock()
+}
+
+// recordVote stores witness w's latest suspicion bitmap. Called both
+// when w's ping arrives at this node and when w's pong answers one of
+// ours, so votes flow even across one-way partitions.
+func (v *peerView) recordVote(w int, bits uint64) {
+	v.mu.Lock()
+	if w >= 0 && w < len(v.votes) {
+		v.votes[w] = bits
+		v.voteAt[w] = time.Now()
+	}
+	v.mu.Unlock()
+}
+
+// detectFrom is node i's prober loop: each tick it pings every live
+// peer through the (possibly chaos-wrapped) link path, folds the
+// results into its view, and checks whether any peer has reached
+// witness quorum for promotion.
+func (m *Manager) detectFrom(i int) {
+	ticker := time.NewTicker(m.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		if m.c.NodeDown(i) {
+			continue
+		}
+		view := m.det[i]
+		var wg sync.WaitGroup
+		for j := range m.nodes {
+			if j == i || m.c.NodeDown(j) {
+				continue
+			}
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				view.observe(j, m.pingPeer(i, j))
+			}(j)
+		}
+		wg.Wait()
+		for t := range m.nodes {
+			if t == i || m.c.NodeDown(t) {
+				continue
+			}
+			if m.witnessQuorum(i, t) {
+				m.promote(t)
+			}
+		}
+	}
+}
+
+// witnessQuorum reports whether, from node i's vantage point, a
+// majority of the live witnesses currently agree that node t is dead.
+// Witnesses are all live nodes other than t (i's own view counts —
+// it is a witness like any other). A remote vote counts only if its
+// bitmap flags t and it arrived within the freshness window; a silent
+// or stale witness is a non-vote, which biases toward NOT promoting —
+// the safe direction.
+func (m *Manager) witnessQuorum(i, t int) bool {
+	threshold := m.opts.HeartbeatMisses
+	view := m.det[i]
+	view.mu.Lock()
+	if view.misses[t] < threshold {
+		view.mu.Unlock()
+		return false
+	}
+	bits := append([]uint64(nil), view.votes...)
+	at := append([]time.Time(nil), view.voteAt...)
+	view.mu.Unlock()
+
+	// Votes older than a full detection cycle (threshold misses at the
+	// probe cadence, doubled for slack) may predate a heal.
+	fresh := 2 * m.opts.HeartbeatEvery * time.Duration(threshold)
+	if fresh < 2*m.opts.HeartbeatEvery {
+		fresh = 2 * m.opts.HeartbeatEvery
+	}
+	now := time.Now()
+	witnesses, votes := 0, 0
+	for w := range m.nodes {
+		if w == t || m.c.NodeDown(w) {
+			continue
+		}
+		witnesses++
+		switch {
+		case w == i:
+			votes++
+		case now.Sub(at[w]) <= fresh && bits[w]&(1<<uint(t)) != 0:
+			votes++
+		}
+	}
+	return votes >= witnesses/2+1
+}
+
+// pingPeer sends one witness-carrying ping from node `from` to node
+// `to` over the link path and reports whether a healthy pong came
+// back. The pong's piggybacked bitmap is folded into from's view as
+// to's vote.
+func (m *Manager) pingPeer(from, to int) bool {
+	timeout := m.opts.HeartbeatEvery
+	if timeout < 10*time.Millisecond {
+		timeout = 10 * time.Millisecond
+	}
+	conn, err := net.DialTimeout("tcp", m.linkAddr(from, to), timeout)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	e := jms.NewEncoder([]byte{frPing})
+	e.Uvarint(uint64(from))
+	e.Uvarint(m.det[from].bitmap(m.opts.HeartbeatMisses))
+	if err := writeFrame(conn, e.Bytes()); err != nil {
+		return false
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	payload, err := readFrame(bufio.NewReader(conn))
+	if err != nil || len(payload) == 0 || payload[0] != frPong {
+		return false
+	}
+	d := jms.NewDecoder(payload[1:])
+	healthy := d.Bool()
+	if d.Err() != nil {
+		return false
+	}
+	if rest := d.Uvarint(); d.Err() == nil {
+		m.det[from].recordVote(to, rest)
+	}
+	return healthy
+}

@@ -24,8 +24,8 @@ import (
 //	helloAck  server → sender   Uvarint(lastApplied cumulative seq)
 //	record    sender → server   Uvarint(seq), Blob(store record payload)
 //	ack       server → sender   Uvarint(lastApplied cumulative seq)
-//	ping      probe  → server   (empty)
-//	pong      server → probe    Bool(broker healthy)
+//	ping      probe  → server   Uvarint(prober node), Uvarint(suspicion bitmap)
+//	pong      server → probe    Bool(broker healthy), Uvarint(server's suspicion bitmap)
 //	snapBegin sender → server   (empty; reset sessions only)
 //	snapEntry sender → server   store record payload (no seq)
 //	snapEnd   sender → server   Uvarint(cut seq the snapshot equals)
@@ -43,6 +43,12 @@ import (
 // Only a reset session may carry them: the peer has already dropped
 // this source's state, so installing the snapshot is a rebuild, never
 // an overwrite of live follower state.
+//
+// Ping/pong double as the witness-vote exchange for the partition-
+// tolerant failure detector (detector.go): each side piggybacks its
+// current suspicion bitmap, so every probe round also gossips who
+// suspects whom. An empty-payload ping (the PR 7 wire format) is still
+// answered — it just carries no vote.
 const (
 	frHello byte = iota + 1
 	frHelloAck
@@ -103,35 +109,6 @@ func readFrame(br *bufio.Reader) ([]byte, error) {
 		return nil, errBadFrame
 	}
 	return payload, nil
-}
-
-// pingNode probes node i's replication server over a short-lived
-// connection and reports whether its broker answered healthy within
-// the heartbeat interval. The probe dials the server directly — the
-// failure detector models a control plane separate from the data
-// links, so chaos interposed on replication links (WrapLink) does not
-// blind it.
-func (m *Manager) pingNode(i int) bool {
-	timeout := m.opts.HeartbeatEvery
-	if timeout < 10*time.Millisecond {
-		timeout = 10 * time.Millisecond
-	}
-	conn, err := net.DialTimeout("tcp", m.nodes[i].server.Addr(), timeout)
-	if err != nil {
-		return false
-	}
-	defer conn.Close()
-	if err := writeFrame(conn, []byte{frPing}); err != nil {
-		return false
-	}
-	_ = conn.SetReadDeadline(time.Now().Add(timeout))
-	payload, err := readFrame(bufio.NewReader(conn))
-	if err != nil || len(payload) == 0 || payload[0] != frPong {
-		return false
-	}
-	d := jms.NewDecoder(payload[1:])
-	healthy := d.Bool()
-	return d.Err() == nil && healthy
 }
 
 // inbound is the follower-side state for one source node: its own
@@ -227,13 +204,29 @@ func (s *repServer) serveConn(conn net.Conn) {
 	case frPing:
 		// A liveness probe: pong carries whether this node's broker is
 		// actually serving, so a crashed (or fenced) broker reads as
-		// dead even while the replication listener survives.
+		// dead even while the replication listener survives. A witness-
+		// carrying ping also delivers the prober's suspicion bitmap
+		// (recorded as its vote) and the pong answers with ours, so
+		// votes propagate in both directions of every probe.
+		var bitmap uint64
+		if len(payload) > 1 {
+			d := jms.NewDecoder(payload[1:])
+			prober := d.Uvarint()
+			bits := d.Uvarint()
+			if d.Err() == nil && s.node < len(s.m.det) {
+				s.m.det[s.node].recordVote(int(prober), bits)
+			}
+		}
+		if s.node < len(s.m.det) {
+			bitmap = s.m.det[s.node].bitmap(s.m.opts.HeartbeatMisses)
+		}
 		healthy := false
 		if b := s.m.brokerOf(s.node); b != nil {
 			healthy = b.Healthy()
 		}
 		e := jms.NewEncoder([]byte{frPong})
 		e.Bool(healthy)
+		e.Uvarint(bitmap)
 		_ = writeFrame(conn, e.Bytes())
 	case frHello:
 		d := jms.NewDecoder(payload[1:])

@@ -1,0 +1,288 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jmsharness/internal/chaos"
+	"jmsharness/internal/jms"
+	"jmsharness/internal/obs"
+)
+
+// rankedFollowers resolves a queue's primary and its follower fan-out
+// in ranking order, failing the test when the topology is too small.
+func rankedFollowers(t *testing.T, m *Manager, q jms.Queue, want int) (primary int, followers []int) {
+	t.Helper()
+	primary = m.Cluster().QueueNode(q.Name())
+	followers = m.followersFor(primary, "queue:"+q.Name())
+	if len(followers) < want {
+		t.Fatalf("queue %s has %d followers, want >= %d", q, len(followers), want)
+	}
+	return primary, followers
+}
+
+// TestOneWayPartitionDoesNotPromote is the witness-quorum safety test:
+// one node loses its own path to the primary (so its local view crosses
+// the miss threshold), but every other witness still reaches it. A
+// majority never forms, so the primary must NOT be declared dead — the
+// exact false-promotion the single-observer detector was vulnerable to.
+func TestOneWayPartitionDoesNotPromote(t *testing.T) {
+	lp := newLinkProxies(t)
+	m := newTestManager(t, 3, Options{
+		Seed:            31,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 3,
+		WrapLink:        lp.wrap,
+	})
+	c := m.Cluster()
+	q := jms.Queue("oneway")
+	primary, _ := rankedFollowers(t, m, q, 1)
+	observer := (primary + 1) % 3
+
+	sess := openSession(t, c)
+	sendText(t, sess, q, "pre")
+
+	// Cut only the observer→primary links (data and probes both route
+	// through the same proxy); the rest of the mesh stays healthy.
+	poll(t, 2*time.Second, "observer link dialed", func() bool { return lp.get(observer, primary) != nil })
+	lp.get(observer, primary).Partition(chaos.Both)
+
+	// Let many detection budgets elapse: the observer's view crosses the
+	// threshold, but with only 1 of 2 live witnesses voting there is no
+	// majority.
+	victimName := m.nodes[primary].name
+	poll(t, 5*time.Second, "observer suspicion surfaces", func() bool {
+		st := c.Status()
+		if st.Replication == nil {
+			return false
+		}
+		for _, s := range st.Replication.Suspected {
+			if s.Node == victimName && s.Votes >= 1 {
+				return true
+			}
+		}
+		return false
+	})
+	time.Sleep(300 * time.Millisecond) // 10 full detection budgets
+	if got := m.Promotions(); got != 0 {
+		t.Fatalf("promotions = %d after one-way partition, want 0", got)
+	}
+	if c.NodeDown(primary) {
+		t.Fatal("primary marked down on a minority view")
+	}
+	// The primary still serves: a fresh client reads the backlog.
+	if got := drainText(t, openSession(t, c), q, 500*time.Millisecond); !got["pre"] {
+		t.Fatal("primary stopped serving under a minority suspicion")
+	}
+}
+
+// TestFullPartitionPromotesMostCaughtUp partitions the preferred
+// follower's link first (so it lags), then fully partitions the
+// primary: the witness majority forms, promotion fires within the
+// detection budget, and the MOST-CAUGHT-UP follower — not the ring's
+// next-preferred one — is elected and pinned as the new primary.
+func TestFullPartitionPromotesMostCaughtUp(t *testing.T) {
+	lp := newLinkProxies(t)
+	m := newTestManager(t, 4, Options{
+		Seed:              47,
+		HeartbeatEvery:    10 * time.Millisecond,
+		HeartbeatMisses:   3,
+		SyncTimeout:       100 * time.Millisecond,
+		ReplicationFactor: 2,
+		QuorumSize:        1,
+		WrapLink:          lp.wrap,
+	})
+	c := m.Cluster()
+	q := jms.Queue("caughtup")
+	primary, followers := rankedFollowers(t, m, q, 2)
+	preferred, other := followers[0], followers[1]
+
+	poll(t, 2*time.Second, "preferred-follower link dialed", func() bool {
+		return lp.get(primary, preferred) != nil
+	})
+	sess := openSession(t, c)
+	sendText(t, sess, q, "covered-0") // prove live sessions on both links
+
+	// Lag the ring-preferred follower: its link partitions, the other
+	// follower keeps acknowledging, so the quorum (Q=1) stays met and
+	// sends succeed with the OTHER follower strictly more caught up.
+	lp.get(primary, preferred).Partition(chaos.Both)
+	bodies := []string{"covered-0"}
+	for i := 1; i <= 10; i++ {
+		body := fmt.Sprintf("covered-%d", i)
+		bodies = append(bodies, body)
+		sendText(t, sess, q, body)
+	}
+	primaryName := m.nodes[primary].name
+	poll(t, 5*time.Second, "other follower acks the backlog", func() bool {
+		return m.nodes[other].server.lastAppliedFrom(primaryName) >
+			m.nodes[preferred].server.lastAppliedFrom(primaryName)
+	})
+
+	// Full partition of the primary: every link to and from it drops.
+	// Probes among the three surviving witnesses keep exchanging votes,
+	// so the majority forms and promotion must fire.
+	start := time.Now()
+	for j := 0; j < 4; j++ {
+		if j == primary {
+			continue
+		}
+		for _, key := range [][2]int{{primary, j}, {j, primary}} {
+			if p := lp.get(key[0], key[1]); p != nil {
+				p.Partition(chaos.Both)
+			}
+		}
+	}
+	poll(t, 5*time.Second, "promotion", func() bool { return m.Promotions() > 0 })
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("promotion took %v, far past the 30ms detection budget", elapsed)
+	}
+	if !c.NodeDown(primary) {
+		t.Fatal("fully partitioned primary not marked down")
+	}
+	// The election must land on the most-caught-up follower, overriding
+	// the ring order (which prefers the lagging one) via the pin.
+	if got := c.QueueNode(q.Name()); got != other {
+		t.Fatalf("queue routed to node %d after promotion, want most-caught-up follower %d (ring-preferred was %d)",
+			got, other, preferred)
+	}
+	got := drainText(t, openSession(t, c), q, 500*time.Millisecond)
+	for _, body := range bodies {
+		if !got[body] {
+			t.Errorf("acked message %q lost in most-caught-up promotion", body)
+		}
+	}
+}
+
+// TestUnquorateWritesVisible drives a write whose quorum becomes
+// unreachable: with R=2, Q=2 and one follower link partitioned, the
+// send degrades the dead link after SyncTimeout and proceeds — counted
+// in replica.unquorate_writes and visible as quorum-unmet in /clusterz,
+// never silent.
+func TestUnquorateWritesVisible(t *testing.T) {
+	lp := newLinkProxies(t)
+	reg := obs.NewRegistry()
+	m := newTestManager(t, 3, Options{
+		Seed:              59,
+		HeartbeatEvery:    10 * time.Millisecond,
+		HeartbeatMisses:   10000, // no promotion in this test
+		SyncTimeout:       100 * time.Millisecond,
+		ReplicationFactor: 2,
+		QuorumSize:        2,
+		Metrics:           reg,
+		WrapLink:          lp.wrap,
+	})
+	c := m.Cluster()
+	q := jms.Queue("unq")
+	primary, followers := rankedFollowers(t, m, q, 2)
+
+	sess := openSession(t, c)
+	sendText(t, sess, q, "full-quorum") // both links session-established
+
+	lp.get(primary, followers[1]).Partition(chaos.Both)
+	start := time.Now()
+	sendText(t, sess, q, "under-quorum") // must succeed, visibly degraded
+	if waited := time.Since(start); waited < 80*time.Millisecond {
+		t.Fatalf("under-quorum send returned in %v; barrier did not wait for the second ack", waited)
+	}
+	poll(t, 2*time.Second, "unquorate write counted", func() bool {
+		return reg.Counter("replica.unquorate_writes").Value() > 0
+	})
+
+	st := c.Status()
+	if st.Replication == nil {
+		t.Fatal("no replication status")
+	}
+	if st.Replication.ReplicationFactor != 2 || st.Replication.QuorumSize != 2 {
+		t.Fatalf("status R/Q = %d/%d, want 2/2",
+			st.Replication.ReplicationFactor, st.Replication.QuorumSize)
+	}
+	for _, dr := range st.Replication.Destinations {
+		if dr.Endpoint != "queue:"+q.Name() {
+			continue
+		}
+		if len(dr.Followers) != 2 {
+			t.Fatalf("destination lists %d followers, want 2", len(dr.Followers))
+		}
+		degraded := 0
+		for _, fs := range dr.Followers {
+			if fs.Degraded {
+				degraded++
+			}
+		}
+		if degraded != 1 {
+			t.Fatalf("%d degraded followers in status, want 1", degraded)
+		}
+		if dr.QuorumMet {
+			t.Fatal("status reports quorum met with a degraded link under Q=2")
+		}
+		return
+	}
+	t.Fatalf("destination queue:%s missing from replication status", q.Name())
+}
+
+// TestLaggingFollowerPinsTrimFloor is the multi-follower retention
+// regression: with R=2 the trim floor must be the minimum acked offset
+// across ALL of a node's followers. A partitioned (degraded) second
+// follower pins retention, so after it heals it catches up by ordinary
+// replay — never the snapshot-resync path.
+func TestLaggingFollowerPinsTrimFloor(t *testing.T) {
+	lp := newLinkProxies(t)
+	m := newTestManager(t, 3, Options{
+		Seed:              67,
+		HeartbeatEvery:    10 * time.Millisecond,
+		HeartbeatMisses:   10000, // no promotion in this test
+		SyncTimeout:       50 * time.Millisecond,
+		ReplicationFactor: 2,
+		QuorumSize:        1,
+		WrapLink:          lp.wrap,
+	})
+	c := m.Cluster()
+	q := jms.Queue("trimfloor")
+	primary, followers := rankedFollowers(t, m, q, 2)
+	laggard := followers[1]
+
+	sess := openSession(t, c)
+	sendText(t, sess, q, "warmup")
+	lagLink := m.nodes[primary].senders[laggard]
+	lp.get(primary, laggard).Partition(chaos.Both)
+
+	// Churn well past streamTrimBatch: the healthy follower acks it all
+	// and satisfies the quorum, so the laggard just silently falls
+	// behind — its floor must still hold retention back.
+	churn := make([]string, streamTrimBatch)
+	for i := range churn {
+		churn[i] = fmt.Sprintf("churn-%03d", i)
+	}
+	sendText(t, sess, q, churn...)
+	if got := drainText(t, sess, q, 500*time.Millisecond); len(got) != len(churn)+1 {
+		t.Fatalf("drained %d messages, want %d", len(got), len(churn)+1)
+	}
+	poll(t, 2*time.Second, "laggard accumulates lag", func() bool {
+		return lagLink.lagRecords() > 0
+	})
+	stream := m.nodes[primary].stream
+	lagLink.mu.Lock()
+	lagAck := lagLink.ackedThroughLocked()
+	lagLink.mu.Unlock()
+	if retained := stream.OldestRetained(); retained > lagAck {
+		t.Fatalf("retention trimmed to %d past the lagging follower's ack %d", retained, lagAck)
+	}
+
+	// Heal: the laggard must catch up by replaying the retained history,
+	// not by a snapshot resync (needReset stays false throughout).
+	lp.get(primary, laggard).Heal()
+	poll(t, 10*time.Second, "laggard catches up after heal", func() bool {
+		return !lagLink.isDegraded() && lagLink.lagRecords() == 0
+	})
+	lagLink.mu.Lock()
+	needReset := lagLink.needReset
+	lagLink.mu.Unlock()
+	if needReset {
+		t.Fatal("healed laggard fell into snapshot resync; retention floor did not hold")
+	}
+	if cursor := m.nodes[laggard].server.lastAppliedFrom(m.nodes[primary].name); cursor < stream.LastSeq() {
+		t.Fatalf("laggard cursor %d below stream head %d after heal", cursor, stream.LastSeq())
+	}
+}

@@ -19,9 +19,10 @@ type pendingRec struct {
 // sender is the primary side of one from→to replication link. It
 // subscribes to its node's committed-record stream, ships the records
 // whose endpoint the peer follows, and tracks the peer's cumulative
-// acknowledgement so producers can wait for replication cover
-// (waitFor). It reconnects forever until the link is halted (its own
-// node died) or the peer is declared dead.
+// acknowledgement so producers can wait for quorum replication cover
+// (Manager.waitReplicated counts acked links). It reconnects forever
+// until the link is halted (its own node died) or the peer is declared
+// dead.
 type sender struct {
 	m        *Manager
 	from, to int
@@ -61,10 +62,15 @@ func newSender(m *Manager, from, to int) *sender {
 	}
 }
 
-// broadcastLocked wakes every waitFor blocked on this link.
+// broadcastLocked wakes every waiter blocked on this link's progress:
+// the link-local wake channel (tests, catch-up watchers) and the
+// node-level channel the quorum barrier sleeps on — any link's
+// progress may complete a Q-of-R quorum, so the barrier listens to the
+// node, not to one sender.
 func (s *sender) broadcastLocked() {
 	close(s.wake)
 	s.wake = make(chan struct{})
+	s.m.nodes[s.from].wakeWaiters()
 }
 
 // ackedThroughLocked is the highest stream seq known replicated.
@@ -99,39 +105,6 @@ func (s *sender) isDegraded() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.degraded || s.peerDead
-}
-
-// waitFor blocks until the peer has acknowledged the stream through
-// seq, the link degrades (returns nil: the write proceeds without
-// cover), or replication halts because this node was declared dead
-// (returns ErrHalted: the producer must NOT see the write succeed).
-func (s *sender) waitFor(seq uint64) error {
-	timer := time.NewTimer(s.m.opts.SyncTimeout)
-	defer timer.Stop()
-	for {
-		s.mu.Lock()
-		switch {
-		case s.halted:
-			s.mu.Unlock()
-			return ErrHalted
-		case s.peerDead || s.degraded:
-			s.mu.Unlock()
-			return nil
-		case s.ackedThroughLocked() >= seq:
-			s.mu.Unlock()
-			return nil
-		}
-		wake := s.wake
-		s.mu.Unlock()
-		select {
-		case <-wake:
-		case <-s.stop:
-			// Re-check under the lock; halted wins.
-		case <-timer.C:
-			s.setDegraded()
-			return nil
-		}
-	}
 }
 
 // setDegraded flips the link into degraded mode (peer too slow or
@@ -357,7 +330,7 @@ func (s *sender) session(conn net.Conn) error {
 			if derr != nil {
 				return derr
 			}
-			ship := s.m.followerFor(s.from, op.EndpointOf()) == s.to
+			ship := s.m.shipsTo(s.from, op.EndpointOf(), s.to)
 			if ship {
 				s.mu.Lock()
 				s.pending = append(s.pending, pendingRec{seq: rec.Seq, size: int64(len(rec.Payload))})
@@ -401,7 +374,7 @@ func (s *sender) sendSnapshot(conn net.Conn) (uint64, error) {
 		return writeFrame(conn, e.Bytes())
 	}
 	for ep, msgs := range snap.Messages {
-		if s.m.followerFor(s.from, ep) != s.to {
+		if !s.m.shipsTo(s.from, ep, s.to) {
 			continue
 		}
 		for _, sm := range msgs {
@@ -416,7 +389,7 @@ func (s *sender) sendSnapshot(conn net.Conn) (uint64, error) {
 		}
 	}
 	for _, sub := range snap.Subscriptions {
-		if s.m.followerFor(s.from, "sub:"+sub.ClientID+":"+sub.Name) != s.to {
+		if !s.m.shipsTo(s.from, "sub:"+sub.ClientID+":"+sub.Name, s.to) {
 			continue
 		}
 		if err := entry(store.Op{Kind: store.OpAddSubscription, Sub: sub}); err != nil {
